@@ -1,0 +1,162 @@
+package jitsu_test
+
+// One benchmark per table and figure of the paper's evaluation (§4),
+// plus the ablations DESIGN.md calls out. Each benchmark runs the full
+// deterministic simulation for its artefact and reports the headline
+// quantity via b.ReportMetric, so `go test -bench=. -benchmem` prints a
+// compact reproduction of the whole evaluation.
+
+import (
+	"testing"
+	"time"
+
+	"jitsu/internal/experiments"
+)
+
+func reportP50(b *testing.B, r interface {
+	Percentile(float64) time.Duration
+}, name string) {
+	b.ReportMetric(float64(r.Percentile(0.5))/1e6, name+"-p50-ms")
+}
+
+// BenchmarkFig3XenstoreReconciliation regenerates Figure 3: parallel VM
+// start/stop under the three xenstored engines.
+func BenchmarkFig3XenstoreReconciliation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig3([]int{1, 10, 25})
+		if i == 0 {
+			c := r.Series["C xenstored"].Samples
+			j := r.Series["Jitsu xenstored"].Samples
+			b.ReportMetric(float64(c[len(c)-1])/1e9, "C-at-25-sec")
+			b.ReportMetric(float64(j[len(j)-1])/1e9, "Jitsu-at-25-sec")
+		}
+	}
+}
+
+// BenchmarkFig4DomainBuild regenerates Figure 4: domain build time vs
+// memory across the toolstack optimisation stages.
+func BenchmarkFig4DomainBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4()
+		if i == 0 {
+			b.ReportMetric(float64(r.Series["Xen 4.4.0 (bash hotplug)@16"].Percentile(0.5))/1e6, "vanilla16-ms")
+			b.ReportMetric(float64(r.Series["remove primary console@16"].Percentile(0.5))/1e6, "optimised16-ms")
+			b.ReportMetric(float64(r.Series["switch ARM -> x86@16"].Percentile(0.5))/1e6, "x86-16-ms")
+		}
+	}
+}
+
+// BenchmarkFig8ICMPLatency regenerates Figure 8: datapath RTT per target.
+func BenchmarkFig8ICMPLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8(20)
+		if i == 0 {
+			b.ReportMetric(float64(r.Series["linux@1400"].Percentile(0.5))/1e3, "linux1400-us")
+			b.ReportMetric(float64(r.Series["mirage@1400"].Percentile(0.5))/1e3, "mirage1400-us")
+		}
+	}
+}
+
+// BenchmarkFig9aColdStart regenerates Figure 9a: cold-start response
+// time CDFs with and without Synjitsu.
+func BenchmarkFig9aColdStart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9a(25)
+		if i == 0 {
+			reportP50(b, r.Series["cold start, no synjitsu"], "nosyn")
+			reportP50(b, r.Series["synjitsu + optimised toolstack"], "optimised")
+		}
+	}
+}
+
+// BenchmarkFig9bDockerStart regenerates Figure 9b: Docker container
+// start CDFs per storage backend.
+func BenchmarkFig9bDockerStart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9b(60)
+		if i == 0 {
+			reportP50(b, r.Series["docker, ext4 on tmpfs"], "tmpfs")
+			reportP50(b, r.Series["docker, ext4 on SD card"], "sdcard")
+		}
+	}
+}
+
+// BenchmarkTable1Power regenerates Table 1 from the board power models.
+func BenchmarkTable1Power(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1()
+		if len(r.Output) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2CVE regenerates Table 2 via the CVE classifier.
+func BenchmarkTable2CVE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table2()
+		if len(r.Output) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkThroughput regenerates the §4 throughput checks.
+func BenchmarkThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Throughput()
+		if len(r.Output) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkHeadlineLatency regenerates the §3/§6 headline numbers.
+func BenchmarkHeadlineLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Headline(4)
+		if i == 0 {
+			reportP50(b, r.Series["ARM cold start"], "arm-cold")
+			reportP50(b, r.Series["ARM warm request"], "arm-warm")
+			reportP50(b, r.Series["x86 cold start"], "x86-cold")
+		}
+	}
+}
+
+// ---- ablation benches (DESIGN.md §5) ----
+
+func BenchmarkAblationMergeStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationMergeStrategies(15)
+	}
+}
+
+func BenchmarkAblationPrecreatedDomains(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationPrecreatedDomains()
+	}
+}
+
+func BenchmarkAblationSynjitsu(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationSynjitsuMatrix(5)
+	}
+}
+
+func BenchmarkAblationParallelAttach(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationParallelAttach()
+	}
+}
+
+func BenchmarkAblationHotplug(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationHotplug()
+	}
+}
+
+func BenchmarkAblationDelayedDNS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationDelayedDNS(5)
+	}
+}

@@ -1,0 +1,68 @@
+// Command jitsu-bench regenerates the paper's evaluation: every table
+// and figure (and the ablations), printed as text tables and CDFs.
+//
+// Usage:
+//
+//	jitsu-bench [-run all|fig3|fig4|fig8|fig9a|fig9b|table1|table2|throughput|headline|ablations] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jitsu/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to regenerate")
+	quick := flag.Bool("quick", false, "reduced trial counts")
+	flag.Parse()
+
+	trials := 120
+	fig3N := []int{1, 25, 50, 100, 150, 200}
+	if *quick {
+		trials = 30
+		fig3N = []int{1, 10, 25, 50}
+	}
+
+	var results []*experiments.Result
+	switch *run {
+	case "all":
+		results = experiments.All(*quick)
+	case "fig3":
+		results = append(results, experiments.Fig3(fig3N))
+	case "fig4":
+		results = append(results, experiments.Fig4())
+	case "fig8":
+		results = append(results, experiments.Fig8(trials/2))
+	case "fig9a":
+		results = append(results, experiments.Fig9a(trials))
+	case "fig9b":
+		results = append(results, experiments.Fig9b(trials))
+	case "table1":
+		results = append(results, experiments.Table1())
+	case "table2":
+		results = append(results, experiments.Table2())
+	case "throughput":
+		results = append(results, experiments.Throughput())
+	case "headline":
+		results = append(results, experiments.Headline(trials/4))
+	case "ablations":
+		results = append(results,
+			experiments.AblationMergeStrategies(30),
+			experiments.AblationPrecreatedDomains(),
+			experiments.AblationSynjitsuMatrix(trials/6),
+			experiments.AblationParallelAttach(),
+			experiments.AblationHotplug(),
+			experiments.AblationDelayedDNS(trials/6),
+		)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		os.Exit(2)
+	}
+
+	for _, r := range results {
+		fmt.Println(r.String())
+	}
+}

@@ -1,0 +1,106 @@
+// Command jitsud runs one simulated Jitsu board end-to-end: it registers
+// a set of per-person web services, replays a client request trace
+// against them, and prints the per-request latency timeline plus a
+// resource summary — a day in the life of the embedded cloud from
+// §3.3.2.
+//
+// Usage:
+//
+//	jitsud [-services 4] [-requests 24] [-idle 30s] [-no-synjitsu] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"jitsu/internal/core"
+	"jitsu/internal/metrics"
+	"jitsu/internal/netstack"
+	"jitsu/internal/sim"
+	"jitsu/internal/unikernel"
+)
+
+func main() {
+	services := flag.Int("services", 4, "number of registered services")
+	requests := flag.Int("requests", 24, "requests in the trace")
+	idle := flag.Duration("idle", 30*time.Second, "service idle timeout (0 = never stop)")
+	noSyn := flag.Bool("no-synjitsu", false, "disable the connection proxy")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Synjitsu = !*noSyn
+	b := core.NewBoard(cfg)
+
+	names := []string{"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"}
+	if *services > len(names) {
+		*services = len(names)
+	}
+	for i := 0; i < *services; i++ {
+		n := names[i]
+		b.Jitsu.Register(core.ServiceConfig{
+			Name:        n + "." + cfg.Zone,
+			IP:          netstack.IPv4(10, 0, 0, byte(20+i)),
+			Port:        80,
+			IdleTimeout: *idle,
+			Image:       unikernel.UnikernelImage(n, unikernel.NewStaticSiteApp(n)),
+		})
+	}
+	client := b.AddClient("laptop", netstack.IPv4(10, 0, 0, 9))
+
+	fmt.Printf("jitsud: %s, synjitsu=%v, %d services, idle timeout %v\n\n",
+		b.Hyp, cfg.Synjitsu, *services, *idle)
+	fmt.Printf("%-12s %-22s %-8s %-12s %s\n", "time", "request", "status", "latency", "note")
+
+	lat := &metrics.Series{Name: "request latency"}
+	cold, warm := 0, 0
+	var issue func(i int)
+	issue = func(i int) {
+		if i >= *requests {
+			return
+		}
+		name := names[i%*services] + "." + cfg.Zone
+		svc, _ := b.Jitsu.Service(name)
+		wasStopped := svc.State == core.StateStopped
+		b.FetchViaDNS(client, name, "/", 30*time.Second,
+			func(resp *netstack.HTTPResponse, d sim.Duration, err error) {
+				note := "warm"
+				if wasStopped {
+					note = "COLD START"
+					cold++
+				} else {
+					warm++
+				}
+				status := "ERR"
+				if err == nil {
+					status = fmt.Sprint(resp.Status)
+					lat.Add(d)
+				}
+				fmt.Printf("%-12v %-22s %-8s %-12v %s\n", b.Eng.Now().Round(time.Millisecond), name, status, d.Round(100*time.Microsecond), note)
+				// Think time between requests: sometimes short (stays
+				// warm), sometimes beyond the idle timeout.
+				gap := 2 * time.Second
+				if i%4 == 3 && *idle > 0 {
+					gap = *idle + 5*time.Second
+				}
+				b.Eng.After(gap, func() { issue(i + 1) })
+			})
+	}
+	issue(0)
+	b.Eng.Run()
+
+	fmt.Printf("\n%s\n", lat.Summary())
+	fmt.Printf("cold starts: %d, warm hits: %d\n", cold, warm)
+	fmt.Printf("domains now: %d (incl. dom0), free memory: %d MiB\n", b.Hyp.Domains(), b.Hyp.FreeMemMiB())
+	if b.Syn != nil {
+		fmt.Printf("synjitsu: %d connections proxied, %d handed off, %d SYN-triggered launches\n",
+			b.Syn.Proxied, b.Syn.HandedOff, b.Syn.SYNTriggeredLaunches)
+	}
+	reaps := uint64(0)
+	for _, svc := range b.Jitsu.Services() {
+		reaps += svc.Reaps
+	}
+	fmt.Printf("idle reaps: %d — VMs run only while traffic needs them\n", reaps)
+}

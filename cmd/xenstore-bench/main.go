@@ -1,0 +1,31 @@
+// Command xenstore-bench is a standalone driver for Figure 3: parallel
+// VM start/stop sequences against the three xenstored transaction
+// engines.
+//
+// Usage:
+//
+//	xenstore-bench [-max 200] [-points 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"jitsu/internal/experiments"
+)
+
+func main() {
+	max := flag.Int("max", 100, "largest parallel sequence count")
+	points := flag.Int("points", 5, "number of x-axis points")
+	flag.Parse()
+
+	var ns []int
+	for i := 1; i <= *points; i++ {
+		n := *max * i / *points
+		if n < 1 {
+			n = 1
+		}
+		ns = append(ns, n)
+	}
+	fmt.Println(experiments.Fig3(ns).String())
+}

@@ -1,0 +1,10 @@
+// Package jitsu is a from-scratch Go reproduction of "Jitsu:
+// Just-In-Time Summoning of Unikernels" (Madhavapeddy et al., NSDI
+// 2015): a Xen toolstack that launches unikernels in response to DNS
+// traffic, masking boot latency with the Synjitsu connection proxy.
+//
+// The implementation lives under internal/ (one package per subsystem —
+// see DESIGN.md for the inventory); runnable entry points are in cmd/
+// and examples/; bench_test.go regenerates every table and figure of
+// the paper's evaluation.
+package jitsu

@@ -1,0 +1,187 @@
+// IoT-firewall is the §5 use case: "where legacy software that may be
+// difficult to upgrade (e.g., embedded device firmware) must be run,
+// Jitsu can be used to provide a very narrow, application specific
+// firewall that can filter and groom incoming traffic from the public
+// Internet limiting the exposure of the legacy software."
+//
+// A legacy Linux VM runs an unpatched HTTP service that is reachable
+// ONLY over a shared-memory conduit — it has no vif at all. A
+// memory-safe unikernel fronts it on the network, parses every request
+// with the type-safe stack, drops anything suspicious, and forwards the
+// clean remainder over the conduit.
+//
+//	go run ./examples/iot-firewall
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"jitsu/internal/conduit"
+	"jitsu/internal/core"
+	"jitsu/internal/netstack"
+	"jitsu/internal/sim"
+	"jitsu/internal/unikernel"
+	"jitsu/internal/xenstore"
+)
+
+// legacyApp is the unpatchable firmware: it answers any request it is
+// given, including the ones that would exploit it. It listens on a
+// conduit, not the network.
+type legacyApp struct {
+	registry *conduit.Registry
+	Exploits int
+}
+
+func (a *legacyApp) Start(g *unikernel.Guest, ready func()) error {
+	_, err := a.registry.Register(xenstore.DomID(g.Domain.ID), "legacy_http",
+		func(ep *conduit.Endpoint) {
+			var buf []byte
+			ep.OnData(func(b []byte) {
+				buf = append(buf, b...)
+				line, rest, found := strings.Cut(string(buf), "\n")
+				if !found {
+					return
+				}
+				buf = []byte(rest)
+				// The "vulnerability": a path containing ../ makes the
+				// firmware cough up its config, credentials and all.
+				if strings.Contains(line, "../") {
+					a.Exploits++
+					ep.Write([]byte("200 admin:hunter2 wifi-psk:correcthorse\n"))
+					return
+				}
+				ep.Write([]byte("200 sensor-reading temperature=21.5C\n"))
+			})
+		})
+	if err != nil {
+		return err
+	}
+	ready()
+	return nil
+}
+
+// firewallApp is the narrow, memory-safe front end. It terminates TCP
+// on the wire, applies its allow-list, and relays approved requests
+// over the conduit.
+type firewallApp struct {
+	registry *conduit.Registry
+	Allowed  int
+	Blocked  int
+}
+
+func (a *firewallApp) Start(g *unikernel.Guest, ready func()) error {
+	dom := xenstore.DomID(g.Domain.ID)
+	_, err := g.Stack.ListenTCP(80, func(c *netstack.TCPConn) {
+		var buf []byte
+		c.OnData(func(b []byte) {
+			buf = append(buf, b...)
+			req, _, found := strings.Cut(string(buf), "\n")
+			if !found {
+				return
+			}
+			if !allowed(req) {
+				a.Blocked++
+				c.Send([]byte("403 request groomed and dropped by unikernel firewall\n"))
+				c.Close()
+				return
+			}
+			a.Allowed++
+			ep, err := a.registry.Connect(dom, "legacy_http")
+			if err != nil {
+				c.Send([]byte("502 legacy service unavailable\n"))
+				c.Close()
+				return
+			}
+			ep.OnData(func(resp []byte) {
+				c.Send(resp)
+				c.Close()
+				ep.Close()
+			})
+			ep.Write([]byte(req + "\n"))
+		})
+	})
+	if err != nil {
+		return err
+	}
+	ready()
+	return nil
+}
+
+// allowed is the whole firewall policy: short GETs of plain sensor
+// paths. Everything else — traversal, overlong requests, odd verbs —
+// never reaches the legacy code.
+func allowed(req string) bool {
+	if len(req) > 64 || !strings.HasPrefix(req, "GET /sensor") {
+		return false
+	}
+	return !strings.Contains(req, "..")
+}
+
+func main() {
+	board := core.NewBoard(core.DefaultConfig())
+
+	legacy := &legacyApp{registry: board.Registry}
+	fw := &firewallApp{registry: board.Registry}
+
+	// The legacy VM: a full Linux guest, no network address that
+	// matters — its only door is the conduit.
+	board.Launcher.Launch(unikernel.LinuxImage("legacy-firmware", legacy),
+		netstack.IPv4(10, 0, 2, 99), func(g *unikernel.Guest, err error) {
+			if err != nil {
+				panic(err)
+			}
+			g.NIC.Down = true // belt and braces: unplug its vif entirely
+		})
+	// The firewall unikernel owns the public address.
+	fwIP := netstack.IPv4(10, 0, 0, 80)
+	board.Launcher.Launch(unikernel.UnikernelImage("fw", fw), fwIP,
+		func(g *unikernel.Guest, err error) {
+			if err != nil {
+				panic(err)
+			}
+		})
+	board.Eng.Run()
+	fmt.Printf("legacy firmware up (conduit-only), firewall unikernel on 10.0.0.80\n\n")
+
+	attacker := board.AddClient("internet", netstack.IPv4(10, 0, 0, 66))
+	requests := []string{
+		"GET /sensor/temperature",
+		"GET /sensor/../../etc/config",     // the exploit
+		"GET /" + strings.Repeat("A", 100), // overflow bait
+		"GET /sensor/humidity",
+		"POST /firmware/flash",
+	}
+	for i, req := range requests {
+		req := req
+		board.Eng.After(sim.Duration(i+1)*time.Second, func() {
+			attacker.DialTCP(fwIP, 80, func(c *netstack.TCPConn, err error) {
+				if err != nil {
+					fmt.Printf("  %-34q dial error: %v\n", short(req), err)
+					return
+				}
+				c.OnData(func(b []byte) {
+					fmt.Printf("  %-34q -> %s", short(req), b)
+					c.Close()
+				})
+				c.Send([]byte(req + "\n"))
+			})
+		})
+	}
+	board.Eng.Run()
+
+	fmt.Printf("\nfirewall: %d allowed, %d blocked\n", fw.Allowed, fw.Blocked)
+	fmt.Printf("legacy firmware exploited %d times (without the firewall: %d of %d requests were hostile)\n",
+		legacy.Exploits, len(requests)-2, len(requests))
+	if legacy.Exploits == 0 {
+		fmt.Println("the traversal attack never reached the legacy parser — it was parsed and dropped in type-safe code")
+	}
+}
+
+func short(s string) string {
+	if len(s) > 32 {
+		return s[:29] + "..."
+	}
+	return s
+}

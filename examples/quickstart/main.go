@@ -1,0 +1,65 @@
+// Quickstart: boot a Jitsu board, register one service, and watch the
+// just-in-time summoning happen — a cold start masked by Synjitsu,
+// then a warm request.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"jitsu/internal/core"
+	"jitsu/internal/netstack"
+	"jitsu/internal/sim"
+	"jitsu/internal/unikernel"
+)
+
+func main() {
+	// A Cubieboard2 running the optimised toolstack with Synjitsu.
+	board := core.NewBoard(core.DefaultConfig())
+
+	// Map alice.family.name to a 16MiB static-site unikernel. Nothing
+	// boots yet — that is the whole point.
+	board.Jitsu.Register(core.ServiceConfig{
+		Name:  "alice.family.name",
+		IP:    netstack.IPv4(10, 0, 0, 20),
+		Port:  80,
+		Image: unikernel.UnikernelImage("alice", unikernel.NewStaticSiteApp("alice")),
+	})
+	fmt.Printf("registered alice.family.name -> 10.0.0.20 (no VM running; %d MiB free)\n\n",
+		board.Hyp.FreeMemMiB())
+
+	// An external client resolves the name and fetches the page. The
+	// DNS query triggers the unikernel launch; Synjitsu answers the TCP
+	// handshake while it boots and hands the connection over.
+	client := board.AddClient("laptop", netstack.IPv4(10, 0, 0, 9))
+	fetch := func(label string) {
+		board.FetchViaDNS(client, "alice.family.name", "/", 10*time.Second,
+			func(resp *netstack.HTTPResponse, elapsed sim.Duration, err error) {
+				if err != nil {
+					fmt.Printf("%-12s error: %v\n", label, err)
+					return
+				}
+				fmt.Printf("%-12s %d %-50q in %v\n", label, resp.Status,
+					trim(string(resp.Body)), elapsed.Round(100*time.Microsecond))
+			})
+		board.Eng.Run()
+	}
+
+	fetch("cold start") // ≈300ms: launch + boot + handoff, no SYN retransmit
+	fetch("warm")       // ≈2ms: the unikernel is live
+
+	svc, _ := board.Jitsu.Service("alice.family.name")
+	fmt.Printf("\nservice state: %v, launches: %d, synjitsu handoffs: %d\n",
+		svc.State, svc.Launches, svc.Handoffs)
+	fmt.Printf("domains: %d (dom0 + alice), free memory now: %d MiB\n",
+		board.Hyp.Domains(), board.Hyp.FreeMemMiB())
+}
+
+func trim(s string) string {
+	if len(s) > 48 {
+		return s[:45] + "..."
+	}
+	return s
+}

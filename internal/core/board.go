@@ -1,0 +1,160 @@
+// Package core is the paper's contribution: the Jitsu directory service
+// (§3.3) that launches unikernels just-in-time in response to DNS
+// requests, and the Synjitsu proxy (§3.3.1) that masks boot latency by
+// completing TCP handshakes on behalf of still-booting unikernels and
+// handing the connection state over through XenStore.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"jitsu/internal/conduit"
+	"jitsu/internal/dns"
+	"jitsu/internal/netsim"
+	"jitsu/internal/netstack"
+	"jitsu/internal/sim"
+	"jitsu/internal/unikernel"
+	"jitsu/internal/xen"
+	"jitsu/internal/xenstore"
+)
+
+// BoardConfig assembles one embedded Jitsu host (a Cubieboard in the
+// paper's evaluation) plus its edge network.
+type BoardConfig struct {
+	Seed       int64
+	Platform   *xen.Platform
+	Reconciler xenstore.Reconciler
+	Toolstack  xen.ToolstackOpts
+	// TotalMemMiB is guest-available RAM (Cubieboard2: 1GB minus dom0).
+	TotalMemMiB int
+	// Zone is the DNS apex this board is authoritative for.
+	Zone string
+	// Synjitsu enables the connection proxy.
+	Synjitsu bool
+	// DelayDNSUntilReady is the §3.3.1 alternative the paper rejects:
+	// hold the DNS answer until the unikernel network is live.
+	DelayDNSUntilReady bool
+	// External link characteristics (client <-> board).
+	ExtLatency    sim.Duration
+	ExtBitsPerSec float64
+}
+
+// DefaultConfig is a Cubieboard2 running the fully optimised stack with
+// Synjitsu on — the headline configuration.
+func DefaultConfig() BoardConfig {
+	return BoardConfig{
+		Seed:          1,
+		Platform:      xen.CubieboardARM(),
+		Reconciler:    xenstore.JitsuReconciler{},
+		Toolstack:     xen.OptimisedOpts(),
+		TotalMemMiB:   768,
+		Zone:          "family.name",
+		Synjitsu:      true,
+		ExtLatency:    150 * time.Microsecond,
+		ExtBitsPerSec: 100e6, // Cubieboard2: 100Mb Ethernet
+	}
+}
+
+// Board is a fully wired Jitsu host: hypervisor, store, toolstack,
+// bridge, launcher, directory service, and (optionally) Synjitsu.
+type Board struct {
+	Cfg      BoardConfig
+	Eng      *sim.Engine
+	Store    *xenstore.Store
+	Hyp      *xen.Hypervisor
+	TS       *xen.Toolstack
+	Bridge   *netsim.Bridge
+	Launcher *unikernel.Launcher
+	Registry *conduit.Registry
+	// NS is the directory service's network endpoint (dom0-resident).
+	NS  *netstack.Host
+	DNS *dns.Server
+	// Jitsu is the directory service.
+	Jitsu *Jitsu
+	// Syn is the proxy; nil when disabled.
+	Syn *Synjitsu
+
+	nextClient int
+}
+
+// Well-known board addresses.
+var (
+	// NSAddr is the directory service (ns.<zone>).
+	NSAddr = netstack.IPv4(10, 0, 0, 1)
+	// SynAddr is the Synjitsu proxy's own address.
+	SynAddr = netstack.IPv4(10, 0, 0, 2)
+)
+
+// NewBoard builds and wires a board on its own simulation engine.
+func NewBoard(cfg BoardConfig) *Board {
+	return NewBoardOnEngine(sim.New(cfg.Seed), cfg)
+}
+
+// NewBoardOnEngine builds a board on a shared engine, so several boards
+// (a Fleet) advance through one coherent virtual time.
+func NewBoardOnEngine(eng *sim.Engine, cfg BoardConfig) *Board {
+	store := xenstore.NewStore(cfg.Reconciler)
+	hyp := xen.NewHypervisor(eng, store, cfg.Platform, cfg.TotalMemMiB)
+	ts := xen.NewToolstack(hyp, cfg.Toolstack)
+	bridge := netsim.NewBridge(eng, "xenbr0", 10*time.Microsecond)
+	b := &Board{
+		Cfg: cfg, Eng: eng, Store: store, Hyp: hyp, TS: ts,
+		Bridge:   bridge,
+		Launcher: unikernel.NewLauncher(ts, bridge),
+		Registry: conduit.NewRegistry(hyp),
+	}
+
+	// The directory service runs in dom0 (in the paper it is itself a
+	// unikernel launched at boot; the distinction does not affect any
+	// measured quantity, and dom0 keeps the wiring readable).
+	nsNIC := netsim.NewNIC(eng, "jitsu-ns", netsim.MACFor(0xFF0001))
+	bridge.ConnectNIC(nsNIC, 20*time.Microsecond, 0)
+	b.NS = netstack.NewHost(eng, "jitsu-ns", nsNIC, NSAddr, netstack.Dom0Profile())
+
+	zone := dns.NewZone(cfg.Zone)
+	zone.Add(dns.RR{Name: "ns." + cfg.Zone, Type: dns.TypeA, TTL: 300, A: NSAddr})
+	srv, err := dns.Serve(b.NS, zone)
+	if err != nil {
+		panic(fmt.Sprintf("core: dns serve: %v", err))
+	}
+	b.DNS = srv
+
+	if cfg.Synjitsu {
+		b.Syn = newSynjitsu(b, SynAddr)
+	}
+	b.Jitsu = newJitsu(b, zone)
+	return b
+}
+
+// AddClient attaches an external client host to the board's network.
+func (b *Board) AddClient(name string, ip netstack.IP) *netstack.Host {
+	b.nextClient++
+	nic := netsim.NewNIC(b.Eng, name, netsim.MACFor(0x9000+b.nextClient))
+	b.Bridge.ConnectNIC(nic, b.Cfg.ExtLatency, b.Cfg.ExtBitsPerSec)
+	return netstack.NewHost(b.Eng, name, nic, ip, netstack.LinuxNativeProfile())
+}
+
+// FetchViaDNS performs the full Figure 9a client transaction: resolve
+// name at the board's nameserver, then GET path from the answered
+// address. done receives the total elapsed time from query to complete
+// HTTP response.
+func (b *Board) FetchViaDNS(client *netstack.Host, name, path string, timeout sim.Duration, done func(*netstack.HTTPResponse, sim.Duration, error)) {
+	start := b.Eng.Now()
+	resolver := &dns.Client{Host: client}
+	resolver.Query(NSAddr, name, dns.TypeA, timeout, func(m *dns.Message, _ sim.Duration, err error) {
+		if err != nil {
+			done(nil, b.Eng.Now()-start, err)
+			return
+		}
+		if m.RCode != dns.RCodeNoError || len(m.Answers) == 0 {
+			done(nil, b.Eng.Now()-start, fmt.Errorf("core: dns %v", m.RCode))
+			return
+		}
+		ip := m.Answers[0].A
+		remaining := timeout - (b.Eng.Now() - start)
+		client.HTTPGet(ip, 80, path, remaining, func(resp *netstack.HTTPResponse, _ sim.Duration, err error) {
+			done(resp, b.Eng.Now()-start, err)
+		})
+	})
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"jitsu/internal/dns"
+	"jitsu/internal/netstack"
+	"jitsu/internal/sim"
+)
+
+// Fleet implements §3.3.2's failover model: "Conventional failover
+// models are supported — multiple ARM boards could be registered in the
+// DNS and return SERVFAIL responses if they do not have resources to
+// serve the traffic."
+//
+// Each board is an independent Jitsu host with its own simulation-level
+// resources, all sharing one virtual-time engine (they sit on the same
+// edge network). A resolving client walks the NS set: a board that
+// cannot fit the service answers SERVFAIL and the client moves on.
+type Fleet struct {
+	Boards []*Board
+}
+
+// ErrAllServFail is returned when every board in the fleet refused.
+var ErrAllServFail = errors.New("core: all boards returned SERVFAIL")
+
+// NewFleet builds n boards that share one simulation engine (one
+// coherent virtual time). Each board keeps its own bridge — they are
+// separate hosts on the edge — and clients attach to every board's
+// network through per-board attachments.
+func NewFleet(n int, cfg BoardConfig) *Fleet {
+	f := &Fleet{}
+	eng := simNew(cfg.Seed)
+	for i := 0; i < n; i++ {
+		f.Boards = append(f.Boards, NewBoardOnEngine(eng, cfg))
+	}
+	return f
+}
+
+// RegisterEverywhere registers the same service on every board (each
+// board can summon its own replica).
+func (f *Fleet) RegisterEverywhere(sc ServiceConfig) []*Service {
+	var out []*Service
+	for _, b := range f.Boards {
+		out = append(out, b.Jitsu.Register(sc))
+	}
+	return out
+}
+
+// FleetClient is a resolver that walks the fleet's nameservers on
+// SERVFAIL, the conventional failover the paper describes.
+type FleetClient struct {
+	fleet *Fleet
+	// hosts[i] is this client's attachment on board i's network.
+	hosts []*netstack.Host
+	// ServFails counts boards that refused during lookups.
+	ServFails uint64
+}
+
+// NewClient attaches a client to every board's network.
+func (f *Fleet) NewClient(name string, ip netstack.IP) *FleetClient {
+	fc := &FleetClient{fleet: f}
+	for i, b := range f.Boards {
+		fc.hosts = append(fc.hosts, b.AddClient(fmt.Sprintf("%s-b%d", name, i), ip))
+	}
+	return fc
+}
+
+// Host returns the client's attachment on board i (for direct traffic
+// after resolution).
+func (fc *FleetClient) Host(i int) *netstack.Host { return fc.hosts[i] }
+
+// Fetch resolves name with failover and fetches path from whichever
+// board accepted. done reports the serving board index.
+func (fc *FleetClient) Fetch(name, path string, timeout sim.Duration, done func(board int, resp *netstack.HTTPResponse, elapsed sim.Duration, err error)) {
+	if len(fc.fleet.Boards) == 0 {
+		done(-1, nil, 0, ErrAllServFail)
+		return
+	}
+	eng := fc.fleet.Boards[0].Eng
+	start := eng.Now()
+	var try func(i int)
+	try = func(i int) {
+		if i >= len(fc.fleet.Boards) {
+			done(-1, nil, eng.Now()-start, ErrAllServFail)
+			return
+		}
+		board := fc.fleet.Boards[i]
+		client := fc.hosts[i]
+		resolver := &dns.Client{Host: client}
+		resolver.Query(NSAddr, name, dns.TypeA, timeout, func(m *dns.Message, _ sim.Duration, err error) {
+			if err != nil {
+				done(i, nil, eng.Now()-start, err)
+				return
+			}
+			if m.RCode == dns.RCodeServFail {
+				// "to indicate the client should go elsewhere"
+				fc.ServFails++
+				try(i + 1)
+				return
+			}
+			if m.RCode != dns.RCodeNoError || len(m.Answers) == 0 {
+				done(i, nil, eng.Now()-start, fmt.Errorf("core: dns %v", m.RCode))
+				return
+			}
+			_ = board
+			client.HTTPGet(m.Answers[0].A, 80, path, timeout, func(resp *netstack.HTTPResponse, _ sim.Duration, err error) {
+				done(i, resp, eng.Now()-start, err)
+			})
+		})
+	}
+	try(0)
+}
+
+// Eng returns the fleet's shared engine.
+func (f *Fleet) Eng() *sim.Engine { return f.Boards[0].Eng }
+
+// RunAll drains the shared engine.
+func (f *Fleet) RunAll() { f.Eng().Run() }
+
+// simNew indirection keeps the sim import local to construction.
+func simNew(seed int64) *sim.Engine { return sim.New(seed) }

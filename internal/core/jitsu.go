@@ -1,0 +1,357 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"jitsu/internal/conduit"
+	"jitsu/internal/dns"
+	"jitsu/internal/netstack"
+	"jitsu/internal/sim"
+	"jitsu/internal/unikernel"
+	"jitsu/internal/xenstore"
+)
+
+// ErrNoSuchService is returned for lookups of unregistered names.
+var ErrNoSuchService = errors.New("core: no such service")
+
+// ServiceState tracks a service's lifecycle.
+type ServiceState int
+
+// Service states.
+const (
+	// StateStopped: no VM; traffic triggers a launch.
+	StateStopped ServiceState = iota
+	// StateLaunching: domain building / guest booting.
+	StateLaunching
+	// StateReady: unikernel serving.
+	StateReady
+)
+
+func (s ServiceState) String() string {
+	switch s {
+	case StateStopped:
+		return "stopped"
+	case StateLaunching:
+		return "launching"
+	default:
+		return "ready"
+	}
+}
+
+// ServiceConfig maps a DNS name to a unikernel, IP, protocol and port —
+// §3.3.2: "the Jitsu services are statically configured ... to map
+// their unikernel with an IP address, protocol and port."
+type ServiceConfig struct {
+	Name  string // FQDN, e.g. alice.family.name
+	IP    netstack.IP
+	Port  uint16
+	Image unikernel.Image
+	// TTL for the DNS answer.
+	TTL uint32
+	// IdleTimeout stops the VM after this much inactivity; 0 = never.
+	IdleTimeout sim.Duration
+}
+
+// Service is a registered service and its live state.
+type Service struct {
+	Cfg   ServiceConfig
+	State ServiceState
+	Guest *unikernel.Guest
+
+	lastActivity sim.Duration
+	launchStart  sim.Duration
+	waiters      []func(ok bool) // delayed-DNS responders (ablation)
+
+	// Counters for the evaluation.
+	Launches   uint64
+	ColdStarts uint64 // requests that triggered a launch
+	Handoffs   uint64 // connections handed over from Synjitsu
+	ServFails  uint64
+	Reaps      uint64
+}
+
+// Jitsu is the directory service: "the Xen equivalent of the venerable
+// inetd service on Unix, but instead of starting a process in response
+// to incoming traffic, it starts a unikernel".
+type Jitsu struct {
+	board    *Board
+	zone     *dns.Zone
+	services map[string]*Service
+	byIP     map[netstack.IP]*Service
+}
+
+func newJitsu(b *Board, zone *dns.Zone) *Jitsu {
+	j := &Jitsu{board: b, zone: zone,
+		services: make(map[string]*Service),
+		byIP:     make(map[netstack.IP]*Service)}
+	if b.Cfg.DelayDNSUntilReady {
+		b.DNS.InterceptAsync = j.interceptAsync
+	} else {
+		b.DNS.Intercept = j.intercept
+	}
+	j.registerConduitEndpoint()
+	return j
+}
+
+// Register adds a service to the directory. The VM is not started —
+// that is the whole point.
+func (j *Jitsu) Register(cfg ServiceConfig) *Service {
+	name := dns.CanonicalName(cfg.Name)
+	cfg.Name = name
+	if cfg.TTL == 0 {
+		cfg.TTL = 10
+	}
+	svc := &Service{Cfg: cfg, State: StateStopped}
+	j.services[name] = svc
+	j.byIP[cfg.IP] = svc
+	j.claimIdleIP(svc)
+	return svc
+}
+
+// Service looks a service up by name.
+func (j *Jitsu) Service(name string) (*Service, error) {
+	svc, ok := j.services[dns.CanonicalName(name)]
+	if !ok {
+		return nil, ErrNoSuchService
+	}
+	return svc, nil
+}
+
+// Services returns all registered services (stable order not needed by
+// callers; they index by name).
+func (j *Jitsu) Services() map[string]*Service { return j.services }
+
+// claimIdleIP puts a stopped service's address under proxy control:
+// Synjitsu aliases it (full handshake), or — without Synjitsu — the
+// directory host answers only ARP so SYNs transmit and die, the
+// baseline behaviour of Figure 9a.
+func (j *Jitsu) claimIdleIP(svc *Service) {
+	if j.board.Syn != nil {
+		j.board.Syn.claim(svc)
+	} else {
+		j.board.NS.ProxyARPFor(svc.Cfg.IP)
+		j.board.NS.AnnounceIP(svc.Cfg.IP)
+	}
+}
+
+// releaseIdleIP undoes claimIdleIP when the real unikernel takes over.
+func (j *Jitsu) releaseIdleIP(svc *Service) {
+	if j.board.Syn != nil {
+		j.board.Syn.release(svc)
+	} else {
+		j.board.NS.RemoveProxyARP(svc.Cfg.IP)
+	}
+}
+
+// touch records service activity for the idle reaper.
+func (j *Jitsu) touch(svc *Service) {
+	svc.lastActivity = j.board.Eng.Now()
+}
+
+// intercept is the synchronous DNS hook: answer immediately, launching
+// as a side effect — "returning a DNS response as soon as the VM
+// resource allocation is complete".
+func (j *Jitsu) intercept(q dns.Question, resp *dns.Message) bool {
+	if q.Type != dns.TypeA && q.Type != dns.TypeANY {
+		return false
+	}
+	svc, ok := j.services[dns.CanonicalName(q.Name)]
+	if !ok {
+		return false
+	}
+	j.touch(svc)
+	if svc.State == StateStopped {
+		if j.board.Hyp.FreeMemMiB() < svc.Cfg.Image.MemMiB {
+			// "resource exhaustion can thus be returned in the DNS
+			// response as a SERVFAIL to indicate the client should go
+			// elsewhere".
+			svc.ServFails++
+			resp.RCode = dns.RCodeServFail
+			return true
+		}
+		svc.ColdStarts++
+		j.ensureRunning(svc, nil)
+	}
+	resp.Answers = append(resp.Answers, dns.RR{
+		Name: svc.Cfg.Name, Type: dns.TypeA, Class: dns.ClassIN,
+		TTL: svc.Cfg.TTL, A: svc.Cfg.IP,
+	})
+	return true
+}
+
+// interceptAsync is the rejected alternative (ablation): the DNS answer
+// is held until the unikernel is ready, removing the SYN race at the
+// cost of a much slower resolution.
+func (j *Jitsu) interceptAsync(query *dns.Message, respond func(*dns.Message)) bool {
+	if len(query.Questions) != 1 {
+		return false
+	}
+	q := query.Questions[0]
+	svc, ok := j.services[dns.CanonicalName(q.Name)]
+	if !ok || (q.Type != dns.TypeA && q.Type != dns.TypeANY) {
+		return false
+	}
+	j.touch(svc)
+	answer := func(ok bool) {
+		resp := &dns.Message{ID: query.ID, Response: true, Authoritative: true,
+			Questions: query.Questions}
+		if !ok {
+			resp.RCode = dns.RCodeServFail
+		} else {
+			resp.Answers = append(resp.Answers, dns.RR{
+				Name: svc.Cfg.Name, Type: dns.TypeA, Class: dns.ClassIN,
+				TTL: svc.Cfg.TTL, A: svc.Cfg.IP,
+			})
+		}
+		respond(resp)
+	}
+	if svc.State == StateReady {
+		answer(true)
+		return true
+	}
+	if svc.State == StateStopped {
+		if j.board.Hyp.FreeMemMiB() < svc.Cfg.Image.MemMiB {
+			svc.ServFails++
+			answer(false)
+			return true
+		}
+		svc.ColdStarts++
+		j.ensureRunning(svc, nil)
+	}
+	svc.waiters = append(svc.waiters, answer)
+	return true
+}
+
+// ensureRunning launches the service's unikernel if needed. onReady (may
+// be nil) fires once the unikernel serves.
+func (j *Jitsu) ensureRunning(svc *Service, onReady func(error)) {
+	switch svc.State {
+	case StateReady:
+		if onReady != nil {
+			onReady(nil)
+		}
+		return
+	case StateLaunching:
+		if onReady != nil {
+			prev := svc.waiters
+			svc.waiters = append(prev, func(ok bool) {
+				if ok {
+					onReady(nil)
+				} else {
+					onReady(errors.New("core: launch failed"))
+				}
+			})
+		}
+		return
+	}
+	svc.State = StateLaunching
+	svc.Launches++
+	svc.launchStart = j.board.Eng.Now()
+	j.board.Launcher.Launch(svc.Cfg.Image, svc.Cfg.IP, func(g *unikernel.Guest, err error) {
+		if err != nil {
+			svc.State = StateStopped
+			j.flushWaiters(svc, false)
+			if onReady != nil {
+				onReady(err)
+			}
+			return
+		}
+		svc.Guest = g
+		// Two-phase handoff from the proxy happens inside this same
+		// event, before any network event can interleave, so exactly
+		// one of Synjitsu or the unikernel ever answers a given packet.
+		j.releaseIdleIP(svc)
+		svc.State = StateReady
+		j.touch(svc)
+		j.scheduleReap(svc)
+		j.flushWaiters(svc, true)
+		if onReady != nil {
+			onReady(nil)
+		}
+	})
+}
+
+func (j *Jitsu) flushWaiters(svc *Service, ok bool) {
+	ws := svc.waiters
+	svc.waiters = nil
+	for _, w := range ws {
+		w(ok)
+	}
+}
+
+// scheduleReap arms the idle timer: when the service has seen no
+// activity for IdleTimeout, its VM is destroyed and the IP returns to
+// proxy control — "services listening on a network endpoint are always
+// available ... but are otherwise not running to reduce resource
+// utilisation".
+func (j *Jitsu) scheduleReap(svc *Service) {
+	idle := svc.Cfg.IdleTimeout
+	if idle <= 0 {
+		return
+	}
+	eng := j.board.Eng
+	deadline := svc.lastActivity + idle
+	eng.At(deadline, func() {
+		if svc.State != StateReady {
+			return
+		}
+		if eng.Now()-svc.lastActivity < idle {
+			j.scheduleReap(svc) // activity moved the deadline
+			return
+		}
+		svc.Reaps++
+		g := svc.Guest
+		svc.Guest = nil
+		svc.State = StateStopped
+		j.claimIdleIP(svc)
+		j.board.Launcher.Destroy(g, func(error) {})
+	})
+}
+
+// registerConduitEndpoint publishes the well-known jitsud name (§3.3:
+// "the Jitsu resolver is discovered via a well-known jitsud Conduit
+// node"). The protocol is line-based: "resolve <name>\n" →
+// "ok <ip>\n" | "servfail\n" | "nxdomain\n".
+func (j *Jitsu) registerConduitEndpoint() {
+	_, err := j.board.Registry.Register(xenstore.Dom0, "jitsud", func(ep *conduit.Endpoint) {
+		var buf []byte
+		ep.OnData(func(b []byte) {
+			buf = append(buf, b...)
+			for {
+				idx := strings.IndexByte(string(buf), '\n')
+				if idx < 0 {
+					return
+				}
+				line := string(buf[:idx])
+				buf = buf[idx+1:]
+				ep.Write([]byte(j.handleResolve(line)))
+			}
+		})
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: register jitsud: %v", err))
+	}
+}
+
+func (j *Jitsu) handleResolve(line string) string {
+	name, ok := strings.CutPrefix(line, "resolve ")
+	if !ok {
+		return "badrequest\n"
+	}
+	svc, err := j.Service(strings.TrimSpace(name))
+	if err != nil {
+		return "nxdomain\n"
+	}
+	j.touch(svc)
+	if svc.State == StateStopped {
+		if j.board.Hyp.FreeMemMiB() < svc.Cfg.Image.MemMiB {
+			svc.ServFails++
+			return "servfail\n"
+		}
+		svc.ColdStarts++
+		j.ensureRunning(svc, nil)
+	}
+	return fmt.Sprintf("ok %s\n", svc.Cfg.IP)
+}

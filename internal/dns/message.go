@@ -1,0 +1,518 @@
+// Package dns implements the RFC 1035 wire protocol and a small
+// authoritative server, the front door of the Jitsu directory service
+// (§3.3): "a Jitsu VM ... handles name resolution ... through DNS
+// protocol handlers listening on the network bridge."
+//
+// The codec supports name compression on encode and decode, the record
+// types an edge deployment needs (A, NS, CNAME, SOA, PTR, TXT, SRV) and
+// the SERVFAIL signalling Jitsu uses for resource exhaustion.
+package dns
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"jitsu/internal/netstack"
+)
+
+// Wire-format errors.
+var (
+	ErrTruncated   = errors.New("dns: truncated message")
+	ErrBadName     = errors.New("dns: malformed name")
+	ErrBadPointer  = errors.New("dns: bad compression pointer")
+	ErrNameTooLong = errors.New("dns: name exceeds 255 octets")
+)
+
+// Type is a resource record type.
+type Type uint16
+
+// Record types.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeTXT   Type = 16
+	TypeSRV   Type = 33
+	TypeANY   Type = 255
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypePTR:
+		return "PTR"
+	case TypeTXT:
+		return "TXT"
+	case TypeSRV:
+		return "SRV"
+	case TypeANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// ClassIN is the only class we speak.
+const ClassIN uint16 = 1
+
+// RCode is a response code.
+type RCode uint8
+
+// Response codes.
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImpl  RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+func (r RCode) String() string {
+	switch r {
+	case RCodeNoError:
+		return "NOERROR"
+	case RCodeFormErr:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImpl:
+		return "NOTIMPL"
+	case RCodeRefused:
+		return "REFUSED"
+	default:
+		return fmt.Sprintf("RCODE%d", uint8(r))
+	}
+}
+
+// Question is one query.
+type Question struct {
+	Name  string
+	Type  Type
+	Class uint16
+}
+
+// RR is one resource record. Exactly one of the Rdata fields is
+// meaningful, keyed by Type.
+type RR struct {
+	Name  string
+	Type  Type
+	Class uint16
+	TTL   uint32
+
+	A      netstack.IP // TypeA
+	Target string      // NS, CNAME, PTR, SRV target
+	TXT    string      // TypeTXT
+	// SRV fields.
+	Priority, Weight, Port uint16
+	// SOA fields.
+	MName, RName                               string
+	Serial, Refresh, Retry, Expire, MinimumTTL uint32
+}
+
+// Message is a DNS message.
+type Message struct {
+	ID                 uint16
+	Response           bool
+	Opcode             uint8
+	Authoritative      bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// CanonicalName lower-cases and strips the trailing dot.
+func CanonicalName(name string) string {
+	return strings.TrimSuffix(strings.ToLower(name), ".")
+}
+
+// ---- encoding ----
+
+type encoder struct {
+	buf     []byte
+	offsets map[string]int
+}
+
+// Encode renders the message with name compression.
+func (m *Message) Encode() ([]byte, error) {
+	e := &encoder{offsets: make(map[string]int)}
+	var flags uint16
+	if m.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Opcode&0xf) << 11
+	if m.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(m.RCode) & 0xf
+
+	hdr := make([]byte, 12)
+	binary.BigEndian.PutUint16(hdr[0:2], m.ID)
+	binary.BigEndian.PutUint16(hdr[2:4], flags)
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(hdr[6:8], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(hdr[8:10], uint16(len(m.Authority)))
+	binary.BigEndian.PutUint16(hdr[10:12], uint16(len(m.Additional)))
+	e.buf = hdr
+
+	for _, q := range m.Questions {
+		if err := e.writeName(q.Name); err != nil {
+			return nil, err
+		}
+		e.writeU16(uint16(q.Type))
+		e.writeU16(q.Class)
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for i := range sec {
+			if err := e.writeRR(&sec[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+func (e *encoder) writeU16(v uint16) {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *encoder) writeU32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+// writeName emits a possibly-compressed domain name.
+func (e *encoder) writeName(name string) error {
+	name = CanonicalName(name)
+	if len(name) > 253 {
+		return ErrNameTooLong
+	}
+	for name != "" {
+		if off, ok := e.offsets[name]; ok && off < 0x3fff {
+			e.writeU16(0xc000 | uint16(off))
+			return nil
+		}
+		if len(e.buf) < 0x3fff {
+			e.offsets[name] = len(e.buf)
+		}
+		label := name
+		rest := ""
+		if idx := strings.IndexByte(name, '.'); idx >= 0 {
+			label, rest = name[:idx], name[idx+1:]
+		}
+		if label == "" || len(label) > 63 {
+			return ErrBadName
+		}
+		e.buf = append(e.buf, byte(len(label)))
+		e.buf = append(e.buf, label...)
+		name = rest
+	}
+	e.buf = append(e.buf, 0)
+	return nil
+}
+
+func (e *encoder) writeRR(rr *RR) error {
+	if err := e.writeName(rr.Name); err != nil {
+		return err
+	}
+	e.writeU16(uint16(rr.Type))
+	class := rr.Class
+	if class == 0 {
+		class = ClassIN
+	}
+	e.writeU16(class)
+	e.writeU32(rr.TTL)
+	// Reserve rdlength; patch after writing rdata.
+	lenAt := len(e.buf)
+	e.writeU16(0)
+	start := len(e.buf)
+	switch rr.Type {
+	case TypeA:
+		e.buf = append(e.buf, rr.A[:]...)
+	case TypeNS, TypeCNAME, TypePTR:
+		if err := e.writeName(rr.Target); err != nil {
+			return err
+		}
+	case TypeTXT:
+		txt := rr.TXT
+		for len(txt) > 255 {
+			e.buf = append(e.buf, 255)
+			e.buf = append(e.buf, txt[:255]...)
+			txt = txt[255:]
+		}
+		e.buf = append(e.buf, byte(len(txt)))
+		e.buf = append(e.buf, txt...)
+	case TypeSRV:
+		e.writeU16(rr.Priority)
+		e.writeU16(rr.Weight)
+		e.writeU16(rr.Port)
+		if err := e.writeName(rr.Target); err != nil {
+			return err
+		}
+	case TypeSOA:
+		if err := e.writeName(rr.MName); err != nil {
+			return err
+		}
+		if err := e.writeName(rr.RName); err != nil {
+			return err
+		}
+		e.writeU32(rr.Serial)
+		e.writeU32(rr.Refresh)
+		e.writeU32(rr.Retry)
+		e.writeU32(rr.Expire)
+		e.writeU32(rr.MinimumTTL)
+	default:
+		return fmt.Errorf("dns: cannot encode %v", rr.Type)
+	}
+	binary.BigEndian.PutUint16(e.buf[lenAt:lenAt+2], uint16(len(e.buf)-start))
+	return nil
+}
+
+// ---- decoding ----
+
+type decoder struct {
+	data []byte
+	off  int
+}
+
+// Decode parses a wire-format message.
+func Decode(data []byte) (*Message, error) {
+	if len(data) < 12 {
+		return nil, ErrTruncated
+	}
+	d := &decoder{data: data, off: 12}
+	m := &Message{}
+	m.ID = binary.BigEndian.Uint16(data[0:2])
+	flags := binary.BigEndian.Uint16(data[2:4])
+	m.Response = flags&(1<<15) != 0
+	m.Opcode = uint8(flags >> 11 & 0xf)
+	m.Authoritative = flags&(1<<10) != 0
+	m.RecursionDesired = flags&(1<<8) != 0
+	m.RecursionAvailable = flags&(1<<7) != 0
+	m.RCode = RCode(flags & 0xf)
+	qd := int(binary.BigEndian.Uint16(data[4:6]))
+	an := int(binary.BigEndian.Uint16(data[6:8]))
+	ns := int(binary.BigEndian.Uint16(data[8:10]))
+	ar := int(binary.BigEndian.Uint16(data[10:12]))
+
+	for i := 0; i < qd; i++ {
+		name, err := d.readName()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := d.readU16()
+		if err != nil {
+			return nil, err
+		}
+		class, err := d.readU16()
+		if err != nil {
+			return nil, err
+		}
+		m.Questions = append(m.Questions, Question{Name: name, Type: Type(typ), Class: class})
+	}
+	var err error
+	if m.Answers, err = d.readRRs(an); err != nil {
+		return nil, err
+	}
+	if m.Authority, err = d.readRRs(ns); err != nil {
+		return nil, err
+	}
+	if m.Additional, err = d.readRRs(ar); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (d *decoder) readU16() (uint16, error) {
+	if d.off+2 > len(d.data) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint16(d.data[d.off : d.off+2])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) readU32() (uint32, error) {
+	if d.off+4 > len(d.data) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(d.data[d.off : d.off+4])
+	d.off += 4
+	return v, nil
+}
+
+// readName follows compression pointers with a hop limit.
+func (d *decoder) readName() (string, error) {
+	name, next, err := readNameAt(d.data, d.off)
+	if err != nil {
+		return "", err
+	}
+	d.off = next
+	return name, nil
+}
+
+func readNameAt(data []byte, off int) (name string, next int, err error) {
+	var labels []string
+	hops := 0
+	jumped := false
+	next = -1
+	for {
+		if off >= len(data) {
+			return "", 0, ErrTruncated
+		}
+		b := data[off]
+		switch {
+		case b == 0:
+			if !jumped {
+				next = off + 1
+			}
+			full := strings.Join(labels, ".")
+			if len(full) > 253 {
+				return "", 0, ErrNameTooLong
+			}
+			return full, next, nil
+		case b&0xc0 == 0xc0:
+			if off+1 >= len(data) {
+				return "", 0, ErrTruncated
+			}
+			ptr := int(binary.BigEndian.Uint16(data[off:off+2]) & 0x3fff)
+			if !jumped {
+				next = off + 2
+			}
+			jumped = true
+			hops++
+			if hops > 32 || ptr >= off {
+				return "", 0, ErrBadPointer
+			}
+			off = ptr
+		case b&0xc0 != 0:
+			return "", 0, ErrBadName
+		default:
+			l := int(b)
+			if off+1+l > len(data) {
+				return "", 0, ErrTruncated
+			}
+			labels = append(labels, string(data[off+1:off+1+l]))
+			if len(labels) > 128 {
+				return "", 0, ErrBadName
+			}
+			off += 1 + l
+		}
+	}
+}
+
+func (d *decoder) readRRs(n int) ([]RR, error) {
+	var out []RR
+	for i := 0; i < n; i++ {
+		rr, err := d.readRR()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rr)
+	}
+	return out, nil
+}
+
+func (d *decoder) readRR() (RR, error) {
+	var rr RR
+	name, err := d.readName()
+	if err != nil {
+		return rr, err
+	}
+	rr.Name = name
+	typ, err := d.readU16()
+	if err != nil {
+		return rr, err
+	}
+	rr.Type = Type(typ)
+	if rr.Class, err = d.readU16(); err != nil {
+		return rr, err
+	}
+	if rr.TTL, err = d.readU32(); err != nil {
+		return rr, err
+	}
+	rdlen, err := d.readU16()
+	if err != nil {
+		return rr, err
+	}
+	end := d.off + int(rdlen)
+	if end > len(d.data) {
+		return rr, ErrTruncated
+	}
+	switch rr.Type {
+	case TypeA:
+		if rdlen != 4 {
+			return rr, ErrTruncated
+		}
+		copy(rr.A[:], d.data[d.off:end])
+	case TypeNS, TypeCNAME, TypePTR:
+		if rr.Target, err = d.readName(); err != nil {
+			return rr, err
+		}
+	case TypeTXT:
+		var sb strings.Builder
+		for p := d.off; p < end; {
+			l := int(d.data[p])
+			if p+1+l > end {
+				return rr, ErrTruncated
+			}
+			sb.Write(d.data[p+1 : p+1+l])
+			p += 1 + l
+		}
+		rr.TXT = sb.String()
+	case TypeSRV:
+		if rr.Priority, err = d.readU16(); err != nil {
+			return rr, err
+		}
+		if rr.Weight, err = d.readU16(); err != nil {
+			return rr, err
+		}
+		if rr.Port, err = d.readU16(); err != nil {
+			return rr, err
+		}
+		if rr.Target, err = d.readName(); err != nil {
+			return rr, err
+		}
+	case TypeSOA:
+		if rr.MName, err = d.readName(); err != nil {
+			return rr, err
+		}
+		if rr.RName, err = d.readName(); err != nil {
+			return rr, err
+		}
+		for _, p := range []*uint32{&rr.Serial, &rr.Refresh, &rr.Retry, &rr.Expire, &rr.MinimumTTL} {
+			if *p, err = d.readU32(); err != nil {
+				return rr, err
+			}
+		}
+	}
+	d.off = end
+	return rr, nil
+}

@@ -1,0 +1,256 @@
+package dns
+
+import (
+	"sort"
+	"strings"
+
+	"jitsu/internal/netstack"
+	"jitsu/internal/sim"
+)
+
+// Zone is an authoritative record set for one apex (e.g. family.name).
+type Zone struct {
+	Apex    string
+	records map[string][]RR
+	// Serial feeds the SOA.
+	Serial uint32
+}
+
+// NewZone creates an empty zone for apex.
+func NewZone(apex string) *Zone {
+	return &Zone{Apex: CanonicalName(apex), records: make(map[string][]RR), Serial: 1}
+}
+
+// Add inserts a record (Name is canonicalised).
+func (z *Zone) Add(rr RR) {
+	rr.Name = CanonicalName(rr.Name)
+	if rr.Class == 0 {
+		rr.Class = ClassIN
+	}
+	z.records[rr.Name] = append(z.records[rr.Name], rr)
+	z.Serial++
+}
+
+// Remove deletes all records of a type at a name (TypeANY removes all).
+func (z *Zone) Remove(name string, typ Type) {
+	name = CanonicalName(name)
+	if typ == TypeANY {
+		delete(z.records, name)
+		z.Serial++
+		return
+	}
+	keep := z.records[name][:0]
+	for _, rr := range z.records[name] {
+		if rr.Type != typ {
+			keep = append(keep, rr)
+		}
+	}
+	if len(keep) == 0 {
+		delete(z.records, name)
+	} else {
+		z.records[name] = keep
+	}
+	z.Serial++
+}
+
+// Contains reports whether name falls under the zone apex.
+func (z *Zone) Contains(name string) bool {
+	name = CanonicalName(name)
+	return name == z.Apex || strings.HasSuffix(name, "."+z.Apex)
+}
+
+// Lookup returns records of the given type at name (TypeANY matches all).
+func (z *Zone) Lookup(name string, typ Type) []RR {
+	name = CanonicalName(name)
+	var out []RR
+	for _, rr := range z.records[name] {
+		if typ == TypeANY || rr.Type == typ {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// Names lists all names with records, sorted (diagnostics).
+func (z *Zone) Names() []string {
+	out := make([]string, 0, len(z.records))
+	for n := range z.records {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SOA synthesises the zone's SOA record.
+func (z *Zone) SOA() RR {
+	return RR{
+		Name: z.Apex, Type: TypeSOA, Class: ClassIN, TTL: 300,
+		MName: "ns." + z.Apex, RName: "hostmaster." + z.Apex,
+		Serial: z.Serial, Refresh: 3600, Retry: 600, Expire: 86400, MinimumTTL: 60,
+	}
+}
+
+// Interceptor lets the Jitsu directory service hook query handling: it
+// may rewrite the answer (launching unikernels as a side effect) before
+// the reply leaves. Returning false falls through to plain zone lookup.
+type Interceptor func(q Question, resp *Message) bool
+
+// AsyncInterceptor may hold a whole query and respond later (the §3.3.1
+// alternative Jitsu rejects — delaying the DNS response until the
+// unikernel network is fully established). Returning false falls
+// through to the synchronous path.
+type AsyncInterceptor func(query *Message, respond func(*Message)) bool
+
+// Server answers DNS queries over a netstack UDP port.
+type Server struct {
+	Host *netstack.Host
+	Zone *Zone
+	// Intercept, when set, gets first crack at each question.
+	Intercept Interceptor
+	// InterceptAsync, when set, may take over the whole query and
+	// respond at a later virtual time.
+	InterceptAsync AsyncInterceptor
+	// ProcessingDelay models server-side work per query.
+	ProcessingDelay sim.Duration
+
+	// Queries counts requests handled.
+	Queries uint64
+}
+
+// Serve binds the server on UDP port 53.
+func Serve(host *netstack.Host, zone *Zone) (*Server, error) {
+	s := &Server{Host: host, Zone: zone}
+	if err := host.BindUDP(53, s.handle); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Close unbinds the server.
+func (s *Server) Close() { s.Host.UnbindUDP(53) }
+
+func (s *Server) handle(src netstack.IP, srcPort uint16, payload []byte) {
+	s.Queries++
+	reply := func(resp *Message) {
+		wire, err := resp.Encode()
+		if err != nil {
+			return
+		}
+		s.Host.SendUDP(src, 53, srcPort, wire)
+	}
+	query, err := Decode(payload)
+	if err != nil || query.Response {
+		resp := &Message{Response: true, RCode: RCodeFormErr}
+		if query != nil {
+			resp.ID = query.ID
+		}
+		reply(resp)
+		return
+	}
+	if s.InterceptAsync != nil && s.InterceptAsync(query, reply) {
+		return
+	}
+	resp := s.Answer(query)
+	if s.ProcessingDelay > 0 {
+		s.Host.Eng.After(s.ProcessingDelay, func() { reply(resp) })
+	} else {
+		reply(resp)
+	}
+}
+
+// Answer computes the authoritative response for a query (exported so
+// tests and the conduit-side resolver can call it without UDP).
+func (s *Server) Answer(query *Message) *Message {
+	resp := &Message{
+		ID: query.ID, Response: true, Authoritative: true,
+		RecursionDesired: query.RecursionDesired,
+		Questions:        query.Questions,
+	}
+	if len(query.Questions) == 0 {
+		resp.RCode = RCodeFormErr
+		return resp
+	}
+	for _, q := range query.Questions {
+		if s.Intercept != nil && s.Intercept(q, resp) {
+			continue
+		}
+		s.answerFromZone(q, resp)
+	}
+	return resp
+}
+
+func (s *Server) answerFromZone(q Question, resp *Message) {
+	if s.Zone == nil || !s.Zone.Contains(q.Name) {
+		resp.RCode = RCodeRefused
+		return
+	}
+	answers := s.Zone.Lookup(q.Name, q.Type)
+	if len(answers) == 0 {
+		// CNAME chase within the zone.
+		if cn := s.Zone.Lookup(q.Name, TypeCNAME); len(cn) > 0 {
+			resp.Answers = append(resp.Answers, cn...)
+			resp.Answers = append(resp.Answers, s.Zone.Lookup(cn[0].Target, q.Type)...)
+			return
+		}
+		if len(s.Zone.Lookup(q.Name, TypeANY)) == 0 {
+			resp.RCode = RCodeNXDomain
+		}
+		resp.Authority = append(resp.Authority, s.Zone.SOA())
+		return
+	}
+	resp.Answers = append(resp.Answers, answers...)
+}
+
+// Client is a minimal resolver for tests and examples.
+type Client struct {
+	Host   *netstack.Host
+	nextID uint16
+}
+
+// Query sends one question to server:53 and invokes done with the
+// response (or an error after timeout).
+func (c *Client) Query(server netstack.IP, name string, typ Type, timeout sim.Duration, done func(*Message, sim.Duration, error)) {
+	c.nextID++
+	id := c.nextID
+	q := &Message{ID: id, RecursionDesired: true,
+		Questions: []Question{{Name: CanonicalName(name), Type: typ, Class: ClassIN}}}
+	wire, err := q.Encode()
+	if err != nil {
+		done(nil, 0, err)
+		return
+	}
+	start := c.Host.Eng.Now()
+	finished := false
+	var timer *sim.Event
+	// Pick a free source port: concurrent queries from one host must
+	// not collide.
+	srcPort := uint16(10000 + id%50000)
+	handler := func(src netstack.IP, sport uint16, payload []byte) {
+		if finished {
+			return
+		}
+		m, err := Decode(payload)
+		if err != nil || m.ID != id {
+			return
+		}
+		finished = true
+		c.Host.Eng.Cancel(timer)
+		c.Host.UnbindUDP(srcPort)
+		done(m, c.Host.Eng.Now()-start, nil)
+	}
+	for tries := 0; c.Host.BindUDP(srcPort, handler) != nil; tries++ {
+		if tries > 1000 {
+			done(nil, 0, netstack.ErrPortInUse)
+			return
+		}
+		srcPort++
+	}
+	timer = c.Host.Eng.After(timeout, func() {
+		if !finished {
+			finished = true
+			c.Host.UnbindUDP(srcPort)
+			done(nil, 0, netstack.ErrTimeout)
+		}
+	})
+	c.Host.SendUDP(server, srcPort, 53, wire)
+}

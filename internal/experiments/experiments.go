@@ -1,0 +1,70 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4). Each function is deterministic given its seed and
+// returns a Result whose Output is the text rendition printed by
+// cmd/jitsu-bench and checked (for shape) by the benchmark suite.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"jitsu/internal/metrics"
+)
+
+// Result is one regenerated experiment.
+type Result struct {
+	// ID is the paper artefact ("Figure 3", "Table 1", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Output is the rendered table/CDF text.
+	Output string
+	// Series holds raw distributions for programmatic assertions.
+	Series map[string]*metrics.Series
+	// Notes records paper-vs-measured commentary for EXPERIMENTS.md.
+	Notes []string
+}
+
+func newResult(id, title string) *Result {
+	return &Result{ID: id, Title: title, Series: map[string]*metrics.Series{}}
+}
+
+func (r *Result) addNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the experiment block.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	b.WriteString(r.Output)
+	if len(r.Notes) > 0 {
+		b.WriteString("\nNotes:\n")
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "  - %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+// All runs every experiment at the given scale (trials multiplier,
+// 1 = full paper scale, smaller for quick runs).
+func All(quick bool) []*Result {
+	trials := 120
+	fig3N := []int{1, 25, 50, 100, 150, 200}
+	if quick {
+		trials = 30
+		fig3N = []int{1, 10, 25, 50}
+	}
+	return []*Result{
+		Fig3(fig3N),
+		Fig4(),
+		Fig8(trials / 2),
+		Fig9a(trials),
+		Fig9b(trials),
+		Table1(),
+		Table2(),
+		Throughput(),
+		Headline(trials / 4),
+	}
+}

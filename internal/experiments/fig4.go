@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"jitsu/internal/metrics"
+	"jitsu/internal/sim"
+	"jitsu/internal/xen"
+	"jitsu/internal/xenstore"
+)
+
+// fig4Variant is one line of Figure 4.
+type fig4Variant struct {
+	name     string
+	platform func() *xen.Platform
+	opts     xen.ToolstackOpts
+}
+
+func fig4Variants() []fig4Variant {
+	return []fig4Variant{
+		{"Xen 4.4.0 (bash hotplug)", xen.CubieboardARM,
+			xen.ToolstackOpts{Hotplug: xen.HotplugBash, Console: true}},
+		{"minimal hotplug script (dash)", xen.CubieboardARM,
+			xen.ToolstackOpts{Hotplug: xen.HotplugDash, Console: true}},
+		{"inline ioctl()", xen.CubieboardARM,
+			xen.ToolstackOpts{Hotplug: xen.HotplugIoctl, Console: true}},
+		{"parallel hotplug + build", xen.CubieboardARM,
+			xen.ToolstackOpts{Hotplug: xen.HotplugIoctl, ParallelAttach: true, Console: true}},
+		{"remove primary console", xen.CubieboardARM, xen.OptimisedOpts()},
+		{"switch ARM -> x86", xen.AMDx86, xen.OptimisedOpts()},
+	}
+}
+
+// Fig4 reproduces Figure 4: domain construction time vs memory size for
+// each cumulative toolstack optimisation (construction only — guest
+// boot is not included, so the numbers apply to unikernels and Linux
+// VMs alike).
+func Fig4() *Result {
+	r := newResult("Figure 4", "Optimising Xen/ARM domain build times")
+	memSizes := []int{16, 32, 64, 128, 256}
+	variants := fig4Variants()
+
+	headers := []string{"memory (MiB)"}
+	for _, v := range variants {
+		headers = append(headers, v.name)
+	}
+	tab := metrics.NewTable("", headers...)
+
+	const repeats = 10
+	for _, mem := range memSizes {
+		row := []any{mem}
+		for _, v := range variants {
+			s := &metrics.Series{}
+			for rep := 0; rep < repeats; rep++ {
+				s.Add(fig4Build(v, mem, int64(rep)))
+			}
+			med := s.Percentile(0.5)
+			row = append(row, med)
+			key := fmt.Sprintf("%s@%d", v.name, mem)
+			r.Series[key] = s
+		}
+		tab.AddRow(row...)
+	}
+	r.Output = tab.String()
+	r.addNote("paper anchors: vanilla 16MiB ≈ 650ms, 256MiB ≈ 1s; dash ≈ 300ms; ioctl ≈ 200ms; fully optimised ≈ 120ms on ARM and ≈ 20ms on x86 (≈6x)")
+	return r
+}
+
+func fig4Build(v fig4Variant, memMiB int, seed int64) sim.Duration {
+	eng := sim.New(400 + seed)
+	store := xenstore.NewStore(xenstore.JitsuReconciler{})
+	hyp := xen.NewHypervisor(eng, store, v.platform(), memMiB+256)
+	ts := xen.NewToolstack(hyp, v.opts)
+	var elapsed sim.Duration
+	start := eng.Now()
+	ts.CreateDomain(xen.DomainConfig{Name: "vm", MemMiB: memMiB, ImageMiB: 1},
+		func(d *xen.Domain, err error) {
+			if err != nil {
+				panic(err)
+			}
+			elapsed = eng.Now() - start
+		})
+	eng.Run()
+	return elapsed
+}

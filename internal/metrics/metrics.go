@@ -1,0 +1,252 @@
+// Package metrics collects latency samples and renders the CDFs, series
+// and tables that the benchmark harness prints for each figure in the
+// paper. It is deliberately simulation-agnostic: it only sees durations.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample set thresholds used across experiments.
+const (
+	// DefaultCDFPoints is how many points a rendered CDF carries.
+	DefaultCDFPoints = 20
+)
+
+// Series is a named collection of duration samples, e.g. one line on a
+// figure ("Jitsu Xenstored") or one bar of a breakdown.
+type Series struct {
+	Name    string
+	Samples []time.Duration
+}
+
+// Add appends one observation.
+func (s *Series) Add(d time.Duration) { s.Samples = append(s.Samples, d) }
+
+// Len returns the number of observations.
+func (s *Series) Len() int { return len(s.Samples) }
+
+// sorted returns a sorted copy, leaving Samples untouched.
+func (s *Series) sorted() []time.Duration {
+	c := make([]time.Duration, len(s.Samples))
+	copy(c, s.Samples)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c
+}
+
+// Percentile returns the q-th (0..1) percentile by linear interpolation.
+func (s *Series) Percentile(q float64) time.Duration {
+	c := s.sorted()
+	if len(c) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c[0]
+	}
+	if q >= 1 {
+		return c[len(c)-1]
+	}
+	idx := q * float64(len(c)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(c) {
+		return c[len(c)-1]
+	}
+	return c[lo] + time.Duration(float64(c[lo+1]-c[lo])*frac)
+}
+
+// Mean returns the arithmetic mean.
+func (s *Series) Mean() time.Duration {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range s.Samples {
+		sum += v
+	}
+	return sum / time.Duration(len(s.Samples))
+}
+
+// Min returns the smallest observation (0 when empty).
+func (s *Series) Min() time.Duration {
+	c := s.sorted()
+	if len(c) == 0 {
+		return 0
+	}
+	return c[0]
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *Series) Max() time.Duration {
+	c := s.sorted()
+	if len(c) == 0 {
+		return 0
+	}
+	return c[len(c)-1]
+}
+
+// CDFPoint is one point of a cumulative distribution: Frac of samples are
+// <= Value.
+type CDFPoint struct {
+	Value time.Duration
+	Frac  float64
+}
+
+// CDF renders n evenly spaced CDF points (plus the max at frac 1.0).
+func (s *Series) CDF(n int) []CDFPoint {
+	c := s.sorted()
+	if len(c) == 0 || n <= 0 {
+		return nil
+	}
+	pts := make([]CDFPoint, 0, n)
+	for i := 1; i <= n; i++ {
+		frac := float64(i) / float64(n)
+		idx := int(frac*float64(len(c))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(c) {
+			idx = len(c) - 1
+		}
+		pts = append(pts, CDFPoint{Value: c[idx], Frac: frac})
+	}
+	return pts
+}
+
+// FracBelow reports what fraction of samples are <= v.
+func (s *Series) FracBelow(v time.Duration) float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range s.Samples {
+		if x <= v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.Samples))
+}
+
+// Summary is a one-line distribution description used in experiment logs.
+func (s *Series) Summary() string {
+	return fmt.Sprintf("%s: n=%d min=%s p50=%s p90=%s p99=%s max=%s mean=%s",
+		s.Name, s.Len(), fmtDur(s.Min()), fmtDur(s.Percentile(0.5)),
+		fmtDur(s.Percentile(0.9)), fmtDur(s.Percentile(0.99)), fmtDur(s.Max()), fmtDur(s.Mean()))
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+// Table renders aligned text tables for EXPERIMENTS.md and stdout.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable constructs a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case time.Duration:
+			row[i] = fmtDur(v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	ncol := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < ncol; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, ncol)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// ASCIICDF renders series as a rough textual CDF plot: one row per
+// quantile band, showing each series' value. Good enough to eyeball the
+// figure shapes in a terminal.
+func ASCIICDF(title string, series ...*Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s (CDF) ==\n", title)
+	tab := NewTable("", append([]string{"pct"}, names(series)...)...)
+	for _, q := range []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0} {
+		row := []any{fmt.Sprintf("p%02.0f", q*100)}
+		for _, s := range series {
+			row = append(row, s.Percentile(q))
+		}
+		tab.AddRow(row...)
+	}
+	b.WriteString(tab.String())
+	return b.String()
+}
+
+func names(series []*Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+// Package mirage models §2.3's unikernel construction: "single-pass
+// compilation of application logic, configuration files and device
+// drivers results in output of a single-address-space VM where the
+// standard compiler toolchain has eliminated unnecessary features."
+//
+// A library registry mirrors the MirageOS ecosystem the paper
+// describes — Mini-OS reduced to a boot library, OpenLibM replacing
+// libm, the musl float-printing extract standing in for libc, and pure
+// OCaml libraries for everything else. Build resolves an application's
+// transitive dependencies, deduplicates them (dead code elimination at
+// library granularity), and reports binary size plus the
+// trusted-computing-base split between memory-safe and unsafe code that
+// Table 2's security argument rests on.
+package mirage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors from dependency resolution.
+var (
+	ErrUnknownLibrary = errors.New("mirage: unknown library")
+	ErrDependencyLoop = errors.New("mirage: dependency cycle")
+)
+
+// Library is one linkable unit.
+type Library struct {
+	Name string
+	// SizeKB of native code contributed to the image.
+	SizeKB int
+	// Unsafe marks non-OCaml code that runs in the unikernel's single
+	// address space and is therefore security-critical (§2.3: "these
+	// embedded libraries are both security-critical ... and difficult
+	// to audit").
+	Unsafe bool
+	// Deps are the libraries this one links against.
+	Deps []string
+}
+
+// Registry is the set of available libraries.
+type Registry map[string]*Library
+
+// StandardRegistry reproduces the library stack of §2.3. Sizes are
+// calibrated so a typical network appliance comes out around the
+// paper's "small binary size of unikernels (around 1MB)".
+func StandardRegistry() Registry {
+	libs := []*Library{
+		// The boot layer: Mini-OS "rearranged ... to be installed as a
+		// system library, suitable for static linking by any unikernel".
+		{Name: "minios", SizeKB: 48, Unsafe: true},
+		// The OCaml runtime: GC, exceptions, the ocamlopt output glue.
+		{Name: "ocaml-runtime", SizeKB: 240, Unsafe: true, Deps: []string{"minios"}},
+		// "libm functionality is now provided by OpenLibM (which
+		// originates from FreeBSD's libm)".
+		{Name: "openlibm", SizeKB: 90, Unsafe: true, Deps: []string{"minios"}},
+		// "the rarely used floating point formatting code used by
+		// printf, for which we extracted code from the musl libc".
+		{Name: "musl-float-printf", SizeKB: 8, Unsafe: true, Deps: []string{"minios"}},
+		// Pure OCaml from here down.
+		{Name: "mirage-platform", SizeKB: 60, Deps: []string{"ocaml-runtime"}},
+		{Name: "io-page", SizeKB: 12, Deps: []string{"mirage-platform"}},
+		{Name: "xenstore-client", SizeKB: 40, Deps: []string{"mirage-platform"}},
+		{Name: "grant-tables", SizeKB: 18, Deps: []string{"mirage-platform"}},
+		{Name: "event-channels", SizeKB: 14, Deps: []string{"mirage-platform"}},
+		{Name: "netfront", SizeKB: 45, Deps: []string{"io-page", "grant-tables", "event-channels", "xenstore-client"}},
+		{Name: "blkfront", SizeKB: 38, Deps: []string{"io-page", "grant-tables", "event-channels", "xenstore-client"}},
+		{Name: "vchan", SizeKB: 30, Deps: []string{"grant-tables", "event-channels", "xenstore-client"}},
+		{Name: "conduit", SizeKB: 24, Deps: []string{"vchan", "xenstore-client"}},
+		{Name: "tcpip", SizeKB: 180, Deps: []string{"netfront", "musl-float-printf"}},
+		{Name: "dns", SizeKB: 70, Deps: []string{"tcpip"}},
+		{Name: "cohttp", SizeKB: 120, Deps: []string{"tcpip"}},
+		{Name: "tls", SizeKB: 210, Deps: []string{"tcpip", "nocrypto"}},
+		{Name: "nocrypto", SizeKB: 150, Deps: []string{"openlibm"}},
+		{Name: "irmin-storage", SizeKB: 160, Deps: []string{"blkfront"}},
+		{Name: "logs", SizeKB: 10, Deps: []string{"mirage-platform"}},
+	}
+	r := make(Registry, len(libs))
+	for _, l := range libs {
+		r[l.Name] = l
+	}
+	return r
+}
+
+// Image is a linked unikernel report.
+type Image struct {
+	App string
+	// Libraries actually linked, sorted.
+	Libraries []string
+	// TotalKB is the image size including app code.
+	TotalKB int
+	// UnsafeKB is the non-memory-safe portion (the auditable TCB).
+	UnsafeKB int
+	// Omitted counts registry libraries the app did NOT pull in — what
+	// single-pass compilation eliminated relative to a kitchen-sink OS.
+	Omitted int
+}
+
+// SafeFraction is the memory-safe share of the image.
+func (im *Image) SafeFraction() float64 {
+	if im.TotalKB == 0 {
+		return 0
+	}
+	return 1 - float64(im.UnsafeKB)/float64(im.TotalKB)
+}
+
+func (im *Image) String() string {
+	return fmt.Sprintf("%s: %dKB (%d libs, %.0f%% memory-safe, %d libs eliminated)",
+		im.App, im.TotalKB, len(im.Libraries), im.SafeFraction()*100, im.Omitted)
+}
+
+// Build links an application against the registry: transitive
+// dependency resolution with deduplication and cycle detection.
+// appKB is the application code size; needs are its direct deps.
+func (r Registry) Build(app string, appKB int, needs []string) (*Image, error) {
+	linked := map[string]bool{}
+	visiting := map[string]bool{}
+	var visit func(name string) error
+	visit = func(name string) error {
+		if linked[name] {
+			return nil
+		}
+		if visiting[name] {
+			return fmt.Errorf("%w via %s", ErrDependencyLoop, name)
+		}
+		lib, ok := r[name]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownLibrary, name)
+		}
+		visiting[name] = true
+		for _, d := range lib.Deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		visiting[name] = false
+		linked[name] = true
+		return nil
+	}
+	for _, n := range needs {
+		if err := visit(n); err != nil {
+			return nil, err
+		}
+	}
+	im := &Image{App: app, TotalKB: appKB}
+	for name := range linked {
+		lib := r[name]
+		im.Libraries = append(im.Libraries, name)
+		im.TotalKB += lib.SizeKB
+		if lib.Unsafe {
+			im.UnsafeKB += lib.SizeKB
+		}
+	}
+	sort.Strings(im.Libraries)
+	im.Omitted = len(r) - len(linked)
+	return im, nil
+}
+
+// StaticSite is the canonical appliance: HTTP over TCP/IP plus the
+// conduit control plane.
+func StaticSite() (*Image, error) {
+	return StandardRegistry().Build("static-site", 120, []string{"cohttp", "dns", "conduit", "logs"})
+}
+
+// TLSTerminator links the tls stack too (§5's handoff front end).
+func TLSTerminator() (*Image, error) {
+	return StandardRegistry().Build("tls-terminator", 90, []string{"tls", "conduit", "logs"})
+}
+
+// TCBComparison is the Figure 2 contrast rendered as numbers: what runs
+// inside each containment unit's trusted base.
+type TCBComparison struct {
+	Approach string
+	// TCBKLoC approximates the code a tenant must trust, in kLoC.
+	TCBKLoC int
+	// NetworkFacingUnsafe: is wire input parsed by unsafe code?
+	NetworkFacingUnsafe bool
+}
+
+// CompareContainment returns the paper's three columns. The kLoC
+// figures are the era's commonly cited magnitudes: a full Linux kernel
+// plus userland for containers; a security monitor plus host kernel for
+// picoprocesses; Xen plus Mini-OS plus the runtime for unikernels.
+func CompareContainment() []TCBComparison {
+	return []TCBComparison{
+		{Approach: "container (Docker)", TCBKLoC: 16000, NetworkFacingUnsafe: true},
+		{Approach: "picoprocess (Drawbridge)", TCBKLoC: 5500, NetworkFacingUnsafe: true},
+		{Approach: "unikernel (MirageOS)", TCBKLoC: 450, NetworkFacingUnsafe: false},
+	}
+}

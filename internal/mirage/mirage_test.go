@@ -1,0 +1,135 @@
+package mirage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStaticSiteAroundOneMB(t *testing.T) {
+	im, err := StaticSite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "the small binary size of unikernels (around 1MB)".
+	if im.TotalKB < 700 || im.TotalKB > 1400 {
+		t.Errorf("static site image = %dKB, want ≈1MB", im.TotalKB)
+	}
+	// The bulk of the image is memory-safe OCaml.
+	if im.SafeFraction() < 0.6 {
+		t.Errorf("safe fraction = %.2f", im.SafeFraction())
+	}
+	// Dead code elimination: a web appliance needs no block device, no
+	// TLS, no storage.
+	for _, lib := range im.Libraries {
+		if lib == "blkfront" || lib == "tls" || lib == "irmin-storage" {
+			t.Errorf("unneeded library %s linked", lib)
+		}
+	}
+	if im.Omitted == 0 {
+		t.Error("nothing eliminated — single-pass compilation is the point")
+	}
+}
+
+func TestTransitiveResolution(t *testing.T) {
+	im, err := StandardRegistry().Build("min", 10, []string{"tcpip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tcpip pulls netfront pulls grant-tables pulls mirage-platform
+	// pulls ocaml-runtime pulls minios.
+	want := map[string]bool{"tcpip": true, "netfront": true, "grant-tables": true,
+		"mirage-platform": true, "ocaml-runtime": true, "minios": true,
+		"musl-float-printf": true}
+	for w := range want {
+		found := false
+		for _, l := range im.Libraries {
+			if l == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing transitive dep %s", w)
+		}
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	r := StandardRegistry()
+	// cohttp and dns both depend on tcpip: size must count it once.
+	both, _ := r.Build("x", 0, []string{"cohttp", "dns"})
+	just, _ := r.Build("y", 0, []string{"cohttp"})
+	dnsOnly, _ := r.Build("z", 0, []string{"dns"})
+	if both.TotalKB >= just.TotalKB+dnsOnly.TotalKB {
+		t.Errorf("no sharing: both=%d cohttp=%d dns=%d", both.TotalKB, just.TotalKB, dnsOnly.TotalKB)
+	}
+}
+
+func TestUnknownLibrary(t *testing.T) {
+	_, err := StandardRegistry().Build("x", 0, []string{"systemd"})
+	if !errors.Is(err, ErrUnknownLibrary) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	r := Registry{
+		"a": {Name: "a", SizeKB: 1, Deps: []string{"b"}},
+		"b": {Name: "b", SizeKB: 1, Deps: []string{"a"}},
+	}
+	if _, err := r.Build("x", 0, []string{"a"}); !errors.Is(err, ErrDependencyLoop) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDiamondDependencyIsNotACycle(t *testing.T) {
+	r := Registry{
+		"base": {Name: "base", SizeKB: 1},
+		"l":    {Name: "l", SizeKB: 1, Deps: []string{"base"}},
+		"r":    {Name: "r", SizeKB: 1, Deps: []string{"base"}},
+		"top":  {Name: "top", SizeKB: 1, Deps: []string{"l", "r"}},
+	}
+	im, err := r.Build("x", 0, []string{"top"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.TotalKB != 4 {
+		t.Fatalf("diamond size = %d, want 4 (base counted once)", im.TotalKB)
+	}
+}
+
+func TestTLSTerminatorLinksCrypto(t *testing.T) {
+	im, err := TLSTerminator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasTLS := false
+	for _, l := range im.Libraries {
+		if l == "tls" {
+			hasTLS = true
+		}
+	}
+	if !hasTLS {
+		t.Fatal("tls not linked")
+	}
+	site, _ := StaticSite()
+	if im.TotalKB <= site.TotalKB-200 {
+		t.Errorf("tls image (%d) should be heavier than plain http (%d)", im.TotalKB, site.TotalKB)
+	}
+}
+
+func TestContainmentComparisonOrdering(t *testing.T) {
+	rows := CompareContainment()
+	if len(rows) != 3 {
+		t.Fatal("want 3 approaches")
+	}
+	if !(rows[0].TCBKLoC > rows[1].TCBKLoC && rows[1].TCBKLoC > rows[2].TCBKLoC) {
+		t.Errorf("TCB ordering wrong: %+v", rows)
+	}
+	if rows[2].NetworkFacingUnsafe {
+		t.Error("unikernel wire input must be parsed by memory-safe code")
+	}
+	// Orders of magnitude: container TCB ≈ 35x unikernel.
+	if rows[0].TCBKLoC < 10*rows[2].TCBKLoC {
+		t.Error("container TCB should dwarf the unikernel's")
+	}
+}

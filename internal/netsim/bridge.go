@@ -1,0 +1,130 @@
+package netsim
+
+import (
+	"jitsu/internal/sim"
+)
+
+// Bridge is a learning Ethernet bridge, the xenbr0 every Xen host runs.
+// Guests' vifs and the physical NIC all attach as ports; the Synjitsu
+// proxy attaches as a mirror that sees every forwarded frame.
+type Bridge struct {
+	Name string
+	eng  *sim.Engine
+	// ForwardDelay models the bridge's per-frame forwarding cost.
+	ForwardDelay sim.Duration
+
+	ports   []*bridgePort
+	table   map[MAC]*bridgePort
+	mirrors []Handler
+
+	Forwarded uint64
+	Flooded   uint64
+}
+
+type bridgePort struct {
+	bridge *Bridge
+	dst    Port
+	id     int
+}
+
+// Deliver implements Port: a frame entering the bridge via this port.
+func (p *bridgePort) Deliver(frame []byte) {
+	p.bridge.input(p, frame)
+}
+
+// NewBridge creates an empty bridge.
+func NewBridge(eng *sim.Engine, name string, forwardDelay sim.Duration) *Bridge {
+	return &Bridge{Name: name, eng: eng, ForwardDelay: forwardDelay, table: make(map[MAC]*bridgePort)}
+}
+
+// AddPort attaches dst as a new bridge port and returns the Port that
+// represents the bridge side (hand it to a Link as the far end).
+func (b *Bridge) AddPort(dst Port) Port {
+	p := &bridgePort{bridge: b, dst: dst, id: len(b.ports)}
+	b.ports = append(b.ports, p)
+	return p
+}
+
+// RemovePort detaches a port previously returned by AddPort. Learned
+// table entries pointing at it are flushed.
+func (b *Bridge) RemovePort(port Port) {
+	p, ok := port.(*bridgePort)
+	if !ok {
+		return
+	}
+	for i, x := range b.ports {
+		if x == p {
+			b.ports = append(b.ports[:i], b.ports[i+1:]...)
+			break
+		}
+	}
+	for mac, owner := range b.table {
+		if owner == p {
+			delete(b.table, mac)
+		}
+	}
+}
+
+// Mirror registers a tap that observes every frame the bridge forwards
+// or floods — how Synjitsu listens "on the external network bridge ...
+// for TCP packets destined for a unikernel that is still booting".
+func (b *Bridge) Mirror(h Handler) {
+	b.mirrors = append(b.mirrors, h)
+}
+
+// input learns the source, then forwards (known unicast) or floods.
+func (b *Bridge) input(in *bridgePort, frame []byte) {
+	if len(frame) < 14 {
+		return
+	}
+	var dst, src MAC
+	copy(dst[:], frame[0:6])
+	copy(src[:], frame[6:12])
+	if !src.IsBroadcast() {
+		b.table[src] = in
+	}
+	for _, m := range b.mirrors {
+		m(frame)
+	}
+	deliver := func(p *bridgePort) {
+		d := p.dst
+		b.eng.After(b.ForwardDelay, func() { d.Deliver(frame) })
+	}
+	if !dst.IsBroadcast() {
+		if out, ok := b.table[dst]; ok {
+			if out != in {
+				b.Forwarded++
+				deliver(out)
+			}
+			return
+		}
+	}
+	// Flood to every port except ingress.
+	b.Flooded++
+	for _, p := range b.ports {
+		if p != in {
+			deliver(p)
+		}
+	}
+}
+
+// Lookup reports whether the bridge has learned a MAC (tests and
+// diagnostics).
+func (b *Bridge) Lookup(mac MAC) bool {
+	_, ok := b.table[mac]
+	return ok
+}
+
+// ConnectNIC wires a NIC to the bridge through a new link and returns
+// the bridge-side Port (pass it to RemovePort to unplug). This is the
+// plumbing the vif hotplug step performs.
+func (b *Bridge) ConnectNIC(nic *NIC, latency sim.Duration, bitsPerSec float64) Port {
+	l := &Link{eng: b.eng, Latency: latency, BitsPerSec: bitsPerSec}
+	bport := &bridgePort{bridge: b, id: len(b.ports)}
+	b.ports = append(b.ports, bport)
+	l.aEnd = &linkEnd{link: l, dst: bport} // NIC -> bridge
+	l.bEnd = &linkEnd{link: l, dst: nic}   // bridge -> NIC
+	bport.dst = l.bEnd
+	nic.peer = l.aEnd
+	return bport
+}

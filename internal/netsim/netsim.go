@@ -1,0 +1,166 @@
+// Package netsim simulates the layer-2 fabric of one edge network: NICs,
+// point-to-point links with latency and bandwidth, and the learning
+// bridge (xenbr0) that dom0 runs. The Synjitsu proxy's promiscuous tap is
+// modelled as a bridge mirror port (§3.3.1).
+//
+// Frames are opaque byte slices; internal/netstack gives them meaning.
+// Per the gopacket-inspired guidance, the fabric never copies frames on
+// the fast path — receivers must treat frames as read-only.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"jitsu/internal/sim"
+)
+
+// MTU is the Ethernet payload limit enforced by links.
+const MTU = 1500
+
+// MaxFrame is MTU plus the Ethernet header.
+const MaxFrame = MTU + 14
+
+// ErrFrameTooBig is returned when a frame exceeds MaxFrame.
+var ErrFrameTooBig = errors.New("netsim: frame exceeds MTU")
+
+// MAC is an Ethernet address, comparable and usable as a map key.
+type MAC [6]byte
+
+// Broadcast is the all-ones Ethernet address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String renders the usual colon-hex form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether the address is broadcast or multicast.
+func (m MAC) IsBroadcast() bool { return m == Broadcast || m[0]&1 == 1 }
+
+// MACFor derives a stable locally administered unicast MAC from an
+// integer id, in the Xen OUI (00:16:3e) like real vifs.
+func MACFor(id int) MAC {
+	return MAC{0x00, 0x16, 0x3e, byte(id >> 16), byte(id >> 8), byte(id)}
+}
+
+// Handler consumes a received frame. The frame buffer is owned by the
+// sender; handlers must not retain or mutate it.
+type Handler func(frame []byte)
+
+// Port is anything a link can deliver frames to.
+type Port interface {
+	// Deliver hands a frame to the port at the current virtual instant.
+	Deliver(frame []byte)
+}
+
+// NIC is a network interface: it transmits onto whatever it is attached
+// to and delivers received frames to its handler.
+type NIC struct {
+	Name    string
+	Addr    MAC
+	eng     *sim.Engine
+	handler Handler
+	peer    Port         // where transmitted frames go (a Link endpoint)
+	txBusy  sim.Duration // serialisation: when the NIC is next free
+	TxCount uint64
+	RxCount uint64
+	TxBytes uint64
+	RxBytes uint64
+	// Down drops all traffic (guest not booted / unplugged).
+	Down bool
+}
+
+// NewNIC creates an unattached NIC.
+func NewNIC(eng *sim.Engine, name string, addr MAC) *NIC {
+	return &NIC{Name: name, Addr: addr, eng: eng}
+}
+
+// SetHandler installs the receive callback.
+func (n *NIC) SetHandler(h Handler) { n.handler = h }
+
+// Deliver implements Port: frames arriving from the fabric.
+func (n *NIC) Deliver(frame []byte) {
+	if n.Down || n.handler == nil {
+		return
+	}
+	n.RxCount++
+	n.RxBytes += uint64(len(frame))
+	n.handler(frame)
+}
+
+// Send transmits a frame toward the attached link. Frames are copied
+// once at the sender so in-flight frames are immutable.
+func (n *NIC) Send(frame []byte) error {
+	if len(frame) > MaxFrame {
+		return ErrFrameTooBig
+	}
+	if n.Down || n.peer == nil {
+		return nil // cable unplugged: silently dropped, like real life
+	}
+	n.TxCount++
+	n.TxBytes += uint64(len(frame))
+	buf := append([]byte(nil), frame...)
+	n.peer.Deliver(buf)
+	return nil
+}
+
+// Link is a full-duplex point-to-point cable with propagation latency
+// and serialisation bandwidth. It connects two Ports.
+type Link struct {
+	eng     *sim.Engine
+	Latency sim.Duration // one-way propagation
+	// BitsPerSec is the serialisation rate; 0 means infinite.
+	BitsPerSec float64
+
+	aEnd, bEnd *linkEnd
+}
+
+type linkEnd struct {
+	link *Link
+	dst  Port
+	busy sim.Duration // virtual instant the wire in this direction frees up
+}
+
+// Deliver implements Port: a frame entering this end of the cable.
+func (e *linkEnd) Deliver(frame []byte) {
+	l := e.link
+	delay := l.Latency
+	if l.BitsPerSec > 0 {
+		ser := sim.Duration(float64(len(frame)*8) / l.BitsPerSec * float64(time.Second))
+		now := l.eng.Now()
+		if e.busy < now {
+			e.busy = now
+		}
+		e.busy += ser
+		delay += e.busy - now
+	}
+	dst := e.dst
+	l.eng.After(delay, func() { dst.Deliver(frame) })
+}
+
+// NewLink wires a and b together with the given characteristics.
+// Typical values: local edge network — 180µs latency, 100Mb/s
+// (Cubieboard2) or 1Gb/s (Cubietruck); intra-host virtual link — 20µs,
+// effectively infinite bandwidth.
+func NewLink(eng *sim.Engine, a, b Port, latency sim.Duration, bitsPerSec float64) *Link {
+	l := &Link{eng: eng, Latency: latency, BitsPerSec: bitsPerSec}
+	l.aEnd = &linkEnd{link: l, dst: b}
+	l.bEnd = &linkEnd{link: l, dst: a}
+	return l
+}
+
+// AEnd returns the port that delivers toward b (give it to a as peer).
+func (l *Link) AEnd() Port { return l.aEnd }
+
+// BEnd returns the port that delivers toward a (give it to b as peer).
+func (l *Link) BEnd() Port { return l.bEnd }
+
+// Attach wires a NIC to one end of a new link toward dst and returns the
+// link. Convenience for the common NIC—bridge case.
+func Attach(eng *sim.Engine, nic *NIC, dst Port, latency sim.Duration, bitsPerSec float64) *Link {
+	l := NewLink(eng, nic, dst, latency, bitsPerSec)
+	nic.peer = l.AEnd()
+	return l
+}

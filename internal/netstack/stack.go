@@ -1,0 +1,410 @@
+package netstack
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"jitsu/internal/netsim"
+	"jitsu/internal/sim"
+)
+
+// Stack-level errors.
+var (
+	ErrPortInUse    = errors.New("netstack: port already bound")
+	ErrNoRoute      = errors.New("netstack: no route to host")
+	ErrConnClosed   = errors.New("netstack: connection closed")
+	ErrConnReset    = errors.New("netstack: connection reset by peer")
+	ErrTimeout      = errors.New("netstack: timed out")
+	ErrNotListening = errors.New("netstack: not listening")
+)
+
+// StackProfile sets the per-packet processing costs that differentiate
+// the Figure 8 targets: a native Linux stack, the dom0 stack, a Linux
+// guest behind a vif, and a MirageOS unikernel (whose OCaml stack has a
+// slightly higher mean and variance — "never more than 0.4ms" apart).
+type StackProfile struct {
+	Name string
+	// ProcDelay is charged per received packet before protocol handling.
+	ProcDelay sim.Duration
+	// ProcJitter is the stddev of the processing delay.
+	ProcJitter sim.Duration
+	// PerByte is the copy+checksum cost per payload byte.
+	PerByte sim.Duration
+}
+
+// Profiles used across the evaluation.
+func LinuxNativeProfile() StackProfile {
+	return StackProfile{Name: "linux-native", ProcDelay: 28 * time.Microsecond, ProcJitter: 3 * time.Microsecond, PerByte: 55 * time.Nanosecond}
+}
+func Dom0Profile() StackProfile {
+	return StackProfile{Name: "dom0", ProcDelay: 40 * time.Microsecond, ProcJitter: 5 * time.Microsecond, PerByte: 60 * time.Nanosecond}
+}
+func LinuxGuestProfile() StackProfile {
+	return StackProfile{Name: "linux-vm", ProcDelay: 70 * time.Microsecond, ProcJitter: 8 * time.Microsecond, PerByte: 75 * time.Nanosecond}
+}
+func MirageProfile() StackProfile {
+	return StackProfile{Name: "mirage-vm", ProcDelay: 85 * time.Microsecond, ProcJitter: 22 * time.Microsecond, PerByte: 80 * time.Nanosecond}
+}
+
+// fourTuple keys established TCP connections.
+type fourTuple struct {
+	localIP, remoteIP     IP
+	localPort, remotePort uint16
+}
+
+// UDPHandler receives datagrams on a bound UDP port.
+type UDPHandler func(src IP, srcPort uint16, payload []byte)
+
+// Host is one IP endpoint: a NIC, an address, ARP, and the transport
+// demultiplexers. All methods must be called from simulation events.
+type Host struct {
+	Eng     *sim.Engine
+	Name    string
+	NIC     *netsim.NIC
+	IP      IP
+	Profile StackProfile
+
+	// aliases are extra local addresses (traffic accepted, ARP
+	// answered): Synjitsu claims every idle service IP this way.
+	aliases map[IP]bool
+	// proxyARP addresses are answered at the ARP layer only — IP
+	// traffic to them is dropped. This models dom0 answering ARP for
+	// service IPs it does not itself serve.
+	proxyARP map[IP]bool
+
+	arpCache   map[IP]netsim.MAC
+	arpPending map[IP][]pendingPacket
+	udpPorts   map[uint16]UDPHandler
+	listeners  map[uint16]*TCPListener
+	conns      map[fourTuple]*TCPConn
+	nextPort   uint16
+	icmpSeq    uint16
+	pings      map[uint16]*pendingPing
+	rxBusy     sim.Duration // receive-path serialisation point
+
+	// Diagnostics.
+	RxPackets, TxPackets uint64
+	RxDropped            uint64
+	// TraceTCP, when set, observes every TCP segment the stack sends or
+	// receives ("tx"/"rx") — a tcpdump for the simulation.
+	TraceTCP func(dir string, seg *TCPSegment)
+
+	eth  Ethernet
+	arp  ARPPacket
+	ip4  IPv4Header
+	icmp ICMPEcho
+	udp  UDPHeader
+	tcp  TCPSegment
+}
+
+type pendingPacket struct {
+	proto   byte
+	payload []byte
+}
+
+type pendingPing struct {
+	sentAt sim.Duration
+	size   int
+	cb     func(rtt sim.Duration, err error)
+	timer  *sim.Event
+}
+
+// NewHost binds a stack to a NIC. The NIC's receive handler is taken
+// over by the stack.
+func NewHost(eng *sim.Engine, name string, nic *netsim.NIC, ip IP, profile StackProfile) *Host {
+	h := &Host{
+		Eng: eng, Name: name, NIC: nic, IP: ip, Profile: profile,
+		aliases:    make(map[IP]bool),
+		proxyARP:   make(map[IP]bool),
+		arpCache:   make(map[IP]netsim.MAC),
+		arpPending: make(map[IP][]pendingPacket),
+		udpPorts:   make(map[uint16]UDPHandler),
+		listeners:  make(map[uint16]*TCPListener),
+		conns:      make(map[fourTuple]*TCPConn),
+		pings:      make(map[uint16]*pendingPing),
+		nextPort:   49152,
+	}
+	nic.SetHandler(h.rxFrame)
+	return h
+}
+
+// procCost samples the stack's processing cost for a packet of n bytes.
+func (h *Host) procCost(n int) sim.Duration {
+	d := sim.Normal{Mean: h.Profile.ProcDelay, Stddev: h.Profile.ProcJitter}.Sample(h.Eng.Rand())
+	return d + sim.Duration(n)*h.Profile.PerByte
+}
+
+// rxFrame is the NIC receive path: charge the stack cost, then demux.
+// Processing is serialised (rxBusy) so jittered per-packet costs can
+// never reorder a flow — the stack is a single vCPU, not a packet pool.
+func (h *Host) rxFrame(frame []byte) {
+	h.RxPackets++
+	buf := append([]byte(nil), frame...) // own the frame beyond this event
+	now := h.Eng.Now()
+	if h.rxBusy < now {
+		h.rxBusy = now
+	}
+	h.rxBusy += h.procCost(len(frame))
+	h.Eng.At(h.rxBusy, func() { h.handleFrame(buf) })
+}
+
+func (h *Host) handleFrame(frame []byte) {
+	if err := h.eth.DecodeFromBytes(frame); err != nil {
+		h.RxDropped++
+		return
+	}
+	if h.eth.Dst != h.NIC.Addr && !h.eth.Dst.IsBroadcast() {
+		return // not for us (promiscuous snooping uses bridge mirrors)
+	}
+	switch h.eth.EtherType {
+	case EtherTypeARP:
+		h.handleARP(h.eth.Payload())
+	case EtherTypeIPv4:
+		h.handleIPv4(h.eth.Payload())
+	default:
+		h.RxDropped++
+	}
+}
+
+// ---- ARP ----
+
+func (h *Host) handleARP(payload []byte) {
+	if err := h.arp.DecodeFromBytes(payload); err != nil {
+		h.RxDropped++
+		return
+	}
+	a := &h.arp
+	// Learn the sender either way.
+	h.arpCache[a.SenderIP] = a.SenderMAC
+	h.flushPending(a.SenderIP)
+	if a.Op == ARPRequest && (h.HasIP(a.TargetIP) || h.proxyARP[a.TargetIP]) {
+		reply := ARPPacket{
+			Op: ARPReply, SenderMAC: h.NIC.Addr, SenderIP: a.TargetIP,
+			TargetMAC: a.SenderMAC, TargetIP: a.SenderIP,
+		}
+		h.sendEthernet(a.SenderMAC, EtherTypeARP, reply.Encode())
+	}
+}
+
+func (h *Host) flushPending(ip IP) {
+	pend := h.arpPending[ip]
+	if pend == nil {
+		return
+	}
+	delete(h.arpPending, ip)
+	mac := h.arpCache[ip]
+	for _, p := range pend {
+		h.sendEthernet(mac, EtherTypeIPv4, p.payload)
+	}
+}
+
+// SeedARP preloads an ARP cache entry, modelling a client that resolved
+// the address earlier (e.g. from a previous connection or because dom0
+// proxy-answers ARP for service IPs).
+func (h *Host) SeedARP(ip IP, mac netsim.MAC) { h.arpCache[ip] = mac }
+
+// AddIPAlias makes the stack fully own an extra address: it answers ARP
+// for it and accepts IP traffic to it. Synjitsu aliases every idle
+// service IP so it can complete handshakes on their behalf.
+func (h *Host) AddIPAlias(ip IP) { h.aliases[ip] = true }
+
+// RemoveIPAlias releases an alias (e.g. when the real unikernel takes
+// the address over).
+func (h *Host) RemoveIPAlias(ip IP) { delete(h.aliases, ip) }
+
+// HasIP reports whether ip is the primary address or an alias.
+func (h *Host) HasIP(ip IP) bool { return ip == h.IP || h.aliases[ip] }
+
+// AnnounceIP broadcasts a gratuitous ARP claiming ip at this stack's
+// MAC. Used when an address moves: a booted unikernel taking over from
+// Synjitsu, or the proxy re-claiming the IP of a reaped service so
+// clients' caches stop pointing at the dead guest.
+func (h *Host) AnnounceIP(ip IP) {
+	pkt := ARPPacket{
+		Op: ARPReply, SenderMAC: h.NIC.Addr, SenderIP: ip,
+		TargetMAC: netsim.Broadcast, TargetIP: ip,
+	}
+	h.sendEthernet(netsim.Broadcast, EtherTypeARP, pkt.Encode())
+}
+
+// ProxyARPFor answers ARP for ip without accepting its IP traffic —
+// packets sent to it reach our MAC and die, which is exactly the
+// baseline (no-Synjitsu) behaviour whose SYN loss Figure 9a measures.
+func (h *Host) ProxyARPFor(ip IP) { h.proxyARP[ip] = true }
+
+// RemoveProxyARP stops answering for ip.
+func (h *Host) RemoveProxyARP(ip IP) { delete(h.proxyARP, ip) }
+
+// arpResolveTimeout drops queued packets if no reply arrives; the
+// retransmission logic of TCP (or the application) recovers.
+const arpResolveTimeout = 3 * time.Second
+
+// sendIPv4 routes a transport payload to dst, resolving via ARP.
+func (h *Host) sendIPv4(dst IP, proto byte, payload []byte) {
+	h.sendIPv4From(h.IP, dst, proto, payload)
+}
+
+// sendIPv4From sends with an explicit source address: proxied TCP
+// connections answer from the service IP (an alias), not the stack's
+// primary address.
+func (h *Host) sendIPv4From(src, dst IP, proto byte, payload []byte) {
+	if h.HasIP(dst) {
+		// Loopback: re-enter the stack after the processing cost, no wire.
+		hdr := IPv4Header{Protocol: proto, Src: src, Dst: dst}
+		pkt := hdr.Encode(payload)
+		h.Eng.After(h.procCost(len(pkt)), func() { h.handleIPv4(pkt) })
+		return
+	}
+	hdr := IPv4Header{Protocol: proto, Src: src, Dst: dst}
+	pkt := hdr.Encode(payload)
+	h.TxPackets++
+	if mac, ok := h.arpCache[dst]; ok {
+		h.sendEthernet(mac, EtherTypeIPv4, pkt)
+		return
+	}
+	// Queue behind an ARP resolution.
+	first := len(h.arpPending[dst]) == 0
+	h.arpPending[dst] = append(h.arpPending[dst], pendingPacket{proto: proto, payload: pkt})
+	if first {
+		req := ARPPacket{Op: ARPRequest, SenderMAC: h.NIC.Addr, SenderIP: h.IP, TargetIP: dst}
+		h.sendEthernet(netsim.Broadcast, EtherTypeARP, req.Encode())
+		h.Eng.After(arpResolveTimeout, func() {
+			if _, ok := h.arpCache[dst]; !ok {
+				delete(h.arpPending, dst)
+			}
+		})
+	}
+}
+
+func (h *Host) sendEthernet(dst netsim.MAC, etherType uint16, payload []byte) {
+	eth := Ethernet{Dst: dst, Src: h.NIC.Addr, EtherType: etherType}
+	_ = h.NIC.Send(eth.Encode(payload))
+}
+
+// ---- IPv4 demux ----
+
+func (h *Host) handleIPv4(packet []byte) {
+	if err := h.ip4.DecodeFromBytes(packet); err != nil {
+		h.RxDropped++
+		return
+	}
+	if !h.HasIP(h.ip4.Dst) {
+		h.RxDropped++
+		return
+	}
+	src, dst, payload := h.ip4.Src, h.ip4.Dst, h.ip4.Payload()
+	switch h.ip4.Protocol {
+	case ProtoICMP:
+		h.handleICMP(src, payload)
+	case ProtoUDP:
+		h.handleUDP(src, payload)
+	case ProtoTCP:
+		h.handleTCP(src, dst, payload)
+	default:
+		h.RxDropped++
+	}
+}
+
+// ---- ICMP ----
+
+func (h *Host) handleICMP(src IP, payload []byte) {
+	if err := h.icmp.DecodeFromBytes(payload); err != nil {
+		h.RxDropped++
+		return
+	}
+	switch h.icmp.Type {
+	case ICMPEchoRequest:
+		reply := ICMPEcho{Type: ICMPEchoReply, ID: h.icmp.ID, Seq: h.icmp.Seq,
+			Data: append([]byte(nil), h.icmp.Data...)}
+		h.sendIPv4(src, ProtoICMP, reply.Encode())
+	case ICMPEchoReply:
+		if p, ok := h.pings[h.icmp.Seq]; ok {
+			delete(h.pings, h.icmp.Seq)
+			h.Eng.Cancel(p.timer)
+			p.cb(h.Eng.Now()-p.sentAt, nil)
+		}
+	}
+}
+
+// Ping sends an ICMP echo with payloadLen bytes of data and reports the
+// RTT (Figure 8's workload).
+func (h *Host) Ping(dst IP, payloadLen int, timeout sim.Duration, cb func(rtt sim.Duration, err error)) {
+	h.icmpSeq++
+	seq := h.icmpSeq
+	data := make([]byte, payloadLen)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	req := ICMPEcho{Type: ICMPEchoRequest, ID: 0x4a49, Seq: seq, Data: data}
+	p := &pendingPing{sentAt: h.Eng.Now(), size: payloadLen, cb: cb}
+	p.timer = h.Eng.After(timeout, func() {
+		if _, ok := h.pings[seq]; ok {
+			delete(h.pings, seq)
+			cb(0, ErrTimeout)
+		}
+	})
+	h.pings[seq] = p
+	h.sendIPv4(dst, ProtoICMP, req.Encode())
+}
+
+// ---- UDP ----
+
+// BindUDP registers a datagram handler on a port.
+func (h *Host) BindUDP(port uint16, fn UDPHandler) error {
+	if _, ok := h.udpPorts[port]; ok {
+		return ErrPortInUse
+	}
+	h.udpPorts[port] = fn
+	return nil
+}
+
+// UnbindUDP releases a port.
+func (h *Host) UnbindUDP(port uint16) { delete(h.udpPorts, port) }
+
+// SendUDP transmits one datagram.
+func (h *Host) SendUDP(dst IP, srcPort, dstPort uint16, payload []byte) {
+	u := UDPHeader{SrcPort: srcPort, DstPort: dstPort}
+	h.sendIPv4(dst, ProtoUDP, u.Encode(h.IP, dst, payload))
+}
+
+func (h *Host) handleUDP(src IP, payload []byte) {
+	if err := h.udp.DecodeFromBytes(payload, src, h.IP); err != nil {
+		h.RxDropped++
+		return
+	}
+	fn, ok := h.udpPorts[h.udp.DstPort]
+	if !ok {
+		h.RxDropped++
+		return
+	}
+	fn(src, h.udp.SrcPort, h.udp.Payload())
+}
+
+// ephemeralPort allocates a client port.
+func (h *Host) ephemeralPort() uint16 {
+	for {
+		h.nextPort++
+		if h.nextPort < 49152 {
+			h.nextPort = 49152
+		}
+		p := h.nextPort
+		if _, ok := h.listeners[p]; ok {
+			continue
+		}
+		inUse := false
+		for k := range h.conns {
+			if k.localPort == p {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			return p
+		}
+	}
+}
+
+func (h *Host) String() string {
+	return fmt.Sprintf("%s(%s)", h.Name, h.IP)
+}

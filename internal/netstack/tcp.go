@@ -1,0 +1,562 @@
+package netstack
+
+import (
+	"time"
+
+	"jitsu/internal/sim"
+)
+
+// TCPState is the RFC 793 connection state.
+type TCPState int
+
+// Connection states.
+const (
+	StateClosed TCPState = iota
+	StateListen
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateLastAck
+	StateClosing
+	StateTimeWait
+)
+
+var tcpStateNames = [...]string{
+	"CLOSED", "LISTEN", "SYN_SENT", "SYN_RCVD", "ESTABLISHED",
+	"FIN_WAIT_1", "FIN_WAIT_2", "CLOSE_WAIT", "LAST_ACK", "CLOSING", "TIME_WAIT",
+}
+
+func (s TCPState) String() string { return tcpStateNames[s] }
+
+// TCP tuning. The stack favours fidelity of control-plane behaviour
+// (handshakes, retransmission timing) over bulk-transfer sophistication:
+// fixed windows, no SACK, no congestion control beyond a static cap —
+// the simulated links are lossless, so the link rate is the bottleneck.
+const (
+	// DefaultMSS is the segment payload cap on our MTU-1500 fabric.
+	DefaultMSS = 1460
+	// tcpWindow is the advertised (and honoured) receive window.
+	tcpWindow = 0xffff
+	// synRTO is the initial SYN retransmission timeout. This 1-second
+	// timer is the villain of §3.3: "The SYN packet is dropped, and the
+	// client retransmits after 1s — well outside our low-latency
+	// requirement."
+	synRTO = 1 * time.Second
+	// dataRTO is the initial retransmission timeout for data and FIN.
+	dataRTO = 500 * time.Millisecond
+	// maxRetries aborts a connection after this many back-offs.
+	maxRetries = 6
+	// timeWaitDelay is 2*MSL, shortened to keep simulations snappy.
+	timeWaitDelay = 2 * time.Second
+	// maxFlight caps unacknowledged bytes in flight (a static cwnd).
+	maxFlight = 64 * 1024
+)
+
+func seqLT(a, b uint32) bool  { return int32(a-b) < 0 }
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// TCPListener accepts connections on a port.
+type TCPListener struct {
+	host   *Host
+	port   uint16
+	onConn func(*TCPConn)
+}
+
+// Close stops accepting (existing connections continue).
+func (l *TCPListener) Close() {
+	if l.host.listeners[l.port] == l {
+		delete(l.host.listeners, l.port)
+	}
+}
+
+// ListenTCP binds port and invokes onConn for each connection once its
+// three-way handshake completes.
+func (h *Host) ListenTCP(port uint16, onConn func(*TCPConn)) (*TCPListener, error) {
+	if _, ok := h.listeners[port]; ok {
+		return nil, ErrPortInUse
+	}
+	l := &TCPListener{host: h, port: port, onConn: onConn}
+	h.listeners[port] = l
+	return l, nil
+}
+
+// TCPConn is one TCP connection endpoint.
+type TCPConn struct {
+	host  *Host
+	key   fourTuple
+	state TCPState
+
+	iss, irs       uint32 // initial send / receive sequence numbers
+	sndUna, sndNxt uint32
+	rcvNxt         uint32
+	sndWnd         uint16
+	mss            int
+
+	sndBuf    []byte // bytes from sndUna onward (unacked + unsent)
+	finQueued bool
+	finSent   bool
+
+	rto     sim.Duration
+	rtxEv   *sim.Event
+	retries int
+
+	onData        func([]byte)
+	onEstablished func()
+	onClose       func(error)
+	pendingData   [][]byte // delivered before OnData was installed
+	closedErr     error
+	closeNotified bool
+
+	// BytesIn/BytesOut count application payload for diagnostics.
+	BytesIn, BytesOut uint64
+	// Retransmits counts RTO firings (visible in Figure 9a cold starts).
+	Retransmits int
+}
+
+// State returns the current connection state.
+func (c *TCPConn) State() TCPState { return c.state }
+
+// LocalAddr / RemoteAddr return the endpoint addresses.
+func (c *TCPConn) LocalAddr() (IP, uint16)  { return c.key.localIP, c.key.localPort }
+func (c *TCPConn) RemoteAddr() (IP, uint16) { return c.key.remoteIP, c.key.remotePort }
+
+// OnData installs the receive callback; any data that arrived earlier is
+// delivered immediately, preserving order.
+func (c *TCPConn) OnData(fn func([]byte)) {
+	c.onData = fn
+	for _, b := range c.pendingData {
+		c.BytesIn += uint64(len(b))
+		fn(b)
+	}
+	c.pendingData = nil
+}
+
+// OnClose installs the teardown callback: nil error for orderly close,
+// ErrConnReset / ErrTimeout otherwise. If the connection already ended,
+// it fires immediately.
+func (c *TCPConn) OnClose(fn func(error)) {
+	c.onClose = fn
+	if c.closeNotified {
+		fn(c.closedErr)
+	}
+}
+
+// DialTCP opens a connection; done fires when established or failed.
+func (h *Host) DialTCP(dst IP, dstPort uint16, done func(*TCPConn, error)) *TCPConn {
+	c := &TCPConn{
+		host: h,
+		key: fourTuple{localIP: h.IP, remoteIP: dst,
+			localPort: h.ephemeralPort(), remotePort: dstPort},
+		state:  StateSynSent,
+		iss:    h.Eng.Rand().Uint32(),
+		sndWnd: tcpWindow,
+		mss:    DefaultMSS,
+		rto:    synRTO,
+	}
+	c.sndUna, c.sndNxt = c.iss, c.iss+1
+	established := false
+	c.onEstablished = func() {
+		established = true
+		done(c, nil)
+	}
+	c.onClose = func(err error) {
+		if !established {
+			if err == nil {
+				err = ErrConnClosed
+			}
+			done(nil, err)
+		}
+	}
+	h.conns[c.key] = c
+	c.sendSegment(FlagSYN, c.iss, 0, nil, uint16(DefaultMSS))
+	c.armRtx()
+	return c
+}
+
+// Send queues application data for transmission.
+func (c *TCPConn) Send(data []byte) error {
+	switch c.state {
+	case StateEstablished, StateCloseWait:
+	default:
+		return ErrConnClosed
+	}
+	if c.finQueued {
+		return ErrConnClosed
+	}
+	c.BytesOut += uint64(len(data))
+	c.sndBuf = append(c.sndBuf, data...)
+	c.trySend()
+	return nil
+}
+
+// Close performs an orderly shutdown: a FIN follows any queued data.
+func (c *TCPConn) Close() {
+	switch c.state {
+	case StateEstablished, StateSynRcvd:
+		c.finQueued = true
+		c.state = StateFinWait1
+	case StateCloseWait:
+		c.finQueued = true
+		c.state = StateLastAck
+	default:
+		return
+	}
+	c.trySend()
+}
+
+// Abort sends RST and drops the connection immediately.
+func (c *TCPConn) Abort() {
+	if c.state == StateClosed {
+		return
+	}
+	c.sendSegment(FlagRST|FlagACK, c.sndNxt, c.rcvNxt, nil, 0)
+	c.teardown(ErrConnReset)
+}
+
+// ---- internals ----
+
+// sendSegment emits one segment on the wire.
+func (c *TCPConn) sendSegment(flags byte, seq, ack uint32, payload []byte, mssOpt uint16) {
+	seg := TCPSegment{
+		SrcPort: c.key.localPort, DstPort: c.key.remotePort,
+		Seq: seq, Ack: ack, Flags: flags, Window: tcpWindow, MSS: mssOpt,
+	}
+	if c.host.TraceTCP != nil {
+		traced := seg
+		traced.payload = payload
+		c.host.TraceTCP("tx", &traced)
+	}
+	c.host.sendIPv4From(c.key.localIP, c.key.remoteIP, ProtoTCP,
+		seg.Encode(c.key.localIP, c.key.remoteIP, payload))
+}
+
+// trySend transmits as much of sndBuf as the windows allow, then the FIN
+// if queued and fully drained.
+func (c *TCPConn) trySend() {
+	wnd := int(c.sndWnd)
+	if wnd > maxFlight {
+		wnd = maxFlight
+	}
+	inFlight := int(c.sndNxt - c.sndUna)
+	if c.state == StateSynSent || c.state == StateSynRcvd {
+		return // SYN occupies the window until acked
+	}
+	sent := false
+	for {
+		offset := int(c.sndNxt - c.sndUna)
+		if c.finSent {
+			offset-- // FIN consumed one sequence number past the data
+		}
+		avail := len(c.sndBuf) - offset
+		if avail <= 0 || inFlight >= wnd || c.finSent {
+			break
+		}
+		n := avail
+		if n > c.mss {
+			n = c.mss
+		}
+		if n > wnd-inFlight {
+			n = wnd - inFlight
+		}
+		if n <= 0 {
+			break
+		}
+		c.sendSegment(FlagACK|FlagPSH, c.sndNxt, c.rcvNxt, c.sndBuf[offset:offset+n], 0)
+		c.sndNxt += uint32(n)
+		inFlight += n
+		sent = true
+	}
+	if c.finQueued && !c.finSent && int(c.sndNxt-c.sndUna) == len(c.sndBuf) {
+		c.sendSegment(FlagFIN|FlagACK, c.sndNxt, c.rcvNxt, nil, 0)
+		c.sndNxt++
+		c.finSent = true
+		sent = true
+	}
+	if sent {
+		c.armRtx()
+	}
+}
+
+// armRtx (re)starts the retransmission timer if anything is outstanding.
+func (c *TCPConn) armRtx() {
+	c.host.Eng.Cancel(c.rtxEv)
+	if c.sndUna == c.sndNxt {
+		return
+	}
+	c.rtxEv = c.host.Eng.After(c.rto, c.retransmit)
+}
+
+// retransmit resends from sndUna with exponential backoff.
+func (c *TCPConn) retransmit() {
+	if c.sndUna == c.sndNxt || c.state == StateClosed {
+		return
+	}
+	c.retries++
+	c.Retransmits++
+	if c.retries > maxRetries {
+		c.teardown(ErrTimeout)
+		return
+	}
+	c.rto *= 2
+	switch c.state {
+	case StateSynSent:
+		c.sendSegment(FlagSYN, c.iss, 0, nil, uint16(DefaultMSS))
+	case StateSynRcvd:
+		c.sendSegment(FlagSYN|FlagACK, c.iss, c.rcvNxt, nil, uint16(DefaultMSS))
+	default:
+		offset := 0
+		avail := len(c.sndBuf)
+		if avail > 0 && !allAcked(c) {
+			n := avail - offset
+			if n > c.mss {
+				n = c.mss
+			}
+			c.sendSegment(FlagACK|FlagPSH, c.sndUna, c.rcvNxt, c.sndBuf[offset:offset+n], 0)
+		} else if c.finSent {
+			c.sendSegment(FlagFIN|FlagACK, c.sndNxt-1, c.rcvNxt, nil, 0)
+		}
+	}
+	c.rtxEv = c.host.Eng.After(c.rto, c.retransmit)
+}
+
+func allAcked(c *TCPConn) bool { return len(c.sndBuf) == 0 }
+
+// handleTCP is the host demux: existing connection, listener, or RST.
+// dst is the actual destination address (primary IP or alias), so one
+// stack can serve many addresses — the Synjitsu proxy does.
+func (h *Host) handleTCP(src, dst IP, payload []byte) {
+	if err := h.tcp.DecodeFromBytes(payload, src, dst); err != nil {
+		h.RxDropped++
+		return
+	}
+	if h.TraceTCP != nil {
+		h.TraceTCP("rx", &h.tcp)
+	}
+	seg := h.tcp
+	key := fourTuple{localIP: dst, remoteIP: src, localPort: seg.DstPort, remotePort: seg.SrcPort}
+	if c, ok := h.conns[key]; ok {
+		c.handleSegment(&seg)
+		return
+	}
+	if l, ok := h.listeners[seg.DstPort]; ok && seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK == 0 {
+		l.acceptSYN(src, dst, &seg)
+		return
+	}
+	// No socket: RST (unless the offender was itself an RST).
+	if seg.Flags&FlagRST == 0 {
+		h.sendRST(src, dst, &seg)
+	}
+}
+
+func (h *Host) sendRST(src, dst IP, seg *TCPSegment) {
+	var rst TCPSegment
+	rst.SrcPort, rst.DstPort = seg.DstPort, seg.SrcPort
+	rst.Flags = FlagRST | FlagACK
+	rst.Seq = seg.Ack
+	rst.Ack = seg.Seq + uint32(len(seg.Payload()))
+	if seg.Flags&FlagSYN != 0 {
+		rst.Ack++
+	}
+	h.sendIPv4From(dst, src, ProtoTCP, rst.Encode(dst, src, nil))
+}
+
+// acceptSYN creates the half-open server-side connection and answers
+// SYN-ACK.
+func (l *TCPListener) acceptSYN(src, dst IP, seg *TCPSegment) {
+	h := l.host
+	c := &TCPConn{
+		host: h,
+		key: fourTuple{localIP: dst, remoteIP: src,
+			localPort: seg.DstPort, remotePort: seg.SrcPort},
+		state:  StateSynRcvd,
+		iss:    h.Eng.Rand().Uint32(),
+		irs:    seg.Seq,
+		rcvNxt: seg.Seq + 1,
+		sndWnd: seg.Window,
+		mss:    DefaultMSS,
+		rto:    dataRTO,
+	}
+	if seg.MSS != 0 && int(seg.MSS) < c.mss {
+		c.mss = int(seg.MSS)
+	}
+	c.sndUna, c.sndNxt = c.iss, c.iss+1
+	c.onEstablished = func() { l.onConn(c) }
+	h.conns[c.key] = c
+	c.sendSegment(FlagSYN|FlagACK, c.iss, c.rcvNxt, nil, uint16(DefaultMSS))
+	c.armRtx()
+}
+
+// handleSegment is the per-connection state machine.
+func (c *TCPConn) handleSegment(seg *TCPSegment) {
+	if seg.Flags&FlagRST != 0 {
+		if c.state == StateSynSent && seg.Ack != c.iss+1 {
+			return // RST for something else
+		}
+		c.teardown(ErrConnReset)
+		return
+	}
+
+	switch c.state {
+	case StateSynSent:
+		if seg.Flags&(FlagSYN|FlagACK) == FlagSYN|FlagACK && seg.Ack == c.iss+1 {
+			c.irs = seg.Seq
+			c.rcvNxt = seg.Seq + 1
+			c.sndUna = seg.Ack
+			c.sndWnd = seg.Window
+			if seg.MSS != 0 && int(seg.MSS) < c.mss {
+				c.mss = int(seg.MSS)
+			}
+			c.state = StateEstablished
+			c.rto = dataRTO
+			c.retries = 0
+			c.host.Eng.Cancel(c.rtxEv)
+			c.sendSegment(FlagACK, c.sndNxt, c.rcvNxt, nil, 0)
+			if c.onEstablished != nil {
+				c.onEstablished()
+			}
+			c.trySend()
+		}
+		return
+	case StateSynRcvd:
+		if seg.Flags&FlagACK != 0 && seg.Ack == c.iss+1 {
+			c.sndUna = seg.Ack
+			c.sndWnd = seg.Window
+			c.state = StateEstablished
+			c.rto = dataRTO
+			c.retries = 0
+			c.host.Eng.Cancel(c.rtxEv)
+			if c.onEstablished != nil {
+				c.onEstablished()
+			}
+			// Fall through to process any piggybacked payload.
+		} else if seg.Flags&FlagSYN != 0 {
+			// Duplicate SYN: repeat the SYN-ACK.
+			c.sendSegment(FlagSYN|FlagACK, c.iss, c.rcvNxt, nil, uint16(DefaultMSS))
+			return
+		} else {
+			return
+		}
+	}
+
+	// ACK processing.
+	if seg.Flags&FlagACK != 0 {
+		if seqLT(c.sndUna, seg.Ack) && seqLEQ(seg.Ack, c.sndNxt) {
+			acked := seg.Ack - c.sndUna
+			dataAcked := acked
+			if c.finSent && seg.Ack == c.sndNxt {
+				dataAcked-- // the FIN's sequence slot
+			}
+			if int(dataAcked) <= len(c.sndBuf) {
+				c.sndBuf = c.sndBuf[dataAcked:]
+			} else {
+				c.sndBuf = nil
+			}
+			c.sndUna = seg.Ack
+			c.retries = 0
+			c.rto = dataRTO
+			c.armRtx()
+			// FIN fully acknowledged?
+			if c.finSent && c.sndUna == c.sndNxt {
+				switch c.state {
+				case StateFinWait1:
+					c.state = StateFinWait2
+				case StateClosing:
+					c.enterTimeWait()
+				case StateLastAck:
+					c.teardown(nil)
+					return
+				}
+			}
+		}
+		c.sndWnd = seg.Window
+	}
+
+	// In-order data.
+	payload := seg.Payload()
+	if len(payload) > 0 {
+		switch c.state {
+		case StateEstablished, StateFinWait1, StateFinWait2:
+			if seg.Seq == c.rcvNxt {
+				c.rcvNxt += uint32(len(payload))
+				c.deliver(payload)
+				c.sendSegment(FlagACK, c.sndNxt, c.rcvNxt, nil, 0)
+			} else {
+				// Out of order or duplicate: re-ACK our position.
+				c.sendSegment(FlagACK, c.sndNxt, c.rcvNxt, nil, 0)
+			}
+		default:
+			c.sendSegment(FlagACK, c.sndNxt, c.rcvNxt, nil, 0)
+		}
+	}
+
+	// FIN processing (only when it is the next expected sequence).
+	if seg.Flags&FlagFIN != 0 && seg.Seq+uint32(len(payload)) == c.rcvNxt ||
+		seg.Flags&FlagFIN != 0 && seg.Seq == c.rcvNxt {
+		c.rcvNxt++
+		c.sendSegment(FlagACK, c.sndNxt, c.rcvNxt, nil, 0)
+		switch c.state {
+		case StateEstablished:
+			c.state = StateCloseWait
+			c.notifyRemoteClosed()
+		case StateFinWait1:
+			if c.finSent && c.sndUna == c.sndNxt {
+				c.enterTimeWait()
+			} else {
+				c.state = StateClosing
+			}
+		case StateFinWait2:
+			c.enterTimeWait()
+		}
+	}
+
+	c.trySend()
+}
+
+// deliver hands payload to the application (or buffers it).
+func (c *TCPConn) deliver(payload []byte) {
+	buf := append([]byte(nil), payload...)
+	if c.onData == nil {
+		c.pendingData = append(c.pendingData, buf)
+		return
+	}
+	c.BytesIn += uint64(len(buf))
+	c.onData(buf)
+}
+
+// notifyRemoteClosed signals EOF-ish closure to the app: for our
+// callback API, remote FIN with no local Close yet surfaces via OnClose
+// with nil error once both directions finish; apps that want half-close
+// semantics can watch State() == CLOSE_WAIT.
+func (c *TCPConn) notifyRemoteClosed() {
+	if c.onClose != nil && !c.closeNotified {
+		// Orderly remote close; the app should Close() its side.
+		// We do not tear down yet.
+		c.closeNotified = true
+		c.closedErr = nil
+		c.onClose(nil)
+	}
+}
+
+func (c *TCPConn) enterTimeWait() {
+	c.state = StateTimeWait
+	c.host.Eng.Cancel(c.rtxEv)
+	c.host.Eng.After(timeWaitDelay, func() { c.teardown(nil) })
+}
+
+// teardown finishes the connection and notifies the app.
+func (c *TCPConn) teardown(err error) {
+	if c.state == StateClosed {
+		return
+	}
+	c.state = StateClosed
+	c.host.Eng.Cancel(c.rtxEv)
+	delete(c.host.conns, c.key)
+	c.closedErr = err
+	if c.onClose != nil && !c.closeNotified {
+		c.closeNotified = true
+		c.onClose(err)
+	}
+}

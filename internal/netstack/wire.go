@@ -1,0 +1,454 @@
+// Package netstack is an event-driven TCP/IP stack over the netsim
+// fabric — the stand-in for the OCaml mirage-tcpip stack the paper's
+// unikernels run. It provides Ethernet, ARP, IPv4, ICMP, UDP and TCP,
+// plus a minimal HTTP layer, and — crucially for Synjitsu (§3.3.1) — TCP
+// control blocks that can be serialised through XenStore and resumed in
+// another stack instance.
+//
+// Decoding follows the layer-struct style of gopacket's DecodingLayer:
+// preallocated header structs with DecodeFromBytes that never allocate,
+// and explicit zero-copy payload sub-slices.
+package netstack
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"jitsu/internal/netsim"
+)
+
+// Wire-format errors.
+var (
+	ErrTruncated   = errors.New("netstack: truncated packet")
+	ErrBadChecksum = errors.New("netstack: bad checksum")
+	ErrBadVersion  = errors.New("netstack: bad IP version")
+)
+
+// IP is an IPv4 address, comparable and usable as a map key.
+type IP [4]byte
+
+// String renders dotted quad.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// IPv4 builds an address from octets.
+func IPv4(a, b, c, d byte) IP { return IP{a, b, c, d} }
+
+// ParseIP parses a dotted quad; it returns false on malformed input.
+func ParseIP(s string) (IP, bool) {
+	var ip IP
+	part, idx := 0, 0
+	seen := false
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			if !seen || idx > 3 {
+				return IP{}, false
+			}
+			ip[idx] = byte(part)
+			idx++
+			part, seen = 0, false
+			continue
+		}
+		ch := s[i]
+		if ch < '0' || ch > '9' {
+			return IP{}, false
+		}
+		part = part*10 + int(ch-'0')
+		if part > 255 {
+			return IP{}, false
+		}
+		seen = true
+	}
+	if idx != 4 {
+		return IP{}, false
+	}
+	return ip, true
+}
+
+// SameSubnet reports whether two addresses share a /24, the only subnet
+// size our edge networks use.
+func SameSubnet(a, b IP) bool { return a[0] == b[0] && a[1] == b[1] && a[2] == b[2] }
+
+// EtherType values the stack speaks.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+)
+
+// EthernetHeaderLen is the fixed 14-byte header size.
+const EthernetHeaderLen = 14
+
+// Ethernet is the link-layer header.
+type Ethernet struct {
+	Dst, Src  netsim.MAC
+	EtherType uint16
+	payload   []byte
+}
+
+// DecodeFromBytes parses the header; Payload returns the rest zero-copy.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < EthernetHeaderLen {
+		return ErrTruncated
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	e.payload = data[EthernetHeaderLen:]
+	return nil
+}
+
+// Payload returns the bytes after the header (valid until the frame is
+// reused).
+func (e *Ethernet) Payload() []byte { return e.payload }
+
+// Encode prepends the header to payload in a fresh buffer.
+func (e *Ethernet) Encode(payload []byte) []byte {
+	buf := make([]byte, EthernetHeaderLen+len(payload))
+	copy(buf[0:6], e.Dst[:])
+	copy(buf[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(buf[12:14], e.EtherType)
+	copy(buf[EthernetHeaderLen:], payload)
+	return buf
+}
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARPPacket is an Ethernet/IPv4 ARP message.
+type ARPPacket struct {
+	Op                 uint16
+	SenderMAC          netsim.MAC
+	SenderIP, TargetIP IP
+	TargetMAC          netsim.MAC
+}
+
+const arpLen = 28
+
+// DecodeFromBytes parses an ARP payload.
+func (a *ARPPacket) DecodeFromBytes(data []byte) error {
+	if len(data) < arpLen {
+		return ErrTruncated
+	}
+	if binary.BigEndian.Uint16(data[0:2]) != 1 || // hardware: ethernet
+		binary.BigEndian.Uint16(data[2:4]) != EtherTypeIPv4 ||
+		data[4] != 6 || data[5] != 4 {
+		return fmt.Errorf("netstack: unsupported ARP format")
+	}
+	a.Op = binary.BigEndian.Uint16(data[6:8])
+	copy(a.SenderMAC[:], data[8:14])
+	copy(a.SenderIP[:], data[14:18])
+	copy(a.TargetMAC[:], data[18:24])
+	copy(a.TargetIP[:], data[24:28])
+	return nil
+}
+
+// Encode renders the 28-byte ARP payload.
+func (a *ARPPacket) Encode() []byte {
+	buf := make([]byte, arpLen)
+	binary.BigEndian.PutUint16(buf[0:2], 1)
+	binary.BigEndian.PutUint16(buf[2:4], EtherTypeIPv4)
+	buf[4], buf[5] = 6, 4
+	binary.BigEndian.PutUint16(buf[6:8], a.Op)
+	copy(buf[8:14], a.SenderMAC[:])
+	copy(buf[14:18], a.SenderIP[:])
+	copy(buf[18:24], a.TargetMAC[:])
+	copy(buf[24:28], a.TargetIP[:])
+	return buf
+}
+
+// IP protocol numbers.
+const (
+	ProtoICMP byte = 1
+	ProtoTCP  byte = 6
+	ProtoUDP  byte = 17
+)
+
+// IPv4HeaderLen is the option-free header size (the stack never emits
+// options).
+const IPv4HeaderLen = 20
+
+// IPv4Header is the network-layer header.
+type IPv4Header struct {
+	TTL      byte
+	Protocol byte
+	Src, Dst IP
+	ID       uint16
+	totalLen int
+	payload  []byte
+}
+
+// DecodeFromBytes parses and checksums the header.
+func (h *IPv4Header) DecodeFromBytes(data []byte) error {
+	if len(data) < IPv4HeaderLen {
+		return ErrTruncated
+	}
+	if data[0]>>4 != 4 {
+		return ErrBadVersion
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(data) < ihl {
+		return ErrTruncated
+	}
+	if Checksum(data[:ihl]) != 0 {
+		return ErrBadChecksum
+	}
+	h.totalLen = int(binary.BigEndian.Uint16(data[2:4]))
+	if h.totalLen < ihl || h.totalLen > len(data) {
+		return ErrTruncated
+	}
+	h.ID = binary.BigEndian.Uint16(data[4:6])
+	h.TTL = data[8]
+	h.Protocol = data[9]
+	copy(h.Src[:], data[12:16])
+	copy(h.Dst[:], data[16:20])
+	h.payload = data[ihl:h.totalLen]
+	return nil
+}
+
+// Payload returns the bytes covered by TotalLength after the header.
+func (h *IPv4Header) Payload() []byte { return h.payload }
+
+// Encode renders header+payload with a correct checksum.
+func (h *IPv4Header) Encode(payload []byte) []byte {
+	buf := make([]byte, IPv4HeaderLen+len(payload))
+	buf[0] = 0x45
+	binary.BigEndian.PutUint16(buf[2:4], uint16(IPv4HeaderLen+len(payload)))
+	binary.BigEndian.PutUint16(buf[4:6], h.ID)
+	ttl := h.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	buf[8] = ttl
+	buf[9] = h.Protocol
+	copy(buf[12:16], h.Src[:])
+	copy(buf[16:20], h.Dst[:])
+	binary.BigEndian.PutUint16(buf[10:12], Checksum(buf[:IPv4HeaderLen]))
+	copy(buf[IPv4HeaderLen:], payload)
+	return buf
+}
+
+// ICMP types.
+const (
+	ICMPEchoReply   byte = 0
+	ICMPEchoRequest byte = 8
+)
+
+// ICMPEcho is an echo request/reply message.
+type ICMPEcho struct {
+	Type    byte
+	ID, Seq uint16
+	Data    []byte
+}
+
+// DecodeFromBytes parses and checksums an ICMP message.
+func (m *ICMPEcho) DecodeFromBytes(data []byte) error {
+	if len(data) < 8 {
+		return ErrTruncated
+	}
+	if Checksum(data) != 0 {
+		return ErrBadChecksum
+	}
+	m.Type = data[0]
+	m.ID = binary.BigEndian.Uint16(data[4:6])
+	m.Seq = binary.BigEndian.Uint16(data[6:8])
+	m.Data = data[8:]
+	return nil
+}
+
+// Encode renders the message with checksum.
+func (m *ICMPEcho) Encode() []byte {
+	buf := make([]byte, 8+len(m.Data))
+	buf[0] = m.Type
+	binary.BigEndian.PutUint16(buf[4:6], m.ID)
+	binary.BigEndian.PutUint16(buf[6:8], m.Seq)
+	copy(buf[8:], m.Data)
+	binary.BigEndian.PutUint16(buf[2:4], Checksum(buf))
+	return buf
+}
+
+// UDPHeader is the transport header for datagrams.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+	payload          []byte
+}
+
+// UDPHeaderLen is the fixed UDP header size.
+const UDPHeaderLen = 8
+
+// DecodeFromBytes parses a UDP datagram, verifying the checksum against
+// the pseudo-header when present (non-zero).
+func (u *UDPHeader) DecodeFromBytes(data []byte, src, dst IP) error {
+	if len(data) < UDPHeaderLen {
+		return ErrTruncated
+	}
+	ulen := int(binary.BigEndian.Uint16(data[4:6]))
+	if ulen < UDPHeaderLen || ulen > len(data) {
+		return ErrTruncated
+	}
+	if binary.BigEndian.Uint16(data[6:8]) != 0 {
+		if PseudoChecksum(src, dst, ProtoUDP, data[:ulen]) != 0 {
+			return ErrBadChecksum
+		}
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.payload = data[UDPHeaderLen:ulen]
+	return nil
+}
+
+// Payload returns the datagram body.
+func (u *UDPHeader) Payload() []byte { return u.payload }
+
+// Encode renders the datagram with a pseudo-header checksum.
+func (u *UDPHeader) Encode(src, dst IP, payload []byte) []byte {
+	buf := make([]byte, UDPHeaderLen+len(payload))
+	binary.BigEndian.PutUint16(buf[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(buf[4:6], uint16(len(buf)))
+	copy(buf[UDPHeaderLen:], payload)
+	ck := PseudoChecksum(src, dst, ProtoUDP, buf)
+	if ck == 0 {
+		ck = 0xffff
+	}
+	binary.BigEndian.PutUint16(buf[6:8], ck)
+	// Re-zeroing trick: checksum was computed with field zero.
+	return buf
+}
+
+// TCP flags.
+const (
+	FlagFIN byte = 1 << 0
+	FlagSYN byte = 1 << 1
+	FlagRST byte = 1 << 2
+	FlagPSH byte = 1 << 3
+	FlagACK byte = 1 << 4
+)
+
+// TCPSegment is the transport header plus payload view for TCP.
+type TCPSegment struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            byte
+	Window           uint16
+	MSS              uint16 // from the SYN option; 0 if absent
+	payload          []byte
+}
+
+// TCPHeaderLen is the option-free header size.
+const TCPHeaderLen = 20
+
+// DecodeFromBytes parses and checksums a TCP segment.
+func (t *TCPSegment) DecodeFromBytes(data []byte, src, dst IP) error {
+	if len(data) < TCPHeaderLen {
+		return ErrTruncated
+	}
+	off := int(data[12]>>4) * 4
+	if off < TCPHeaderLen || off > len(data) {
+		return ErrTruncated
+	}
+	if PseudoChecksum(src, dst, ProtoTCP, data) != 0 {
+		return ErrBadChecksum
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.Flags = data[13]
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.MSS = 0
+	// Scan options for MSS (kind 2, len 4).
+	opts := data[TCPHeaderLen:off]
+	for len(opts) > 0 {
+		switch opts[0] {
+		case 0: // end of options
+			opts = nil
+		case 1: // nop
+			opts = opts[1:]
+		default:
+			if len(opts) < 2 || int(opts[1]) < 2 || int(opts[1]) > len(opts) {
+				return ErrTruncated
+			}
+			if opts[0] == 2 && opts[1] == 4 {
+				t.MSS = binary.BigEndian.Uint16(opts[2:4])
+			}
+			opts = opts[opts[1]:]
+		}
+	}
+	t.payload = data[off:]
+	return nil
+}
+
+// Payload returns the segment body.
+func (t *TCPSegment) Payload() []byte { return t.payload }
+
+// Encode renders the segment (with an MSS option when t.MSS != 0) and a
+// pseudo-header checksum.
+func (t *TCPSegment) Encode(src, dst IP, payload []byte) []byte {
+	hlen := TCPHeaderLen
+	if t.MSS != 0 {
+		hlen += 4
+	}
+	buf := make([]byte, hlen+len(payload))
+	binary.BigEndian.PutUint16(buf[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(buf[4:8], t.Seq)
+	binary.BigEndian.PutUint32(buf[8:12], t.Ack)
+	buf[12] = byte(hlen/4) << 4
+	buf[13] = t.Flags
+	binary.BigEndian.PutUint16(buf[14:16], t.Window)
+	if t.MSS != 0 {
+		buf[TCPHeaderLen] = 2
+		buf[TCPHeaderLen+1] = 4
+		binary.BigEndian.PutUint16(buf[TCPHeaderLen+2:TCPHeaderLen+4], t.MSS)
+	}
+	copy(buf[hlen:], payload)
+	binary.BigEndian.PutUint16(buf[16:18], PseudoChecksum(src, dst, ProtoTCP, buf))
+	return buf
+}
+
+// Checksum computes the Internet checksum (RFC 1071) of data, assuming
+// the checksum field within is zero (or returns 0 when verifying data
+// that includes a correct checksum).
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// PseudoChecksum computes the transport checksum over the IPv4
+// pseudo-header plus segment.
+func PseudoChecksum(src, dst IP, proto byte, segment []byte) uint16 {
+	var pseudo [12]byte
+	copy(pseudo[0:4], src[:])
+	copy(pseudo[4:8], dst[:])
+	pseudo[9] = proto
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(segment)))
+	var sum uint32
+	add := func(data []byte) {
+		for i := 0; i+1 < len(data); i += 2 {
+			sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+		}
+		if len(data)%2 == 1 {
+			sum += uint32(data[len(data)-1]) << 8
+		}
+	}
+	add(pseudo[:])
+	add(segment)
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

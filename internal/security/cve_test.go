@@ -1,0 +1,130 @@
+package security
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable2Shape(t *testing.T) {
+	cves := Table2()
+	if len(cves) != 32 {
+		t.Fatalf("table has %d CVEs, want 32 (10 embedded + 10 linux + 12 xen)", len(cves))
+	}
+	counts := map[Group]int{}
+	ids := map[string]bool{}
+	for _, c := range cves {
+		counts[c.Group]++
+		if ids[c.ID] {
+			t.Errorf("duplicate CVE id %s", c.ID)
+		}
+		ids[c.ID] = true
+		if !strings.HasPrefix(c.ID, "CVE-") {
+			t.Errorf("bad id %q", c.ID)
+		}
+	}
+	if counts[GroupEmbedded] != 10 || counts[GroupLinux] != 10 || counts[GroupXenARM] != 12 {
+		t.Fatalf("group counts = %v", counts)
+	}
+}
+
+func TestEmbeddedGroupEntirelyEliminated(t *testing.T) {
+	for _, c := range Table2() {
+		if c.Group != GroupEmbedded {
+			continue
+		}
+		v := Classify(&c)
+		if v.AffectsJitsu {
+			t.Errorf("%s (%s) should be eliminated: %s", c.ID, c.Description, v.Reason)
+		}
+	}
+}
+
+func TestLinuxGroupLargelyEliminated(t *testing.T) {
+	remaining := []string{}
+	for _, c := range Table2() {
+		if c.Group != GroupLinux {
+			continue
+		}
+		if Classify(&c).AffectsJitsu {
+			remaining = append(remaining, c.ID)
+		}
+	}
+	// "largely eliminated": only the physical-driver bugs survive.
+	want := map[string]bool{"CVE-2014-2672": true, "CVE-2014-2706": true}
+	if len(remaining) != len(want) {
+		t.Fatalf("remaining linux CVEs = %v, want exactly the driver bugs", remaining)
+	}
+	for _, id := range remaining {
+		if !want[id] {
+			t.Errorf("unexpected surviving CVE %s", id)
+		}
+	}
+}
+
+func TestXenGroupRemains(t *testing.T) {
+	for _, c := range Table2() {
+		if c.Group != GroupXenARM {
+			continue
+		}
+		if !Classify(&c).AffectsJitsu {
+			t.Errorf("%s should remain (hypervisor TCB)", c.ID)
+		}
+		if c.Remote {
+			t.Errorf("%s: paper notes no Xen/ARM CVE is remotely exploitable", c.ID)
+		}
+	}
+}
+
+func TestEmbeddedAllRemoteExecution(t *testing.T) {
+	// The top group is all remote code-execution overflows in parsers.
+	for _, c := range Table2() {
+		if c.Group != GroupEmbedded {
+			continue
+		}
+		if !c.App || !c.Remote || !c.Execute || !c.DoS || !c.Exposure {
+			t.Errorf("%s should have all capability flags set", c.ID)
+		}
+		if c.Vector != VectorNetworkParser {
+			t.Errorf("%s vector = %v", c.ID, c.Vector)
+		}
+	}
+}
+
+func TestSummariseAggregates(t *testing.T) {
+	sums := Summarise(Table2())
+	if len(sums) != 3 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	byGroup := map[Group]Summary{}
+	for _, s := range sums {
+		byGroup[s.Group] = s
+		if s.Eliminated+s.Remaining != s.Total {
+			t.Errorf("%v: %d+%d != %d", s.Group, s.Eliminated, s.Remaining, s.Total)
+		}
+	}
+	if byGroup[GroupEmbedded].Eliminated != 10 {
+		t.Errorf("embedded eliminated = %d", byGroup[GroupEmbedded].Eliminated)
+	}
+	if byGroup[GroupLinux].Eliminated != 8 || byGroup[GroupLinux].Remaining != 2 {
+		t.Errorf("linux = %+v", byGroup[GroupLinux])
+	}
+	if byGroup[GroupXenARM].Remaining != 12 {
+		t.Errorf("xen remaining = %d", byGroup[GroupXenARM].Remaining)
+	}
+}
+
+func TestClassifyGivesReasons(t *testing.T) {
+	for _, c := range Table2() {
+		if Classify(&c).Reason == "" {
+			t.Errorf("%s: empty reason", c.ID)
+		}
+	}
+	// ShellShock-style vector is handled even though it's not in the
+	// table (the paper discusses CVE-2014-6271 in prose).
+	shellshock := CVE{ID: "CVE-2014-6271", Description: "bash env parsing",
+		Group: GroupEmbedded, Vector: VectorShell,
+		App: true, Remote: true, Execute: true}
+	if v := Classify(&shellshock); v.AffectsJitsu {
+		t.Errorf("shellshock should be eliminated: %s", v.Reason)
+	}
+}

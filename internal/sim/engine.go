@@ -1,0 +1,163 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All Jitsu subsystems run on virtual time supplied by an Engine: events
+// are callbacks scheduled at absolute virtual instants, executed in
+// timestamp order (ties broken by scheduling order), so a whole host
+// simulation — hypervisor, XenStore, network stacks — is reproducible
+// bit-for-bit from a seed and runs in real milliseconds regardless of how
+// much virtual time it spans.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Duration is virtual time measured from the start of the simulation.
+// It reuses time.Duration so call sites can say 350*time.Millisecond.
+type Duration = time.Duration
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel it before it fires.
+type Event struct {
+	at    Duration
+	seq   uint64 // tie-breaker: FIFO among events at the same instant
+	fn    func()
+	index int // heap index; -1 once fired or cancelled
+}
+
+// At reports the virtual instant the event is (or was) scheduled for.
+func (e *Event) At() Duration { return e.at }
+
+// Cancelled reports whether the event has been cancelled or has already run.
+func (e *Event) Cancelled() bool { return e.index < 0 }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event scheduler. The zero value is not usable;
+// construct with New.
+type Engine struct {
+	now     Duration
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// New returns an Engine at virtual time zero whose random source is
+// seeded deterministically with seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Fired returns the number of events executed so far (useful in tests).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute virtual instant t.
+// Scheduling in the past panics: that is always a logic error in a
+// discrete-event model.
+func (e *Engine) At(t Duration, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current instant. Negative d is
+// clamped to zero so cost models may return tiny negative jitter safely.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op, so callers need not track state.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Step executes the single next event, advancing virtual time to its
+// instant. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to exactly t (even if no event lies there).
+func (e *Engine) RunUntil(t Duration) {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor executes events for the next d of virtual time.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now + d) }
+
+// Stop makes the innermost Run/RunUntil return after the current event.
+func (e *Engine) Stop() { e.stopped = true }

@@ -1,0 +1,402 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.At(30*time.Millisecond, func() { order = append(order, 3) })
+	e.At(10*time.Millisecond, func() { order = append(order, 1) })
+	e.At(20*time.Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineAfterFromWithinEvent(t *testing.T) {
+	e := New(1)
+	var secondAt Duration
+	e.At(10*time.Millisecond, func() {
+		e.After(5*time.Millisecond, func() { secondAt = e.Now() })
+	})
+	e.Run()
+	if secondAt != 15*time.Millisecond {
+		t.Fatalf("nested After fired at %v, want 15ms", secondAt)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.At(10*time.Millisecond, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event should report cancelled")
+	}
+	// Double cancel and nil cancel must be no-ops.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestEngineCancelAfterFire(t *testing.T) {
+	e := New(1)
+	ev := e.At(time.Millisecond, func() {})
+	e.Run()
+	e.Cancel(ev) // must not panic or corrupt the heap
+	if !ev.Cancelled() {
+		t.Fatal("fired event should report cancelled/fired")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := New(1)
+	var fired []Duration
+	for _, d := range []Duration{10, 20, 30, 40} {
+		d := d * Duration(time.Millisecond)
+		e.At(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(25 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(25ms) fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 25*time.Millisecond {
+		t.Fatalf("clock after RunUntil = %v, want 25ms", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("Run after RunUntil fired %d total, want 4", len(fired))
+	}
+}
+
+func TestEngineRunFor(t *testing.T) {
+	e := New(1)
+	n := 0
+	e.At(10*time.Millisecond, func() { n++ })
+	e.At(30*time.Millisecond, func() { n++ })
+	e.RunFor(20 * time.Millisecond)
+	if n != 1 {
+		t.Fatalf("RunFor(20ms) fired %d, want 1", n)
+	}
+	e.RunFor(20 * time.Millisecond)
+	if n != 2 {
+		t.Fatalf("second RunFor fired %d total, want 2", n)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := New(1)
+	n := 0
+	e.At(1*time.Millisecond, func() { n++; e.Stop() })
+	e.At(2*time.Millisecond, func() { n++ })
+	e.Run()
+	if n != 1 {
+		t.Fatalf("Stop did not halt Run: %d events fired", n)
+	}
+	e.Run() // resumes
+	if n != 2 {
+		t.Fatalf("Run did not resume after Stop: %d", n)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := New(1)
+	e.At(10*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5*time.Millisecond, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeAfterClamps(t *testing.T) {
+	e := New(1)
+	fired := false
+	e.After(-5*time.Millisecond, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("negative After should clamp to now and fire")
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []Duration {
+		e := New(seed)
+		var out []Duration
+		var rec func()
+		n := 0
+		rec = func() {
+			out = append(out, e.Now())
+			n++
+			if n < 50 {
+				e.After(Duration(e.Rand().Int63n(int64(time.Millisecond))), rec)
+			}
+		}
+		e.After(0, rec)
+		e.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("determinism: different event counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("determinism: event %d at %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces (suspicious)")
+	}
+}
+
+func TestProcSequence(t *testing.T) {
+	e := New(1)
+	p := NewProc(e)
+	var times []Duration
+	p.Then("a", func(p *Proc) {
+		times = append(times, e.Now())
+		p.Charge(10 * time.Millisecond)
+	}).Then("b", func(p *Proc) {
+		times = append(times, e.Now())
+		p.Charge(5 * time.Millisecond)
+	}).Then("c", func(p *Proc) {
+		times = append(times, e.Now())
+	})
+	var doneAt Duration
+	var doneErr error = errors.New("sentinel")
+	p.OnDone(func(err error) { doneAt, doneErr = e.Now(), err })
+	p.Start(2 * time.Millisecond)
+	e.Run()
+	want := []Duration{2 * time.Millisecond, 12 * time.Millisecond, 17 * time.Millisecond}
+	for i, w := range want {
+		if times[i] != w {
+			t.Fatalf("step %d at %v, want %v", i, times[i], w)
+		}
+	}
+	if doneAt != 17*time.Millisecond || doneErr != nil {
+		t.Fatalf("done at %v err %v", doneAt, doneErr)
+	}
+}
+
+func TestProcFail(t *testing.T) {
+	e := New(1)
+	p := NewProc(e)
+	boom := errors.New("boom")
+	ranC := false
+	p.Then("a", func(p *Proc) { p.Charge(time.Millisecond) }).
+		Then("b", func(p *Proc) { p.Fail(boom) }).
+		Then("c", func(p *Proc) { ranC = true })
+	var got error
+	p.OnDone(func(err error) { got = err })
+	p.Start(0)
+	e.Run()
+	if got != boom {
+		t.Fatalf("OnDone error = %v, want boom", got)
+	}
+	if ranC {
+		t.Fatal("step after Fail ran")
+	}
+}
+
+func TestProcAbort(t *testing.T) {
+	e := New(1)
+	p := NewProc(e)
+	ran := false
+	p.Then("a", func(p *Proc) { ran = true })
+	var got error
+	p.OnDone(func(err error) { got = err })
+	p.Start(10 * time.Millisecond)
+	e.RunUntil(5 * time.Millisecond)
+	cancelled := errors.New("cancelled")
+	p.Abort(cancelled)
+	e.Run()
+	if ran {
+		t.Fatal("aborted step ran")
+	}
+	if got != cancelled {
+		t.Fatalf("abort error = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	samples := []Duration{40, 10, 30, 20, 50}
+	cases := []struct {
+		q    float64
+		want Duration
+	}{
+		{0, 10}, {0.25, 20}, {0.5, 30}, {0.75, 40}, {1, 50},
+	}
+	for _, c := range cases {
+		if got := Quantile(samples, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input must not be mutated.
+	if samples[0] != 40 {
+		t.Error("Quantile sorted the caller's slice")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile(nil) should be 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]Duration{10, 20, 30}); got != 20 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+}
+
+func TestDistsNonNegativeAndDeterministic(t *testing.T) {
+	dists := []Dist{
+		Const(5 * time.Millisecond),
+		Uniform{Lo: time.Millisecond, Hi: 2 * time.Millisecond},
+		Normal{Mean: time.Millisecond, Stddev: 5 * time.Millisecond},
+		Exponential{Base: time.Microsecond, Mean: time.Millisecond},
+		LogNormal{Median: time.Millisecond, Sigma: 0.5},
+		Empirical{Samples: []Duration{1, 2, 3}},
+		Mixture{Weights: []float64{1, 3}, Parts: []Dist{Const(1), Const(2)}},
+		Scaled{Inner: Const(time.Millisecond), Factor: 0.5},
+	}
+	for i, d := range dists {
+		a := New(7).Rand()
+		b := New(7).Rand()
+		for j := 0; j < 200; j++ {
+			va, vb := d.Sample(a), d.Sample(b)
+			if va != vb {
+				t.Fatalf("dist %d not deterministic", i)
+			}
+			if va < 0 {
+				t.Fatalf("dist %d produced negative sample %v", i, va)
+			}
+		}
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	r := New(1).Rand()
+	u := Uniform{Lo: 5, Hi: 5}
+	if got := u.Sample(r); got != 5 {
+		t.Fatalf("degenerate uniform = %v", got)
+	}
+	u = Uniform{Lo: 5, Hi: 3}
+	if got := u.Sample(r); got != 5 {
+		t.Fatalf("inverted uniform = %v", got)
+	}
+}
+
+func TestMixtureWeights(t *testing.T) {
+	r := New(1).Rand()
+	m := Mixture{Weights: []float64{0, 1}, Parts: []Dist{Const(1), Const(2)}}
+	for i := 0; i < 100; i++ {
+		if m.Sample(r) != 2 {
+			t.Fatal("zero-weight part sampled")
+		}
+	}
+	if (Mixture{}).Sample(r) != 0 {
+		t.Fatal("empty mixture should sample 0")
+	}
+	if (Empirical{}).Sample(r) != 0 {
+		t.Fatal("empty empirical should sample 0")
+	}
+}
+
+// Property: Quantile is monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []int16, q1, q2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = Duration(v) + Duration(1<<15) // non-negative
+		}
+		q1 = clamp01(q1)
+		q2 = clamp01(q2)
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		a, b := Quantile(samples, q1), Quantile(samples, q2)
+		lo, hi := Quantile(samples, 0), Quantile(samples, 1)
+		return a <= b && a >= lo && b <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x != x || x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Property: the engine clock never moves backwards across any sequence of
+// scheduled events.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New(99)
+		last := Duration(-1)
+		ok := true
+		for _, d := range delays {
+			e.After(Duration(d)*time.Microsecond, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

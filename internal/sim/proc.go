@@ -1,0 +1,93 @@
+package sim
+
+// Proc is a lightweight sequential-process helper over the event engine.
+// A Proc chains steps: each step runs, charges a duration, and then the
+// next step runs after that duration of virtual time. It expresses boot
+// pipelines ("zero memory, then attach console, then plug vif") without
+// nesting callbacks five deep.
+type Proc struct {
+	eng   *Engine
+	delay Duration
+	err   error
+	ev    *Event
+	steps []step
+	done  []func(error)
+	idx   int
+}
+
+type step struct {
+	name string
+	fn   func(p *Proc)
+}
+
+// NewProc returns an empty process bound to the engine. Steps added with
+// Then run in order once Start is called.
+func NewProc(eng *Engine) *Proc { return &Proc{eng: eng} }
+
+// Then appends a named step. Inside the step, call Charge to consume
+// virtual time before the next step and Fail to abort the process.
+func (p *Proc) Then(name string, fn func(p *Proc)) *Proc {
+	p.steps = append(p.steps, step{name, fn})
+	return p
+}
+
+// Charge adds d of virtual time between this step and the next. Multiple
+// calls accumulate.
+func (p *Proc) Charge(d Duration) {
+	if d > 0 {
+		p.delay += d
+	}
+}
+
+// Fail aborts the process after the current step; OnDone callbacks
+// receive err.
+func (p *Proc) Fail(err error) { p.err = err }
+
+// Err returns the failure recorded so far, if any.
+func (p *Proc) Err() error { return p.err }
+
+// Engine returns the engine the process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// OnDone registers a completion callback invoked with nil on success or
+// the first Fail error.
+func (p *Proc) OnDone(fn func(error)) *Proc {
+	p.done = append(p.done, fn)
+	return p
+}
+
+// Start begins executing the steps. The first step runs after d.
+func (p *Proc) Start(d Duration) {
+	p.ev = p.eng.After(d, p.next)
+}
+
+// Abort cancels any pending step and completes the process with err
+// immediately (synchronously invoking OnDone callbacks).
+func (p *Proc) Abort(err error) {
+	p.eng.Cancel(p.ev)
+	p.err = err
+	p.finish()
+}
+
+func (p *Proc) next() {
+	if p.err != nil || p.idx >= len(p.steps) {
+		p.finish()
+		return
+	}
+	s := p.steps[p.idx]
+	p.idx++
+	p.delay = 0
+	s.fn(p)
+	if p.err != nil {
+		p.finish()
+		return
+	}
+	p.ev = p.eng.After(p.delay, p.next)
+}
+
+func (p *Proc) finish() {
+	for _, fn := range p.done {
+		fn(p.err)
+	}
+	p.done = nil
+}

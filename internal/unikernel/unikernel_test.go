@@ -1,0 +1,246 @@
+package unikernel
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"jitsu/internal/netsim"
+	"jitsu/internal/netstack"
+	"jitsu/internal/sim"
+	"jitsu/internal/xen"
+	"jitsu/internal/xenstore"
+)
+
+// rig is a host with a bridge and an external client.
+type rig struct {
+	eng    *sim.Engine
+	hyp    *xen.Hypervisor
+	ts     *xen.Toolstack
+	bridge *netsim.Bridge
+	l      *Launcher
+	client *netstack.Host
+}
+
+func newRig(opts xen.ToolstackOpts) *rig {
+	eng := sim.New(77)
+	st := xenstore.NewStore(xenstore.JitsuReconciler{})
+	hyp := xen.NewHypervisor(eng, st, xen.CubieboardARM(), 1024)
+	ts := xen.NewToolstack(hyp, opts)
+	br := netsim.NewBridge(eng, "xenbr0", 10*time.Microsecond)
+	l := NewLauncher(ts, br)
+	nicC := netsim.NewNIC(eng, "client", netsim.MACFor(1000))
+	br.ConnectNIC(nicC, 150*time.Microsecond, 100e6)
+	client := netstack.NewHost(eng, "client", nicC, netstack.IPv4(10, 0, 0, 9), netstack.LinuxNativeProfile())
+	return &rig{eng: eng, hyp: hyp, ts: ts, bridge: br, l: l, client: client}
+}
+
+func TestUnikernelBootTimeline(t *testing.T) {
+	r := newRig(xen.OptimisedOpts())
+	var g *Guest
+	r.l.Launch(UnikernelImage("alice", NewStaticSiteApp("alice")), netstack.IPv4(10, 0, 0, 20),
+		func(guest *Guest, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			g = guest
+		})
+	r.eng.Run()
+	if g == nil || !g.Ready {
+		t.Fatal("guest never ready")
+	}
+	// Timeline ordering: launch < built < network up <= ready.
+	if !(g.LaunchedAt < g.BuiltAt && g.BuiltAt < g.NetworkUpAt && g.NetworkUpAt <= g.ReadyAt) {
+		t.Fatalf("timeline: launch=%v built=%v netup=%v ready=%v",
+			g.LaunchedAt, g.BuiltAt, g.NetworkUpAt, g.ReadyAt)
+	}
+	// Cold boot on ARM lands in the paper's 250–400ms band (§3: "a
+	// service VM can cold boot and respond to a TCP client in around
+	// 300–350ms" — that includes handshake; boot alone is slightly less).
+	total := g.ReadyAt - g.LaunchedAt
+	if total < 200*time.Millisecond || total > 450*time.Millisecond {
+		t.Errorf("cold boot = %v, want ≈300ms", total)
+	}
+}
+
+func TestUnikernelServesHTTPAfterBoot(t *testing.T) {
+	r := newRig(xen.OptimisedOpts())
+	ip := netstack.IPv4(10, 0, 0, 20)
+	ready := false
+	r.l.Launch(UnikernelImage("alice", NewStaticSiteApp("alice")), ip,
+		func(g *Guest, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			ready = true
+		})
+	r.eng.Run()
+	if !ready {
+		t.Fatal("not ready")
+	}
+	var status int
+	var rt sim.Duration
+	r.client.HTTPGet(ip, 80, "/", 10*time.Second, func(resp *netstack.HTTPResponse, d sim.Duration, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, rt = resp.Status, d
+	})
+	r.eng.Run()
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	// Warm request: "an already-booted service can respond to local
+	// traffic in around 5ms".
+	if rt > 8*time.Millisecond {
+		t.Errorf("warm request = %v", rt)
+	}
+}
+
+func TestSYNDuringBootIsLostWithoutSynjitsu(t *testing.T) {
+	// The exact race §3.3 describes: client knows the IP (as if DNS
+	// answered at build time) and SYNs while the guest is still booting.
+	r := newRig(xen.OptimisedOpts())
+	ip := netstack.IPv4(10, 0, 0, 20)
+	// The client resolved the service MAC earlier (in production, dom0
+	// proxy-answers ARP for service IPs), so the SYN really transmits —
+	// and really dies at the not-yet-booted guest.
+	r.client.SeedARP(ip, netsim.MACFor(2))
+	r.l.Launch(UnikernelImage("alice", NewStaticSiteApp("alice")), ip, func(*Guest, error) {})
+	// Give the toolstack time to build (~120ms) but not the guest to
+	// boot (~300ms); then connect.
+	r.eng.RunFor(150 * time.Millisecond)
+	start := r.eng.Now()
+	var rt sim.Duration
+	r.client.HTTPGet(ip, 80, "/", 10*time.Second, func(resp *netstack.HTTPResponse, d sim.Duration, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt = r.eng.Now() - start
+	})
+	r.eng.Run()
+	// The first SYN (and its ARP) die; the retry lands after the 1s RTO:
+	// "response times of over a second".
+	if rt < time.Second {
+		t.Fatalf("request completed in %v; expected >1s due to SYN loss", rt)
+	}
+}
+
+func TestLinuxGuestBootsSlower(t *testing.T) {
+	r := newRig(xen.VanillaOpts())
+	ip := netstack.IPv4(10, 0, 0, 30)
+	var g *Guest
+	r.l.Launch(LinuxImage("legacy", &EchoApp{}), ip, func(guest *Guest, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		g = guest
+	})
+	r.eng.Run()
+	total := g.ReadyAt - g.LaunchedAt
+	// "it took over 5s with the default distribution image".
+	if total < 5*time.Second {
+		t.Errorf("linux boot = %v, want > 5s", total)
+	}
+}
+
+func TestQueueServiceIsDiskBound(t *testing.T) {
+	r := newRig(xen.OptimisedOpts())
+	ip := netstack.IPv4(10, 0, 0, 40)
+	app := NewQueueServiceApp()
+	r.l.Launch(UnikernelImage("queue", app), ip, func(g *Guest, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	r.eng.Run()
+	// Fetch several items back-to-back and measure goodput.
+	const items = 5
+	var total sim.Duration
+	var bytes int
+	fetched := 0
+	var fetch func()
+	fetch = func() {
+		start := r.eng.Now()
+		r.client.HTTPGet(ip, 80, "/pop", 30*time.Second, func(resp *netstack.HTTPResponse, d sim.Duration, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += r.eng.Now() - start
+			bytes += len(resp.Body)
+			fetched++
+			if fetched < items {
+				fetch()
+			}
+		})
+	}
+	fetch()
+	r.eng.Run()
+	mbps := float64(bytes*8) / total.Seconds() / 1e6
+	// Disk-bound ≈57.92 Mb/s minus protocol overhead: expect 30–58.
+	if mbps < 25 || mbps > 60 {
+		t.Errorf("queue goodput = %.1f Mb/s, want ≈30–58 (disk-bound)", mbps)
+	}
+}
+
+func TestDestroyReleasesEverything(t *testing.T) {
+	r := newRig(xen.OptimisedOpts())
+	ip := netstack.IPv4(10, 0, 0, 50)
+	var g *Guest
+	r.l.Launch(UnikernelImage("tmp", &EchoApp{}), ip, func(guest *Guest, err error) { g = guest })
+	r.eng.Run()
+	memBefore := r.hyp.FreeMemMiB()
+	done := false
+	r.l.Destroy(g, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = true
+	})
+	r.eng.Run()
+	if !done {
+		t.Fatal("destroy incomplete")
+	}
+	if r.hyp.FreeMemMiB() != memBefore+g.Image.MemMiB {
+		t.Fatal("memory not released")
+	}
+	// Traffic to the dead guest no longer elicits anything.
+	gotReply := false
+	r.client.Ping(ip, 8, 2*time.Second, func(d sim.Duration, err error) { gotReply = err == nil })
+	r.eng.Run()
+	if gotReply {
+		t.Fatal("destroyed guest answered a ping")
+	}
+}
+
+func TestLaunchWithoutApp(t *testing.T) {
+	r := newRig(xen.OptimisedOpts())
+	var gotErr error
+	r.l.Launch(Image{Name: "noapp", MemMiB: 16}, netstack.IPv4(10, 0, 0, 60),
+		func(g *Guest, err error) { gotErr = err })
+	r.eng.Run()
+	if !errors.Is(gotErr, ErrNoApp) {
+		t.Fatalf("err = %v", gotErr)
+	}
+}
+
+func TestMemoryExhaustionSurfaces(t *testing.T) {
+	r := newRig(xen.OptimisedOpts())
+	r.hyp.TotalMemMiB = 40 // room for two 16MiB unikernels, not four
+	var errs []error
+	for i := 0; i < 4; i++ {
+		name := string(rune('a' + i))
+		r.l.Launch(UnikernelImage(name, &EchoApp{}), netstack.IPv4(10, 0, 1, byte(i)),
+			func(g *Guest, err error) { errs = append(errs, err) })
+	}
+	r.eng.Run()
+	failures := 0
+	for _, err := range errs {
+		if errors.Is(err, xen.ErrOutOfMemory) {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Fatal("expected at least one out-of-memory failure")
+	}
+}

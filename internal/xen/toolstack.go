@@ -1,0 +1,399 @@
+package xen
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"jitsu/internal/sim"
+	"jitsu/internal/xenstore"
+)
+
+// ToolstackOpts selects which of the §3.1 optimisations are active.
+// VanillaOpts is stock Xen 4.4; OptimisedOpts is the full Jitsu
+// toolstack. The intermediate combinations are the lines of Figure 4.
+type ToolstackOpts struct {
+	// Hotplug selects the vif hotplug mechanism.
+	Hotplug HotplugMechanism
+	// ParallelAttach runs vif creation in parallel with the domain
+	// builder instead of strictly after it.
+	ParallelAttach bool
+	// Console synchronously attaches the primary console; the final
+	// optimisation removes it (attaching lazily after boot).
+	Console bool
+	// PrecreatePool keeps this many pre-built, paused domains around so
+	// launch is just image load + unpause. The paper declines this
+	// ("we prefer not to pay the cost of increased memory usage") but
+	// we implement it for the ablation bench.
+	PrecreatePool int
+	// PoolMemMiB is the memory size of pre-created domains.
+	PoolMemMiB int
+}
+
+// VanillaOpts is the stock Xen 4.4.0 toolstack configuration.
+func VanillaOpts() ToolstackOpts {
+	return ToolstackOpts{Hotplug: HotplugBash, ParallelAttach: false, Console: true}
+}
+
+// OptimisedOpts is the fully optimised Jitsu toolstack configuration.
+func OptimisedOpts() ToolstackOpts {
+	return ToolstackOpts{Hotplug: HotplugIoctl, ParallelAttach: true, Console: false}
+}
+
+// ErrTooManyRetries guards against a livelocked transaction loop.
+var ErrTooManyRetries = errors.New("xen: xenstore transaction retried too many times")
+
+const maxTxRetries = 100000
+
+// Toolstack drives domain construction and destruction against the
+// hypervisor and XenStore, charging virtual time per the platform cost
+// model. It is the component Figure 4 measures.
+type Toolstack struct {
+	hyp  *Hypervisor
+	opts ToolstackOpts
+	pool []*Domain
+
+	// TxRetries counts EAGAIN retries, the quantity that explodes in
+	// Figure 3 under the C reconciler.
+	TxRetries uint64
+}
+
+// NewToolstack creates a toolstack over hyp with the given options.
+func NewToolstack(hyp *Hypervisor, opts ToolstackOpts) *Toolstack {
+	ts := &Toolstack{hyp: hyp, opts: opts}
+	for i := 0; i < opts.PrecreatePool; i++ {
+		ts.refillPool()
+	}
+	return ts
+}
+
+// Hypervisor returns the hypervisor this toolstack drives.
+func (ts *Toolstack) Hypervisor() *Hypervisor { return ts.hyp }
+
+// Opts returns the active options.
+func (ts *Toolstack) Opts() ToolstackOpts { return ts.opts }
+
+// xsOpCost picks the per-operation cost for the store's daemon flavour.
+func (ts *Toolstack) xsOpCost() sim.Duration {
+	if _, isC := ts.hyp.Store.Reconciler().(xenstore.CReconciler); isC {
+		return ts.hyp.Platform.XSOpCostC
+	}
+	return ts.hyp.Platform.XSOpCost
+}
+
+// runTx executes body inside a XenStore transaction, charging per-op
+// time, and retries from scratch on ErrAgain exactly like libxl's
+// EAGAIN loop. done receives the terminal error (nil on success).
+func (ts *Toolstack) runTx(dom DomID, body func(tx *xenstore.Tx) error, done func(error)) {
+	eng := ts.hyp.Eng
+	attempts := 0
+	var attempt func()
+	attempt = func() {
+		attempts++
+		if attempts > maxTxRetries {
+			done(ErrTooManyRetries)
+			return
+		}
+		st := ts.hyp.Store
+		before := st.Stats().Ops
+		tx := st.Begin(dom)
+		if err := body(tx); err != nil {
+			tx.Abort()
+			done(err)
+			return
+		}
+		ops := st.Stats().Ops - before
+		cost := ts.hyp.charge(sim.Duration(ops) * ts.xsOpCost())
+		eng.After(cost, func() {
+			err := tx.Commit()
+			if errors.Is(err, xenstore.ErrAgain) {
+				ts.TxRetries++
+				eng.After(0, attempt)
+				return
+			}
+			done(err)
+		})
+	}
+	attempt()
+}
+
+// DomainConfig describes a guest to create.
+type DomainConfig struct {
+	Name     string
+	Kind     GuestKind
+	MemMiB   int
+	ImageMiB float64 // kernel image size: ~1 MiB unikernel, ~20 MiB Linux
+}
+
+// CreateDomain builds a domain: allocates it, zeroes memory, loads the
+// image, writes the XenStore control records, creates and plugs the vif
+// backend, optionally attaches the console, and unpauses. done fires
+// when the domain is running (from the toolstack's perspective — guest
+// boot is the guest's problem; see internal/unikernel).
+func (ts *Toolstack) CreateDomain(cfg DomainConfig, done func(*Domain, error)) {
+	// Pool fast path: claim a pre-created domain.
+	if len(ts.pool) > 0 {
+		d := ts.pool[len(ts.pool)-1]
+		ts.pool = ts.pool[:len(ts.pool)-1]
+		ts.claimPooled(d, cfg, done)
+		ts.refillPool()
+		return
+	}
+
+	h := ts.hyp
+	d, err := h.allocDomain(cfg.Name, cfg.Kind, cfg.MemMiB)
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	h.cpuEnter()
+	finish := func(err error) {
+		h.cpuExit()
+		if err != nil {
+			h.DestroyDomain(d.ID)
+			done(nil, err)
+			return
+		}
+		d.State = StateRunning
+		d.Created = h.Eng.Now()
+		h.Store.FireSpecial(xenstore.SpecialIntroduceDomain)
+		done(d, nil)
+	}
+
+	buildDone, vifDone := false, !ts.opts.ParallelAttach
+	var failed error
+	joined := false
+	join := func(err error) {
+		if err != nil && failed == nil {
+			failed = err
+		}
+		if buildDone && vifDone && !joined {
+			joined = true
+			if failed != nil {
+				finish(failed)
+				return
+			}
+			if ts.opts.ParallelAttach {
+				ts.consoleThenRun(d, finish)
+			} else {
+				// Serial mode: vif chain runs only now, after the build.
+				ts.vifChain(d, true, func(err error) {
+					if err != nil {
+						finish(err)
+						return
+					}
+					ts.consoleThenRun(d, finish)
+				})
+			}
+		}
+	}
+
+	ts.domainBuild(d, cfg, func(err error) { buildDone = true; join(err) })
+	if ts.opts.ParallelAttach {
+		ts.vifChain(d, false, func(err error) { vifDone = true; join(err) })
+	}
+}
+
+// domainBuild is the domain builder proper: memory init plus the
+// XenStore build transaction.
+func (ts *Toolstack) domainBuild(d *Domain, cfg DomainConfig, done func(error)) {
+	h := ts.hyp
+	p := h.Platform
+	buildCost := h.charge(p.BaseBuild +
+		sim.Duration(float64(p.MemZeroPerMiB)*float64(cfg.MemMiB)) +
+		sim.Duration(float64(p.ImageLoadPerMiB)*cfg.ImageMiB))
+	h.Eng.After(buildCost, func() {
+		ts.runTx(Dom0, func(tx *xenstore.Tx) error {
+			return writeBuildRecords(h.Store, tx, d)
+		}, done)
+	})
+}
+
+// vifChain creates the backend vif and runs the hotplug step that adds
+// it to the bridge. serial adds the blocking RPC round-trip penalty the
+// parallel path hides.
+func (ts *Toolstack) vifChain(d *Domain, serial bool, done func(error)) {
+	h := ts.hyp
+	p := h.Platform
+	cost := p.VifCreate + p.HotplugCost[ts.opts.Hotplug]
+	if serial {
+		cost += p.SerialAttachPenalty
+	}
+	h.Eng.After(h.charge(cost), func() {
+		ts.runTx(Dom0, func(tx *xenstore.Tx) error {
+			return writeVifRecords(h.Store, tx, d)
+		}, done)
+	})
+}
+
+// consoleThenRun optionally attaches the console, then reports success.
+func (ts *Toolstack) consoleThenRun(d *Domain, done func(error)) {
+	h := ts.hyp
+	if !ts.opts.Console {
+		done(nil)
+		return
+	}
+	h.Eng.After(h.charge(h.Platform.ConsoleAttach), func() {
+		ts.runTx(Dom0, func(tx *xenstore.Tx) error {
+			return writeConsoleRecords(h.Store, tx, d)
+		}, done)
+	})
+}
+
+// DestroyDomain tears down a guest: XenStore cleanup transaction plus
+// the hypercall work.
+func (ts *Toolstack) DestroyDomain(id DomID, done func(error)) {
+	h := ts.hyp
+	d, err := h.Domain(id)
+	if err != nil || id == Dom0 {
+		done(ErrNoSuchDomain)
+		return
+	}
+	d.State = StateShutdown
+	h.cpuEnter()
+	h.Eng.After(h.charge(25*time.Millisecond), func() {
+		ts.runTx(Dom0, func(tx *xenstore.Tx) error {
+			return removeDomainRecords(h.Store, tx, d)
+		}, func(txErr error) {
+			h.cpuExit()
+			if txErr == nil {
+				txErr = h.DestroyDomain(id)
+				h.Store.FireSpecial(xenstore.SpecialReleaseDomain)
+			}
+			done(txErr)
+		})
+	})
+}
+
+// ---- pre-created domain pool (ablation) ----
+
+func (ts *Toolstack) refillPool() {
+	if ts.opts.PrecreatePool == 0 || len(ts.pool) >= ts.opts.PrecreatePool {
+		return
+	}
+	mem := ts.opts.PoolMemMiB
+	if mem == 0 {
+		mem = 16
+	}
+	name := fmt.Sprintf("pool-%d-%d", len(ts.pool), ts.hyp.Eng.Now())
+	d, err := ts.hyp.allocDomain(name, GuestUnikernel, mem)
+	if err != nil {
+		return // pool refill is best-effort: host may be full
+	}
+	d.State = StatePaused
+	ts.runTx(Dom0, func(tx *xenstore.Tx) error {
+		if err := writeBuildRecords(ts.hyp.Store, tx, d); err != nil {
+			return err
+		}
+		return writeVifRecords(ts.hyp.Store, tx, d)
+	}, func(error) {})
+	ts.pool = append(ts.pool, d)
+}
+
+// claimPooled turns a pre-created paused domain into the requested
+// guest: only the image load and unpause remain on the critical path.
+func (ts *Toolstack) claimPooled(d *Domain, cfg DomainConfig, done func(*Domain, error)) {
+	h := ts.hyp
+	d.Name = cfg.Name
+	d.Kind = cfg.Kind
+	cost := h.charge(sim.Duration(float64(h.Platform.ImageLoadPerMiB)*cfg.ImageMiB) + 2*time.Millisecond)
+	h.Eng.After(cost, func() {
+		ts.runTx(Dom0, func(tx *xenstore.Tx) error {
+			return h.Store.Write(Dom0, tx, d.XSPath()+"/name", cfg.Name)
+		}, func(err error) {
+			if err != nil {
+				done(nil, err)
+				return
+			}
+			d.State = StateRunning
+			d.Created = h.Eng.Now()
+			done(d, nil)
+		})
+	})
+}
+
+// PoolSize reports the number of pre-created domains standing by.
+func (ts *Toolstack) PoolSize() int { return len(ts.pool) }
+
+// ---- XenStore record sets ----
+//
+// These are the transactional write sets whose conflict behaviour drives
+// Figure 3. Writes under the domain's own subtree are private; the
+// backend entries under dom0's tree are the shared contention point.
+
+func writeBuildRecords(st *xenstore.Store, tx *xenstore.Tx, d *Domain) error {
+	base := d.XSPath()
+	records := map[string]string{
+		base + "/name":              d.Name,
+		base + "/domid":             fmt.Sprint(int(d.ID)),
+		base + "/memory/target":     fmt.Sprint(d.MemMiB * 1024),
+		base + "/memory/static-max": fmt.Sprint(d.MemMiB * 1024),
+		base + "/vm":                "/vm/" + d.Name,
+		base + "/control/shutdown":  "",
+		base + "/console/ring-ref":  "8",
+		base + "/console/port":      "2",
+		base + "/console/limit":     "1048576",
+		base + "/console/type":      "xenconsoled",
+		base + "/store/ring-ref":    "1",
+		base + "/store/port":        "1",
+	}
+	for k, v := range records {
+		if err := st.Write(Dom0, tx, k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeVifRecords(st *xenstore.Store, tx *xenstore.Tx, d *Domain) error {
+	front := fmt.Sprintf("%s/device/vif/0", d.XSPath())
+	back := fmt.Sprintf("/local/domain/0/backend/vif/%d/0", int(d.ID))
+	records := []struct{ k, v string }{
+		{front + "/backend", back},
+		{front + "/backend-id", "0"},
+		{front + "/mac", macFor(d.ID)},
+		{front + "/state", "1"},
+		{back + "/frontend", front},
+		{back + "/frontend-id", fmt.Sprint(int(d.ID))},
+		{back + "/mac", macFor(d.ID)},
+		{back + "/bridge", "xenbr0"},
+		{back + "/handle", "0"},
+		{back + "/state", "4"},
+	}
+	for _, r := range records {
+		if err := st.Write(Dom0, tx, r.k, r.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeConsoleRecords(st *xenstore.Store, tx *xenstore.Tx, d *Domain) error {
+	base := d.XSPath() + "/console"
+	for k, v := range map[string]string{
+		base + "/tty":    fmt.Sprintf("/dev/pts/%d", int(d.ID)),
+		base + "/state":  "4",
+		base + "/output": "pty",
+	} {
+		if err := st.Write(Dom0, tx, k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func removeDomainRecords(st *xenstore.Store, tx *xenstore.Tx, d *Domain) error {
+	if err := st.Rm(Dom0, tx, d.XSPath()); err != nil && !errors.Is(err, xenstore.ErrNotFound) {
+		return err
+	}
+	back := fmt.Sprintf("/local/domain/0/backend/vif/%d", int(d.ID))
+	if err := st.Rm(Dom0, tx, back); err != nil && !errors.Is(err, xenstore.ErrNotFound) {
+		return err
+	}
+	return nil
+}
+
+// macFor derives a stable locally administered MAC for a domain's vif.
+func macFor(id DomID) string {
+	return fmt.Sprintf("00:16:3e:00:%02x:%02x", (int(id)>>8)&0xff, int(id)&0xff)
+}

@@ -1,0 +1,118 @@
+// Package xenstore implements the XenStore hierarchical, transactional
+// key-value store shared between all VMs on a host (§3.1 of the paper).
+//
+// The store supports three transaction-reconciliation engines, matching
+// the three xenstored implementations compared in Figure 3:
+//
+//   - CReconciler: the default C xenstored with filesystem-style
+//     transactions — any concurrent commit aborts the transaction.
+//   - OCamlReconciler: oxenstored's in-memory transactions with per-node
+//     comparison — transactions conflict when they touch the same node,
+//     including sibling creations under a shared directory.
+//   - JitsuReconciler: the paper's fork — a custom merge function that
+//     handles common directory roots, so transactions creating disjoint
+//     children under the same parent merge instead of aborting.
+//
+// The package is pure logic (no simulated time); callers charge per-op
+// costs on their own clocks.
+package xenstore
+
+import (
+	"errors"
+	"strings"
+)
+
+// Errors returned by store operations. They mirror the errno values the
+// real wire protocol uses (ENOENT, EACCES, EAGAIN, EINVAL).
+var (
+	// ErrNotFound is returned when a path or its parent does not exist.
+	ErrNotFound = errors.New("xenstore: no such node (ENOENT)")
+	// ErrPerm is returned when the calling domain lacks access.
+	ErrPerm = errors.New("xenstore: permission denied (EACCES)")
+	// ErrAgain is returned by Commit when the transaction conflicts and
+	// must be retried from scratch.
+	ErrAgain = errors.New("xenstore: transaction conflict, retry (EAGAIN)")
+	// ErrBadPath is returned for malformed paths.
+	ErrBadPath = errors.New("xenstore: invalid path (EINVAL)")
+	// ErrTxClosed is returned when using a committed or aborted transaction.
+	ErrTxClosed = errors.New("xenstore: transaction already ended")
+	// ErrQuota is returned when an unprivileged domain exceeds its node
+	// quota (EQUOTA) — the resource-exhaustion guard multi-tenant hosts
+	// need so one guest cannot fill the store.
+	ErrQuota = errors.New("xenstore: domain over node quota (EQUOTA)")
+)
+
+// MaxPathLen mirrors XENSTORE_ABS_PATH_MAX from the Xen public headers.
+const MaxPathLen = 3072
+
+// SplitPath validates an absolute path and returns its components.
+// "/" is the root and yields an empty slice.
+func SplitPath(path string) ([]string, error) {
+	if path == "" || path[0] != '/' || len(path) > MaxPathLen {
+		return nil, ErrBadPath
+	}
+	if path == "/" {
+		return nil, nil
+	}
+	// Trailing slash is tolerated on directories, as in the C daemon.
+	path = strings.TrimSuffix(path, "/")
+	parts := strings.Split(path[1:], "/")
+	for _, p := range parts {
+		if !validComponent(p) {
+			return nil, ErrBadPath
+		}
+	}
+	return parts, nil
+}
+
+// JoinPath joins components into an absolute path.
+func JoinPath(parts ...string) string {
+	if len(parts) == 0 {
+		return "/"
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// ParentPath returns the parent of an absolute path ("/" for top-level
+// nodes and for the root itself).
+func ParentPath(path string) string {
+	idx := strings.LastIndexByte(path, '/')
+	if idx <= 0 {
+		return "/"
+	}
+	return path[:idx]
+}
+
+// Basename returns the final component of an absolute path.
+func Basename(path string) string {
+	idx := strings.LastIndexByte(path, '/')
+	return path[idx+1:]
+}
+
+// IsPrefix reports whether watch-path w covers path p in the XenStore
+// sense: p equals w or is a descendant of w, component-wise.
+func IsPrefix(w, p string) bool {
+	if w == "/" {
+		return true
+	}
+	if !strings.HasPrefix(p, w) {
+		return false
+	}
+	return len(p) == len(w) || p[len(w)] == '/'
+}
+
+func validComponent(c string) bool {
+	if c == "" || len(c) > 256 {
+		return false
+	}
+	for i := 0; i < len(c); i++ {
+		ch := c[i]
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z', ch >= '0' && ch <= '9':
+		case ch == '-' || ch == '_' || ch == '@' || ch == ':' || ch == '.' || ch == '+':
+		default:
+			return false
+		}
+	}
+	return true
+}

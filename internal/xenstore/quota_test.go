@@ -1,0 +1,158 @@
+package xenstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func quotaStore(limit int) *Store {
+	s := NewStore(JitsuReconciler{})
+	s.NodeQuota = limit
+	// A guest-writable area.
+	s.Mkdir(Dom0, nil, "/tool/guest")
+	s.SetPerms(Dom0, nil, "/tool/guest", Perms{Owner: 3, Others: AccessNone})
+	return s
+}
+
+func TestQuotaBlocksCreation(t *testing.T) {
+	s := quotaStore(5)
+	var err error
+	created := 0
+	for i := 0; i < 10; i++ {
+		err = s.Write(3, nil, fmt.Sprintf("/tool/guest/k%d", i), "v")
+		if err != nil {
+			break
+		}
+		created++
+	}
+	if !errors.Is(err, ErrQuota) {
+		t.Fatalf("err = %v, want ErrQuota", err)
+	}
+	if created != 5 {
+		t.Fatalf("created %d nodes before quota, want 5", created)
+	}
+	if s.OwnedNodes(3) != 5 {
+		t.Fatalf("owned = %d", s.OwnedNodes(3))
+	}
+}
+
+func TestQuotaDom0Exempt(t *testing.T) {
+	s := quotaStore(2)
+	for i := 0; i < 20; i++ {
+		if err := s.Write(Dom0, nil, fmt.Sprintf("/tool/d%d", i), "v"); err != nil {
+			t.Fatalf("dom0 hit quota: %v", err)
+		}
+	}
+}
+
+func TestQuotaReleasedOnRm(t *testing.T) {
+	s := quotaStore(3)
+	for i := 0; i < 3; i++ {
+		if err := s.Write(3, nil, fmt.Sprintf("/tool/guest/k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Write(3, nil, "/tool/guest/k9", "v"); !errors.Is(err, ErrQuota) {
+		t.Fatalf("expected quota, got %v", err)
+	}
+	if err := s.Rm(3, nil, "/tool/guest/k0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(3, nil, "/tool/guest/k9", "v"); err != nil {
+		t.Fatalf("quota not released after rm: %v", err)
+	}
+}
+
+func TestQuotaSubtreeRelease(t *testing.T) {
+	s := quotaStore(10)
+	// Build a little subtree of 5 nodes: a, a/b, a/b/c, a/d, a/e.
+	for _, p := range []string{"/tool/guest/a/b/c", "/tool/guest/a/d", "/tool/guest/a/e"} {
+		if err := s.Write(3, nil, p, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.OwnedNodes(3); got != 5 {
+		t.Fatalf("owned = %d, want 5", got)
+	}
+	s.Rm(3, nil, "/tool/guest/a")
+	if got := s.OwnedNodes(3); got != 0 {
+		t.Fatalf("owned after subtree rm = %d", got)
+	}
+}
+
+func TestQuotaInsideTransaction(t *testing.T) {
+	s := quotaStore(4)
+	tx := s.Begin(3)
+	var err error
+	for i := 0; i < 10 && err == nil; i++ {
+		err = s.Write(3, tx, fmt.Sprintf("/tool/guest/k%d", i), "v")
+	}
+	if !errors.Is(err, ErrQuota) {
+		t.Fatalf("tx quota err = %v", err)
+	}
+	tx.Abort()
+	// An aborted transaction pays nothing.
+	if got := s.OwnedNodes(3); got != 0 {
+		t.Fatalf("owned after abort = %d", got)
+	}
+	// A committed one pays for what it created.
+	tx2 := s.Begin(3)
+	for i := 0; i < 3; i++ {
+		if err := s.Write(3, tx2, fmt.Sprintf("/tool/guest/c%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.OwnedNodes(3); got != 3 {
+		t.Fatalf("owned after commit = %d", got)
+	}
+}
+
+func TestQuotaDisabledByDefault(t *testing.T) {
+	s := NewStore(JitsuReconciler{})
+	s.Mkdir(Dom0, nil, "/tool/guest")
+	s.SetPerms(Dom0, nil, "/tool/guest", Perms{Owner: 3, Others: AccessNone})
+	for i := 0; i < 100; i++ {
+		if err := s.Write(3, nil, fmt.Sprintf("/tool/guest/k%d", i), "v"); err != nil {
+			t.Fatalf("quota fired with NodeQuota=0: %v", err)
+		}
+	}
+}
+
+func TestSpecialWatches(t *testing.T) {
+	s := NewStore(JitsuReconciler{})
+	intro, release := 0, 0
+	if _, err := s.WatchPath(Dom0, SpecialIntroduceDomain, "t", func(p, _ string) {
+		if p == SpecialIntroduceDomain {
+			intro++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WatchPath(Dom0, SpecialReleaseDomain, "t", func(p, _ string) {
+		if p == SpecialReleaseDomain {
+			release++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	intro, release = 0, 0 // discard registration fires
+	s.FireSpecial(SpecialIntroduceDomain)
+	s.FireSpecial(SpecialIntroduceDomain)
+	s.FireSpecial(SpecialReleaseDomain)
+	if intro != 2 || release != 1 {
+		t.Fatalf("intro=%d release=%d", intro, release)
+	}
+	// Normal writes must not trigger special watches.
+	s.Write(Dom0, nil, "/tool/x", "v")
+	if intro != 2 || release != 1 {
+		t.Fatal("normal write fired special watch")
+	}
+	// Invalid non-special paths are still rejected.
+	if _, err := s.WatchPath(Dom0, "@bogus", "t", func(string, string) {}); err == nil {
+		t.Fatal("bogus special accepted")
+	}
+}

@@ -1,0 +1,356 @@
+package xenstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// The reconciler tests drive the exact scenario of Figure 3: concurrent
+// transactions performing domain-build-style writes, where the engines
+// must disagree about what constitutes a conflict.
+
+func TestCReconcilerAnyCommitConflicts(t *testing.T) {
+	s := NewStore(CReconciler{})
+	tx := s.Begin(Dom0)
+	s.Write(Dom0, tx, "/local/domain/3/name", "a")
+	// A completely unrelated immediate write lands while tx is open.
+	s.Write(Dom0, nil, "/tool/unrelated", "x")
+	if err := tx.Commit(); !errors.Is(err, ErrAgain) {
+		t.Fatalf("C reconciler should conflict on any commit, got %v", err)
+	}
+	if s.Stats().Conflicts != 1 {
+		t.Fatalf("conflicts = %d", s.Stats().Conflicts)
+	}
+}
+
+func TestCReconcilerNoConcurrencyCommits(t *testing.T) {
+	s := NewStore(CReconciler{})
+	tx := s.Begin(Dom0)
+	s.Write(Dom0, tx, "/local/domain/3/name", "a")
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("uncontended commit = %v", err)
+	}
+	if got, _ := s.Read(Dom0, nil, "/local/domain/3/name"); got != "a" {
+		t.Fatal("commit lost")
+	}
+}
+
+func TestOCamlDisjointTransactionsMerge(t *testing.T) {
+	s := NewStore(OCamlReconciler{})
+	s.Mkdir(Dom0, nil, "/local/domain/3")
+	s.Mkdir(Dom0, nil, "/local/domain/7")
+	txA := s.Begin(Dom0)
+	txB := s.Begin(Dom0)
+	// Each writes inside its own pre-existing subtree: fully disjoint.
+	s.Write(Dom0, txA, "/local/domain/3/name", "a")
+	s.Write(Dom0, txB, "/local/domain/7/name", "b")
+	if err := txA.Commit(); err != nil {
+		t.Fatalf("txA = %v", err)
+	}
+	if err := txB.Commit(); err != nil {
+		t.Fatalf("txB should merge (disjoint subtrees): %v", err)
+	}
+}
+
+func TestOCamlSiblingCreationConflicts(t *testing.T) {
+	// Both transactions create distinct children under a shared,
+	// pre-existing directory. OCaml xenstored treats the parent's child
+	// list as touched state: conflict.
+	s := NewStore(OCamlReconciler{})
+	s.Mkdir(Dom0, nil, "/local/domain/0/backend/vif")
+	txA := s.Begin(Dom0)
+	txB := s.Begin(Dom0)
+	s.Write(Dom0, txA, "/local/domain/0/backend/vif/3", "cfgA")
+	s.Write(Dom0, txB, "/local/domain/0/backend/vif/7", "cfgB")
+	if err := txA.Commit(); err != nil {
+		t.Fatalf("txA = %v", err)
+	}
+	if err := txB.Commit(); !errors.Is(err, ErrAgain) {
+		t.Fatalf("txB should conflict under OCaml (shared parent), got %v", err)
+	}
+}
+
+func TestJitsuSiblingCreationMerges(t *testing.T) {
+	// The same scenario merges under the Jitsu reconciler: this is the
+	// common-directory-root merge the paper adds.
+	s := NewStore(JitsuReconciler{})
+	s.Mkdir(Dom0, nil, "/local/domain/0/backend/vif")
+	txA := s.Begin(Dom0)
+	txB := s.Begin(Dom0)
+	s.Write(Dom0, txA, "/local/domain/0/backend/vif/3", "cfgA")
+	s.Write(Dom0, txB, "/local/domain/0/backend/vif/7", "cfgB")
+	if err := txA.Commit(); err != nil {
+		t.Fatalf("txA = %v", err)
+	}
+	if err := txB.Commit(); err != nil {
+		t.Fatalf("txB should merge under Jitsu, got %v", err)
+	}
+	// Both children exist.
+	for _, p := range []string{"/local/domain/0/backend/vif/3", "/local/domain/0/backend/vif/7"} {
+		if ok, _ := s.Exists(Dom0, nil, p); !ok {
+			t.Fatalf("%s missing after merge", p)
+		}
+	}
+}
+
+func TestJitsuSameLeafWriteConflicts(t *testing.T) {
+	s := NewStore(JitsuReconciler{})
+	s.Write(Dom0, nil, "/tool/k", "v0")
+	txA := s.Begin(Dom0)
+	txB := s.Begin(Dom0)
+	s.Write(Dom0, txA, "/tool/k", "a")
+	s.Write(Dom0, txB, "/tool/k", "b")
+	if err := txA.Commit(); err != nil {
+		t.Fatalf("txA = %v", err)
+	}
+	if err := txB.Commit(); !errors.Is(err, ErrAgain) {
+		t.Fatalf("write-write on same leaf must conflict even under Jitsu, got %v", err)
+	}
+}
+
+func TestJitsuSameLeafCreateConflicts(t *testing.T) {
+	s := NewStore(JitsuReconciler{})
+	s.Mkdir(Dom0, nil, "/conduit/svc/listen")
+	txA := s.Begin(Dom0)
+	txB := s.Begin(Dom0)
+	s.Write(Dom0, txA, "/conduit/svc/listen/conn1", "from=3")
+	s.Write(Dom0, txB, "/conduit/svc/listen/conn1", "from=7")
+	if err := txA.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := txB.Commit(); !errors.Is(err, ErrAgain) {
+		t.Fatalf("same-key create race must conflict, got %v", err)
+	}
+}
+
+func TestJitsuReadDependencyConflicts(t *testing.T) {
+	// A transaction that read a value which changed concurrently must
+	// retry, even under the most permissive reconciler.
+	s := NewStore(JitsuReconciler{})
+	s.Write(Dom0, nil, "/tool/state", "booting")
+	tx := s.Begin(Dom0)
+	v, _ := s.Read(Dom0, tx, "/tool/state")
+	s.Write(Dom0, tx, "/tool/decision", "based-on-"+v)
+	s.Write(Dom0, nil, "/tool/state", "ready") // concurrent change
+	if err := tx.Commit(); !errors.Is(err, ErrAgain) {
+		t.Fatalf("stale read must conflict, got %v", err)
+	}
+}
+
+func TestJitsuListedDirectoryConflicts(t *testing.T) {
+	// Explicitly listing a directory is a read of its membership: a
+	// concurrent membership change conflicts even under Jitsu.
+	s := NewStore(JitsuReconciler{})
+	s.Mkdir(Dom0, nil, "/conduit/svc/listen")
+	tx := s.Begin(Dom0)
+	if _, err := s.List(Dom0, tx, "/conduit/svc/listen"); err != nil {
+		t.Fatal(err)
+	}
+	s.Write(Dom0, tx, "/tool/out", "v")
+	s.Write(Dom0, nil, "/conduit/svc/listen/conn9", "x") // membership change
+	if err := tx.Commit(); !errors.Is(err, ErrAgain) {
+		t.Fatalf("listed-directory change must conflict, got %v", err)
+	}
+}
+
+func TestJitsuRemovedSubtreeConflict(t *testing.T) {
+	s := NewStore(JitsuReconciler{})
+	s.Write(Dom0, nil, "/tool/dying/k", "v")
+	tx := s.Begin(Dom0)
+	if err := s.Rm(Dom0, tx, "/tool/dying"); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent write into the subtree being removed.
+	s.Write(Dom0, nil, "/tool/dying/k2", "new")
+	if err := tx.Commit(); !errors.Is(err, ErrAgain) {
+		t.Fatalf("rm of concurrently-modified subtree = %v", err)
+	}
+}
+
+func TestReadDeletedNodeConflicts(t *testing.T) {
+	for _, rec := range []Reconciler{OCamlReconciler{}, JitsuReconciler{}} {
+		s := NewStore(rec)
+		s.Write(Dom0, nil, "/tool/k", "v")
+		tx := s.Begin(Dom0)
+		s.Read(Dom0, tx, "/tool/k")
+		s.Write(Dom0, tx, "/tool/out", "x")
+		s.Rm(Dom0, nil, "/tool/k")
+		if err := tx.Commit(); !errors.Is(err, ErrAgain) {
+			t.Errorf("%s: read-then-deleted should conflict, got %v", rec.Name(), err)
+		}
+	}
+}
+
+func TestAbsentReadThenCreatedConflicts(t *testing.T) {
+	for _, rec := range []Reconciler{OCamlReconciler{}, JitsuReconciler{}} {
+		s := NewStore(rec)
+		tx := s.Begin(Dom0)
+		if _, err := s.Read(Dom0, tx, "/tool/flag"); !errors.Is(err, ErrNotFound) {
+			t.Fatal("setup")
+		}
+		s.Write(Dom0, tx, "/tool/out", "assumed-no-flag")
+		s.Write(Dom0, nil, "/tool/flag", "appeared")
+		if err := tx.Commit(); !errors.Is(err, ErrAgain) {
+			t.Errorf("%s: absent-then-created should conflict, got %v", rec.Name(), err)
+		}
+	}
+}
+
+func TestReadOnlyTxAlwaysCommitsUnderMergers(t *testing.T) {
+	for _, rec := range []Reconciler{OCamlReconciler{}, JitsuReconciler{}} {
+		s := NewStore(rec)
+		s.Write(Dom0, nil, "/tool/k", "v")
+		tx := s.Begin(Dom0)
+		s.Read(Dom0, tx, "/tool/k")
+		// Unrelated concurrent write.
+		s.Write(Dom0, nil, "/tool/other", "x")
+		if err := tx.Commit(); err != nil {
+			t.Errorf("%s: read-only tx with unrelated concurrency = %v", rec.Name(), err)
+		}
+	}
+}
+
+// domainBuildTx simulates the transactional flavour of one domain build:
+// keys under the domain's own tree plus an entry in the shared dom0
+// backend directory (the contention point).
+func domainBuildTx(s *Store, dom DomID) error {
+	tx := s.Begin(Dom0)
+	base := DomainPath(dom)
+	s.Write(Dom0, tx, base+"/name", fmt.Sprintf("vm%d", dom))
+	s.Write(Dom0, tx, base+"/memory/target", "16384")
+	s.Write(Dom0, tx, base+"/console/ring-ref", "1")
+	s.Write(Dom0, tx, base+"/device/vif/0/state", "1")
+	s.Write(Dom0, tx, fmt.Sprintf("/local/domain/0/backend/vif/%d/0/state", dom), "1")
+	return tx.Commit()
+}
+
+func TestParallelDomainBuilds(t *testing.T) {
+	// N interleaved domain-build transactions (all open before any
+	// commits). Expected first-pass behaviour:
+	//   C:      1 success, N-1 conflicts
+	//   OCaml:  1 success, N-1 conflicts (shared backend dir)
+	//   Jitsu:  N successes
+	const n = 8
+	cases := []struct {
+		rec           Reconciler
+		wantConflicts int
+	}{
+		{CReconciler{}, n - 1},
+		{OCamlReconciler{}, n - 1},
+		{JitsuReconciler{}, 0},
+	}
+	for _, c := range cases {
+		s := NewStore(c.rec)
+		s.Mkdir(Dom0, nil, "/local/domain/0/backend/vif")
+		txs := make([]*Tx, n)
+		for i := range txs {
+			txs[i] = s.Begin(Dom0)
+			dom := DomID(i + 1)
+			base := DomainPath(dom)
+			s.Write(Dom0, txs[i], base+"/name", fmt.Sprintf("vm%d", dom))
+			s.Write(Dom0, txs[i], fmt.Sprintf("/local/domain/0/backend/vif/%d/0/state", dom), "1")
+		}
+		conflicts := 0
+		for _, tx := range txs {
+			if err := tx.Commit(); errors.Is(err, ErrAgain) {
+				conflicts++
+			} else if err != nil {
+				t.Fatalf("%s: unexpected error %v", c.rec.Name(), err)
+			}
+		}
+		if conflicts != c.wantConflicts {
+			t.Errorf("%s: conflicts = %d, want %d", c.rec.Name(), conflicts, c.wantConflicts)
+		}
+	}
+}
+
+func TestRetryLoopEventuallySucceeds(t *testing.T) {
+	// The toolstack retry loop (redo tx on EAGAIN) must converge for
+	// every reconciler.
+	for _, rec := range []Reconciler{CReconciler{}, OCamlReconciler{}, JitsuReconciler{}} {
+		s := NewStore(rec)
+		s.Mkdir(Dom0, nil, "/local/domain/0/backend/vif")
+		pendingDoms := []DomID{1, 2, 3, 4, 5}
+		retries := 0
+		for len(pendingDoms) > 0 && retries < 1000 {
+			next := pendingDoms[:0:0]
+			for _, d := range pendingDoms {
+				if err := domainBuildTx(s, d); errors.Is(err, ErrAgain) {
+					next = append(next, d)
+					retries++
+				} else if err != nil {
+					t.Fatalf("%s: %v", rec.Name(), err)
+				}
+			}
+			pendingDoms = next
+		}
+		if len(pendingDoms) > 0 {
+			t.Fatalf("%s: retry loop did not converge", rec.Name())
+		}
+		for _, d := range []DomID{1, 2, 3, 4, 5} {
+			if ok, _ := s.Exists(Dom0, nil, DomainPath(d)+"/name"); !ok {
+				t.Fatalf("%s: domain %d build lost", rec.Name(), d)
+			}
+		}
+	}
+}
+
+// Property: for any interleaving of two transactions writing distinct
+// leaf keys under distinct parents, Jitsu never conflicts.
+func TestJitsuDisjointNeverConflictsProperty(t *testing.T) {
+	f := func(aKeys, bKeys []uint8) bool {
+		s := NewStore(JitsuReconciler{})
+		txA := s.Begin(Dom0)
+		txB := s.Begin(Dom0)
+		for _, k := range aKeys {
+			s.Write(Dom0, txA, fmt.Sprintf("/local/domain/1/k%d", k), "a")
+		}
+		for _, k := range bKeys {
+			s.Write(Dom0, txB, fmt.Sprintf("/local/domain/2/k%d", k), "b")
+		}
+		if err := txA.Commit(); err != nil {
+			return false
+		}
+		return txB.Commit() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: committed transactions are durable — every key written by a
+// successful commit is readable afterwards with the committed value.
+func TestCommitDurabilityProperty(t *testing.T) {
+	f := func(keys []uint8, vals []uint8) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		s := NewStore(OCamlReconciler{})
+		tx := s.Begin(Dom0)
+		want := map[string]string{}
+		for i, k := range keys {
+			v := "v"
+			if i < len(vals) {
+				v = fmt.Sprintf("v%d", vals[i])
+			}
+			p := fmt.Sprintf("/tool/k%d", k)
+			s.Write(Dom0, tx, p, v)
+			want[p] = v
+		}
+		if err := tx.Commit(); err != nil {
+			return false
+		}
+		for p, v := range want {
+			got, err := s.Read(Dom0, nil, p)
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,551 @@
+package xenstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// node is one entry in the store tree. Two generation counters let the
+// reconcilers distinguish "this node's value changed" from "this node's
+// set of children changed" — the distinction the Jitsu merge exploits.
+type node struct {
+	value    string
+	children map[string]*node
+	perms    Perms
+	valueGen uint64 // store seq when value last written (or node created)
+	childGen uint64 // store seq when children set last changed
+}
+
+func (n *node) clone() *node {
+	c := &node{
+		value:    n.value,
+		perms:    n.perms.clone(),
+		valueGen: n.valueGen,
+		childGen: n.childGen,
+	}
+	if len(n.children) > 0 {
+		c.children = make(map[string]*node, len(n.children))
+		for name, ch := range n.children {
+			c.children[name] = ch.clone()
+		}
+	}
+	return c
+}
+
+func (n *node) child(name string) *node {
+	if n.children == nil {
+		return nil
+	}
+	return n.children[name]
+}
+
+func (n *node) setChild(name string, ch *node) {
+	if n.children == nil {
+		n.children = make(map[string]*node)
+	}
+	n.children[name] = ch
+}
+
+// Stats counts store activity; the Figure 3 driver uses it to verify the
+// conflict behaviour that separates the three reconcilers.
+type Stats struct {
+	Ops       uint64 // individual operations performed (incl. inside transactions)
+	Commits   uint64 // successful commits (incl. immediate operations)
+	Conflicts uint64 // commits rejected with ErrAgain
+	Watches   uint64 // watch events delivered
+}
+
+// WatchFn receives watch events: the modified path and the registration
+// token. Callbacks run synchronously after the commit that triggered them.
+type WatchFn func(path, token string)
+
+// Watch is a registered watch; keep it to Unwatch later.
+type Watch struct {
+	dom   DomID
+	path  string
+	token string
+	fn    WatchFn
+	dead  bool
+}
+
+// Store is a XenStore instance. It is not safe for concurrent use by
+// multiple goroutines; the simulation is single-threaded by design.
+type Store struct {
+	root     *node
+	rec      Reconciler
+	seq      uint64
+	commits  uint64 // total mutating commits, for the C reconciler
+	watches  []*Watch
+	stats    Stats
+	nextTxID uint64
+	firing   bool
+	pending  []string // watch events queued while already firing
+
+	// NodeQuota caps nodes created by each unprivileged domain (Dom0 is
+	// exempt); 0 disables the check. Matches xenstored's quota knob.
+	NodeQuota int
+	owned     map[DomID]int
+}
+
+// NewStore creates a store with the given reconciliation engine and the
+// standard /local/domain and /conduit top-level directories.
+func NewStore(rec Reconciler) *Store {
+	s := &Store{
+		root:  &node{perms: Perms{Owner: Dom0, Others: AccessRead}},
+		rec:   rec,
+		owned: make(map[DomID]int),
+	}
+	for _, p := range []string{"/tool", "/local", "/local/domain", "/conduit"} {
+		if err := s.Mkdir(Dom0, nil, p); err != nil {
+			panic(fmt.Sprintf("xenstore: init %s: %v", p, err))
+		}
+	}
+	// Any VM may register a named endpoint under /conduit (§3.2.2).
+	// RestrictCreate makes each registration owned by its creator, who
+	// then opens read access for resolution.
+	if err := s.SetPerms(Dom0, nil, "/conduit", Perms{Owner: Dom0, Others: AccessReadWrite, RestrictCreate: true}); err != nil {
+		panic(fmt.Sprintf("xenstore: init /conduit perms: %v", err))
+	}
+	return s
+}
+
+// Reconciler returns the engine the store was built with.
+func (s *Store) Reconciler() Reconciler { return s.rec }
+
+// Stats returns a copy of the activity counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// DomainPath returns the standard per-domain subtree root.
+func DomainPath(dom DomID) string { return fmt.Sprintf("/local/domain/%d", dom) }
+
+// lookup walks root for path components; returns nil if absent.
+func lookup(root *node, parts []string) *node {
+	n := root
+	for _, p := range parts {
+		n = n.child(p)
+		if n == nil {
+			return nil
+		}
+	}
+	return n
+}
+
+// ---- Public operations ----
+//
+// Every operation takes the calling domain and an optional transaction.
+// With tx == nil the operation applies immediately (and fires watches);
+// inside a transaction it applies to the transaction's snapshot and
+// becomes visible only on successful Commit.
+
+// Read returns the value at path.
+func (s *Store) Read(dom DomID, tx *Tx, path string) (string, error) {
+	s.stats.Ops++
+	parts, err := SplitPath(path)
+	if err != nil {
+		return "", err
+	}
+	root, err := s.viewRoot(tx)
+	if err != nil {
+		return "", err
+	}
+	n := lookup(root, parts)
+	if n == nil {
+		tx.recordAbsent(path)
+		return "", ErrNotFound
+	}
+	if !n.perms.CanRead(dom) {
+		return "", ErrPerm
+	}
+	tx.recordValueRead(path, n)
+	return n.value, nil
+}
+
+// Exists reports whether path names a node readable-or-not by anyone.
+// It never returns ErrPerm: existence is not secret in XenStore.
+func (s *Store) Exists(dom DomID, tx *Tx, path string) (bool, error) {
+	s.stats.Ops++
+	parts, err := SplitPath(path)
+	if err != nil {
+		return false, err
+	}
+	root, err := s.viewRoot(tx)
+	if err != nil {
+		return false, err
+	}
+	n := lookup(root, parts)
+	if n == nil {
+		tx.recordAbsent(path)
+		return false, nil
+	}
+	tx.recordValueRead(path, n)
+	return true, nil
+}
+
+// List returns the sorted child names of a directory.
+func (s *Store) List(dom DomID, tx *Tx, path string) ([]string, error) {
+	s.stats.Ops++
+	parts, err := SplitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	root, err := s.viewRoot(tx)
+	if err != nil {
+		return nil, err
+	}
+	n := lookup(root, parts)
+	if n == nil {
+		tx.recordAbsent(path)
+		return nil, ErrNotFound
+	}
+	if !n.perms.CanRead(dom) {
+		return nil, ErrPerm
+	}
+	tx.recordList(path, n)
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Write sets the value at path, creating the node (and any missing
+// intermediate directories) if necessary, as the real daemon does.
+func (s *Store) Write(dom DomID, tx *Tx, path, value string) error {
+	s.stats.Ops++
+	parts, err := SplitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return ErrPerm // cannot write the root node
+	}
+	return s.mutate(tx, func(m *mutCtx) error {
+		return m.write(dom, path, parts, value, false)
+	})
+}
+
+// Mkdir creates a directory node (empty value) and missing parents.
+// Creating an existing node is a no-op, as in XenStore.
+func (s *Store) Mkdir(dom DomID, tx *Tx, path string) error {
+	s.stats.Ops++
+	parts, err := SplitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return nil
+	}
+	return s.mutate(tx, func(m *mutCtx) error {
+		return m.write(dom, path, parts, "", true)
+	})
+}
+
+// Rm removes path and its whole subtree. Removing a missing node returns
+// ErrNotFound; removing the root is forbidden.
+func (s *Store) Rm(dom DomID, tx *Tx, path string) error {
+	s.stats.Ops++
+	parts, err := SplitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return ErrPerm
+	}
+	return s.mutate(tx, func(m *mutCtx) error {
+		return m.rm(dom, path, parts)
+	})
+}
+
+// GetPerms returns the node's permission descriptor.
+func (s *Store) GetPerms(dom DomID, tx *Tx, path string) (Perms, error) {
+	s.stats.Ops++
+	parts, err := SplitPath(path)
+	if err != nil {
+		return Perms{}, err
+	}
+	root, err := s.viewRoot(tx)
+	if err != nil {
+		return Perms{}, err
+	}
+	n := lookup(root, parts)
+	if n == nil {
+		tx.recordAbsent(path)
+		return Perms{}, ErrNotFound
+	}
+	if !n.perms.CanRead(dom) {
+		return Perms{}, ErrPerm
+	}
+	tx.recordValueRead(path, n)
+	return n.perms.clone(), nil
+}
+
+// SetPerms replaces the node's permission descriptor. Only the node owner
+// or Dom0 may do so.
+func (s *Store) SetPerms(dom DomID, tx *Tx, path string, perms Perms) error {
+	s.stats.Ops++
+	parts, err := SplitPath(path)
+	if err != nil {
+		return err
+	}
+	return s.mutate(tx, func(m *mutCtx) error {
+		return m.setPerms(dom, path, parts, perms)
+	})
+}
+
+// ---- mutation plumbing ----
+
+// mutCtx is the context a mutating operation runs in: the tree it edits,
+// the transaction recording dependencies (nil outside transactions) and
+// the event list for watches (immediate ops only).
+type mutCtx struct {
+	s      *Store
+	root   *node
+	tx     *Tx
+	gen    uint64 // generation stamped onto modified nodes
+	events []string
+}
+
+// mutate runs fn against either the transaction snapshot or the live
+// tree. Immediate mutations bump the store sequence and fire watches.
+func (s *Store) mutate(tx *Tx, fn func(*mutCtx) error) error {
+	if tx != nil {
+		if tx.closed {
+			return ErrTxClosed
+		}
+		m := &mutCtx{s: s, root: tx.root, tx: tx, gen: tx.startSeq}
+		return fn(m)
+	}
+	m := &mutCtx{s: s, root: s.root, gen: s.seq + 1}
+	if err := fn(m); err != nil {
+		return err
+	}
+	s.seq++
+	s.commits++
+	s.stats.Commits++
+	s.fire(m.events)
+	return nil
+}
+
+// viewRoot picks the tree a read operates on.
+func (s *Store) viewRoot(tx *Tx) (*node, error) {
+	if tx == nil {
+		return s.root, nil
+	}
+	if tx.closed {
+		return nil, ErrTxClosed
+	}
+	return tx.root, nil
+}
+
+// write creates/updates parts under m.root. mkdir distinguishes Mkdir
+// (no-op when the node exists) from Write (value update).
+func (m *mutCtx) write(dom DomID, path string, parts []string, value string, mkdir bool) error {
+	n := m.root
+	cur := ""
+	for i, p := range parts {
+		cur += "/" + p
+		ch := n.child(p)
+		last := i == len(parts)-1
+		if ch == nil {
+			// Creating: need write access on the deepest existing parent.
+			if !n.perms.CanWrite(dom) {
+				return ErrPerm
+			}
+			childPerms := n.perms.clone()
+			childPerms.RestrictCreate = false
+			if n.perms.RestrictCreate {
+				childPerms = restrictedChildPerms(n.perms.Owner, dom)
+			}
+			// Quota is charged to the node's resulting owner.
+			if err := m.chargeQuota(childPerms.Owner); err != nil {
+				return err
+			}
+			ch = &node{perms: childPerms, valueGen: m.gen, childGen: m.gen}
+			n.setChild(p, ch)
+			n.childGen = m.gen
+			m.tx.recordCreate(cur, ParentPath(cur))
+			m.noteEvent(cur)
+		} else if last && !mkdir {
+			if !ch.perms.CanWrite(dom) {
+				return ErrPerm
+			}
+		}
+		if last && !mkdir {
+			ch.value = value
+			ch.valueGen = m.gen
+			m.tx.recordValueWrite(cur)
+			m.noteEvent(cur)
+		}
+		n = ch
+	}
+	return nil
+}
+
+func (m *mutCtx) rm(dom DomID, path string, parts []string) error {
+	parent := lookup(m.root, parts[:len(parts)-1])
+	if parent == nil {
+		m.tx.recordAbsent(path)
+		return ErrNotFound
+	}
+	name := parts[len(parts)-1]
+	n := parent.child(name)
+	if n == nil {
+		m.tx.recordAbsent(path)
+		return ErrNotFound
+	}
+	if !n.perms.CanWrite(dom) {
+		return ErrPerm
+	}
+	delete(parent.children, name)
+	parent.childGen = m.gen
+	m.tx.recordRemove(path, ParentPath(path))
+	m.noteEvent(path)
+	if m.tx == nil {
+		m.s.releaseSubtree(n)
+	}
+	return nil
+}
+
+// chargeQuota accounts one node creation against owner's quota. Inside
+// a transaction the charge is provisional (tx-local) and becomes real
+// at replay; an aborted transaction never pays.
+func (m *mutCtx) chargeQuota(owner DomID) error {
+	s := m.s
+	if owner == Dom0 {
+		return nil
+	}
+	delta := 0
+	if m.tx != nil {
+		delta = m.tx.created[owner]
+	}
+	if s.NodeQuota > 0 && s.owned[owner]+delta >= s.NodeQuota {
+		return ErrQuota
+	}
+	if m.tx != nil {
+		if m.tx.created == nil {
+			m.tx.created = make(map[DomID]int)
+		}
+		m.tx.created[owner]++
+	} else {
+		s.owned[owner]++
+	}
+	return nil
+}
+
+// releaseSubtree returns quota for every node in a removed subtree.
+func (s *Store) releaseSubtree(n *node) {
+	if n.perms.Owner != Dom0 {
+		if c := s.owned[n.perms.Owner]; c > 0 {
+			s.owned[n.perms.Owner] = c - 1
+		}
+	}
+	for _, ch := range n.children {
+		s.releaseSubtree(ch)
+	}
+}
+
+// OwnedNodes reports how many nodes dom has created (diagnostics).
+func (s *Store) OwnedNodes(dom DomID) int { return s.owned[dom] }
+
+func (m *mutCtx) setPerms(dom DomID, path string, parts []string, perms Perms) error {
+	n := lookup(m.root, parts)
+	if n == nil {
+		m.tx.recordAbsent(path)
+		return ErrNotFound
+	}
+	if dom != Dom0 && dom != n.perms.Owner {
+		return ErrPerm
+	}
+	n.perms = perms.clone()
+	n.valueGen = m.gen
+	m.tx.recordValueWrite(path)
+	m.tx.recordSetPerms(path, perms)
+	m.noteEvent(path)
+	return nil
+}
+
+func (m *mutCtx) noteEvent(path string) {
+	if m.tx == nil {
+		m.events = append(m.events, path)
+	}
+}
+
+// ---- watches ----
+
+// Special watch paths: the toolstack watches these to learn of domain
+// lifecycle events, as in the real protocol.
+const (
+	SpecialIntroduceDomain = "@introduceDomain"
+	SpecialReleaseDomain   = "@releaseDomain"
+)
+
+// FireSpecial delivers a special event (domain introduced/released) to
+// its watchers.
+func (s *Store) FireSpecial(name string) {
+	s.fire([]string{name})
+}
+
+// WatchPath registers fn for changes at or below path. Per the XenStore
+// protocol, the watch fires once immediately upon registration so the
+// watcher can never miss an update that raced with registration.
+// The special paths @introduceDomain and @releaseDomain may be watched;
+// they fire via FireSpecial.
+func (s *Store) WatchPath(dom DomID, path, token string, fn WatchFn) (*Watch, error) {
+	if path != SpecialIntroduceDomain && path != SpecialReleaseDomain {
+		if _, err := SplitPath(path); err != nil {
+			return nil, err
+		}
+	}
+	w := &Watch{dom: dom, path: path, token: token, fn: fn}
+	s.watches = append(s.watches, w)
+	s.stats.Watches++
+	fn(path, token)
+	return w, nil
+}
+
+// Unwatch removes a previously registered watch.
+func (s *Store) Unwatch(w *Watch) {
+	if w == nil || w.dead {
+		return
+	}
+	w.dead = true
+	for i, x := range s.watches {
+		if x == w {
+			s.watches = append(s.watches[:i], s.watches[i+1:]...)
+			break
+		}
+	}
+}
+
+// fire delivers watch events for the given modified paths. Callbacks may
+// mutate the store (conduit does); events generated while firing are
+// queued and delivered afterwards to keep delivery ordered.
+func (s *Store) fire(paths []string) {
+	if len(paths) == 0 {
+		return
+	}
+	if s.firing {
+		s.pending = append(s.pending, paths...)
+		return
+	}
+	s.firing = true
+	queue := append([]string(nil), paths...)
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		// Copy: callbacks may register/unregister watches.
+		ws := append([]*Watch(nil), s.watches...)
+		for _, w := range ws {
+			if !w.dead && IsPrefix(w.path, p) {
+				s.stats.Watches++
+				w.fn(p, w.token)
+			}
+		}
+		if len(s.pending) > 0 {
+			queue = append(queue, s.pending...)
+			s.pending = nil
+		}
+	}
+	s.firing = false
+}

@@ -1,0 +1,387 @@
+package xenstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func newTestStore() *Store { return NewStore(OCamlReconciler{}) }
+
+func TestBasicReadWrite(t *testing.T) {
+	s := newTestStore()
+	if err := s.Write(Dom0, nil, "/local/domain/3/name", "http_server"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(Dom0, nil, "/local/domain/3/name")
+	if err != nil || got != "http_server" {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+	// Intermediate directories were created implicitly.
+	if ok, _ := s.Exists(Dom0, nil, "/local/domain/3"); !ok {
+		t.Fatal("intermediate dir not created")
+	}
+	// Overwrite.
+	if err := s.Write(Dom0, nil, "/local/domain/3/name", "other"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Read(Dom0, nil, "/local/domain/3/name"); got != "other" {
+		t.Fatalf("overwrite lost: %q", got)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	s := newTestStore()
+	if _, err := s.Read(Dom0, nil, "/nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Read(Dom0, nil, "bad path"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("err = %v, want ErrBadPath", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	s := newTestStore()
+	for _, n := range []string{"charlie", "alice", "bob"} {
+		if err := s.Mkdir(Dom0, nil, "/tool/"+n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := s.List(Dom0, nil, "/tool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alice", "bob", "charlie"}
+	if len(names) != 3 {
+		t.Fatalf("List = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("List = %v (not sorted?)", names)
+		}
+	}
+	if _, err := s.List(Dom0, nil, "/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("List missing = %v", err)
+	}
+}
+
+func TestRm(t *testing.T) {
+	s := newTestStore()
+	s.Write(Dom0, nil, "/tool/a/b/c", "v")
+	if err := s.Rm(Dom0, nil, "/tool/a"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.Exists(Dom0, nil, "/tool/a/b/c"); ok {
+		t.Fatal("subtree survived Rm")
+	}
+	if err := s.Rm(Dom0, nil, "/tool/a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Rm = %v", err)
+	}
+	if err := s.Rm(Dom0, nil, "/"); !errors.Is(err, ErrPerm) {
+		t.Fatalf("Rm / = %v", err)
+	}
+}
+
+func TestMkdirIdempotent(t *testing.T) {
+	s := newTestStore()
+	if err := s.Mkdir(Dom0, nil, "/tool/x"); err != nil {
+		t.Fatal(err)
+	}
+	s.Write(Dom0, nil, "/tool/x/y", "keep")
+	if err := s.Mkdir(Dom0, nil, "/tool/x"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Read(Dom0, nil, "/tool/x/y"); got != "keep" {
+		t.Fatal("Mkdir on existing dir destroyed children")
+	}
+}
+
+func TestPermissionEnforcement(t *testing.T) {
+	s := newTestStore()
+	// Dom0 sets up a private node for domain 3.
+	s.Write(Dom0, nil, "/local/domain/3/private", "secret")
+	s.SetPerms(Dom0, nil, "/local/domain/3/private", Perms{Owner: 3, Others: AccessNone})
+
+	if _, err := s.Read(7, nil, "/local/domain/3/private"); !errors.Is(err, ErrPerm) {
+		t.Fatalf("foreign read = %v, want ErrPerm", err)
+	}
+	if got, err := s.Read(3, nil, "/local/domain/3/private"); err != nil || got != "secret" {
+		t.Fatalf("owner read = %q, %v", got, err)
+	}
+	if _, err := s.Read(Dom0, nil, "/local/domain/3/private"); err != nil {
+		t.Fatalf("dom0 must bypass perms: %v", err)
+	}
+	if err := s.Write(7, nil, "/local/domain/3/private", "x"); !errors.Is(err, ErrPerm) {
+		t.Fatalf("foreign write = %v, want ErrPerm", err)
+	}
+}
+
+func TestPermEntriesAndOthers(t *testing.T) {
+	s := newTestStore()
+	s.Write(Dom0, nil, "/tool/shared", "v")
+	s.SetPerms(Dom0, nil, "/tool/shared", Perms{
+		Owner:   3,
+		Others:  AccessRead,
+		Entries: []PermEntry{{Dom: 7, Access: AccessReadWrite}, {Dom: 9, Access: AccessNone}},
+	})
+	if _, err := s.Read(5, nil, "/tool/shared"); err != nil {
+		t.Fatalf("others read = %v", err)
+	}
+	if err := s.Write(5, nil, "/tool/shared", "x"); !errors.Is(err, ErrPerm) {
+		t.Fatalf("others write = %v", err)
+	}
+	if err := s.Write(7, nil, "/tool/shared", "x"); err != nil {
+		t.Fatalf("entry write = %v", err)
+	}
+	if _, err := s.Read(9, nil, "/tool/shared"); !errors.Is(err, ErrPerm) {
+		t.Fatalf("AccessNone entry read = %v", err)
+	}
+}
+
+func TestSetPermsOnlyOwner(t *testing.T) {
+	s := newTestStore()
+	s.Write(Dom0, nil, "/tool/n", "v")
+	s.SetPerms(Dom0, nil, "/tool/n", Perms{Owner: 3, Others: AccessReadWrite})
+	if err := s.SetPerms(7, nil, "/tool/n", Perms{Owner: 7}); !errors.Is(err, ErrPerm) {
+		t.Fatalf("non-owner SetPerms = %v", err)
+	}
+	if err := s.SetPerms(3, nil, "/tool/n", Perms{Owner: 3, Others: AccessNone}); err != nil {
+		t.Fatalf("owner SetPerms = %v", err)
+	}
+}
+
+func TestChildInheritsPerms(t *testing.T) {
+	s := newTestStore()
+	s.Mkdir(Dom0, nil, "/tool/dir")
+	s.SetPerms(Dom0, nil, "/tool/dir", Perms{Owner: 3, Others: AccessNone})
+	// Domain 3 creates a child: it inherits the parent's perms.
+	if err := s.Write(3, nil, "/tool/dir/child", "v"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.GetPerms(3, nil, "/tool/dir/child")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Owner != 3 || p.Others != AccessNone {
+		t.Fatalf("child perms = %+v", p)
+	}
+	if _, err := s.Read(7, nil, "/tool/dir/child"); !errors.Is(err, ErrPerm) {
+		t.Fatal("inherited perms not enforced")
+	}
+}
+
+func TestRestrictCreate(t *testing.T) {
+	// §3.2.3: the listen directory is writable by all, but keys created
+	// in it are visible only to the directory owner and the creator.
+	s := newTestStore()
+	s.Mkdir(Dom0, nil, "/conduit/http_server/listen")
+	s.SetPerms(Dom0, nil, "/conduit/http_server/listen", Perms{
+		Owner: 3, Others: AccessWrite, RestrictCreate: true,
+	})
+	// Client domain 7 registers a connection request.
+	if err := s.Write(7, nil, "/conduit/http_server/listen/conn1", "domid=7"); err != nil {
+		t.Fatal(err)
+	}
+	// Creator reads it.
+	if got, err := s.Read(7, nil, "/conduit/http_server/listen/conn1"); err != nil || got != "domid=7" {
+		t.Fatalf("creator read = %q, %v", got, err)
+	}
+	// Directory owner (the server, dom 3) reads it.
+	if got, err := s.Read(3, nil, "/conduit/http_server/listen/conn1"); err != nil || got != "domid=7" {
+		t.Fatalf("dir owner read = %q, %v", got, err)
+	}
+	// A third domain cannot observe the connection.
+	if _, err := s.Read(9, nil, "/conduit/http_server/listen/conn1"); !errors.Is(err, ErrPerm) {
+		t.Fatalf("third-party read = %v, want ErrPerm", err)
+	}
+	// Nor interfere with it.
+	if err := s.Write(9, nil, "/conduit/http_server/listen/conn1", "hijack"); !errors.Is(err, ErrPerm) {
+		t.Fatalf("third-party write = %v, want ErrPerm", err)
+	}
+	// RestrictCreate does not propagate to the created key itself:
+	// children of conn1 are plain private keys of the creator.
+	if err := s.Write(7, nil, "/conduit/http_server/listen/conn1/port", "p1"); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := s.GetPerms(7, nil, "/conduit/http_server/listen/conn1")
+	if p.RestrictCreate {
+		t.Fatal("RestrictCreate leaked onto created key")
+	}
+}
+
+func TestWatchFiresOnRegistrationAndChange(t *testing.T) {
+	s := newTestStore()
+	var events []string
+	w, err := s.WatchPath(Dom0, "/tool/svc", "tok", func(path, token string) {
+		events = append(events, fmt.Sprintf("%s:%s", path, token))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registration fires immediately with the watched path.
+	if len(events) != 1 || events[0] != "/tool/svc:tok" {
+		t.Fatalf("registration event = %v", events)
+	}
+	s.Write(Dom0, nil, "/tool/svc/state", "up")
+	found := false
+	for _, e := range events[1:] {
+		if e == "/tool/svc/state:tok" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("change event missing: %v", events)
+	}
+	// Unrelated writes don't fire.
+	n := len(events)
+	s.Write(Dom0, nil, "/tool/other", "x")
+	if len(events) != n {
+		t.Fatalf("unrelated write fired watch: %v", events)
+	}
+	// Unwatch stops delivery.
+	s.Unwatch(w)
+	s.Write(Dom0, nil, "/tool/svc/state", "down")
+	if len(events) != n {
+		t.Fatal("unwatched watch fired")
+	}
+	s.Unwatch(w) // double unwatch is a no-op
+}
+
+func TestWatchFiresOnRm(t *testing.T) {
+	s := newTestStore()
+	s.Write(Dom0, nil, "/tool/svc/state", "up")
+	var fired []string
+	s.WatchPath(Dom0, "/tool/svc", "t", func(p, _ string) { fired = append(fired, p) })
+	fired = nil
+	s.Rm(Dom0, nil, "/tool/svc")
+	if len(fired) != 1 || fired[0] != "/tool/svc" {
+		t.Fatalf("rm events = %v", fired)
+	}
+}
+
+func TestWatchNotFiredByAbortedTx(t *testing.T) {
+	s := newTestStore()
+	n := 0
+	s.WatchPath(Dom0, "/tool", "t", func(p, _ string) { n++ })
+	n = 0
+	tx := s.Begin(Dom0)
+	s.Write(Dom0, tx, "/tool/x", "v")
+	if n != 0 {
+		t.Fatal("tx write fired watch before commit")
+	}
+	tx.Abort()
+	if n != 0 {
+		t.Fatal("aborted tx fired watch")
+	}
+	tx2 := s.Begin(Dom0)
+	s.Write(Dom0, tx2, "/tool/x", "v")
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("committed tx did not fire watch")
+	}
+}
+
+func TestWatchReentrantMutation(t *testing.T) {
+	// A watch callback that writes back into the store (the conduit
+	// rendezvous does this) must not deadlock or lose events.
+	s := newTestStore()
+	replied := false
+	s.WatchPath(Dom0, "/tool/req", "t", func(p, _ string) {
+		if p == "/tool/req/in" && !replied {
+			replied = true
+			s.Write(Dom0, nil, "/tool/resp", "ack")
+		}
+	})
+	got := ""
+	s.WatchPath(Dom0, "/tool/resp", "t", func(p, _ string) {
+		if p == "/tool/resp" {
+			got, _ = s.Read(Dom0, nil, "/tool/resp")
+		}
+	})
+	s.Write(Dom0, nil, "/tool/req/in", "hello")
+	if got != "ack" {
+		t.Fatalf("reentrant watch chain broken: %q", got)
+	}
+}
+
+func TestTxSnapshotIsolation(t *testing.T) {
+	s := newTestStore()
+	s.Write(Dom0, nil, "/tool/k", "v0")
+	tx := s.Begin(Dom0)
+	// Outside the tx the value changes.
+	s.Write(Dom0, nil, "/tool/k", "v1")
+	// The tx still sees its snapshot.
+	if got, _ := s.Read(Dom0, tx, "/tool/k"); got != "v0" {
+		t.Fatalf("tx read = %q, want snapshot v0", got)
+	}
+	tx.Abort()
+}
+
+func TestTxWriteVisibility(t *testing.T) {
+	s := newTestStore()
+	tx := s.Begin(Dom0)
+	s.Write(Dom0, tx, "/tool/k", "in-tx")
+	// Invisible outside until commit.
+	if ok, _ := s.Exists(Dom0, nil, "/tool/k"); ok {
+		t.Fatal("tx write visible before commit")
+	}
+	// Visible inside.
+	if got, _ := s.Read(Dom0, tx, "/tool/k"); got != "in-tx" {
+		t.Fatal("tx write invisible inside tx")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Read(Dom0, nil, "/tool/k"); got != "in-tx" {
+		t.Fatal("committed write lost")
+	}
+}
+
+func TestTxUseAfterEnd(t *testing.T) {
+	s := newTestStore()
+	tx := s.Begin(Dom0)
+	tx.Abort()
+	if _, err := s.Read(Dom0, tx, "/tool"); !errors.Is(err, ErrTxClosed) {
+		t.Fatalf("read after abort = %v", err)
+	}
+	if err := s.Write(Dom0, tx, "/tool/x", "v"); !errors.Is(err, ErrTxClosed) {
+		t.Fatalf("write after abort = %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxClosed) {
+		t.Fatalf("commit after abort = %v", err)
+	}
+}
+
+func TestTxRmThenWrite(t *testing.T) {
+	s := newTestStore()
+	s.Write(Dom0, nil, "/tool/a/b", "old")
+	tx := s.Begin(Dom0)
+	if err := s.Rm(Dom0, tx, "/tool/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(Dom0, tx, "/tool/a/b", "new"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Read(Dom0, nil, "/tool/a/b"); got != "new" {
+		t.Fatalf("rm-then-write = %q", got)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s := newTestStore()
+	before := s.Stats()
+	s.Write(Dom0, nil, "/tool/x", "v")
+	s.Read(Dom0, nil, "/tool/x")
+	after := s.Stats()
+	if after.Ops != before.Ops+2 {
+		t.Fatalf("ops delta = %d", after.Ops-before.Ops)
+	}
+	if after.Commits != before.Commits+1 {
+		t.Fatalf("commits delta = %d", after.Commits-before.Commits)
+	}
+}

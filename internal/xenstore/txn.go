@@ -1,0 +1,270 @@
+package xenstore
+
+// accessRecord accumulates what a transaction depended on at one path.
+// The reconcilers interpret these flags differently — that is the whole
+// difference between the three xenstored implementations of Figure 3.
+type accessRecord struct {
+	existed      bool // node existed in the snapshot at first access
+	sawAbsent    bool // tx observed the path missing
+	valueRead    bool // tx read the node's value (or perms)
+	valueWritten bool // tx wrote the node's value (or perms)
+	listed       bool // tx listed the node's children explicitly
+	childTouched bool // tx created/removed a child of this node
+	created      bool // tx created this node
+	removed      bool // tx removed this node
+}
+
+// txOp is one replayable mutation, applied to the live tree at commit.
+type txOp struct {
+	kind  opKind
+	path  string
+	value string
+	perms Perms
+	dom   DomID
+}
+
+type opKind uint8
+
+const (
+	opWrite opKind = iota
+	opMkdir
+	opRm
+	opSetPerms
+)
+
+// Tx is an open transaction: a full snapshot of the tree at Begin plus
+// the dependency records and the operation log to replay at Commit.
+type Tx struct {
+	ID       uint64
+	st       *Store
+	dom      DomID
+	root     *node
+	startSeq uint64 // store seq at Begin: any node gen beyond this is concurrent
+	startCom uint64 // store commit count at Begin (for the C reconciler)
+	access   map[string]*accessRecord
+	ops      []txOp
+	closed   bool
+	// created holds provisional per-owner quota charges for nodes this
+	// transaction creates; they become real at replay.
+	created map[DomID]int
+}
+
+// Begin opens a transaction for dom. The transaction sees a stable
+// snapshot of the store; Commit applies it atomically or fails with
+// ErrAgain.
+func (s *Store) Begin(dom DomID) *Tx {
+	s.nextTxID++
+	return &Tx{
+		ID:       s.nextTxID,
+		st:       s,
+		dom:      dom,
+		root:     s.root.clone(),
+		startSeq: s.seq,
+		startCom: s.commits,
+		access:   make(map[string]*accessRecord),
+	}
+}
+
+// Dom returns the domain that opened the transaction.
+func (t *Tx) Dom() DomID { return t.dom }
+
+// Ops returns the number of mutations logged so far (cost accounting).
+func (t *Tx) Ops() int { return len(t.ops) }
+
+// Abort discards the transaction.
+func (t *Tx) Abort() {
+	t.closed = true
+}
+
+// Commit attempts to apply the transaction. On conflict it returns
+// ErrAgain and the caller must redo the transaction from Begin, exactly
+// like the EAGAIN loop in the real toolstack.
+func (t *Tx) Commit() error {
+	if t.closed {
+		return ErrTxClosed
+	}
+	t.closed = true
+	s := t.st
+	if err := s.rec.Check(s, t); err != nil {
+		s.stats.Conflicts++
+		return err
+	}
+	if len(t.ops) == 0 {
+		return nil // read-only transactions always succeed once checked
+	}
+	s.seq++
+	gen := s.seq
+	var events []string
+	for i := range t.ops {
+		events = t.replay(&t.ops[i], gen, events)
+	}
+	s.commits++
+	s.stats.Commits++
+	s.fire(events)
+	return nil
+}
+
+// replay applies one logged op to the live tree. Permission checks were
+// done against the snapshot; replay is merge-tolerant: missing parents
+// are recreated, missing rm targets are skipped.
+func (t *Tx) replay(op *txOp, gen uint64, events []string) []string {
+	s := t.st
+	parts, err := SplitPath(op.path)
+	if err != nil {
+		return events
+	}
+	switch op.kind {
+	case opWrite, opMkdir:
+		n := s.root
+		cur := ""
+		for i, p := range parts {
+			cur += "/" + p
+			ch := n.child(p)
+			if ch == nil {
+				childPerms := n.perms.clone()
+				childPerms.RestrictCreate = false
+				if n.perms.RestrictCreate {
+					childPerms = restrictedChildPerms(n.perms.Owner, op.dom)
+				}
+				ch = &node{perms: childPerms, valueGen: gen, childGen: gen}
+				n.setChild(p, ch)
+				n.childGen = gen
+				events = append(events, cur)
+				if ch.perms.Owner != Dom0 {
+					s.owned[ch.perms.Owner]++
+				}
+			}
+			if i == len(parts)-1 && op.kind == opWrite {
+				ch.value = op.value
+				ch.valueGen = gen
+				events = append(events, cur)
+			}
+			n = ch
+		}
+	case opRm:
+		parent := lookup(s.root, parts[:len(parts)-1])
+		if parent == nil {
+			return events
+		}
+		name := parts[len(parts)-1]
+		victim := parent.child(name)
+		if victim == nil {
+			return events
+		}
+		delete(parent.children, name)
+		parent.childGen = gen
+		s.releaseSubtree(victim)
+		events = append(events, op.path)
+	case opSetPerms:
+		n := lookup(s.root, parts)
+		if n == nil {
+			return events
+		}
+		n.perms = op.perms.clone()
+		n.valueGen = gen
+		events = append(events, op.path)
+	}
+	return events
+}
+
+// ---- dependency recording (all nil-receiver safe: immediate operations
+// pass a nil *Tx and record nothing) ----
+
+func (t *Tx) rec(path string) *accessRecord {
+	r := t.access[path]
+	if r == nil {
+		r = &accessRecord{}
+		t.access[path] = r
+	}
+	return r
+}
+
+func (t *Tx) recordValueRead(path string, n *node) {
+	if t == nil {
+		return
+	}
+	r := t.rec(path)
+	r.existed = true
+	r.valueRead = true
+}
+
+func (t *Tx) recordAbsent(path string) {
+	if t == nil {
+		return
+	}
+	r := t.rec(path)
+	r.sawAbsent = true
+}
+
+func (t *Tx) recordList(path string, n *node) {
+	if t == nil {
+		return
+	}
+	r := t.rec(path)
+	r.existed = true
+	r.listed = true
+}
+
+func (t *Tx) recordValueWrite(path string) {
+	if t == nil {
+		return
+	}
+	r := t.rec(path)
+	r.valueWritten = true
+	r.existed = true // the snapshot holds the node by now
+	t.logOp(txOp{kind: opWrite, path: path, dom: t.dom})
+}
+
+func (t *Tx) recordCreate(path, parent string) {
+	if t == nil {
+		return
+	}
+	r := t.rec(path)
+	r.created = true
+	pr := t.rec(parent)
+	pr.childTouched = true
+	t.logOp(txOp{kind: opMkdir, path: path, dom: t.dom})
+}
+
+func (t *Tx) recordRemove(path, parent string) {
+	if t == nil {
+		return
+	}
+	r := t.rec(path)
+	r.removed = true
+	pr := t.rec(parent)
+	pr.childTouched = true
+	t.logOp(txOp{kind: opRm, path: path, dom: t.dom})
+}
+
+func (t *Tx) recordSetPerms(path string, perms Perms) {
+	if t == nil {
+		return
+	}
+	t.logOp(txOp{kind: opSetPerms, path: path, perms: perms, dom: t.dom})
+}
+
+// logOp appends to the replay log, folding consecutive writes to the same
+// path (the last value wins, matching snapshot semantics).
+func (t *Tx) logOp(op txOp) {
+	if op.kind == opWrite {
+		// Fill the value from the snapshot: recordValueWrite is called
+		// after the snapshot tree already holds the new value.
+		if parts, err := SplitPath(op.path); err == nil {
+			if n := lookup(t.root, parts); n != nil {
+				op.value = n.value
+			}
+		}
+		for i := len(t.ops) - 1; i >= 0; i-- {
+			prev := &t.ops[i]
+			if prev.path == op.path && prev.kind == opWrite {
+				prev.value = op.value
+				return
+			}
+			if prev.kind == opRm && IsPrefix(prev.path, op.path) {
+				break // write after rm must be a fresh op
+			}
+		}
+	}
+	t.ops = append(t.ops, op)
+}
