@@ -123,6 +123,19 @@ func BenchmarkHeadlineLatency(b *testing.B) {
 	}
 }
 
+// BenchmarkScalingClusterVsFleet runs the cluster-control-plane scaling
+// experiment at 4 boards and reports both systems' p95
+// time-to-first-response.
+func BenchmarkScalingClusterVsFleet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Scaling([]int{4}, 90*time.Second)
+		if i == 0 {
+			b.ReportMetric(float64(r.Series["fleet@4"].Percentile(0.95))/1e6, "fleet-p95-ms")
+			b.ReportMetric(float64(r.Series["cluster@4"].Percentile(0.95))/1e6, "cluster-p95-ms")
+		}
+	}
+}
+
 // ---- ablation benches (DESIGN.md §5) ----
 
 func BenchmarkAblationMergeStrategies(b *testing.B) {

@@ -3,13 +3,16 @@
 //
 // Usage:
 //
-//	jitsu-bench [-run all|fig3|fig4|fig8|fig9a|fig9b|table1|table2|throughput|headline|ablations] [-quick]
+//	jitsu-bench [-run all|fig3|fig4|fig8|fig9a|fig9b|table1|table2|throughput|headline|scaling|ablations] [-quick] [-boards 1,2,4,8]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"jitsu/internal/experiments"
 )
@@ -17,19 +20,42 @@ import (
 func main() {
 	run := flag.String("run", "all", "experiment to regenerate")
 	quick := flag.Bool("quick", false, "reduced trial counts")
+	boards := flag.String("boards", "", "board counts for the scaling experiment (default 1,2,4,8; 1,4 with -quick)")
 	flag.Parse()
 
 	trials := 120
 	fig3N := []int{1, 25, 50, 100, 150, 200}
+	scalingHorizon := 90 * time.Second
 	if *quick {
 		trials = 30
 		fig3N = []int{1, 10, 25, 50}
+	}
+	boardsSet := *boards != ""
+	if !boardsSet {
+		*boards = "1,2,4,8"
+		if *quick {
+			*boards = "1,4"
+		}
+	}
+	scalingN, err := parseBoards(*boards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -boards: %v\n", err)
+		os.Exit(2)
 	}
 
 	var results []*experiments.Result
 	switch *run {
 	case "all":
 		results = experiments.All(*quick)
+		if boardsSet {
+			// Honour an explicit -boards by re-running the scaling
+			// experiment at the requested counts.
+			for i, r := range results {
+				if r.ID == "Scaling" {
+					results[i] = experiments.Scaling(scalingN, scalingHorizon)
+				}
+			}
+		}
 	case "fig3":
 		results = append(results, experiments.Fig3(fig3N))
 	case "fig4":
@@ -48,6 +74,8 @@ func main() {
 		results = append(results, experiments.Throughput())
 	case "headline":
 		results = append(results, experiments.Headline(trials/4))
+	case "scaling":
+		results = append(results, experiments.Scaling(scalingN, scalingHorizon))
 	case "ablations":
 		results = append(results,
 			experiments.AblationMergeStrategies(30),
@@ -65,4 +93,16 @@ func main() {
 	for _, r := range results {
 		fmt.Println(r.String())
 	}
+}
+
+func parseBoards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("%q is not a board count", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

@@ -1,19 +1,26 @@
-// Command jitsud runs one simulated Jitsu board end-to-end: it registers
-// a set of per-person web services, replays a client request trace
-// against them, and prints the per-request latency timeline plus a
-// resource summary — a day in the life of the embedded cloud from
+// Command jitsud runs a simulated Jitsu deployment end-to-end: it
+// registers a set of per-person web services, replays a client request
+// trace against them, and prints the per-request latency timeline plus
+// a resource summary — a day in the life of the embedded cloud from
 // §3.3.2.
+//
+// With -boards N (N > 1) it runs a whole edge cluster fronted by the
+// control plane's directory and placement scheduler; -policy selects
+// the placement policy.
 //
 // Usage:
 //
 //	jitsud [-services 4] [-requests 24] [-idle 30s] [-no-synjitsu] [-seed 1]
+//	       [-boards 1] [-policy least-loaded] [-min-warm 0]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
+	"jitsu/internal/cluster"
 	"jitsu/internal/core"
 	"jitsu/internal/metrics"
 	"jitsu/internal/netstack"
@@ -21,23 +28,45 @@ import (
 	"jitsu/internal/unikernel"
 )
 
+var serviceNames = []string{"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"}
+
 func main() {
 	services := flag.Int("services", 4, "number of registered services")
 	requests := flag.Int("requests", 24, "requests in the trace")
 	idle := flag.Duration("idle", 30*time.Second, "service idle timeout (0 = never stop)")
 	noSyn := flag.Bool("no-synjitsu", false, "disable the connection proxy")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	boards := flag.Int("boards", 1, "boards in the deployment (>1 runs the cluster control plane)")
+	policy := flag.String("policy", "least-loaded", "placement policy: first-fit|round-robin|least-loaded|power-aware")
+	minWarm := flag.Int("min-warm", 0, "warm-pool floor per service (cluster mode)")
 	flag.Parse()
+
+	if *services < 1 {
+		*services = 1
+	}
+	if *services > len(serviceNames) {
+		*services = len(serviceNames)
+	}
+	if *boards > 1 {
+		idleSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "idle" {
+				idleSet = true
+			}
+		})
+		if idleSet {
+			fmt.Fprintln(os.Stderr, "jitsud: -idle is ignored in cluster mode (the warm-pool manager owns replica lifecycle)")
+		}
+		runCluster(*boards, *services, *requests, *seed, *policy, *minWarm, !*noSyn)
+		return
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Synjitsu = !*noSyn
 	b := core.NewBoard(cfg)
 
-	names := []string{"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"}
-	if *services > len(names) {
-		*services = len(names)
-	}
+	names := serviceNames
 	for i := 0; i < *services; i++ {
 		n := names[i]
 		b.Jitsu.Register(core.ServiceConfig{
@@ -103,4 +132,73 @@ func main() {
 		reaps += svc.Reaps
 	}
 	fmt.Printf("idle reaps: %d — VMs run only while traffic needs them\n", reaps)
+}
+
+// runCluster is the multi-board mode: the same request trace, but
+// placed by the control plane instead of answered by one board.
+func runCluster(boards, services, requests int, seed int64, policyName string, minWarm int, synjitsu bool) {
+	pol := cluster.PolicyByName(policyName)
+	if pol == nil {
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", policyName)
+		os.Exit(2)
+	}
+	cfg := cluster.DefaultConfig()
+	cfg.Boards = boards
+	cfg.Board.Seed = seed
+	cfg.Board.Synjitsu = synjitsu
+	cfg.DefaultPolicy = pol
+	c := cluster.New(cfg)
+
+	zone := cfg.Board.Zone
+	for i := 0; i < services; i++ {
+		n := serviceNames[i]
+		c.Register(core.ServiceConfig{
+			Name:  n + "." + zone,
+			IP:    netstack.IPv4(10, 0, 0, byte(20+i)),
+			Port:  80,
+			Image: unikernel.UnikernelImage(n, unikernel.NewStaticSiteApp(n)),
+		}, cluster.ServiceOpts{MinWarm: minWarm})
+	}
+	cl := c.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
+
+	fmt.Printf("jitsud cluster: %d boards, policy %s, synjitsu=%v, %d services, min-warm %d\n\n",
+		boards, pol.Name(), synjitsu, services, minWarm)
+	fmt.Printf("%-12s %-22s %-8s %-7s %-12s %s\n", "time", "request", "status", "board", "latency", "note")
+
+	lat := &metrics.Series{Name: "request latency"}
+	var issue func(i int)
+	issue = func(i int) {
+		if i >= requests {
+			return
+		}
+		name := serviceNames[i%services] + "." + zone
+		warmBefore := c.WarmHits
+		cl.Fetch(name, "/", 30*time.Second,
+			func(board int, resp *netstack.HTTPResponse, d sim.Duration, err error) {
+				status, note := "ERR", "PLACED"
+				switch {
+				case err != nil:
+					note = err.Error()
+				default:
+					status = fmt.Sprint(resp.Status)
+					lat.Add(d)
+					if c.WarmHits > warmBefore {
+						note = "warm"
+					}
+				}
+				fmt.Printf("%-12v %-22s %-8s %-7d %-12v %s\n",
+					c.Eng().Now().Round(time.Millisecond), name, status, board, d.Round(100*time.Microsecond), note)
+				c.Eng().After(2*time.Second, func() { issue(i + 1) })
+			})
+	}
+	issue(0)
+	c.RunAll()
+
+	fmt.Printf("\n%s\n", lat.Summary())
+	fmt.Printf("placed: %d, warm hits: %d, refused: %d, preempts: %d, prewarms: %d, reclaims: %d\n",
+		c.Placed, c.WarmHits, c.ServFails, c.Preempts, c.Pools.Prewarms, c.Pools.Reclaims)
+	fmt.Printf("\n%s", c.CounterTable())
+	for i, b := range c.Boards {
+		fmt.Printf("board %d: %s\n", i, b.Hyp)
+	}
 }

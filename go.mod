@@ -1,0 +1,3 @@
+module jitsu
+
+go 1.24

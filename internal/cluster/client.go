@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"jitsu/internal/core"
+	"jitsu/internal/dns"
+	"jitsu/internal/netstack"
+	"jitsu/internal/sim"
+)
+
+// ErrClusterFull is returned when the scheduler could not place the
+// query on any board. Unlike the Fleet baseline, the client learns this
+// from a single SERVFAIL — there is no NS set to walk.
+var ErrClusterFull = errors.New("cluster: no board can take the service")
+
+// Client is a resolver+fetcher against the cluster. Like the Fleet
+// client it holds an attachment on every board's network (the boards
+// are separate hosts on the edge), but it only ever queries board 0's
+// directory: the answer's replica IP tells it which board to talk to.
+type Client struct {
+	c     *Cluster
+	hosts []*netstack.Host
+	// ServFails counts cluster-wide refusals observed by this client.
+	ServFails uint64
+}
+
+// NewClient attaches a client to every board's network.
+func (c *Cluster) NewClient(name string, ip netstack.IP) *Client {
+	cl := &Client{c: c}
+	for i, b := range c.Boards {
+		cl.hosts = append(cl.hosts, b.AddClient(fmt.Sprintf("%s-b%d", name, i), ip))
+	}
+	return cl
+}
+
+// Host returns the client's attachment on board i.
+func (cl *Client) Host(i int) *netstack.Host { return cl.hosts[i] }
+
+// Fetch resolves name at the cluster directory and fetches path from
+// the board the scheduler picked. done reports the serving board index
+// (-1 on refusal or error).
+func (cl *Client) Fetch(name, path string, timeout sim.Duration, done func(board int, resp *netstack.HTTPResponse, elapsed sim.Duration, err error)) {
+	eng := cl.c.eng
+	start := eng.Now()
+	resolver := &dns.Client{Host: cl.hosts[0]}
+	resolver.Query(core.NSAddr, name, dns.TypeA, timeout, func(m *dns.Message, _ sim.Duration, err error) {
+		if err != nil {
+			done(-1, nil, eng.Now()-start, err)
+			return
+		}
+		if m.RCode == dns.RCodeServFail {
+			cl.ServFails++
+			done(-1, nil, eng.Now()-start, ErrClusterFull)
+			return
+		}
+		if m.RCode != dns.RCodeNoError || len(m.Answers) == 0 {
+			done(-1, nil, eng.Now()-start, fmt.Errorf("cluster: dns %v", m.RCode))
+			return
+		}
+		ip := m.Answers[0].A
+		board := 0
+		if p, ok := cl.c.dir.byIP[ip]; ok {
+			board = p.Board
+		}
+		remaining := timeout - (eng.Now() - start)
+		if remaining <= 0 {
+			// netstack arms no deadline for timeout <= 0; fail now
+			// rather than fetch unbounded.
+			done(-1, nil, eng.Now()-start, netstack.ErrTimeout)
+			return
+		}
+		cl.hosts[board].HTTPGet(ip, 80, path, remaining, func(resp *netstack.HTTPResponse, _ sim.Duration, err error) {
+			done(board, resp, eng.Now()-start, err)
+		})
+	})
+}

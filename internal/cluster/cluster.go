@@ -1,0 +1,360 @@
+// Package cluster is the control plane above core.Board: a single
+// cluster-wide directory and authoritative DNS that *places* unikernels
+// across N boards instead of making clients walk the NS set on
+// SERVFAIL (§3.3.2's "conventional failover"). One query is answered by
+// the board the scheduler picks; warm pools keep hot services
+// pre-booted so they skip the cold-start path entirely.
+package cluster
+
+import (
+	"time"
+
+	"jitsu/internal/core"
+	"jitsu/internal/dns"
+	"jitsu/internal/netstack"
+	"jitsu/internal/power"
+	"jitsu/internal/sim"
+)
+
+// Config sizes the cluster and tunes its control loops.
+type Config struct {
+	// Boards is the number of core.Boards fronted by the directory.
+	Boards int
+	// Board configures each member board (DelayDNSUntilReady is forced
+	// off: the cluster answers synchronously like stock Jitsu).
+	Board core.BoardConfig
+	// DefaultPolicy places services that don't pick their own
+	// (nil = LeastLoaded).
+	DefaultPolicy Policy
+	// RateAlpha is the EWMA weight for arrival-rate estimation (0..1].
+	RateAlpha float64
+	// WarmFactor scales rate×boot-time into a warm-pool target.
+	WarmFactor float64
+	// MaxWarmPerService caps any one service's pool (0 = one per board).
+	MaxWarmPerService int
+	// MinRate is the arrivals/sec below which a pool drains to MinWarm.
+	MinRate float64
+	// PreemptMargin gates rate-based preemption: a full cluster evicts
+	// the coldest ready replica only for a service at least this many
+	// times hotter (≤1 disables preemption; default 2 resists flapping
+	// between similar services).
+	PreemptMargin float64
+	// BootEstimate is the expected cold-boot latency used to size pools.
+	BootEstimate sim.Duration
+	// PowerModel supplies per-board power models for PowerAware
+	// placement (nil = Cubieboard2 everywhere).
+	PowerModel func(board int) *power.Board
+}
+
+// DefaultConfig is a 4-board Cubieboard2 cluster with least-loaded
+// placement and EWMA-sized warm pools.
+func DefaultConfig() Config {
+	return Config{
+		Boards:        4,
+		Board:         core.DefaultConfig(),
+		RateAlpha:     0.1,
+		WarmFactor:    1.0,
+		MinRate:       0.02,
+		PreemptMargin: 2.0,
+		BootEstimate:  350 * time.Millisecond,
+	}
+}
+
+// Cluster fronts N boards with one directory, one scheduler and one
+// warm-pool manager. Board 0 additionally hosts the cluster's
+// authoritative DNS endpoint; the other boards never see client
+// queries, only placed traffic.
+type Cluster struct {
+	Cfg    Config
+	Boards []*core.Board
+	// Models holds each board's power model (for PowerAware).
+	Models []*power.Board
+	// Pools is the warm-pool manager.
+	Pools *PoolManager
+
+	eng *sim.Engine
+	dir *Directory
+	// baseDomains is each board's domain count before any guest ran,
+	// so views can report guest domains regardless of dom0 plumbing.
+	baseDomains []int
+
+	// WarmHits counts queries answered by an already-ready replica.
+	WarmHits uint64
+	// Placed counts queries that scheduled a boot (cold or in-flight).
+	Placed uint64
+	// ServFails counts queries refused cluster-wide (no board fits).
+	ServFails uint64
+	// Preempts counts cold replicas evicted to make room for hot ones.
+	Preempts uint64
+}
+
+// New builds the cluster: n boards on one shared engine, the directory,
+// and the DNS intercept on board 0 that routes every cluster service
+// through the scheduler.
+func New(cfg Config) *Cluster {
+	if cfg.Boards <= 0 {
+		cfg.Boards = 1
+	}
+	if cfg.DefaultPolicy == nil {
+		cfg.DefaultPolicy = LeastLoaded{}
+	}
+	if cfg.RateAlpha <= 0 || cfg.RateAlpha > 1 {
+		cfg.RateAlpha = 0.1
+	}
+	if cfg.WarmFactor <= 0 {
+		cfg.WarmFactor = 1.0
+	}
+	if cfg.BootEstimate <= 0 {
+		cfg.BootEstimate = 350 * time.Millisecond
+	}
+	if cfg.MaxWarmPerService <= 0 {
+		cfg.MaxWarmPerService = cfg.Boards
+	}
+	cfg.Board.DelayDNSUntilReady = false
+
+	c := &Cluster{Cfg: cfg, dir: newDirectory()}
+	c.eng = sim.New(cfg.Board.Seed)
+	for i := 0; i < cfg.Boards; i++ {
+		b := core.NewBoardOnEngine(c.eng, cfg.Board)
+		c.Boards = append(c.Boards, b)
+		c.baseDomains = append(c.baseDomains, b.Hyp.Domains())
+		model := power.Cubieboard2()
+		if cfg.PowerModel != nil {
+			model = cfg.PowerModel(i)
+		}
+		c.Models = append(c.Models, model)
+	}
+	c.Pools = newPoolManager(c)
+
+	front := c.Boards[0]
+	prev := front.DNS.Intercept
+	front.DNS.Intercept = func(q dns.Question, resp *dns.Message) bool {
+		if c.intercept(q, resp) {
+			return true
+		}
+		if prev != nil {
+			return prev(q, resp)
+		}
+		return false
+	}
+	return c
+}
+
+// ServiceOpts selects per-service placement behaviour at registration.
+type ServiceOpts struct {
+	// Policy overrides the cluster default for this service.
+	Policy Policy
+	// MinWarm keeps at least this many replicas booted at all times.
+	MinWarm int
+}
+
+// Register adds a service to the cluster directory and registers one
+// replica slot on every board. Each replica gets a board-specific IP
+// (third octet = 100+board) so the client can tell which board a DNS
+// answer points at. The per-board idle reaper is disabled — replica
+// lifecycle belongs to the warm-pool manager.
+func (c *Cluster) Register(sc core.ServiceConfig, opts ServiceOpts) *Entry {
+	name := dns.CanonicalName(sc.Name)
+	sc.Name = name
+	sc.IdleTimeout = 0
+	e := &Entry{
+		Name:    name,
+		Base:    sc,
+		Policy:  opts.Policy,
+		MinWarm: opts.MinWarm,
+	}
+	if e.Policy == nil {
+		e.Policy = c.Cfg.DefaultPolicy
+	}
+	for i, b := range c.Boards {
+		rc := sc
+		rc.IP = replicaIP(sc.IP, i)
+		p := &Placement{Board: i, Svc: b.Jitsu.Register(rc)}
+		e.Replicas = append(e.Replicas, p)
+		c.dir.byIP[rc.IP] = p
+	}
+	c.dir.entries[name] = e
+	c.Pools.Reconcile(e) // honour MinWarm immediately
+	return e
+}
+
+// replicaIP derives board i's replica address from the base service IP.
+func replicaIP(base netstack.IP, board int) netstack.IP {
+	ip := base
+	ip[2] = byte(100 + board)
+	return ip
+}
+
+// Directory exposes the cluster-wide directory (read-only use).
+func (c *Cluster) Directory() *Directory { return c.dir }
+
+// Eng returns the shared simulation engine.
+func (c *Cluster) Eng() *sim.Engine { return c.eng }
+
+// RunAll drains the shared engine.
+func (c *Cluster) RunAll() { c.eng.Run() }
+
+// intercept is the cluster's authoritative DNS hook on board 0: observe
+// the arrival, place the query, then let the pool manager chase the new
+// rate estimate.
+func (c *Cluster) intercept(q dns.Question, resp *dns.Message) bool {
+	if q.Type != dns.TypeA && q.Type != dns.TypeANY {
+		return false
+	}
+	e := c.dir.Lookup(q.Name)
+	if e == nil {
+		return false
+	}
+	c.observe(e)
+	p, warm := c.place(e)
+	if p == nil {
+		e.Refused++
+		c.ServFails++
+		resp.RCode = dns.RCodeServFail
+		c.Pools.ReconcileAll()
+		return true
+	}
+	if warm {
+		c.WarmHits++
+	} else {
+		c.Placed++
+	}
+	resp.Answers = append(resp.Answers, dns.RR{
+		Name: e.Name, Type: dns.TypeA, Class: dns.ClassIN,
+		TTL: e.Base.TTL, A: p.Svc.Cfg.IP,
+	})
+	p.lastAnswered = c.eng.Now()
+	// The replica just named in the answer is pinned: reclaim must not
+	// tear it down before the client's connect lands.
+	c.Pools.reconcileAll(p)
+	return true
+}
+
+// observe feeds one arrival into the service's EWMA rate estimate.
+func (c *Cluster) observe(e *Entry) {
+	now := c.eng.Now()
+	if e.arrivals == 0 {
+		// First contact: no inter-arrival gap to measure yet. Seed the
+		// estimate at the reclaim threshold so the fresh boot stays in
+		// the pool until the gap-decay proves the service really is
+		// one-shot, instead of reclaiming it before a second visit.
+		e.rate = c.Cfg.MinRate
+	} else if now > e.lastArrival {
+		inst := 1 / (now - e.lastArrival).Seconds()
+		e.rate = c.Cfg.RateAlpha*inst + (1-c.Cfg.RateAlpha)*e.rate
+	}
+	e.arrivals++
+	e.lastArrival = now
+	// WarmTarget is refreshed by the reconcile pass that follows every
+	// placement decision.
+}
+
+// place picks the replica that answers this query:
+//  1. a ready replica (round-robin among them — a warm hit),
+//  2. else a replica already booting (the DNS answer rides the same
+//     §3.3 race stock Jitsu does; Synjitsu absorbs the early SYNs),
+//  3. else a cold placement on the board the policy picks,
+//  4. else, if this service is markedly hotter than some ready replica,
+//     preempt that replica and boot in its place,
+//  5. else nil: the whole cluster is full — one SERVFAIL, no walking.
+func (c *Cluster) place(e *Entry) (p *Placement, warm bool) {
+	if ready := e.ready(); len(ready) > 0 {
+		e.rr++
+		return ready[e.rr%len(ready)], true
+	}
+	if p := e.launching(); p != nil {
+		return p, false
+	}
+	idx := e.Policy.Pick(c.views(e, nil))
+	if idx < 0 {
+		if p := c.preempt(e); p != nil {
+			return p, false
+		}
+		return nil, false
+	}
+	p = e.Replicas[idx]
+	if err := c.Boards[idx].Jitsu.Activate(p.Svc, true, nil); err != nil {
+		p.Svc.ServFails++
+		return nil, false
+	}
+	return p, false
+}
+
+// preempt evicts the coldest ready replica whose service is at least
+// PreemptMargin times colder than e, then boots e's replica on the
+// freed board once the destroy completes. The DNS answer goes out
+// immediately — the replica IP is under Synjitsu control, so the
+// client's SYNs ride the same boot race a stock cold start does.
+func (c *Cluster) preempt(e *Entry) *Placement {
+	if c.Cfg.PreemptMargin <= 1 {
+		return nil
+	}
+	now := c.eng.Now()
+	need := e.effectiveRate(now)
+	var victim *Placement
+	victimRate := 0.0
+	for _, o := range c.dir.Entries() {
+		if o == e {
+			continue
+		}
+		or := o.effectiveRate(now)
+		if or*c.Cfg.PreemptMargin >= need {
+			continue
+		}
+		guard := 10 * c.Cfg.BootEstimate
+		for _, p := range o.ready() {
+			// Hysteresis: a replica must have amortised its boot cost
+			// before it can be evicted, or near-equal services thrash.
+			if p.Svc.Guest == nil || p.Svc.Guest.Uptime() < guard {
+				continue
+			}
+			// Never evict a replica whose IP went out in a recent DNS
+			// answer: that client's connection may still be in flight.
+			if now-p.lastAnswered < guard {
+				continue
+			}
+			b := c.Boards[p.Board]
+			if b.Hyp.FreeMemMiB()+p.Svc.Cfg.Image.MemMiB < e.Base.Image.MemMiB {
+				continue
+			}
+			if victim == nil || or < victimRate {
+				victim, victimRate = p, or
+			}
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	rep := e.Replicas[victim.Board]
+	jit := c.Boards[victim.Board].Jitsu
+	if !jit.StopWith(victim.Svc, func() {
+		rep.pending = false
+		if err := jit.Activate(rep.Svc, true, nil); err != nil {
+			rep.Svc.ServFails++
+		}
+	}) {
+		return nil
+	}
+	rep.pending = true
+	c.Preempts++
+	return rep
+}
+
+// views summarizes every board for the policy. Boards for which skip
+// returns true (e.g. already hosting a live replica of e) are omitted.
+func (c *Cluster) views(e *Entry, skip func(i int) bool) []BoardView {
+	out := make([]BoardView, 0, len(c.Boards))
+	for i, b := range c.Boards {
+		if skip != nil && skip(i) {
+			continue
+		}
+		out = append(out, BoardView{
+			Index:        i,
+			FreeMemMiB:   b.Hyp.FreeMemMiB(),
+			GuestDomains: b.Hyp.Domains() - c.baseDomains[i],
+			NeedMiB:      e.Base.Image.MemMiB,
+			Model:        c.Models[i],
+		})
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"sort"
+
+	"jitsu/internal/core"
+	"jitsu/internal/dns"
+	"jitsu/internal/metrics"
+	"jitsu/internal/netstack"
+	"jitsu/internal/sim"
+)
+
+// Directory is the cluster-wide service directory: the single
+// authoritative view of where every service's replicas live and how hot
+// each service is. It is the hierarchical-summary layer the MDS2-style
+// directory literature describes — per-board Jitsu directories remain
+// the leaves, the Directory aggregates them for the scheduler.
+type Directory struct {
+	entries map[string]*Entry
+	byIP    map[netstack.IP]*Placement
+}
+
+func newDirectory() *Directory {
+	return &Directory{
+		entries: make(map[string]*Entry),
+		byIP:    make(map[netstack.IP]*Placement),
+	}
+}
+
+// Lookup finds a cluster service by (canonicalised) name.
+func (d *Directory) Lookup(name string) *Entry {
+	return d.entries[dns.CanonicalName(name)]
+}
+
+// Entries returns all cluster services sorted by name.
+func (d *Directory) Entries() []*Entry {
+	out := make([]*Entry, 0, len(d.entries))
+	for _, e := range d.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Placement is one replica slot: a service registered on one board's
+// local Jitsu directory.
+type Placement struct {
+	Board int
+	Svc   *core.Service
+	// pending marks a boot scheduled behind an in-flight preemption:
+	// the replica is still Stopped, but its board's Synjitsu is already
+	// fielding the SYNs the DNS answer attracted.
+	pending bool
+	// lastAnswered is when this replica's IP last went out in a DNS
+	// answer; the preemptor spares recently answered replicas so it
+	// never tears down a connection that is still arriving.
+	lastAnswered sim.Duration
+}
+
+// Entry is one service as the cluster sees it: its per-board replicas,
+// its placement policy, and the warm-pool control state.
+type Entry struct {
+	Name string
+	// Base is the registration template; each replica carries a
+	// board-specific IP derived from it.
+	Base core.ServiceConfig
+	// Policy picks boards for cold placements and prewarms.
+	Policy Policy
+	// Replicas is indexed by board.
+	Replicas []*Placement
+
+	// MinWarm is a floor on warm replicas regardless of observed rate.
+	MinWarm int
+	// WarmTarget is the pool size the EWMA currently asks for.
+	WarmTarget int
+	// Refused counts cluster-wide SERVFAILs: queries no board could take.
+	Refused uint64
+
+	// Arrival-rate estimation (EWMA over instantaneous rates).
+	rate        float64
+	lastArrival sim.Duration
+	arrivals    uint64
+	// rr spreads warm hits across ready replicas.
+	rr int
+}
+
+// Rate returns the current EWMA arrival-rate estimate in arrivals/sec.
+func (e *Entry) Rate() float64 { return e.rate }
+
+// Arrivals returns the number of queries observed for this service.
+func (e *Entry) Arrivals() uint64 { return e.arrivals }
+
+// ready returns the replicas currently able to serve.
+func (e *Entry) ready() []*Placement {
+	var out []*Placement
+	for _, p := range e.Replicas {
+		if p.Svc.State == core.StateReady {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// launching returns a replica whose boot is in flight (or queued behind
+// a preemption), if any.
+func (e *Entry) launching() *Placement {
+	for _, p := range e.Replicas {
+		if p.Svc.State == core.StateLaunching || p.pending {
+			return p
+		}
+	}
+	return nil
+}
+
+// effectiveRate is the EWMA estimate clamped by the time since the last
+// arrival, so it decays between visits even though updates only happen
+// on arrivals. A never-seen service rates zero.
+func (e *Entry) effectiveRate(now sim.Duration) float64 {
+	if e.arrivals == 0 {
+		return 0
+	}
+	r := e.rate
+	if gap := (now - e.lastArrival).Seconds(); gap > 0 && 1/gap < r {
+		r = 1 / gap
+	}
+	return r
+}
+
+// Totals is the cluster-wide sum of one service's per-replica counters —
+// the aggregation the per-board directories cannot provide on their own.
+type Totals struct {
+	Name       string
+	Launches   uint64
+	ColdStarts uint64
+	Handoffs   uint64
+	ServFails  uint64 // per-board refusals (fleet-style) summed over replicas
+	Reaps      uint64
+	Refused    uint64 // cluster-wide SERVFAILs issued by the scheduler
+	Ready      int    // replicas currently serving
+	WarmTarget int
+}
+
+// ServiceTotals aggregates every service's counters across all boards,
+// sorted by name.
+func (c *Cluster) ServiceTotals() []Totals {
+	var out []Totals
+	for _, e := range c.dir.Entries() {
+		t := Totals{Name: e.Name, Refused: e.Refused, WarmTarget: e.WarmTarget}
+		for _, p := range e.Replicas {
+			t.Launches += p.Svc.Launches
+			t.ColdStarts += p.Svc.ColdStarts
+			t.Handoffs += p.Svc.Handoffs
+			t.ServFails += p.Svc.ServFails
+			t.Reaps += p.Svc.Reaps
+			if p.Svc.State == core.StateReady {
+				t.Ready++
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// CounterTable renders the aggregated counters as a metrics table, one
+// row per service plus a cluster-wide total row.
+func (c *Cluster) CounterTable() *metrics.Table {
+	tab := metrics.NewTable("cluster counters",
+		"service", "launches", "coldstarts", "handoffs", "servfails", "reaps", "refused", "ready", "warm-target")
+	var sum Totals
+	for _, t := range c.ServiceTotals() {
+		tab.AddRow(t.Name, t.Launches, t.ColdStarts, t.Handoffs, t.ServFails, t.Reaps, t.Refused, t.Ready, t.WarmTarget)
+		sum.Launches += t.Launches
+		sum.ColdStarts += t.ColdStarts
+		sum.Handoffs += t.Handoffs
+		sum.ServFails += t.ServFails
+		sum.Reaps += t.Reaps
+		sum.Refused += t.Refused
+		sum.Ready += t.Ready
+	}
+	tab.AddRow("TOTAL", sum.Launches, sum.ColdStarts, sum.Handoffs, sum.ServFails, sum.Reaps, sum.Refused, sum.Ready, "")
+	return tab
+}

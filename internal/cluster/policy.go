@@ -1,0 +1,141 @@
+package cluster
+
+import "jitsu/internal/power"
+
+// BoardView is the scheduler's summarized picture of one board — free
+// memory, activity, and power model — refreshed at each decision.
+type BoardView struct {
+	Index int
+	// FreeMemMiB is the board's unallocated guest memory.
+	FreeMemMiB int
+	// GuestDomains counts running guest domains (dom0 excluded).
+	GuestDomains int
+	// NeedMiB is the candidate image's memory requirement.
+	NeedMiB int
+	// Model is the board's power model (Table 1 calibration).
+	Model *power.Board
+}
+
+// fits reports whether the candidate image fits on this board.
+func (v BoardView) fits() bool { return v.FreeMemMiB >= v.NeedMiB }
+
+// Policy picks the board to host a new replica. Pick returns an index
+// into views, or -1 when no board can take the image. Policies are
+// chosen per-ServiceConfig at registration.
+type Policy interface {
+	Name() string
+	Pick(views []BoardView) int
+}
+
+// FirstFit walks boards in order and takes the first with room — the
+// cheapest possible decision, and the one that most resembles the
+// paper's client-side NS-walk (but decided server-side, in one query).
+type FirstFit struct{}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Pick implements Policy.
+func (FirstFit) Pick(views []BoardView) int {
+	for _, v := range views {
+		if v.fits() {
+			return v.Index
+		}
+	}
+	return -1
+}
+
+// RoundRobin rotates placements across boards, spreading replicas for
+// fault isolation at the cost of waking more boards.
+type RoundRobin struct {
+	cursor int
+}
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Policy.
+func (p *RoundRobin) Pick(views []BoardView) int {
+	if len(views) == 0 {
+		return -1
+	}
+	for i := 0; i < len(views); i++ {
+		v := views[(p.cursor+i)%len(views)]
+		if v.fits() {
+			p.cursor = (p.cursor + i + 1) % len(views)
+			return v.Index
+		}
+	}
+	return -1
+}
+
+// LeastLoaded places on the board with the most free memory, the
+// classic load-balancing choice that minimizes the chance any one board
+// hits the §3.3.2 resource-exhaustion SERVFAIL.
+type LeastLoaded struct{}
+
+// Name implements Policy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Policy.
+func (LeastLoaded) Pick(views []BoardView) int {
+	best, bestFree := -1, -1
+	for _, v := range views {
+		if v.fits() && v.FreeMemMiB > bestFree {
+			best, bestFree = v.Index, v.FreeMemMiB
+		}
+	}
+	return best
+}
+
+// PowerAware minimizes marginal watts using the boards' Table 1 power
+// models: an already-active board costs ~nothing extra to host one more
+// unikernel, while waking an idle board pays its idle→active step. Among
+// active boards it packs (least free memory that still fits) so idle
+// boards can stay idle — the consolidation strategy that maximizes
+// battery life on the paper's USB-powered deployments.
+type PowerAware struct{}
+
+// Name implements Policy.
+func (PowerAware) Name() string { return "power-aware" }
+
+// Pick implements Policy.
+func (PowerAware) Pick(views []BoardView) int {
+	best := -1
+	bestCost := 0.0
+	bestFree := 0
+	for _, v := range views {
+		if !v.fits() {
+			continue
+		}
+		cost := 0.0
+		if v.GuestDomains == 0 && v.Model != nil {
+			// Waking this board: pay the idle→active step of its model.
+			cost = v.Model.Power(nil, 1) - v.Model.Power(nil, 0)
+		}
+		switch {
+		case best < 0, cost < bestCost:
+			best, bestCost, bestFree = v.Index, cost, v.FreeMemMiB
+		case cost == bestCost && v.FreeMemMiB < bestFree:
+			// Same marginal cost: pack the tighter board.
+			best, bestFree = v.Index, v.FreeMemMiB
+		}
+	}
+	return best
+}
+
+// PolicyByName maps flag values to policies (a fresh instance per call,
+// since RoundRobin carries state). Unknown names return nil.
+func PolicyByName(name string) Policy {
+	switch name {
+	case "first-fit":
+		return FirstFit{}
+	case "round-robin":
+		return &RoundRobin{}
+	case "least-loaded":
+		return LeastLoaded{}
+	case "power-aware":
+		return PowerAware{}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"math"
+
+	"jitsu/internal/core"
+)
+
+// PoolManager keeps each service's warm pool at its target size: K
+// pre-booted replicas, where K follows an EWMA of the observed arrival
+// rate scaled by the expected boot time. Hot services therefore skip
+// the cold-start path entirely; services that go quiet are reclaimed so
+// their memory returns to the boards.
+//
+// The manager is event-driven, not periodic: it reconciles on every
+// directory arrival (and on registration), so the simulation's event
+// queue still drains and runs stay deterministic.
+type PoolManager struct {
+	c *Cluster
+	// Prewarms counts speculative boots (not client-driven).
+	Prewarms uint64
+	// Reclaims counts replicas stopped because the pool shrank.
+	Reclaims uint64
+}
+
+func newPoolManager(c *Cluster) *PoolManager { return &PoolManager{c: c} }
+
+// target computes the warm-pool size for e right now. The EWMA rate is
+// additionally clamped by the time since the last arrival, so a service
+// that goes quiet decays toward zero even though EWMA updates only
+// happen on arrivals; MinWarm floors the result.
+func (pm *PoolManager) target(e *Entry) int {
+	cfg := pm.c.Cfg
+	r := e.effectiveRate(pm.c.eng.Now())
+	if r < cfg.MinRate {
+		r = 0
+	}
+	k := int(math.Ceil(r * cfg.BootEstimate.Seconds() * cfg.WarmFactor))
+	if r > 0 && k < 1 {
+		k = 1
+	}
+	if k < e.MinWarm {
+		k = e.MinWarm
+	}
+	if k > cfg.MaxWarmPerService {
+		k = cfg.MaxWarmPerService
+	}
+	return k
+}
+
+// ReconcileAll reconciles every service's pool against its current
+// target. Called after each placement decision; cheap for the handful
+// of services an edge cluster hosts.
+func (pm *PoolManager) ReconcileAll() { pm.reconcileAll(nil) }
+
+// reconcileAll is ReconcileAll with a pinned replica: the placement the
+// in-flight query was just answered with, which must survive this pass
+// even if its pool shrank (the client's SYN for it is on the wire).
+func (pm *PoolManager) reconcileAll(pinned *Placement) {
+	for _, e := range pm.c.dir.Entries() {
+		pm.reconcile(e, pinned)
+	}
+}
+
+// Reconcile prewarms or reclaims replicas of e until ready+launching
+// matches the target.
+func (pm *PoolManager) Reconcile(e *Entry) { pm.reconcile(e, nil) }
+
+// reconcile prewarms or reclaims replicas of e until ready+launching
+// matches the target. Prewarms place via the service's own policy,
+// skipping boards that already host a live replica; reclaims stop the
+// highest-indexed ready replicas first (board 0 stays warm longest,
+// since it also fields the DNS traffic), never touching pinned.
+func (pm *PoolManager) reconcile(e *Entry, pinned *Placement) {
+	e.WarmTarget = pm.target(e)
+	alive := 0
+	for _, p := range e.Replicas {
+		if p.Svc.State != core.StateStopped {
+			alive++
+		}
+	}
+	for alive < e.WarmTarget {
+		idx := e.Policy.Pick(pm.c.views(e, func(i int) bool {
+			return e.Replicas[i].Svc.State != core.StateStopped
+		}))
+		if idx < 0 {
+			return // no capacity anywhere; try again on the next arrival
+		}
+		p := e.Replicas[idx]
+		if err := pm.c.Boards[idx].Jitsu.Activate(p.Svc, false, nil); err != nil {
+			return
+		}
+		pm.Prewarms++
+		alive++
+	}
+	if alive > e.WarmTarget {
+		for i := len(e.Replicas) - 1; i >= 0 && alive > e.WarmTarget; i-- {
+			p := e.Replicas[i]
+			if p == pinned || p.Svc.State != core.StateReady {
+				continue
+			}
+			if pm.c.Boards[i].Jitsu.Stop(p.Svc) {
+				pm.Reclaims++
+				alive--
+			}
+		}
+	}
+}

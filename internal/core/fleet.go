@@ -86,7 +86,6 @@ func (fc *FleetClient) Fetch(name, path string, timeout sim.Duration, done func(
 			done(-1, nil, eng.Now()-start, ErrAllServFail)
 			return
 		}
-		board := fc.fleet.Boards[i]
 		client := fc.hosts[i]
 		resolver := &dns.Client{Host: client}
 		resolver.Query(NSAddr, name, dns.TypeA, timeout, func(m *dns.Message, _ sim.Duration, err error) {
@@ -104,7 +103,6 @@ func (fc *FleetClient) Fetch(name, path string, timeout sim.Duration, done func(
 				done(i, nil, eng.Now()-start, fmt.Errorf("core: dns %v", m.RCode))
 				return
 			}
-			_ = board
 			client.HTTPGet(m.Answers[0].A, 80, path, timeout, func(resp *netstack.HTTPResponse, _ sim.Duration, err error) {
 				done(i, resp, eng.Now()-start, err)
 			})

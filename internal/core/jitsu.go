@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strings"
@@ -15,6 +16,10 @@ import (
 
 // ErrNoSuchService is returned for lookups of unregistered names.
 var ErrNoSuchService = errors.New("core: no such service")
+
+// ErrNoMemory is returned when a board cannot fit a service's image —
+// the condition §3.3.2 surfaces to clients as a DNS SERVFAIL.
+var ErrNoMemory = errors.New("core: insufficient memory for image")
 
 // ServiceState tracks a service's lifecycle.
 type ServiceState int
@@ -224,6 +229,57 @@ func (j *Jitsu) interceptAsync(query *dns.Message, respond func(*dns.Message)) b
 	return true
 }
 
+// Activate is the control-plane summon used by a cluster scheduler (and
+// the warm-pool manager): touch the service and launch it if stopped.
+// coldStart distinguishes a client-driven launch (counted in ColdStarts)
+// from a speculative prewarm. Returns ErrNoMemory — without counting a
+// ServFail, that is the caller's policy decision — when the image does
+// not fit. onReady may be nil.
+func (j *Jitsu) Activate(svc *Service, coldStart bool, onReady func(error)) error {
+	j.touch(svc)
+	if svc.State == StateStopped {
+		if j.board.Hyp.FreeMemMiB() < svc.Cfg.Image.MemMiB {
+			return ErrNoMemory
+		}
+		if coldStart {
+			svc.ColdStarts++
+		}
+	}
+	j.ensureRunning(svc, onReady)
+	return nil
+}
+
+// Stop destroys a ready service's VM and returns its IP to proxy
+// control — the explicit counterpart of the idle reaper, used by the
+// cluster warm-pool manager to reclaim over-provisioned replicas. It
+// reports whether a VM was actually stopped.
+func (j *Jitsu) Stop(svc *Service) bool { return j.StopWith(svc, nil) }
+
+// StopWith is Stop with a completion hook: done (may be nil) fires once
+// the domain is destroyed and its memory is back in the free pool —
+// the point at which a preempting scheduler can place a replacement.
+func (j *Jitsu) StopWith(svc *Service, done func()) bool {
+	if svc.State != StateReady {
+		return false
+	}
+	j.stopNow(svc, done)
+	return true
+}
+
+// stopNow tears a ready service down: shared by Stop and the idle reaper.
+func (j *Jitsu) stopNow(svc *Service, done func()) {
+	svc.Reaps++
+	g := svc.Guest
+	svc.Guest = nil
+	svc.State = StateStopped
+	j.claimIdleIP(svc)
+	j.board.Launcher.Destroy(g, func(error) {
+		if done != nil {
+			done()
+		}
+	})
+}
+
 // ensureRunning launches the service's unikernel if needed. onReady (may
 // be nil) fires once the unikernel serves.
 func (j *Jitsu) ensureRunning(svc *Service, onReady func(error)) {
@@ -301,12 +357,7 @@ func (j *Jitsu) scheduleReap(svc *Service) {
 			j.scheduleReap(svc) // activity moved the deadline
 			return
 		}
-		svc.Reaps++
-		g := svc.Guest
-		svc.Guest = nil
-		svc.State = StateStopped
-		j.claimIdleIP(svc)
-		j.board.Launcher.Destroy(g, func(error) {})
+		j.stopNow(svc, nil)
 	})
 }
 
@@ -320,7 +371,7 @@ func (j *Jitsu) registerConduitEndpoint() {
 		ep.OnData(func(b []byte) {
 			buf = append(buf, b...)
 			for {
-				idx := strings.IndexByte(string(buf), '\n')
+				idx := bytes.IndexByte(buf, '\n')
 				if idx < 0 {
 					return
 				}

@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"jitsu/internal/metrics"
 )
@@ -52,9 +53,12 @@ func (r *Result) String() string {
 func All(quick bool) []*Result {
 	trials := 120
 	fig3N := []int{1, 25, 50, 100, 150, 200}
+	scalingN := []int{1, 2, 4, 8}
+	scalingHorizon := 90 * time.Second
 	if quick {
 		trials = 30
 		fig3N = []int{1, 10, 25, 50}
+		scalingN = []int{1, 4}
 	}
 	return []*Result{
 		Fig3(fig3N),
@@ -66,5 +70,6 @@ func All(quick bool) []*Result {
 		Table2(),
 		Throughput(),
 		Headline(trials / 4),
+		Scaling(scalingN, scalingHorizon),
 	}
 }
