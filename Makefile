@@ -1,0 +1,35 @@
+# Jitsu reproduction — build / test / perf-record targets.
+
+# pipefail so a failing `go test` is not masked by the benchjson stage
+# of the bench pipeline.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+GO ?= go
+# The perf record this branch writes; bump per PR to grow the trajectory.
+BENCH_OUT ?= BENCH_pr2.json
+
+.PHONY: all build test vet fuzz bench
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzz pass over the wire codecs (the long-running fuzzing is
+# interactive: go test -fuzz=FuzzDNSCodec ./internal/dns).
+fuzz:
+	$(GO) test -run '^$$' -fuzz=FuzzDNSCodec -fuzztime=10s ./internal/dns
+
+# bench runs the full evaluation + hot-path microbenches with -benchmem
+# and records the numbers as JSON. The experiment benches double as the
+# determinism record: their ReportMetric values must not move between
+# runs with the same seed.
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' . | tee /dev/stderr | $(GO) run ./cmd/benchjson > $(BENCH_OUT)

@@ -1,0 +1,95 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON document, so each PR can record its perf trajectory
+// (BENCH_<pr>.json) and later sessions can diff numbers mechanically.
+//
+//	go test -bench=. -benchmem -run '^$' . | go run ./cmd/benchjson > BENCH_pr2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark line: a name, an iteration count, and the
+// value/unit pairs go test printed ("ns/op", "allocs/op", custom
+// ReportMetric units like "cluster-p95-ms").
+type Bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Doc is the whole report.
+type Doc struct {
+	Goos    string  `json:"goos,omitempty"`
+	Goarch  string  `json:"goarch,omitempty"`
+	Pkg     string  `json:"pkg,omitempty"`
+	CPU     string  `json:"cpu,omitempty"`
+	Benches []Bench `json:"benches"`
+}
+
+func main() {
+	var doc Doc
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				doc.Benches = append(doc.Benches, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench splits "BenchmarkName-8  123  4.5 ns/op  0 B/op ..." into
+// its name, iteration count, and value/unit pairs.
+func parseBench(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Bench{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so names are stable across machines.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -128,6 +128,9 @@ func New(cfg Config) *Cluster {
 
 	front := c.Boards[0]
 	prev := front.DNS.Intercept
+	// Cluster answers vary per query (placement picks the board), so the
+	// front door must not serve them from the per-board fast path.
+	front.DNS.FastIntercept = nil
 	front.DNS.Intercept = func(q dns.Question, resp *dns.Message) bool {
 		if c.intercept(q, resp) {
 			return true

@@ -69,6 +69,14 @@ type Service struct {
 	launchStart  sim.Duration
 	waiters      []func(ok bool) // delayed-DNS responders (ablation)
 
+	// answerRR is the service's pre-built DNS answer: the positive
+	// response never varies per query, so the hot path reuses it (and
+	// the DNS server caches its wire encoding) instead of rebuilding it.
+	answerRR dns.RR
+	// okLine is the pre-rendered jitsud-protocol success line,
+	// "ok <ip>\n", so handleResolve does not fmt.Sprintf per hit.
+	okLine string
+
 	// Counters for the evaluation.
 	Launches   uint64
 	ColdStarts uint64 // requests that triggered a launch
@@ -95,6 +103,7 @@ func newJitsu(b *Board, zone *dns.Zone) *Jitsu {
 		b.DNS.InterceptAsync = j.interceptAsync
 	} else {
 		b.DNS.Intercept = j.intercept
+		b.DNS.FastIntercept = j.fastIntercept
 	}
 	j.registerConduitEndpoint()
 	return j
@@ -109,9 +118,16 @@ func (j *Jitsu) Register(cfg ServiceConfig) *Service {
 		cfg.TTL = 10
 	}
 	svc := &Service{Cfg: cfg, State: StateStopped}
+	svc.answerRR = dns.RR{
+		Name: cfg.Name, Type: dns.TypeA, Class: dns.ClassIN,
+		TTL: cfg.TTL, A: cfg.IP,
+	}
+	svc.okLine = fmt.Sprintf("ok %s\n", cfg.IP)
 	j.services[name] = svc
 	j.byIP[cfg.IP] = svc
 	j.claimIdleIP(svc)
+	// A new registration changes what queries resolve to.
+	j.board.DNS.BumpEpoch()
 	return svc
 }
 
@@ -179,11 +195,31 @@ func (j *Jitsu) intercept(q dns.Question, resp *dns.Message) bool {
 		svc.ColdStarts++
 		j.ensureRunning(svc, nil)
 	}
-	resp.Answers = append(resp.Answers, dns.RR{
-		Name: svc.Cfg.Name, Type: dns.TypeA, Class: dns.ClassIN,
-		TTL: svc.Cfg.TTL, A: svc.Cfg.IP,
-	})
+	resp.Answers = append(resp.Answers, svc.answerRR)
 	return true
+}
+
+// fastIntercept is the allocation-free twin of intercept, consulted on
+// the DNS server's fast path. Same state machine, but the answer is the
+// service's pre-built RR, which the server caches as pre-encoded wire.
+func (j *Jitsu) fastIntercept(name []byte, typ dns.Type) (dns.Verdict, *dns.RR) {
+	if typ != dns.TypeA && typ != dns.TypeANY {
+		return dns.VerdictMiss, nil
+	}
+	svc, ok := j.services[string(name)] // alloc-free map probe
+	if !ok {
+		return dns.VerdictMiss, nil
+	}
+	j.touch(svc)
+	if svc.State == StateStopped {
+		if j.board.Hyp.FreeMemMiB() < svc.Cfg.Image.MemMiB {
+			svc.ServFails++
+			return dns.VerdictServFail, nil
+		}
+		svc.ColdStarts++
+		j.ensureRunning(svc, nil)
+	}
+	return dns.VerdictAnswer, &svc.answerRR
 }
 
 // interceptAsync is the rejected alternative (ablation): the DNS answer
@@ -205,10 +241,7 @@ func (j *Jitsu) interceptAsync(query *dns.Message, respond func(*dns.Message)) b
 		if !ok {
 			resp.RCode = dns.RCodeServFail
 		} else {
-			resp.Answers = append(resp.Answers, dns.RR{
-				Name: svc.Cfg.Name, Type: dns.TypeA, Class: dns.ClassIN,
-				TTL: svc.Cfg.TTL, A: svc.Cfg.IP,
-			})
+			resp.Answers = append(resp.Answers, svc.answerRR)
 		}
 		respond(resp)
 	}
@@ -404,5 +437,5 @@ func (j *Jitsu) handleResolve(line string) string {
 		svc.ColdStarts++
 		j.ensureRunning(svc, nil)
 	}
-	return fmt.Sprintf("ok %s\n", svc.Cfg.IP)
+	return svc.okLine
 }

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"unicode/utf8"
 
 	"jitsu/internal/netstack"
 )
@@ -139,21 +140,54 @@ type Message struct {
 	Additional []RR
 }
 
-// CanonicalName lower-cases and strips the trailing dot.
+// CanonicalName lower-cases and strips the trailing dot. Names that are
+// already canonical — the overwhelmingly common case on the serve path,
+// where every name has been canonicalised at registration or decode —
+// are returned unchanged without allocating.
 func CanonicalName(name string) string {
-	return strings.TrimSuffix(strings.ToLower(name), ".")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if ('A' <= c && c <= 'Z') || c >= utf8.RuneSelf || (c == '.' && i == len(name)-1) {
+			return strings.TrimSuffix(strings.ToLower(name), ".")
+		}
+	}
+	return name
 }
 
 // ---- encoding ----
 
+// compTableSize bounds the encoder's name-compression table. Every real
+// message in the simulation carries well under this many distinct name
+// suffixes; if a message ever exceeds it, later names are simply emitted
+// uncompressed (still valid wire format).
+const compTableSize = 32
+
+type compEntry struct {
+	off  uint16
+	name string
+}
+
+// encoder appends wire format into buf. The compression table is a
+// fixed-size array scanned linearly — far cheaper than a map[string]int
+// for the handful of suffixes a message contains, and allocation-free.
 type encoder struct {
-	buf     []byte
-	offsets map[string]int
+	buf   []byte
+	base  int // index in buf where this message's header starts
+	comp  [compTableSize]compEntry
+	ncomp int
 }
 
 // Encode renders the message with name compression.
 func (m *Message) Encode() ([]byte, error) {
-	e := &encoder{offsets: make(map[string]int)}
+	return m.AppendEncode(make([]byte, 0, 128))
+}
+
+// AppendEncode renders the message with name compression, appending the
+// wire form to dst (which may be nil, or a recycled buffer to make the
+// encode allocation-free). It returns the extended buffer.
+func (m *Message) AppendEncode(dst []byte) ([]byte, error) {
+	e := encoder{buf: dst}
+	base := len(dst)
 	var flags uint16
 	if m.Response {
 		flags |= 1 << 15
@@ -170,14 +204,17 @@ func (m *Message) Encode() ([]byte, error) {
 	}
 	flags |= uint16(m.RCode) & 0xf
 
-	hdr := make([]byte, 12)
+	var hdr [12]byte
 	binary.BigEndian.PutUint16(hdr[0:2], m.ID)
 	binary.BigEndian.PutUint16(hdr[2:4], flags)
 	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(m.Questions)))
 	binary.BigEndian.PutUint16(hdr[6:8], uint16(len(m.Answers)))
 	binary.BigEndian.PutUint16(hdr[8:10], uint16(len(m.Authority)))
 	binary.BigEndian.PutUint16(hdr[10:12], uint16(len(m.Additional)))
-	e.buf = hdr
+	e.buf = append(e.buf, hdr[:]...)
+	// Compression offsets are relative to the message start, not the
+	// caller's buffer start.
+	e.base = base
 
 	for _, q := range m.Questions {
 		if err := e.writeName(q.Name); err != nil {
@@ -197,15 +234,21 @@ func (m *Message) Encode() ([]byte, error) {
 }
 
 func (e *encoder) writeU16(v uint16) {
-	var b [2]byte
-	binary.BigEndian.PutUint16(b[:], v)
-	e.buf = append(e.buf, b[:]...)
+	e.buf = append(e.buf, byte(v>>8), byte(v))
 }
 
 func (e *encoder) writeU32(v uint32) {
-	var b [4]byte
-	binary.BigEndian.PutUint32(b[:], v)
-	e.buf = append(e.buf, b[:]...)
+	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// lookupComp finds a previously written suffix in the compression table.
+func (e *encoder) lookupComp(name string) (uint16, bool) {
+	for i := 0; i < e.ncomp; i++ {
+		if e.comp[i].name == name {
+			return e.comp[i].off, true
+		}
+	}
+	return 0, false
 }
 
 // writeName emits a possibly-compressed domain name.
@@ -215,12 +258,13 @@ func (e *encoder) writeName(name string) error {
 		return ErrNameTooLong
 	}
 	for name != "" {
-		if off, ok := e.offsets[name]; ok && off < 0x3fff {
-			e.writeU16(0xc000 | uint16(off))
+		if off, ok := e.lookupComp(name); ok {
+			e.writeU16(0xc000 | off)
 			return nil
 		}
-		if len(e.buf) < 0x3fff {
-			e.offsets[name] = len(e.buf)
+		if off := len(e.buf) - e.base; off < 0x3fff && e.ncomp < compTableSize {
+			e.comp[e.ncomp] = compEntry{off: uint16(off), name: name}
+			e.ncomp++
 		}
 		label := name
 		rest := ""
@@ -378,8 +422,14 @@ func (d *decoder) readName() (string, error) {
 	return name, nil
 }
 
+// readNameAt parses a (possibly compressed) name iteratively: labels are
+// appended dot-joined into one small buffer, so decoding a name costs a
+// single string allocation instead of a []string plus strings.Join.
 func readNameAt(data []byte, off int) (name string, next int, err error) {
-	var labels []string
+	var arr [256]byte
+	buf := arr[:0]
+	nameLen := 0 // dot-joined length, tracked even past the buffer cap
+	nlabels := 0
 	hops := 0
 	jumped := false
 	next = -1
@@ -393,11 +443,10 @@ func readNameAt(data []byte, off int) (name string, next int, err error) {
 			if !jumped {
 				next = off + 1
 			}
-			full := strings.Join(labels, ".")
-			if len(full) > 253 {
+			if nameLen > 253 {
 				return "", 0, ErrNameTooLong
 			}
-			return full, next, nil
+			return string(buf), next, nil
 		case b&0xc0 == 0xc0:
 			if off+1 >= len(data) {
 				return "", 0, ErrTruncated
@@ -419,9 +468,22 @@ func readNameAt(data []byte, off int) (name string, next int, err error) {
 			if off+1+l > len(data) {
 				return "", 0, ErrTruncated
 			}
-			labels = append(labels, string(data[off+1:off+1+l]))
-			if len(labels) > 128 {
+			nlabels++
+			if nlabels > 128 {
 				return "", 0, ErrBadName
+			}
+			if nlabels > 1 {
+				nameLen++
+			}
+			nameLen += l
+			// An overlong name keeps parsing (an earlier wire error must
+			// still win) but stops accumulating: it can only end in
+			// ErrNameTooLong.
+			if nameLen <= len(arr) {
+				if nlabels > 1 {
+					buf = append(buf, '.')
+				}
+				buf = append(buf, data[off+1:off+1+l]...)
 			}
 			off += 1 + l
 		}

@@ -12,7 +12,8 @@ import (
 type Zone struct {
 	Apex    string
 	records map[string][]RR
-	// Serial feeds the SOA.
+	// Serial feeds the SOA. Every mutation bumps it, which also
+	// invalidates the server's packed answer cache.
 	Serial uint32
 }
 
@@ -101,7 +102,39 @@ type Interceptor func(q Question, resp *Message) bool
 // through to the synchronous path.
 type AsyncInterceptor func(query *Message, respond func(*Message)) bool
 
+// Verdict is a FastIntercept decision on the zero-allocation serve path.
+type Verdict int
+
+// Fast-path verdicts.
+const (
+	// VerdictMiss falls through to the (cached) zone lookup; the
+	// directory guarantees its slow-path Interceptor would also decline.
+	VerdictMiss Verdict = iota
+	// VerdictAnswer serves the returned RR, cached as pre-encoded wire
+	// until the state epoch or zone serial moves.
+	VerdictAnswer
+	// VerdictServFail serves an (uncached) SERVFAIL — the §3.3.2
+	// resource-exhaustion signal, which depends on live free memory.
+	VerdictServFail
+)
+
+// FastInterceptor is the allocation-free twin of Interceptor, consulted
+// on the fast path for single-question A/ANY-style queries. name is the
+// canonical query name, valid only for the duration of the call. A
+// directory that installs a FastInterceptor must answer consistently
+// with its Interceptor and bump the server's state epoch whenever a
+// previously returned RR would change.
+type FastInterceptor func(name []byte, typ Type) (Verdict, *RR)
+
 // Server answers DNS queries over a netstack UDP port.
+//
+// The serve path is two-tier: a zero-allocation fast path parses the
+// common single-question query in place, consults the FastInterceptor,
+// and answers from a packed cache of pre-encoded responses (ID and RD
+// patched per query); everything else — multi-question, EDNS-ish
+// trailing bytes, compressed query names, async interception — takes
+// the original decode/answer/encode slow path. Both paths produce
+// byte-identical wire responses.
 type Server struct {
 	Host *netstack.Host
 	Zone *Zone
@@ -110,16 +143,46 @@ type Server struct {
 	// InterceptAsync, when set, may take over the whole query and
 	// respond at a later virtual time.
 	InterceptAsync AsyncInterceptor
+	// FastIntercept, when set, is the fast-path twin of Intercept.
+	// Setting Intercept without FastIntercept disables the fast path
+	// entirely (the server cannot know what the interceptor would do).
+	FastIntercept FastInterceptor
 	// ProcessingDelay models server-side work per query.
 	ProcessingDelay sim.Duration
 
 	// Queries counts requests handled.
 	Queries uint64
+	// CacheHits counts fast-path queries served from the answer cache.
+	CacheHits uint64
+
+	// cache maps (name, qtype) keys to pre-encoded wire responses
+	// (stored with ID 0 and RD clear; both patched per query).
+	// Invalidation is wholesale: any zone-serial move or BumpEpoch
+	// drops the whole map, so no per-entry staleness state exists.
+	cache map[string][]byte
+	// cacheSerial is the zone serial the cache was built against; any
+	// zone mutation invalidates every entry, so the whole map is
+	// dropped as soon as a query observes a newer serial (stale entries
+	// must not sit at the size cap blocking live names).
+	cacheSerial uint32
+	// Fast-path scratch buffers, reused across queries.
+	nameBuf []byte
+	keyBuf  []byte
+	sfBuf   []byte
+	// Closure-free UDP reply path: replyFn is built once at bind time
+	// and reads replySrc/replyPort, so the per-datagram handler does
+	// not allocate on the synchronous serve path.
+	replyFn   func(wire []byte)
+	replySrc  netstack.IP
+	replyPort uint16
 }
 
 // Serve binds the server on UDP port 53.
 func Serve(host *netstack.Host, zone *Zone) (*Server, error) {
 	s := &Server{Host: host, Zone: zone}
+	s.replyFn = func(wire []byte) {
+		s.Host.SendUDP(s.replySrc, 53, s.replyPort, wire)
+	}
 	if err := host.BindUDP(53, s.handle); err != nil {
 		return nil, err
 	}
@@ -129,14 +192,54 @@ func Serve(host *netstack.Host, zone *Zone) (*Server, error) {
 // Close unbinds the server.
 func (s *Server) Close() { s.Host.UnbindUDP(53) }
 
+// BumpEpoch invalidates every cached answer derived from the
+// FastInterceptor (and, incidentally, from the zone) by dropping the
+// whole cache. Directories call it when registrations change;
+// re-filling costs one encode per live (name, qtype).
+func (s *Server) BumpEpoch() { clear(s.cache) }
+
 func (s *Server) handle(src netstack.IP, srcPort uint16, payload []byte) {
+	if s.ProcessingDelay > 0 || s.InterceptAsync != nil {
+		// Replies may fire after this handler returns; they need their
+		// own capture of the return address.
+		s.ServeWire(payload, func(wire []byte) {
+			s.Host.SendUDP(src, 53, srcPort, wire)
+		})
+		return
+	}
+	// Synchronous path: every send happens inside this ServeWire call,
+	// so the pre-built replyFn (no per-datagram closure) is safe.
+	s.replySrc, s.replyPort = src, srcPort
+	s.ServeWire(payload, s.replyFn)
+}
+
+// ServeWire computes the wire response for one query and passes it to
+// send (possibly after ProcessingDelay) — the transport-independent
+// serve path, exported so benchmarks and conduit-side resolvers can
+// drive it without UDP. send must not retain the buffer past the call:
+// fast-path responses live in the answer cache and are re-patched for
+// the next query.
+func (s *Server) ServeWire(payload []byte, send func(wire []byte)) {
 	s.Queries++
+	if s.InterceptAsync == nil && (s.Intercept == nil || s.FastIntercept != nil) {
+		if wire, ok := s.fastAnswer(payload); ok {
+			if s.ProcessingDelay > 0 {
+				// The cached buffer may be re-patched before the delayed
+				// send fires; give the closure its own copy.
+				cp := append([]byte(nil), wire...)
+				s.Host.Eng.After(s.ProcessingDelay, func() { send(cp) })
+			} else {
+				send(wire)
+			}
+			return
+		}
+	}
 	reply := func(resp *Message) {
 		wire, err := resp.Encode()
 		if err != nil {
 			return
 		}
-		s.Host.SendUDP(src, 53, srcPort, wire)
+		send(wire)
 	}
 	query, err := Decode(payload)
 	if err != nil || query.Response {
@@ -156,6 +259,163 @@ func (s *Server) handle(src netstack.IP, srcPort uint16, payload []byte) {
 	} else {
 		reply(resp)
 	}
+}
+
+// fastAnswer is the zero-allocation serve path. It parses the common
+// query shape in place (single question, opcode 0, class IN, no
+// compression, no extra records), consults the FastInterceptor, and
+// serves a pre-encoded cached response with ID and RD patched in. ok is
+// false when the query needs the slow path.
+func (s *Server) fastAnswer(payload []byte) (wire []byte, ok bool) {
+	if len(payload) < 12 {
+		return nil, false
+	}
+	flags := uint16(payload[2])<<8 | uint16(payload[3])
+	if flags&(1<<15) != 0 || (flags>>11)&0xf != 0 {
+		return nil, false // response bit or non-standard opcode
+	}
+	if payload[4] != 0 || payload[5] != 1 || // exactly one question
+		payload[6]|payload[7]|payload[8]|payload[9]|payload[10]|payload[11] != 0 {
+		return nil, false
+	}
+	// Parse the query name: plain labels, lowercased into nameBuf. Any
+	// oddity (compression pointer, '.' inside a label, overlength) goes
+	// to the slow path so the canonical dotted form stays unambiguous.
+	name := s.nameBuf[:0]
+	off := 12
+	for {
+		if off >= len(payload) {
+			return nil, false
+		}
+		b := payload[off]
+		if b == 0 {
+			off++
+			break
+		}
+		if b&0xc0 != 0 {
+			return nil, false
+		}
+		l := int(b)
+		if off+1+l > len(payload) {
+			return nil, false
+		}
+		if len(name) > 0 {
+			name = append(name, '.')
+		}
+		for _, c := range payload[off+1 : off+1+l] {
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			} else if c == '.' {
+				s.nameBuf = name
+				return nil, false
+			}
+			name = append(name, c)
+		}
+		if len(name) > 253 {
+			s.nameBuf = name
+			return nil, false
+		}
+		off += 1 + l
+	}
+	s.nameBuf = name
+	if off+4 != len(payload) {
+		return nil, false
+	}
+	typ := Type(uint16(payload[off])<<8 | uint16(payload[off+1]))
+	if class := uint16(payload[off+2])<<8 | uint16(payload[off+3]); class != ClassIN {
+		return nil, false
+	}
+	qid := uint16(payload[0])<<8 | uint16(payload[1])
+	rd := payload[2] & 1
+
+	var rr *RR
+	verdict := VerdictMiss
+	if s.FastIntercept != nil {
+		verdict, rr = s.FastIntercept(name, typ)
+	}
+	if verdict == VerdictServFail {
+		return s.servfailWire(qid, rd, name, typ), true
+	}
+
+	key := append(append(s.keyBuf[:0], name...), byte(typ>>8), byte(typ))
+	s.keyBuf = key
+	serial := uint32(0)
+	if s.Zone != nil {
+		serial = s.Zone.Serial
+	}
+	if serial != s.cacheSerial {
+		clear(s.cache)
+		s.cacheSerial = serial
+	}
+	if w := s.cache[string(key)]; w != nil {
+		s.CacheHits++
+		return patchWire(w, qid, rd), true
+	}
+
+	// Cache miss: build the response once through the ordinary Message
+	// path (so cached bytes are identical to slow-path encodes), store
+	// it with ID 0 / RD clear, then patch and serve.
+	resp := &Message{
+		Response: true, Authoritative: true,
+		Questions: []Question{{Name: string(name), Type: typ, Class: ClassIN}},
+	}
+	if verdict == VerdictAnswer {
+		resp.Answers = append(resp.Answers, *rr)
+	} else {
+		s.answerFromZone(resp.Questions[0], resp)
+	}
+	w, err := resp.AppendEncode(nil)
+	if err != nil {
+		return nil, false
+	}
+	if s.cache == nil {
+		s.cache = make(map[string][]byte)
+	}
+	// Bound the cache so a flood of distinct junk names (every NXDomain
+	// gets an entry too) cannot grow the directory's memory without
+	// limit; past the cap, responses are still served, just not cached.
+	if len(s.cache) < maxCacheEntries {
+		s.cache[string(key)] = w
+	}
+	return patchWire(w, qid, rd), true
+}
+
+// maxCacheEntries bounds the packed answer cache (keys are short, wire
+// entries ~60 bytes: well under 1 MiB at the cap).
+const maxCacheEntries = 8192
+
+// patchWire stamps the per-query header bits (ID, RD) into a cached
+// response in place.
+func patchWire(w []byte, qid uint16, rd byte) []byte {
+	w[0], w[1] = byte(qid>>8), byte(qid)
+	w[2] = w[2]&^byte(1) | rd
+	return w
+}
+
+// servfailWire renders a SERVFAIL for one question into a reusable
+// buffer: header plus question echo, identical to the slow-path encode
+// of the equivalent Message.
+func (s *Server) servfailWire(qid uint16, rd byte, name []byte, typ Type) []byte {
+	w := append(s.sfBuf[:0],
+		byte(qid>>8), byte(qid),
+		1<<7|rd, byte(RCodeServFail), // QR | AA is bit 10 -> 0x04 of byte 2
+		0, 1, 0, 0, 0, 0, 0, 0)
+	w[2] |= 1 << 2 // AA
+	// Question: labels split at dots (the parse guaranteed clean labels).
+	start := 0
+	for i := 0; i <= len(name); i++ {
+		if i == len(name) || name[i] == '.' {
+			w = append(w, byte(i-start))
+			w = append(w, name[start:i]...)
+			start = i + 1
+		}
+	}
+	if len(name) == 0 {
+		w = w[:len(w)-1] // no labels at all: just the root terminator
+	}
+	w = append(w, 0, byte(typ>>8), byte(typ), byte(ClassIN>>8), byte(ClassIN))
+	s.sfBuf = w
+	return w
 }
 
 // Answer computes the authoritative response for a query (exported so
@@ -179,32 +439,62 @@ func (s *Server) Answer(query *Message) *Message {
 	return resp
 }
 
+// answerFromZone resolves one question against the zone with a single
+// record-map access for the question name (the CNAME chase costs one
+// more for the target).
 func (s *Server) answerFromZone(q Question, resp *Message) {
 	if s.Zone == nil || !s.Zone.Contains(q.Name) {
 		resp.RCode = RCodeRefused
 		return
 	}
-	answers := s.Zone.Lookup(q.Name, q.Type)
-	if len(answers) == 0 {
-		// CNAME chase within the zone.
-		if cn := s.Zone.Lookup(q.Name, TypeCNAME); len(cn) > 0 {
-			resp.Answers = append(resp.Answers, cn...)
-			resp.Answers = append(resp.Answers, s.Zone.Lookup(cn[0].Target, q.Type)...)
-			return
+	rrs := s.Zone.records[CanonicalName(q.Name)]
+	nTyped := 0
+	for _, rr := range rrs {
+		if q.Type == TypeANY || rr.Type == q.Type {
+			resp.Answers = append(resp.Answers, rr)
+			nTyped++
 		}
-		if len(s.Zone.Lookup(q.Name, TypeANY)) == 0 {
-			resp.RCode = RCodeNXDomain
-		}
-		resp.Authority = append(resp.Authority, s.Zone.SOA())
+	}
+	if nTyped > 0 {
 		return
 	}
-	resp.Answers = append(resp.Answers, answers...)
+	// CNAME chase within the zone.
+	for i, rr := range rrs {
+		if rr.Type == TypeCNAME {
+			for _, cn := range rrs[i:] {
+				if cn.Type == TypeCNAME {
+					resp.Answers = append(resp.Answers, cn)
+				}
+			}
+			resp.Answers = append(resp.Answers, s.Zone.Lookup(rr.Target, q.Type)...)
+			return
+		}
+	}
+	if len(rrs) == 0 {
+		resp.RCode = RCodeNXDomain
+	}
+	resp.Authority = append(resp.Authority, s.Zone.SOA())
 }
 
 // Client is a minimal resolver for tests and examples.
 type Client struct {
 	Host   *netstack.Host
 	nextID uint16
+}
+
+// clientPortLo is the bottom of the resolver's source-port range; retry
+// probing wraps back here instead of walking past 65535 into the
+// reserved low ports.
+const clientPortLo = 10000
+
+// nextSrcPort advances the retry probe, wrapping uint16 overflow back
+// into the ephemeral range instead of walking through ports 0..1023.
+func nextSrcPort(p uint16) uint16 {
+	p++
+	if p < clientPortLo {
+		p = clientPortLo
+	}
+	return p
 }
 
 // Query sends one question to server:53 and invokes done with the
@@ -221,10 +511,10 @@ func (c *Client) Query(server netstack.IP, name string, typ Type, timeout sim.Du
 	}
 	start := c.Host.Eng.Now()
 	finished := false
-	var timer *sim.Event
+	var timer sim.Event
 	// Pick a free source port: concurrent queries from one host must
 	// not collide.
-	srcPort := uint16(10000 + id%50000)
+	srcPort := uint16(clientPortLo + id%50000)
 	handler := func(src netstack.IP, sport uint16, payload []byte) {
 		if finished {
 			return
@@ -243,7 +533,7 @@ func (c *Client) Query(server netstack.IP, name string, typ Type, timeout sim.Du
 			done(nil, 0, netstack.ErrPortInUse)
 			return
 		}
-		srcPort++
+		srcPort = nextSrcPort(srcPort)
 	}
 	timer = c.Host.Eng.After(timeout, func() {
 		if !finished {

@@ -194,7 +194,7 @@ func (h *Host) HTTPGet(dst IP, port uint16, path string, timeout sim.Duration, d
 		finished = true
 		done(r, h.Eng.Now()-start, err)
 	}
-	var deadline *sim.Event
+	var deadline sim.Event
 	if timeout > 0 {
 		deadline = h.Eng.After(timeout, func() { finish(nil, ErrTimeout) })
 	}
@@ -206,9 +206,7 @@ func (h *Host) HTTPGet(dst IP, port uint16, path string, timeout sim.Duration, d
 		var buf []byte
 		tryComplete := func() bool {
 			if resp, ok := ParseResponse(buf); ok {
-				if deadline != nil {
-					h.Eng.Cancel(deadline)
-				}
+				h.Eng.Cancel(deadline)
 				finish(resp, nil)
 				return true
 			}

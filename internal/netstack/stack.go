@@ -107,7 +107,7 @@ type pendingPing struct {
 	sentAt sim.Duration
 	size   int
 	cb     func(rtt sim.Duration, err error)
-	timer  *sim.Event
+	timer  sim.Event
 }
 
 // NewHost binds a stack to a NIC. The NIC's receive handler is taken

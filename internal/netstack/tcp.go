@@ -100,7 +100,7 @@ type TCPConn struct {
 	finSent   bool
 
 	rto     sim.Duration
-	rtxEv   *sim.Event
+	rtxEv   sim.Event
 	retries int
 
 	onData        func([]byte)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"sort"
 	"testing"
 	"testing/quick"
 	"time"
@@ -61,9 +62,9 @@ func TestEngineCancel(t *testing.T) {
 	if !ev.Cancelled() {
 		t.Fatal("event should report cancelled")
 	}
-	// Double cancel and nil cancel must be no-ops.
+	// Double cancel and zero-handle cancel must be no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Event{})
 }
 
 func TestEngineCancelAfterFire(t *testing.T) {
@@ -73,6 +74,119 @@ func TestEngineCancelAfterFire(t *testing.T) {
 	e.Cancel(ev) // must not panic or corrupt the heap
 	if !ev.Cancelled() {
 		t.Fatal("fired event should report cancelled/fired")
+	}
+}
+
+func TestEngineStaleHandleAfterReuse(t *testing.T) {
+	// After an event fires, its pooled node may be recycled for a new
+	// scheduling. Cancelling through the stale handle must not touch
+	// the new event.
+	e := New(1)
+	first := e.At(time.Millisecond, func() {})
+	e.Run()
+	fired := false
+	e.At(2*time.Millisecond, func() { fired = true })
+	e.Cancel(first) // stale: generation mismatch
+	e.Run()
+	if !fired {
+		t.Fatal("stale cancel killed an unrelated event")
+	}
+}
+
+func TestEnginePendingWithLazyCancel(t *testing.T) {
+	e := New(1)
+	var evs []Event
+	for i := 1; i <= 10; i++ {
+		evs = append(evs, e.At(Duration(i)*time.Millisecond, func() {}))
+	}
+	for _, ev := range evs[:4] {
+		e.Cancel(ev)
+	}
+	if got := e.Pending(); got != 6 {
+		t.Fatalf("Pending = %d, want 6", got)
+	}
+	e.Run()
+	if got := e.Fired(); got != 6 {
+		t.Fatalf("Fired = %d, want 6", got)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after Run = %d", got)
+	}
+}
+
+func TestEngineRunUntilSkipsCancelledHead(t *testing.T) {
+	// A cancelled event at the head of the queue must not let RunUntil
+	// fire a later event beyond its horizon.
+	e := New(1)
+	ev := e.At(5*time.Millisecond, func() {})
+	fired := false
+	e.At(20*time.Millisecond, func() { fired = true })
+	e.Cancel(ev)
+	e.RunUntil(10 * time.Millisecond)
+	if fired {
+		t.Fatal("RunUntil fired an event past its horizon")
+	}
+	if e.Now() != 10*time.Millisecond {
+		t.Fatalf("clock = %v", e.Now())
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("event lost")
+	}
+}
+
+// Property: an interleaving of schedules and cancels fires exactly the
+// uncancelled events, in (at, seq) order.
+func TestEngineCancelInterleavingProperty(t *testing.T) {
+	f := func(delays []uint16, cancelMask uint64) bool {
+		if len(delays) > 64 {
+			delays = delays[:64]
+		}
+		e := New(3)
+		var want []int
+		var got []int
+		var evs []Event
+		for i, d := range delays {
+			i := i
+			evs = append(evs, e.At(Duration(d)*time.Microsecond, func() { got = append(got, i) }))
+		}
+		for i := range evs {
+			if cancelMask&(1<<uint(i)) != 0 {
+				e.Cancel(evs[i])
+			}
+		}
+		type key struct {
+			at  Duration
+			seq int
+		}
+		var keys []key
+		for i, d := range delays {
+			if cancelMask&(1<<uint(i)) == 0 {
+				keys = append(keys, key{Duration(d) * time.Microsecond, i})
+			}
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].at != keys[b].at {
+				return keys[a].at < keys[b].at
+			}
+			return keys[a].seq < keys[b].seq
+		})
+		for _, k := range keys {
+			want = append(want, k.seq)
+		}
+		e.Run()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -9,7 +9,7 @@ type Proc struct {
 	eng   *Engine
 	delay Duration
 	err   error
-	ev    *Event
+	ev    Event
 	steps []step
 	done  []func(error)
 	idx   int
