@@ -1,4 +1,9 @@
-# Jitsu reproduction — build / test / perf-record targets.
+# Jitsu reproduction — build / test / perf-record / CI-gate targets.
+#
+# `make ci` runs the exact gate GitHub Actions runs (.github/workflows/
+# go.yml): vet + gofmt, build, tests (plain and -race), a fuzz smoke
+# pass, the bench-regression gate against the committed baseline, and
+# the determinism check (every experiment twice, fingerprints diffed).
 
 # pipefail so a failing `go test` is not masked by the benchjson stage
 # of the bench pipeline.
@@ -7,9 +12,14 @@ SHELL := /bin/bash
 
 GO ?= go
 # The perf record this branch writes; bump per PR to grow the trajectory.
-BENCH_OUT ?= BENCH_pr2.json
+BENCH_OUT ?= BENCH_pr3.json
+# The committed baseline the bench gate compares against.
+BENCH_BASE ?= BENCH_pr2.json
+# Allowed fractional ns/op regression before the gate fails.
+BENCH_TOLERANCE ?= 0.25
+FUZZTIME ?= 10s
 
-.PHONY: all build test vet fuzz bench
+.PHONY: all build test vet race fmt-check fuzz bench bench-gate determinism ci
 
 all: vet build test
 
@@ -19,13 +29,19 @@ build:
 test:
 	$(GO) test ./...
 
+race:
+	$(GO) test -race ./...
+
 vet:
 	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Short fuzz pass over the wire codecs (the long-running fuzzing is
 # interactive: go test -fuzz=FuzzDNSCodec ./internal/dns).
 fuzz:
-	$(GO) test -run '^$$' -fuzz=FuzzDNSCodec -fuzztime=10s ./internal/dns
+	$(GO) test -run '^$$' -fuzz=FuzzDNSCodec -fuzztime=$(FUZZTIME) ./internal/dns
 
 # bench runs the full evaluation + hot-path microbenches with -benchmem
 # and records the numbers as JSON. The experiment benches double as the
@@ -33,3 +49,29 @@ fuzz:
 # runs with the same seed.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' . | tee /dev/stderr | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+
+# bench-gate re-checks $(BENCH_OUT) against the committed baseline:
+# any tracked benchmark >25% slower on ns/op, or allocating on a path
+# the baseline holds at zero allocs/op, fails the build.
+bench-gate: $(BENCH_OUT)
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) -tolerance $(BENCH_TOLERANCE) $(BENCH_OUT)
+
+$(BENCH_OUT):
+	$(MAKE) bench BENCH_OUT=$(BENCH_OUT)
+
+# determinism runs every experiment twice with the same seeds (churn,
+# gossip membership and migrations included) and diffs the per-series
+# fingerprints: any divergence is a reproducibility bug.
+determinism:
+	$(GO) run ./cmd/jitsu-bench -run all -quick -fingerprint > .fingerprints-a
+	$(GO) run ./cmd/jitsu-bench -run all -quick -fingerprint > .fingerprints-b
+	diff .fingerprints-a .fingerprints-b && echo "determinism: series bit-identical across runs"
+	rm -f .fingerprints-a .fingerprints-b
+
+# ci mirrors .github/workflows/go.yml so contributors run the exact
+# gate locally before pushing.
+ci: vet fmt-check build test race
+	$(MAKE) fuzz FUZZTIME=30s
+	$(MAKE) bench BENCH_OUT=bench-ci.json
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) -tolerance $(BENCH_TOLERANCE) bench-ci.json
+	$(MAKE) determinism

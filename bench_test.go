@@ -139,6 +139,19 @@ func BenchmarkScalingClusterVsFleet(b *testing.B) {
 	}
 }
 
+// BenchmarkChurnMigration runs the dynamic-membership churn experiment
+// and reports both departure policies' post-leave p95
+// time-to-first-response: live migration vs preempt-and-reboot.
+func BenchmarkChurnMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Churn(75 * time.Second)
+		if i == 0 {
+			b.ReportMetric(float64(r.Series["churn-migrate post-leave"].Percentile(0.95))/1e6, "migrate-p95-ms")
+			b.ReportMetric(float64(r.Series["churn-preempt post-leave"].Percentile(0.95))/1e6, "preempt-p95-ms")
+		}
+	}
+}
+
 // ---- hot-path microbenches (run with -benchmem) ----
 //
 // The directory's DNS responder sits on the critical path of every

@@ -2,14 +2,26 @@
 // stable JSON document, so each PR can record its perf trajectory
 // (BENCH_<pr>.json) and later sessions can diff numbers mechanically.
 //
-//	go test -bench=. -benchmem -run '^$' . | go run ./cmd/benchjson > BENCH_pr2.json
+//	go test -bench=. -benchmem -run '^$' . | go run ./cmd/benchjson > BENCH_pr3.json
+//
+// With -compare it becomes the CI bench gate: the new numbers (a JSON
+// file argument, or bench text on stdin) are checked against a
+// committed baseline, and the command exits non-zero when any tracked
+// benchmark regresses more than -tolerance on ns/op or gains
+// allocations on a path the baseline records as allocation-free.
+//
+//	go test -bench=. -benchmem -run '^$' . | go run ./cmd/benchjson -compare BENCH_pr2.json -tolerance 0.25
+//	go run ./cmd/benchjson -compare BENCH_pr2.json -tolerance 0.25 bench-ci.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -33,8 +45,68 @@ type Doc struct {
 }
 
 func main() {
+	compare := flag.String("compare", "", "baseline BENCH json to gate against (exit 1 on regression)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression in -compare mode")
+	flag.Parse()
+
+	if *compare == "" {
+		doc, err := parseDoc(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	baseline, err := loadDoc(*compare)
+	if err != nil {
+		fatal(err)
+	}
+	var current Doc
+	if arg := flag.Arg(0); arg != "" {
+		current, err = loadDoc(arg)
+	} else {
+		current, err = parseDoc(os.Stdin)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	report, failures := gate(baseline, current, *tolerance)
+	fmt.Print(report)
+	if failures > 0 {
+		fmt.Printf("benchjson: FAIL — %d benchmark(s) regressed beyond %.0f%%\n", failures, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchjson: bench gate passed")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(2)
+}
+
+// loadDoc reads a previously recorded JSON document.
+func loadDoc(path string) (Doc, error) {
 	var doc Doc
-	sc := bufio.NewScanner(os.Stdin)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// parseDoc converts `go test -bench` text into a Doc.
+func parseDoc(r io.Reader) (Doc, error) {
+	var doc Doc
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -53,16 +125,62 @@ func main() {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return doc, sc.Err()
+}
+
+// gate compares current against baseline: benchmarks present in both
+// are checked for ns/op regressions beyond tolerance and for
+// allocations appearing on paths the baseline holds at zero allocs/op.
+// New benchmarks (no baseline entry) pass — the trajectory grows — but
+// a baseline benchmark missing from the current run fails: a deleted or
+// renamed benchmark silently stops enforcing its contract otherwise,
+// and an empty run (a truncated record from a failed bench pipeline)
+// must never pass vacuously.
+func gate(baseline, current Doc, tolerance float64) (report string, failures int) {
+	base := make(map[string]Bench, len(baseline.Benches))
+	for _, b := range baseline.Benches {
+		base[b.Name] = b
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	var sb strings.Builder
+	seen := make(map[string]bool, len(current.Benches))
+	for _, b := range current.Benches {
+		seen[b.Name] = true
+		old, ok := base[b.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "  new   %-40s ns/op=%.0f (no baseline)\n", b.Name, b.Metrics["ns/op"])
+			continue
+		}
+		oldNs, newNs := old.Metrics["ns/op"], b.Metrics["ns/op"]
+		status := "ok"
+		if oldNs > 0 && newNs > oldNs*(1+tolerance) {
+			status = "REGRESSED"
+			failures++
+		}
+		oldAllocs, hasOld := old.Metrics["allocs/op"]
+		newAllocs, hasNew := b.Metrics["allocs/op"]
+		if hasOld && hasNew && oldAllocs == 0 && newAllocs > 0 {
+			// The zero-alloc contract is absolute: one allocation on a
+			// path recorded allocation-free is a regression at any speed.
+			status = "ALLOCS"
+			failures++
+		}
+		fmt.Fprintf(&sb, "  %-5s %-40s ns/op %.0f -> %.0f (%+.1f%%), allocs/op %g -> %g\n",
+			status, b.Name, oldNs, newNs, pctDelta(oldNs, newNs), oldAllocs, newAllocs)
 	}
+	for _, b := range baseline.Benches {
+		if !seen[b.Name] {
+			fmt.Fprintf(&sb, "  GONE  %-40s tracked by the baseline but absent from this run\n", b.Name)
+			failures++
+		}
+	}
+	return sb.String(), failures
+}
+
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
 }
 
 // parseBench splits "BenchmarkName-8  123  4.5 ns/op  0 B/op ..." into
@@ -74,8 +192,13 @@ func parseBench(line string) (Bench, bool) {
 	}
 	name := fields[0]
 	// Strip the -GOMAXPROCS suffix so names are stable across machines.
+	// benchjson parses bench text on the machine that produced it (the
+	// Makefile pipes go test straight in), so the suffix to strip is
+	// this process's GOMAXPROCS — and only that: a blind numeric strip
+	// would eat a meaningful trailing "-4" from a sub-benchmark name
+	// like "/boards-4" when go test omits the suffix (GOMAXPROCS=1).
 	if i := strings.LastIndexByte(name, '-'); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil && n == runtime.GOMAXPROCS(0) && n > 1 {
 			name = name[:i]
 		}
 	}

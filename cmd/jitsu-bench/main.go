@@ -1,15 +1,22 @@
 // Command jitsu-bench regenerates the paper's evaluation: every table
 // and figure (and the ablations), printed as text tables and CDFs.
 //
+// With -fingerprint it prints one stable hash line per experiment
+// series instead of the tables; the CI determinism job runs it twice
+// and diffs the output, so any nondeterminism in the simulation (or in
+// the gossip membership layer under the churn experiment) fails the
+// build.
+//
 // Usage:
 //
-//	jitsu-bench [-run all|fig3|fig4|fig8|fig9a|fig9b|table1|table2|throughput|headline|scaling|ablations] [-quick] [-boards 1,2,4,8]
+//	jitsu-bench [-run all|fig3|fig4|fig8|fig9a|fig9b|table1|table2|throughput|headline|scaling|churn|ablations] [-quick] [-boards 1,2,4,8] [-fingerprint]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -21,14 +28,17 @@ func main() {
 	run := flag.String("run", "all", "experiment to regenerate")
 	quick := flag.Bool("quick", false, "reduced trial counts")
 	boards := flag.String("boards", "", "board counts for the scaling experiment (default 1,2,4,8; 1,4 with -quick)")
+	fingerprint := flag.Bool("fingerprint", false, "print per-series determinism fingerprints instead of tables")
 	flag.Parse()
 
 	trials := 120
 	fig3N := []int{1, 25, 50, 100, 150, 200}
 	scalingHorizon := 90 * time.Second
+	churnHorizon := 75 * time.Second
 	if *quick {
 		trials = 30
 		fig3N = []int{1, 10, 25, 50}
+		churnHorizon = 45 * time.Second
 	}
 	boardsSet := *boards != ""
 	if !boardsSet {
@@ -76,6 +86,8 @@ func main() {
 		results = append(results, experiments.Headline(trials/4))
 	case "scaling":
 		results = append(results, experiments.Scaling(scalingN, scalingHorizon))
+	case "churn":
+		results = append(results, experiments.Churn(churnHorizon))
 	case "ablations":
 		results = append(results,
 			experiments.AblationMergeStrategies(30),
@@ -90,8 +102,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *fingerprint {
+		printFingerprints(results)
+		return
+	}
 	for _, r := range results {
 		fmt.Println(r.String())
+	}
+}
+
+// printFingerprints renders the determinism record: one line per
+// experiment plus one per series, stable across runs with fixed seeds.
+func printFingerprints(results []*experiments.Result) {
+	for _, r := range results {
+		fmt.Printf("%s\t-\t-\t%016x\n", r.ID, r.Fingerprint())
+		names := make([]string, 0, len(r.Series))
+		for name := range r.Series {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			s := r.Series[name]
+			fmt.Printf("%s\t%s\t%d\t%016x\n", r.ID, name, s.Len(), experiments.FingerprintSeries(s))
+		}
 	}
 }
 

@@ -6,12 +6,17 @@
 //
 // With -boards N (N > 1) it runs a whole edge cluster fronted by the
 // control plane's directory and placement scheduler; -policy selects
-// the placement policy.
+// the placement policy. Membership is dynamic: -join T adds a board at
+// virtual time T, -leave T makes the highest-numbered board leave
+// gracefully at T (its warm replicas migrate off), and -churn is
+// shorthand for a default join/leave schedule with the gossip failure
+// detector probing actively.
 //
 // Usage:
 //
 //	jitsud [-services 4] [-requests 24] [-idle 30s] [-no-synjitsu] [-seed 1]
 //	       [-boards 1] [-policy least-loaded] [-min-warm 0]
+//	       [-churn] [-join 20s] [-leave 30s]
 package main
 
 import (
@@ -39,6 +44,9 @@ func main() {
 	boards := flag.Int("boards", 1, "boards in the deployment (>1 runs the cluster control plane)")
 	policy := flag.String("policy", "least-loaded", "placement policy: first-fit|round-robin|least-loaded|power-aware")
 	minWarm := flag.Int("min-warm", 0, "warm-pool floor per service (cluster mode)")
+	churn := flag.Bool("churn", false, "cluster mode: run a default join/leave schedule under active gossip probing")
+	joinAt := flag.Duration("join", 0, "cluster mode: a new board joins at this virtual time (0 = never)")
+	leaveAt := flag.Duration("leave", 0, "cluster mode: the highest board leaves gracefully at this virtual time (0 = never)")
 	flag.Parse()
 
 	if *services < 1 {
@@ -46,6 +54,16 @@ func main() {
 	}
 	if *services > len(serviceNames) {
 		*services = len(serviceNames)
+	}
+	if *churn {
+		// A default schedule sized to the trace: ~2s per request.
+		traceSpan := 2 * time.Second * time.Duration(*requests)
+		if *leaveAt == 0 {
+			*leaveAt = traceSpan / 3
+		}
+		if *joinAt == 0 {
+			*joinAt = traceSpan / 2
+		}
 	}
 	if *boards > 1 {
 		idleSet := false
@@ -57,8 +75,12 @@ func main() {
 		if idleSet {
 			fmt.Fprintln(os.Stderr, "jitsud: -idle is ignored in cluster mode (the warm-pool manager owns replica lifecycle)")
 		}
-		runCluster(*boards, *services, *requests, *seed, *policy, *minWarm, !*noSyn)
+		runCluster(*boards, *services, *requests, *seed, *policy, *minWarm, !*noSyn, *joinAt, *leaveAt)
 		return
+	}
+	if *joinAt > 0 || *leaveAt > 0 {
+		fmt.Fprintln(os.Stderr, "jitsud: -churn/-join/-leave need cluster mode (-boards > 1)")
+		os.Exit(2)
 	}
 
 	cfg := core.DefaultConfig()
@@ -136,7 +158,7 @@ func main() {
 
 // runCluster is the multi-board mode: the same request trace, but
 // placed by the control plane instead of answered by one board.
-func runCluster(boards, services, requests int, seed int64, policyName string, minWarm int, synjitsu bool) {
+func runCluster(boards, services, requests int, seed int64, policyName string, minWarm int, synjitsu bool, joinAt, leaveAt time.Duration) {
 	pol := cluster.PolicyByName(policyName)
 	if pol == nil {
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", policyName)
@@ -147,7 +169,47 @@ func runCluster(boards, services, requests int, seed int64, policyName string, m
 	cfg.Board.Seed = seed
 	cfg.Board.Synjitsu = synjitsu
 	cfg.DefaultPolicy = pol
+	if joinAt > 0 || leaveAt > 0 {
+		// Membership churn ahead: run the gossip failure detector.
+		cfg.ProbeEvery = time.Second
+	}
 	c := cluster.New(cfg)
+	traceDone := false
+	if joinAt > 0 {
+		c.Eng().At(joinAt, func() {
+			if traceDone {
+				// The run has quiesced (StopMembership already ran); a
+				// new probing agent would keep the event queue alive
+				// forever.
+				fmt.Printf("%-12v ** join skipped: trace already complete\n", c.Eng().Now().Round(time.Millisecond))
+				return
+			}
+			m := c.AddBoard()
+			fmt.Printf("%-12v ** board %d joining (gossip join -> directory)\n", c.Eng().Now().Round(time.Millisecond), m.ID)
+		})
+	}
+	if leaveAt > 0 {
+		c.Eng().At(leaveAt, func() {
+			// Highest-numbered board still taking placements (a -join
+			// that fired earlier may have outnumbered the initial set).
+			id := -1
+			for _, m := range c.Members() {
+				if m.ID != 0 && m.Placeable() {
+					id = m.ID
+				}
+			}
+			if id < 0 {
+				fmt.Printf("%-12v ** no board can leave\n", c.Eng().Now().Round(time.Millisecond))
+				return
+			}
+			fmt.Printf("%-12v ** board %d leaving gracefully (migrating warm replicas)\n", c.Eng().Now().Round(time.Millisecond), id)
+			if err := c.Leave(id, func() {
+				fmt.Printf("%-12v ** board %d left (%d migrations so far)\n", c.Eng().Now().Round(time.Millisecond), id, c.Migrations)
+			}); err != nil {
+				fmt.Printf("%-12v ** board %d cannot leave: %v\n", c.Eng().Now().Round(time.Millisecond), id, err)
+			}
+		})
+	}
 
 	zone := cfg.Board.Zone
 	for i := 0; i < services; i++ {
@@ -169,6 +231,9 @@ func runCluster(boards, services, requests int, seed int64, policyName string, m
 	var issue func(i int)
 	issue = func(i int) {
 		if i >= requests {
+			// Quiesce the gossip agents so the event queue can drain.
+			traceDone = true
+			c.StopMembership()
 			return
 		}
 		name := serviceNames[i%services] + "." + zone
@@ -197,8 +262,12 @@ func runCluster(boards, services, requests int, seed int64, policyName string, m
 	fmt.Printf("\n%s\n", lat.Summary())
 	fmt.Printf("placed: %d, warm hits: %d, refused: %d, preempts: %d, prewarms: %d, reclaims: %d\n",
 		c.Placed, c.WarmHits, c.ServFails, c.Preempts, c.Pools.Prewarms, c.Pools.Reclaims)
+	if c.Joins+c.Leaves+c.Confirms > 0 {
+		fmt.Printf("membership: %d joined, %d left, %d confirmed dead; %d migrations, %d replicas lost\n",
+			c.Joins, c.Leaves, c.Confirms, c.Migrations, c.Lost)
+	}
 	fmt.Printf("\n%s", c.CounterTable())
-	for i, b := range c.Boards {
-		fmt.Printf("board %d: %s\n", i, b.Hyp)
+	for _, m := range c.Members() {
+		fmt.Printf("board %d [%s]: %s\n", m.ID, m.State, m.Board.Hyp)
 	}
 }

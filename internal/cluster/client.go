@@ -19,24 +19,42 @@ var ErrClusterFull = errors.New("cluster: no board can take the service")
 // client it holds an attachment on every board's network (the boards
 // are separate hosts on the edge), but it only ever queries board 0's
 // directory: the answer's replica IP tells it which board to talk to.
+// When a board joins after the client was created, the cluster attaches
+// the client to the newcomer's network too.
 type Client struct {
 	c     *Cluster
-	hosts []*netstack.Host
+	name  string
+	ip    netstack.IP
+	hosts []*netstack.Host // indexed by board id; nil until attached
 	// ServFails counts cluster-wide refusals observed by this client.
 	ServFails uint64
 }
 
-// NewClient attaches a client to every board's network.
+// NewClient attaches a client to every current board's network.
 func (c *Cluster) NewClient(name string, ip netstack.IP) *Client {
-	cl := &Client{c: c}
-	for i, b := range c.Boards {
-		cl.hosts = append(cl.hosts, b.AddClient(fmt.Sprintf("%s-b%d", name, i), ip))
+	cl := &Client{c: c, name: name, ip: ip}
+	for _, m := range c.members {
+		cl.attach(m.ID)
 	}
+	c.clients = append(c.clients, cl)
 	return cl
 }
 
+// attach wires the client onto board id's edge network (idempotent).
+func (cl *Client) attach(id int) {
+	for len(cl.hosts) <= id {
+		cl.hosts = append(cl.hosts, nil)
+	}
+	if cl.hosts[id] == nil {
+		cl.hosts[id] = cl.c.Boards[id].AddClient(fmt.Sprintf("%s-b%d", cl.name, id), cl.ip)
+	}
+}
+
 // Host returns the client's attachment on board i.
-func (cl *Client) Host(i int) *netstack.Host { return cl.hosts[i] }
+func (cl *Client) Host(i int) *netstack.Host {
+	cl.attach(i)
+	return cl.hosts[i]
+}
 
 // Fetch resolves name at the cluster directory and fetches path from
 // the board the scheduler picked. done reports the serving board index
@@ -71,7 +89,7 @@ func (cl *Client) Fetch(name, path string, timeout sim.Duration, done func(board
 			done(-1, nil, eng.Now()-start, netstack.ErrTimeout)
 			return
 		}
-		cl.hosts[board].HTTPGet(ip, 80, path, remaining, func(resp *netstack.HTTPResponse, _ sim.Duration, err error) {
+		cl.Host(board).HTTPGet(ip, 80, path, remaining, func(resp *netstack.HTTPResponse, _ sim.Duration, err error) {
 			done(board, resp, eng.Now()-start, err)
 		})
 	})

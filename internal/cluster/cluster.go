@@ -4,6 +4,11 @@
 // SERVFAIL (§3.3.2's "conventional failover"). One query is answered by
 // the board the scheduler picks; warm pools keep hot services
 // pre-booted so they skip the cold-start path entirely.
+//
+// Membership is dynamic: boards join and leave at runtime through a
+// SWIM-style gossip layer (membership.go), and warm replicas *move*
+// between boards by live migration (migrate.go) instead of being
+// preempted and cold-booted.
 package cluster
 
 import (
@@ -11,6 +16,7 @@ import (
 
 	"jitsu/internal/core"
 	"jitsu/internal/dns"
+	"jitsu/internal/netsim"
 	"jitsu/internal/netstack"
 	"jitsu/internal/power"
 	"jitsu/internal/sim"
@@ -18,7 +24,8 @@ import (
 
 // Config sizes the cluster and tunes its control loops.
 type Config struct {
-	// Boards is the number of core.Boards fronted by the directory.
+	// Boards is the number of core.Boards fronted by the directory at
+	// construction; more may join (AddBoard) and boards may leave later.
 	Boards int
 	// Board configures each member board (DelayDNSUntilReady is forced
 	// off: the cluster answers synchronously like stock Jitsu).
@@ -44,39 +51,73 @@ type Config struct {
 	// PowerModel supplies per-board power models for PowerAware
 	// placement (nil = Cubieboard2 everywhere).
 	PowerModel func(board int) *power.Board
+
+	// ProbeEvery is the gossip failure-detector period. 0 (the default)
+	// keeps the detector passive — joins and graceful leaves still
+	// disseminate, but no periodic probing keeps the event queue alive,
+	// so Engine.Run drains as before. Churn runs turn it on and drive
+	// the engine with RunUntil.
+	ProbeEvery sim.Duration
+	// ProbeTimeout is how long a probe waits for its ack before the
+	// target turns suspect.
+	ProbeTimeout sim.Duration
+	// SuspectTimeout is how long a suspicion may stand unrefuted before
+	// the member is confirmed dead.
+	SuspectTimeout sim.Duration
+	// MigrateOnLeave moves warm replicas off a gracefully leaving board
+	// (checkpoint + restore) instead of stopping them (the
+	// preempt-and-reboot baseline the Churn experiment compares against).
+	MigrateOnLeave bool
+	// MigrateBitsPerSec is the checkpoint-copy rate across the
+	// management link (default 1 Gb/s).
+	MigrateBitsPerSec float64
+	// MgmtBitsPerSec is the management network's link rate, used by the
+	// gossip substrate (default 1 Gb/s).
+	MgmtBitsPerSec float64
 }
 
 // DefaultConfig is a 4-board Cubieboard2 cluster with least-loaded
-// placement and EWMA-sized warm pools.
+// placement, EWMA-sized warm pools, and live migration on graceful
+// leave. The failure detector is passive until ProbeEvery is set.
 func DefaultConfig() Config {
 	return Config{
-		Boards:        4,
-		Board:         core.DefaultConfig(),
-		RateAlpha:     0.1,
-		WarmFactor:    1.0,
-		MinRate:       0.02,
-		PreemptMargin: 2.0,
-		BootEstimate:  350 * time.Millisecond,
+		Boards:            4,
+		Board:             core.DefaultConfig(),
+		RateAlpha:         0.1,
+		WarmFactor:        1.0,
+		MinRate:           0.02,
+		PreemptMargin:     2.0,
+		BootEstimate:      350 * time.Millisecond,
+		ProbeTimeout:      200 * time.Millisecond,
+		SuspectTimeout:    2 * time.Second,
+		MigrateOnLeave:    true,
+		MigrateBitsPerSec: 1e9,
+		MgmtBitsPerSec:    1e9,
 	}
 }
 
-// Cluster fronts N boards with one directory, one scheduler and one
+// Cluster fronts its boards with one directory, one scheduler and one
 // warm-pool manager. Board 0 additionally hosts the cluster's
-// authoritative DNS endpoint; the other boards never see client
-// queries, only placed traffic.
+// authoritative DNS endpoint and the authoritative membership view; the
+// other boards never see client queries, only placed traffic.
 type Cluster struct {
-	Cfg    Config
+	Cfg Config
+	// Boards holds every board ever part of the cluster, indexed by its
+	// stable id; departed boards stay in the slice (marked dead/left in
+	// members) so ids, replica slots and client attachments never shift.
 	Boards []*core.Board
 	// Models holds each board's power model (for PowerAware).
 	Models []*power.Board
 	// Pools is the warm-pool manager.
 	Pools *PoolManager
 
-	eng *sim.Engine
-	dir *Directory
-	// baseDomains is each board's domain count before any guest ran,
-	// so views can report guest domains regardless of dom0 plumbing.
-	baseDomains []int
+	eng     *sim.Engine
+	dir     *Directory
+	members []*Member
+	// mgmt is the management network the gossip agents (and checkpoint
+	// copies) ride on.
+	mgmt    *netsim.Bridge
+	clients []*Client
 
 	// WarmHits counts queries answered by an already-ready replica.
 	WarmHits uint64
@@ -86,11 +127,21 @@ type Cluster struct {
 	ServFails uint64
 	// Preempts counts cold replicas evicted to make room for hot ones.
 	Preempts uint64
+	// Migrations counts warm replicas moved live between boards.
+	Migrations uint64
+	// Lost counts live replicas destroyed by departures (not migrated).
+	Lost uint64
+	// Joins counts boards the directory admitted after construction;
+	// Leaves counts graceful departures; Confirms counts members the
+	// failure detector confirmed dead.
+	Joins    uint64
+	Leaves   uint64
+	Confirms uint64
 }
 
-// New builds the cluster: n boards on one shared engine, the directory,
-// and the DNS intercept on board 0 that routes every cluster service
-// through the scheduler.
+// New builds the cluster: n boards on one shared engine, the gossip
+// membership substrate, the directory, and the DNS intercept on board 0
+// that routes every cluster service through the scheduler.
 func New(cfg Config) *Cluster {
 	if cfg.Boards <= 0 {
 		cfg.Boards = 1
@@ -110,23 +161,35 @@ func New(cfg Config) *Cluster {
 	if cfg.MaxWarmPerService <= 0 {
 		cfg.MaxWarmPerService = cfg.Boards
 	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 200 * time.Millisecond
+	}
+	if cfg.SuspectTimeout <= 0 {
+		cfg.SuspectTimeout = 2 * time.Second
+	}
+	if cfg.MigrateBitsPerSec <= 0 {
+		cfg.MigrateBitsPerSec = 1e9
+	}
+	if cfg.MgmtBitsPerSec <= 0 {
+		cfg.MgmtBitsPerSec = 1e9
+	}
 	cfg.Board.DelayDNSUntilReady = false
 
 	c := &Cluster{Cfg: cfg, dir: newDirectory()}
 	c.eng = sim.New(cfg.Board.Seed)
+	c.mgmt = netsim.NewBridge(c.eng, "mgmt", 10*time.Microsecond)
 	for i := 0; i < cfg.Boards; i++ {
-		b := core.NewBoardOnEngine(c.eng, cfg.Board)
-		c.Boards = append(c.Boards, b)
-		c.baseDomains = append(c.baseDomains, b.Hyp.Domains())
-		model := power.Cubieboard2()
-		if cfg.PowerModel != nil {
-			model = cfg.PowerModel(i)
-		}
-		c.Models = append(c.Models, model)
+		c.newMember()
+	}
+	// Construction-time members know each other without a join round.
+	for _, m := range c.members {
+		m.State = MemberAlive
+		m.agent.bootstrap(c.members)
+		m.agent.startProbing()
 	}
 	c.Pools = newPoolManager(c)
 
-	front := c.Boards[0]
+	front := c.front()
 	prev := front.DNS.Intercept
 	// Cluster answers vary per query (placement picks the board), so the
 	// front door must not serve them from the per-board fast path.
@@ -143,6 +206,45 @@ func New(cfg Config) *Cluster {
 	return c
 }
 
+// newMember creates one board plus its gossip agent and registers both
+// under the next stable id. State starts Joining; New flips the initial
+// set to Alive directly, AddBoard waits for the join to reach board 0.
+func (c *Cluster) newMember() *Member {
+	id := len(c.Boards)
+	b := core.NewBoardOnEngine(c.eng, c.Cfg.Board)
+	model := power.Cubieboard2()
+	if c.Cfg.PowerModel != nil {
+		model = c.Cfg.PowerModel(id)
+	}
+	m := &Member{ID: id, Board: b, Model: model, State: MemberJoining, baseDomains: b.Hyp.Domains()}
+	c.Boards = append(c.Boards, b)
+	c.Models = append(c.Models, model)
+	c.members = append(c.members, m)
+	m.agent = newAgent(c, m)
+	return m
+}
+
+// AddBoard admits a new board at runtime: the board is built on the
+// shared engine, every registered service gets a replica slot on it,
+// existing clients attach to its network, and its gossip agent joins
+// through board 0. The board becomes placeable when the directory's
+// agent applies the join (a management-network round-trip later).
+func (c *Cluster) AddBoard() *Member {
+	m := c.newMember()
+	for _, e := range c.dir.Entries() {
+		c.addReplicaSlot(e, m)
+	}
+	for _, cl := range c.clients {
+		cl.attach(m.ID)
+	}
+	m.agent.join()
+	m.agent.startProbing()
+	return m
+}
+
+// front returns the board hosting the cluster's DNS and directory.
+func (c *Cluster) front() *core.Board { return c.Boards[0] }
+
 // ServiceOpts selects per-service placement behaviour at registration.
 type ServiceOpts struct {
 	// Policy overrides the cluster default for this service.
@@ -152,10 +254,10 @@ type ServiceOpts struct {
 }
 
 // Register adds a service to the cluster directory and registers one
-// replica slot on every board. Each replica gets a board-specific IP
-// (third octet = 100+board) so the client can tell which board a DNS
-// answer points at. The per-board idle reaper is disabled — replica
-// lifecycle belongs to the warm-pool manager.
+// replica slot on every current (non-departed) board. Each replica gets
+// a board-specific IP (third octet = 100+board) so the client can tell
+// which board a DNS answer points at. The per-board idle reaper is
+// disabled — replica lifecycle belongs to the warm-pool manager.
 func (c *Cluster) Register(sc core.ServiceConfig, opts ServiceOpts) *Entry {
 	name := dns.CanonicalName(sc.Name)
 	sc.Name = name
@@ -169,16 +271,29 @@ func (c *Cluster) Register(sc core.ServiceConfig, opts ServiceOpts) *Entry {
 	if e.Policy == nil {
 		e.Policy = c.Cfg.DefaultPolicy
 	}
-	for i, b := range c.Boards {
-		rc := sc
-		rc.IP = replicaIP(sc.IP, i)
-		p := &Placement{Board: i, Svc: b.Jitsu.Register(rc)}
-		e.Replicas = append(e.Replicas, p)
-		c.dir.byIP[rc.IP] = p
+	for _, m := range c.members {
+		if m.State == MemberDead || m.State == MemberLeft {
+			e.Replicas = append(e.Replicas, nil)
+			continue
+		}
+		c.addReplicaSlot(e, m)
 	}
 	c.dir.entries[name] = e
 	c.Pools.Reconcile(e) // honour MinWarm immediately
 	return e
+}
+
+// addReplicaSlot registers e's replica on member m's board.
+func (c *Cluster) addReplicaSlot(e *Entry, m *Member) *Placement {
+	rc := e.Base
+	rc.IP = replicaIP(e.Base.IP, m.ID)
+	p := &Placement{Board: m.ID, Svc: m.Board.Jitsu.Register(rc)}
+	for len(e.Replicas) <= m.ID {
+		e.Replicas = append(e.Replicas, nil)
+	}
+	e.Replicas[m.ID] = p
+	c.dir.byIP[rc.IP] = p
+	return p
 }
 
 // replicaIP derives board i's replica address from the base service IP.
@@ -194,8 +309,12 @@ func (c *Cluster) Directory() *Directory { return c.dir }
 // Eng returns the shared simulation engine.
 func (c *Cluster) Eng() *sim.Engine { return c.eng }
 
-// RunAll drains the shared engine.
+// RunAll drains the shared engine. With active probing (ProbeEvery > 0)
+// the queue never drains — use RunUntil and StopMembership instead.
 func (c *Cluster) RunAll() { c.eng.Run() }
+
+// RunUntil advances the shared engine to virtual time t.
+func (c *Cluster) RunUntil(t sim.Duration) { c.eng.RunUntil(t) }
 
 // intercept is the cluster's authoritative DNS hook on board 0: observe
 // the arrival, place the query, then let the pool manager chase the new
@@ -306,6 +425,11 @@ func (c *Cluster) preempt(e *Entry) *Placement {
 		}
 		guard := 10 * c.Cfg.BootEstimate
 		for _, p := range o.ready() {
+			// Only boards still taking placements host preemption boots,
+			// and in-flight migrations must not lose their source.
+			if !c.members[p.Board].Placeable() || p.migrating {
+				continue
+			}
 			// Hysteresis: a replica must have amortised its boot cost
 			// before it can be evicted, or near-equal services thrash.
 			if p.Svc.Guest == nil || p.Svc.Guest.Uptime() < guard {
@@ -329,6 +453,9 @@ func (c *Cluster) preempt(e *Entry) *Placement {
 		return nil
 	}
 	rep := e.Replicas[victim.Board]
+	if rep == nil || rep.reserved {
+		return nil
+	}
 	jit := c.Boards[victim.Board].Jitsu
 	if !jit.StopWith(victim.Svc, func() {
 		rep.pending = false
@@ -343,20 +470,25 @@ func (c *Cluster) preempt(e *Entry) *Placement {
 	return rep
 }
 
-// views summarizes every board for the policy. Boards for which skip
-// returns true (e.g. already hosting a live replica of e) are omitted.
+// views summarizes every placeable board for the policy. Boards for
+// which skip returns true (e.g. already hosting a live replica of e)
+// are omitted, as are members that are departed, leaving or suspect.
 func (c *Cluster) views(e *Entry, skip func(i int) bool) []BoardView {
-	out := make([]BoardView, 0, len(c.Boards))
-	for i, b := range c.Boards {
-		if skip != nil && skip(i) {
+	out := make([]BoardView, 0, len(c.members))
+	for _, m := range c.members {
+		p := replicaOn(e, m.ID)
+		if !m.Placeable() || p == nil || p.reserved {
+			continue
+		}
+		if skip != nil && skip(m.ID) {
 			continue
 		}
 		out = append(out, BoardView{
-			Index:        i,
-			FreeMemMiB:   b.Hyp.FreeMemMiB(),
-			GuestDomains: b.Hyp.Domains() - c.baseDomains[i],
+			Index:        m.ID,
+			FreeMemMiB:   m.Board.Hyp.FreeMemMiB(),
+			GuestDomains: m.Board.Hyp.Domains() - m.baseDomains,
 			NeedMiB:      e.Base.Image.MemMiB,
-			Model:        c.Models[i],
+			Model:        m.Model,
 		})
 	}
 	return out

@@ -51,10 +51,39 @@ type Placement struct {
 	// the replica is still Stopped, but its board's Synjitsu is already
 	// fielding the SYNs the DNS answer attracted.
 	pending bool
+	// migrating marks the source of an in-flight live migration: it
+	// keeps serving (pre-copy), but reclaim and preemption must leave it
+	// alone until the switchover completes (including the drain).
+	migrating bool
+	// draining marks a migrated-out source between switchover and its
+	// delayed stop: no new DNS answer names it, but a client answered
+	// just before the switchover can still connect.
+	draining bool
+	// reserved marks a slot claimed as a migration destination, from
+	// the pick until the switchover: no placement, prewarm or second
+	// migration may take it, and the pool manager counts the migration
+	// pair (ready source + reserved destination) as one replica.
+	reserved bool
+	// gone marks a slot whose board departed: never served again.
+	gone bool
 	// lastAnswered is when this replica's IP last went out in a DNS
 	// answer; the preemptor spares recently answered replicas so it
 	// never tears down a connection that is still arriving.
 	lastAnswered sim.Duration
+}
+
+// replicaOn returns e's replica slot on board id, nil when the board
+// has no (live) slot — it joined after a departure retired the slot, or
+// the slice simply doesn't reach that id yet.
+func replicaOn(e *Entry, id int) *Placement {
+	if id >= len(e.Replicas) {
+		return nil
+	}
+	p := e.Replicas[id]
+	if p == nil || p.gone {
+		return nil
+	}
+	return p
 }
 
 // Entry is one service as the cluster sees it: its per-board replicas,
@@ -90,11 +119,12 @@ func (e *Entry) Rate() float64 { return e.rate }
 // Arrivals returns the number of queries observed for this service.
 func (e *Entry) Arrivals() uint64 { return e.arrivals }
 
-// ready returns the replicas currently able to serve.
+// ready returns the replicas currently able to serve. Slots on departed
+// boards and draining migration sources never qualify.
 func (e *Entry) ready() []*Placement {
 	var out []*Placement
 	for _, p := range e.Replicas {
-		if p.Svc.State == core.StateReady {
+		if p != nil && !p.gone && !p.draining && p.Svc.State == core.StateReady {
 			out = append(out, p)
 		}
 	}
@@ -105,6 +135,9 @@ func (e *Entry) ready() []*Placement {
 // a preemption), if any.
 func (e *Entry) launching() *Placement {
 	for _, p := range e.Replicas {
+		if p == nil || p.gone {
+			continue
+		}
 		if p.Svc.State == core.StateLaunching || p.pending {
 			return p
 		}
@@ -135,24 +168,30 @@ type Totals struct {
 	Handoffs   uint64
 	ServFails  uint64 // per-board refusals (fleet-style) summed over replicas
 	Reaps      uint64
+	Restores   uint64 // launches that replayed a migration checkpoint
 	Refused    uint64 // cluster-wide SERVFAILs issued by the scheduler
 	Ready      int    // replicas currently serving
 	WarmTarget int
 }
 
 // ServiceTotals aggregates every service's counters across all boards,
-// sorted by name.
+// sorted by name. Slots on departed boards still contribute their
+// history (the service *did* pay those launches).
 func (c *Cluster) ServiceTotals() []Totals {
 	var out []Totals
 	for _, e := range c.dir.Entries() {
 		t := Totals{Name: e.Name, Refused: e.Refused, WarmTarget: e.WarmTarget}
 		for _, p := range e.Replicas {
+			if p == nil {
+				continue
+			}
 			t.Launches += p.Svc.Launches
 			t.ColdStarts += p.Svc.ColdStarts
 			t.Handoffs += p.Svc.Handoffs
 			t.ServFails += p.Svc.ServFails
 			t.Reaps += p.Svc.Reaps
-			if p.Svc.State == core.StateReady {
+			t.Restores += p.Svc.Restores
+			if !p.gone && p.Svc.State == core.StateReady {
 				t.Ready++
 			}
 		}
@@ -165,18 +204,19 @@ func (c *Cluster) ServiceTotals() []Totals {
 // row per service plus a cluster-wide total row.
 func (c *Cluster) CounterTable() *metrics.Table {
 	tab := metrics.NewTable("cluster counters",
-		"service", "launches", "coldstarts", "handoffs", "servfails", "reaps", "refused", "ready", "warm-target")
+		"service", "launches", "coldstarts", "handoffs", "servfails", "reaps", "restores", "refused", "ready", "warm-target")
 	var sum Totals
 	for _, t := range c.ServiceTotals() {
-		tab.AddRow(t.Name, t.Launches, t.ColdStarts, t.Handoffs, t.ServFails, t.Reaps, t.Refused, t.Ready, t.WarmTarget)
+		tab.AddRow(t.Name, t.Launches, t.ColdStarts, t.Handoffs, t.ServFails, t.Reaps, t.Restores, t.Refused, t.Ready, t.WarmTarget)
 		sum.Launches += t.Launches
 		sum.ColdStarts += t.ColdStarts
 		sum.Handoffs += t.Handoffs
 		sum.ServFails += t.ServFails
 		sum.Reaps += t.Reaps
+		sum.Restores += t.Restores
 		sum.Refused += t.Refused
 		sum.Ready += t.Ready
 	}
-	tab.AddRow("TOTAL", sum.Launches, sum.ColdStarts, sum.Handoffs, sum.ServFails, sum.Reaps, sum.Refused, sum.Ready, "")
+	tab.AddRow("TOTAL", sum.Launches, sum.ColdStarts, sum.Handoffs, sum.ServFails, sum.Reaps, sum.Restores, sum.Refused, sum.Ready, "")
 	return tab
 }

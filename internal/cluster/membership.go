@@ -1,0 +1,476 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"jitsu/internal/core"
+	"jitsu/internal/netsim"
+	"jitsu/internal/netstack"
+	"jitsu/internal/power"
+	"jitsu/internal/sim"
+)
+
+// The membership layer is a SWIM-style gossip protocol running over a
+// dedicated management network (one more netsim bridge): every board
+// carries a gossip agent with its own local view, agents probe each
+// other and piggyback membership deltas on every message, and the
+// board-0 directory stays authoritative — it acts on *its* agent's view
+// transitions (join/leave/suspect/confirm), exactly the split the
+// MDS2-style directory literature argues for: membership churns in the
+// gossip substrate while one summary view drives placement.
+
+// MemberState is one board's position in the membership lifecycle.
+type MemberState uint8
+
+// Membership states. Joining is directory-local (the board exists but
+// its join has not reached board 0); the rest travel in gossip updates.
+const (
+	MemberJoining MemberState = iota
+	MemberAlive
+	MemberSuspect
+	MemberDead // confirmed failed (suspect timeout expired unrefuted)
+	MemberLeft // left gracefully
+)
+
+func (s MemberState) String() string {
+	switch s {
+	case MemberJoining:
+		return "joining"
+	case MemberAlive:
+		return "alive"
+	case MemberSuspect:
+		return "suspect"
+	case MemberDead:
+		return "dead"
+	default:
+		return "left"
+	}
+}
+
+// Member is one board as the directory sees it: the board itself plus
+// its membership state. The State field is authoritative for placement —
+// it is driven by board 0's gossip agent (and synchronously by graceful
+// Leave), never written by the other agents' views.
+type Member struct {
+	ID    int
+	Board *core.Board
+	// Model is the board's power model (PowerAware placement).
+	Model *power.Board
+	// State is the directory's view of this member.
+	State MemberState
+	// Leaving marks a graceful departure in progress: warm replicas are
+	// being migrated off and no new placements land here.
+	Leaving bool
+
+	agent *agent
+	// baseDomains is the board's domain count before any guest ran.
+	baseDomains int
+}
+
+// Placeable reports whether the scheduler may put new replicas here.
+// Suspects keep serving their warm replicas (SWIM suspicion is often a
+// dropped probe, not a dead board) but receive nothing new.
+func (m *Member) Placeable() bool {
+	return m.State == MemberAlive && !m.Leaving
+}
+
+// Gossip wire protocol: one UDP datagram per message on the management
+// network, [type, fromID:2, seq:4, n, n×(id:2, state:1, inc:4)].
+const (
+	gossipPort = 7946
+
+	msgPing      = 1 // probe; echoed as ack with the same seq
+	msgAck       = 2
+	msgJoin      = 3 // new member announcing itself to the seed (board 0)
+	msgJoinReply = 4 // seed's full view back to the joiner
+	msgGossip    = 5 // pure update carrier (leave blasts, refutations)
+
+	// maxPiggyback bounds updates per message; retransmits is each
+	// rumor's dissemination budget (≈λ·log n for edge-sized clusters).
+	maxPiggyback = 8
+	retransmits  = 4
+)
+
+// mgmtIP is a member's address on the management network.
+func mgmtIP(id int) netstack.IP { return netstack.IPv4(10, 255, 0, byte(10+id)) }
+
+// gossipUpdate is one membership delta: member id moved to state at
+// incarnation inc. Incarnations order rumors about the same member —
+// only the member itself bumps its incarnation (to refute suspicion).
+type gossipUpdate struct {
+	ID    int
+	State MemberState
+	Inc   uint32
+}
+
+// memberInfo is one entry of an agent's local view.
+type memberInfo struct {
+	State MemberState
+	Inc   uint32
+}
+
+// agent is one board's gossip participant.
+type agent struct {
+	c    *Cluster
+	self int
+	host *netstack.Host
+	nic  *netsim.NIC
+	// view is this agent's local membership map (includes self).
+	view map[int]memberInfo
+	// out is the rumor outbox: updates still owed piggyback retransmits.
+	out []outboundUpdate
+	// inc is the agent's own incarnation, bumped to refute suspicion.
+	inc     uint32
+	seq     uint32
+	await   map[uint32]int // outstanding ping seq -> probed member
+	probeEv sim.Event
+	stopped bool
+}
+
+type outboundUpdate struct {
+	u      gossipUpdate
+	budget int
+}
+
+// newAgent wires a member onto the management network. The view starts
+// empty; bootstrap (initial members) or join (later arrivals) fills it.
+func newAgent(c *Cluster, m *Member) *agent {
+	a := &agent{
+		c: c, self: m.ID,
+		view:  make(map[int]memberInfo),
+		await: make(map[uint32]int),
+		inc:   1,
+	}
+	a.nic = netsim.NewNIC(c.eng, fmt.Sprintf("mgmt%d", m.ID), netsim.MACFor(0xA000+m.ID))
+	c.mgmt.ConnectNIC(a.nic, 50*time.Microsecond, c.Cfg.MgmtBitsPerSec)
+	a.host = netstack.NewHost(c.eng, fmt.Sprintf("mgmt%d", m.ID), a.nic, mgmtIP(m.ID), netstack.Dom0Profile())
+	if err := a.host.BindUDP(gossipPort, a.recv); err != nil {
+		panic(fmt.Sprintf("cluster: gossip bind: %v", err))
+	}
+	return a
+}
+
+// bootstrap seeds the view with the construction-time member set: those
+// boards know each other without a join round-trip.
+func (a *agent) bootstrap(members []*Member) {
+	for _, m := range members {
+		a.view[m.ID] = memberInfo{State: MemberAlive, Inc: 1}
+	}
+}
+
+// join announces this agent to the seed (board 0). The seed applies the
+// Alive update, gossips it onward, and replies with its full view.
+func (a *agent) join() {
+	a.view[a.self] = memberInfo{State: MemberAlive, Inc: a.inc}
+	a.send(0, msgJoin, 0, []gossipUpdate{{ID: a.self, State: MemberAlive, Inc: a.inc}})
+}
+
+// startProbing arms the periodic failure-detector tick. With
+// Cfg.ProbeEvery == 0 the detector is passive (join/leave still gossip,
+// but nothing keeps the event queue alive), which is what lets
+// Engine.Run drain in the non-churn experiments.
+func (a *agent) startProbing() {
+	if a.c.Cfg.ProbeEvery <= 0 || a.stopped {
+		return
+	}
+	a.probeEv = a.c.eng.After(a.c.Cfg.ProbeEvery, a.tick)
+}
+
+func (a *agent) stop() {
+	a.stopped = true
+	a.c.eng.Cancel(a.probeEv)
+}
+
+// tick probes one random live-or-suspect peer; no ack within
+// ProbeTimeout marks it suspect in this agent's view.
+func (a *agent) tick() {
+	if a.stopped {
+		return
+	}
+	defer a.startProbing()
+	targets := a.probeCandidates()
+	if len(targets) == 0 {
+		return
+	}
+	t := targets[a.c.eng.Rand().Intn(len(targets))]
+	seq := a.seq
+	a.seq++
+	a.await[seq] = t
+	// A ping to a suspect always carries the suspicion, whatever the
+	// piggyback budget — the target can only refute what it has heard.
+	var extra []gossipUpdate
+	if info := a.view[t]; info.State == MemberSuspect {
+		extra = []gossipUpdate{{ID: t, State: MemberSuspect, Inc: info.Inc}}
+	}
+	a.send(t, msgPing, seq, extra)
+	a.c.eng.After(a.c.Cfg.ProbeTimeout, func() {
+		if a.stopped {
+			return
+		}
+		if id, ok := a.await[seq]; ok {
+			delete(a.await, seq)
+			a.suspect(id)
+		}
+	})
+}
+
+// probeCandidates returns the sorted ids this agent may probe: everyone
+// it believes alive or suspect, except itself. Sorting keeps the RNG
+// draw deterministic regardless of map iteration order.
+func (a *agent) probeCandidates() []int {
+	var out []int
+	for id, info := range a.view {
+		if id == a.self {
+			continue
+		}
+		if info.State == MemberAlive || info.State == MemberSuspect {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// suspect starts the SWIM suspicion protocol for id in this view.
+func (a *agent) suspect(id int) {
+	info, ok := a.view[id]
+	if !ok || info.State != MemberAlive {
+		return
+	}
+	a.apply(gossipUpdate{ID: id, State: MemberSuspect, Inc: info.Inc})
+}
+
+// armConfirm schedules the suspect→confirm transition: if the suspicion
+// at this incarnation is not refuted within SuspectTimeout, the member
+// is declared dead.
+func (a *agent) armConfirm(id int, inc uint32) {
+	a.c.eng.After(a.c.Cfg.SuspectTimeout, func() {
+		if a.stopped {
+			return
+		}
+		if cur, ok := a.view[id]; ok && cur.State == MemberSuspect && cur.Inc == inc {
+			a.apply(gossipUpdate{ID: id, State: MemberDead, Inc: inc})
+		}
+	})
+}
+
+// leave broadcasts this member's graceful departure to every peer it
+// believes alive and stops participating. Called after the directory has
+// migrated the member's warm replicas off.
+func (a *agent) leave() {
+	a.inc++
+	u := gossipUpdate{ID: a.self, State: MemberLeft, Inc: a.inc}
+	a.view[a.self] = memberInfo{State: MemberLeft, Inc: a.inc}
+	for _, id := range a.probeCandidates() {
+		a.send(id, msgGossip, 0, []gossipUpdate{u})
+	}
+	a.stop()
+}
+
+// apply merges one update into the view per the SWIM rules: higher
+// incarnations win, suspect beats alive at the same incarnation, dead
+// and left are final, and rumors about self are refuted by bumping the
+// incarnation. Accepted updates are re-gossiped, and — on the board-0
+// agent only — reported to the directory.
+func (a *agent) apply(u gossipUpdate) {
+	if u.ID == a.self {
+		if (u.State == MemberSuspect || u.State == MemberDead) && u.Inc >= a.inc {
+			// Refute: I am alive, and I outrank the rumor now.
+			a.inc = u.Inc + 1
+			a.view[a.self] = memberInfo{State: MemberAlive, Inc: a.inc}
+			a.enqueue(gossipUpdate{ID: a.self, State: MemberAlive, Inc: a.inc})
+		}
+		return
+	}
+	cur, known := a.view[u.ID]
+	if known && (cur.State == MemberDead || cur.State == MemberLeft) {
+		return // terminal states never un-happen
+	}
+	accept := false
+	switch u.State {
+	case MemberAlive:
+		accept = !known || u.Inc > cur.Inc
+	case MemberSuspect:
+		accept = !known ||
+			(cur.State == MemberAlive && u.Inc >= cur.Inc) ||
+			(cur.State == MemberSuspect && u.Inc > cur.Inc)
+	case MemberDead, MemberLeft:
+		accept = true
+	}
+	if !accept {
+		return
+	}
+	a.view[u.ID] = memberInfo{State: u.State, Inc: u.Inc}
+	a.enqueue(u)
+	if u.State == MemberSuspect {
+		a.armConfirm(u.ID, u.Inc)
+	}
+	if a.self == 0 {
+		a.c.directoryObserve(u.ID, u.State)
+	}
+}
+
+// enqueue adds a rumor to the piggyback outbox.
+func (a *agent) enqueue(u gossipUpdate) {
+	a.out = append(a.out, outboundUpdate{u: u, budget: retransmits})
+}
+
+// drain takes up to maxPiggyback rumors from the outbox (decrementing
+// their budgets) and appends any caller-supplied updates.
+func (a *agent) drain(extra []gossipUpdate) []gossipUpdate {
+	ups := make([]gossipUpdate, 0, maxPiggyback+len(extra))
+	keep := a.out[:0]
+	for _, ou := range a.out {
+		if len(ups) < maxPiggyback {
+			ups = append(ups, ou.u)
+			ou.budget--
+		}
+		if ou.budget > 0 {
+			keep = append(keep, ou)
+		}
+	}
+	a.out = keep
+	return append(ups, extra...)
+}
+
+// send encodes and transmits one gossip message to member id.
+func (a *agent) send(id int, typ byte, seq uint32, extra []gossipUpdate) {
+	ups := a.drain(extra)
+	buf := make([]byte, 0, 8+7*len(ups))
+	buf = append(buf, typ, byte(a.self>>8), byte(a.self),
+		byte(seq>>24), byte(seq>>16), byte(seq>>8), byte(seq), byte(len(ups)))
+	for _, u := range ups {
+		buf = append(buf, byte(u.ID>>8), byte(u.ID), byte(u.State),
+			byte(u.Inc>>24), byte(u.Inc>>16), byte(u.Inc>>8), byte(u.Inc))
+	}
+	a.host.SendUDP(mgmtIP(id), gossipPort, gossipPort, buf)
+}
+
+// fullView renders the whole view as updates, sorted for determinism.
+func (a *agent) fullView() []gossipUpdate {
+	ids := make([]int, 0, len(a.view))
+	for id := range a.view {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]gossipUpdate, 0, len(ids))
+	for _, id := range ids {
+		info := a.view[id]
+		out = append(out, gossipUpdate{ID: id, State: info.State, Inc: info.Inc})
+	}
+	return out
+}
+
+// recv handles one gossip datagram: apply the piggybacked updates, then
+// react to the message type.
+func (a *agent) recv(_ netstack.IP, _ uint16, payload []byte) {
+	if a.stopped || len(payload) < 8 {
+		return
+	}
+	typ := payload[0]
+	from := int(payload[1])<<8 | int(payload[2])
+	seq := uint32(payload[3])<<24 | uint32(payload[4])<<16 | uint32(payload[5])<<8 | uint32(payload[6])
+	n := int(payload[7])
+	if len(payload) < 8+7*n {
+		return
+	}
+	for i := 0; i < n; i++ {
+		off := 8 + 7*i
+		a.apply(gossipUpdate{
+			ID:    int(payload[off])<<8 | int(payload[off+1]),
+			State: MemberState(payload[off+2]),
+			Inc: uint32(payload[off+3])<<24 | uint32(payload[off+4])<<16 |
+				uint32(payload[off+5])<<8 | uint32(payload[off+6]),
+		})
+	}
+	switch typ {
+	case msgPing:
+		a.send(from, msgAck, seq, nil)
+	case msgAck:
+		if id, ok := a.await[seq]; ok && id == from {
+			delete(a.await, seq)
+		}
+	case msgJoin:
+		a.send(from, msgJoinReply, 0, a.fullView())
+	}
+}
+
+// ---- directory side ----
+
+// directoryObserve is invoked by board 0's agent whenever its view
+// changes: the single point where gossip becomes placement truth.
+func (c *Cluster) directoryObserve(id int, s MemberState) {
+	if id >= len(c.members) {
+		return
+	}
+	m := c.members[id]
+	switch s {
+	case MemberAlive:
+		if m.Leaving || m.State == MemberDead || m.State == MemberLeft {
+			return
+		}
+		if m.State == MemberJoining {
+			m.State = MemberAlive
+			c.Joins++
+			// A board arrived: placement answers may change, so no cached
+			// DNS answer survives, and the pools may spread onto it.
+			c.front().DNS.BumpEpoch()
+			c.Pools.ReconcileAll()
+		} else if m.State == MemberSuspect {
+			m.State = MemberAlive // refuted
+		}
+	case MemberSuspect:
+		if m.State == MemberAlive {
+			m.State = MemberSuspect
+		}
+	case MemberDead:
+		if m.State == MemberDead || m.State == MemberLeft {
+			return
+		}
+		m.State = MemberDead
+		c.Confirms++
+		c.deregisterBoard(id)
+	case MemberLeft:
+		if m.State == MemberLeft || m.State == MemberDead {
+			return
+		}
+		m.State = MemberLeft
+		c.deregisterBoard(id)
+	}
+}
+
+// deregisterBoard retires every replica slot on a departed board: live
+// replicas are counted lost (graceful leaves already migrated or stopped
+// them), the board's local directory drops the registrations (bumping
+// its DNS epoch), and the cluster's answer state moves too. Idempotent.
+func (c *Cluster) deregisterBoard(id int) {
+	m := c.members[id]
+	for _, e := range c.dir.Entries() {
+		p := replicaOn(e, id)
+		if p == nil || p.gone {
+			continue
+		}
+		if p.Svc.State != core.StateStopped {
+			c.Lost++
+		}
+		m.Board.Jitsu.Deregister(p.Svc)
+		p.gone = true
+		delete(c.dir.byIP, p.Svc.Cfg.IP)
+	}
+	c.front().DNS.BumpEpoch()
+	c.Pools.ReconcileAll()
+}
+
+// Members reports the directory's membership view, ordered by board id.
+func (c *Cluster) Members() []*Member { return c.members }
+
+// StopMembership quiesces every gossip agent (probe timers cancelled) so
+// Engine.Run can drain — used at the end of churn runs and by jitsud
+// once its trace completes.
+func (c *Cluster) StopMembership() {
+	for _, m := range c.members {
+		m.agent.stop()
+	}
+}

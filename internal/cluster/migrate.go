@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"errors"
+	"time"
+
+	"jitsu/internal/core"
+	"jitsu/internal/sim"
+)
+
+// Live migration of warm replicas: instead of preempting a warm
+// unikernel and paying a cold boot elsewhere, the cluster checkpoints
+// its state, copies it across the management link while the source
+// keeps serving (pre-copy), restores on the destination at a fraction
+// of the boot cost, and only then retires the source — so a graceful
+// board departure never turns a warm service cold.
+
+// ErrCannotLeave is returned for departures the cluster must refuse.
+var ErrCannotLeave = errors.New("cluster: board cannot leave")
+
+// Leave starts a graceful departure of board id: the member stops
+// taking placements immediately, its live replicas are migrated off
+// (or stopped, when MigrateOnLeave is false — the preempt-and-reboot
+// baseline), its remaining slots are retired, and its gossip agent
+// broadcasts Left. done (may be nil) fires when the board is fully out.
+// Board 0 hosts the directory and may not leave.
+func (c *Cluster) Leave(id int, done func()) error {
+	if id == 0 {
+		return ErrCannotLeave
+	}
+	if id >= len(c.members) {
+		return ErrCannotLeave
+	}
+	m := c.members[id]
+	if m.Leaving || m.State == MemberDead || m.State == MemberLeft {
+		return ErrCannotLeave
+	}
+	m.Leaving = true
+	c.Leaves++
+	c.evacuate(m, func() {
+		// Synchronous state flip (the gossip blast confirms it a
+		// management round-trip later); deregisterBoard retires the
+		// slots and bumps the DNS epochs.
+		m.State = MemberLeft
+		c.deregisterBoard(id)
+		m.agent.leave()
+		if done != nil {
+			done()
+		}
+	})
+	return nil
+}
+
+// evacuate drains every live replica off m, then calls done. Launching
+// replicas are waited for (their DNS answers are already on the wire)
+// and migrated once ready. Entries() is already name-sorted, so the
+// sweep order is deterministic.
+func (c *Cluster) evacuate(m *Member, done func()) {
+	outstanding := 1 // the sweep itself, so done can't fire early
+	finish := func() {
+		outstanding--
+		if outstanding == 0 {
+			done()
+		}
+	}
+	for _, e := range c.dir.Entries() {
+		e := e
+		p := replicaOn(e, m.ID)
+		if p == nil {
+			continue
+		}
+		switch {
+		case p.migrating || p.draining:
+			// Already on its way out (an overlapping Rebalance move):
+			// that migration's switchover/drain completes the
+			// evacuation; starting a second copy would race it.
+		case p.Svc.State == core.StateReady:
+			outstanding++
+			c.evacuateOne(e, p, finish)
+		case p.Svc.State == core.StateLaunching || p.pending:
+			// A boot is in flight here (a client was already answered
+			// with this IP). Let it finish, then move it.
+			outstanding++
+			p.pending = false
+			if err := m.Board.Jitsu.Activate(p.Svc, false, func(err error) {
+				if err != nil {
+					finish()
+					return
+				}
+				c.evacuateOne(e, p, finish)
+			}); err != nil {
+				finish()
+			}
+		}
+	}
+	finish()
+}
+
+// evacuateOne moves (or, in the baseline, stops) one ready replica.
+func (c *Cluster) evacuateOne(e *Entry, p *Placement, done func()) {
+	if !c.Cfg.MigrateOnLeave {
+		c.loseReplica(p)
+		done()
+		return
+	}
+	c.migrate(e, p, func(bool) { done() })
+}
+
+// migrateDelay models the checkpoint copy across the management link.
+func (c *Cluster) migrateDelay(cp *core.Checkpoint) sim.Duration {
+	bits := float64(cp.StateMiB) * 8 * 1024 * 1024
+	return 500*time.Microsecond + sim.Duration(bits/c.Cfg.MigrateBitsPerSec*float64(time.Second))
+}
+
+// pickDest asks e's policy for a migration destination: any placeable
+// board other than p's whose replica slot is stopped. Policies may be
+// stateful (RoundRobin), so callers must use the returned index rather
+// than picking twice.
+func (c *Cluster) pickDest(e *Entry, p *Placement) int {
+	return e.Policy.Pick(c.views(e, func(i int) bool {
+		return i == p.Board || e.Replicas[i].Svc.State != core.StateStopped
+	}))
+}
+
+// loseReplica destroys a replica whose warm state could not be moved.
+func (c *Cluster) loseReplica(p *Placement) {
+	if c.Boards[p.Board].Jitsu.Stop(p.Svc) {
+		c.Lost++
+	}
+}
+
+// migrate moves one ready replica of e off p's board for a mandatory
+// evacuation (the board is leaving): if no destination fits or the
+// move fails, the replica is stopped and its warm state lost — exactly
+// the baseline. done reports whether the replica arrived warm.
+func (c *Cluster) migrate(e *Entry, p *Placement, done func(ok bool)) {
+	idx := c.pickDest(e, p)
+	if idx < 0 {
+		c.loseReplica(p)
+		done(false)
+		return
+	}
+	c.migrateTo(e, p, idx, true, done)
+}
+
+// migrateTo runs the live migration to the already-picked destination.
+// mandatory distinguishes an evacuation (source board is going away —
+// a failed move stops the source) from an optional rebalance (a failed
+// move leaves the healthy source exactly where it was).
+func (c *Cluster) migrateTo(e *Entry, p *Placement, idx int, mandatory bool, done func(ok bool)) {
+	dst := e.Replicas[idx]
+	abort := func() {
+		p.migrating = false
+		dst.reserved = false
+		if mandatory {
+			c.loseReplica(p)
+		}
+		done(false)
+	}
+	srcJ := c.Boards[p.Board].Jitsu
+	dstJ := c.Boards[idx].Jitsu
+	cp, ok := srcJ.Checkpoint(p.Svc)
+	if !ok {
+		abort()
+		return
+	}
+	p.migrating = true
+	// Claim the destination slot for the whole copy: no placement,
+	// prewarm or concurrent migration may take it while the checkpoint
+	// is in flight, or the restore would find the slot occupied and a
+	// mandatory abort would sacrifice a healthy source.
+	dst.reserved = true
+	c.eng.After(c.migrateDelay(cp), func() {
+		if p.gone || p.Svc.State != core.StateReady {
+			// The source died mid-copy; nothing to switch over.
+			p.migrating = false
+			dst.reserved = false
+			done(false)
+			return
+		}
+		err := dstJ.Restore(dst.Svc, cp, func(err error) {
+			if err != nil {
+				abort()
+				return
+			}
+			// Switchover: every future DNS answer names the destination
+			// (the source leaves the ready set and the answer epoch
+			// moves) — but a client answered with the source IP moments
+			// ago may still be connecting, so the source drains for the
+			// same guard window the preemptor honours before it stops.
+			p.draining = true
+			dst.reserved = false
+			dst.lastAnswered = p.lastAnswered
+			c.Migrations++
+			c.front().DNS.BumpEpoch()
+			guard := 10 * c.Cfg.BootEstimate
+			grace := sim.Duration(0)
+			if since := c.eng.Now() - p.lastAnswered; p.lastAnswered > 0 && since < guard {
+				grace = guard - since
+			}
+			c.eng.After(grace, func() {
+				p.migrating = false
+				srcJ.StopWith(p.Svc, nil)
+				done(true)
+			})
+		})
+		if err != nil {
+			// Destination lost its memory headroom during the copy.
+			abort()
+		}
+		// On success the slot stays reserved until the switchover: the
+		// migration pair (ready source + restoring destination) must
+		// read as ONE replica to the pool manager, or make-before-break
+		// looks over-provisioned and reclaim tears down a bystander.
+	})
+}
+
+// Rebalance lets each service's policy second-guess where its warm
+// replicas sit: when the policy prefers a board whose free memory
+// exceeds a ready replica's board by more than 2× the image size, the
+// replica migrates there. Optional moves never sacrifice the source —
+// a failed rebalance leaves the replica serving where it was. Invoked
+// explicitly (an operator or a churn schedule), never from the
+// placement hot path.
+func (c *Cluster) Rebalance() int {
+	moved := 0
+	for _, e := range c.dir.Entries() {
+		for _, p := range e.ready() {
+			if p.migrating || !c.members[p.Board].Placeable() {
+				continue
+			}
+			idx := c.pickDest(e, p)
+			if idx < 0 {
+				continue
+			}
+			gain := c.Boards[idx].Hyp.FreeMemMiB() - c.Boards[p.Board].Hyp.FreeMemMiB()
+			if gain <= 2*e.Base.Image.MemMiB {
+				continue
+			}
+			c.migrateTo(e, p, idx, false, func(bool) {})
+			moved++
+		}
+	}
+	return moved
+}

@@ -75,7 +75,11 @@ func (pm *PoolManager) reconcile(e *Entry, pinned *Placement) {
 	e.WarmTarget = pm.target(e)
 	alive := 0
 	for _, p := range e.Replicas {
-		if p.Svc.State != core.StateStopped {
+		// A live migration is one replica, not two: the destination is
+		// reserved until the switchover, the source drains afterwards,
+		// and counting either extra would make the pool look
+		// over-provisioned and reclaim a bystander.
+		if p != nil && !p.gone && !p.draining && !p.reserved && p.Svc.State != core.StateStopped {
 			alive++
 		}
 	}
@@ -96,7 +100,7 @@ func (pm *PoolManager) reconcile(e *Entry, pinned *Placement) {
 	if alive > e.WarmTarget {
 		for i := len(e.Replicas) - 1; i >= 0 && alive > e.WarmTarget; i-- {
 			p := e.Replicas[i]
-			if p == pinned || p.Svc.State != core.StateReady {
+			if p == nil || p.gone || p.migrating || p.reserved || p == pinned || p.Svc.State != core.StateReady {
 				continue
 			}
 			if pm.c.Boards[i].Jitsu.Stop(p.Svc) {

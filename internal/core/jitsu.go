@@ -68,6 +68,9 @@ type Service struct {
 	lastActivity sim.Duration
 	launchStart  sim.Duration
 	waiters      []func(ok bool) // delayed-DNS responders (ablation)
+	// retired marks a deregistered service: an in-flight boot must tear
+	// its guest down on completion instead of resurrecting the entry.
+	retired bool
 
 	// answerRR is the service's pre-built DNS answer: the positive
 	// response never varies per query, so the hot path reuses it (and
@@ -83,6 +86,7 @@ type Service struct {
 	Handoffs   uint64 // connections handed over from Synjitsu
 	ServFails  uint64
 	Reaps      uint64
+	Restores   uint64 // launches that replayed a migration checkpoint
 }
 
 // Jitsu is the directory service: "the Xen equivalent of the venerable
@@ -269,6 +273,9 @@ func (j *Jitsu) interceptAsync(query *dns.Message, respond func(*dns.Message)) b
 // ServFail, that is the caller's policy decision — when the image does
 // not fit. onReady may be nil.
 func (j *Jitsu) Activate(svc *Service, coldStart bool, onReady func(error)) error {
+	if svc.retired {
+		return ErrNoSuchService
+	}
 	j.touch(svc)
 	if svc.State == StateStopped {
 		if j.board.Hyp.FreeMemMiB() < svc.Cfg.Image.MemMiB {
@@ -280,6 +287,67 @@ func (j *Jitsu) Activate(svc *Service, coldStart bool, onReady func(error)) erro
 	}
 	j.ensureRunning(svc, onReady)
 	return nil
+}
+
+// Checkpoint is the state captured from a ready replica for live
+// migration: the image to rebuild the domain from plus the memory that
+// must be copied to the destination board.
+type Checkpoint struct {
+	Image unikernel.Image
+	// StateMiB is the dirty guest memory the migration has to move.
+	StateMiB int
+}
+
+// Checkpoint captures a ready service's state for live migration. The
+// source keeps serving (pre-copy style); ok is false unless the service
+// is Ready.
+func (j *Jitsu) Checkpoint(svc *Service) (*Checkpoint, bool) {
+	if svc.State != StateReady {
+		return nil, false
+	}
+	return &Checkpoint{Image: svc.Cfg.Image, StateMiB: svc.Cfg.Image.MemMiB}, true
+}
+
+// Restore is Activate for a migrated-in replica: the domain is rebuilt
+// from the checkpoint and the guest resumes instead of cold-booting, so
+// readiness arrives at a fraction of the usual boot latency. Counted in
+// Restores, not ColdStarts.
+func (j *Jitsu) Restore(svc *Service, cp *Checkpoint, onReady func(error)) error {
+	if svc.retired {
+		return ErrNoSuchService
+	}
+	if svc.State != StateStopped {
+		return errors.New("core: restore target not stopped")
+	}
+	if j.board.Hyp.FreeMemMiB() < cp.Image.MemMiB {
+		return ErrNoMemory
+	}
+	j.touch(svc)
+	svc.Restores++
+	j.launchVia(svc, j.board.Launcher.Restore, onReady)
+	return nil
+}
+
+// Deregister removes a service from this board's directory: the VM (if
+// any) is destroyed, the IP leaves proxy control, and the DNS state
+// epoch moves so no cached answer survives. Used when a board leaves the
+// cluster and its replica slots are retired. Reports whether the name
+// was registered here.
+func (j *Jitsu) Deregister(svc *Service) bool {
+	name := svc.Cfg.Name
+	if j.services[name] != svc {
+		return false
+	}
+	svc.retired = true
+	if svc.State == StateReady {
+		j.stopNow(svc, nil) // re-claims the IP; released just below
+	}
+	j.flushWaiters(svc, false)
+	j.releaseIdleIP(svc)
+	delete(j.services, name)
+	delete(j.byIP, svc.Cfg.IP)
+	j.board.DNS.BumpEpoch()
+	return true
 }
 
 // Stop destroys a ready service's VM and returns its IP to proxy
@@ -335,15 +403,34 @@ func (j *Jitsu) ensureRunning(svc *Service, onReady func(error)) {
 		}
 		return
 	}
+	j.launchVia(svc, j.board.Launcher.Launch, onReady)
+}
+
+// launchVia runs the launch state machine through the given boot path —
+// Launcher.Launch for a cold start, Launcher.Restore for a migrated-in
+// checkpoint. The caller guarantees svc is Stopped.
+func (j *Jitsu) launchVia(svc *Service, launch func(unikernel.Image, netstack.IP, func(*unikernel.Guest, error)), onReady func(error)) {
 	svc.State = StateLaunching
 	svc.Launches++
 	svc.launchStart = j.board.Eng.Now()
-	j.board.Launcher.Launch(svc.Cfg.Image, svc.Cfg.IP, func(g *unikernel.Guest, err error) {
+	launch(svc.Cfg.Image, svc.Cfg.IP, func(g *unikernel.Guest, err error) {
 		if err != nil {
 			svc.State = StateStopped
 			j.flushWaiters(svc, false)
 			if onReady != nil {
 				onReady(err)
+			}
+			return
+		}
+		if svc.retired {
+			// The directory dropped this service mid-boot (its board
+			// departed): destroy the guest instead of resurrecting a
+			// retired registration and leaking its domain.
+			svc.State = StateStopped
+			j.board.Launcher.Destroy(g, nil)
+			j.flushWaiters(svc, false)
+			if onReady != nil {
+				onReady(errors.New("core: service deregistered during launch"))
 			}
 			return
 		}

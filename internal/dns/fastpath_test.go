@@ -64,13 +64,13 @@ func TestCacheServedBytesIdentical(t *testing.T) {
 		typ  Type
 		rd   bool
 	}{
-		{"alice.family.name", TypeA, true},       // typed hit
-		{"alice.family.name", TypeANY, false},    // ANY hit
-		{"www.family.name", TypeA, true},         // CNAME chase
-		{"alice.family.name", TypeSRV, true},     // exists, no match -> SOA
-		{"ghost.family.name", TypeA, true},       // NXDomain + SOA
-		{"outside.org", TypeA, false},            // Refused
-		{"ALICE.Family.Name", TypeA, true},       // case-folded on both paths
+		{"alice.family.name", TypeA, true},    // typed hit
+		{"alice.family.name", TypeANY, false}, // ANY hit
+		{"www.family.name", TypeA, true},      // CNAME chase
+		{"alice.family.name", TypeSRV, true},  // exists, no match -> SOA
+		{"ghost.family.name", TypeA, true},    // NXDomain + SOA
+		{"outside.org", TypeA, false},         // Refused
+		{"ALICE.Family.Name", TypeA, true},    // case-folded on both paths
 	}
 	for round := 0; round < 3; round++ { // round 0 fills, 1-2 hit the cache
 		for i, c := range cases {

@@ -154,6 +154,10 @@ type Server struct {
 	Queries uint64
 	// CacheHits counts fast-path queries served from the answer cache.
 	CacheHits uint64
+	// Epoch counts state-epoch bumps (directory registrations changing,
+	// cluster membership churn). Observability only: invalidation itself
+	// is the wholesale cache drop in BumpEpoch.
+	Epoch uint64
 
 	// cache maps (name, qtype) keys to pre-encoded wire responses
 	// (stored with ID 0 and RD clear; both patched per query).
@@ -194,9 +198,13 @@ func (s *Server) Close() { s.Host.UnbindUDP(53) }
 
 // BumpEpoch invalidates every cached answer derived from the
 // FastInterceptor (and, incidentally, from the zone) by dropping the
-// whole cache. Directories call it when registrations change;
-// re-filling costs one encode per live (name, qtype).
-func (s *Server) BumpEpoch() { clear(s.cache) }
+// whole cache. Directories call it when registrations change (and the
+// cluster calls it on membership churn); re-filling costs one encode
+// per live (name, qtype).
+func (s *Server) BumpEpoch() {
+	s.Epoch++
+	clear(s.cache)
+}
 
 func (s *Server) handle(src netstack.IP, srcPort uint16, payload []byte) {
 	if s.ProcessingDelay > 0 || s.InterceptAsync != nil {

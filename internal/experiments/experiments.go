@@ -6,6 +6,8 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"strings"
 	"time"
 
@@ -48,6 +50,46 @@ func (r *Result) String() string {
 	return b.String()
 }
 
+// FingerprintSeries hashes one series' samples (FNV-1a over the raw
+// nanosecond values). Two runs of the same experiment with the same
+// seed must produce identical fingerprints — the determinism contract
+// the CI matrix enforces by running every experiment twice.
+func FingerprintSeries(s *metrics.Series) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range s.Samples {
+		n := uint64(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(n >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Fingerprint combines every series of the result (in sorted name
+// order) into one hash, mixing in the rendered output so table-only
+// experiments are covered too.
+func (r *Result) Fingerprint() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(r.Output))
+	names := make([]string, 0, len(r.Series))
+	for name := range r.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf [8]byte
+	for _, name := range names {
+		h.Write([]byte(name))
+		n := FingerprintSeries(r.Series[name])
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(n >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
 // All runs every experiment at the given scale (trials multiplier,
 // 1 = full paper scale, smaller for quick runs).
 func All(quick bool) []*Result {
@@ -55,10 +97,12 @@ func All(quick bool) []*Result {
 	fig3N := []int{1, 25, 50, 100, 150, 200}
 	scalingN := []int{1, 2, 4, 8}
 	scalingHorizon := 90 * time.Second
+	churnHorizon := 75 * time.Second
 	if quick {
 		trials = 30
 		fig3N = []int{1, 10, 25, 50}
 		scalingN = []int{1, 4}
+		churnHorizon = 45 * time.Second
 	}
 	return []*Result{
 		Fig3(fig3N),
@@ -71,5 +115,6 @@ func All(quick bool) []*Result {
 		Throughput(),
 		Headline(trials / 4),
 		Scaling(scalingN, scalingHorizon),
+		Churn(churnHorizon),
 	}
 }

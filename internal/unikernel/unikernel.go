@@ -109,10 +109,27 @@ func NewLauncher(ts *xen.Toolstack, bridge *netsim.Bridge) *Launcher {
 	}
 }
 
+// RestoreBootFraction scales guest-side bring-up for a restored guest:
+// a restore skips runtime init and replays checkpointed state instead of
+// cold-booting the OS, so only netfront re-attach and app re-bind remain.
+const RestoreBootFraction = 0.25
+
 // Launch builds the domain, boots the guest OS, attaches the network and
 // starts the app. done fires when the app is ready; the intermediate
 // timeline marks stay on the Guest for the latency breakdowns.
 func (l *Launcher) Launch(img Image, ip netstack.IP, done func(*Guest, error)) {
+	l.launch(img, ip, 1.0, done)
+}
+
+// Restore is Launch for a migrated-in guest: the domain is built the
+// same way (memory must still be allocated and the vif plugged), but the
+// guest-side boot replays a checkpoint instead of cold-starting, so it
+// costs RestoreBootFraction of the normal bring-up.
+func (l *Launcher) Restore(img Image, ip netstack.IP, done func(*Guest, error)) {
+	l.launch(img, ip, RestoreBootFraction, done)
+}
+
+func (l *Launcher) launch(img Image, ip netstack.IP, bootScale float64, done func(*Guest, error)) {
 	hyp := l.TS.Hypervisor()
 	eng := hyp.Eng
 	g := &Guest{Image: img, IP: ip, LaunchedAt: eng.Now(), launcher: l}
@@ -143,7 +160,7 @@ func (l *Launcher) Launch(img Image, ip netstack.IP, done func(*Guest, error)) {
 		}
 		// Guest-side boot: assembler bring-up, runtime init, netfront
 		// attach (§2.3's boot pipeline), with the usual jitter.
-		boot := sim.LogNormal{Median: bootCost, Sigma: 0.08}.Sample(eng.Rand())
+		boot := sim.LogNormal{Median: sim.Duration(float64(bootCost) * bootScale), Sigma: 0.08}.Sample(eng.Rand())
 		eng.After(boot, func() {
 			g.Stack = netstack.NewHost(eng, img.Name, g.NIC, ip, profile)
 			if err := img.App.Start(g, func() {
