@@ -12,14 +12,14 @@ SHELL := /bin/bash
 
 GO ?= go
 # The perf record this branch writes; bump per PR to grow the trajectory.
-BENCH_OUT ?= BENCH_pr3.json
+BENCH_OUT ?= BENCH_pr4.json
 # The committed baseline the bench gate compares against.
-BENCH_BASE ?= BENCH_pr2.json
+BENCH_BASE ?= BENCH_pr3.json
 # Allowed fractional ns/op regression before the gate fails.
 BENCH_TOLERANCE ?= 0.25
 FUZZTIME ?= 10s
 
-.PHONY: all build test vet race fmt-check fuzz bench bench-gate determinism ci
+.PHONY: all build test vet race fmt-check deprecations fuzz bench bench-gate determinism ci
 
 all: vet build test
 
@@ -37,6 +37,18 @@ vet:
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# deprecations fails when new code calls the shimmed positional
+# constructors (core.NewBoard / core.NewBoardOnEngine / cluster.New);
+# use the functional-options constructors (core.New, core.NewOnEngine,
+# cluster.NewCluster) instead. The deprecated_test.go files pin the
+# shims and are the only sanctioned callers.
+deprecations:
+	@out=$$(grep -rnE '\bNewBoardOnEngine\(|\bNewBoard\(|\bcluster\.New\(' \
+		--include='*.go' --exclude='deprecated_test.go' \
+		cmd examples internal *.go \
+		| grep -v '^internal/core/board.go' || true); \
+	if [ -n "$$out" ]; then echo "deprecated constructor calls (use core.New/NewOnEngine, cluster.NewCluster):"; echo "$$out"; exit 1; fi
 
 # Short fuzz pass over the wire codecs (the long-running fuzzing is
 # interactive: go test -fuzz=FuzzDNSCodec ./internal/dns).
@@ -70,7 +82,7 @@ determinism:
 
 # ci mirrors .github/workflows/go.yml so contributors run the exact
 # gate locally before pushing.
-ci: vet fmt-check build test race
+ci: vet fmt-check deprecations build test race
 	$(MAKE) fuzz FUZZTIME=30s
 	$(MAKE) bench BENCH_OUT=bench-ci.json
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) -tolerance $(BENCH_TOLERANCE) bench-ci.json

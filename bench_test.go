@@ -152,6 +152,20 @@ func BenchmarkChurnMigration(b *testing.B) {
 	}
 }
 
+// BenchmarkPrewarmTrigger runs the predictive-trigger experiment and
+// reports both policies' steady-state p95 time-to-first-response: the
+// learned prewarm path vs the cold boot every recurring visit pays
+// without it.
+func BenchmarkPrewarmTrigger(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Prewarm(40)
+		if i == 0 {
+			b.ReportMetric(float64(r.Series["prewarm-on steady"].Percentile(0.95))/1e6, "on-p95-ms")
+			b.ReportMetric(float64(r.Series["prewarm-off steady"].Percentile(0.95))/1e6, "off-p95-ms")
+		}
+	}
+}
+
 // ---- hot-path microbenches (run with -benchmem) ----
 //
 // The directory's DNS responder sits on the critical path of every

@@ -25,6 +25,7 @@ import (
 	"os"
 	"time"
 
+	"jitsu/internal/api"
 	"jitsu/internal/cluster"
 	"jitsu/internal/core"
 	"jitsu/internal/metrics"
@@ -83,26 +84,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := core.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Synjitsu = !*noSyn
-	b := core.NewBoard(cfg)
+	b := core.New(core.WithSeed(*seed), core.WithSynjitsu(!*noSyn))
+	ctl := api.ForBoard(b)
 
 	names := serviceNames
 	for i := 0; i < *services; i++ {
 		n := names[i]
-		b.Jitsu.Register(core.ServiceConfig{
-			Name:        n + "." + cfg.Zone,
+		resp := ctl.Register(api.RegisterRequest{Config: core.ServiceConfig{
+			Name:        n + "." + b.Cfg.Zone,
 			IP:          netstack.IPv4(10, 0, 0, byte(20+i)),
 			Port:        80,
 			IdleTimeout: *idle,
 			Image:       unikernel.UnikernelImage(n, unikernel.NewStaticSiteApp(n)),
-		})
+		}})
+		if resp.Err != nil {
+			fmt.Fprintf(os.Stderr, "jitsud: %v\n", resp.Err)
+			os.Exit(1)
+		}
 	}
 	client := b.AddClient("laptop", netstack.IPv4(10, 0, 0, 9))
 
 	fmt.Printf("jitsud: %s, synjitsu=%v, %d services, idle timeout %v\n\n",
-		b.Hyp, cfg.Synjitsu, *services, *idle)
+		b.Hyp, b.Cfg.Synjitsu, *services, *idle)
 	fmt.Printf("%-12s %-22s %-8s %-12s %s\n", "time", "request", "status", "latency", "note")
 
 	lat := &metrics.Series{Name: "request latency"}
@@ -112,7 +115,7 @@ func main() {
 		if i >= *requests {
 			return
 		}
-		name := names[i%*services] + "." + cfg.Zone
+		name := names[i%*services] + "." + b.Cfg.Zone
 		svc, _ := b.Jitsu.Service(name)
 		wasStopped := svc.State == core.StateStopped
 		b.FetchViaDNS(client, name, "/", 30*time.Second,
@@ -149,11 +152,17 @@ func main() {
 		fmt.Printf("synjitsu: %d connections proxied, %d handed off, %d SYN-triggered launches\n",
 			b.Syn.Proxied, b.Syn.HandedOff, b.Syn.SYNTriggeredLaunches)
 	}
+	stats := ctl.Stats(api.StatsRequest{})
 	reaps := uint64(0)
-	for _, svc := range b.Jitsu.Services() {
+	for _, svc := range stats.Services {
 		reaps += svc.Reaps
 	}
 	fmt.Printf("idle reaps: %d — VMs run only while traffic needs them\n", reaps)
+	fmt.Printf("trigger firings:")
+	for _, t := range stats.Triggers {
+		fmt.Printf(" %s=%d", t.Name, t.Fired)
+	}
+	fmt.Println()
 }
 
 // runCluster is the multi-board mode: the same request trace, but
@@ -164,16 +173,17 @@ func runCluster(boards, services, requests int, seed int64, policyName string, m
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", policyName)
 		os.Exit(2)
 	}
-	cfg := cluster.DefaultConfig()
-	cfg.Boards = boards
-	cfg.Board.Seed = seed
-	cfg.Board.Synjitsu = synjitsu
-	cfg.DefaultPolicy = pol
+	copts := []cluster.Option{
+		cluster.WithBoards(boards),
+		cluster.WithSeed(seed),
+		cluster.WithBoardOptions(core.WithSynjitsu(synjitsu)),
+		cluster.WithPolicy(pol),
+	}
 	if joinAt > 0 || leaveAt > 0 {
 		// Membership churn ahead: run the gossip failure detector.
-		cfg.ProbeEvery = time.Second
+		copts = append(copts, cluster.WithProbing(time.Second, 0, 0))
 	}
-	c := cluster.New(cfg)
+	c := cluster.NewCluster(copts...)
 	traceDone := false
 	if joinAt > 0 {
 		c.Eng().At(joinAt, func() {
@@ -211,15 +221,20 @@ func runCluster(boards, services, requests int, seed int64, policyName string, m
 		})
 	}
 
-	zone := cfg.Board.Zone
+	ctl := c.API()
+	zone := c.Cfg.Board.Zone
 	for i := 0; i < services; i++ {
 		n := serviceNames[i]
-		c.Register(core.ServiceConfig{
+		resp := ctl.Register(api.RegisterRequest{MinWarm: minWarm, Config: core.ServiceConfig{
 			Name:  n + "." + zone,
 			IP:    netstack.IPv4(10, 0, 0, byte(20+i)),
 			Port:  80,
 			Image: unikernel.UnikernelImage(n, unikernel.NewStaticSiteApp(n)),
-		}, cluster.ServiceOpts{MinWarm: minWarm})
+		}})
+		if resp.Err != nil {
+			fmt.Fprintf(os.Stderr, "jitsud: %v\n", resp.Err)
+			os.Exit(1)
+		}
 	}
 	cl := c.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
 
@@ -267,6 +282,11 @@ func runCluster(boards, services, requests int, seed int64, policyName string, m
 			c.Joins, c.Leaves, c.Confirms, c.Migrations, c.Lost)
 	}
 	fmt.Printf("\n%s", c.CounterTable())
+	fmt.Printf("trigger firings:")
+	for _, t := range ctl.Stats(api.StatsRequest{}).Triggers {
+		fmt.Printf(" %s=%d", t.Name, t.Fired)
+	}
+	fmt.Println()
 	for _, m := range c.Members() {
 		fmt.Printf("board %d [%s]: %s\n", m.ID, m.State, m.Board.Hyp)
 	}

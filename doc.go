@@ -1,7 +1,37 @@
 // Package jitsu is a from-scratch Go reproduction of "Jitsu:
 // Just-In-Time Summoning of Unikernels" (Madhavapeddy et al., NSDI
-// 2015): a Xen toolstack that launches unikernels in response to DNS
-// traffic, masking boot latency with the Synjitsu connection proxy.
+// 2015): a Xen toolstack that launches unikernels in response to
+// inbound traffic, masking boot latency with the Synjitsu connection
+// proxy.
+//
+// # Activation layering
+//
+// The paper's insight is that any inbound signal can summon a
+// unikernel. The code is layered accordingly:
+//
+//   - core.Activation is the single lifecycle state machine per board:
+//     admission (does the image fit), claim-IP → launch/restore →
+//     flush-waiters → reap. Every launch in the system goes through its
+//     Fire(service, Summon) call, which returns a Decision
+//     (serve / cold-start / no-memory / retired).
+//   - core.Trigger is the pluggable frontend interface. The built-ins —
+//     synchronous DNS (slow and zero-allocation fast path), delayed DNS
+//     (the rejected §3.3.1 ablation), raw SYN, and the jitsud conduit
+//     protocol — each resolve their own signal to a service, Fire the
+//     machine, and render the Decision in their own wire format. The
+//     cluster scheduler attaches as another Trigger on board 0, and
+//     core.PrewarmTrigger summons services predictively, ahead of
+//     recurring arrivals, with no packet at all. New workloads are a
+//     Trigger implementation, not a fork of the lifecycle.
+//   - internal/api is the typed control-plane surface (Register /
+//     Activate / Checkpoint / Restore / Migrate / Stop / Stats with
+//     error codes). cmd/jitsud and the cluster's migration path speak
+//     it; api.ForBoard adapts one board, Cluster.API a whole cluster.
+//
+// Boards and clusters are built with functional options (core.New,
+// core.NewOnEngine, cluster.NewCluster); the positional constructors
+// (core.NewBoard, core.NewBoardOnEngine, cluster.New) remain as thin
+// deprecated shims.
 //
 // The implementation lives under internal/ (one package per subsystem —
 // see DESIGN.md for the inventory); runnable entry points are in cmd/

@@ -19,9 +19,8 @@ import (
 )
 
 func main() {
-	cfg := core.DefaultConfig()
-	cfg.TotalMemMiB = 256 // a modest board: 16 sites cannot all run at once... but they don't need to
-	board := core.NewBoard(cfg)
+	// A modest board: 16 sites cannot all run at once... but they don't need to.
+	board := core.New(core.WithMemory(256))
 
 	family := []string{"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
 		"ivan", "judy", "kevin", "laura", "mallory", "nina", "oscar", "peggy"}

@@ -120,7 +120,7 @@ func allowed(req string) bool {
 }
 
 func main() {
-	board := core.NewBoard(core.DefaultConfig())
+	board := core.New()
 
 	legacy := &legacyApp{registry: board.Registry}
 	fw := &firewallApp{registry: board.Registry}

@@ -17,7 +17,7 @@ import (
 
 func main() {
 	// A Cubieboard2 running the optimised toolstack with Synjitsu.
-	board := core.NewBoard(core.DefaultConfig())
+	board := core.New()
 
 	// Map alice.family.name to a 16MiB static-site unikernel. Nothing
 	// boots yet — that is the whole point.

@@ -158,7 +158,7 @@ func (a *backendApp) Start(g *unikernel.Guest, ready func()) error {
 }
 
 func main() {
-	board := core.NewBoard(core.DefaultConfig())
+	board := core.New()
 	term := &terminatorApp{registry: board.Registry, privateKey: "rsa-private-key-material"}
 	backend := &backendApp{registry: board.Registry}
 

@@ -1,0 +1,235 @@
+// Package api is the typed control-plane surface over the Jitsu
+// directory: Register / Activate / Checkpoint / Restore / Migrate /
+// Stop / Stats requests with structured error codes. cmd/jitsud and the
+// cluster's management paths speak these types instead of ad-hoc method
+// calls, so a single-board deployment and a whole cluster present the
+// same verbs — a cluster is just a ControlPlane whose Migrate does
+// something.
+//
+// The package sits above internal/core and below internal/cluster:
+// ForBoard adapts one board; Cluster.API (in internal/cluster) adapts
+// the control plane of a whole cluster to the same interface.
+package api
+
+import (
+	"fmt"
+
+	"jitsu/internal/core"
+	"jitsu/internal/netstack"
+)
+
+// Code classifies a control-plane failure.
+type Code int
+
+// Error codes.
+const (
+	// CodeBadRequest: the request itself is malformed (empty name,
+	// missing checkpoint, board index out of range).
+	CodeBadRequest Code = iota + 1
+	// CodeNotFound: no such service (or no replica where asked).
+	CodeNotFound
+	// CodeNoMemory: the image does not fit — the §3.3.2 resource
+	// exhaustion a DNS client would see as SERVFAIL.
+	CodeNoMemory
+	// CodeConflict: the service's state precludes the operation
+	// (checkpoint of a cold service, restore onto a running one,
+	// registering a name twice).
+	CodeConflict
+	// CodeUnavailable: the deployment cannot perform the operation at
+	// all (migration on a single board, departed board).
+	CodeUnavailable
+)
+
+func (c Code) String() string {
+	switch c {
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeNotFound:
+		return "not-found"
+	case CodeNoMemory:
+		return "no-memory"
+	case CodeConflict:
+		return "conflict"
+	case CodeUnavailable:
+		return "unavailable"
+	default:
+		return fmt.Sprintf("code(%d)", int(c))
+	}
+}
+
+// Error is a typed control-plane failure: the operation, the code a
+// caller can branch on, and a human-readable detail.
+type Error struct {
+	Op     string
+	Code   Code
+	Detail string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("api: %s: %s (%s)", e.Op, e.Detail, e.Code)
+}
+
+// Errf builds an Error.
+func Errf(op string, code Code, format string, args ...any) *Error {
+	return &Error{Op: op, Code: code, Detail: fmt.Sprintf(format, args...)}
+}
+
+// BoardSel selects a board in control-plane requests. The zero value is
+// AnyBoard — "any suitable board" — so zero-constructed requests do the
+// flexible thing; pin a specific board with OnBoard(id).
+type BoardSel int
+
+// AnyBoard is the zero BoardSel: any suitable board.
+const AnyBoard BoardSel = 0
+
+// OnBoard pins the selection to board id.
+func OnBoard(id int) BoardSel { return BoardSel(id + 1) }
+
+// ID unpacks the selection: ok is false for AnyBoard.
+func (s BoardSel) ID() (id int, ok bool) {
+	if s == AnyBoard {
+		return -1, false
+	}
+	return int(s) - 1, true
+}
+
+// RegisterRequest adds a service to the directory. MinWarm and Policy
+// are honoured by cluster backends; a single board ignores them.
+type RegisterRequest struct {
+	Config core.ServiceConfig
+	// MinWarm keeps at least this many replicas booted (cluster only).
+	MinWarm int
+	// Policy names a placement policy ("first-fit", "round-robin",
+	// "least-loaded", "power-aware"); empty = the backend default.
+	Policy string
+}
+
+// RegisterResponse reports the canonical name registered.
+type RegisterResponse struct {
+	Name string
+	Err  *Error
+}
+
+// ActivateRequest summons a service: launch it if stopped, touch it if
+// running. The backend picks where (a cluster routes through its
+// placement policy).
+type ActivateRequest struct {
+	Name string
+	// Speculative suppresses cold-start accounting (a prewarm).
+	Speculative bool
+	// OnReady (may be nil) fires when the unikernel serves or the
+	// launch fails.
+	OnReady func(error)
+}
+
+// ActivateResponse reports where the service is (being) served.
+type ActivateResponse struct {
+	IP    netstack.IP
+	Board int
+	State string
+	Err   *Error
+}
+
+// CheckpointRequest captures a ready service's state for migration.
+type CheckpointRequest struct {
+	Name string
+	// Board restricts the capture to one board's replica (AnyBoard =
+	// any ready replica; ignored by single-board backends).
+	Board BoardSel
+}
+
+// CheckpointResponse carries the captured state and where it came from.
+type CheckpointResponse struct {
+	Checkpoint *core.Checkpoint
+	Board      int
+	Err        *Error
+}
+
+// RestoreRequest rebuilds a service from a checkpoint (the receiving
+// half of a migration).
+type RestoreRequest struct {
+	Name       string
+	Checkpoint *core.Checkpoint
+	// Board selects the restore target with OnBoard(id); a cluster
+	// refuses AnyBoard (the receiving half of a migration must name its
+	// destination), a single board ignores the field.
+	Board   BoardSel
+	OnReady func(error)
+}
+
+// RestoreResponse reports acceptance; readiness arrives via OnReady.
+type RestoreResponse struct {
+	Err *Error
+}
+
+// MigrateRequest moves a ready replica between boards. Only meaningful
+// on a cluster; single-board backends answer CodeUnavailable.
+type MigrateRequest struct {
+	Name string
+	// From restricts the source (AnyBoard = any ready replica).
+	From BoardSel
+	// To selects the destination (AnyBoard = let the service's policy
+	// pick).
+	To BoardSel
+	// OnDone (may be nil) fires when the migration settles; ok reports
+	// whether the replica arrived warm.
+	OnDone func(ok bool)
+}
+
+// MigrateResponse reports that the move started (completion is OnDone).
+type MigrateResponse struct {
+	Started bool
+	Err     *Error
+}
+
+// StopRequest tears a ready service's VM down (every ready replica, on
+// a cluster).
+type StopRequest struct {
+	Name string
+}
+
+// StopResponse reports how many VMs were stopped.
+type StopResponse struct {
+	Stopped int
+	Err     *Error
+}
+
+// StatsRequest snapshots the deployment's counters.
+type StatsRequest struct{}
+
+// ServiceStats is one service's aggregated lifecycle counters.
+type ServiceStats struct {
+	Name       string
+	State      string
+	Launches   uint64
+	ColdStarts uint64
+	Handoffs   uint64
+	ServFails  uint64
+	Reaps      uint64
+	Restores   uint64
+}
+
+// TriggerStats counts firings per activation frontend.
+type TriggerStats struct {
+	Name  string
+	Fired uint64
+}
+
+// StatsResponse is the deployment snapshot.
+type StatsResponse struct {
+	Services []ServiceStats
+	Triggers []TriggerStats
+	Err      *Error
+}
+
+// ControlPlane is the uniform management surface: one board or a whole
+// cluster, same verbs.
+type ControlPlane interface {
+	Register(RegisterRequest) RegisterResponse
+	Activate(ActivateRequest) ActivateResponse
+	Checkpoint(CheckpointRequest) CheckpointResponse
+	Restore(RestoreRequest) RestoreResponse
+	Migrate(MigrateRequest) MigrateResponse
+	Stop(StopRequest) StopResponse
+	Stats(StatsRequest) StatsResponse
+}

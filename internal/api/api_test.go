@@ -1,0 +1,143 @@
+package api_test
+
+import (
+	"testing"
+	"time"
+
+	"jitsu/internal/api"
+	"jitsu/internal/core"
+	"jitsu/internal/netstack"
+	"jitsu/internal/unikernel"
+)
+
+func boardPlane(t *testing.T, opts ...core.Option) (*core.Board, api.ControlPlane) {
+	t.Helper()
+	b := core.New(opts...)
+	return b, api.ForBoard(b)
+}
+
+func svcConfig(name string, lastOctet byte) core.ServiceConfig {
+	return core.ServiceConfig{
+		Name:  name + ".family.name",
+		IP:    netstack.IPv4(10, 0, 0, lastOctet),
+		Port:  80,
+		Image: unikernel.UnikernelImage(name, unikernel.NewStaticSiteApp(name)),
+	}
+}
+
+func TestBoardRegisterAndErrorCodes(t *testing.T) {
+	_, ctl := boardPlane(t)
+	if resp := ctl.Register(api.RegisterRequest{}); resp.Err == nil || resp.Err.Code != api.CodeBadRequest {
+		t.Fatalf("empty register -> %+v, want bad-request", resp.Err)
+	}
+	resp := ctl.Register(api.RegisterRequest{Config: svcConfig("alice", 20)})
+	if resp.Err != nil || resp.Name != "alice.family.name" {
+		t.Fatalf("register -> %q, %v", resp.Name, resp.Err)
+	}
+	if resp := ctl.Register(api.RegisterRequest{Config: svcConfig("alice", 20)}); resp.Err == nil || resp.Err.Code != api.CodeConflict {
+		t.Fatalf("duplicate register -> %+v, want conflict", resp.Err)
+	}
+	if resp := ctl.Activate(api.ActivateRequest{Name: "ghost.family.name"}); resp.Err == nil || resp.Err.Code != api.CodeNotFound {
+		t.Fatalf("activate unknown -> %+v, want not-found", resp.Err)
+	}
+	if resp := ctl.Migrate(api.MigrateRequest{Name: "alice.family.name"}); resp.Err == nil || resp.Err.Code != api.CodeUnavailable {
+		t.Fatalf("single-board migrate -> %+v, want unavailable", resp.Err)
+	}
+}
+
+func TestBoardActivateCheckpointRestoreStopStats(t *testing.T) {
+	b, ctl := boardPlane(t)
+	ctl.Register(api.RegisterRequest{Config: svcConfig("alice", 20)})
+
+	// Checkpoint before readiness: conflict.
+	if resp := ctl.Checkpoint(api.CheckpointRequest{Name: "alice.family.name"}); resp.Err == nil || resp.Err.Code != api.CodeConflict {
+		t.Fatalf("cold checkpoint -> %+v, want conflict", resp.Err)
+	}
+
+	var readyErr error
+	ready := false
+	resp := ctl.Activate(api.ActivateRequest{Name: "alice.family.name", OnReady: func(err error) {
+		ready, readyErr = true, err
+	}})
+	if resp.Err != nil {
+		t.Fatalf("activate: %v", resp.Err)
+	}
+	b.Eng.Run()
+	if !ready || readyErr != nil {
+		t.Fatalf("OnReady: ready=%v err=%v", ready, readyErr)
+	}
+
+	cp := ctl.Checkpoint(api.CheckpointRequest{Name: "alice.family.name"})
+	if cp.Err != nil || cp.Checkpoint == nil {
+		t.Fatalf("checkpoint: %v", cp.Err)
+	}
+
+	// Restore onto a running service: conflict.
+	if resp := ctl.Restore(api.RestoreRequest{Name: "alice.family.name", Checkpoint: cp.Checkpoint}); resp.Err == nil || resp.Err.Code != api.CodeConflict {
+		t.Fatalf("restore-onto-running -> %+v, want conflict", resp.Err)
+	}
+
+	if resp := ctl.Stop(api.StopRequest{Name: "alice.family.name"}); resp.Err != nil || resp.Stopped != 1 {
+		t.Fatalf("stop -> %+v", resp)
+	}
+	b.Eng.Run()
+
+	// Restore the stopped service from its checkpoint: the fast boot path.
+	if resp := ctl.Restore(api.RestoreRequest{Name: "alice.family.name", Checkpoint: cp.Checkpoint}); resp.Err != nil {
+		t.Fatalf("restore: %v", resp.Err)
+	}
+	b.Eng.Run()
+
+	stats := ctl.Stats(api.StatsRequest{})
+	if len(stats.Services) != 1 {
+		t.Fatalf("stats services = %d", len(stats.Services))
+	}
+	s := stats.Services[0]
+	if s.Name != "alice.family.name" || s.State != "ready" || s.Launches != 2 || s.Restores != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// The control-plane firings show up under the control trigger.
+	found := false
+	for _, tr := range stats.Triggers {
+		if tr.Name == core.TriggerControl && tr.Fired > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no control-trigger firings in %+v", stats.Triggers)
+	}
+}
+
+func TestBoardActivateNoMemory(t *testing.T) {
+	_, ctl := boardPlane(t, core.WithMemory(8))
+	ctl.Register(api.RegisterRequest{Config: svcConfig("alice", 20)})
+	resp := ctl.Activate(api.ActivateRequest{Name: "alice.family.name"})
+	if resp.Err == nil || resp.Err.Code != api.CodeNoMemory {
+		t.Fatalf("activate -> %+v, want no-memory", resp.Err)
+	}
+}
+
+func TestBoardRestoreValidation(t *testing.T) {
+	_, ctl := boardPlane(t)
+	ctl.Register(api.RegisterRequest{Config: svcConfig("alice", 20)})
+	if resp := ctl.Restore(api.RestoreRequest{Name: "alice.family.name"}); resp.Err == nil || resp.Err.Code != api.CodeBadRequest {
+		t.Fatalf("nil-checkpoint restore -> %+v, want bad-request", resp.Err)
+	}
+	if resp := ctl.Restore(api.RestoreRequest{Name: "ghost.family.name", Checkpoint: &core.Checkpoint{}}); resp.Err == nil || resp.Err.Code != api.CodeNotFound {
+		t.Fatalf("unknown restore -> %+v, want not-found", resp.Err)
+	}
+}
+
+func TestBoardSpeculativeActivateSkipsColdStartAccounting(t *testing.T) {
+	b, ctl := boardPlane(t)
+	ctl.Register(api.RegisterRequest{Config: svcConfig("alice", 20)})
+	ctl.Activate(api.ActivateRequest{Name: "alice.family.name", Speculative: true})
+	b.Eng.RunFor(2 * time.Second)
+	svc, err := b.Jitsu.Service("alice.family.name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.State != core.StateReady || svc.Launches != 1 || svc.ColdStarts != 0 {
+		t.Fatalf("state=%v launches=%d coldstarts=%d, want ready/1/0", svc.State, svc.Launches, svc.ColdStarts)
+	}
+}

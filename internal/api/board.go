@@ -1,0 +1,135 @@
+package api
+
+import (
+	"errors"
+	"sort"
+
+	"jitsu/internal/core"
+)
+
+// boardPlane adapts one core.Board's directory to the ControlPlane
+// interface. Every verb resolves its name against the board's Jitsu and
+// drives the shared Activation machine through the existing typed
+// methods — no new lifecycle paths.
+type boardPlane struct {
+	b *core.Board
+}
+
+// ForBoard exposes one board's directory as a ControlPlane.
+func ForBoard(b *core.Board) ControlPlane { return &boardPlane{b: b} }
+
+func (p *boardPlane) Register(req RegisterRequest) RegisterResponse {
+	if req.Config.Name == "" {
+		return RegisterResponse{Err: Errf("register", CodeBadRequest, "empty service name")}
+	}
+	if _, err := p.b.Jitsu.Service(req.Config.Name); err == nil {
+		return RegisterResponse{Err: Errf("register", CodeConflict, "%s already registered", req.Config.Name)}
+	}
+	svc := p.b.Jitsu.Register(req.Config)
+	return RegisterResponse{Name: svc.Cfg.Name}
+}
+
+func (p *boardPlane) Activate(req ActivateRequest) ActivateResponse {
+	svc, err := p.b.Jitsu.Service(req.Name)
+	if err != nil {
+		return ActivateResponse{Err: Errf("activate", CodeNotFound, "%s", req.Name)}
+	}
+	if err := p.b.Jitsu.Activate(svc, !req.Speculative, req.OnReady); err != nil {
+		return ActivateResponse{Err: activateError(err, req.Name)}
+	}
+	return ActivateResponse{IP: svc.Cfg.IP, State: svc.State.String()}
+}
+
+func activateError(err error, name string) *Error {
+	switch {
+	case errors.Is(err, core.ErrNoMemory):
+		return Errf("activate", CodeNoMemory, "%s: image does not fit", name)
+	case errors.Is(err, core.ErrNoSuchService):
+		return Errf("activate", CodeNotFound, "%s", name)
+	default:
+		return Errf("activate", CodeConflict, "%s: %v", name, err)
+	}
+}
+
+func (p *boardPlane) Checkpoint(req CheckpointRequest) CheckpointResponse {
+	svc, err := p.b.Jitsu.Service(req.Name)
+	if err != nil {
+		return CheckpointResponse{Err: Errf("checkpoint", CodeNotFound, "%s", req.Name)}
+	}
+	cp, ok := p.b.Jitsu.Checkpoint(svc)
+	if !ok {
+		return CheckpointResponse{Err: Errf("checkpoint", CodeConflict, "%s is not ready", req.Name)}
+	}
+	return CheckpointResponse{Checkpoint: cp}
+}
+
+func (p *boardPlane) Restore(req RestoreRequest) RestoreResponse {
+	if req.Checkpoint == nil {
+		return RestoreResponse{Err: Errf("restore", CodeBadRequest, "nil checkpoint")}
+	}
+	svc, err := p.b.Jitsu.Service(req.Name)
+	if err != nil {
+		return RestoreResponse{Err: Errf("restore", CodeNotFound, "%s", req.Name)}
+	}
+	switch err := p.b.Jitsu.Restore(svc, req.Checkpoint, req.OnReady); {
+	case err == nil:
+		return RestoreResponse{}
+	case errors.Is(err, core.ErrNoMemory):
+		return RestoreResponse{Err: Errf("restore", CodeNoMemory, "%s: checkpoint does not fit", req.Name)}
+	case errors.Is(err, core.ErrNoSuchService):
+		return RestoreResponse{Err: Errf("restore", CodeNotFound, "%s retired", req.Name)}
+	default:
+		return RestoreResponse{Err: Errf("restore", CodeConflict, "%s: %v", req.Name, err)}
+	}
+}
+
+func (p *boardPlane) Migrate(req MigrateRequest) MigrateResponse {
+	return MigrateResponse{Err: Errf("migrate", CodeUnavailable, "single board: nowhere to move %s", req.Name)}
+}
+
+func (p *boardPlane) Stop(req StopRequest) StopResponse {
+	svc, err := p.b.Jitsu.Service(req.Name)
+	if err != nil {
+		return StopResponse{Err: Errf("stop", CodeNotFound, "%s", req.Name)}
+	}
+	if p.b.Jitsu.Stop(svc) {
+		return StopResponse{Stopped: 1}
+	}
+	return StopResponse{}
+}
+
+func (p *boardPlane) Stats(StatsRequest) StatsResponse {
+	var resp StatsResponse
+	svcs := p.b.Jitsu.Services()
+	names := make([]string, 0, len(svcs))
+	for name := range svcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		svc := svcs[name]
+		resp.Services = append(resp.Services, ServiceStats{
+			Name: name, State: svc.State.String(),
+			Launches: svc.Launches, ColdStarts: svc.ColdStarts,
+			Handoffs: svc.Handoffs, ServFails: svc.ServFails,
+			Reaps: svc.Reaps, Restores: svc.Restores,
+		})
+	}
+	resp.Triggers = TriggerStatsFromFired(p.b.Jitsu.Activation().Fired())
+	return resp
+}
+
+// TriggerStatsFromFired renders an Activation.Fired map (or an
+// aggregation of several) as a name-sorted slice.
+func TriggerStatsFromFired(fired map[string]uint64) []TriggerStats {
+	names := make([]string, 0, len(fired))
+	for name := range fired {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]TriggerStats, 0, len(names))
+	for _, name := range names {
+		out = append(out, TriggerStats{Name: name, Fired: fired[name]})
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"jitsu/internal/api"
+	"jitsu/internal/core"
+)
+
+// clusterPlane adapts the whole cluster to api.ControlPlane: the same
+// verbs a single board answers, but Register fans out replica slots,
+// Activate routes through the placement scheduler, and Migrate actually
+// moves state. cmd/jitsud and tests speak this surface instead of
+// reaching into Cluster internals.
+type clusterPlane struct {
+	c *Cluster
+}
+
+// API exposes the cluster's control plane as the typed api surface.
+func (c *Cluster) API() api.ControlPlane { return &clusterPlane{c: c} }
+
+// boardAPI is the per-board control plane the cluster's own management
+// paths (migration) speak.
+func (c *Cluster) boardAPI(id int) api.ControlPlane { return c.apis[id] }
+
+func (p *clusterPlane) Register(req api.RegisterRequest) api.RegisterResponse {
+	if req.Config.Name == "" {
+		return api.RegisterResponse{Err: api.Errf("register", api.CodeBadRequest, "empty service name")}
+	}
+	var opts []ServiceOption
+	if req.Policy != "" {
+		pol := PolicyByName(req.Policy)
+		if pol == nil {
+			return api.RegisterResponse{Err: api.Errf("register", api.CodeBadRequest, "unknown policy %q", req.Policy)}
+		}
+		opts = append(opts, WithServicePolicy(pol))
+	}
+	if req.MinWarm > 0 {
+		opts = append(opts, WithMinWarm(req.MinWarm))
+	}
+	if p.c.dir.Lookup(req.Config.Name) != nil {
+		return api.RegisterResponse{Err: api.Errf("register", api.CodeConflict, "%s already registered", req.Config.Name)}
+	}
+	e := p.c.RegisterService(req.Config, opts...)
+	return api.RegisterResponse{Name: e.Name}
+}
+
+func (p *clusterPlane) Activate(req api.ActivateRequest) api.ActivateResponse {
+	e := p.c.dir.Lookup(req.Name)
+	if e == nil {
+		return api.ActivateResponse{Err: api.Errf("activate", api.CodeNotFound, "%s", req.Name)}
+	}
+	if req.Speculative {
+		// A prewarm: boot a stopped replica where the policy likes,
+		// without client-driven accounting.
+		idx := e.Policy.Pick(p.c.views(e, func(i int) bool {
+			return e.Replicas[i].Svc.State != core.StateStopped
+		}))
+		if idx < 0 {
+			if ready := e.ready(); len(ready) > 0 {
+				// Nothing to prewarm because the service is already
+				// warm: that is success, not resource exhaustion.
+				pl := ready[0]
+				if req.OnReady != nil {
+					req.OnReady(nil)
+				}
+				return api.ActivateResponse{IP: pl.Svc.Cfg.IP, Board: pl.Board, State: pl.Svc.State.String()}
+			}
+			return api.ActivateResponse{Err: api.Errf("activate", api.CodeNoMemory, "%s: no board can prewarm", req.Name)}
+		}
+		pl := e.Replicas[idx]
+		if !p.c.Boards[idx].Jitsu.Summon(pl.Svc,
+			core.Summon{Via: core.TriggerControl, OnReady: req.OnReady}).Served() {
+			return api.ActivateResponse{Err: api.Errf("activate", api.CodeNoMemory, "%s: prewarm refused", req.Name)}
+		}
+		return api.ActivateResponse{IP: pl.Svc.Cfg.IP, Board: idx, State: pl.Svc.State.String()}
+	}
+	// Client-driven: exactly the scheduler path a DNS arrival takes,
+	// minus the wire — the arrival feeds the rate estimator and the
+	// chosen replica is pinned against the next pool reconcile.
+	pl, _ := p.c.schedule(e, req.OnReady)
+	if pl == nil {
+		return api.ActivateResponse{Err: api.Errf("activate", api.CodeNoMemory, "%s: no board can take it", req.Name)}
+	}
+	return api.ActivateResponse{IP: pl.Svc.Cfg.IP, Board: pl.Board, State: pl.Svc.State.String()}
+}
+
+func (p *clusterPlane) Checkpoint(req api.CheckpointRequest) api.CheckpointResponse {
+	e := p.c.dir.Lookup(req.Name)
+	if e == nil {
+		return api.CheckpointResponse{Err: api.Errf("checkpoint", api.CodeNotFound, "%s", req.Name)}
+	}
+	pl := p.c.readyReplica(e, req.Board)
+	if pl == nil {
+		return api.CheckpointResponse{Err: api.Errf("checkpoint", api.CodeConflict, "%s has no ready replica", req.Name)}
+	}
+	resp := p.c.boardAPI(pl.Board).Checkpoint(api.CheckpointRequest{Name: req.Name})
+	resp.Board = pl.Board
+	return resp
+}
+
+func (p *clusterPlane) Restore(req api.RestoreRequest) api.RestoreResponse {
+	board, ok := req.Board.ID()
+	if !ok {
+		return api.RestoreResponse{Err: api.Errf("restore", api.CodeBadRequest, "restore needs a target board (api.OnBoard)")}
+	}
+	if board < 0 || board >= len(p.c.members) {
+		return api.RestoreResponse{Err: api.Errf("restore", api.CodeBadRequest, "board %d out of range", board)}
+	}
+	if !p.c.members[board].Placeable() {
+		return api.RestoreResponse{Err: api.Errf("restore", api.CodeUnavailable, "board %d not placeable", board)}
+	}
+	return p.c.boardAPI(board).Restore(req)
+}
+
+func (p *clusterPlane) Migrate(req api.MigrateRequest) api.MigrateResponse {
+	e := p.c.dir.Lookup(req.Name)
+	if e == nil {
+		return api.MigrateResponse{Err: api.Errf("migrate", api.CodeNotFound, "%s", req.Name)}
+	}
+	src := p.c.readyReplica(e, req.From)
+	if src == nil || src.migrating {
+		return api.MigrateResponse{Err: api.Errf("migrate", api.CodeConflict, "%s has no movable replica", req.Name)}
+	}
+	done := req.OnDone
+	if done == nil {
+		done = func(bool) {}
+	}
+	to, pinned := req.To.ID()
+	if !pinned {
+		to = p.c.pickDest(e, src)
+		if to < 0 {
+			return api.MigrateResponse{Err: api.Errf("migrate", api.CodeNoMemory, "%s: no destination fits", req.Name)}
+		}
+	} else {
+		if to < 0 || to >= len(p.c.members) || !p.c.members[to].Placeable() {
+			return api.MigrateResponse{Err: api.Errf("migrate", api.CodeBadRequest, "destination board %d unusable", to)}
+		}
+		dst := replicaOn(e, to)
+		if dst == nil || dst.reserved || dst.Svc.State != core.StateStopped {
+			return api.MigrateResponse{Err: api.Errf("migrate", api.CodeConflict, "destination slot on board %d busy", to)}
+		}
+	}
+	p.c.migrateTo(e, src, to, false, done)
+	return api.MigrateResponse{Started: true}
+}
+
+func (p *clusterPlane) Stop(req api.StopRequest) api.StopResponse {
+	e := p.c.dir.Lookup(req.Name)
+	if e == nil {
+		return api.StopResponse{Err: api.Errf("stop", api.CodeNotFound, "%s", req.Name)}
+	}
+	stopped := 0
+	for _, pl := range e.ready() {
+		if p.c.Boards[pl.Board].Jitsu.Stop(pl.Svc) {
+			stopped++
+		}
+	}
+	return api.StopResponse{Stopped: stopped}
+}
+
+func (p *clusterPlane) Stats(api.StatsRequest) api.StatsResponse {
+	var resp api.StatsResponse
+	for _, t := range p.c.ServiceTotals() {
+		state := core.StateStopped.String()
+		if t.Ready > 0 {
+			state = core.StateReady.String()
+		}
+		resp.Services = append(resp.Services, api.ServiceStats{
+			Name: t.Name, State: state,
+			Launches: t.Launches, ColdStarts: t.ColdStarts,
+			Handoffs: t.Handoffs, ServFails: t.ServFails,
+			Reaps: t.Reaps, Restores: t.Restores,
+		})
+	}
+	fired := map[string]uint64{}
+	for _, m := range p.c.members {
+		for name, n := range m.Board.Jitsu.Activation().Fired() {
+			fired[name] += n
+		}
+	}
+	resp.Triggers = api.TriggerStatsFromFired(fired)
+	return resp
+}
+
+// readyReplica finds e's ready replica per the selector (AnyBoard = the
+// first ready one in board order).
+func (c *Cluster) readyReplica(e *Entry, sel api.BoardSel) *Placement {
+	if board, ok := sel.ID(); ok {
+		pl := replicaOn(e, board)
+		if pl == nil || pl.draining || pl.Svc.State != core.StateReady {
+			return nil
+		}
+		return pl
+	}
+	ready := e.ready()
+	if len(ready) == 0 {
+		return nil
+	}
+	return ready[0]
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"testing"
+
+	"jitsu/internal/api"
+	"jitsu/internal/core"
+)
+
+func TestClusterAPIRegisterActivatePlaces(t *testing.T) {
+	c := NewCluster(WithBoards(2))
+	ctl := c.API()
+
+	if resp := ctl.Register(api.RegisterRequest{Config: testService("alice", 20), Policy: "bogus"}); resp.Err == nil || resp.Err.Code != api.CodeBadRequest {
+		t.Fatalf("bogus policy -> %+v, want bad-request", resp.Err)
+	}
+	resp := ctl.Register(api.RegisterRequest{Config: testService("alice", 20), Policy: "first-fit", MinWarm: 1})
+	if resp.Err != nil {
+		t.Fatalf("register: %v", resp.Err)
+	}
+	if dup := ctl.Register(api.RegisterRequest{Config: testService("alice", 20)}); dup.Err == nil || dup.Err.Code != api.CodeConflict {
+		t.Fatalf("duplicate -> %+v, want conflict", dup.Err)
+	}
+	e := c.Directory().Lookup("alice.family.name")
+	if e == nil || e.MinWarm != 1 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if _, ok := e.Policy.(FirstFit); !ok {
+		t.Fatalf("policy = %T", e.Policy)
+	}
+
+	act := ctl.Activate(api.ActivateRequest{Name: "alice.family.name"})
+	if act.Err != nil {
+		t.Fatalf("activate: %v", act.Err)
+	}
+	c.RunAll()
+	if got := e.ready(); len(got) == 0 {
+		t.Fatal("no ready replica after activate")
+	}
+}
+
+func TestClusterAPIMigrateMovesReplica(t *testing.T) {
+	c := NewCluster(WithBoards(2))
+	ctl := c.API()
+	ctl.Register(api.RegisterRequest{Config: testService("alice", 20)})
+	ctl.Activate(api.ActivateRequest{Name: "alice.family.name"})
+	c.RunAll()
+	e := c.Directory().Lookup("alice.family.name")
+	src := e.ready()[0].Board
+
+	moved := false
+	resp := ctl.Migrate(api.MigrateRequest{Name: "alice.family.name",
+		OnDone: func(ok bool) { moved = ok }})
+	if resp.Err != nil || !resp.Started {
+		t.Fatalf("migrate: %+v", resp)
+	}
+	c.RunAll()
+	if !moved {
+		t.Fatal("migration did not complete warm")
+	}
+	ready := e.ready()
+	if len(ready) != 1 || ready[0].Board == src {
+		t.Fatalf("replica still on board %d (ready=%d)", src, len(ready))
+	}
+	if ready[0].Svc.Restores != 1 {
+		t.Fatalf("restores = %d, want 1", ready[0].Svc.Restores)
+	}
+
+	stats := ctl.Stats(api.StatsRequest{})
+	if len(stats.Services) != 1 || stats.Services[0].Restores != 1 {
+		t.Fatalf("stats = %+v", stats.Services)
+	}
+}
+
+func TestClusterAPIStopAllReplicas(t *testing.T) {
+	c := NewCluster(WithBoards(2))
+	ctl := c.API()
+	ctl.Register(api.RegisterRequest{Config: testService("alice", 20), MinWarm: 2})
+	c.RunAll()
+	e := c.Directory().Lookup("alice.family.name")
+	if len(e.ready()) != 2 {
+		t.Fatalf("ready = %d, want 2 (min-warm)", len(e.ready()))
+	}
+	resp := ctl.Stop(api.StopRequest{Name: "alice.family.name"})
+	if resp.Err != nil || resp.Stopped != 2 {
+		t.Fatalf("stop -> %+v", resp)
+	}
+	if resp := ctl.Stop(api.StopRequest{Name: "ghost.family.name"}); resp.Err == nil || resp.Err.Code != api.CodeNotFound {
+		t.Fatalf("stop unknown -> %+v, want not-found", resp.Err)
+	}
+}
+
+func TestClusterAPISpeculativeActivatePrewarms(t *testing.T) {
+	c := NewCluster(WithBoards(2))
+	ctl := c.API()
+	ctl.Register(api.RegisterRequest{Config: testService("alice", 20)})
+	resp := ctl.Activate(api.ActivateRequest{Name: "alice.family.name", Speculative: true})
+	if resp.Err != nil {
+		t.Fatalf("speculative activate: %v", resp.Err)
+	}
+	c.RunAll()
+	e := c.Directory().Lookup("alice.family.name")
+	ready := e.ready()
+	if len(ready) != 1 {
+		t.Fatalf("ready = %d", len(ready))
+	}
+	if ready[0].Svc.ColdStarts != 0 {
+		t.Fatalf("speculative boot counted a cold start: %d", ready[0].Svc.ColdStarts)
+	}
+	if ready[0].Svc.State != core.StateReady {
+		t.Fatalf("state = %v", ready[0].Svc.State)
+	}
+}

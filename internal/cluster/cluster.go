@@ -12,8 +12,10 @@
 package cluster
 
 import (
+	"fmt"
 	"time"
 
+	"jitsu/internal/api"
 	"jitsu/internal/core"
 	"jitsu/internal/dns"
 	"jitsu/internal/netsim"
@@ -114,6 +116,10 @@ type Cluster struct {
 	eng     *sim.Engine
 	dir     *Directory
 	members []*Member
+	// apis holds each board's typed control plane (api.ForBoard); the
+	// management paths — migration above all — speak it instead of
+	// reaching into the board's Jitsu directly.
+	apis []api.ControlPlane
 	// mgmt is the management network the gossip agents (and checkpoint
 	// copies) ride on.
 	mgmt    *netsim.Bridge
@@ -139,10 +145,16 @@ type Cluster struct {
 	Confirms uint64
 }
 
-// New builds the cluster: n boards on one shared engine, the gossip
-// membership substrate, the directory, and the DNS intercept on board 0
+// New builds the cluster from a hand-assembled Config.
+//
+// Deprecated: use NewCluster with functional options
+// (cluster.NewCluster(cluster.WithBoards(4), cluster.WithPolicy(...))).
+func New(cfg Config) *Cluster { return build(cfg) }
+
+// build wires the cluster: n boards on one shared engine, the gossip
+// membership substrate, the directory, and the DNS trigger on board 0
 // that routes every cluster service through the scheduler.
-func New(cfg Config) *Cluster {
+func build(cfg Config) *Cluster {
 	if cfg.Boards <= 0 {
 		cfg.Boards = 1
 	}
@@ -189,19 +201,11 @@ func New(cfg Config) *Cluster {
 	}
 	c.Pools = newPoolManager(c)
 
-	front := c.front()
-	prev := front.DNS.Intercept
-	// Cluster answers vary per query (placement picks the board), so the
-	// front door must not serve them from the per-board fast path.
-	front.DNS.FastIntercept = nil
-	front.DNS.Intercept = func(q dns.Question, resp *dns.Message) bool {
-		if c.intercept(q, resp) {
-			return true
-		}
-		if prev != nil {
-			return prev(q, resp)
-		}
-		return false
+	// The scheduler is just another activation frontend: a core.Trigger
+	// on board 0 whose firings drive the same Activation machines the
+	// per-board DNS/SYN/conduit triggers do.
+	if err := c.front().AddTrigger(&clusterTrigger{c: c}); err != nil {
+		panic(fmt.Sprintf("cluster: attach scheduler trigger: %v", err))
 	}
 	return c
 }
@@ -211,13 +215,14 @@ func New(cfg Config) *Cluster {
 // set to Alive directly, AddBoard waits for the join to reach board 0.
 func (c *Cluster) newMember() *Member {
 	id := len(c.Boards)
-	b := core.NewBoardOnEngine(c.eng, c.Cfg.Board)
+	b := core.NewOnEngine(c.eng, core.WithConfig(c.Cfg.Board))
 	model := power.Cubieboard2()
 	if c.Cfg.PowerModel != nil {
 		model = c.Cfg.PowerModel(id)
 	}
 	m := &Member{ID: id, Board: b, Model: model, State: MemberJoining, baseDomains: b.Hyp.Domains()}
 	c.Boards = append(c.Boards, b)
+	c.apis = append(c.apis, api.ForBoard(b))
 	c.Models = append(c.Models, model)
 	c.members = append(c.members, m)
 	m.agent = newAgent(c, m)
@@ -254,11 +259,20 @@ type ServiceOpts struct {
 }
 
 // Register adds a service to the cluster directory and registers one
-// replica slot on every current (non-departed) board. Each replica gets
+// replica slot on every current (non-departed) board.
+//
+// Deprecated: use RegisterService with ServiceOption values
+// (cluster.WithMinWarm, cluster.WithServicePolicy); this positional
+// form remains as a thin shim.
+func (c *Cluster) Register(sc core.ServiceConfig, opts ServiceOpts) *Entry {
+	return c.register(sc, opts)
+}
+
+// register wires one service into the directory. Each replica gets
 // a board-specific IP (third octet = 100+board) so the client can tell
 // which board a DNS answer points at. The per-board idle reaper is
 // disabled — replica lifecycle belongs to the warm-pool manager.
-func (c *Cluster) Register(sc core.ServiceConfig, opts ServiceOpts) *Entry {
+func (c *Cluster) register(sc core.ServiceConfig, opts ServiceOpts) *Entry {
 	name := dns.CanonicalName(sc.Name)
 	sc.Name = name
 	sc.IdleTimeout = 0
@@ -327,29 +341,42 @@ func (c *Cluster) intercept(q dns.Question, resp *dns.Message) bool {
 	if e == nil {
 		return false
 	}
+	p, _ := c.schedule(e, nil)
+	if p == nil {
+		resp.RCode = dns.RCodeServFail
+		return true
+	}
+	resp.Answers = append(resp.Answers, dns.RR{
+		Name: e.Name, Type: dns.TypeA, Class: dns.ClassIN,
+		TTL: e.Base.TTL, A: p.Svc.Cfg.IP,
+	})
+	return true
+}
+
+// schedule is the one placement path behind every client-driven
+// activation — the DNS trigger and the control-plane Activate: observe
+// the arrival, place it, pin the chosen replica against reclaim, and
+// let the pool manager chase the new rate estimate. onReady (may be
+// nil) rides the summon to the chosen board.
+func (c *Cluster) schedule(e *Entry, onReady func(error)) (p *Placement, warm bool) {
 	c.observe(e)
-	p, warm := c.place(e)
+	p, warm = c.place(e, onReady)
 	if p == nil {
 		e.Refused++
 		c.ServFails++
-		resp.RCode = dns.RCodeServFail
 		c.Pools.ReconcileAll()
-		return true
+		return nil, false
 	}
 	if warm {
 		c.WarmHits++
 	} else {
 		c.Placed++
 	}
-	resp.Answers = append(resp.Answers, dns.RR{
-		Name: e.Name, Type: dns.TypeA, Class: dns.ClassIN,
-		TTL: e.Base.TTL, A: p.Svc.Cfg.IP,
-	})
 	p.lastAnswered = c.eng.Now()
-	// The replica just named in the answer is pinned: reclaim must not
-	// tear it down before the client's connect lands.
+	// The replica just named is pinned: reclaim must not tear it down
+	// before the client's connect lands.
 	c.Pools.reconcileAll(p)
-	return true
+	return p, warm
 }
 
 // observe feeds one arrival into the service's EWMA rate estimate.
@@ -379,24 +406,43 @@ func (c *Cluster) observe(e *Entry) {
 //  4. else, if this service is markedly hotter than some ready replica,
 //     preempt that replica and boot in its place,
 //  5. else nil: the whole cluster is full — one SERVFAIL, no walking.
-func (c *Cluster) place(e *Entry) (p *Placement, warm bool) {
+//
+// onReady (nil on the DNS path, which answers without waiting) is
+// delivered exactly once: immediately for a warm hit, at boot
+// completion otherwise.
+func (c *Cluster) place(e *Entry, onReady func(error)) (p *Placement, warm bool) {
 	if ready := e.ready(); len(ready) > 0 {
 		e.rr++
-		return ready[e.rr%len(ready)], true
+		p := ready[e.rr%len(ready)]
+		if onReady != nil {
+			onReady(nil)
+		}
+		return p, true
 	}
 	if p := e.launching(); p != nil {
+		if onReady != nil {
+			if p.pending {
+				// The boot is still queued behind a preemption (the
+				// replica is Stopped until the victim's destroy lands);
+				// summoning now would start it early. Park the hook for
+				// the deferred summon instead.
+				p.pendingReady = append(p.pendingReady, onReady)
+			} else if !c.Boards[p.Board].Jitsu.Summon(p.Svc,
+				core.Summon{Via: TriggerCluster, OnReady: onReady}).Served() {
+				onReady(core.ErrNoMemory)
+			}
+		}
 		return p, false
 	}
 	idx := e.Policy.Pick(c.views(e, nil))
 	if idx < 0 {
-		if p := c.preempt(e); p != nil {
+		if p := c.preempt(e, onReady); p != nil {
 			return p, false
 		}
 		return nil, false
 	}
 	p = e.Replicas[idx]
-	if err := c.Boards[idx].Jitsu.Activate(p.Svc, true, nil); err != nil {
-		p.Svc.ServFails++
+	if !c.summon(p, onReady) {
 		return nil, false
 	}
 	return p, false
@@ -407,7 +453,7 @@ func (c *Cluster) place(e *Entry) (p *Placement, warm bool) {
 // freed board once the destroy completes. The DNS answer goes out
 // immediately — the replica IP is under Synjitsu control, so the
 // client's SYNs ride the same boot race a stock cold start does.
-func (c *Cluster) preempt(e *Entry) *Placement {
+func (c *Cluster) preempt(e *Entry, onReady func(error)) *Placement {
 	if c.Cfg.PreemptMargin <= 1 {
 		return nil
 	}
@@ -459,8 +505,25 @@ func (c *Cluster) preempt(e *Entry) *Placement {
 	jit := c.Boards[victim.Board].Jitsu
 	if !jit.StopWith(victim.Svc, func() {
 		rep.pending = false
-		if err := jit.Activate(rep.Svc, true, nil); err != nil {
-			rep.Svc.ServFails++
+		// Deliver readiness to the preempt initiator plus anyone who
+		// joined while the boot was queued — including the failure: a
+		// concurrent placement may have consumed the freed memory, and
+		// a dropped hook would leave its caller waiting forever.
+		cbs := rep.pendingReady
+		rep.pendingReady = nil
+		if onReady != nil {
+			cbs = append([]func(error){onReady}, cbs...)
+		}
+		var cb func(error)
+		if len(cbs) > 0 {
+			cb = func(err error) {
+				for _, f := range cbs {
+					f(err)
+				}
+			}
+		}
+		if !c.summon(rep, cb) && cb != nil {
+			cb(core.ErrNoMemory)
 		}
 	}) {
 		return nil

@@ -24,7 +24,7 @@ func testService(name string, lastOctet byte) core.ServiceConfig {
 func testCluster(boards int) *Cluster {
 	cfg := DefaultConfig()
 	cfg.Boards = boards
-	return New(cfg)
+	return build(cfg)
 }
 
 // ---- placement policies ----
@@ -96,8 +96,8 @@ func TestPolicyByName(t *testing.T) {
 
 func TestPerServicePolicySelection(t *testing.T) {
 	c := testCluster(2)
-	a := c.Register(testService("alice", 20), ServiceOpts{Policy: FirstFit{}})
-	b := c.Register(testService("bob", 21), ServiceOpts{})
+	a := c.RegisterService(testService("alice", 20), WithServicePolicy(FirstFit{}))
+	b := c.RegisterService(testService("bob", 21))
 	if a.Policy.Name() != "first-fit" {
 		t.Fatalf("alice policy = %s", a.Policy.Name())
 	}
@@ -114,7 +114,7 @@ func TestClusterPlacesInsteadOfClientWalking(t *testing.T) {
 	// answers the one query with board 1's replica directly.
 	c := testCluster(2)
 	c.Boards[0].Hyp.TotalMemMiB = 8
-	c.Register(testService("alice", 20), ServiceOpts{})
+	c.RegisterService(testService("alice", 20))
 	cl := c.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
 
 	var servedBy, status int
@@ -141,8 +141,8 @@ func TestClusterServFailWhenAllBoardsFull(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Boards = 3
 	cfg.Board.TotalMemMiB = 8
-	c := New(cfg)
-	c.Register(testService("alice", 20), ServiceOpts{})
+	c := build(cfg)
+	c.RegisterService(testService("alice", 20))
 	cl := c.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
 
 	var gotErr error
@@ -166,7 +166,7 @@ func TestClusterServFailWhenAllBoardsFull(t *testing.T) {
 
 func TestRepeatQueriesHitWarmReplica(t *testing.T) {
 	c := testCluster(2)
-	c.Register(testService("alice", 20), ServiceOpts{})
+	c.RegisterService(testService("alice", 20))
 	cl := c.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
 
 	fetch := func() sim.Duration {
@@ -198,7 +198,7 @@ func TestRepeatQueriesHitWarmReplica(t *testing.T) {
 
 func TestMinWarmPrebootsReplicas(t *testing.T) {
 	c := testCluster(3)
-	e := c.Register(testService("alice", 20), ServiceOpts{MinWarm: 2})
+	e := c.RegisterService(testService("alice", 20), WithMinWarm(2))
 	c.RunAll() // let the prewarm boots complete
 	ready := 0
 	for _, p := range e.Replicas {
@@ -238,7 +238,7 @@ func TestMinWarmPrebootsReplicas(t *testing.T) {
 
 func TestEWMATargetFollowsArrivalRate(t *testing.T) {
 	c := testCluster(4)
-	e := c.Register(testService("alice", 20), ServiceOpts{})
+	e := c.RegisterService(testService("alice", 20))
 	cl := c.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
 
 	// A steady 2/s arrival stream: the EWMA must settle near 2/s and the
@@ -270,8 +270,8 @@ func TestEWMATargetFollowsArrivalRate(t *testing.T) {
 
 func TestQuietServiceIsReclaimed(t *testing.T) {
 	c := testCluster(2)
-	e := c.Register(testService("alice", 20), ServiceOpts{MinWarm: 1})
-	hot := c.Register(testService("bob", 21), ServiceOpts{})
+	e := c.RegisterService(testService("alice", 20), WithMinWarm(1))
+	hot := c.RegisterService(testService("bob", 21))
 	c.RunAll()
 
 	// Drop alice's floor; she has no traffic, so her effective rate is 0
@@ -304,7 +304,7 @@ func TestReclaimSparesJustPlacedReplica(t *testing.T) {
 	// follows a warm placement must reclaim the *other* replica, never
 	// the one whose IP just went out in the DNS answer.
 	c := testCluster(2)
-	e := c.Register(testService("alice", 20), ServiceOpts{MinWarm: 2})
+	e := c.RegisterService(testService("alice", 20), WithMinWarm(2))
 	c.RunAll() // both replicas ready
 	e.MinWarm = 0
 	e.rate = 0.05 // above MinRate: target decays to exactly 1
@@ -343,7 +343,7 @@ func TestReclaimSparesJustPlacedReplica(t *testing.T) {
 func TestCounterAggregationAcrossBoards(t *testing.T) {
 	c := testCluster(2)
 	c.Boards[0].Hyp.TotalMemMiB = 8 // force placements onto board 1
-	c.Register(testService("alice", 20), ServiceOpts{})
+	c.RegisterService(testService("alice", 20))
 	cl := c.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
 	for i := 0; i < 3; i++ {
 		cl.Fetch("alice.family.name", "/", 10*time.Second,
@@ -365,7 +365,7 @@ func TestCounterAggregationAcrossBoards(t *testing.T) {
 
 func TestReplicaIPsIdentifyBoards(t *testing.T) {
 	c := testCluster(3)
-	c.Register(testService("alice", 20), ServiceOpts{})
+	c.RegisterService(testService("alice", 20))
 	for i := 0; i < 3; i++ {
 		want := netstack.IPv4(10, 0, byte(100+i), 20)
 		p, ok := c.Directory().byIP[want]

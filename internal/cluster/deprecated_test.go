@@ -1,0 +1,46 @@
+package cluster
+
+// The only sanctioned callers of the deprecated positional constructors
+// (cluster.New, Cluster.Register): these tests pin the shims to the
+// option-built equivalents. The CI `deprecations` check excludes
+// exactly this file.
+
+import (
+	"testing"
+
+	"jitsu/internal/netstack"
+)
+
+func TestDeprecatedNewMatchesNewCluster(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Boards = 2
+	old := New(cfg)
+	opt := NewCluster(WithBoards(2))
+	if len(old.Boards) != len(opt.Boards) {
+		t.Fatalf("boards: %d vs %d", len(old.Boards), len(opt.Boards))
+	}
+	a, b := old.Cfg.Board, opt.Cfg.Board
+	a.Platform, b.Platform = nil, nil // fresh pointer per DefaultConfig; values match
+	if old.Cfg.Boards != opt.Cfg.Boards || a != b ||
+		old.Cfg.WarmFactor != opt.Cfg.WarmFactor || old.Cfg.MaxWarmPerService != opt.Cfg.MaxWarmPerService {
+		t.Fatalf("configs diverge: %+v vs %+v", old.Cfg, opt.Cfg)
+	}
+}
+
+func TestDeprecatedRegisterMatchesRegisterService(t *testing.T) {
+	c := NewCluster(WithBoards(2))
+	sc := testService("alice", 20)
+	e := c.Register(sc, ServiceOpts{MinWarm: 1, Policy: FirstFit{}})
+	if e.MinWarm != 1 {
+		t.Fatalf("MinWarm = %d", e.MinWarm)
+	}
+	if _, ok := e.Policy.(FirstFit); !ok {
+		t.Fatalf("policy = %T", e.Policy)
+	}
+	sc2 := testService("bob", 21)
+	sc2.IP = netstack.IPv4(10, 0, 0, 21)
+	e2 := c.RegisterService(sc2, WithMinWarm(1), WithServicePolicy(FirstFit{}))
+	if e2.MinWarm != e.MinWarm {
+		t.Fatalf("option-built MinWarm %d != shim %d", e2.MinWarm, e.MinWarm)
+	}
+}

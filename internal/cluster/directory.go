@@ -51,6 +51,10 @@ type Placement struct {
 	// the replica is still Stopped, but its board's Synjitsu is already
 	// fielding the SYNs the DNS answer attracted.
 	pending bool
+	// pendingReady queues completion hooks that arrived while the boot
+	// was still waiting behind the preemption; the deferred summon
+	// drains it (with an error if the freed memory was lost meanwhile).
+	pendingReady []func(error)
 	// migrating marks the source of an in-flight live migration: it
 	// keeps serving (pre-copy), but reclaim and preemption must leave it
 	// alone until the switchover completes (including the drain).

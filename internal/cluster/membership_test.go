@@ -14,7 +14,7 @@ import (
 
 func TestAddBoardBecomesPlaceable(t *testing.T) {
 	c := testCluster(1)
-	c.Register(testService("alice", 20), ServiceOpts{})
+	c.RegisterService(testService("alice", 20))
 	m := c.AddBoard()
 	if m.ID != 1 || m.State != MemberJoining {
 		t.Fatalf("new member id=%d state=%v, want 1/joining", m.ID, m.State)
@@ -42,7 +42,7 @@ func TestJoinDuringInFlightPlacement(t *testing.T) {
 	// must complete undisturbed, and the next cold placement may use
 	// the newcomer.
 	c := testCluster(2)
-	c.Register(testService("alice", 20), ServiceOpts{})
+	c.RegisterService(testService("alice", 20))
 	cl := c.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
 
 	var status int
@@ -72,7 +72,7 @@ func TestJoinDuringInFlightPlacement(t *testing.T) {
 	// newcomer: register a second service and exhaust memory elsewhere.
 	c.Boards[0].Hyp.TotalMemMiB = 0
 	c.Boards[1].Hyp.TotalMemMiB = 0
-	c.Register(testService("bob", 21), ServiceOpts{})
+	c.RegisterService(testService("bob", 21))
 	var bobBoard int
 	cl.Fetch("bob.family.name", "/", 10*time.Second,
 		func(board int, resp *netstack.HTTPResponse, d sim.Duration, err error) {
@@ -95,10 +95,10 @@ func leaveCluster(t *testing.T, migrate bool) *Cluster {
 	cfg := DefaultConfig()
 	cfg.Boards = 3
 	cfg.MigrateOnLeave = migrate
-	c := New(cfg)
+	c := build(cfg)
 	// MinWarm 2 puts ready replicas on boards 0 and 1 (least-loaded
 	// breaks ties in id order).
-	c.Register(testService("alice", 20), ServiceOpts{MinWarm: 2})
+	c.RegisterService(testService("alice", 20), WithMinWarm(2))
 	c.RunAll()
 	e := c.Directory().Lookup("alice.family.name")
 	if replicaOn(e, 1) == nil || e.Replicas[1].Svc.State != core.StateReady {
@@ -200,8 +200,8 @@ func TestConcurrentLeavesReserveDistinctDestinations(t *testing.T) {
 	// free board instead of colliding and sacrificing its source.
 	cfg := DefaultConfig()
 	cfg.Boards = 5
-	c := New(cfg)
-	c.Register(testService("alice", 20), ServiceOpts{MinWarm: 3})
+	c := build(cfg)
+	c.RegisterService(testService("alice", 20), WithMinWarm(3))
 	c.RunAll() // replicas ready on boards 0, 1, 2
 	e := c.Directory().Lookup("alice.family.name")
 	for _, id := range []int{1, 2} {
@@ -252,8 +252,8 @@ func TestSuspectRefuteConfirmFlapping(t *testing.T) {
 	cfg.ProbeEvery = 500 * time.Millisecond
 	cfg.ProbeTimeout = 200 * time.Millisecond
 	cfg.SuspectTimeout = 3 * time.Second
-	c := New(cfg)
-	c.Register(testService("alice", 20), ServiceOpts{MinWarm: 2})
+	c := build(cfg)
+	c.RegisterService(testService("alice", 20), WithMinWarm(2))
 	m := c.members[1]
 
 	// Short partition: board 1 drops off the management network for

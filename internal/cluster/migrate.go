@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"jitsu/internal/api"
 	"jitsu/internal/core"
 	"jitsu/internal/sim"
 )
@@ -82,13 +83,15 @@ func (c *Cluster) evacuate(m *Member, done func()) {
 			// with this IP). Let it finish, then move it.
 			outstanding++
 			p.pending = false
-			if err := m.Board.Jitsu.Activate(p.Svc, false, func(err error) {
-				if err != nil {
-					finish()
-					return
-				}
-				c.evacuateOne(e, p, finish)
-			}); err != nil {
+			dec := m.Board.Jitsu.Summon(p.Svc, core.Summon{Via: TriggerMigrate,
+				OnReady: func(err error) {
+					if err != nil {
+						finish()
+						return
+					}
+					c.evacuateOne(e, p, finish)
+				}})
+			if !dec.Served() {
 				finish()
 			}
 		}
@@ -157,13 +160,15 @@ func (c *Cluster) migrateTo(e *Entry, p *Placement, idx int, mandatory bool, don
 		}
 		done(false)
 	}
-	srcJ := c.Boards[p.Board].Jitsu
-	dstJ := c.Boards[idx].Jitsu
-	cp, ok := srcJ.Checkpoint(p.Svc)
-	if !ok {
+	// The transfer speaks the typed control-plane surface: checkpoint on
+	// the source board, restore on the destination, stop on switchover —
+	// the same verbs an external operator would use.
+	cpResp := c.boardAPI(p.Board).Checkpoint(api.CheckpointRequest{Name: e.Name})
+	if cpResp.Err != nil {
 		abort()
 		return
 	}
+	cp := cpResp.Checkpoint
 	p.migrating = true
 	// Claim the destination slot for the whole copy: no placement,
 	// prewarm or concurrent migration may take it while the checkpoint
@@ -178,7 +183,7 @@ func (c *Cluster) migrateTo(e *Entry, p *Placement, idx int, mandatory bool, don
 			done(false)
 			return
 		}
-		err := dstJ.Restore(dst.Svc, cp, func(err error) {
+		resp := c.boardAPI(idx).Restore(api.RestoreRequest{Name: e.Name, Checkpoint: cp, Board: api.OnBoard(idx), OnReady: func(err error) {
 			if err != nil {
 				abort()
 				return
@@ -200,11 +205,11 @@ func (c *Cluster) migrateTo(e *Entry, p *Placement, idx int, mandatory bool, don
 			}
 			c.eng.After(grace, func() {
 				p.migrating = false
-				srcJ.StopWith(p.Svc, nil)
+				c.Boards[p.Board].Jitsu.StopWith(p.Svc, nil)
 				done(true)
 			})
-		})
-		if err != nil {
+		}})
+		if resp.Err != nil {
 			// Destination lost its memory headroom during the copy.
 			abort()
 		}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"jitsu/internal/core"
+	"jitsu/internal/sim"
+)
+
+// Option tunes one aspect of a cluster under construction. Options
+// apply on top of DefaultConfig, so `cluster.NewCluster()` is the
+// 4-board least-loaded configuration and each deviation is named at the
+// call site:
+//
+//	c := cluster.NewCluster(cluster.WithBoards(8),
+//		cluster.WithPolicy(cluster.PowerAware{}),
+//		cluster.WithSeed(7))
+type Option func(*Config)
+
+// WithClusterConfig replaces the whole configuration (migration aid for
+// code that still assembles a Config by hand). Options after it apply
+// on top.
+func WithClusterConfig(cfg Config) Option {
+	return func(c *Config) { *c = cfg }
+}
+
+// WithBoards sets the number of boards built at construction (more may
+// join later via AddBoard).
+func WithBoards(n int) Option {
+	return func(c *Config) { c.Boards = n }
+}
+
+// WithBoardOptions applies core board options to every member board.
+func WithBoardOptions(opts ...core.Option) Option {
+	return func(c *Config) {
+		for _, o := range opts {
+			o(&c.Board)
+		}
+	}
+}
+
+// WithSeed sets the shared simulation seed (shorthand for
+// WithBoardOptions(core.WithSeed(seed))).
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Board.Seed = seed }
+}
+
+// WithPolicy sets the default placement policy for services that don't
+// pick their own.
+func WithPolicy(p Policy) Option {
+	return func(c *Config) { c.DefaultPolicy = p }
+}
+
+// WithWarmPool tunes the EWMA warm-pool sizing: factor scales
+// rate×boot-time into a pool target, maxPerService caps any one
+// service's pool (0 = one per board).
+func WithWarmPool(factor float64, maxPerService int) Option {
+	return func(c *Config) {
+		c.WarmFactor = factor
+		c.MaxWarmPerService = maxPerService
+	}
+}
+
+// WithPreemptMargin gates rate-based preemption (≤1 disables it).
+func WithPreemptMargin(margin float64) Option {
+	return func(c *Config) { c.PreemptMargin = margin }
+}
+
+// WithProbing turns the gossip failure detector on: probe period,
+// per-probe ack timeout, and how long a suspicion may stand unrefuted.
+// Zero values keep the respective default.
+func WithProbing(every, timeout, suspect sim.Duration) Option {
+	return func(c *Config) {
+		c.ProbeEvery = every
+		if timeout > 0 {
+			c.ProbeTimeout = timeout
+		}
+		if suspect > 0 {
+			c.SuspectTimeout = suspect
+		}
+	}
+}
+
+// WithMigrateOnLeave selects the graceful-departure policy: live
+// migration (true) or the preempt-and-reboot baseline (false).
+func WithMigrateOnLeave(on bool) Option {
+	return func(c *Config) { c.MigrateOnLeave = on }
+}
+
+// NewCluster builds the cluster from DefaultConfig plus options.
+func NewCluster(opts ...Option) *Cluster {
+	cfg := DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return build(cfg)
+}
+
+// ServiceOption tunes one service registration (RegisterService).
+type ServiceOption func(*ServiceOpts)
+
+// WithMinWarm keeps at least k replicas of the service booted at all
+// times, regardless of observed arrival rate.
+func WithMinWarm(k int) ServiceOption {
+	return func(o *ServiceOpts) { o.MinWarm = k }
+}
+
+// WithServicePolicy overrides the cluster's default placement policy
+// for this service.
+func WithServicePolicy(p Policy) ServiceOption {
+	return func(o *ServiceOpts) { o.Policy = p }
+}
+
+// RegisterService adds a service to the cluster directory with
+// per-service options; see Register for the underlying semantics.
+func (c *Cluster) RegisterService(sc core.ServiceConfig, opts ...ServiceOption) *Entry {
+	var o ServiceOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return c.register(sc, o)
+}

@@ -91,7 +91,7 @@ func (pm *PoolManager) reconcile(e *Entry, pinned *Placement) {
 			return // no capacity anywhere; try again on the next arrival
 		}
 		p := e.Replicas[idx]
-		if err := pm.c.Boards[idx].Jitsu.Activate(p.Svc, false, nil); err != nil {
+		if !pm.c.Boards[idx].Jitsu.Summon(p.Svc, core.Summon{Via: TriggerWarmPool}).Served() {
 			return
 		}
 		pm.Prewarms++

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"errors"
+
+	"jitsu/internal/netstack"
+	"jitsu/internal/unikernel"
+)
+
+// launchFunc is a boot path: Launcher.Launch for a cold start,
+// Launcher.Restore for a migrated-in checkpoint.
+type launchFunc = func(unikernel.Image, netstack.IP, func(*unikernel.Guest, error))
+
+// This file is the single activation state machine every trigger
+// frontend drives. The paper's insight is that *any* inbound signal — a
+// DNS query, a buffered TCP SYN, a toolkit resolve call — can summon a
+// unikernel just in time; the code used to reproduce each signal as its
+// own hard-wired path. Now the signal-specific frontends (trigger.go)
+// only resolve their target and call Fire; the claim-IP →
+// launch/restore → flush-waiters → reap lifecycle lives here, once.
+
+// Summon describes one trigger firing: who fired, how the launch and
+// any refusal should be accounted, and what to do when the unikernel
+// serves.
+type Summon struct {
+	// Via names the trigger frontend for per-trigger accounting
+	// (Activation.Fired). Empty firings are counted under "direct".
+	Via string
+	// ColdStart marks a client-driven firing: a launch it causes counts
+	// in the service's ColdStarts. Speculative firings (prewarm, pool
+	// manager) leave the counter alone.
+	ColdStart bool
+	// Refuse marks a firing whose caller surfaces out-of-memory to the
+	// client (a DNS SERVFAIL, a conduit "servfail" line): the refusal
+	// counts in the service's ServFails. Control-plane callers leave it
+	// false and apply their own policy.
+	Refuse bool
+	// Force skips the memory admission gate. The SYN path uses it: a raw
+	// SYN has no refusal channel, so the launch is attempted regardless
+	// and failure surfaces as the guest never booting.
+	Force bool
+	// OnReady (may be nil) fires once the unikernel serves, or with the
+	// launch error if it does not.
+	OnReady func(error)
+}
+
+// Decision is the activation machine's answer to a trigger firing.
+type Decision int
+
+// Decisions.
+const (
+	// DecisionServe: the service is ready, or a launch is already in
+	// flight — answer the client now ("returning a DNS response as soon
+	// as the VM resource allocation is complete").
+	DecisionServe Decision = iota
+	// DecisionColdStart: DecisionServe, and this firing started the
+	// launch.
+	DecisionColdStart
+	// DecisionNoMemory: the image does not fit — §3.3.2's resource
+	// exhaustion, surfaced to clients as SERVFAIL.
+	DecisionNoMemory
+	// DecisionRetired: the service was deregistered; treat as unknown.
+	DecisionRetired
+)
+
+func (d Decision) String() string {
+	switch d {
+	case DecisionServe:
+		return "serve"
+	case DecisionColdStart:
+		return "cold-start"
+	case DecisionNoMemory:
+		return "no-memory"
+	default:
+		return "retired"
+	}
+}
+
+// Served reports whether the firing should be answered positively (the
+// service is usable now or will be momentarily).
+func (d Decision) Served() bool {
+	return d == DecisionServe || d == DecisionColdStart
+}
+
+// Activation owns the service lifecycle on one board: admission (does
+// the image fit), the launch/restore state machine, the idle-IP claim
+// handed between proxy and unikernel, the waiters flushed at readiness,
+// and the idle reaper. Triggers fire it; it never looks at wire
+// formats.
+type Activation struct {
+	j *Jitsu
+	// fired counts firings per trigger name (Summon.Via).
+	fired map[string]uint64
+	// observers see every firing after its decision (predictive
+	// triggers learn arrival patterns here). Empty on a stock board, so
+	// the zero-allocation DNS fast path pays one nil check.
+	observers []func(svc *Service, s Summon, d Decision)
+	// Trace, when set, observes every service state transition (tests
+	// assert the four frontends drive identical transitions through it).
+	Trace func(svc *Service, from, to ServiceState)
+}
+
+func newActivation(j *Jitsu) *Activation {
+	return &Activation{j: j, fired: make(map[string]uint64)}
+}
+
+// Fired returns a copy of the per-trigger firing counters.
+func (a *Activation) Fired() map[string]uint64 {
+	out := make(map[string]uint64, len(a.fired))
+	for k, v := range a.fired {
+		out[k] = v
+	}
+	return out
+}
+
+// Observe registers fn to see every firing together with its decision.
+// Predictive triggers (PrewarmTrigger) learn arrival patterns here;
+// observers must not re-enter Fire synchronously.
+func (a *Activation) Observe(fn func(svc *Service, s Summon, d Decision)) {
+	a.observers = append(a.observers, fn)
+}
+
+// Fire runs the shared activation decision for one trigger firing:
+// touch the service, admit (or refuse) a launch if it is stopped, and
+// hook OnReady to its readiness. All four built-in frontends, the
+// cluster scheduler and the prewarm trigger funnel through here.
+func (a *Activation) Fire(svc *Service, s Summon) Decision {
+	d := a.fire(svc, s)
+	if len(a.observers) > 0 && d != DecisionRetired {
+		for _, fn := range a.observers {
+			fn(svc, s, d)
+		}
+	}
+	return d
+}
+
+func (a *Activation) fire(svc *Service, s Summon) Decision {
+	if svc.retired {
+		return DecisionRetired
+	}
+	via := s.Via
+	if via == "" {
+		via = "direct"
+	}
+	a.fired[via]++
+	a.touch(svc)
+	launching := false
+	if svc.State == StateStopped {
+		if !s.Force && a.j.board.Hyp.FreeMemMiB() < svc.Cfg.Image.MemMiB {
+			// "resource exhaustion can thus be returned in the DNS
+			// response as a SERVFAIL to indicate the client should go
+			// elsewhere".
+			if s.Refuse {
+				svc.ServFails++
+			}
+			return DecisionNoMemory
+		}
+		if s.ColdStart {
+			svc.ColdStarts++
+		}
+		launching = true
+	}
+	a.ensureRunning(svc, s.OnReady)
+	if launching {
+		return DecisionColdStart
+	}
+	return DecisionServe
+}
+
+// AwaitReady registers fn to run when svc's in-flight launch completes
+// (ok reports success). The delayed-DNS frontend parks its responders
+// here; FIFO order among waiters is part of the determinism contract.
+func (a *Activation) AwaitReady(svc *Service, fn func(ok bool)) {
+	svc.waiters = append(svc.waiters, fn)
+}
+
+// restore is Fire for a migrated-in replica: the domain is rebuilt from
+// the checkpoint and the guest resumes instead of cold-booting.
+func (a *Activation) restore(svc *Service, cp *Checkpoint, onReady func(error)) error {
+	if svc.retired {
+		return ErrNoSuchService
+	}
+	if svc.State != StateStopped {
+		return errors.New("core: restore target not stopped")
+	}
+	if a.j.board.Hyp.FreeMemMiB() < cp.Image.MemMiB {
+		return ErrNoMemory
+	}
+	a.touch(svc)
+	svc.Restores++
+	a.launchVia(svc, a.j.board.Launcher.Restore, onReady)
+	return nil
+}
+
+// claimIdleIP puts a stopped service's address under proxy control:
+// Synjitsu aliases it (full handshake), or — without Synjitsu — the
+// directory host answers only ARP so SYNs transmit and die, the
+// baseline behaviour of Figure 9a.
+func (a *Activation) claimIdleIP(svc *Service) {
+	b := a.j.board
+	if b.Syn != nil {
+		b.Syn.claim(svc)
+	} else {
+		b.NS.ProxyARPFor(svc.Cfg.IP)
+		b.NS.AnnounceIP(svc.Cfg.IP)
+	}
+}
+
+// releaseIdleIP undoes claimIdleIP when the real unikernel takes over.
+func (a *Activation) releaseIdleIP(svc *Service) {
+	b := a.j.board
+	if b.Syn != nil {
+		b.Syn.release(svc)
+	} else {
+		b.NS.RemoveProxyARP(svc.Cfg.IP)
+	}
+}
+
+// touch records service activity for the idle reaper.
+func (a *Activation) touch(svc *Service) {
+	svc.lastActivity = a.j.board.Eng.Now()
+}
+
+// setState moves a service between lifecycle states, notifying Trace.
+func (a *Activation) setState(svc *Service, to ServiceState) {
+	from := svc.State
+	svc.State = to
+	if a.Trace != nil && from != to {
+		a.Trace(svc, from, to)
+	}
+}
+
+// ensureRunning launches the service's unikernel if needed. onReady (may
+// be nil) fires once the unikernel serves.
+func (a *Activation) ensureRunning(svc *Service, onReady func(error)) {
+	switch svc.State {
+	case StateReady:
+		if onReady != nil {
+			onReady(nil)
+		}
+		return
+	case StateLaunching:
+		if onReady != nil {
+			prev := svc.waiters
+			svc.waiters = append(prev, func(ok bool) {
+				if ok {
+					onReady(nil)
+				} else {
+					onReady(errors.New("core: launch failed"))
+				}
+			})
+		}
+		return
+	}
+	a.launchVia(svc, a.j.board.Launcher.Launch, onReady)
+}
+
+// launchVia runs the launch state machine through the given boot path —
+// Launcher.Launch for a cold start, Launcher.Restore for a migrated-in
+// checkpoint. The caller guarantees svc is Stopped.
+func (a *Activation) launchVia(svc *Service, launch launchFunc, onReady func(error)) {
+	a.setState(svc, StateLaunching)
+	svc.Launches++
+	svc.launchStart = a.j.board.Eng.Now()
+	launch(svc.Cfg.Image, svc.Cfg.IP, func(g *unikernel.Guest, err error) {
+		if err != nil {
+			a.setState(svc, StateStopped)
+			a.flushWaiters(svc, false)
+			if onReady != nil {
+				onReady(err)
+			}
+			return
+		}
+		if svc.retired {
+			// The directory dropped this service mid-boot (its board
+			// departed): destroy the guest instead of resurrecting a
+			// retired registration and leaking its domain.
+			a.setState(svc, StateStopped)
+			a.j.board.Launcher.Destroy(g, nil)
+			a.flushWaiters(svc, false)
+			if onReady != nil {
+				onReady(errors.New("core: service deregistered during launch"))
+			}
+			return
+		}
+		svc.Guest = g
+		// Two-phase handoff from the proxy happens inside this same
+		// event, before any network event can interleave, so exactly
+		// one of Synjitsu or the unikernel ever answers a given packet.
+		a.releaseIdleIP(svc)
+		a.setState(svc, StateReady)
+		a.touch(svc)
+		a.scheduleReap(svc)
+		a.flushWaiters(svc, true)
+		if onReady != nil {
+			onReady(nil)
+		}
+	})
+}
+
+// stopNow tears a ready service down: shared by Stop and the idle reaper.
+func (a *Activation) stopNow(svc *Service, done func()) {
+	svc.Reaps++
+	g := svc.Guest
+	svc.Guest = nil
+	a.setState(svc, StateStopped)
+	a.claimIdleIP(svc)
+	a.j.board.Launcher.Destroy(g, func(error) {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+func (a *Activation) flushWaiters(svc *Service, ok bool) {
+	ws := svc.waiters
+	svc.waiters = nil
+	for _, w := range ws {
+		w(ok)
+	}
+}
+
+// scheduleReap arms the idle timer: when the service has seen no
+// activity for IdleTimeout, its VM is destroyed and the IP returns to
+// proxy control — "services listening on a network endpoint are always
+// available ... but are otherwise not running to reduce resource
+// utilisation".
+func (a *Activation) scheduleReap(svc *Service) {
+	idle := svc.Cfg.IdleTimeout
+	if idle <= 0 {
+		return
+	}
+	eng := a.j.board.Eng
+	deadline := svc.lastActivity + idle
+	eng.At(deadline, func() {
+		if svc.State != StateReady {
+			return
+		}
+		if eng.Now()-svc.lastActivity < idle {
+			a.scheduleReap(svc) // activity moved the deadline
+			return
+		}
+		a.stopNow(svc, nil)
+	})
+}

@@ -75,8 +75,26 @@ type Board struct {
 	// Syn is the proxy; nil when disabled.
 	Syn *Synjitsu
 
+	// triggers are the attached activation frontends (built-ins first;
+	// AddTrigger appends).
+	triggers []Trigger
+	// dnsOwner is the trigger currently owning the DNS server's
+	// interceptor hooks; a displaced trigger must not Detach hooks it no
+	// longer owns.
+	dnsOwner Trigger
+
 	nextClient int
 }
+
+// ClaimDNSFrontend records t as the current owner of the board's DNS
+// interceptor hooks. A trigger that installs (or chains over) the
+// hooks claims them; Detach implementations check ownership before
+// clearing, so removing a displaced frontend cannot wipe its
+// successor's hooks.
+func (b *Board) ClaimDNSFrontend(t Trigger) { b.dnsOwner = t }
+
+// DNSFrontend returns the trigger currently owning the DNS hooks.
+func (b *Board) DNSFrontend() Trigger { return b.dnsOwner }
 
 // Well-known board addresses.
 var (
@@ -87,13 +105,25 @@ var (
 )
 
 // NewBoard builds and wires a board on its own simulation engine.
+//
+// Deprecated: use New with functional options (core.New(core.WithSeed(7),
+// core.WithSynjitsu(false), ...)); WithConfig(cfg) covers hand-built
+// configurations during migration.
 func NewBoard(cfg BoardConfig) *Board {
-	return NewBoardOnEngine(sim.New(cfg.Seed), cfg)
+	return buildBoard(sim.New(cfg.Seed), cfg)
 }
 
-// NewBoardOnEngine builds a board on a shared engine, so several boards
-// (a Fleet) advance through one coherent virtual time.
+// NewBoardOnEngine builds a board on a shared engine.
+//
+// Deprecated: use NewOnEngine with functional options.
 func NewBoardOnEngine(eng *sim.Engine, cfg BoardConfig) *Board {
+	return buildBoard(eng, cfg)
+}
+
+// buildBoard wires a board from a resolved config: hypervisor, store,
+// toolstack, bridge, launcher, DNS, directory, proxy and the built-in
+// trigger frontends, all on the given engine.
+func buildBoard(eng *sim.Engine, cfg BoardConfig) *Board {
 	store := xenstore.NewStore(cfg.Reconciler)
 	hyp := xen.NewHypervisor(eng, store, cfg.Platform, cfg.TotalMemMiB)
 	ts := xen.NewToolstack(hyp, cfg.Toolstack)

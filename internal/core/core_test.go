@@ -26,7 +26,7 @@ func aliceService() ServiceConfig {
 func TestColdStartWithSynjitsu(t *testing.T) {
 	// The headline number: DNS query → launch → Synjitsu handshake →
 	// handoff → HTTP response, all within ~300–500ms on ARM.
-	b := NewBoard(DefaultConfig())
+	b := New()
 	svc := b.Jitsu.Register(aliceService())
 	client := b.AddClient("laptop", netstack.IPv4(10, 0, 0, 9))
 
@@ -59,7 +59,7 @@ func TestColdStartWithSynjitsu(t *testing.T) {
 func TestColdStartWithoutSynjitsuExceedsOneSecond(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Synjitsu = false
-	b := NewBoard(cfg)
+	b := New(WithConfig(cfg))
 	b.Jitsu.Register(aliceService())
 	client := b.AddClient("laptop", netstack.IPv4(10, 0, 0, 9))
 
@@ -80,7 +80,7 @@ func TestColdStartWithoutSynjitsuExceedsOneSecond(t *testing.T) {
 }
 
 func TestWarmRequestIsMilliseconds(t *testing.T) {
-	b := NewBoard(DefaultConfig())
+	b := New()
 	b.Jitsu.Register(aliceService())
 	client := b.AddClient("laptop", netstack.IPv4(10, 0, 0, 9))
 	// First request boots the unikernel.
@@ -106,7 +106,7 @@ func TestWarmRequestIsMilliseconds(t *testing.T) {
 func TestSynjitsuBuffersMidBootData(t *testing.T) {
 	// A client that connects and sends its request while the unikernel
 	// is still booting: the payload must survive the handoff byte-exact.
-	b := NewBoard(DefaultConfig())
+	b := New()
 	svc := b.Jitsu.Register(aliceService())
 	client := b.AddClient("laptop", netstack.IPv4(10, 0, 0, 9))
 
@@ -144,7 +144,7 @@ func TestSynjitsuBuffersMidBootData(t *testing.T) {
 func TestSYNWithoutDNSTriggersLaunch(t *testing.T) {
 	// §3.3: Synjitsu makes Jitsu "more robust in the face of TCP
 	// connections arriving unexpectedly outside of DNS resolution".
-	b := NewBoard(DefaultConfig())
+	b := New()
 	svc := b.Jitsu.Register(aliceService())
 	client := b.AddClient("laptop", netstack.IPv4(10, 0, 0, 9))
 	var status int
@@ -170,7 +170,7 @@ func TestSYNWithoutDNSTriggersLaunch(t *testing.T) {
 func TestServFailWhenOutOfMemory(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.TotalMemMiB = 8 // not enough for any unikernel
-	b := NewBoard(cfg)
+	b := New(WithConfig(cfg))
 	svc := b.Jitsu.Register(aliceService())
 	client := b.AddClient("laptop", netstack.IPv4(10, 0, 0, 9))
 	resolver := &dns.Client{Host: client}
@@ -192,7 +192,7 @@ func TestServFailWhenOutOfMemory(t *testing.T) {
 }
 
 func TestUnknownNameFallsThroughToZone(t *testing.T) {
-	b := NewBoard(DefaultConfig())
+	b := New()
 	b.Jitsu.Register(aliceService())
 	client := b.AddClient("laptop", netstack.IPv4(10, 0, 0, 9))
 	resolver := &dns.Client{Host: client}
@@ -221,7 +221,7 @@ func TestUnknownNameFallsThroughToZone(t *testing.T) {
 
 func TestIdleReaperStopsAndRestarts(t *testing.T) {
 	cfg := DefaultConfig()
-	b := NewBoard(cfg)
+	b := New(WithConfig(cfg))
 	sc := aliceService()
 	sc.IdleTimeout = 2 * time.Second
 	svc := b.Jitsu.Register(sc)
@@ -266,7 +266,7 @@ func TestIdleReaperStopsAndRestarts(t *testing.T) {
 
 func TestActivityDefersReaper(t *testing.T) {
 	cfg := DefaultConfig()
-	b := NewBoard(cfg)
+	b := New(WithConfig(cfg))
 	sc := aliceService()
 	sc.IdleTimeout = 2 * time.Second
 	svc := b.Jitsu.Register(sc)
@@ -288,7 +288,7 @@ func TestActivityDefersReaper(t *testing.T) {
 }
 
 func TestMultipleServicesIndependent(t *testing.T) {
-	b := NewBoard(DefaultConfig())
+	b := New()
 	names := []string{"alice", "bob", "carol"}
 	for i, n := range names {
 		b.Jitsu.Register(ServiceConfig{
@@ -329,7 +329,7 @@ func TestDelayedDNSAblation(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Synjitsu = false
 	cfg.DelayDNSUntilReady = true
-	b := NewBoard(cfg)
+	b := New(WithConfig(cfg))
 	b.Jitsu.Register(aliceService())
 	client := b.AddClient("laptop", netstack.IPv4(10, 0, 0, 9))
 
@@ -364,7 +364,7 @@ func TestDelayedDNSAblation(t *testing.T) {
 func TestJitsudConduitResolution(t *testing.T) {
 	// A local unikernel resolves (and summons) a peer via the conduit
 	// instead of DNS.
-	b := NewBoard(DefaultConfig())
+	b := New()
 	svc := b.Jitsu.Register(aliceService())
 	ep, err := b.Registry.Connect(42, "jitsud")
 	if err != nil {
@@ -392,7 +392,7 @@ func TestJitsudConduitResolution(t *testing.T) {
 func TestHandoffStateVisibleInXenStore(t *testing.T) {
 	// Figure 7: embryonic connections appear under /conduit/<svc>/tcpv4
 	// while the unikernel boots.
-	b := NewBoard(DefaultConfig())
+	b := New()
 	svc := b.Jitsu.Register(aliceService())
 	client := b.AddClient("laptop", netstack.IPv4(10, 0, 0, 9))
 
@@ -429,7 +429,7 @@ func TestVanillaToolstackSlowerColdStart(t *testing.T) {
 	run := func(opts xen.ToolstackOpts) sim.Duration {
 		cfg := DefaultConfig()
 		cfg.Toolstack = opts
-		b := NewBoard(cfg)
+		b := New(WithConfig(cfg))
 		b.Jitsu.Register(aliceService())
 		client := b.AddClient("laptop", netstack.IPv4(10, 0, 0, 9))
 		var rt sim.Duration
@@ -454,7 +454,7 @@ func TestVanillaToolstackSlowerColdStart(t *testing.T) {
 }
 
 func TestServiceLookupErrors(t *testing.T) {
-	b := NewBoard(DefaultConfig())
+	b := New()
 	if _, err := b.Jitsu.Service("ghost.family.name"); !errors.Is(err, ErrNoSuchService) {
 		t.Fatalf("err = %v", err)
 	}

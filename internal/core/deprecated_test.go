@@ -1,0 +1,41 @@
+package core
+
+// This file is the only place the deprecated positional constructors
+// may still be called: it pins the shim behaviour (NewBoard ≡ New with
+// the same config) so external users migrating gradually stay safe. The
+// CI `deprecations` check greps the tree for new calls and excludes
+// exactly this file.
+
+import (
+	"testing"
+
+	"jitsu/internal/sim"
+)
+
+func TestDeprecatedConstructorsMatchOptions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 42
+	old := NewBoard(cfg)
+	new_ := New(WithSeed(42))
+	a, b := old.Cfg, new_.Cfg
+	// DefaultConfig hands each board a fresh platform model; the values
+	// match even though the pointers differ.
+	if a.Platform.Name != b.Platform.Name {
+		t.Fatalf("platforms diverge: %+v vs %+v", *a.Platform, *b.Platform)
+	}
+	a.Platform, b.Platform = nil, nil
+	if a != b {
+		t.Fatalf("NewBoard(cfg) config %+v != New(WithSeed) config %+v", a, b)
+	}
+	if len(old.Triggers()) != len(new_.Triggers()) {
+		t.Fatalf("trigger sets differ: %d vs %d", len(old.Triggers()), len(new_.Triggers()))
+	}
+}
+
+func TestDeprecatedNewBoardOnEngineSharesEngine(t *testing.T) {
+	eng := sim.New(1)
+	b := NewBoardOnEngine(eng, DefaultConfig())
+	if b.Eng != eng {
+		t.Fatal("NewBoardOnEngine did not use the shared engine")
+	}
+}

@@ -28,12 +28,13 @@ var ErrAllServFail = errors.New("core: all boards returned SERVFAIL")
 // NewFleet builds n boards that share one simulation engine (one
 // coherent virtual time). Each board keeps its own bridge — they are
 // separate hosts on the edge — and clients attach to every board's
-// network through per-board attachments.
-func NewFleet(n int, cfg BoardConfig) *Fleet {
+// network through per-board attachments. Options apply to every board.
+func NewFleet(n int, opts ...Option) *Fleet {
 	f := &Fleet{}
+	cfg := configFrom(opts)
 	eng := simNew(cfg.Seed)
 	for i := 0; i < n; i++ {
-		f.Boards = append(f.Boards, NewBoardOnEngine(eng, cfg))
+		f.Boards = append(f.Boards, buildBoard(eng, cfg))
 	}
 	return f
 }

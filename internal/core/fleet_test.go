@@ -20,7 +20,7 @@ func fleetService() ServiceConfig {
 }
 
 func TestFleetServesFromFirstBoard(t *testing.T) {
-	f := NewFleet(2, DefaultConfig())
+	f := NewFleet(2)
 	f.RegisterEverywhere(fleetService())
 	fc := f.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
 	var servedBy int
@@ -45,7 +45,7 @@ func TestFleetFailsOverOnServFail(t *testing.T) {
 	// Board 0 has no memory for guests: it must answer SERVFAIL and the
 	// client must transparently land on board 1.
 	cfg := DefaultConfig()
-	f := NewFleet(2, cfg)
+	f := NewFleet(2, WithConfig(cfg))
 	f.Boards[0].Hyp.TotalMemMiB = 8
 	svcs := f.RegisterEverywhere(fleetService())
 	fc := f.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
@@ -77,7 +77,7 @@ func TestFleetFailsOverOnServFail(t *testing.T) {
 func TestFleetAllBoardsFull(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.TotalMemMiB = 8
-	f := NewFleet(3, cfg)
+	f := NewFleet(3, WithConfig(cfg))
 	f.RegisterEverywhere(fleetService())
 	fc := f.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
 	var gotErr error
@@ -95,7 +95,7 @@ func TestFleetAllBoardsFull(t *testing.T) {
 }
 
 func TestFleetSharedVirtualTime(t *testing.T) {
-	f := NewFleet(2, DefaultConfig())
+	f := NewFleet(2)
 	if f.Boards[0].Eng != f.Boards[1].Eng {
 		t.Fatal("fleet boards must share one engine")
 	}
@@ -107,7 +107,7 @@ func TestFleetSharedVirtualTime(t *testing.T) {
 func TestFleetFailoverLatencyIsOneExtraRTT(t *testing.T) {
 	// Failing over costs one extra DNS round trip, not a timeout.
 	cfg := DefaultConfig()
-	f := NewFleet(2, cfg)
+	f := NewFleet(2, WithConfig(cfg))
 	f.Boards[0].Hyp.TotalMemMiB = 8
 	f.RegisterEverywhere(fleetService())
 	fc := f.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))

@@ -1,17 +1,13 @@
 package core
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
-	"strings"
 
-	"jitsu/internal/conduit"
 	"jitsu/internal/dns"
 	"jitsu/internal/netstack"
 	"jitsu/internal/sim"
 	"jitsu/internal/unikernel"
-	"jitsu/internal/xenstore"
 )
 
 // ErrNoSuchService is returned for lookups of unregistered names.
@@ -67,7 +63,7 @@ type Service struct {
 
 	lastActivity sim.Duration
 	launchStart  sim.Duration
-	waiters      []func(ok bool) // delayed-DNS responders (ablation)
+	waiters      []func(ok bool) // readiness waiters (delayed DNS, control plane)
 	// retired marks a deregistered service: an in-flight boot must tear
 	// its guest down on completion instead of resurrecting the entry.
 	retired bool
@@ -91,10 +87,14 @@ type Service struct {
 
 // Jitsu is the directory service: "the Xen equivalent of the venerable
 // inetd service on Unix, but instead of starting a process in response
-// to incoming traffic, it starts a unikernel".
+// to incoming traffic, it starts a unikernel". Signal handling lives in
+// the Trigger frontends (trigger.go); the lifecycle lives in the
+// Activation machine (activation.go); Jitsu itself is the directory
+// plus the typed control-plane verbs the api package exposes.
 type Jitsu struct {
 	board    *Board
 	zone     *dns.Zone
+	act      *Activation
 	services map[string]*Service
 	byIP     map[netstack.IP]*Service
 }
@@ -103,15 +103,34 @@ func newJitsu(b *Board, zone *dns.Zone) *Jitsu {
 	j := &Jitsu{board: b, zone: zone,
 		services: make(map[string]*Service),
 		byIP:     make(map[netstack.IP]*Service)}
+	j.act = newActivation(j)
+	var front Trigger
 	if b.Cfg.DelayDNSUntilReady {
-		b.DNS.InterceptAsync = j.interceptAsync
+		front = &asyncDNSTrigger{j: j}
 	} else {
-		b.DNS.Intercept = j.intercept
-		b.DNS.FastIntercept = j.fastIntercept
+		front = &dnsTrigger{j: j}
 	}
-	j.registerConduitEndpoint()
+	builtins := []Trigger{front, &conduitTrigger{j: j}}
+	if b.Syn != nil {
+		builtins = append(builtins, &synTrigger{j: j})
+	}
+	for _, t := range builtins {
+		if err := t.Attach(b); err != nil {
+			panic(fmt.Sprintf("core: attach %s trigger: %v", t.Name(), err))
+		}
+		b.triggers = append(b.triggers, t)
+	}
 	return j
 }
+
+// Activation exposes the board's shared activation state machine (the
+// seam every Trigger frontend fires).
+func (j *Jitsu) Activation() *Activation { return j.act }
+
+// Summon fires the activation machine for svc on behalf of a trigger
+// frontend — the single entry point behind the DNS, SYN, conduit,
+// cluster and prewarm paths.
+func (j *Jitsu) Summon(svc *Service, s Summon) Decision { return j.act.Fire(svc, s) }
 
 // Register adds a service to the directory. The VM is not started —
 // that is the whole point.
@@ -129,7 +148,7 @@ func (j *Jitsu) Register(cfg ServiceConfig) *Service {
 	svc.okLine = fmt.Sprintf("ok %s\n", cfg.IP)
 	j.services[name] = svc
 	j.byIP[cfg.IP] = svc
-	j.claimIdleIP(svc)
+	j.act.claimIdleIP(svc)
 	// A new registration changes what queries resolve to.
 	j.board.DNS.BumpEpoch()
 	return svc
@@ -144,127 +163,20 @@ func (j *Jitsu) Service(name string) (*Service, error) {
 	return svc, nil
 }
 
-// Services returns all registered services (stable order not needed by
-// callers; they index by name).
-func (j *Jitsu) Services() map[string]*Service { return j.services }
-
-// claimIdleIP puts a stopped service's address under proxy control:
-// Synjitsu aliases it (full handshake), or — without Synjitsu — the
-// directory host answers only ARP so SYNs transmit and die, the
-// baseline behaviour of Figure 9a.
-func (j *Jitsu) claimIdleIP(svc *Service) {
-	if j.board.Syn != nil {
-		j.board.Syn.claim(svc)
-	} else {
-		j.board.NS.ProxyARPFor(svc.Cfg.IP)
-		j.board.NS.AnnounceIP(svc.Cfg.IP)
+// Services returns a snapshot of the registered services, keyed by
+// canonical name. The map is a copy — mutating it does not touch the
+// directory — but the *Service values are the live entries.
+func (j *Jitsu) Services() map[string]*Service {
+	out := make(map[string]*Service, len(j.services))
+	for name, svc := range j.services {
+		out[name] = svc
 	}
+	return out
 }
 
-// releaseIdleIP undoes claimIdleIP when the real unikernel takes over.
-func (j *Jitsu) releaseIdleIP(svc *Service) {
-	if j.board.Syn != nil {
-		j.board.Syn.release(svc)
-	} else {
-		j.board.NS.RemoveProxyARP(svc.Cfg.IP)
-	}
-}
-
-// touch records service activity for the idle reaper.
-func (j *Jitsu) touch(svc *Service) {
-	svc.lastActivity = j.board.Eng.Now()
-}
-
-// intercept is the synchronous DNS hook: answer immediately, launching
-// as a side effect — "returning a DNS response as soon as the VM
-// resource allocation is complete".
-func (j *Jitsu) intercept(q dns.Question, resp *dns.Message) bool {
-	if q.Type != dns.TypeA && q.Type != dns.TypeANY {
-		return false
-	}
-	svc, ok := j.services[dns.CanonicalName(q.Name)]
-	if !ok {
-		return false
-	}
-	j.touch(svc)
-	if svc.State == StateStopped {
-		if j.board.Hyp.FreeMemMiB() < svc.Cfg.Image.MemMiB {
-			// "resource exhaustion can thus be returned in the DNS
-			// response as a SERVFAIL to indicate the client should go
-			// elsewhere".
-			svc.ServFails++
-			resp.RCode = dns.RCodeServFail
-			return true
-		}
-		svc.ColdStarts++
-		j.ensureRunning(svc, nil)
-	}
-	resp.Answers = append(resp.Answers, svc.answerRR)
-	return true
-}
-
-// fastIntercept is the allocation-free twin of intercept, consulted on
-// the DNS server's fast path. Same state machine, but the answer is the
-// service's pre-built RR, which the server caches as pre-encoded wire.
-func (j *Jitsu) fastIntercept(name []byte, typ dns.Type) (dns.Verdict, *dns.RR) {
-	if typ != dns.TypeA && typ != dns.TypeANY {
-		return dns.VerdictMiss, nil
-	}
-	svc, ok := j.services[string(name)] // alloc-free map probe
-	if !ok {
-		return dns.VerdictMiss, nil
-	}
-	j.touch(svc)
-	if svc.State == StateStopped {
-		if j.board.Hyp.FreeMemMiB() < svc.Cfg.Image.MemMiB {
-			svc.ServFails++
-			return dns.VerdictServFail, nil
-		}
-		svc.ColdStarts++
-		j.ensureRunning(svc, nil)
-	}
-	return dns.VerdictAnswer, &svc.answerRR
-}
-
-// interceptAsync is the rejected alternative (ablation): the DNS answer
-// is held until the unikernel is ready, removing the SYN race at the
-// cost of a much slower resolution.
-func (j *Jitsu) interceptAsync(query *dns.Message, respond func(*dns.Message)) bool {
-	if len(query.Questions) != 1 {
-		return false
-	}
-	q := query.Questions[0]
-	svc, ok := j.services[dns.CanonicalName(q.Name)]
-	if !ok || (q.Type != dns.TypeA && q.Type != dns.TypeANY) {
-		return false
-	}
-	j.touch(svc)
-	answer := func(ok bool) {
-		resp := &dns.Message{ID: query.ID, Response: true, Authoritative: true,
-			Questions: query.Questions}
-		if !ok {
-			resp.RCode = dns.RCodeServFail
-		} else {
-			resp.Answers = append(resp.Answers, svc.answerRR)
-		}
-		respond(resp)
-	}
-	if svc.State == StateReady {
-		answer(true)
-		return true
-	}
-	if svc.State == StateStopped {
-		if j.board.Hyp.FreeMemMiB() < svc.Cfg.Image.MemMiB {
-			svc.ServFails++
-			answer(false)
-			return true
-		}
-		svc.ColdStarts++
-		j.ensureRunning(svc, nil)
-	}
-	svc.waiters = append(svc.waiters, answer)
-	return true
-}
+// TriggerControl is the Summon.Via name for control-plane firings
+// (Jitsu.Activate, api.ControlPlane.Activate, warm-pool prewarms).
+const TriggerControl = "control"
 
 // Activate is the control-plane summon used by a cluster scheduler (and
 // the warm-pool manager): touch the service and launch it if stopped.
@@ -273,19 +185,12 @@ func (j *Jitsu) interceptAsync(query *dns.Message, respond func(*dns.Message)) b
 // ServFail, that is the caller's policy decision — when the image does
 // not fit. onReady may be nil.
 func (j *Jitsu) Activate(svc *Service, coldStart bool, onReady func(error)) error {
-	if svc.retired {
+	switch j.act.Fire(svc, Summon{Via: TriggerControl, ColdStart: coldStart, OnReady: onReady}) {
+	case DecisionRetired:
 		return ErrNoSuchService
+	case DecisionNoMemory:
+		return ErrNoMemory
 	}
-	j.touch(svc)
-	if svc.State == StateStopped {
-		if j.board.Hyp.FreeMemMiB() < svc.Cfg.Image.MemMiB {
-			return ErrNoMemory
-		}
-		if coldStart {
-			svc.ColdStarts++
-		}
-	}
-	j.ensureRunning(svc, onReady)
 	return nil
 }
 
@@ -313,19 +218,7 @@ func (j *Jitsu) Checkpoint(svc *Service) (*Checkpoint, bool) {
 // readiness arrives at a fraction of the usual boot latency. Counted in
 // Restores, not ColdStarts.
 func (j *Jitsu) Restore(svc *Service, cp *Checkpoint, onReady func(error)) error {
-	if svc.retired {
-		return ErrNoSuchService
-	}
-	if svc.State != StateStopped {
-		return errors.New("core: restore target not stopped")
-	}
-	if j.board.Hyp.FreeMemMiB() < cp.Image.MemMiB {
-		return ErrNoMemory
-	}
-	j.touch(svc)
-	svc.Restores++
-	j.launchVia(svc, j.board.Launcher.Restore, onReady)
-	return nil
+	return j.act.restore(svc, cp, onReady)
 }
 
 // Deregister removes a service from this board's directory: the VM (if
@@ -340,10 +233,10 @@ func (j *Jitsu) Deregister(svc *Service) bool {
 	}
 	svc.retired = true
 	if svc.State == StateReady {
-		j.stopNow(svc, nil) // re-claims the IP; released just below
+		j.act.stopNow(svc, nil) // re-claims the IP; released just below
 	}
-	j.flushWaiters(svc, false)
-	j.releaseIdleIP(svc)
+	j.act.flushWaiters(svc, false)
+	j.act.releaseIdleIP(svc)
 	delete(j.services, name)
 	delete(j.byIP, svc.Cfg.IP)
 	j.board.DNS.BumpEpoch()
@@ -363,166 +256,6 @@ func (j *Jitsu) StopWith(svc *Service, done func()) bool {
 	if svc.State != StateReady {
 		return false
 	}
-	j.stopNow(svc, done)
+	j.act.stopNow(svc, done)
 	return true
-}
-
-// stopNow tears a ready service down: shared by Stop and the idle reaper.
-func (j *Jitsu) stopNow(svc *Service, done func()) {
-	svc.Reaps++
-	g := svc.Guest
-	svc.Guest = nil
-	svc.State = StateStopped
-	j.claimIdleIP(svc)
-	j.board.Launcher.Destroy(g, func(error) {
-		if done != nil {
-			done()
-		}
-	})
-}
-
-// ensureRunning launches the service's unikernel if needed. onReady (may
-// be nil) fires once the unikernel serves.
-func (j *Jitsu) ensureRunning(svc *Service, onReady func(error)) {
-	switch svc.State {
-	case StateReady:
-		if onReady != nil {
-			onReady(nil)
-		}
-		return
-	case StateLaunching:
-		if onReady != nil {
-			prev := svc.waiters
-			svc.waiters = append(prev, func(ok bool) {
-				if ok {
-					onReady(nil)
-				} else {
-					onReady(errors.New("core: launch failed"))
-				}
-			})
-		}
-		return
-	}
-	j.launchVia(svc, j.board.Launcher.Launch, onReady)
-}
-
-// launchVia runs the launch state machine through the given boot path —
-// Launcher.Launch for a cold start, Launcher.Restore for a migrated-in
-// checkpoint. The caller guarantees svc is Stopped.
-func (j *Jitsu) launchVia(svc *Service, launch func(unikernel.Image, netstack.IP, func(*unikernel.Guest, error)), onReady func(error)) {
-	svc.State = StateLaunching
-	svc.Launches++
-	svc.launchStart = j.board.Eng.Now()
-	launch(svc.Cfg.Image, svc.Cfg.IP, func(g *unikernel.Guest, err error) {
-		if err != nil {
-			svc.State = StateStopped
-			j.flushWaiters(svc, false)
-			if onReady != nil {
-				onReady(err)
-			}
-			return
-		}
-		if svc.retired {
-			// The directory dropped this service mid-boot (its board
-			// departed): destroy the guest instead of resurrecting a
-			// retired registration and leaking its domain.
-			svc.State = StateStopped
-			j.board.Launcher.Destroy(g, nil)
-			j.flushWaiters(svc, false)
-			if onReady != nil {
-				onReady(errors.New("core: service deregistered during launch"))
-			}
-			return
-		}
-		svc.Guest = g
-		// Two-phase handoff from the proxy happens inside this same
-		// event, before any network event can interleave, so exactly
-		// one of Synjitsu or the unikernel ever answers a given packet.
-		j.releaseIdleIP(svc)
-		svc.State = StateReady
-		j.touch(svc)
-		j.scheduleReap(svc)
-		j.flushWaiters(svc, true)
-		if onReady != nil {
-			onReady(nil)
-		}
-	})
-}
-
-func (j *Jitsu) flushWaiters(svc *Service, ok bool) {
-	ws := svc.waiters
-	svc.waiters = nil
-	for _, w := range ws {
-		w(ok)
-	}
-}
-
-// scheduleReap arms the idle timer: when the service has seen no
-// activity for IdleTimeout, its VM is destroyed and the IP returns to
-// proxy control — "services listening on a network endpoint are always
-// available ... but are otherwise not running to reduce resource
-// utilisation".
-func (j *Jitsu) scheduleReap(svc *Service) {
-	idle := svc.Cfg.IdleTimeout
-	if idle <= 0 {
-		return
-	}
-	eng := j.board.Eng
-	deadline := svc.lastActivity + idle
-	eng.At(deadline, func() {
-		if svc.State != StateReady {
-			return
-		}
-		if eng.Now()-svc.lastActivity < idle {
-			j.scheduleReap(svc) // activity moved the deadline
-			return
-		}
-		j.stopNow(svc, nil)
-	})
-}
-
-// registerConduitEndpoint publishes the well-known jitsud name (§3.3:
-// "the Jitsu resolver is discovered via a well-known jitsud Conduit
-// node"). The protocol is line-based: "resolve <name>\n" →
-// "ok <ip>\n" | "servfail\n" | "nxdomain\n".
-func (j *Jitsu) registerConduitEndpoint() {
-	_, err := j.board.Registry.Register(xenstore.Dom0, "jitsud", func(ep *conduit.Endpoint) {
-		var buf []byte
-		ep.OnData(func(b []byte) {
-			buf = append(buf, b...)
-			for {
-				idx := bytes.IndexByte(buf, '\n')
-				if idx < 0 {
-					return
-				}
-				line := string(buf[:idx])
-				buf = buf[idx+1:]
-				ep.Write([]byte(j.handleResolve(line)))
-			}
-		})
-	})
-	if err != nil {
-		panic(fmt.Sprintf("core: register jitsud: %v", err))
-	}
-}
-
-func (j *Jitsu) handleResolve(line string) string {
-	name, ok := strings.CutPrefix(line, "resolve ")
-	if !ok {
-		return "badrequest\n"
-	}
-	svc, err := j.Service(strings.TrimSpace(name))
-	if err != nil {
-		return "nxdomain\n"
-	}
-	j.touch(svc)
-	if svc.State == StateStopped {
-		if j.board.Hyp.FreeMemMiB() < svc.Cfg.Image.MemMiB {
-			svc.ServFails++
-			return "servfail\n"
-		}
-		svc.ColdStarts++
-		j.ensureRunning(svc, nil)
-	}
-	return svc.okLine
 }

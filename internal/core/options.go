@@ -1,0 +1,97 @@
+package core
+
+import (
+	"jitsu/internal/sim"
+	"jitsu/internal/xen"
+	"jitsu/internal/xenstore"
+)
+
+// Option tunes one aspect of a board under construction. Options apply
+// on top of DefaultConfig, so `core.New()` is the headline Cubieboard2
+// configuration and each deviation is named at the call site:
+//
+//	b := core.New(core.WithSeed(7), core.WithSynjitsu(false))
+//
+// BoardConfig remains the underlying value; WithConfig replaces it
+// wholesale for callers migrating from the deprecated positional
+// constructors.
+type Option func(*BoardConfig)
+
+// WithConfig replaces the whole configuration (migration aid for code
+// that still assembles a BoardConfig by hand). Options after it apply
+// on top.
+func WithConfig(cfg BoardConfig) Option {
+	return func(c *BoardConfig) { *c = cfg }
+}
+
+// WithSeed sets the simulation seed.
+func WithSeed(seed int64) Option {
+	return func(c *BoardConfig) { c.Seed = seed }
+}
+
+// WithPlatform selects the hardware model (xen.CubieboardARM,
+// xen.GenericX86, ...).
+func WithPlatform(p *xen.Platform) Option {
+	return func(c *BoardConfig) { c.Platform = p }
+}
+
+// WithToolstack selects the toolstack optimisation stage
+// (xen.VanillaOpts, xen.OptimisedOpts, or a hand-built stage).
+func WithToolstack(opts xen.ToolstackOpts) Option {
+	return func(c *BoardConfig) { c.Toolstack = opts }
+}
+
+// WithReconciler selects the xenstored engine.
+func WithReconciler(r xenstore.Reconciler) Option {
+	return func(c *BoardConfig) { c.Reconciler = r }
+}
+
+// WithMemory sets guest-available RAM in MiB.
+func WithMemory(miB int) Option {
+	return func(c *BoardConfig) { c.TotalMemMiB = miB }
+}
+
+// WithZone sets the DNS apex the board is authoritative for.
+func WithZone(apex string) Option {
+	return func(c *BoardConfig) { c.Zone = apex }
+}
+
+// WithSynjitsu enables or disables the connection proxy.
+func WithSynjitsu(on bool) Option {
+	return func(c *BoardConfig) { c.Synjitsu = on }
+}
+
+// WithDelayedDNS selects the §3.3.1 alternative the paper rejects:
+// hold the DNS answer until the unikernel network is live.
+func WithDelayedDNS(on bool) Option {
+	return func(c *BoardConfig) { c.DelayDNSUntilReady = on }
+}
+
+// WithExtLink sets the external (client <-> board) link characteristics.
+func WithExtLink(latency sim.Duration, bitsPerSec float64) Option {
+	return func(c *BoardConfig) {
+		c.ExtLatency = latency
+		c.ExtBitsPerSec = bitsPerSec
+	}
+}
+
+// configFrom resolves DefaultConfig plus options.
+func configFrom(opts []Option) BoardConfig {
+	cfg := DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// New builds and wires a board on its own simulation engine.
+func New(opts ...Option) *Board {
+	cfg := configFrom(opts)
+	return buildBoard(sim.New(cfg.Seed), cfg)
+}
+
+// NewOnEngine builds a board on a shared engine, so several boards (a
+// Fleet, a cluster) advance through one coherent virtual time.
+func NewOnEngine(eng *sim.Engine, opts ...Option) *Board {
+	return buildBoard(eng, configFrom(opts))
+}

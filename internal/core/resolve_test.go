@@ -29,7 +29,7 @@ func resolveRig(t *testing.T, b *Board) func(line string) string {
 }
 
 func TestHandleResolveOK(t *testing.T) {
-	b := NewBoard(DefaultConfig())
+	b := New()
 	svc := b.Jitsu.Register(aliceService())
 	resolve := resolveRig(t, b)
 	if got := resolve("resolve alice.family.name\n"); got != "ok 10.0.0.20\n" {
@@ -48,7 +48,7 @@ func TestHandleResolveOK(t *testing.T) {
 }
 
 func TestHandleResolveNXDomain(t *testing.T) {
-	b := NewBoard(DefaultConfig())
+	b := New()
 	resolve := resolveRig(t, b)
 	if got := resolve("resolve ghost.family.name\n"); got != "nxdomain\n" {
 		t.Fatalf("reply = %q", got)
@@ -56,7 +56,7 @@ func TestHandleResolveNXDomain(t *testing.T) {
 }
 
 func TestHandleResolveBadRequest(t *testing.T) {
-	b := NewBoard(DefaultConfig())
+	b := New()
 	resolve := resolveRig(t, b)
 	for _, line := range []string{"summon alice.family.name\n", "resolvealice\n", "\n"} {
 		if got := resolve(line); got != "badrequest\n" {
@@ -68,7 +68,7 @@ func TestHandleResolveBadRequest(t *testing.T) {
 func TestHandleResolveServFail(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.TotalMemMiB = 8 // smaller than any image
-	b := NewBoard(cfg)
+	b := New(WithConfig(cfg))
 	svc := b.Jitsu.Register(aliceService())
 	resolve := resolveRig(t, b)
 	if got := resolve("resolve alice.family.name\n"); got != "servfail\n" {
@@ -82,7 +82,7 @@ func TestHandleResolveServFail(t *testing.T) {
 func TestHandleResolvePipelinedLines(t *testing.T) {
 	// Several commands in one write must each get an answer, in order —
 	// the line framing over the byte stream is part of the protocol.
-	b := NewBoard(DefaultConfig())
+	b := New()
 	b.Jitsu.Register(aliceService())
 	resolve := resolveRig(t, b)
 	got := resolve("resolve alice.family.name\nresolve ghost.family.name\nbogus\n")
@@ -97,7 +97,7 @@ func TestFleetClientAllBoardsRefuse(t *testing.T) {
 	// set, collects a SERVFAIL per board, and surfaces ErrAllServFail.
 	cfg := DefaultConfig()
 	cfg.TotalMemMiB = 8
-	f := NewFleet(4, cfg)
+	f := NewFleet(4, WithConfig(cfg))
 	svcs := f.RegisterEverywhere(fleetService())
 	fc := f.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
 	var gotErr error

@@ -23,6 +23,9 @@ type Synjitsu struct {
 	byIP      map[netstack.IP]*Service
 	conns     map[*Service][]*netstack.TCPConn
 	listeners map[uint16]bool
+	// trigger is the SYN activation frontend (set at attach time); the
+	// proxy owns the handshake, the trigger owns the launch decision.
+	trigger *synTrigger
 
 	// Proxied counts handshakes completed on behalf of booting VMs.
 	Proxied uint64
@@ -88,14 +91,13 @@ func (s *Synjitsu) accept(c *netstack.TCPConn) {
 		return
 	}
 	s.Proxied++
-	s.board.Jitsu.touch(svc)
 	s.conns[svc] = append(s.conns[svc], c)
 	s.recordEmbryonic(svc, c)
-	if svc.State == StateStopped {
-		// A SYN with no preceding DNS query still summons the service.
+	// A SYN with no preceding DNS query still summons the service: the
+	// trigger fires the shared Activation machine (which also refreshes
+	// the idle timer for warm connections).
+	if s.trigger != nil && s.trigger.fire(svc) {
 		s.SYNTriggeredLaunches++
-		svc.ColdStarts++
-		s.board.Jitsu.ensureRunning(svc, nil)
 	}
 }
 

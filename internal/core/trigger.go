@@ -1,0 +1,284 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"jitsu/internal/conduit"
+	"jitsu/internal/dns"
+	"jitsu/internal/xenstore"
+)
+
+// A Trigger is a pluggable activation frontend: it adapts one inbound
+// signal source — a DNS wire query, a raw TCP SYN, a conduit resolve
+// line, a predicted arrival — to the board's shared Activation machine.
+// A frontend resolves its target to a *Service (by name or by
+// endpoint), calls Activation.Fire with a Summon describing the firing,
+// and renders the returned Decision in its own protocol (an A record, a
+// SERVFAIL, an "ok <ip>" line, nothing at all). New workloads are a
+// Trigger implementation, not another fork of the core lifecycle.
+type Trigger interface {
+	// Name identifies the frontend in Activation.Fired and diagnostics.
+	Name() string
+	// Attach wires the trigger into its signal source on board b. The
+	// board attaches its built-in triggers at construction; additional
+	// ones (cluster scheduler, prewarm) arrive via Board.AddTrigger.
+	Attach(b *Board) error
+	// Detach unwires the trigger from its signal source (idempotent).
+	Detach()
+}
+
+// AddTrigger attaches an additional activation frontend to the board.
+func (b *Board) AddTrigger(t Trigger) error {
+	if err := t.Attach(b); err != nil {
+		return err
+	}
+	b.triggers = append(b.triggers, t)
+	return nil
+}
+
+// RemoveTrigger detaches a previously added trigger.
+func (b *Board) RemoveTrigger(t Trigger) {
+	for i, have := range b.triggers {
+		if have == t {
+			b.triggers = append(b.triggers[:i], b.triggers[i+1:]...)
+			t.Detach()
+			return
+		}
+	}
+}
+
+// Triggers lists the board's attached frontends (built-ins first).
+func (b *Board) Triggers() []Trigger {
+	out := make([]Trigger, len(b.triggers))
+	copy(out, b.triggers)
+	return out
+}
+
+// ---- DNS (synchronous): the paper's headline frontend ----
+
+// dnsTrigger answers A/ANY queries for registered services, launching
+// as a side effect — "returning a DNS response as soon as the VM
+// resource allocation is complete". It installs both the slow-path
+// Interceptor and its allocation-free fast-path twin; both drive the
+// Activation machine through the same Fire call.
+type dnsTrigger struct {
+	j *Jitsu
+	b *Board
+}
+
+// TriggerDNS is the synchronous DNS frontend's name.
+const TriggerDNS = "dns"
+
+func (t *dnsTrigger) Name() string { return TriggerDNS }
+
+func (t *dnsTrigger) Attach(b *Board) error {
+	t.b = b
+	b.DNS.Intercept = t.intercept
+	b.DNS.FastIntercept = t.fastIntercept
+	b.ClaimDNSFrontend(t)
+	return nil
+}
+
+func (t *dnsTrigger) Detach() {
+	if t.b == nil || t.b.DNSFrontend() != t {
+		return // displaced (e.g. by the cluster trigger): not ours to clear
+	}
+	t.b.DNS.Intercept = nil
+	t.b.DNS.FastIntercept = nil
+	t.b.ClaimDNSFrontend(nil)
+}
+
+// intercept is the slow-path hook: answer immediately, launching as a
+// side effect.
+func (t *dnsTrigger) intercept(q dns.Question, resp *dns.Message) bool {
+	if q.Type != dns.TypeA && q.Type != dns.TypeANY {
+		return false
+	}
+	svc, ok := t.j.services[dns.CanonicalName(q.Name)]
+	if !ok {
+		return false
+	}
+	if t.j.act.Fire(svc, Summon{Via: TriggerDNS, ColdStart: true, Refuse: true}) == DecisionNoMemory {
+		resp.RCode = dns.RCodeServFail
+		return true
+	}
+	resp.Answers = append(resp.Answers, svc.answerRR)
+	return true
+}
+
+// fastIntercept is the allocation-free twin of intercept, consulted on
+// the DNS server's fast path. Same state machine, but the answer is the
+// service's pre-built RR, which the server caches as pre-encoded wire.
+func (t *dnsTrigger) fastIntercept(name []byte, typ dns.Type) (dns.Verdict, *dns.RR) {
+	if typ != dns.TypeA && typ != dns.TypeANY {
+		return dns.VerdictMiss, nil
+	}
+	svc, ok := t.j.services[string(name)] // alloc-free map probe
+	if !ok {
+		return dns.VerdictMiss, nil
+	}
+	if t.j.act.Fire(svc, Summon{Via: TriggerDNS, ColdStart: true, Refuse: true}) == DecisionNoMemory {
+		return dns.VerdictServFail, nil
+	}
+	return dns.VerdictAnswer, &svc.answerRR
+}
+
+// ---- DNS (delayed): the rejected §3.3.1 alternative (ablation) ----
+
+// asyncDNSTrigger holds the DNS answer until the unikernel is ready,
+// removing the SYN race at the cost of a much slower resolution. Its
+// responders park in the Activation machine's waiter queue.
+type asyncDNSTrigger struct {
+	j *Jitsu
+	b *Board
+}
+
+// TriggerDNSAsync is the delayed-DNS frontend's name.
+const TriggerDNSAsync = "dns-async"
+
+func (t *asyncDNSTrigger) Name() string { return TriggerDNSAsync }
+
+func (t *asyncDNSTrigger) Attach(b *Board) error {
+	t.b = b
+	b.DNS.InterceptAsync = t.intercept
+	b.ClaimDNSFrontend(t)
+	return nil
+}
+
+func (t *asyncDNSTrigger) Detach() {
+	if t.b == nil || t.b.DNSFrontend() != t {
+		return
+	}
+	t.b.DNS.InterceptAsync = nil
+	t.b.ClaimDNSFrontend(nil)
+}
+
+func (t *asyncDNSTrigger) intercept(query *dns.Message, respond func(*dns.Message)) bool {
+	if len(query.Questions) != 1 {
+		return false
+	}
+	q := query.Questions[0]
+	svc, ok := t.j.services[dns.CanonicalName(q.Name)]
+	if !ok || (q.Type != dns.TypeA && q.Type != dns.TypeANY) {
+		return false
+	}
+	answer := func(ok bool) {
+		resp := &dns.Message{ID: query.ID, Response: true, Authoritative: true,
+			Questions: query.Questions}
+		if !ok {
+			resp.RCode = dns.RCodeServFail
+		} else {
+			resp.Answers = append(resp.Answers, svc.answerRR)
+		}
+		respond(resp)
+	}
+	if t.j.act.Fire(svc, Summon{Via: TriggerDNSAsync, ColdStart: true, Refuse: true}) == DecisionNoMemory {
+		answer(false)
+		return true
+	}
+	if svc.State == StateReady {
+		answer(true)
+		return true
+	}
+	t.j.act.AwaitReady(svc, answer)
+	return true
+}
+
+// ---- SYN: connections arriving outside any DNS resolution ----
+
+// synTrigger summons a service when a raw SYN reaches its proxied
+// address with no preceding DNS query (clients ignoring TTLs, §3.3).
+// Synjitsu completes the handshake either way; this trigger only owns
+// the launch decision. A SYN has no refusal channel, so the firing
+// forces past the memory gate — failure surfaces as the guest never
+// booting and the proxied connection timing out.
+type synTrigger struct {
+	j *Jitsu
+	b *Board
+}
+
+// TriggerSYN is the SYN frontend's name.
+const TriggerSYN = "syn"
+
+func (t *synTrigger) Name() string { return TriggerSYN }
+
+func (t *synTrigger) Attach(b *Board) error {
+	t.b = b
+	if b.Syn != nil {
+		b.Syn.trigger = t
+	}
+	return nil
+}
+
+func (t *synTrigger) Detach() {
+	if t.b != nil && t.b.Syn != nil && t.b.Syn.trigger == t {
+		t.b.Syn.trigger = nil
+	}
+}
+
+// fire is called by Synjitsu for every proxied connection; it reports
+// whether this SYN started the launch.
+func (t *synTrigger) fire(svc *Service) bool {
+	return t.j.act.Fire(svc, Summon{Via: TriggerSYN, ColdStart: true, Force: true}) == DecisionColdStart
+}
+
+// ---- Conduit: the toolkit resolve path ----
+
+// conduitTrigger publishes the well-known jitsud name (§3.3: "the Jitsu
+// resolver is discovered via a well-known jitsud Conduit node"). The
+// protocol is line-based: "resolve <name>\n" → "ok <ip>\n" |
+// "servfail\n" | "nxdomain\n".
+type conduitTrigger struct {
+	j *Jitsu
+}
+
+// TriggerConduit is the conduit resolve frontend's name.
+const TriggerConduit = "conduit"
+
+func (t *conduitTrigger) Name() string { return TriggerConduit }
+
+func (t *conduitTrigger) Attach(b *Board) error {
+	_, err := b.Registry.Register(xenstore.Dom0, "jitsud", func(ep *conduit.Endpoint) {
+		var buf []byte
+		ep.OnData(func(data []byte) {
+			buf = append(buf, data...)
+			for {
+				idx := bytes.IndexByte(buf, '\n')
+				if idx < 0 {
+					return
+				}
+				line := string(buf[:idx])
+				buf = buf[idx+1:]
+				ep.Write([]byte(t.handleResolve(line)))
+			}
+		})
+	})
+	if err != nil {
+		return fmt.Errorf("core: register jitsud: %w", err)
+	}
+	return nil
+}
+
+// Detach is a no-op: the conduit registry has no deregistration, and
+// the well-known node outlives any one consumer.
+func (t *conduitTrigger) Detach() {}
+
+func (t *conduitTrigger) handleResolve(line string) string {
+	name, ok := strings.CutPrefix(line, "resolve ")
+	if !ok {
+		return "badrequest\n"
+	}
+	svc, err := t.j.Service(strings.TrimSpace(name))
+	if err != nil {
+		return "nxdomain\n"
+	}
+	switch t.j.act.Fire(svc, Summon{Via: TriggerConduit, ColdStart: true, Refuse: true}) {
+	case DecisionNoMemory:
+		return "servfail\n"
+	case DecisionRetired:
+		return "nxdomain\n"
+	}
+	return svc.okLine
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"jitsu/internal/dns"
+	"jitsu/internal/netstack"
+	"jitsu/internal/sim"
+)
+
+// transitionRecorder captures every Activation state transition.
+type transitionRecorder struct {
+	got []string
+}
+
+func (r *transitionRecorder) hook(svc *Service, from, to ServiceState) {
+	r.got = append(r.got, fmt.Sprintf("%v->%v", from, to))
+}
+
+func (r *transitionRecorder) reset() { r.got = nil }
+
+func (r *transitionRecorder) equal(want []string) bool {
+	if len(r.got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if r.got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fireFunc drives one frontend through its real signal path.
+type fireFunc func(t *testing.T, b *Board, svc *Service)
+
+func fireDNSSlow(t *testing.T, b *Board, svc *Service) {
+	// Answer() is the decode/answer/encode slow path; it consults the
+	// synchronous Interceptor directly.
+	q := &dns.Message{ID: 7, Questions: []dns.Question{
+		{Name: svc.Cfg.Name, Type: dns.TypeA, Class: dns.ClassIN}}}
+	b.DNS.Answer(q)
+}
+
+func fireDNSFast(t *testing.T, b *Board, svc *Service) {
+	q := &dns.Message{ID: 7, Questions: []dns.Question{
+		{Name: svc.Cfg.Name, Type: dns.TypeA, Class: dns.ClassIN}}}
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := false
+	b.DNS.ServeWire(wire, func([]byte) { served = true })
+	if !served {
+		t.Fatal("fast path did not answer")
+	}
+}
+
+func fireSYN(t *testing.T, b *Board, svc *Service) {
+	client := b.AddClient("syn-client", netstack.IPv4(10, 0, 0, 99))
+	client.HTTPGet(svc.Cfg.IP, 80, "/", 5*time.Second,
+		func(*netstack.HTTPResponse, sim.Duration, error) {})
+}
+
+func fireConduit(t *testing.T, b *Board, svc *Service) {
+	ep, err := b.Registry.Connect(42, "jitsud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Write([]byte("resolve " + svc.Cfg.Name + "\n"))
+}
+
+func fireDNSAsync(t *testing.T, b *Board, svc *Service) {
+	q := &dns.Message{ID: 7, Questions: []dns.Question{
+		{Name: svc.Cfg.Name, Type: dns.TypeA, Class: dns.ClassIN}}}
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.DNS.ServeWire(wire, func([]byte) {})
+}
+
+// TestTriggerMatrix asserts that every frontend drives the shared
+// Activation machine through identical state transitions for the cold,
+// warm and out-of-memory cases. The one sanctioned divergence is the
+// SYN frontend under memory pressure: a raw SYN has no refusal channel,
+// so it forces a launch attempt that fails (stopped→launching→stopped)
+// where the answerable frontends refuse without touching the machine.
+func TestTriggerMatrix(t *testing.T) {
+	coldTransitions := []string{"stopped->launching", "launching->ready"}
+	forcedFail := []string{"stopped->launching", "launching->stopped"}
+
+	frontends := []triggerMatrixRow{
+		{name: "dns-slow", fire: fireDNSSlow, oomServFail: true, warmFires: true},
+		{name: "dns-fast", fire: fireDNSFast, oomServFail: true, warmFires: true},
+		{name: "syn", fire: fireSYN, oomTransitions: forcedFail, warmFires: false},
+		{name: "conduit", fire: fireConduit, oomServFail: true, warmFires: true},
+		{name: "dns-async", delayed: true, fire: fireDNSAsync, oomServFail: true, warmFires: true},
+	}
+
+	for _, fe := range frontends {
+		fe := fe
+		t.Run(fe.name+"/cold", func(t *testing.T) {
+			b := New(WithDelayedDNS(fe.delayed))
+			svc := b.Jitsu.Register(aliceService())
+			rec := &transitionRecorder{}
+			b.Jitsu.Activation().Trace = rec.hook
+			fe.fire(t, b, svc)
+			b.Eng.Run()
+			if !rec.equal(coldTransitions) {
+				t.Fatalf("cold transitions = %v, want %v", rec.got, coldTransitions)
+			}
+			if svc.ColdStarts != 1 || svc.Launches != 1 {
+				t.Fatalf("coldstarts=%d launches=%d, want 1/1", svc.ColdStarts, svc.Launches)
+			}
+		})
+		t.Run(fe.name+"/warm", func(t *testing.T) {
+			b := New(WithDelayedDNS(fe.delayed))
+			svc := b.Jitsu.Register(aliceService())
+			// Warm the service through the control plane, then watch the
+			// frontend firing leave the machine alone.
+			if err := b.Jitsu.Activate(svc, false, nil); err != nil {
+				t.Fatal(err)
+			}
+			b.Eng.Run()
+			if svc.State != StateReady {
+				t.Fatalf("precondition: state = %v", svc.State)
+			}
+			rec := &transitionRecorder{}
+			b.Jitsu.Activation().Trace = rec.hook
+			firedBefore := b.Jitsu.Activation().Fired()[fe.viaName()]
+			fe.fire(t, b, svc)
+			b.Eng.Run()
+			if !rec.equal(nil) {
+				t.Fatalf("warm transitions = %v, want none", rec.got)
+			}
+			if svc.Launches != 1 {
+				t.Fatalf("warm firing relaunched: %d", svc.Launches)
+			}
+			if fe.warmFires && b.Jitsu.Activation().Fired()[fe.viaName()] == firedBefore {
+				t.Fatalf("warm firing did not reach the machine via %q", fe.viaName())
+			}
+		})
+		t.Run(fe.name+"/oom", func(t *testing.T) {
+			b := New(WithDelayedDNS(fe.delayed), WithMemory(8))
+			svc := b.Jitsu.Register(aliceService())
+			rec := &transitionRecorder{}
+			b.Jitsu.Activation().Trace = rec.hook
+			fe.fire(t, b, svc)
+			b.Eng.Run()
+			if !rec.equal(fe.oomTransitions) {
+				t.Fatalf("oom transitions = %v, want %v", rec.got, fe.oomTransitions)
+			}
+			wantServFails := uint64(0)
+			if fe.oomServFail {
+				wantServFails = 1
+			}
+			if svc.ServFails != wantServFails {
+				t.Fatalf("servfails = %d, want %d", svc.ServFails, wantServFails)
+			}
+			if svc.State != StateStopped {
+				t.Fatalf("state = %v, want stopped", svc.State)
+			}
+		})
+	}
+}
+
+// triggerMatrixRow is one frontend of the matrix.
+type triggerMatrixRow struct {
+	name    string
+	delayed bool // board runs the delayed-DNS ablation frontend
+	fire    fireFunc
+	// oomTransitions is what the OOM firing drives (nil = none: the
+	// frontend refuses before the machine moves).
+	oomTransitions []string
+	// oomServFail: the refusal is surfaced (and counted) to a client.
+	oomServFail bool
+	// warmFires: a warm firing reaches the machine at all (a SYN to a
+	// ready service goes straight to the unikernel instead).
+	warmFires bool
+}
+
+// viaName maps the matrix row to the Summon.Via constant its frontend
+// reports.
+func (fe *triggerMatrixRow) viaName() string {
+	switch fe.name {
+	case "dns-slow", "dns-fast":
+		return TriggerDNS
+	case "dns-async":
+		return TriggerDNSAsync
+	case "syn":
+		return TriggerSYN
+	default:
+		return TriggerConduit
+	}
+}
+
+// TestServicesReturnsCopy pins the satellite fix: mutating the returned
+// map must not touch the directory.
+func TestServicesReturnsCopy(t *testing.T) {
+	b := New()
+	b.Jitsu.Register(aliceService())
+	m := b.Jitsu.Services()
+	delete(m, "alice.family.name")
+	m["bogus.family.name"] = &Service{}
+	if _, err := b.Jitsu.Service("alice.family.name"); err != nil {
+		t.Fatal("deleting from the Services() snapshot removed the registration")
+	}
+	if _, err := b.Jitsu.Service("bogus.family.name"); err == nil {
+		t.Fatal("inserting into the Services() snapshot registered a service")
+	}
+	if len(b.Jitsu.Services()) != 1 {
+		t.Fatalf("directory size = %d, want 1", len(b.Jitsu.Services()))
+	}
+}
+
+// TestFastPathStaysAllocFreeWithTrigger guards the bench gate at the
+// unit level: the DNS fast path through the dnsTrigger's Fire must not
+// allocate once the answer cache is warm.
+func TestFastPathStaysAllocFreeWithTrigger(t *testing.T) {
+	b := New()
+	svc := b.Jitsu.Register(aliceService())
+	if err := b.Jitsu.Activate(svc, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	b.Eng.Run()
+	q := &dns.Message{ID: 7, Questions: []dns.Question{
+		{Name: svc.Cfg.Name, Type: dns.TypeA, Class: dns.ClassIN}}}
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := func([]byte) {}
+	b.DNS.ServeWire(wire, sink) // prime the answer cache
+	allocs := testing.AllocsPerRun(200, func() {
+		b.DNS.ServeWire(wire, sink)
+	})
+	if allocs != 0 {
+		t.Fatalf("fast path allocates %.1f per query through the trigger", allocs)
+	}
+}
+
+// TestPrewarmTriggerLearnsRecurrence exercises the predictive frontend
+// end to end on one board: periodic visits beyond the idle timeout go
+// cold without it and warm with it.
+func TestPrewarmTriggerLearnsRecurrence(t *testing.T) {
+	run := func(withTrigger bool) (cold uint64, trig *PrewarmTrigger) {
+		b := New()
+		if withTrigger {
+			trig = NewPrewarmTrigger(2 * time.Second)
+			if err := b.AddTrigger(trig); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sc := aliceService()
+		sc.IdleTimeout = 6 * time.Second
+		svc := b.Jitsu.Register(sc)
+		client := b.AddClient("laptop", netstack.IPv4(10, 0, 0, 9))
+		for i := 0; i < 8; i++ {
+			at := sim.Duration(i) * 10 * time.Second
+			b.Eng.At(at, func() {
+				b.FetchViaDNS(client, svc.Cfg.Name, "/", 20*time.Second,
+					func(_ *netstack.HTTPResponse, _ sim.Duration, err error) {
+						if err != nil {
+							t.Errorf("fetch: %v", err)
+						}
+					})
+			})
+		}
+		b.Eng.Run()
+		return svc.ColdStarts, trig
+	}
+	coldWithout, _ := run(false)
+	coldWith, trig := run(true)
+	if coldWithout != 8 {
+		t.Fatalf("baseline cold starts = %d, want 8 (every visit)", coldWithout)
+	}
+	if coldWith > 3 {
+		t.Fatalf("cold starts with trigger = %d, want ≤3 (learning visits only)", coldWith)
+	}
+	if trig.Predictions == 0 || trig.Hits == 0 {
+		t.Fatalf("predictions=%d hits=%d, want >0", trig.Predictions, trig.Hits)
+	}
+	if trig.Misses != 0 {
+		t.Fatalf("misses = %d on a clean periodic pattern", trig.Misses)
+	}
+}

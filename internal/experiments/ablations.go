@@ -145,11 +145,8 @@ func AblationDelayedDNS(trials int) *Result {
 		dnsS := &metrics.Series{}
 		totS := &metrics.Series{}
 		for i := 0; i < trials; i++ {
-			bc := core.DefaultConfig()
-			bc.Seed = 1300 + int64(i)
-			bc.Synjitsu = st.syn
-			bc.DelayDNSUntilReady = st.delayed
-			b := core.NewBoard(bc)
+			b := core.New(core.WithSeed(1300+int64(i)),
+				core.WithSynjitsu(st.syn), core.WithDelayedDNS(st.delayed))
 			b.Jitsu.Register(core.ServiceConfig{
 				Name: "alice.family.name", IP: netstack.IPv4(10, 0, 0, 20), Port: 80,
 				Image: unikernel.UnikernelImage("alice", unikernel.NewStaticSiteApp("alice")),

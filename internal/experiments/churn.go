@@ -87,19 +87,20 @@ func runChurn(migrate bool, seed int64, trace []scalingArrival, horizon sim.Dura
 	if migrate {
 		label = "migrate"
 	}
-	cfg := cluster.DefaultConfig()
-	cfg.Boards = churnBoards
-	cfg.Board.Seed = seed
-	cfg.MigrateOnLeave = migrate
-	cfg.ProbeEvery = 1 * time.Second
-	// Exactly one warm replica per service: the replica that must move
-	// when its board leaves, rather than a pool that can mask the loss.
-	cfg.MaxWarmPerService = 1
-	c := cluster.New(cfg)
+	// Exactly one warm replica per service (WithWarmPool cap): the
+	// replica that must move when its board leaves, rather than a pool
+	// that can mask the loss.
+	c := cluster.NewCluster(
+		cluster.WithBoards(churnBoards),
+		cluster.WithSeed(seed),
+		cluster.WithMigrateOnLeave(migrate),
+		cluster.WithProbing(1*time.Second, 0, 0),
+		cluster.WithWarmPool(1.0, 1),
+	)
 	for s := 0; s < churnServices; s++ {
 		sc := scalingServiceConfig(s, 0)
 		sc.Image.MemMiB = churnImageMiB
-		c.Register(sc, cluster.ServiceOpts{MinWarm: 1})
+		c.RegisterService(sc, cluster.WithMinWarm(1))
 	}
 	cl := c.NewClient("edge-client", netstack.IPv4(10, 0, 0, 9))
 

@@ -98,11 +98,13 @@ func All(quick bool) []*Result {
 	scalingN := []int{1, 2, 4, 8}
 	scalingHorizon := 90 * time.Second
 	churnHorizon := 75 * time.Second
+	prewarmVisits := 40
 	if quick {
 		trials = 30
 		fig3N = []int{1, 10, 25, 50}
 		scalingN = []int{1, 4}
 		churnHorizon = 45 * time.Second
+		prewarmVisits = 24
 	}
 	return []*Result{
 		Fig3(fig3N),
@@ -116,5 +118,6 @@ func All(quick bool) []*Result {
 		Headline(trials / 4),
 		Scaling(scalingN, scalingHorizon),
 		Churn(churnHorizon),
+		Prewarm(prewarmVisits),
 	}
 }

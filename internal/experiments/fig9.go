@@ -53,11 +53,8 @@ func Fig9a(trials int) *Result {
 
 // fig9aTrial boots a fresh board and measures one cold request.
 func fig9aTrial(cfg fig9aConfig, seed int64) (sim.Duration, error) {
-	bc := core.DefaultConfig()
-	bc.Seed = 900 + seed
-	bc.Synjitsu = cfg.synjitsu
-	bc.Toolstack = cfg.toolstack
-	b := core.NewBoard(bc)
+	b := core.New(core.WithSeed(900+seed),
+		core.WithSynjitsu(cfg.synjitsu), core.WithToolstack(cfg.toolstack))
 	b.Jitsu.Register(core.ServiceConfig{
 		Name:  "alice.family.name",
 		IP:    netstack.IPv4(10, 0, 0, 20),
@@ -149,10 +146,8 @@ func Headline(trials int) *Result {
 	for ri, row := range rows {
 		s := &metrics.Series{Name: row.name}
 		for i := 0; i < trials; i++ {
-			bc := core.DefaultConfig()
-			bc.Seed = 970 + int64(ri*1000+i)
-			bc.Platform = row.platform()
-			b := core.NewBoard(bc)
+			b := core.New(core.WithSeed(970+int64(ri*1000+i)),
+				core.WithPlatform(row.platform()))
 			b.Jitsu.Register(core.ServiceConfig{
 				Name: "svc.family.name", IP: netstack.IPv4(10, 0, 0, 20), Port: 80,
 				Image: unikernel.UnikernelImage("svc", unikernel.NewStaticSiteApp("svc")),
@@ -204,9 +199,7 @@ func Throughput() *Result {
 }
 
 func measureQueueGoodput() float64 {
-	bc := core.DefaultConfig()
-	bc.Seed = 990
-	b := core.NewBoard(bc)
+	b := core.New(core.WithSeed(990))
 	app := unikernel.NewQueueServiceApp()
 	b.Jitsu.Register(core.ServiceConfig{
 		Name: "queue.family.name", IP: netstack.IPv4(10, 0, 0, 40), Port: 80,
@@ -247,9 +240,7 @@ func measureQueueGoodput() float64 {
 }
 
 func measureBulkTCP(mirage bool) float64 {
-	bc := core.DefaultConfig()
-	bc.Seed = 991
-	b := core.NewBoard(bc)
+	b := core.New(core.WithSeed(991))
 	img := unikernel.UnikernelImage("sink", &unikernel.EchoApp{Port: 5001})
 	if !mirage {
 		img = unikernel.LinuxImage("sink", &unikernel.EchoApp{Port: 5001})

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"jitsu/internal/core"
+	"jitsu/internal/metrics"
+	"jitsu/internal/netstack"
+	"jitsu/internal/sim"
+	"jitsu/internal/unikernel"
+)
+
+// The prewarm workload: services visited on a routine — a check-in
+// roughly every ten seconds, jittered — but reaped after six idle
+// seconds, so every visit's first request rides a fresh cold boot. The
+// PrewarmTrigger learns the routine from the activation stream and
+// boots each service just ahead of its predicted next visit; the same
+// trace then lands on a warm unikernel almost every time. This is the
+// trigger-API extensibility proof: no packet arrives, yet a frontend
+// summons unikernels through exactly the seam DNS/SYN/conduit use.
+const (
+	prewarmServices = 3
+	prewarmPeriod   = 10 * time.Second
+	prewarmJitter   = 500 * time.Millisecond
+	prewarmIdle     = 6 * time.Second
+	prewarmLead     = 2 * time.Second
+	// prewarmWarmup is how many visits the trigger needs before its
+	// predictions arm; the "steady" series starts after them.
+	prewarmWarmup = 3
+)
+
+type prewarmArrival struct {
+	at    sim.Duration
+	svc   int
+	visit int
+}
+
+// prewarmTrace builds the jittered periodic visit schedule, shared
+// verbatim by the with- and without-trigger runs.
+func prewarmTrace(seed int64, visits int) []prewarmArrival {
+	rng := rand.New(rand.NewSource(seed))
+	var trace []prewarmArrival
+	for s := 0; s < prewarmServices; s++ {
+		// Stagger the services so their boots don't synchronise.
+		base := sim.Duration(s+1) * 2 * time.Second
+		for i := 0; i < visits; i++ {
+			jit := sim.Duration((rng.Float64()*2 - 1) * float64(prewarmJitter))
+			trace = append(trace, prewarmArrival{
+				at: base + sim.Duration(i)*prewarmPeriod + jit, svc: s, visit: i})
+		}
+	}
+	sort.Slice(trace, func(i, j int) bool {
+		if trace[i].at != trace[j].at {
+			return trace[i].at < trace[j].at
+		}
+		return trace[i].svc < trace[j].svc
+	})
+	return trace
+}
+
+type prewarmOutcome struct {
+	all         *metrics.Series
+	steady      *metrics.Series
+	errs        int
+	cold        uint64
+	predictions uint64
+	hits        uint64
+	misses      uint64
+}
+
+// runPrewarm replays the visit schedule with or without the trigger.
+func runPrewarm(on bool, seed int64, trace []prewarmArrival) *prewarmOutcome {
+	label := "prewarm-off"
+	if on {
+		label = "prewarm-on"
+	}
+	b := core.New(core.WithSeed(seed))
+	var trig *core.PrewarmTrigger
+	if on {
+		trig = core.NewPrewarmTrigger(prewarmLead)
+		if err := b.AddTrigger(trig); err != nil {
+			panic(fmt.Sprintf("prewarm: attach trigger: %v", err))
+		}
+	}
+	var svcs []*core.Service
+	for s := 0; s < prewarmServices; s++ {
+		name := fmt.Sprintf("svc%02d.family.name", s)
+		svcs = append(svcs, b.Jitsu.Register(core.ServiceConfig{
+			Name:        name,
+			IP:          netstack.IPv4(10, 0, 0, byte(20+s)),
+			Port:        80,
+			IdleTimeout: prewarmIdle,
+			Image:       unikernel.UnikernelImage(fmt.Sprintf("svc%02d", s), unikernel.NewStaticSiteApp(name)),
+		}))
+	}
+	client := b.AddClient("visitor", netstack.IPv4(10, 0, 0, 9))
+
+	out := &prewarmOutcome{
+		all:    &metrics.Series{Name: label},
+		steady: &metrics.Series{Name: label + " steady"},
+	}
+	for _, a := range trace {
+		a := a
+		name := fmt.Sprintf("svc%02d.family.name", a.svc)
+		b.Eng.At(a.at, func() {
+			b.FetchViaDNS(client, name, "/", 30*time.Second,
+				func(resp *netstack.HTTPResponse, d sim.Duration, err error) {
+					if err != nil {
+						out.errs++
+						return
+					}
+					out.all.Add(d)
+					if a.visit >= prewarmWarmup {
+						out.steady.Add(d)
+					}
+				})
+		})
+	}
+	b.Eng.Run()
+	for _, svc := range svcs {
+		out.cold += svc.ColdStarts
+	}
+	if trig != nil {
+		out.predictions = trig.Predictions
+		out.hits = trig.Hits
+		out.misses = trig.Misses
+	}
+	return out
+}
+
+// Prewarm contrasts the same jittered periodic visit schedule with and
+// without the predictive trigger: time-to-first-response per visit,
+// overall and after the warm-up visits the trigger needs to learn the
+// pattern.
+func Prewarm(visits int) *Result {
+	r := newResult("Prewarm", "predictive prewarm trigger vs cold boots on recurring visits")
+	trace := prewarmTrace(11000, visits)
+	off := runPrewarm(false, 11100, trace)
+	on := runPrewarm(true, 11100, trace)
+
+	tab := metrics.NewTable("",
+		"policy", "n-ok", "p50", "p95", "steady-p50", "steady-p95", "coldstarts", "predictions", "hits", "misses")
+	for _, o := range []*prewarmOutcome{off, on} {
+		tab.AddRow(o.all.Name, o.all.Len(), o.all.Percentile(0.5), o.all.Percentile(0.95),
+			o.steady.Percentile(0.5), o.steady.Percentile(0.95),
+			o.cold, o.predictions, o.hits, o.misses)
+		r.Series[o.all.Name] = o.all
+		r.Series[o.steady.Name] = o.steady
+	}
+	r.Output = tab.String()
+	r.addNote("both runs share one jittered periodic visit schedule; the visit period (10s) exceeds the idle timeout (6s), so without the trigger every visit pays a fresh cold boot")
+	r.addNote("expected shape: the trigger needs a few visits to learn each service's gap, then boots it ~2s ahead of the predicted arrival — steady-state p95 drops from the cold-boot band (~300ms) to the warm path (~ms)")
+	return r
+}

@@ -97,9 +97,7 @@ func (o *scalingOutcome) refusedPct() float64 {
 // board registers every service, the client walks the NS set on
 // SERVFAIL.
 func runScalingFleet(n int, seed int64, trace []scalingArrival) *scalingOutcome {
-	bc := core.DefaultConfig()
-	bc.Seed = seed
-	fl := core.NewFleet(n, bc)
+	fl := core.NewFleet(n, core.WithSeed(seed))
 	var svcs [][]*core.Service
 	for s := 0; s < scalingHotServices+scalingColdServices; s++ {
 		svcs = append(svcs, fl.RegisterEverywhere(scalingServiceConfig(s, scalingIdleTimeout)))
@@ -134,12 +132,9 @@ func runScalingFleet(n int, seed int64, trace []scalingArrival) *scalingOutcome 
 // runScalingCluster replays the trace against the control plane: one
 // query, scheduler-picked board, EWMA-sized warm pools.
 func runScalingCluster(n int, seed int64, trace []scalingArrival) *scalingOutcome {
-	ccfg := cluster.DefaultConfig()
-	ccfg.Boards = n
-	ccfg.Board.Seed = seed
-	c := cluster.New(ccfg)
+	c := cluster.NewCluster(cluster.WithBoards(n), cluster.WithSeed(seed))
 	for s := 0; s < scalingHotServices+scalingColdServices; s++ {
-		c.Register(scalingServiceConfig(s, 0), cluster.ServiceOpts{})
+		c.RegisterService(scalingServiceConfig(s, 0))
 	}
 	cl := c.NewClient("edge-client", netstack.IPv4(10, 0, 0, 9))
 	out := &scalingOutcome{lat: &metrics.Series{Name: fmt.Sprintf("cluster@%d", n)}, total: len(trace)}
