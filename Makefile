@@ -1,9 +1,12 @@
 # Jitsu reproduction — build / test / perf-record / CI-gate targets.
 #
 # `make ci` runs the exact gate GitHub Actions runs (.github/workflows/
-# go.yml): vet + gofmt, build, tests (plain and -race), a fuzz smoke
-# pass, the bench-regression gate against the committed baseline, and
-# the determinism check (every experiment twice, fingerprints diffed).
+# go.yml): vet + gofmt + staticcheck + actionlint, build, tests (plain
+# and -race), fuzz smoke passes over both wire codecs, the
+# bench-regression gate against the committed baseline, and the
+# determinism check (every experiment twice, fingerprints diffed).
+# The nightly workflow (.github/workflows/nightly-fuzz.yml) runs the
+# same fuzz targets for 10 minutes each.
 
 # pipefail so a failing `go test` is not masked by the benchjson stage
 # of the bench pipeline.
@@ -12,14 +15,17 @@ SHELL := /bin/bash
 
 GO ?= go
 # The perf record this branch writes; bump per PR to grow the trajectory.
-BENCH_OUT ?= BENCH_pr4.json
+BENCH_OUT ?= BENCH_pr5.json
 # The committed baseline the bench gate compares against.
-BENCH_BASE ?= BENCH_pr3.json
+BENCH_BASE ?= BENCH_pr4.json
 # Allowed fractional ns/op regression before the gate fails.
 BENCH_TOLERANCE ?= 0.25
 FUZZTIME ?= 10s
+# Pinned static-analysis tool versions — CI and `make ci` must agree.
+STATICCHECK_VERSION ?= 2025.1.1
+ACTIONLINT_VERSION ?= v1.7.7
 
-.PHONY: all build test vet race fmt-check deprecations fuzz bench bench-gate determinism ci
+.PHONY: all build test vet race fmt-check deprecations staticcheck actionlint fuzz fuzz-summary bench bench-gate determinism ci
 
 all: vet build test
 
@@ -50,10 +56,27 @@ deprecations:
 		| grep -v '^internal/core/board.go' || true); \
 	if [ -n "$$out" ]; then echo "deprecated constructor calls (use core.New/NewOnEngine, cluster.NewCluster):"; echo "$$out"; exit 1; fi
 
-# Short fuzz pass over the wire codecs (the long-running fuzzing is
-# interactive: go test -fuzz=FuzzDNSCodec ./internal/dns).
+# staticcheck runs the pinned honnef.co analyzer over every package;
+# `go run` resolves the exact version, so CI (module-cached) and local
+# runs execute identical binaries.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+# actionlint lints the GitHub Actions workflows themselves, so a typo'd
+# gate cannot silently stop gating.
+actionlint:
+	$(GO) run github.com/rhysd/actionlint/cmd/actionlint@$(ACTIONLINT_VERSION)
+
+# Short fuzz passes over the wire codecs (the long-running fuzzing is
+# the nightly workflow, or interactively: go test -fuzz=FuzzDNSCodec
+# ./internal/dns).
 fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzDNSCodec -fuzztime=$(FUZZTIME) ./internal/dns
+	$(MAKE) fuzz-summary
+
+# fuzz-summary smokes the federation root's summary codec.
+fuzz-summary:
+	$(GO) test -run '^$$' -fuzz=FuzzSummaryTable -fuzztime=$(FUZZTIME) ./internal/cluster
 
 # bench runs the full evaluation + hot-path microbenches with -benchmem
 # and records the numbers as JSON. The experiment benches double as the
@@ -72,8 +95,9 @@ $(BENCH_OUT):
 	$(MAKE) bench BENCH_OUT=$(BENCH_OUT)
 
 # determinism runs every experiment twice with the same seeds (churn,
-# gossip membership and migrations included) and diffs the per-series
-# fingerprints: any divergence is a reproducibility bug.
+# gossip membership, migrations and the federation's summarized
+# delegation included) and diffs the per-series fingerprints: any
+# divergence is a reproducibility bug.
 determinism:
 	$(GO) run ./cmd/jitsu-bench -run all -quick -fingerprint > .fingerprints-a
 	$(GO) run ./cmd/jitsu-bench -run all -quick -fingerprint > .fingerprints-b
@@ -82,7 +106,7 @@ determinism:
 
 # ci mirrors .github/workflows/go.yml so contributors run the exact
 # gate locally before pushing.
-ci: vet fmt-check deprecations build test race
+ci: vet fmt-check deprecations staticcheck actionlint build test race
 	$(MAKE) fuzz FUZZTIME=30s
 	$(MAKE) bench BENCH_OUT=bench-ci.json
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) -tolerance $(BENCH_TOLERANCE) bench-ci.json

@@ -152,6 +152,21 @@ func BenchmarkChurnMigration(b *testing.B) {
 	}
 }
 
+// BenchmarkFederationSkew runs the cluster-of-clusters experiment and
+// reports the federation's post-skew p95 time-to-first-response before
+// and after the automatic cross-cluster rebalance, next to the frozen
+// (no-rebalance) federation's unrecovered late window.
+func BenchmarkFederationSkew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Federation(60 * time.Second)
+		if i == 0 {
+			b.ReportMetric(float64(r.Series["fed-4x4 post-skew-early"].Percentile(0.95))/1e6, "fed-early-p95-ms")
+			b.ReportMetric(float64(r.Series["fed-4x4 post-skew-late"].Percentile(0.95))/1e6, "fed-late-p95-ms")
+			b.ReportMetric(float64(r.Series["fed-4x4-norebalance post-skew-late"].Percentile(0.95))/1e6, "frozen-late-p95-ms")
+		}
+	}
+}
+
 // BenchmarkPrewarmTrigger runs the predictive-trigger experiment and
 // reports both policies' steady-state p95 time-to-first-response: the
 // learned prewarm path vs the cold boot every recurring visit pays

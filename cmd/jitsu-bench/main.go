@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	jitsu-bench [-run all|fig3|fig4|fig8|fig9a|fig9b|table1|table2|throughput|headline|scaling|churn|prewarm|ablations] [-quick] [-boards 1,2,4,8] [-fingerprint]
+//	jitsu-bench [-run all|fig3|fig4|fig8|fig9a|fig9b|table1|table2|throughput|headline|scaling|churn|prewarm|federation|ablations] [-quick] [-boards 1,2,4,8] [-fingerprint]
 package main
 
 import (
@@ -35,11 +35,13 @@ func main() {
 	fig3N := []int{1, 25, 50, 100, 150, 200}
 	scalingHorizon := 90 * time.Second
 	churnHorizon := 75 * time.Second
+	federationHorizon := 60 * time.Second
 	prewarmVisits := 40
 	if *quick {
 		trials = 30
 		fig3N = []int{1, 10, 25, 50}
 		churnHorizon = 45 * time.Second
+		federationHorizon = 45 * time.Second
 		prewarmVisits = 24
 	}
 	boardsSet := *boards != ""
@@ -92,6 +94,8 @@ func main() {
 		results = append(results, experiments.Churn(churnHorizon))
 	case "prewarm":
 		results = append(results, experiments.Prewarm(prewarmVisits))
+	case "federation":
+		results = append(results, experiments.Federation(federationHorizon))
 	case "ablations":
 		results = append(results,
 			experiments.AblationMergeStrategies(30),

@@ -12,11 +12,19 @@
 // shorthand for a default join/leave schedule with the gossip failure
 // detector probing actively.
 //
+// With -clusters M (M > 1) it runs a federation: M clusters of -boards
+// boards each behind a summarized root directory. Queries resolve at
+// the root (which delegates to the owning cluster), services home on
+// the least-loaded cluster, refusals spill across clusters, and
+// sustained load skew sheds warm replicas between clusters — all
+// automatic.
+//
 // Usage:
 //
 //	jitsud [-services 4] [-requests 24] [-idle 30s] [-no-synjitsu] [-seed 1]
 //	       [-boards 1] [-policy least-loaded] [-min-warm 0]
 //	       [-churn] [-join 20s] [-leave 30s]
+//	       [-clusters 1]
 package main
 
 import (
@@ -48,6 +56,7 @@ func main() {
 	churn := flag.Bool("churn", false, "cluster mode: run a default join/leave schedule under active gossip probing")
 	joinAt := flag.Duration("join", 0, "cluster mode: a new board joins at this virtual time (0 = never)")
 	leaveAt := flag.Duration("leave", 0, "cluster mode: the highest board leaves gracefully at this virtual time (0 = never)")
+	clusters := flag.Int("clusters", 1, "clusters in the deployment (>1 runs the federation tier over -boards boards each)")
 	flag.Parse()
 
 	if *services < 1 {
@@ -65,6 +74,19 @@ func main() {
 		if *joinAt == 0 {
 			*joinAt = traceSpan / 2
 		}
+	}
+	if *clusters > 1 {
+		if *churn || *joinAt > 0 || *leaveAt > 0 {
+			fmt.Fprintln(os.Stderr, "jitsud: -churn/-join/-leave apply to cluster mode, not federation mode")
+			os.Exit(2)
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "idle" {
+				fmt.Fprintln(os.Stderr, "jitsud: -idle is ignored in federation mode (the warm-pool managers own replica lifecycle)")
+			}
+		})
+		runFederation(*clusters, *boards, *services, *requests, *seed, *policy, *minWarm, !*noSyn)
+		return
 	}
 	if *boards > 1 {
 		idleSet := false
@@ -289,5 +311,93 @@ func runCluster(boards, services, requests int, seed int64, policyName string, m
 	fmt.Println()
 	for _, m := range c.Members() {
 		fmt.Printf("board %d [%s]: %s\n", m.ID, m.State, m.Board.Hyp)
+	}
+}
+
+// runFederation is the cluster-of-clusters mode: the same request
+// trace resolved at the summarized root directory, which delegates each
+// query to the owning cluster's board-0 directory.
+func runFederation(clusters, boardsPer, services, requests int, seed int64, policyName string, minWarm int, synjitsu bool) {
+	pol := cluster.PolicyByName(policyName)
+	if pol == nil {
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", policyName)
+		os.Exit(2)
+	}
+	f := cluster.NewFederation(
+		cluster.WithClusters(clusters),
+		cluster.WithMemberOptions(
+			cluster.WithBoards(boardsPer),
+			cluster.WithSeed(seed),
+			cluster.WithBoardOptions(core.WithSynjitsu(synjitsu)),
+			cluster.WithPolicy(pol),
+		),
+		cluster.WithSummaryEvery(500*time.Millisecond),
+	)
+	zone := f.Cfg.Cluster.Board.Zone
+	var sopts []cluster.ServiceOption
+	if minWarm > 0 {
+		sopts = append(sopts, cluster.WithMinWarm(minWarm))
+	}
+	for i := 0; i < services; i++ {
+		n := serviceNames[i]
+		m, e := f.RegisterService(core.ServiceConfig{
+			Name:  n + "." + zone,
+			IP:    netstack.IPv4(10, 0, 0, byte(20+i)),
+			Port:  80,
+			Image: unikernel.UnikernelImage(n, unikernel.NewStaticSiteApp(n)),
+		}, sopts...)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "jitsud: could not home %s\n", n)
+			os.Exit(1)
+		}
+		fmt.Printf("  %s -> cluster %d (least-loaded home)\n", e.Name, m.ID)
+	}
+	fc := f.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
+
+	fmt.Printf("\njitsud federation: %d clusters x %d boards, policy %s, synjitsu=%v, %d services, min-warm %d\n\n",
+		clusters, boardsPer, pol.Name(), synjitsu, services, minWarm)
+	fmt.Printf("%-12s %-22s %-8s %-9s %-12s %s\n", "time", "request", "status", "c/b", "latency", "note")
+
+	lat := &metrics.Series{Name: "request latency"}
+	var issue func(i int)
+	issue = func(i int) {
+		if i >= requests {
+			f.Stop()
+			return
+		}
+		name := serviceNames[i%services] + "." + zone
+		fc.Fetch(name, "/", 30*time.Second,
+			func(cl, board int, resp *netstack.HTTPResponse, d sim.Duration, err error) {
+				status, note := "ERR", ""
+				switch {
+				case err != nil:
+					note = err.Error()
+				default:
+					status = fmt.Sprint(resp.Status)
+					lat.Add(d)
+				}
+				fmt.Printf("%-12v %-22s %-8s %2d/%-6d %-12v %s\n",
+					f.Eng().Now().Round(time.Millisecond), name, status, cl, board, d.Round(100*time.Microsecond), note)
+				f.Eng().After(2*time.Second, func() { issue(i + 1) })
+			})
+	}
+	// The registrations' summary pushes ride the management link; start
+	// the trace once the root has heard about every service.
+	f.Eng().After(50*time.Millisecond, func() { issue(0) })
+	f.RunAll()
+
+	fmt.Printf("\n%s\n", lat.Summary())
+	root := f.Root()
+	fmt.Printf("root directory: %d summary rows, %d lookups, %d delegations (%d cache hits, %d negative hits), %d scans\n",
+		root.StateSize, root.Lookups, root.Delegations, root.DelegHits, root.NegHits, root.Scans)
+	fmt.Printf("inter-cluster: %d spills, %d sheds, %d cross-cluster migrations, %d aborts\n",
+		f.Spills, f.Sheds, f.CrossMigrations, f.CrossAborts)
+	for _, m := range f.Members() {
+		state := "live"
+		if m.Left {
+			state = "left"
+		}
+		fmt.Printf("cluster %d [%s]: %d services, %d warm hits, %d placed, %d refused\n",
+			m.ID, state, len(m.Cluster.Directory().Entries()), m.Cluster.WarmHits, m.Cluster.Placed, m.Cluster.ServFails)
 	}
 }

@@ -24,14 +24,40 @@
 //     recurring arrivals, with no packet at all. New workloads are a
 //     Trigger implementation, not a fork of the lifecycle.
 //   - internal/api is the typed control-plane surface (Register /
-//     Activate / Checkpoint / Restore / Migrate / Stop / Stats with
-//     error codes). cmd/jitsud and the cluster's migration path speak
-//     it; api.ForBoard adapts one board, Cluster.API a whole cluster.
+//     Activate / Checkpoint / Restore / Migrate / Transfer / Stop /
+//     Stats with error codes). cmd/jitsud and the cluster's migration
+//     path speak it; api.ForBoard adapts one board, Cluster.API a whole
+//     cluster; Transfer is the federation leg that hands a service —
+//     optionally with its checkpointed warm state — to another cluster.
+//
+// # Federation layering
+//
+// Above the cluster sits the cluster-of-clusters tier
+// (cluster.NewFederation), shaped by the hierarchical-directory
+// literature: per-cluster directories stay the authoritative leaves,
+// and the root holds only summaries:
+//
+//	client ──DNS──> root directory        state: one Summary per cluster
+//	                  │                    (bloom over names, load/memory
+//	                  │ delegate            aggregates) — O(clusters)
+//	                  v
+//	            owning cluster's board-0 directory — authoritative,
+//	            schedules the placement and answers; the root caches
+//	            the delegation (and negatives) stamped with
+//	            dns.Server.Epoch, invalidated wholesale on any
+//	            member directory change
+//
+// Placement is hierarchical too: services home on the least-loaded
+// cluster, a refused admission spills the service to a cluster with
+// room, and sustained load skew across the gossiped per-cluster EWMAs
+// sheds warm replicas between clusters (Checkpoint -> Transfer ->
+// Restore, make-before-break) — rebalance is a detector, not an
+// operator call.
 //
 // Boards and clusters are built with functional options (core.New,
-// core.NewOnEngine, cluster.NewCluster); the positional constructors
-// (core.NewBoard, core.NewBoardOnEngine, cluster.New) remain as thin
-// deprecated shims.
+// core.NewOnEngine, cluster.NewCluster, cluster.NewFederation); the
+// positional constructors (core.NewBoard, core.NewBoardOnEngine,
+// cluster.New) remain as thin deprecated shims.
 //
 // The implementation lives under internal/ (one package per subsystem —
 // see DESIGN.md for the inventory); runnable entry points are in cmd/

@@ -38,6 +38,10 @@ const (
 	// CodeUnavailable: the deployment cannot perform the operation at
 	// all (migration on a single board, departed board).
 	CodeUnavailable
+	// CodeMoved: the service was handed to another cluster (federation
+	// spill or skew shed); the detail names the new home and callers
+	// should re-resolve at the federation root.
+	CodeMoved
 )
 
 func (c Code) String() string {
@@ -52,6 +56,8 @@ func (c Code) String() string {
 		return "conflict"
 	case CodeUnavailable:
 		return "unavailable"
+	case CodeMoved:
+		return "moved"
 	default:
 		return fmt.Sprintf("code(%d)", int(c))
 	}
@@ -182,6 +188,32 @@ type MigrateResponse struct {
 	Err     *Error
 }
 
+// TransferRequest adopts a service arriving from another deployment —
+// the federation transfer leg of a cross-cluster migration, or a cold
+// spill when the original home's admission refused. The receiver
+// registers the service under its own directory and, when a checkpoint
+// rides along, restores the warm state onto a policy-picked board.
+type TransferRequest struct {
+	Config core.ServiceConfig
+	// MinWarm and Policy carry the service's registration options to
+	// the new home (cluster backends only).
+	MinWarm int
+	Policy  string
+	// Checkpoint is the warm state to restore; nil adopts cold (the
+	// service boots on demand at its new home).
+	Checkpoint *core.Checkpoint
+	// OnReady (may be nil) fires when the restored replica serves (or
+	// immediately, for a cold adoption).
+	OnReady func(error)
+}
+
+// TransferResponse reports where the adopted service landed.
+type TransferResponse struct {
+	// Board is the restore destination (-1 for a cold adoption).
+	Board int
+	Err   *Error
+}
+
 // StopRequest tears a ready service's VM down (every ready replica, on
 // a cluster).
 type StopRequest struct {
@@ -230,6 +262,7 @@ type ControlPlane interface {
 	Checkpoint(CheckpointRequest) CheckpointResponse
 	Restore(RestoreRequest) RestoreResponse
 	Migrate(MigrateRequest) MigrateResponse
+	Transfer(TransferRequest) TransferResponse
 	Stop(StopRequest) StopResponse
 	Stats(StatsRequest) StatsResponse
 }

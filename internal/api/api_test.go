@@ -141,3 +141,57 @@ func TestBoardSpeculativeActivateSkipsColdStartAccounting(t *testing.T) {
 		t.Fatalf("state=%v launches=%d coldstarts=%d, want ready/1/0", svc.State, svc.Launches, svc.ColdStarts)
 	}
 }
+
+// TestBoardTransfer exercises the federation transfer leg at the
+// single-board level: a cold adoption registers the config, a warm
+// transfer restores the checkpoint (counted as a restore, not a cold
+// start), and the conflict/validation codes hold.
+func TestBoardTransfer(t *testing.T) {
+	srcBoard, src := boardPlane(t)
+	if resp := src.Register(api.RegisterRequest{Config: svcConfig("alice", 20)}); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if resp := src.Activate(api.ActivateRequest{Name: "alice.family.name"}); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	srcBoard.Eng.Run()
+	cp := src.Checkpoint(api.CheckpointRequest{Name: "alice.family.name"})
+	if cp.Err != nil {
+		t.Fatal(cp.Err)
+	}
+
+	dstBoard, dst := boardPlane(t)
+	if resp := dst.Transfer(api.TransferRequest{}); resp.Err == nil || resp.Err.Code != api.CodeBadRequest {
+		t.Fatalf("empty transfer: %+v", resp.Err)
+	}
+	ready := false
+	if resp := dst.Transfer(api.TransferRequest{
+		Config: svcConfig("alice", 20), Checkpoint: cp.Checkpoint,
+		OnReady: func(err error) { ready = err == nil },
+	}); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	dstBoard.Eng.Run()
+	if !ready {
+		t.Fatal("warm transfer never became ready")
+	}
+	stats := dst.Stats(api.StatsRequest{})
+	if len(stats.Services) != 1 || stats.Services[0].Restores != 1 || stats.Services[0].ColdStarts != 0 {
+		t.Fatalf("transfer accounting wrong: %+v", stats.Services)
+	}
+	// Adopting a name the board already serves is a conflict.
+	if resp := dst.Transfer(api.TransferRequest{Config: svcConfig("alice", 20)}); resp.Err == nil || resp.Err.Code != api.CodeConflict {
+		t.Fatalf("duplicate transfer: %+v", resp.Err)
+	}
+	// Cold adoption: no checkpoint, registers and reports immediately.
+	coldReady := false
+	if resp := dst.Transfer(api.TransferRequest{
+		Config:  svcConfig("bob", 21),
+		OnReady: func(err error) { coldReady = err == nil },
+	}); resp.Err != nil || resp.Board != -1 {
+		t.Fatalf("cold transfer: board=%d err=%v", resp.Board, resp.Err)
+	}
+	if !coldReady {
+		t.Fatal("cold adoption did not report ready")
+	}
+}

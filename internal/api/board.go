@@ -87,6 +87,32 @@ func (p *boardPlane) Migrate(req MigrateRequest) MigrateResponse {
 	return MigrateResponse{Err: Errf("migrate", CodeUnavailable, "single board: nowhere to move %s", req.Name)}
 }
 
+// Transfer adopts a service arriving from elsewhere: register it here
+// and, if warm state rides along, restore it on this board.
+func (p *boardPlane) Transfer(req TransferRequest) TransferResponse {
+	if req.Config.Name == "" {
+		return TransferResponse{Board: -1, Err: Errf("transfer", CodeBadRequest, "empty service name")}
+	}
+	if _, err := p.b.Jitsu.Service(req.Config.Name); err == nil {
+		return TransferResponse{Board: -1, Err: Errf("transfer", CodeConflict, "%s already registered", req.Config.Name)}
+	}
+	svc := p.b.Jitsu.Register(req.Config)
+	if req.Checkpoint == nil {
+		if req.OnReady != nil {
+			req.OnReady(nil)
+		}
+		return TransferResponse{Board: -1}
+	}
+	if err := p.b.Jitsu.Restore(svc, req.Checkpoint, req.OnReady); err != nil {
+		p.b.Jitsu.Deregister(svc)
+		if errors.Is(err, core.ErrNoMemory) {
+			return TransferResponse{Board: -1, Err: Errf("transfer", CodeNoMemory, "%s: checkpoint does not fit", req.Config.Name)}
+		}
+		return TransferResponse{Board: -1, Err: Errf("transfer", CodeConflict, "%s: %v", req.Config.Name, err)}
+	}
+	return TransferResponse{Board: 0}
+}
+
 func (p *boardPlane) Stop(req StopRequest) StopResponse {
 	svc, err := p.b.Jitsu.Service(req.Name)
 	if err != nil {

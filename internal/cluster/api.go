@@ -3,6 +3,7 @@ package cluster
 import (
 	"jitsu/internal/api"
 	"jitsu/internal/core"
+	"jitsu/internal/dns"
 )
 
 // clusterPlane adapts the whole cluster to api.ControlPlane: the same
@@ -45,7 +46,10 @@ func (p *clusterPlane) Register(req api.RegisterRequest) api.RegisterResponse {
 
 func (p *clusterPlane) Activate(req api.ActivateRequest) api.ActivateResponse {
 	e := p.c.dir.Lookup(req.Name)
-	if e == nil {
+	if e == nil || e.moved {
+		if cid, ok := p.c.movedTo[dns.CanonicalName(req.Name)]; ok {
+			return api.ActivateResponse{Err: api.Errf("activate", api.CodeMoved, "%s moved to cluster %d", req.Name, cid)}
+		}
 		return api.ActivateResponse{Err: api.Errf("activate", api.CodeNotFound, "%s", req.Name)}
 	}
 	if req.Speculative {
@@ -76,7 +80,7 @@ func (p *clusterPlane) Activate(req api.ActivateRequest) api.ActivateResponse {
 	// Client-driven: exactly the scheduler path a DNS arrival takes,
 	// minus the wire — the arrival feeds the rate estimator and the
 	// chosen replica is pinned against the next pool reconcile.
-	pl, _ := p.c.schedule(e, req.OnReady)
+	pl, _ := p.c.schedule(e, TriggerCluster, req.OnReady)
 	if pl == nil {
 		return api.ActivateResponse{Err: api.Errf("activate", api.CodeNoMemory, "%s: no board can take it", req.Name)}
 	}
@@ -141,6 +145,57 @@ func (p *clusterPlane) Migrate(req api.MigrateRequest) api.MigrateResponse {
 	}
 	p.c.migrateTo(e, src, to, false, done)
 	return api.MigrateResponse{Started: true}
+}
+
+// Transfer is the receiving half of the federation transfer leg: adopt
+// a service from another cluster, and when warm state rides along,
+// restore it onto the board the service's policy picks. A failed warm
+// restore rolls the registration back, so a botched transfer never
+// leaves a second (cold) home competing with the still-serving source.
+func (p *clusterPlane) Transfer(req api.TransferRequest) api.TransferResponse {
+	if req.Config.Name == "" {
+		return api.TransferResponse{Board: -1, Err: api.Errf("transfer", api.CodeBadRequest, "empty service name")}
+	}
+	if e := p.c.dir.Lookup(req.Config.Name); e != nil {
+		if !e.moved {
+			return api.TransferResponse{Board: -1, Err: api.Errf("transfer", api.CodeConflict, "%s already registered", req.Config.Name)}
+		}
+		// The service was shed away from here and its old replica is
+		// still draining; a transfer back re-adopts it — cut the drain
+		// short so the fresh registration owns the name.
+		p.c.Unregister(e.Name)
+	}
+	var opts []ServiceOption
+	if req.Policy != "" {
+		pol := PolicyByName(req.Policy)
+		if pol == nil {
+			return api.TransferResponse{Board: -1, Err: api.Errf("transfer", api.CodeBadRequest, "unknown policy %q", req.Policy)}
+		}
+		opts = append(opts, WithServicePolicy(pol))
+	}
+	if req.MinWarm > 0 {
+		opts = append(opts, WithMinWarm(req.MinWarm))
+	}
+	e := p.c.RegisterService(req.Config, opts...)
+	if req.Checkpoint == nil {
+		if req.OnReady != nil {
+			req.OnReady(nil)
+		}
+		return api.TransferResponse{Board: -1}
+	}
+	idx := e.Policy.Pick(p.c.views(e, nil))
+	if idx < 0 {
+		p.c.Unregister(e.Name)
+		return api.TransferResponse{Board: -1, Err: api.Errf("transfer", api.CodeNoMemory, "%s: no board can restore it", req.Config.Name)}
+	}
+	resp := p.c.boardAPI(idx).Restore(api.RestoreRequest{
+		Name: e.Name, Checkpoint: req.Checkpoint, Board: api.OnBoard(idx), OnReady: req.OnReady,
+	})
+	if resp.Err != nil {
+		p.c.Unregister(e.Name)
+		return api.TransferResponse{Board: -1, Err: resp.Err}
+	}
+	return api.TransferResponse{Board: idx}
 }
 
 func (p *clusterPlane) Stop(req api.StopRequest) api.StopResponse {

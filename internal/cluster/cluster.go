@@ -124,6 +124,13 @@ type Cluster struct {
 	// copies) ride on.
 	mgmt    *netsim.Bridge
 	clients []*Client
+	// onDirChange (set by the federation agent) observes every service
+	// registration and unregistration, so the cluster's summary row at
+	// the federation root can follow the directory.
+	onDirChange func()
+	// movedTo records services this cluster handed to another cluster
+	// (federation spill or skew shed): resolution redirects there.
+	movedTo map[string]int
 
 	// WarmHits counts queries answered by an already-ready replica.
 	WarmHits uint64
@@ -151,10 +158,17 @@ type Cluster struct {
 // (cluster.NewCluster(cluster.WithBoards(4), cluster.WithPolicy(...))).
 func New(cfg Config) *Cluster { return build(cfg) }
 
-// build wires the cluster: n boards on one shared engine, the gossip
-// membership substrate, the directory, and the DNS trigger on board 0
-// that routes every cluster service through the scheduler.
+// build wires the cluster on its own engine.
 func build(cfg Config) *Cluster {
+	return buildOn(sim.New(cfg.Board.Seed), cfg)
+}
+
+// buildOn wires the cluster: n boards on the given engine, the gossip
+// membership substrate, the directory, and the DNS trigger on board 0
+// that routes every cluster service through the scheduler. A federation
+// passes one shared engine so its member clusters advance through one
+// coherent virtual time.
+func buildOn(eng *sim.Engine, cfg Config) *Cluster {
 	if cfg.Boards <= 0 {
 		cfg.Boards = 1
 	}
@@ -187,8 +201,8 @@ func build(cfg Config) *Cluster {
 	}
 	cfg.Board.DelayDNSUntilReady = false
 
-	c := &Cluster{Cfg: cfg, dir: newDirectory()}
-	c.eng = sim.New(cfg.Board.Seed)
+	c := &Cluster{Cfg: cfg, dir: newDirectory(), movedTo: make(map[string]int)}
+	c.eng = eng
 	c.mgmt = netsim.NewBridge(c.eng, "mgmt", 10*time.Microsecond)
 	for i := 0; i < cfg.Boards; i++ {
 		c.newMember()
@@ -293,8 +307,38 @@ func (c *Cluster) register(sc core.ServiceConfig, opts ServiceOpts) *Entry {
 		c.addReplicaSlot(e, m)
 	}
 	c.dir.entries[name] = e
-	c.Pools.Reconcile(e) // honour MinWarm immediately
+	delete(c.movedTo, name) // a re-registration supersedes any old move
+	c.Pools.Reconcile(e)    // honour MinWarm immediately
+	if c.onDirChange != nil {
+		c.onDirChange()
+	}
 	return e
+}
+
+// Unregister removes a service from the cluster directory: every
+// replica slot is retired from its board (running VMs destroyed, DNS
+// epochs bumped). The federation transfer leg calls it on the source
+// cluster once a service has moved. Reports whether the name was known.
+func (c *Cluster) Unregister(name string) bool {
+	name = dns.CanonicalName(name)
+	e := c.dir.entries[name]
+	if e == nil {
+		return false
+	}
+	for _, p := range e.Replicas {
+		if p == nil || p.gone {
+			continue
+		}
+		c.Boards[p.Board].Jitsu.Deregister(p.Svc)
+		p.gone = true
+		delete(c.dir.byIP, p.Svc.Cfg.IP)
+	}
+	delete(c.dir.entries, name)
+	c.front().DNS.BumpEpoch()
+	if c.onDirChange != nil {
+		c.onDirChange()
+	}
+	return true
 }
 
 // addReplicaSlot registers e's replica on member m's board.
@@ -338,10 +382,10 @@ func (c *Cluster) intercept(q dns.Question, resp *dns.Message) bool {
 		return false
 	}
 	e := c.dir.Lookup(q.Name)
-	if e == nil {
+	if e == nil || e.moved {
 		return false
 	}
-	p, _ := c.schedule(e, nil)
+	p, _ := c.schedule(e, TriggerCluster, nil)
 	if p == nil {
 		resp.RCode = dns.RCodeServFail
 		return true
@@ -354,13 +398,15 @@ func (c *Cluster) intercept(q dns.Question, resp *dns.Message) bool {
 }
 
 // schedule is the one placement path behind every client-driven
-// activation — the DNS trigger and the control-plane Activate: observe
-// the arrival, place it, pin the chosen replica against reclaim, and
-// let the pool manager chase the new rate estimate. onReady (may be
-// nil) rides the summon to the chosen board.
-func (c *Cluster) schedule(e *Entry, onReady func(error)) (p *Placement, warm bool) {
+// activation — the DNS trigger, the control-plane Activate, and the
+// federation's delegated resolutions: observe the arrival, place it,
+// pin the chosen replica against reclaim, and let the pool manager
+// chase the new rate estimate. via names the trigger frontend for the
+// Activation machine's accounting; onReady (may be nil) rides the
+// summon to the chosen board.
+func (c *Cluster) schedule(e *Entry, via string, onReady func(error)) (p *Placement, warm bool) {
 	c.observe(e)
-	p, warm = c.place(e, onReady)
+	p, warm = c.place(e, via, onReady)
 	if p == nil {
 		e.Refused++
 		c.ServFails++
@@ -410,7 +456,7 @@ func (c *Cluster) observe(e *Entry) {
 // onReady (nil on the DNS path, which answers without waiting) is
 // delivered exactly once: immediately for a warm hit, at boot
 // completion otherwise.
-func (c *Cluster) place(e *Entry, onReady func(error)) (p *Placement, warm bool) {
+func (c *Cluster) place(e *Entry, via string, onReady func(error)) (p *Placement, warm bool) {
 	if ready := e.ready(); len(ready) > 0 {
 		e.rr++
 		p := ready[e.rr%len(ready)]
@@ -428,7 +474,7 @@ func (c *Cluster) place(e *Entry, onReady func(error)) (p *Placement, warm bool)
 				// the deferred summon instead.
 				p.pendingReady = append(p.pendingReady, onReady)
 			} else if !c.Boards[p.Board].Jitsu.Summon(p.Svc,
-				core.Summon{Via: TriggerCluster, OnReady: onReady}).Served() {
+				core.Summon{Via: via, OnReady: onReady}).Served() {
 				onReady(core.ErrNoMemory)
 			}
 		}
@@ -436,13 +482,13 @@ func (c *Cluster) place(e *Entry, onReady func(error)) (p *Placement, warm bool)
 	}
 	idx := e.Policy.Pick(c.views(e, nil))
 	if idx < 0 {
-		if p := c.preempt(e, onReady); p != nil {
+		if p := c.preempt(e, via, onReady); p != nil {
 			return p, false
 		}
 		return nil, false
 	}
 	p = e.Replicas[idx]
-	if !c.summon(p, onReady) {
+	if !c.summon(p, via, onReady) {
 		return nil, false
 	}
 	return p, false
@@ -453,7 +499,7 @@ func (c *Cluster) place(e *Entry, onReady func(error)) (p *Placement, warm bool)
 // freed board once the destroy completes. The DNS answer goes out
 // immediately — the replica IP is under Synjitsu control, so the
 // client's SYNs ride the same boot race a stock cold start does.
-func (c *Cluster) preempt(e *Entry, onReady func(error)) *Placement {
+func (c *Cluster) preempt(e *Entry, via string, onReady func(error)) *Placement {
 	if c.Cfg.PreemptMargin <= 1 {
 		return nil
 	}
@@ -522,7 +568,7 @@ func (c *Cluster) preempt(e *Entry, onReady func(error)) *Placement {
 				}
 			}
 		}
-		if !c.summon(rep, cb) && cb != nil {
+		if !c.summon(rep, via, cb) && cb != nil {
 			cb(core.ErrNoMemory)
 		}
 	}) {

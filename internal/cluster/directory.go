@@ -104,6 +104,12 @@ type Entry struct {
 
 	// MinWarm is a floor on warm replicas regardless of observed rate.
 	MinWarm int
+	// moved marks a service handed to another cluster (federation spill
+	// or skew shed) that is still draining here: the remaining replica
+	// keeps serving connections answered before the switchover, but the
+	// pool manager freezes it, the summary bloom omits it, and delegated
+	// resolutions redirect to the new home.
+	moved bool
 	// WarmTarget is the pool size the EWMA currently asks for.
 	WarmTarget int
 	// Refused counts cluster-wide SERVFAILs: queries no board could take.

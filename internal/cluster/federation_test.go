@@ -1,0 +1,345 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"jitsu/internal/dns"
+	"jitsu/internal/netstack"
+	"jitsu/internal/sim"
+)
+
+func testFederation(clusters, boards int) *Federation {
+	return NewFederation(
+		WithClusters(clusters),
+		WithMemberOptions(WithBoards(boards), WithSeed(42)),
+	)
+}
+
+// fedFetch schedules one Fetch at virtual time at and records the
+// outcome.
+type fedOutcome struct {
+	cluster, board int
+	err            error
+	done           bool
+}
+
+func fedFetch(f *Federation, fc *FedClient, at sim.Duration, name string) *fedOutcome {
+	out := &fedOutcome{cluster: -2, board: -2}
+	f.Eng().At(at, func() {
+		fc.Fetch(name, "/", 20*time.Second, func(cluster, board int, _ *netstack.HTTPResponse, _ sim.Duration, err error) {
+			out.cluster, out.board, out.err, out.done = cluster, board, err, true
+		})
+	})
+	return out
+}
+
+// TestFederationResolutionTable walks the root's resolution states:
+// summary-scan + delegation on first contact, delegation-cache hit on
+// repeat, immediate negative from the summary table for unknown names,
+// negative-cache hit on repeat, and epoch invalidation when a later
+// registration makes a cached negative stale.
+func TestFederationResolutionTable(t *testing.T) {
+	f := testFederation(2, 2)
+	fc := f.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
+	home, _ := f.RegisterService(testService("alice", 20))
+	if home.ID != 0 {
+		t.Fatalf("alice homed on cluster %d, want 0 (least-loaded tie breaks low)", home.ID)
+	}
+
+	first := fedFetch(f, fc, 1*time.Second, "alice.family.name")
+	repeat := fedFetch(f, fc, 2*time.Second, "alice.family.name")
+	missA := fedFetch(f, fc, 3*time.Second, "ghost.family.name")
+	missB := fedFetch(f, fc, 4*time.Second, "ghost.family.name")
+	// Registering the name afterwards must invalidate the cached
+	// negative via the summary epoch bump.
+	f.Eng().At(5*time.Second, func() { f.RegisterService(testService("ghost", 21)) })
+	late := fedFetch(f, fc, 6*time.Second, "ghost.family.name")
+	f.RunAll()
+
+	for i, out := range []*fedOutcome{first, repeat} {
+		if !out.done || out.err != nil {
+			t.Fatalf("fetch %d: done=%v err=%v", i, out.done, out.err)
+		}
+		if out.cluster != 0 {
+			t.Errorf("fetch %d served by cluster %d, want 0", i, out.cluster)
+		}
+	}
+	for i, out := range []*fedOutcome{missA, missB} {
+		if !out.done || out.err == nil {
+			t.Fatalf("miss %d: done=%v err=%v, want NXDomain error", i, out.done, out.err)
+		}
+	}
+	if !late.done || late.err != nil {
+		t.Fatalf("post-registration fetch: done=%v err=%v", late.done, late.err)
+	}
+
+	r := f.Root()
+	if r.DelegHits == 0 {
+		t.Error("repeat lookup did not hit the delegation cache")
+	}
+	if r.NegHits == 0 {
+		t.Error("repeat miss did not hit the negative cache")
+	}
+	if r.NXDomains < 2 {
+		t.Errorf("NXDomains = %d, want >= 2", r.NXDomains)
+	}
+	if fc.NXDomains != 2 {
+		t.Errorf("client NXDomains = %d, want 2", fc.NXDomains)
+	}
+	if r.Delegations == 0 || r.Scans == 0 {
+		t.Errorf("delegations=%d scans=%d, want both > 0", r.Delegations, r.Scans)
+	}
+}
+
+// TestFederationRootStateScalesWithClusters is the acceptance assert:
+// the root directory holds one summary row per cluster no matter how
+// many services register — per-service rows live only in the owning
+// cluster's directory.
+func TestFederationRootStateScalesWithClusters(t *testing.T) {
+	f := testFederation(3, 2)
+	for i := 0; i < 30; i++ {
+		f.RegisterService(testService(fmt.Sprintf("svc%02d", i), byte(20+i)))
+	}
+	if got := f.Root().StateSize; got != 3 {
+		t.Fatalf("root state size = %d after 30 services, want 3 (one row per cluster)", got)
+	}
+	for i := 30; i < 60; i++ {
+		f.RegisterService(testService(fmt.Sprintf("svc%02d", i), byte(20+i)))
+	}
+	if got := f.Root().StateSize; got != 3 {
+		t.Fatalf("root state size = %d after 60 services, want 3", got)
+	}
+	// The per-cluster directories do grow — that is where the rows live.
+	total := 0
+	for _, m := range f.Members() {
+		total += len(m.Cluster.Directory().Entries())
+	}
+	if total != 60 {
+		t.Fatalf("member directories hold %d entries, want 60", total)
+	}
+}
+
+// TestFederationCrossClusterMigration moves a warm replica between
+// clusters through the Checkpoint -> Transfer leg and checks the
+// switchover: the destination restores (not cold-boots), resolution
+// redirects with epoch invalidation of the stale delegation, and the
+// source drains away.
+func TestFederationCrossClusterMigration(t *testing.T) {
+	f := testFederation(2, 2)
+	fc := f.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
+	_, e := f.RegisterService(testService("alice", 20))
+
+	// Warm alice up on its home cluster (and prime the root's
+	// delegation cache with home = cluster 0).
+	warm := fedFetch(f, fc, 1*time.Second, "alice.family.name")
+	f.Eng().At(10*time.Second, func() {
+		src := e.ready()
+		if len(src) == 0 {
+			t.Error("no ready replica to migrate")
+			return
+		}
+		f.members[0].agent.transferOut(e, src[0], f.members[1])
+	})
+	after := fedFetch(f, fc, 20*time.Second, "alice.family.name")
+	f.RunAll()
+
+	if !warm.done || warm.err != nil || warm.cluster != 0 {
+		t.Fatalf("pre-migration fetch: done=%v err=%v cluster=%d", warm.done, warm.err, warm.cluster)
+	}
+	if !after.done || after.err != nil {
+		t.Fatalf("post-migration fetch: done=%v err=%v", after.done, after.err)
+	}
+	if after.cluster != 1 {
+		t.Errorf("post-migration fetch served by cluster %d, want 1", after.cluster)
+	}
+	if f.CrossMigrations != 1 {
+		t.Errorf("CrossMigrations = %d, want 1", f.CrossMigrations)
+	}
+	// The replica arrived warm: a restore, not a cold boot, on cluster 1.
+	restores := uint64(0)
+	for _, tot := range f.members[1].Cluster.ServiceTotals() {
+		restores += tot.Restores
+	}
+	if restores != 1 {
+		t.Errorf("destination restores = %d, want 1 (warm transfer)", restores)
+	}
+	// The source cluster forgot the service and redirects.
+	if f.members[0].Cluster.Directory().Lookup("alice.family.name") != nil {
+		t.Error("source cluster still lists the migrated service")
+	}
+	if cid, ok := f.members[0].Cluster.movedTo["alice.family.name"]; !ok || cid != 1 {
+		t.Errorf("source movedTo = (%d,%v), want (1,true)", cid, ok)
+	}
+}
+
+// TestFederationMidTransferClusterLeave kills the destination cluster
+// while the checkpoint copy is in flight: the transfer aborts, nothing
+// is lost, and the source keeps serving.
+func TestFederationMidTransferClusterLeave(t *testing.T) {
+	f := testFederation(3, 2)
+	fc := f.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
+	_, e := f.RegisterService(testService("alice", 20))
+
+	warm := fedFetch(f, fc, 1*time.Second, "alice.family.name")
+	f.Eng().At(10*time.Second, func() {
+		src := e.ready()
+		if len(src) == 0 {
+			t.Error("no ready replica to migrate")
+			return
+		}
+		f.members[0].agent.transferOut(e, src[0], f.members[1])
+	})
+	// The 16 MiB checkpoint takes ~134ms across the 1 Gb/s federation
+	// link; remove the destination 10ms into the copy.
+	f.Eng().At(10*time.Second+10*time.Millisecond, func() {
+		if err := f.RemoveCluster(1); err != nil {
+			t.Errorf("RemoveCluster: %v", err)
+		}
+	})
+	after := fedFetch(f, fc, 12*time.Second, "alice.family.name")
+	f.RunAll()
+
+	if !warm.done || warm.err != nil {
+		t.Fatalf("pre-migration fetch: done=%v err=%v", warm.done, warm.err)
+	}
+	if !after.done || after.err != nil {
+		t.Fatalf("post-leave fetch: done=%v err=%v", after.done, after.err)
+	}
+	if after.cluster != 0 {
+		t.Errorf("post-leave fetch served by cluster %d, want the untouched source 0", after.cluster)
+	}
+	if f.CrossMigrations != 0 {
+		t.Errorf("CrossMigrations = %d, want 0 (transfer aborted)", f.CrossMigrations)
+	}
+	if f.CrossAborts != 1 {
+		t.Errorf("CrossAborts = %d, want 1", f.CrossAborts)
+	}
+	if e.moved {
+		t.Error("source entry marked moved despite the aborted transfer")
+	}
+	if len(e.ready()) == 0 {
+		t.Error("source replica no longer ready after the aborted transfer")
+	}
+}
+
+// TestFederationRemoveClusterMidResolution removes a member while a
+// delegated query is still in flight to it: the root must fail the
+// parked query over to the remaining candidates (or answer negative)
+// instead of leaking the pending entry and letting the client ride out
+// its full DNS timeout.
+func TestFederationRemoveClusterMidResolution(t *testing.T) {
+	f := testFederation(2, 2)
+	fc := f.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
+	home, _ := f.RegisterService(testService("alice", 20))
+	if home.ID != 0 {
+		t.Fatalf("alice homed on %d, want 0", home.ID)
+	}
+	var elapsed sim.Duration
+	done := false
+	f.Eng().At(1*time.Second, func() {
+		fc.Fetch("alice.family.name", "/", 30*time.Second,
+			func(_, _ int, _ *netstack.HTTPResponse, d sim.Duration, err error) {
+				elapsed, done = d, true
+			})
+	})
+	// Land the removal inside the delegation round trip: the query takes
+	// ~1.1ms to cross the front link and be delegated, and the agent's
+	// reply another management round trip.
+	f.Eng().At(1*time.Second+1200*time.Microsecond, func() {
+		if err := f.RemoveCluster(0); err != nil {
+			t.Errorf("RemoveCluster: %v", err)
+		}
+	})
+	f.RunAll()
+	if !done {
+		t.Fatal("fetch never completed")
+	}
+	if f.Root().Delegations == 0 {
+		t.Fatal("query was never delegated: the removal did not land mid-flight")
+	}
+	if elapsed >= 29*time.Second {
+		t.Fatalf("fetch rode out the DNS timeout (%v): pending delegation leaked", elapsed)
+	}
+	if n := len(f.root.pending); n != 0 {
+		t.Fatalf("root still holds %d pending delegations after the run", n)
+	}
+}
+
+// TestFederationSpillOnRefuse exhausts a service's home cluster so the
+// delegated query is refused, and checks the inter-cluster policy
+// spills the service to a cluster with room — the client's query still
+// succeeds, one cold start later.
+func TestFederationSpillOnRefuse(t *testing.T) {
+	f := NewFederation(
+		WithClusters(2),
+		WithMemberOptions(WithBoards(1), WithSeed(42), WithBoardOptions()),
+	)
+	// One board per cluster; two fat services homed on cluster 0 so the
+	// second cannot fit once the first is resident.
+	big := testService("alice", 20)
+	big.Image.MemMiB = 500
+	homeA, _ := f.RegisterService(big)
+	big2 := testService("bob", 21)
+	big2.Image.MemMiB = 500
+	// placeHome now prefers cluster 1 (least loaded); force the
+	// contended layout by registering directly on cluster 0.
+	f.members[0].Cluster.RegisterService(f.namespaced(big2, 0))
+	if homeA.ID != 0 {
+		t.Fatalf("alice homed on %d, want 0", homeA.ID)
+	}
+
+	fc := f.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
+	warmA := fedFetch(f, fc, 1*time.Second, "alice.family.name")
+	spilled := fedFetch(f, fc, 10*time.Second, "bob.family.name")
+	f.RunAll()
+
+	if !warmA.done || warmA.err != nil || warmA.cluster != 0 {
+		t.Fatalf("alice fetch: done=%v err=%v cluster=%d", warmA.done, warmA.err, warmA.cluster)
+	}
+	if !spilled.done || spilled.err != nil {
+		t.Fatalf("bob fetch after spill: done=%v err=%v", spilled.done, spilled.err)
+	}
+	if spilled.cluster != 1 {
+		t.Errorf("bob served by cluster %d, want spilled to 1", spilled.cluster)
+	}
+	if f.Spills != 1 {
+		t.Errorf("Spills = %d, want 1", f.Spills)
+	}
+	if f.members[0].Cluster.Directory().Lookup("bob.family.name") != nil {
+		t.Error("refusing cluster still lists the spilled service")
+	}
+}
+
+// TestFederationDelegationOffFastPath guards the zero-allocation DNS
+// fast path on member boards: attaching the federation tier (whose root
+// resolution is an async, allocating path by design) must not push
+// allocations into a member board's per-query hot loop.
+func TestFederationDelegationOffFastPath(t *testing.T) {
+	f := testFederation(2, 2)
+	_, e := f.RegisterService(testService("alice", 20))
+	// Board 1 of cluster 0 serves its replica through the stock
+	// dnsTrigger fast path (board 0 runs the cluster trigger, which is
+	// slow-path by design).
+	b := f.members[0].Cluster.Boards[1]
+	svc := e.Replicas[1].Svc
+	if err := b.Jitsu.Activate(svc, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	f.RunAll()
+	q := &dns.Message{ID: 7, Questions: []dns.Question{
+		{Name: svc.Cfg.Name, Type: dns.TypeA, Class: dns.ClassIN}}}
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := func([]byte) {}
+	b.DNS.ServeWire(wire, sink) // prime the answer cache
+	allocs := testing.AllocsPerRun(200, func() {
+		b.DNS.ServeWire(wire, sink)
+	})
+	if allocs != 0 {
+		t.Fatalf("member-board fast path allocates %.1f per query under the federation", allocs)
+	}
+}

@@ -64,6 +64,13 @@ func WithPreemptMargin(margin float64) Option {
 	return func(c *Config) { c.PreemptMargin = margin }
 }
 
+// WithMinRate sets the arrivals/sec below which a service's warm pool
+// drains to MinWarm — raise it so rarely-visited services pay a cold
+// start instead of pinning memory.
+func WithMinRate(r float64) Option {
+	return func(c *Config) { c.MinRate = r }
+}
+
 // WithProbing turns the gossip failure detector on: probe period,
 // per-probe ack timeout, and how long a suspicion may stand unrefuted.
 // Zero values keep the respective default.

@@ -72,6 +72,12 @@ func (pm *PoolManager) Reconcile(e *Entry) { pm.reconcile(e, nil) }
 // highest-indexed ready replicas first (board 0 stays warm longest,
 // since it also fields the DNS traffic), never touching pinned.
 func (pm *PoolManager) reconcile(e *Entry, pinned *Placement) {
+	if e.moved {
+		// The service now lives on another cluster; the draining replica
+		// here is neither prewarmed nor reclaimed — its delayed
+		// Unregister retires it.
+		return
+	}
 	e.WarmTarget = pm.target(e)
 	alive := 0
 	for _, p := range e.Replicas {

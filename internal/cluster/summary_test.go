@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleSummary() Summary {
+	s := Summary{
+		Cluster: 3, Epoch: 0x1122334455667788,
+		Services: 12, Ready: 7, FreeMiB: 512, CapMiB: 3072, LoadMilli: 4250,
+	}
+	s.Bloom.Add("alice.family.name")
+	s.Bloom.Add("bob.family.name")
+	return s
+}
+
+// TestSummaryCodecRoundTrip pins the wire layout: encode -> decode must
+// reproduce every field, bloom bits included.
+func TestSummaryCodecRoundTrip(t *testing.T) {
+	s := sampleSummary()
+	wire := EncodeSummary(s, nil)
+	if len(wire) != summaryWireLen {
+		t.Fatalf("encoded length = %d, want %d", len(wire), summaryWireLen)
+	}
+	got, err := DecodeSummary(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+	if !got.Bloom.MayContain("alice.family.name") || !got.Bloom.MayContain("bob.family.name") {
+		t.Error("bloom membership lost in round trip")
+	}
+	if got.Bloom.MayContain("zed.family.name") {
+		t.Error("bloom false positive on a 2-entry filter (hash layout broke?)")
+	}
+}
+
+// TestSummaryCodecRejects pins the error paths: short, long, and
+// wrong-version datagrams must not decode.
+func TestSummaryCodecRejects(t *testing.T) {
+	wire := EncodeSummary(sampleSummary(), nil)
+	for _, bad := range [][]byte{
+		nil,
+		wire[:len(wire)-1],
+		append(append([]byte{}, wire...), 0),
+		append([]byte{99}, wire[1:]...),
+	} {
+		if _, err := DecodeSummary(bad); err == nil {
+			t.Errorf("decode of %d-byte corrupted summary succeeded", len(bad))
+		}
+	}
+}
+
+// FuzzSummaryTable fuzzes the root-directory summary codec: whatever
+// decodes must re-encode to the identical bytes (the codec is
+// fixed-layout, so decode -> encode is the identity on valid wire).
+func FuzzSummaryTable(f *testing.F) {
+	f.Add(EncodeSummary(sampleSummary(), nil))
+	f.Add(EncodeSummary(Summary{}, nil))
+	f.Add([]byte{summaryWireVersion})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSummary(data)
+		if err != nil {
+			return
+		}
+		wire := EncodeSummary(s, nil)
+		if !bytes.Equal(wire, data) {
+			t.Fatalf("decode->encode not identity:\n in  %x\n out %x", data, wire)
+		}
+		s2, err := DecodeSummary(wire)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if s2 != s {
+			t.Fatalf("re-decode mismatch: %+v vs %+v", s2, s)
+		}
+	})
+}

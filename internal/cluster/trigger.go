@@ -73,10 +73,11 @@ func (t *clusterTrigger) intercept(q dns.Question, resp *dns.Message) bool {
 
 // summon fires board idx's Activation machine for a client-driven
 // placement, applying the cluster's refusal policy (the per-replica
-// ServFail counter) on any non-served decision.
-func (c *Cluster) summon(p *Placement, onReady func(error)) bool {
+// ServFail counter) on any non-served decision. via names the frontend
+// that asked (the cluster's own DNS trigger, or a federation delegate).
+func (c *Cluster) summon(p *Placement, via string, onReady func(error)) bool {
 	dec := c.Boards[p.Board].Jitsu.Summon(p.Svc,
-		core.Summon{Via: TriggerCluster, ColdStart: true, OnReady: onReady})
+		core.Summon{Via: via, ColdStart: true, OnReady: onReady})
 	if dec.Served() {
 		return true
 	}

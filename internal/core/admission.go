@@ -1,0 +1,68 @@
+package core
+
+import "jitsu/internal/sim"
+
+// Per-trigger admission policy. The SYN frontend is the dangerous one:
+// a raw SYN has no refusal channel, so its firings Force past the
+// memory gate — which means a SYN flood sweeping the service IPs (or
+// hammering one reaped service) can drive a boot storm the directory
+// never gets to refuse. A deterministic token bucket per service caps
+// how often a SYN may *start a launch*; warm traffic and in-flight
+// boots are never throttled, and the DNS/conduit paths keep their
+// explicit SERVFAIL refusal channel instead.
+
+// tokenBucket is a sim-time token bucket: rate tokens/second, capped at
+// burst. Deterministic — it reads nothing but virtual time.
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   sim.Duration
+}
+
+func newTokenBucket(rate float64, burst int, now sim.Duration) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), last: now}
+}
+
+// take refills by elapsed virtual time and consumes one token; false
+// means the caller is over its admission rate.
+func (tb *tokenBucket) take(now sim.Duration) bool {
+	if now > tb.last {
+		tb.tokens += tb.rate * (now - tb.last).Seconds()
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.last = now
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
+
+// synAdmission is the per-service launch rate limit applied by the SYN
+// trigger. Disabled (nil buckets, admit everything) unless the board
+// sets SYNLaunchRate.
+type synAdmission struct {
+	rate    float64
+	burst   int
+	buckets map[*Service]*tokenBucket
+}
+
+func newSynAdmission(rate float64, burst int) *synAdmission {
+	return &synAdmission{rate: rate, burst: burst, buckets: make(map[*Service]*tokenBucket)}
+}
+
+// admit reports whether svc may start one more SYN-triggered launch now.
+func (a *synAdmission) admit(svc *Service, now sim.Duration) bool {
+	tb := a.buckets[svc]
+	if tb == nil {
+		tb = newTokenBucket(a.rate, a.burst, now)
+		a.buckets[svc] = tb
+	}
+	return tb.take(now)
+}

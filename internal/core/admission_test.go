@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"jitsu/internal/netstack"
+	"jitsu/internal/sim"
+)
+
+// synFlood fires one HTTPGet at the service IP (no DNS — a raw SYN)
+// every period over span, reaping in between via a short idle timeout,
+// and reports how many launches the flood caused.
+func synFlood(t *testing.T, limited bool) (launches uint64, suppressed uint64) {
+	t.Helper()
+	opts := []Option{WithSeed(7)}
+	if limited {
+		// One launch burst of 2, then at most one every 4 seconds.
+		opts = append(opts, WithSYNRateLimit(0.25, 2))
+	}
+	b := New(opts...)
+	sc := aliceService()
+	sc.IdleTimeout = 300 * time.Millisecond // reap fast: each SYN would re-boot
+	svc := b.Jitsu.Register(sc)
+	client := b.AddClient("flooder", netstack.IPv4(10, 0, 0, 9))
+	const (
+		period = 150 * time.Millisecond
+		span   = 12 * time.Second
+	)
+	for at := sim.Duration(0); at < span; at += period {
+		b.Eng.At(at, func() {
+			client.HTTPGet(svc.Cfg.IP, 80, "/", 500*time.Millisecond,
+				func(*netstack.HTTPResponse, sim.Duration, error) {})
+		})
+	}
+	b.Eng.Run()
+	return svc.Launches, b.Syn.SYNSuppressed
+}
+
+// TestSYNRateLimitBoundsBootStorm floods a service's address with raw
+// SYNs (reaping between bursts, so every SYN would otherwise re-boot
+// the VM) and asserts the per-service token bucket keeps the number of
+// launches at the budget — burst + rate x duration — instead of one
+// boot per reap cycle.
+func TestSYNRateLimitBoundsBootStorm(t *testing.T) {
+	unlimited, sup := synFlood(t, false)
+	if sup != 0 {
+		t.Fatalf("unlimited board suppressed %d launches", sup)
+	}
+	if unlimited < 10 {
+		t.Fatalf("flood caused only %d launches without a limiter; the workload is not a boot storm", unlimited)
+	}
+	limited, suppressed := synFlood(t, true)
+	// Budget: burst (2) + 0.25/s x 12s (3) = 5, plus one for timing
+	// slack at the window edge.
+	if limited > 6 {
+		t.Fatalf("limited flood caused %d launches, want <= 6 (burst 2 + 0.25/s refill)", limited)
+	}
+	if limited == 0 {
+		t.Fatal("limiter suppressed every launch; legitimate first contact must pass")
+	}
+	if suppressed == 0 {
+		t.Fatal("limiter reported no suppressed launches under a flood")
+	}
+	if limited >= unlimited/2 {
+		t.Fatalf("limiter barely helped: %d launches vs %d unlimited", limited, unlimited)
+	}
+}
+
+// TestSYNRateLimitLeavesWarmTrafficAlone pins the limiter's scope: SYNs
+// to a ready service never consume admission tokens, so steady warm
+// traffic is untouched no matter how low the rate.
+func TestSYNRateLimitLeavesWarmTrafficAlone(t *testing.T) {
+	b := New(WithSYNRateLimit(0.01, 1))
+	svc := b.Jitsu.Register(aliceService()) // no idle timeout: stays warm
+	client := b.AddClient("laptop", netstack.IPv4(10, 0, 0, 9))
+	okays := 0
+	for i := 0; i < 10; i++ {
+		b.Eng.At(sim.Duration(i)*time.Second, func() {
+			client.HTTPGet(svc.Cfg.IP, 80, "/", 5*time.Second,
+				func(r *netstack.HTTPResponse, _ sim.Duration, err error) {
+					if err == nil && r.Status == 200 {
+						okays++
+					}
+				})
+		})
+	}
+	b.Eng.Run()
+	if okays != 10 {
+		t.Fatalf("warm requests served = %d, want 10", okays)
+	}
+	if b.Syn.SYNSuppressed != 0 {
+		t.Fatalf("suppressed = %d on warm traffic, want 0", b.Syn.SYNSuppressed)
+	}
+	if svc.Launches != 1 {
+		t.Fatalf("launches = %d, want 1 (first contact only)", svc.Launches)
+	}
+}

@@ -35,6 +35,13 @@ type BoardConfig struct {
 	// DelayDNSUntilReady is the §3.3.1 alternative the paper rejects:
 	// hold the DNS answer until the unikernel network is live.
 	DelayDNSUntilReady bool
+	// SYNLaunchRate rate-limits SYN-triggered launches per service
+	// (token bucket, launches/second): raw SYNs Force past the memory
+	// gate, so without a cap a SYN flood causes a boot storm. 0 (the
+	// default) disables the limiter. Warm traffic is never throttled.
+	SYNLaunchRate float64
+	// SYNLaunchBurst is the token bucket's depth (minimum 1).
+	SYNLaunchBurst int
 	// External link characteristics (client <-> board).
 	ExtLatency    sim.Duration
 	ExtBitsPerSec float64

@@ -239,6 +239,13 @@ func (j *Jitsu) Deregister(svc *Service) bool {
 	j.act.releaseIdleIP(svc)
 	delete(j.services, name)
 	delete(j.byIP, svc.Cfg.IP)
+	// The SYN trigger's admission state is keyed by service: drop the
+	// retired entry so churny directories don't accumulate buckets.
+	for _, t := range j.board.triggers {
+		if st, ok := t.(*synTrigger); ok && st.admit != nil {
+			delete(st.admit.buckets, svc)
+		}
+	}
 	j.board.DNS.BumpEpoch()
 	return true
 }

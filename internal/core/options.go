@@ -67,6 +67,17 @@ func WithDelayedDNS(on bool) Option {
 	return func(c *BoardConfig) { c.DelayDNSUntilReady = on }
 }
 
+// WithSYNRateLimit arms the SYN trigger's per-service admission token
+// bucket: at most burst launches back to back, refilled at rate
+// launches/second, so a SYN flood cannot cause a boot storm. rate <= 0
+// disables the limiter (the default).
+func WithSYNRateLimit(rate float64, burst int) Option {
+	return func(c *BoardConfig) {
+		c.SYNLaunchRate = rate
+		c.SYNLaunchBurst = burst
+	}
+}
+
 // WithExtLink sets the external (client <-> board) link characteristics.
 func WithExtLink(latency sim.Duration, bitsPerSec float64) Option {
 	return func(c *BoardConfig) {

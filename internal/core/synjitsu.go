@@ -34,6 +34,10 @@ type Synjitsu struct {
 	// SYNTriggeredLaunches counts launches caused by raw SYNs arriving
 	// outside any DNS resolution (clients ignoring TTLs, §3.3).
 	SYNTriggeredLaunches uint64
+	// SYNSuppressed counts launches the per-service admission token
+	// bucket denied (WithSYNRateLimit): the handshake still completes
+	// and the connection waits, but the flood cannot force a boot storm.
+	SYNSuppressed uint64
 }
 
 func newSynjitsu(b *Board, ip netstack.IP) *Synjitsu {
@@ -96,8 +100,13 @@ func (s *Synjitsu) accept(c *netstack.TCPConn) {
 	// A SYN with no preceding DNS query still summons the service: the
 	// trigger fires the shared Activation machine (which also refreshes
 	// the idle timer for warm connections).
-	if s.trigger != nil && s.trigger.fire(svc) {
-		s.SYNTriggeredLaunches++
+	if s.trigger != nil {
+		switch s.trigger.fire(svc) {
+		case synLaunched:
+			s.SYNTriggeredLaunches++
+		case synSuppressed:
+			s.SYNSuppressed++
+		}
 	}
 }
 

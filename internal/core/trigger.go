@@ -193,19 +193,35 @@ func (t *asyncDNSTrigger) intercept(query *dns.Message, respond func(*dns.Messag
 // Synjitsu completes the handshake either way; this trigger only owns
 // the launch decision. A SYN has no refusal channel, so the firing
 // forces past the memory gate — failure surfaces as the guest never
-// booting and the proxied connection timing out.
+// booting and the proxied connection timing out. Because of that Force,
+// the trigger carries its own admission policy: an optional per-service
+// token bucket (WithSYNRateLimit) caps how often a SYN may start a
+// launch, so a SYN flood cannot cause a boot storm.
 type synTrigger struct {
-	j *Jitsu
-	b *Board
+	j     *Jitsu
+	b     *Board
+	admit *synAdmission // nil = unlimited
 }
 
 // TriggerSYN is the SYN frontend's name.
 const TriggerSYN = "syn"
 
+// synOutcome is one SYN firing's effect on the launch state.
+type synOutcome int
+
+const (
+	synServed     synOutcome = iota // warm or already launching
+	synLaunched                     // this SYN started the launch
+	synSuppressed                   // launch denied by the admission rate limit
+)
+
 func (t *synTrigger) Name() string { return TriggerSYN }
 
 func (t *synTrigger) Attach(b *Board) error {
 	t.b = b
+	if b.Cfg.SYNLaunchRate > 0 {
+		t.admit = newSynAdmission(b.Cfg.SYNLaunchRate, b.Cfg.SYNLaunchBurst)
+	}
 	if b.Syn != nil {
 		b.Syn.trigger = t
 	}
@@ -218,10 +234,18 @@ func (t *synTrigger) Detach() {
 	}
 }
 
-// fire is called by Synjitsu for every proxied connection; it reports
-// whether this SYN started the launch.
-func (t *synTrigger) fire(svc *Service) bool {
-	return t.j.act.Fire(svc, Summon{Via: TriggerSYN, ColdStart: true, Force: true}) == DecisionColdStart
+// fire is called by Synjitsu for every proxied connection. A firing
+// that would start a launch first passes the admission bucket; warm
+// services and in-flight boots are never throttled (the touch keeps
+// the idle reaper honest for legitimate traffic).
+func (t *synTrigger) fire(svc *Service) synOutcome {
+	if t.admit != nil && svc.State == StateStopped && !t.admit.admit(svc, t.b.Eng.Now()) {
+		return synSuppressed
+	}
+	if t.j.act.Fire(svc, Summon{Via: TriggerSYN, ColdStart: true, Force: true}) == DecisionColdStart {
+		return synLaunched
+	}
+	return synServed
 }
 
 // ---- Conduit: the toolkit resolve path ----

@@ -1,6 +1,7 @@
 package dns
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -349,5 +350,74 @@ func TestServFailEncoding(t *testing.T) {
 	}
 	if RCodeServFail.String() != "SERVFAIL" {
 		t.Fatal("string form")
+	}
+}
+
+// TestZoneDelegationReferral pins the zone-cut behaviour behind
+// Zone.Delegate: a query at or below a delegated child is answered
+// with a non-authoritative referral — the child's NS records in the
+// authority section plus glue addresses — while names outside the cut
+// still resolve (or NXDomain) authoritatively. The federation root
+// leans on this to point resolvers at member clusters.
+func TestZoneDelegationReferral(t *testing.T) {
+	zone := NewZone("family.name")
+	zone.Add(RR{Name: "alice.family.name", Type: TypeA, TTL: 60, A: netstack.IPv4(10, 0, 0, 20)})
+	zone.Delegate("c0.family.name", "ns.c0.family.name", netstack.IPv4(10, 254, 0, 10))
+	s := &Server{Zone: zone}
+
+	ask := func(name string, typ Type) *Message {
+		q := &Message{ID: 7, Questions: []Question{{Name: name, Type: typ, Class: ClassIN}}}
+		return s.Answer(q)
+	}
+
+	// Below the cut: referral, not NXDomain, not authoritative.
+	for _, name := range []string{"svc.c0.family.name", "c0.family.name", "deep.sub.c0.family.name"} {
+		resp := ask(name, TypeA)
+		if resp.RCode != RCodeNoError {
+			t.Fatalf("%s: rcode = %v, want referral NoError", name, resp.RCode)
+		}
+		if resp.Authoritative {
+			t.Errorf("%s: referral marked authoritative", name)
+		}
+		if len(resp.Answers) != 0 {
+			t.Errorf("%s: referral carries %d answers, want 0", name, len(resp.Answers))
+		}
+		if len(resp.Authority) != 1 || resp.Authority[0].Type != TypeNS ||
+			resp.Authority[0].Target != "ns.c0.family.name" {
+			t.Errorf("%s: authority = %+v, want the c0 NS record", name, resp.Authority)
+		}
+		if len(resp.Additional) != 1 || resp.Additional[0].A != netstack.IPv4(10, 254, 0, 10) {
+			t.Errorf("%s: additional = %+v, want the glue A", name, resp.Additional)
+		}
+	}
+
+	// Outside the cut the zone still answers authoritatively.
+	if resp := ask("alice.family.name", TypeA); len(resp.Answers) != 1 || !resp.Authoritative {
+		t.Fatalf("in-zone answer broken by delegation: %+v", resp)
+	}
+	if resp := ask("ghost.family.name", TypeA); resp.RCode != RCodeNXDomain {
+		t.Fatalf("off-cut miss = %v, want NXDomain", resp.RCode)
+	}
+
+	// The fast path must serve the byte-identical referral.
+	q := &Message{ID: 9, Questions: []Question{{Name: "svc.c0.family.name", Type: TypeA, Class: ClassIN}}}
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fast []byte
+	s.ServeWire(wire, func(w []byte) { fast = append([]byte(nil), w...) })
+	slow, err := s.Answer(q).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fast, slow) {
+		t.Fatalf("fast-path referral differs from slow path:\n fast %x\n slow %x", fast, slow)
+	}
+
+	// Removing the delegation restores NXDomain below the old cut.
+	zone.Remove("c0.family.name", TypeNS)
+	if resp := ask("svc.c0.family.name", TypeA); resp.RCode != RCodeNXDomain {
+		t.Fatalf("post-removal = %v, want NXDomain", resp.RCode)
 	}
 }

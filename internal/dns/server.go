@@ -60,6 +60,17 @@ func (z *Zone) Contains(name string) bool {
 	return name == z.Apex || strings.HasSuffix(name, "."+z.Apex)
 }
 
+// Delegate records a zone cut: queries at or below child are answered
+// with a referral — the child's NS records in the authority section plus
+// their glue addresses — instead of authoritative data. The delegation
+// lives in ordinary NS + A records, so Remove(child, TypeNS) undoes it.
+// A federation root uses this to point resolvers at the member cluster
+// that authoritatively owns a name.
+func (z *Zone) Delegate(child, ns string, glue netstack.IP) {
+	z.Add(RR{Name: child, Type: TypeNS, TTL: 300, Target: CanonicalName(ns)})
+	z.Add(RR{Name: ns, Type: TypeA, TTL: 300, A: glue})
+}
+
 // Lookup returns records of the given type at name (TypeANY matches all).
 func (z *Zone) Lookup(name string, typ Type) []RR {
 	name = CanonicalName(name)
@@ -478,10 +489,45 @@ func (s *Server) answerFromZone(q Question, resp *Message) {
 			return
 		}
 	}
+	if s.referral(CanonicalName(q.Name), resp) {
+		return
+	}
 	if len(rrs) == 0 {
 		resp.RCode = RCodeNXDomain
 	}
 	resp.Authority = append(resp.Authority, s.Zone.SOA())
+}
+
+// referral answers a name at or below a zone cut (Zone.Delegate): the
+// cut's NS records go in the authority section with their glue
+// addresses in additional, and the response is non-authoritative — the
+// delegation answer a resolver chases to the child's nameserver.
+func (s *Server) referral(name string, resp *Message) bool {
+	for cut := name; cut != s.Zone.Apex; {
+		found := false
+		for _, rr := range s.Zone.records[cut] {
+			if rr.Type != TypeNS {
+				continue
+			}
+			found = true
+			resp.Authority = append(resp.Authority, rr)
+			for _, glue := range s.Zone.records[CanonicalName(rr.Target)] {
+				if glue.Type == TypeA {
+					resp.Additional = append(resp.Additional, glue)
+				}
+			}
+		}
+		if found {
+			resp.Authoritative = false
+			return true
+		}
+		i := strings.IndexByte(cut, '.')
+		if i < 0 {
+			return false
+		}
+		cut = cut[i+1:]
+	}
+	return false
 }
 
 // Client is a minimal resolver for tests and examples.

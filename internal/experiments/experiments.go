@@ -98,12 +98,14 @@ func All(quick bool) []*Result {
 	scalingN := []int{1, 2, 4, 8}
 	scalingHorizon := 90 * time.Second
 	churnHorizon := 75 * time.Second
+	federationHorizon := 60 * time.Second
 	prewarmVisits := 40
 	if quick {
 		trials = 30
 		fig3N = []int{1, 10, 25, 50}
 		scalingN = []int{1, 4}
 		churnHorizon = 45 * time.Second
+		federationHorizon = 45 * time.Second
 		prewarmVisits = 24
 	}
 	return []*Result{
@@ -119,5 +121,6 @@ func All(quick bool) []*Result {
 		Scaling(scalingN, scalingHorizon),
 		Churn(churnHorizon),
 		Prewarm(prewarmVisits),
+		Federation(federationHorizon),
 	}
 }

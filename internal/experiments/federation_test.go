@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFederationShape asserts the tentpole contract: the 4x4 federation
+// recovers its post-skew p95 to the warm path (within sight of the flat
+// 16-board cluster that absorbs the skew with raw capacity) with no
+// Rebalance() call, while the same federation with the rebalance
+// machinery frozen keeps refusing — and the root's state stays
+// O(clusters) while the flat directory carries every service row.
+func TestFederationShape(t *testing.T) {
+	r := Federation(60 * time.Second)
+	if !strings.Contains(r.Output, "root-rows") {
+		t.Fatalf("missing table: %s", r.Output)
+	}
+	flatLate := r.Series["flat-1x16 post-skew-late"]
+	fedLate := r.Series["fed-4x4 post-skew-late"]
+	fedEarly := r.Series["fed-4x4 post-skew-early"]
+	frozenLate := r.Series["fed-4x4-norebalance post-skew-late"]
+	for name, s := range map[string]interface{ Len() int }{
+		"flat late": flatLate, "fed late": fedLate, "fed early": fedEarly, "frozen late": frozenLate,
+	} {
+		if s.Len() == 0 {
+			t.Fatalf("empty series: %s", name)
+		}
+	}
+	// Recovery: the late window runs warm...
+	if p := fedLate.Percentile(0.95); p > 20*time.Millisecond {
+		t.Errorf("fed post-skew-late p95 = %v, want warm-path ms", p)
+	}
+	// ...after an early window dominated by the overload.
+	if e, l := fedEarly.Percentile(0.95), fedLate.Percentile(0.95); e < 10*l {
+		t.Errorf("fed early p95 (%v) not structurally above late p95 (%v): no skew to recover from?", e, l)
+	}
+	// The frozen federation does not recover.
+	if p := frozenLate.Percentile(0.95); p < 20*fedLate.Percentile(0.95) {
+		t.Errorf("frozen federation late p95 (%v) recovered without the rebalance machinery", p)
+	}
+	// Recovery came from cross-cluster moves, not an explicit call.
+	if !strings.Contains(r.Output, "xmigs") {
+		t.Error("missing cross-migration column")
+	}
+}
+
+// TestFederationDeterminism is the in-repo twin of the CI determinism
+// gate for the federation experiment: same seeds, bit-identical series —
+// summary gossip, delegation, spills and cross-cluster migrations
+// included.
+func TestFederationDeterminism(t *testing.T) {
+	a := Federation(45 * time.Second)
+	b := Federation(45 * time.Second)
+	if fa, fb := a.Fingerprint(), b.Fingerprint(); fa != fb {
+		t.Fatalf("fingerprints differ across identical runs: %x vs %x", fa, fb)
+	}
+	for name, sa := range a.Series {
+		sb := b.Series[name]
+		if sb == nil {
+			t.Fatalf("series %q missing from second run", name)
+		}
+		if FingerprintSeries(sa) != FingerprintSeries(sb) {
+			t.Errorf("series %q not bit-identical across runs", name)
+		}
+	}
+	if a.Output != b.Output {
+		t.Error("rendered output differs across identical runs")
+	}
+}
