@@ -15,9 +15,9 @@ SHELL := /bin/bash
 
 GO ?= go
 # The perf record this branch writes; bump per PR to grow the trajectory.
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr6.json
 # The committed baseline the bench gate compares against.
-BENCH_BASE ?= BENCH_pr4.json
+BENCH_BASE ?= BENCH_pr5.json
 # Allowed fractional ns/op regression before the gate fails.
 BENCH_TOLERANCE ?= 0.25
 FUZZTIME ?= 10s
@@ -45,16 +45,22 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # deprecations fails when new code calls the shimmed positional
-# constructors (core.NewBoard / core.NewBoardOnEngine / cluster.New);
-# use the functional-options constructors (core.New, core.NewOnEngine,
-# cluster.NewCluster) instead. The deprecated_test.go files pin the
-# shims and are the only sanctioned callers.
+# constructors (core.NewBoard / core.NewBoardOnEngine / cluster.New) or
+# assigns the single-func Activation().Trace hook; use the
+# functional-options constructors (core.New, core.NewOnEngine,
+# cluster.NewCluster) and the Subscribe fan-out instead. The
+# deprecated_test.go files pin the shims and are the only sanctioned
+# callers.
 deprecations:
 	@out=$$(grep -rnE '\bNewBoardOnEngine\(|\bNewBoard\(|\bcluster\.New\(' \
 		--include='*.go' --exclude='deprecated_test.go' \
 		cmd examples internal *.go \
 		| grep -v '^internal/core/board.go' || true); \
 	if [ -n "$$out" ]; then echo "deprecated constructor calls (use core.New/NewOnEngine, cluster.NewCluster):"; echo "$$out"; exit 1; fi
+	@out=$$(grep -rnE 'Activation\(\)\.Trace\s*=' \
+		--include='*.go' --exclude='deprecated_test.go' \
+		cmd examples internal *.go || true); \
+	if [ -n "$$out" ]; then echo "deprecated Activation().Trace assignments (use Activation().Subscribe):"; echo "$$out"; exit 1; fi
 
 # staticcheck runs the pinned honnef.co analyzer over every package;
 # `go run` resolves the exact version, so CI (module-cached) and local

@@ -13,6 +13,7 @@ import (
 	"jitsu/internal/dns"
 	"jitsu/internal/experiments"
 	"jitsu/internal/netstack"
+	"jitsu/internal/obs"
 	"jitsu/internal/sim"
 )
 
@@ -237,6 +238,27 @@ func BenchmarkDNSCodec(b *testing.B) {
 		if _, err := dns.Decode(buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTraceOverhead measures the flight recorder's hot path — one
+// Begin/End span pair plus one instant on the bounded ring, timestamps
+// from the virtual clock. The bench gate holds this at zero allocs/op:
+// tracing must never add GC pressure to the paths it observes.
+func BenchmarkTraceOverhead(b *testing.B) {
+	eng := sim.New(1)
+	tr := obs.NewTracer(1 << 12)
+	tr.BindClock(eng.Now)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Begin(0, "activation", "boot", obs.Str("svc", "alice.family.name"), obs.Num("mem_mib", 64))
+		tr.Instant(0, "activation", "claim_ip", obs.Str("svc", "alice.family.name"))
+		tr.End(sp, obs.Str("status", "ready"))
+	}
+	b.StopTimer()
+	if tr.Len() == 0 {
+		b.Fatal("tracer recorded nothing")
 	}
 }
 

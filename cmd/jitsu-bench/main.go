@@ -16,12 +16,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"jitsu/internal/experiments"
+	"jitsu/internal/obs"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced trial counts")
 	boards := flag.String("boards", "", "board counts for the scaling experiment (default 1,2,4,8; 1,4 with -quick)")
 	fingerprint := flag.Bool("fingerprint", false, "print per-series determinism fingerprints instead of tables")
+	traceDir := flag.String("trace-dir", "", "write each experiment's flight-recorder traces (Chrome trace-event JSON) into this directory")
 	flag.Parse()
 
 	trials := 120
@@ -57,10 +60,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The CLI always runs with tracing on: -trace-dir needs the flight
+	// recorders, and the determinism gate's -fingerprint output must
+	// cover the trace streams on every invocation. The benchmark suite
+	// calls the experiment functions without this option and measures
+	// the untraced hot path.
+	withTrace := experiments.WithTracing()
+
 	var results []*experiments.Result
 	switch *run {
 	case "all":
-		results = experiments.All(*quick)
+		results = experiments.All(*quick, withTrace)
 		if boardsSet {
 			// Honour an explicit -boards by re-running the scaling
 			// experiment at the requested counts.
@@ -91,9 +101,9 @@ func main() {
 	case "scaling":
 		results = append(results, experiments.Scaling(scalingN, scalingHorizon))
 	case "churn":
-		results = append(results, experiments.Churn(churnHorizon))
+		results = append(results, experiments.Churn(churnHorizon, withTrace))
 	case "prewarm":
-		results = append(results, experiments.Prewarm(prewarmVisits))
+		results = append(results, experiments.Prewarm(prewarmVisits, withTrace))
 	case "federation":
 		results = append(results, experiments.Federation(federationHorizon))
 	case "ablations":
@@ -110,6 +120,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *traceDir != "" {
+		if err := writeTraces(*traceDir, results); err != nil {
+			fmt.Fprintf(os.Stderr, "write traces: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *fingerprint {
 		printFingerprints(results)
 		return
@@ -117,6 +133,53 @@ func main() {
 	for _, r := range results {
 		fmt.Println(r.String())
 	}
+}
+
+// writeTraces dumps every attached flight recorder as
+// <dir>/<experiment>-<run>.trace.json, loadable in chrome://tracing or
+// Perfetto.
+func writeTraces(dir string, results []*experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range results {
+		names := make([]string, 0, len(r.Traces))
+		for name := range r.Traces {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			path := filepath.Join(dir, slug(r.ID)+"-"+slug(name)+".trace.json")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteChromeTrace(f, r.Traces[name]); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "trace: %s (%d events, %d dropped)\n",
+				path, r.Traces[name].Len(), r.Traces[name].Dropped())
+		}
+	}
+	return nil
+}
+
+// slug makes an ID/series name filesystem-friendly.
+func slug(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, s)
 }
 
 // printFingerprints renders the determinism record: one line per
@@ -132,6 +195,15 @@ func printFingerprints(results []*experiments.Result) {
 		for _, name := range names {
 			s := r.Series[name]
 			fmt.Printf("%s\t%s\t%d\t%016x\n", r.ID, name, s.Len(), experiments.FingerprintSeries(s))
+		}
+		tnames := make([]string, 0, len(r.Traces))
+		for name := range r.Traces {
+			tnames = append(tnames, name)
+		}
+		sort.Strings(tnames)
+		for _, name := range tnames {
+			tr := r.Traces[name]
+			fmt.Printf("%s\ttrace:%s\t%d\t%016x\n", r.ID, name, tr.Len(), tr.Fingerprint())
 		}
 	}
 }

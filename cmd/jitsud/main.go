@@ -25,6 +25,12 @@
 //	       [-boards 1] [-policy least-loaded] [-min-warm 0]
 //	       [-churn] [-join 20s] [-leave 30s]
 //	       [-clusters 1]
+//	       [-trace run.trace.json] [-stats-every 10s]
+//
+// -trace dumps the run's flight recorder (virtual-time spans for every
+// boot, restore, migration and gossip event) as Chrome trace-event JSON
+// for chrome://tracing / Perfetto; -stats-every streams a counter
+// snapshot line over the control plane's WatchStats verb.
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 	"jitsu/internal/core"
 	"jitsu/internal/metrics"
 	"jitsu/internal/netstack"
+	"jitsu/internal/obs"
 	"jitsu/internal/sim"
 	"jitsu/internal/unikernel"
 )
@@ -57,6 +64,8 @@ func main() {
 	joinAt := flag.Duration("join", 0, "cluster mode: a new board joins at this virtual time (0 = never)")
 	leaveAt := flag.Duration("leave", 0, "cluster mode: the highest board leaves gracefully at this virtual time (0 = never)")
 	clusters := flag.Int("clusters", 1, "clusters in the deployment (>1 runs the federation tier over -boards boards each)")
+	traceOut := flag.String("trace", "", "write the run's flight recorder to this file (Chrome trace-event JSON)")
+	statsEvery := flag.Duration("stats-every", 0, "stream a stats snapshot line every this much virtual time (0 = off)")
 	flag.Parse()
 
 	if *services < 1 {
@@ -85,7 +94,10 @@ func main() {
 				fmt.Fprintln(os.Stderr, "jitsud: -idle is ignored in federation mode (the warm-pool managers own replica lifecycle)")
 			}
 		})
-		runFederation(*clusters, *boards, *services, *requests, *seed, *policy, *minWarm, !*noSyn)
+		if *statsEvery > 0 {
+			fmt.Fprintln(os.Stderr, "jitsud: -stats-every applies to board/cluster mode, not federation mode")
+		}
+		runFederation(*clusters, *boards, *services, *requests, *seed, *policy, *minWarm, !*noSyn, *traceOut)
 		return
 	}
 	if *boards > 1 {
@@ -98,7 +110,7 @@ func main() {
 		if idleSet {
 			fmt.Fprintln(os.Stderr, "jitsud: -idle is ignored in cluster mode (the warm-pool manager owns replica lifecycle)")
 		}
-		runCluster(*boards, *services, *requests, *seed, *policy, *minWarm, !*noSyn, *joinAt, *leaveAt)
+		runCluster(*boards, *services, *requests, *seed, *policy, *minWarm, !*noSyn, *joinAt, *leaveAt, *traceOut, *statsEvery)
 		return
 	}
 	if *joinAt > 0 || *leaveAt > 0 {
@@ -106,8 +118,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	b := core.New(core.WithSeed(*seed), core.WithSynjitsu(!*noSyn))
+	tracer := newTracer(*traceOut)
+	b := core.New(core.WithSeed(*seed), core.WithSynjitsu(!*noSyn), core.WithTracer(tracer, 0))
 	ctl := api.ForBoard(b)
+	stopStats := streamStats(ctl, *statsEvery, b.Eng.Now)
 
 	names := serviceNames
 	for i := 0; i < *services; i++ {
@@ -135,6 +149,7 @@ func main() {
 	var issue func(i int)
 	issue = func(i int) {
 		if i >= *requests {
+			stopStats()
 			return
 		}
 		name := names[i%*services] + "." + b.Cfg.Zone
@@ -166,6 +181,7 @@ func main() {
 	}
 	issue(0)
 	b.Eng.Run()
+	dumpTrace(*traceOut, tracer)
 
 	fmt.Printf("\n%s\n", lat.Summary())
 	fmt.Printf("cold starts: %d, warm hits: %d\n", cold, warm)
@@ -187,19 +203,85 @@ func main() {
 	fmt.Println()
 }
 
+// newTracer builds the flight recorder when -trace is set (nil — which
+// every tracing call tolerates — otherwise).
+func newTracer(path string) *obs.Tracer {
+	if path == "" {
+		return nil
+	}
+	return obs.NewTracer(1 << 16)
+}
+
+// dumpTrace writes the recorder as Chrome trace-event JSON (no-op when
+// tracing is off).
+func dumpTrace(path string, tr *obs.Tracer) {
+	if tr == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jitsud: %v\n", err)
+		os.Exit(1)
+	}
+	if err := obs.WriteChromeTrace(f, tr); err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jitsud: write trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ntrace: %s (%d events, %d dropped)\n", path, tr.Len(), tr.Dropped())
+}
+
+// streamStats starts the -stats-every printer over the control plane's
+// WatchStats verb; the returned stop cancels the stream so the event
+// queue can drain once the trace completes.
+func streamStats(ctl api.ControlPlane, every time.Duration, now func() sim.Duration) func() {
+	if every <= 0 {
+		return func() {}
+	}
+	resp := ctl.WatchStats(api.WatchStatsRequest{Every: every, OnStats: func(s api.StatsResponse) bool {
+		var launches, cold, queries, hits uint64
+		for _, reg := range s.Registries {
+			for _, c := range reg.Counters {
+				switch c.Name {
+				case "activation.launches":
+					launches += c.Value
+				case "activation.cold_starts":
+					cold += c.Value
+				case "dns.queries":
+					queries += c.Value
+				case "dns.cache_hits":
+					hits += c.Value
+				}
+			}
+		}
+		fmt.Printf("%-12v ** stats: launches=%d cold=%d dns-queries=%d dns-cache-hits=%d\n",
+			now().Round(time.Millisecond), launches, cold, queries, hits)
+		return true
+	}})
+	if resp.Err != nil {
+		fmt.Fprintf(os.Stderr, "jitsud: %v\n", resp.Err)
+		os.Exit(1)
+	}
+	return resp.Stop
+}
+
 // runCluster is the multi-board mode: the same request trace, but
 // placed by the control plane instead of answered by one board.
-func runCluster(boards, services, requests int, seed int64, policyName string, minWarm int, synjitsu bool, joinAt, leaveAt time.Duration) {
+func runCluster(boards, services, requests int, seed int64, policyName string, minWarm int, synjitsu bool, joinAt, leaveAt time.Duration, traceOut string, statsEvery time.Duration) {
 	pol := cluster.PolicyByName(policyName)
 	if pol == nil {
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", policyName)
 		os.Exit(2)
 	}
+	tracer := newTracer(traceOut)
 	copts := []cluster.Option{
 		cluster.WithBoards(boards),
 		cluster.WithSeed(seed),
 		cluster.WithBoardOptions(core.WithSynjitsu(synjitsu)),
 		cluster.WithPolicy(pol),
+		cluster.WithTracer(tracer, 0),
 	}
 	if joinAt > 0 || leaveAt > 0 {
 		// Membership churn ahead: run the gossip failure detector.
@@ -244,6 +326,7 @@ func runCluster(boards, services, requests int, seed int64, policyName string, m
 	}
 
 	ctl := c.API()
+	stopStats := streamStats(ctl, statsEvery, c.Eng().Now)
 	zone := c.Cfg.Board.Zone
 	for i := 0; i < services; i++ {
 		n := serviceNames[i]
@@ -270,6 +353,7 @@ func runCluster(boards, services, requests int, seed int64, policyName string, m
 		if i >= requests {
 			// Quiesce the gossip agents so the event queue can drain.
 			traceDone = true
+			stopStats()
 			c.StopMembership()
 			return
 		}
@@ -295,6 +379,7 @@ func runCluster(boards, services, requests int, seed int64, policyName string, m
 	}
 	issue(0)
 	c.RunAll()
+	dumpTrace(traceOut, tracer)
 
 	fmt.Printf("\n%s\n", lat.Summary())
 	fmt.Printf("placed: %d, warm hits: %d, refused: %d, preempts: %d, prewarms: %d, reclaims: %d\n",
@@ -317,12 +402,13 @@ func runCluster(boards, services, requests int, seed int64, policyName string, m
 // runFederation is the cluster-of-clusters mode: the same request
 // trace resolved at the summarized root directory, which delegates each
 // query to the owning cluster's board-0 directory.
-func runFederation(clusters, boardsPer, services, requests int, seed int64, policyName string, minWarm int, synjitsu bool) {
+func runFederation(clusters, boardsPer, services, requests int, seed int64, policyName string, minWarm int, synjitsu bool, traceOut string) {
 	pol := cluster.PolicyByName(policyName)
 	if pol == nil {
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", policyName)
 		os.Exit(2)
 	}
+	tracer := newTracer(traceOut)
 	f := cluster.NewFederation(
 		cluster.WithClusters(clusters),
 		cluster.WithMemberOptions(
@@ -332,6 +418,7 @@ func runFederation(clusters, boardsPer, services, requests int, seed int64, poli
 			cluster.WithPolicy(pol),
 		),
 		cluster.WithSummaryEvery(500*time.Millisecond),
+		cluster.WithFedTracer(tracer),
 	)
 	zone := f.Cfg.Cluster.Board.Zone
 	var sopts []cluster.ServiceOption
@@ -385,6 +472,7 @@ func runFederation(clusters, boardsPer, services, requests int, seed int64, poli
 	// the trace once the root has heard about every service.
 	f.Eng().After(50*time.Millisecond, func() { issue(0) })
 	f.RunAll()
+	dumpTrace(traceOut, tracer)
 
 	fmt.Printf("\n%s\n", lat.Summary())
 	root := f.Root()

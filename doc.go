@@ -54,10 +54,29 @@
 // Restore, make-before-break) — rebalance is a detector, not an
 // operator call.
 //
+// # Observability layering
+//
+// internal/obs is the deterministic observability plane, and it sits
+// BELOW every subsystem it observes: core, dns, cluster and the
+// federation all import obs; obs imports none of them (only the
+// standard library). Timestamps come exclusively from the simulation's
+// virtual clock — a *Tracer is handed to a board/cluster/federation at
+// construction and bound to its engine — so two same-seed runs export
+// byte-identical traces, and the determinism gate fingerprints the
+// trace streams alongside the latency series. Instrumentation follows
+// two rules: hot paths guard every trace call behind a nil check (a
+// deployment without a tracer pays zero allocations — the bench gate
+// holds the DNS fast path and the recorder itself at 0 allocs/op), and
+// counters live in per-subsystem obs.Registry mirrors snapshot via
+// api.StatsResponse.Registries / streamed via api.WatchStats rather
+// than scattering ad-hoc getters.
+//
 // Boards and clusters are built with functional options (core.New,
 // core.NewOnEngine, cluster.NewCluster, cluster.NewFederation); the
 // positional constructors (core.NewBoard, core.NewBoardOnEngine,
-// cluster.New) remain as thin deprecated shims.
+// cluster.New) remain as thin deprecated shims, as does the
+// single-func Activation().Trace hook superseded by the Subscribe
+// fan-out.
 //
 // The implementation lives under internal/ (one package per subsystem —
 // see DESIGN.md for the inventory); runnable entry points are in cmd/

@@ -13,9 +13,12 @@ package api
 
 import (
 	"fmt"
+	"time"
 
 	"jitsu/internal/core"
 	"jitsu/internal/netstack"
+	"jitsu/internal/obs"
+	"jitsu/internal/sim"
 )
 
 // Code classifies a control-plane failure.
@@ -251,7 +254,55 @@ type TriggerStats struct {
 type StatsResponse struct {
 	Services []ServiceStats
 	Triggers []TriggerStats
-	Err      *Error
+	// Registries carries every subsystem counter registry the backend
+	// owns (one per board, plus cluster/federation tiers), name-sorted
+	// rows inside each snapshot.
+	Registries []obs.Snapshot
+	Err        *Error
+}
+
+// WatchStatsRequest subscribes to the deployment's stats stream: OnStats
+// fires with a fresh StatsResponse every Every of virtual time. The
+// stream runs on the deployment's own engine, so snapshots land at
+// deterministic instants and two same-seed runs observe identical
+// sequences.
+type WatchStatsRequest struct {
+	// Every is the virtual-time snapshot period (must be positive).
+	Every time.Duration
+	// OnStats receives each snapshot; returning false ends the stream.
+	OnStats func(StatsResponse) bool
+}
+
+// WatchStatsResponse reports stream acceptance; Stop cancels it early.
+type WatchStatsResponse struct {
+	Stop func()
+	Err  *Error
+}
+
+// StreamStats drives a WatchStats subscription on eng, snapshotting via
+// snap each period. Shared by every ControlPlane backend so the verb
+// behaves identically on one board and on a cluster.
+func StreamStats(eng *sim.Engine, req WatchStatsRequest, snap func(StatsRequest) StatsResponse) WatchStatsResponse {
+	if req.Every <= 0 {
+		return WatchStatsResponse{Err: Errf("watch-stats", CodeBadRequest, "non-positive period %v", req.Every)}
+	}
+	if req.OnStats == nil {
+		return WatchStatsResponse{Err: Errf("watch-stats", CodeBadRequest, "nil OnStats")}
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		if !req.OnStats(snap(StatsRequest{})) {
+			stopped = true
+			return
+		}
+		eng.After(req.Every, tick)
+	}
+	eng.After(req.Every, tick)
+	return WatchStatsResponse{Stop: func() { stopped = true }}
 }
 
 // ControlPlane is the uniform management surface: one board or a whole
@@ -265,4 +316,7 @@ type ControlPlane interface {
 	Transfer(TransferRequest) TransferResponse
 	Stop(StopRequest) StopResponse
 	Stats(StatsRequest) StatsResponse
+	// WatchStats streams periodic Stats snapshots on the deployment's
+	// virtual clock.
+	WatchStats(WatchStatsRequest) WatchStatsResponse
 }

@@ -195,3 +195,71 @@ func TestBoardTransfer(t *testing.T) {
 		t.Fatal("cold adoption did not report ready")
 	}
 }
+
+func TestBoardStatsCarriesRegistrySnapshot(t *testing.T) {
+	b, ctl := boardPlane(t)
+	ctl.Register(api.RegisterRequest{Config: svcConfig("alice", 20)})
+	ctl.Activate(api.ActivateRequest{Name: "alice.family.name"})
+	b.Eng.Run()
+	stats := ctl.Stats(api.StatsRequest{})
+	if len(stats.Registries) != 1 {
+		t.Fatalf("board stats carry %d registries, want 1", len(stats.Registries))
+	}
+	snap := stats.Registries[0]
+	counters := map[string]uint64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["activation.launches"] != 1 || counters["activation.cold_starts"] != 1 {
+		t.Fatalf("activation counters missing from snapshot: %v", counters)
+	}
+	if counters["sim.fired"] == 0 {
+		t.Fatalf("sim.fired not mirrored: %v", counters)
+	}
+	found := false
+	for _, h := range snap.Hists {
+		if h.Name == "activation.boot" && h.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("activation.boot histogram missing one boot: %+v", snap.Hists)
+	}
+}
+
+func TestWatchStatsStreamsOnVirtualClock(t *testing.T) {
+	b, ctl := boardPlane(t)
+	ctl.Register(api.RegisterRequest{Config: svcConfig("alice", 20)})
+
+	if resp := ctl.WatchStats(api.WatchStatsRequest{Every: 0, OnStats: func(api.StatsResponse) bool { return true }}); resp.Err == nil || resp.Err.Code != api.CodeBadRequest {
+		t.Fatalf("zero period -> %+v, want bad-request", resp.Err)
+	}
+	if resp := ctl.WatchStats(api.WatchStatsRequest{Every: time.Second}); resp.Err == nil || resp.Err.Code != api.CodeBadRequest {
+		t.Fatalf("nil OnStats -> %+v, want bad-request", resp.Err)
+	}
+
+	var at []time.Duration
+	resp := ctl.WatchStats(api.WatchStatsRequest{Every: time.Second, OnStats: func(s api.StatsResponse) bool {
+		at = append(at, time.Duration(b.Eng.Now()))
+		return len(at) < 3 // ask the stream to end itself after 3 ticks
+	}})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	b.Eng.RunUntil(10 * time.Second)
+	if len(at) != 3 || at[0] != time.Second || at[1] != 2*time.Second || at[2] != 3*time.Second {
+		t.Fatalf("snapshots at %v, want 1s,2s,3s", at)
+	}
+
+	// A second stream cancelled via Stop delivers nothing further.
+	ticks := 0
+	resp = ctl.WatchStats(api.WatchStatsRequest{Every: time.Second, OnStats: func(api.StatsResponse) bool {
+		ticks++
+		return true
+	}})
+	resp.Stop()
+	b.Eng.RunUntil(20 * time.Second)
+	if ticks != 0 {
+		t.Fatalf("stopped stream still delivered %d snapshots", ticks)
+	}
+}

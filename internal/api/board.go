@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"jitsu/internal/core"
+	"jitsu/internal/obs"
 )
 
 // boardPlane adapts one core.Board's directory to the ControlPlane
@@ -142,7 +143,12 @@ func (p *boardPlane) Stats(StatsRequest) StatsResponse {
 		})
 	}
 	resp.Triggers = TriggerStatsFromFired(p.b.Jitsu.Activation().Fired())
+	resp.Registries = []obs.Snapshot{p.b.Reg.Snapshot()}
 	return resp
+}
+
+func (p *boardPlane) WatchStats(req WatchStatsRequest) WatchStatsResponse {
+	return StreamStats(p.b.Eng, req, p.Stats)
 }
 
 // TriggerStatsFromFired renders an Activation.Fired map (or an

@@ -233,7 +233,16 @@ func (p *clusterPlane) Stats(api.StatsRequest) api.StatsResponse {
 		}
 	}
 	resp.Triggers = api.TriggerStatsFromFired(fired)
+	// Cluster-tier registry first, then one per board in board order.
+	resp.Registries = append(resp.Registries, p.c.Reg.Snapshot())
+	for _, m := range p.c.members {
+		resp.Registries = append(resp.Registries, m.Board.Reg.Snapshot())
+	}
 	return resp
+}
+
+func (p *clusterPlane) WatchStats(req api.WatchStatsRequest) api.WatchStatsResponse {
+	return api.StreamStats(p.c.eng, req, p.Stats)
 }
 
 // readyReplica finds e's ready replica per the selector (AnyBoard = the

@@ -20,6 +20,7 @@ import (
 	"jitsu/internal/dns"
 	"jitsu/internal/netsim"
 	"jitsu/internal/netstack"
+	"jitsu/internal/obs"
 	"jitsu/internal/power"
 	"jitsu/internal/sim"
 )
@@ -76,6 +77,15 @@ type Config struct {
 	// MgmtBitsPerSec is the management network's link rate, used by the
 	// gossip substrate (default 1 Gb/s).
 	MgmtBitsPerSec float64
+
+	// Tracer, when set, is shared by every board and control loop of the
+	// cluster: gossip, migration and scheduling events land in it next
+	// to each board's activation spans. Nil disables tracing.
+	Tracer *obs.Tracer
+	// TraceTIDBase offsets the tracer lanes: board i renders on lane
+	// TraceTIDBase+i. A federation gives each member cluster its own
+	// hundred-lane block.
+	TraceTIDBase int
 }
 
 // DefaultConfig is a 4-board Cubieboard2 cluster with least-loaded
@@ -150,7 +160,24 @@ type Cluster struct {
 	Joins    uint64
 	Leaves   uint64
 	Confirms uint64
+
+	// Reg is the cluster-level metric registry: control-plane counters
+	// and gossip accounting, mirrored at snapshot time. Per-board
+	// metrics stay in each Board.Reg.
+	Reg *obs.Registry
+	// Probes/Suspects/Refutes count gossip failure-detector traffic:
+	// pings sent, members turned suspect in the local view, and
+	// self-refutations (a live member clearing its own suspicion).
+	Probes   uint64
+	Suspects uint64
+	Refutes  uint64
 }
+
+// tracer returns the cluster's shared flight recorder (nil when off).
+func (c *Cluster) tracer() *obs.Tracer { return c.Cfg.Tracer }
+
+// tidFor is the tracer lane for one board's events.
+func (c *Cluster) tidFor(board int) int { return c.Cfg.TraceTIDBase + board }
 
 // New builds the cluster from a hand-assembled Config.
 //
@@ -221,6 +248,29 @@ func buildOn(eng *sim.Engine, cfg Config) *Cluster {
 	if err := c.front().AddTrigger(&clusterTrigger{c: c}); err != nil {
 		panic(fmt.Sprintf("cluster: attach scheduler trigger: %v", err))
 	}
+
+	c.Reg = obs.NewRegistry("cluster")
+	c.Reg.CounterFunc("sched.warm_hits", func() uint64 { return c.WarmHits })
+	c.Reg.CounterFunc("sched.placed", func() uint64 { return c.Placed })
+	c.Reg.CounterFunc("sched.servfails", func() uint64 { return c.ServFails })
+	c.Reg.CounterFunc("sched.preempts", func() uint64 { return c.Preempts })
+	c.Reg.CounterFunc("migrate.migrations", func() uint64 { return c.Migrations })
+	c.Reg.CounterFunc("migrate.lost", func() uint64 { return c.Lost })
+	c.Reg.CounterFunc("gossip.joins", func() uint64 { return c.Joins })
+	c.Reg.CounterFunc("gossip.leaves", func() uint64 { return c.Leaves })
+	c.Reg.CounterFunc("gossip.confirms", func() uint64 { return c.Confirms })
+	c.Reg.CounterFunc("gossip.probes", func() uint64 { return c.Probes })
+	c.Reg.CounterFunc("gossip.suspects", func() uint64 { return c.Suspects })
+	c.Reg.CounterFunc("gossip.refutes", func() uint64 { return c.Refutes })
+	c.Reg.GaugeFunc("members.alive", func() int64 {
+		var n int64
+		for _, m := range c.members {
+			if m.State == MemberAlive {
+				n++
+			}
+		}
+		return n
+	})
 	return c
 }
 
@@ -229,7 +279,8 @@ func buildOn(eng *sim.Engine, cfg Config) *Cluster {
 // set to Alive directly, AddBoard waits for the join to reach board 0.
 func (c *Cluster) newMember() *Member {
 	id := len(c.Boards)
-	b := core.NewOnEngine(c.eng, core.WithConfig(c.Cfg.Board))
+	b := core.NewOnEngine(c.eng, core.WithConfig(c.Cfg.Board),
+		core.WithTracer(c.Cfg.Tracer, c.tidFor(id)))
 	model := power.Cubieboard2()
 	if c.Cfg.PowerModel != nil {
 		model = c.Cfg.PowerModel(id)

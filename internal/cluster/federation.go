@@ -11,6 +11,7 @@ import (
 	"jitsu/internal/dns"
 	"jitsu/internal/netsim"
 	"jitsu/internal/netstack"
+	"jitsu/internal/obs"
 	"jitsu/internal/sim"
 )
 
@@ -64,6 +65,11 @@ type FedConfig struct {
 	FedBitsPerSec  float64
 	// TransferBitsPerSec is the checkpoint-copy rate between clusters.
 	TransferBitsPerSec float64
+	// Tracer, when set, is shared by the root and every member cluster:
+	// the root's delegation/spill/shed events render on lane 0 and
+	// member cluster k's boards on lanes (k+1)*100 and up. Nil disables
+	// tracing.
+	Tracer *obs.Tracer
 }
 
 // DefaultFedConfig is four default clusters behind a passive root
@@ -124,6 +130,14 @@ func WithSpillOnRefuse(on bool) FedOption {
 	return func(c *FedConfig) { c.SpillOnRefuse = on }
 }
 
+// WithFedTracer attaches the observability flight recorder to the whole
+// federation: root events on lane 0, member cluster k's boards on lanes
+// (k+1)*100 and up. (The name avoids colliding with the cluster-level
+// WithTracer option in this package.)
+func WithFedTracer(tr *obs.Tracer) FedOption {
+	return func(c *FedConfig) { c.Tracer = tr }
+}
+
 // Federation owns N member clusters behind one summarized root
 // directory.
 type Federation struct {
@@ -144,6 +158,10 @@ type Federation struct {
 	// CrossAborts counts cross-cluster transfers that failed (the
 	// source kept serving; nothing was lost).
 	CrossAborts uint64
+
+	// Reg mirrors the federation tier's counters (fed.* and root.*
+	// names) for snapshot export; always present.
+	Reg *obs.Registry
 }
 
 // FedMember is one cluster as the federation sees it.
@@ -210,9 +228,22 @@ func NewFederation(opts ...FedOption) *Federation {
 	}
 	f := &Federation{Cfg: cfg}
 	f.eng = sim.New(cfg.Cluster.Board.Seed)
+	cfg.Tracer.BindClock(f.eng.Now)
 	f.fedNet = netsim.NewBridge(f.eng, "fed-mgmt", 10*time.Microsecond)
 	f.front = netsim.NewBridge(f.eng, "fed-front", 10*time.Microsecond)
 	f.root = newFedRoot(f)
+	f.Reg = obs.NewRegistry("federation")
+	f.Reg.CounterFunc("fed.spills", func() uint64 { return f.Spills })
+	f.Reg.CounterFunc("fed.sheds", func() uint64 { return f.Sheds })
+	f.Reg.CounterFunc("fed.cross_migrations", func() uint64 { return f.CrossMigrations })
+	f.Reg.CounterFunc("fed.cross_aborts", func() uint64 { return f.CrossAborts })
+	f.Reg.CounterFunc("root.lookups", func() uint64 { return f.root.Lookups })
+	f.Reg.CounterFunc("root.scans", func() uint64 { return f.root.Scans })
+	f.Reg.CounterFunc("root.delegations", func() uint64 { return f.root.Delegations })
+	f.Reg.CounterFunc("root.deleg_hits", func() uint64 { return f.root.DelegHits })
+	f.Reg.CounterFunc("root.neg_hits", func() uint64 { return f.root.NegHits })
+	f.Reg.CounterFunc("root.nxdomains", func() uint64 { return f.root.NXDomains })
+	f.Reg.CounterFunc("root.servfails", func() uint64 { return f.root.ServFails })
 	for i := 0; i < cfg.Clusters; i++ {
 		f.addMember()
 	}
@@ -225,6 +256,8 @@ func NewFederation(opts ...FedOption) *Federation {
 func (f *Federation) addMember() *FedMember {
 	id := len(f.members)
 	ccfg := f.Cfg.Cluster
+	ccfg.Tracer = f.Cfg.Tracer
+	ccfg.TraceTIDBase = (id + 1) * 100
 	m := &FedMember{ID: id, Cluster: buildOn(f.eng, ccfg)}
 	m.agent = newFedAgent(f, m)
 	f.members = append(f.members, m)
@@ -553,6 +586,12 @@ func (a *fedAgent) spill(qid uint32, target int, name string) {
 	a.host.SendUDP(rootMgmtIP, fedPort, fedPort, buf)
 }
 
+// lane is the trace lane federation-level events about this member
+// cluster land on: its board-0 lane (boards occupy (ID+1)*100 + i).
+func (a *fedAgent) lane() int {
+	return a.m.Cluster.Cfg.TraceTIDBase
+}
+
 func (a *fedAgent) spillNow(name string, target int) bool {
 	c := a.m.Cluster
 	e := c.dir.Lookup(name)
@@ -570,6 +609,10 @@ func (a *fedAgent) spillNow(name string, target int) bool {
 		return false
 	}
 	a.f.Spills++
+	if tr := a.f.Cfg.Tracer; tr != nil {
+		tr.Instant(a.lane(), "fed", "spill",
+			obs.Str("svc", name), obs.Num("src", int64(a.m.ID)), obs.Num("dst", int64(dst.ID)))
+	}
 	e.moved = true
 	c.movedTo[name] = dst.ID
 	c.Unregister(name) // no live replica exists — admission just refused
@@ -647,9 +690,16 @@ func (a *fedAgent) transferOut(e *Entry, p *Placement, dst *FedMember) {
 	}
 	cp := cpResp.Checkpoint
 	p.migrating = true
+	var transfer obs.Span
+	if tr := a.f.Cfg.Tracer; tr != nil {
+		transfer = tr.Begin(a.lane(), "fed", "transfer",
+			obs.Str("svc", e.Name), obs.Num("state_mib", int64(cp.StateMiB)),
+			obs.Num("dst", int64(dst.ID)))
+	}
 	abort := func() {
 		p.migrating = false
 		a.f.CrossAborts++
+		a.f.Cfg.Tracer.End(transfer, obs.Str("status", "aborted"))
 	}
 	a.f.eng.After(a.f.transferDelay(cp), func() {
 		if a.m.Left || e.moved || p.gone || p.Svc.State != core.StateReady {
@@ -675,6 +725,7 @@ func (a *fedAgent) transferOut(e *Entry, p *Placement, dst *FedMember) {
 					return
 				}
 				a.f.CrossMigrations++
+				a.f.Cfg.Tracer.End(transfer, obs.Str("status", "ready"))
 				a.retire(e, p, dst.ID)
 			},
 		})
@@ -695,6 +746,10 @@ func (a *fedAgent) retire(e *Entry, p *Placement, newHome int) {
 	c.movedTo[e.Name] = newHome
 	p.migrating = false
 	p.draining = true
+	if tr := a.f.Cfg.Tracer; tr != nil {
+		tr.Instant(a.lane(), "fed", "switchover",
+			obs.Str("svc", e.Name), obs.Num("dst", int64(newHome)))
+	}
 	a.dirChanged()
 	guard := 10 * c.Cfg.BootEstimate
 	a.f.eng.After(guard, func() {
@@ -887,8 +942,8 @@ func (r *fedRoot) interceptAsync(query *dns.Message, respond func(*dns.Message))
 	if de, ok := r.deleg[name]; ok && de.epoch == epoch {
 		if m := r.f.member(de.cluster); m != nil && !m.Left {
 			r.DelegHits++
-			r.delegate(&pendingResolve{query: query, respond: respond, name: name,
-				cands: []int{de.cluster}, spillTo: -1})
+			r.delegate(r.track(&pendingResolve{query: query, respond: respond, name: name,
+				cands: []int{de.cluster}, spillTo: -1}))
 			return true
 		}
 	}
@@ -914,9 +969,29 @@ func (r *fedRoot) interceptAsync(query *dns.Message, respond func(*dns.Message))
 		respond(r.negative(query))
 		return true
 	}
-	r.delegate(&pendingResolve{query: query, respond: respond, name: name,
-		cands: cands, spillTo: -1})
+	r.delegate(r.track(&pendingResolve{query: query, respond: respond, name: name,
+		cands: cands, spillTo: -1}))
 	return true
+}
+
+// track opens a fed/delegation span for p on the root's trace lane and
+// wraps p.respond so the span closes with the final response code,
+// whichever of the answer / negative / servfail paths fires it — the
+// span therefore covers the whole resolution including spills and
+// Moved-chasing, not just the first ask.
+func (r *fedRoot) track(p *pendingResolve) *pendingResolve {
+	tr := r.f.Cfg.Tracer
+	if tr == nil {
+		return p
+	}
+	sp := tr.Begin(0, "fed", "delegation",
+		obs.Str("name", p.name), obs.Num("cands", int64(len(p.cands))))
+	inner := p.respond
+	p.respond = func(m *dns.Message) {
+		tr.End(sp, obs.Num("rcode", int64(m.RCode)))
+		inner(m)
+	}
+	return p
 }
 
 // delegate parks the query and asks the current candidate cluster,
@@ -1217,6 +1292,11 @@ func (r *fedRoot) checkSkew(from int) {
 	}
 	r.hotStreak = 0
 	r.f.Sheds++
+	if tr := r.f.Cfg.Tracer; tr != nil {
+		tr.Instant(0, "fed", "shed",
+			obs.Num("hot", int64(hot)), obs.Num("cold", int64(cold)),
+			obs.Num("batch", int64(r.f.Cfg.ShedBatch)))
+	}
 	buf := []byte{fedOpShed, byte(cold >> 8), byte(cold), byte(r.f.Cfg.ShedBatch)}
 	r.mgmt.SendUDP(agentMgmtIP(hot), fedPort, fedPort, buf)
 }

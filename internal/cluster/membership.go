@@ -8,6 +8,7 @@ import (
 	"jitsu/internal/core"
 	"jitsu/internal/netsim"
 	"jitsu/internal/netstack"
+	"jitsu/internal/obs"
 	"jitsu/internal/power"
 	"jitsu/internal/sim"
 )
@@ -198,6 +199,10 @@ func (a *agent) tick() {
 	seq := a.seq
 	a.seq++
 	a.await[seq] = t
+	a.c.Probes++
+	if tr := a.c.tracer(); tr != nil {
+		tr.Instant(a.c.tidFor(a.self), "gossip", "probe", obs.Num("peer", int64(t)))
+	}
 	// A ping to a suspect always carries the suspicion, whatever the
 	// piggyback budget — the target can only refute what it has heard.
 	var extra []gossipUpdate
@@ -261,6 +266,9 @@ func (a *agent) armConfirm(id int, inc uint32) {
 // migrated the member's warm replicas off.
 func (a *agent) leave() {
 	a.inc++
+	if tr := a.c.tracer(); tr != nil {
+		tr.Instant(a.c.tidFor(a.self), "gossip", "leave", obs.Num("inc", int64(a.inc)))
+	}
 	u := gossipUpdate{ID: a.self, State: MemberLeft, Inc: a.inc}
 	a.view[a.self] = memberInfo{State: MemberLeft, Inc: a.inc}
 	for _, id := range a.probeCandidates() {
@@ -281,6 +289,10 @@ func (a *agent) apply(u gossipUpdate) {
 			a.inc = u.Inc + 1
 			a.view[a.self] = memberInfo{State: MemberAlive, Inc: a.inc}
 			a.enqueue(gossipUpdate{ID: a.self, State: MemberAlive, Inc: a.inc})
+			a.c.Refutes++
+			if tr := a.c.tracer(); tr != nil {
+				tr.Instant(a.c.tidFor(a.self), "gossip", "refute", obs.Num("inc", int64(a.inc)))
+			}
 		}
 		return
 	}
@@ -305,6 +317,11 @@ func (a *agent) apply(u gossipUpdate) {
 	a.view[u.ID] = memberInfo{State: u.State, Inc: u.Inc}
 	a.enqueue(u)
 	if u.State == MemberSuspect {
+		a.c.Suspects++
+		if tr := a.c.tracer(); tr != nil {
+			tr.Instant(a.c.tidFor(a.self), "gossip", "suspect",
+				obs.Num("member", int64(u.ID)), obs.Num("inc", int64(u.Inc)))
+		}
 		a.armConfirm(u.ID, u.Inc)
 	}
 	if a.self == 0 {
@@ -431,6 +448,9 @@ func (c *Cluster) directoryObserve(id int, s MemberState) {
 		}
 		m.State = MemberDead
 		c.Confirms++
+		if tr := c.tracer(); tr != nil {
+			tr.Instant(c.tidFor(0), "gossip", "confirm", obs.Num("member", int64(id)))
+		}
 		c.deregisterBoard(id)
 	case MemberLeft:
 		if m.State == MemberLeft || m.State == MemberDead {

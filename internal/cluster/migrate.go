@@ -6,6 +6,7 @@ import (
 
 	"jitsu/internal/api"
 	"jitsu/internal/core"
+	"jitsu/internal/obs"
 	"jitsu/internal/sim"
 )
 
@@ -170,6 +171,12 @@ func (c *Cluster) migrateTo(e *Entry, p *Placement, idx int, mandatory bool, don
 	}
 	cp := cpResp.Checkpoint
 	p.migrating = true
+	var precopy obs.Span
+	if tr := c.tracer(); tr != nil {
+		precopy = tr.Begin(c.tidFor(p.Board), "migrate", "precopy",
+			obs.Str("svc", e.Name), obs.Num("state_mib", int64(cp.StateMiB)),
+			obs.Num("src", int64(p.Board)), obs.Num("dst", int64(idx)))
+	}
 	// Claim the destination slot for the whole copy: no placement,
 	// prewarm or concurrent migration may take it while the checkpoint
 	// is in flight, or the restore would find the slot occupied and a
@@ -178,16 +185,25 @@ func (c *Cluster) migrateTo(e *Entry, p *Placement, idx int, mandatory bool, don
 	c.eng.After(c.migrateDelay(cp), func() {
 		if p.gone || p.Svc.State != core.StateReady {
 			// The source died mid-copy; nothing to switch over.
+			c.tracer().End(precopy, obs.Str("status", "source-lost"))
 			p.migrating = false
 			dst.reserved = false
 			done(false)
 			return
 		}
+		c.tracer().End(precopy, obs.Str("status", "copied"))
+		var restore obs.Span
+		if tr := c.tracer(); tr != nil {
+			restore = tr.Begin(c.tidFor(idx), "migrate", "restore",
+				obs.Str("svc", e.Name), obs.Num("state_mib", int64(cp.StateMiB)))
+		}
 		resp := c.boardAPI(idx).Restore(api.RestoreRequest{Name: e.Name, Checkpoint: cp, Board: api.OnBoard(idx), OnReady: func(err error) {
 			if err != nil {
+				c.tracer().End(restore, obs.Str("status", "error"))
 				abort()
 				return
 			}
+			c.tracer().End(restore, obs.Str("status", "ready"))
 			// Switchover: every future DNS answer names the destination
 			// (the source leaves the ready set and the answer epoch
 			// moves) — but a client answered with the source IP moments
@@ -197,6 +213,10 @@ func (c *Cluster) migrateTo(e *Entry, p *Placement, idx int, mandatory bool, don
 			dst.reserved = false
 			dst.lastAnswered = p.lastAnswered
 			c.Migrations++
+			if tr := c.tracer(); tr != nil {
+				tr.Instant(c.tidFor(idx), "migrate", "switchover",
+					obs.Str("svc", e.Name), obs.Num("src", int64(p.Board)), obs.Num("dst", int64(idx)))
+			}
 			c.front().DNS.BumpEpoch()
 			guard := 10 * c.Cfg.BootEstimate
 			grace := sim.Duration(0)
@@ -211,6 +231,7 @@ func (c *Cluster) migrateTo(e *Entry, p *Placement, idx int, mandatory bool, don
 		}})
 		if resp.Err != nil {
 			// Destination lost its memory headroom during the copy.
+			c.tracer().End(restore, obs.Str("status", "refused"))
 			abort()
 		}
 		// On success the slot stays reserved until the switchover: the

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"jitsu/internal/core"
+	"jitsu/internal/obs"
 	"jitsu/internal/sim"
 )
 
@@ -26,6 +27,12 @@ func WithClusterConfig(cfg Config) Option {
 // join later via AddBoard).
 func WithBoards(n int) Option {
 	return func(c *Config) { c.Boards = n }
+}
+
+// WithTracer records every board's activation spans plus the cluster's
+// gossip and migration events into tr; board i traces on lane base+i.
+func WithTracer(tr *obs.Tracer, base int) Option {
+	return func(c *Config) { c.Tracer, c.TraceTIDBase = tr, base }
 }
 
 // WithBoardOptions applies core board options to every member board.

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"jitsu/internal/netstack"
+	"jitsu/internal/obs"
 	"jitsu/internal/unikernel"
 )
 
@@ -95,8 +96,15 @@ type Activation struct {
 	// triggers learn arrival patterns here). Empty on a stock board, so
 	// the zero-allocation DNS fast path pays one nil check.
 	observers []func(svc *Service, s Summon, d Decision)
-	// Trace, when set, observes every service state transition (tests
-	// assert the four frontends drive identical transitions through it).
+	// subs see every service state transition, in subscription order —
+	// the multi-subscriber fan-out behind Subscribe. The board's
+	// tracer rides here next to any test or tooling subscribers.
+	subs []func(svc *Service, from, to ServiceState)
+	// Trace, when set, observes every service state transition after
+	// the subscribers.
+	//
+	// Deprecated: use Subscribe; the single-func field cannot compose
+	// (a second assignment silently displaces the first).
 	Trace func(svc *Service, from, to ServiceState)
 }
 
@@ -120,12 +128,33 @@ func (a *Activation) Observe(fn func(svc *Service, s Summon, d Decision)) {
 	a.observers = append(a.observers, fn)
 }
 
+// Subscribe registers fn to observe every service state transition.
+// Subscribers run in subscription order, before the deprecated Trace
+// shim; they must not re-enter the activation machine synchronously.
+func (a *Activation) Subscribe(fn func(svc *Service, from, to ServiceState)) {
+	a.subs = append(a.subs, fn)
+}
+
+// tracer returns the board's flight recorder (nil when tracing is off)
+// and the lane its events render on.
+func (a *Activation) tracer() (*obs.Tracer, int) {
+	return a.j.board.Tracer, a.j.board.Cfg.TraceTID
+}
+
 // Fire runs the shared activation decision for one trigger firing:
 // touch the service, admit (or refuse) a launch if it is stopped, and
 // hook OnReady to its readiness. All four built-in frontends, the
 // cluster scheduler and the prewarm trigger funnel through here.
 func (a *Activation) Fire(svc *Service, s Summon) Decision {
 	d := a.fire(svc, s)
+	if tr, tid := a.tracer(); tr != nil {
+		via := s.Via
+		if via == "" {
+			via = "direct"
+		}
+		tr.Instant(tid, "activation", "fire",
+			obs.Str("svc", svc.Cfg.Name), obs.Str("via", via), obs.Str("decision", d.String()))
+	}
 	if len(a.observers) > 0 && d != DecisionRetired {
 		for _, fn := range a.observers {
 			fn(svc, s, d)
@@ -152,6 +181,12 @@ func (a *Activation) fire(svc *Service, s Summon) Decision {
 			// elsewhere".
 			if s.Refuse {
 				svc.ServFails++
+			}
+			if tr, tid := a.tracer(); tr != nil {
+				tr.Instant(tid, "activation", "admission.refuse",
+					obs.Str("svc", svc.Cfg.Name),
+					obs.Num("free_mib", int64(a.j.board.Hyp.FreeMemMiB())),
+					obs.Num("need_mib", int64(svc.Cfg.Image.MemMiB)))
 			}
 			return DecisionNoMemory
 		}
@@ -188,7 +223,7 @@ func (a *Activation) restore(svc *Service, cp *Checkpoint, onReady func(error)) 
 	}
 	a.touch(svc)
 	svc.Restores++
-	a.launchVia(svc, a.j.board.Launcher.Restore, onReady)
+	a.launchVia(svc, "restore", a.j.board.Launcher.Restore, onReady)
 	return nil
 }
 
@@ -198,6 +233,9 @@ func (a *Activation) restore(svc *Service, cp *Checkpoint, onReady func(error)) 
 // baseline behaviour of Figure 9a.
 func (a *Activation) claimIdleIP(svc *Service) {
 	b := a.j.board
+	if b.Tracer != nil {
+		b.Tracer.Instant(b.Cfg.TraceTID, "activation", "claim_ip", obs.Str("svc", svc.Cfg.Name))
+	}
 	if b.Syn != nil {
 		b.Syn.claim(svc)
 	} else {
@@ -209,6 +247,9 @@ func (a *Activation) claimIdleIP(svc *Service) {
 // releaseIdleIP undoes claimIdleIP when the real unikernel takes over.
 func (a *Activation) releaseIdleIP(svc *Service) {
 	b := a.j.board
+	if b.Tracer != nil {
+		b.Tracer.Instant(b.Cfg.TraceTID, "activation", "release_ip", obs.Str("svc", svc.Cfg.Name))
+	}
 	if b.Syn != nil {
 		b.Syn.release(svc)
 	} else {
@@ -221,11 +262,18 @@ func (a *Activation) touch(svc *Service) {
 	svc.lastActivity = a.j.board.Eng.Now()
 }
 
-// setState moves a service between lifecycle states, notifying Trace.
+// setState moves a service between lifecycle states, fanning the
+// transition out to every subscriber (and the deprecated Trace shim).
 func (a *Activation) setState(svc *Service, to ServiceState) {
 	from := svc.State
 	svc.State = to
-	if a.Trace != nil && from != to {
+	if from == to {
+		return
+	}
+	for _, fn := range a.subs {
+		fn(svc, from, to)
+	}
+	if a.Trace != nil {
 		a.Trace(svc, from, to)
 	}
 }
@@ -252,19 +300,26 @@ func (a *Activation) ensureRunning(svc *Service, onReady func(error)) {
 		}
 		return
 	}
-	a.launchVia(svc, a.j.board.Launcher.Launch, onReady)
+	a.launchVia(svc, "boot", a.j.board.Launcher.Launch, onReady)
 }
 
 // launchVia runs the launch state machine through the given boot path —
-// Launcher.Launch for a cold start, Launcher.Restore for a migrated-in
-// checkpoint. The caller guarantees svc is Stopped.
-func (a *Activation) launchVia(svc *Service, launch launchFunc, onReady func(error)) {
+// Launcher.Launch for a cold start ("boot"), Launcher.Restore for a
+// migrated-in checkpoint ("restore"). The caller guarantees svc is
+// Stopped. The whole path is one span on the board's tracer, and the
+// latency lands in the matching registry histogram.
+func (a *Activation) launchVia(svc *Service, kind string, launch launchFunc, onReady func(error)) {
 	a.setState(svc, StateLaunching)
 	svc.Launches++
 	svc.launchStart = a.j.board.Eng.Now()
+	if tr, tid := a.tracer(); tr != nil {
+		svc.bootSpan = tr.Begin(tid, "activation", kind,
+			obs.Str("svc", svc.Cfg.Name), obs.Num("mem_mib", int64(svc.Cfg.Image.MemMiB)))
+	}
 	launch(svc.Cfg.Image, svc.Cfg.IP, func(g *unikernel.Guest, err error) {
 		if err != nil {
 			a.setState(svc, StateStopped)
+			a.endBootSpan(svc, "error")
 			a.flushWaiters(svc, false)
 			if onReady != nil {
 				onReady(err)
@@ -276,6 +331,7 @@ func (a *Activation) launchVia(svc *Service, launch launchFunc, onReady func(err
 			// departed): destroy the guest instead of resurrecting a
 			// retired registration and leaking its domain.
 			a.setState(svc, StateStopped)
+			a.endBootSpan(svc, "retired")
 			a.j.board.Launcher.Destroy(g, nil)
 			a.flushWaiters(svc, false)
 			if onReady != nil {
@@ -289,6 +345,8 @@ func (a *Activation) launchVia(svc *Service, launch launchFunc, onReady func(err
 		// one of Synjitsu or the unikernel ever answers a given packet.
 		a.releaseIdleIP(svc)
 		a.setState(svc, StateReady)
+		a.j.board.histFor(kind).Observe(a.j.board.Eng.Now() - svc.launchStart)
+		a.endBootSpan(svc, "ready")
 		a.touch(svc)
 		a.scheduleReap(svc)
 		a.flushWaiters(svc, true)
@@ -296,6 +354,15 @@ func (a *Activation) launchVia(svc *Service, launch launchFunc, onReady func(err
 			onReady(nil)
 		}
 	})
+}
+
+// endBootSpan closes the service's in-flight boot/restore span, if any.
+func (a *Activation) endBootSpan(svc *Service, status string) {
+	if svc.bootSpan.ID == 0 {
+		return
+	}
+	a.j.board.Tracer.End(svc.bootSpan, obs.Str("status", status))
+	svc.bootSpan = obs.Span{}
 }
 
 // stopNow tears a ready service down: shared by Stop and the idle reaper.

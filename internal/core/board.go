@@ -13,6 +13,7 @@ import (
 	"jitsu/internal/dns"
 	"jitsu/internal/netsim"
 	"jitsu/internal/netstack"
+	"jitsu/internal/obs"
 	"jitsu/internal/sim"
 	"jitsu/internal/unikernel"
 	"jitsu/internal/xen"
@@ -45,6 +46,14 @@ type BoardConfig struct {
 	// External link characteristics (client <-> board).
 	ExtLatency    sim.Duration
 	ExtBitsPerSec float64
+	// Tracer, when set, is the flight recorder every subsystem on the
+	// board emits spans into; its timestamps come from the board's
+	// engine, so a seeded run exports bit-identically. Nil (the
+	// default) disables tracing and keeps every hot path alloc-free.
+	Tracer *obs.Tracer
+	// TraceTID is the tracer lane this board's events render on —
+	// cluster builders assign one lane per board.
+	TraceTID int
 }
 
 // DefaultConfig is a Cubieboard2 running the fully optimised stack with
@@ -81,6 +90,15 @@ type Board struct {
 	Jitsu *Jitsu
 	// Syn is the proxy; nil when disabled.
 	Syn *Synjitsu
+	// Tracer is the board's flight recorder (nil when tracing is off).
+	Tracer *obs.Tracer
+	// Reg is the board's metric registry: boot/restore latency
+	// histograms plus snapshot-time mirrors of the DNS and engine
+	// counters. Always present; mirrors cost nothing until Snapshot.
+	Reg *obs.Registry
+
+	bootHist    *obs.Histogram
+	restoreHist *obs.Histogram
 
 	// triggers are the attached activation frontends (built-ins first;
 	// AddTrigger appends).
@@ -161,7 +179,36 @@ func buildBoard(eng *sim.Engine, cfg BoardConfig) *Board {
 		b.Syn = newSynjitsu(b, SynAddr)
 	}
 	b.Jitsu = newJitsu(b, zone)
+
+	b.Tracer = cfg.Tracer
+	b.Tracer.BindClock(eng.Now)
+	srv.Tracer = cfg.Tracer
+	srv.TraceTID = cfg.TraceTID
+	b.Reg = obs.NewRegistry(fmt.Sprintf("board%d", cfg.TraceTID))
+	b.bootHist = b.Reg.Histogram("activation.boot")
+	b.restoreHist = b.Reg.Histogram("activation.restore")
+	b.Reg.CounterFunc("dns.queries", func() uint64 { return srv.Queries })
+	b.Reg.CounterFunc("dns.cache_hits", func() uint64 { return srv.CacheHits })
+	b.Reg.CounterFunc("dns.cache_misses", func() uint64 { return srv.CacheMisses })
+	b.Reg.GaugeFunc("dns.epoch", func() int64 { return int64(srv.Epoch) })
+	b.Reg.CounterFunc("sim.fired", eng.Fired)
+	b.Reg.GaugeFunc("sim.pending", func() int64 { return int64(eng.Pending()) })
+	b.Reg.GaugeFunc("sim.max_pending", func() int64 { return int64(eng.MaxPending()) })
+	b.Reg.CounterFunc("activation.cold_starts", func() uint64 { return b.Jitsu.sumCounters(func(s *Service) uint64 { return s.ColdStarts }) })
+	b.Reg.CounterFunc("activation.launches", func() uint64 { return b.Jitsu.sumCounters(func(s *Service) uint64 { return s.Launches }) })
+	b.Reg.CounterFunc("activation.restores", func() uint64 { return b.Jitsu.sumCounters(func(s *Service) uint64 { return s.Restores }) })
+	b.Reg.CounterFunc("activation.servfails", func() uint64 { return b.Jitsu.sumCounters(func(s *Service) uint64 { return s.ServFails }) })
+	b.Reg.CounterFunc("activation.reaps", func() uint64 { return b.Jitsu.sumCounters(func(s *Service) uint64 { return s.Reaps }) })
+	b.Reg.GaugeFunc("xen.free_mem_mib", func() int64 { return int64(hyp.FreeMemMiB()) })
 	return b
+}
+
+// histFor picks the launch-latency histogram for a boot path kind.
+func (b *Board) histFor(kind string) *obs.Histogram {
+	if kind == "restore" {
+		return b.restoreHist
+	}
+	return b.bootHist
 }
 
 // AddClient attaches an external client host to the board's network.

@@ -39,3 +39,25 @@ func TestDeprecatedNewBoardOnEngineSharesEngine(t *testing.T) {
 		t.Fatal("NewBoardOnEngine did not use the shared engine")
 	}
 }
+
+// TestDeprecatedTraceShimStillFires pins the single-func Trace field:
+// it must keep observing transitions, after the Subscribe fan-out, so
+// external assignments migrating gradually stay safe.
+func TestDeprecatedTraceShimStillFires(t *testing.T) {
+	b := New()
+	svc := b.Jitsu.Register(aliceService())
+	var order []string
+	b.Jitsu.Activation().Subscribe(func(_ *Service, from, to ServiceState) {
+		order = append(order, "sub:"+from.String()+"->"+to.String())
+	})
+	b.Jitsu.Activation().Trace = func(_ *Service, from, to ServiceState) {
+		order = append(order, "shim:"+from.String()+"->"+to.String())
+	}
+	if err := b.Jitsu.Activate(svc, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	b.Eng.Run()
+	if len(order) < 4 || order[0] != "sub:stopped->launching" || order[1] != "shim:stopped->launching" {
+		t.Fatalf("shim did not fire after subscribers: %v", order)
+	}
+}

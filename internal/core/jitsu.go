@@ -6,6 +6,7 @@ import (
 
 	"jitsu/internal/dns"
 	"jitsu/internal/netstack"
+	"jitsu/internal/obs"
 	"jitsu/internal/sim"
 	"jitsu/internal/unikernel"
 )
@@ -67,6 +68,9 @@ type Service struct {
 	// retired marks a deregistered service: an in-flight boot must tear
 	// its guest down on completion instead of resurrecting the entry.
 	retired bool
+	// bootSpan is the in-flight boot/restore span on the board's tracer
+	// (zero when tracing is off or no launch is in flight).
+	bootSpan obs.Span
 
 	// answerRR is the service's pre-built DNS answer: the positive
 	// response never varies per query, so the hot path reuses it (and
@@ -83,6 +87,17 @@ type Service struct {
 	ServFails  uint64
 	Reaps      uint64
 	Restores   uint64 // launches that replayed a migration checkpoint
+}
+
+// sumCounters totals one per-service counter across the directory —
+// the registry's snapshot-time mirror of activation accounting. Sum
+// order does not matter, so ranging the map stays deterministic.
+func (j *Jitsu) sumCounters(get func(*Service) uint64) uint64 {
+	var n uint64
+	for _, svc := range j.services {
+		n += get(svc)
+	}
+	return n
 }
 
 // Jitsu is the directory service: "the Xen equivalent of the venerable

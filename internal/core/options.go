@@ -1,6 +1,7 @@
 package core
 
 import (
+	"jitsu/internal/obs"
 	"jitsu/internal/sim"
 	"jitsu/internal/xen"
 	"jitsu/internal/xenstore"
@@ -83,6 +84,16 @@ func WithExtLink(latency sim.Duration, bitsPerSec float64) Option {
 	return func(c *BoardConfig) {
 		c.ExtLatency = latency
 		c.ExtBitsPerSec = bitsPerSec
+	}
+}
+
+// WithTracer attaches the observability flight recorder; tid is the
+// tracer lane the board's events render on (cluster builders hand each
+// board its own lane). A nil tracer keeps tracing off.
+func WithTracer(tr *obs.Tracer, tid int) Option {
+	return func(c *BoardConfig) {
+		c.Tracer = tr
+		c.TraceTID = tid
 	}
 }
 

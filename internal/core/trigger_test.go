@@ -106,7 +106,7 @@ func TestTriggerMatrix(t *testing.T) {
 			b := New(WithDelayedDNS(fe.delayed))
 			svc := b.Jitsu.Register(aliceService())
 			rec := &transitionRecorder{}
-			b.Jitsu.Activation().Trace = rec.hook
+			b.Jitsu.Activation().Subscribe(rec.hook)
 			fe.fire(t, b, svc)
 			b.Eng.Run()
 			if !rec.equal(coldTransitions) {
@@ -129,7 +129,7 @@ func TestTriggerMatrix(t *testing.T) {
 				t.Fatalf("precondition: state = %v", svc.State)
 			}
 			rec := &transitionRecorder{}
-			b.Jitsu.Activation().Trace = rec.hook
+			b.Jitsu.Activation().Subscribe(rec.hook)
 			firedBefore := b.Jitsu.Activation().Fired()[fe.viaName()]
 			fe.fire(t, b, svc)
 			b.Eng.Run()
@@ -147,7 +147,7 @@ func TestTriggerMatrix(t *testing.T) {
 			b := New(WithDelayedDNS(fe.delayed), WithMemory(8))
 			svc := b.Jitsu.Register(aliceService())
 			rec := &transitionRecorder{}
-			b.Jitsu.Activation().Trace = rec.hook
+			b.Jitsu.Activation().Subscribe(rec.hook)
 			fe.fire(t, b, svc)
 			b.Eng.Run()
 			if !rec.equal(fe.oomTransitions) {

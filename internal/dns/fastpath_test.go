@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"jitsu/internal/netstack"
+	"jitsu/internal/obs"
 	"jitsu/internal/sim"
 )
 
@@ -212,6 +213,42 @@ func TestInterceptorWithoutFastPathStillConsulted(t *testing.T) {
 	}
 	if s.CacheHits != 0 {
 		t.Fatal("fast path served despite opaque interceptor")
+	}
+}
+
+// TestFastPathAllocFree pins the zero-allocation serve guarantee the
+// bench gate enforces: with tracing disabled the warm cache-hit path
+// allocates nothing, attaching a tracer leaves the hit path alloc-free
+// (trace events only fire on the rare miss branch), and the miss path's
+// trace cost is bounded rather than per-query.
+func TestFastPathAllocFree(t *testing.T) {
+	s := testZoneServer()
+	wire := queryWire(t, 7, "alice.family.name", TypeA, true)
+	sink := func([]byte) {}
+	s.ServeWire(wire, sink) // fill the cache
+	if n := testing.AllocsPerRun(100, func() { s.ServeWire(wire, sink) }); n != 0 {
+		t.Fatalf("tracing disabled: %v allocs/op on the cache-hit path", n)
+	}
+	eng := sim.New(1)
+	tr := obs.NewTracer(1 << 10)
+	tr.BindClock(eng.Now)
+	s.Tracer = tr
+	if n := testing.AllocsPerRun(100, func() { s.ServeWire(wire, sink) }); n != 0 {
+		t.Fatalf("tracing enabled: %v allocs/op on the cache-hit path", n)
+	}
+	// Misses forced by epoch bumps: the slow path has always allocated
+	// (fresh encode + cache insert); tracing must only add a bounded
+	// per-miss cost on top, not a ramp that grows with the ring.
+	misses := s.CacheMisses
+	n := testing.AllocsPerRun(100, func() {
+		s.BumpEpoch()
+		s.ServeWire(wire, sink)
+	})
+	if s.CacheMisses == misses {
+		t.Fatal("epoch bumps did not force cache misses")
+	}
+	if n > 24 {
+		t.Fatalf("traced miss path allocates %v/op; want a small bound", n)
 	}
 }
 

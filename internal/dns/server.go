@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"jitsu/internal/netstack"
+	"jitsu/internal/obs"
 	"jitsu/internal/sim"
 )
 
@@ -165,10 +166,21 @@ type Server struct {
 	Queries uint64
 	// CacheHits counts fast-path queries served from the answer cache.
 	CacheHits uint64
+	// CacheMisses counts fast-path queries that had to build (and cache)
+	// their response — the cold side of the CacheHits ratio.
+	CacheMisses uint64
 	// Epoch counts state-epoch bumps (directory registrations changing,
 	// cluster membership churn). Observability only: invalidation itself
 	// is the wholesale cache drop in BumpEpoch.
 	Epoch uint64
+
+	// Tracer, when set, records a "dns"-category instant per cache miss
+	// and epoch bump on lane TraceTID. Misses are rare once the cache
+	// warms, so the flight recorder sees invalidation storms without
+	// drowning in per-query noise; nil keeps the fast path alloc-free.
+	Tracer *obs.Tracer
+	// TraceTID is the tracer lane for this server's events.
+	TraceTID int
 
 	// cache maps (name, qtype) keys to pre-encoded wire responses
 	// (stored with ID 0 and RD clear; both patched per query).
@@ -215,6 +227,9 @@ func (s *Server) Close() { s.Host.UnbindUDP(53) }
 func (s *Server) BumpEpoch() {
 	s.Epoch++
 	clear(s.cache)
+	if s.Tracer != nil {
+		s.Tracer.Instant(s.TraceTID, "dns", "epoch_bump", obs.Num("epoch", int64(s.Epoch)))
+	}
 }
 
 func (s *Server) handle(src netstack.IP, srcPort uint16, payload []byte) {
@@ -374,6 +389,10 @@ func (s *Server) fastAnswer(payload []byte) (wire []byte, ok bool) {
 	// Cache miss: build the response once through the ordinary Message
 	// path (so cached bytes are identical to slow-path encodes), store
 	// it with ID 0 / RD clear, then patch and serve.
+	s.CacheMisses++
+	if s.Tracer != nil {
+		s.Tracer.Instant(s.TraceTID, "dns", "cache_miss", obs.Str("name", string(name)))
+	}
 	resp := &Message{
 		Response: true, Authoritative: true,
 		Questions: []Question{{Name: string(name), Type: typ, Class: ClassIN}},

@@ -9,6 +9,7 @@ import (
 	"jitsu/internal/cluster"
 	"jitsu/internal/metrics"
 	"jitsu/internal/netstack"
+	"jitsu/internal/obs"
 	"jitsu/internal/sim"
 )
 
@@ -73,6 +74,7 @@ func churnSchedule(horizon sim.Duration) []churnEvent {
 type churnOutcome struct {
 	all       *metrics.Series
 	postLeave *metrics.Series
+	trace     *obs.Tracer
 	refused   int
 	errs      int
 	migrated  uint64
@@ -82,7 +84,7 @@ type churnOutcome struct {
 }
 
 // runChurn replays the trace against one departure policy.
-func runChurn(migrate bool, seed int64, trace []scalingArrival, horizon sim.Duration) *churnOutcome {
+func runChurn(migrate, traced bool, seed int64, trace []scalingArrival, horizon sim.Duration) *churnOutcome {
 	label := "preempt"
 	if migrate {
 		label = "migrate"
@@ -90,12 +92,20 @@ func runChurn(migrate bool, seed int64, trace []scalingArrival, horizon sim.Dura
 	// Exactly one warm replica per service (WithWarmPool cap): the
 	// replica that must move when its board leaves, rather than a pool
 	// that can mask the loss.
+	// One optional flight recorder per policy run (WithTracing): gossip,
+	// migration and boot spans land beside the latency table (board i on
+	// lane i); nil keeps the run on the untraced hot path.
+	var tracer *obs.Tracer
+	if traced {
+		tracer = obs.NewTracer(1 << 15)
+	}
 	c := cluster.NewCluster(
 		cluster.WithBoards(churnBoards),
 		cluster.WithSeed(seed),
 		cluster.WithMigrateOnLeave(migrate),
 		cluster.WithProbing(1*time.Second, 0, 0),
 		cluster.WithWarmPool(1.0, 1),
+		cluster.WithTracer(tracer, 0),
 	)
 	for s := 0; s < churnServices; s++ {
 		sc := scalingServiceConfig(s, 0)
@@ -130,6 +140,7 @@ func runChurn(migrate bool, seed int64, trace []scalingArrival, horizon sim.Dura
 	out := &churnOutcome{
 		all:       &metrics.Series{Name: fmt.Sprintf("churn-%s", label)},
 		postLeave: &metrics.Series{Name: fmt.Sprintf("churn-%s post-leave", label)},
+		trace:     tracer,
 	}
 	for _, a := range trace {
 		a := a
@@ -171,19 +182,22 @@ func runChurn(migrate bool, seed int64, trace []scalingArrival, horizon sim.Dura
 // membership: the same Poisson trace and the same join/leave schedule,
 // measured on time-to-first-response — overall and in the windows right
 // after each departure.
-func Churn(horizon sim.Duration) *Result {
+func Churn(horizon sim.Duration, opts ...Option) *Result {
+	cfg := applyOptions(opts)
 	r := newResult("Churn", "migration vs preempt-and-reboot under board join/leave")
 	trace := churnTrace(9000, horizon)
-	mig := runChurn(true, 9100, trace, horizon)
-	pre := runChurn(false, 9100, trace, horizon)
+	mig := runChurn(true, cfg.trace, 9100, trace, horizon)
+	pre := runChurn(false, cfg.trace, 9100, trace, horizon)
 
 	tab := metrics.NewTable("",
 		"policy", "n-ok", "p50", "p95", "post-leave-p95", "coldstarts", "migrations", "restores", "lost")
 	for _, o := range []*churnOutcome{mig, pre} {
-		tab.AddRow(o.all.Name, o.all.Len(), o.all.Percentile(0.5), o.all.Percentile(0.95),
+		d := o.all.Summarize()
+		tab.AddRow(o.all.Name, d.Len(), d.P50(), d.P95(),
 			o.postLeave.Percentile(0.95), o.cold, o.migrated, o.restores, o.lost)
 		r.Series[o.all.Name] = o.all
 		r.Series[o.postLeave.Name] = o.postLeave
+		r.addTrace(o.all.Name, o.trace)
 	}
 	r.Output = tab.String()
 	r.addNote("both runs share one Poisson trace and one membership schedule (two graceful leaves, one join); the only difference is what happens to the leaving board's warm replicas")

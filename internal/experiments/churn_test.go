@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 	"time"
+
+	"jitsu/internal/obs"
 )
 
 // TestChurnShape asserts the migration contract: under the same trace
@@ -45,8 +48,8 @@ func TestChurnShape(t *testing.T) {
 // the same seed must reproduce every series bit-for-bit, membership
 // churn, gossip and migrations included.
 func TestChurnDeterminism(t *testing.T) {
-	a := Churn(45 * time.Second)
-	b := Churn(45 * time.Second)
+	a := Churn(45*time.Second, WithTracing())
+	b := Churn(45*time.Second, WithTracing())
 	if fa, fb := a.Fingerprint(), b.Fingerprint(); fa != fb {
 		t.Fatalf("fingerprints differ across identical runs: %x vs %x", fa, fb)
 	}
@@ -61,5 +64,32 @@ func TestChurnDeterminism(t *testing.T) {
 	}
 	if a.Output != b.Output {
 		t.Error("rendered output differs across identical runs")
+	}
+	// The trace streams are part of the same contract: both runs must
+	// export byte-identical Chrome traces, not just matching latencies.
+	if len(a.Traces) == 0 {
+		t.Fatal("churn attached no tracers")
+	}
+	for name, ta := range a.Traces {
+		tb := b.Traces[name]
+		if tb == nil {
+			t.Fatalf("trace %q missing from second run", name)
+		}
+		if ta.Len() == 0 {
+			t.Errorf("trace %q recorded no events", name)
+		}
+		if ta.Fingerprint() != tb.Fingerprint() {
+			t.Errorf("trace %q not bit-identical across runs", name)
+		}
+		var ba, bb bytes.Buffer
+		if err := obs.WriteChromeTrace(&ba, ta); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteChromeTrace(&bb, tb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+			t.Errorf("trace %q Chrome export differs across runs", name)
+		}
 	}
 }

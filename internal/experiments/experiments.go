@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"jitsu/internal/metrics"
+	"jitsu/internal/obs"
 )
 
 // Result is one regenerated experiment.
@@ -24,12 +25,45 @@ type Result struct {
 	Output string
 	// Series holds raw distributions for programmatic assertions.
 	Series map[string]*metrics.Series
+	// Traces holds per-run flight recorders for experiments that attach
+	// one (cmd/jitsu-bench -trace-dir exports them as Chrome traces).
+	Traces map[string]*obs.Tracer
 	// Notes records paper-vs-measured commentary for EXPERIMENTS.md.
 	Notes []string
 }
 
 func newResult(id, title string) *Result {
-	return &Result{ID: id, Title: title, Series: map[string]*metrics.Series{}}
+	return &Result{ID: id, Title: title,
+		Series: map[string]*metrics.Series{}, Traces: map[string]*obs.Tracer{}}
+}
+
+// Option configures an experiment run.
+type Option func(*runConfig)
+
+type runConfig struct{ trace bool }
+
+// WithTracing attaches a flight recorder to the experiments that carry
+// one (Churn, Prewarm): their spans land in Result.Traces, exported by
+// cmd/jitsu-bench -trace-dir and folded into the determinism
+// fingerprints. Off by default so the benchmark suite measures the
+// untraced hot path the bench gate ratchets — tracing is a run-time
+// opt-in, never a tax on the baseline.
+func WithTracing() Option { return func(c *runConfig) { c.trace = true } }
+
+func applyOptions(opts []Option) runConfig {
+	var c runConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// addTrace attaches one run's flight recorder (nil tracers are skipped
+// so runners can share one code path with tracing off).
+func (r *Result) addTrace(name string, t *obs.Tracer) {
+	if t != nil {
+		r.Traces[name] = t
+	}
 }
 
 func (r *Result) addNote(format string, args ...any) {
@@ -87,12 +121,29 @@ func (r *Result) Fingerprint() uint64 {
 		}
 		h.Write(buf[:])
 	}
+	// Trace streams are part of the determinism contract too: a run that
+	// reproduces every latency sample but schedules its spans differently
+	// must not fingerprint clean.
+	tnames := make([]string, 0, len(r.Traces))
+	for name := range r.Traces {
+		tnames = append(tnames, name)
+	}
+	sort.Strings(tnames)
+	for _, name := range tnames {
+		h.Write([]byte(name))
+		n := r.Traces[name].Fingerprint()
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(n >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
 	return h.Sum64()
 }
 
 // All runs every experiment at the given scale (trials multiplier,
-// 1 = full paper scale, smaller for quick runs).
-func All(quick bool) []*Result {
+// 1 = full paper scale, smaller for quick runs). Options are forwarded
+// to the experiments that take them.
+func All(quick bool, opts ...Option) []*Result {
 	trials := 120
 	fig3N := []int{1, 25, 50, 100, 150, 200}
 	scalingN := []int{1, 2, 4, 8}
@@ -119,8 +170,8 @@ func All(quick bool) []*Result {
 		Throughput(),
 		Headline(trials / 4),
 		Scaling(scalingN, scalingHorizon),
-		Churn(churnHorizon),
-		Prewarm(prewarmVisits),
+		Churn(churnHorizon, opts...),
+		Prewarm(prewarmVisits, opts...),
 		Federation(federationHorizon),
 	}
 }

@@ -170,7 +170,8 @@ func Headline(trials int) *Result {
 			}
 		}
 		r.Series[row.name] = s
-		tab.AddRow(row.name, s.Percentile(0.5), s.Percentile(0.9))
+		d := s.Summarize()
+		tab.AddRow(row.name, d.P50(), d.Percentile(0.9))
 	}
 	r.Output = tab.String()
 	r.addNote("paper anchors: 'a service VM can cold boot and respond to a TCP client in around 300-350ms' (ARM), '20-30ms response times in datacenter environments' (x86), 'an already-booted service can respond to local traffic in around 5ms'")

@@ -9,6 +9,7 @@ import (
 	"jitsu/internal/core"
 	"jitsu/internal/metrics"
 	"jitsu/internal/netstack"
+	"jitsu/internal/obs"
 	"jitsu/internal/sim"
 	"jitsu/internal/unikernel"
 )
@@ -64,6 +65,7 @@ func prewarmTrace(seed int64, visits int) []prewarmArrival {
 type prewarmOutcome struct {
 	all         *metrics.Series
 	steady      *metrics.Series
+	trace       *obs.Tracer
 	errs        int
 	cold        uint64
 	predictions uint64
@@ -72,12 +74,20 @@ type prewarmOutcome struct {
 }
 
 // runPrewarm replays the visit schedule with or without the trigger.
-func runPrewarm(on bool, seed int64, trace []prewarmArrival) *prewarmOutcome {
+func runPrewarm(on, traced bool, seed int64, trace []prewarmArrival) *prewarmOutcome {
 	label := "prewarm-off"
 	if on {
 		label = "prewarm-on"
 	}
-	b := core.New(core.WithSeed(seed))
+	// The optional flight recorder (WithTracing): the exported
+	// activation spans must account for the cold-vs-warm p95 gap the
+	// table reports. Nil when tracing is off — the run then measures
+	// the same alloc-free hot path the bench gate ratchets.
+	var tracer *obs.Tracer
+	if traced {
+		tracer = obs.NewTracer(1 << 14)
+	}
+	b := core.New(core.WithSeed(seed), core.WithTracer(tracer, 0))
 	var trig *core.PrewarmTrigger
 	if on {
 		trig = core.NewPrewarmTrigger(prewarmLead)
@@ -101,6 +111,7 @@ func runPrewarm(on bool, seed int64, trace []prewarmArrival) *prewarmOutcome {
 	out := &prewarmOutcome{
 		all:    &metrics.Series{Name: label},
 		steady: &metrics.Series{Name: label + " steady"},
+		trace:  tracer,
 	}
 	for _, a := range trace {
 		a := a
@@ -135,20 +146,23 @@ func runPrewarm(on bool, seed int64, trace []prewarmArrival) *prewarmOutcome {
 // without the predictive trigger: time-to-first-response per visit,
 // overall and after the warm-up visits the trigger needs to learn the
 // pattern.
-func Prewarm(visits int) *Result {
+func Prewarm(visits int, opts ...Option) *Result {
+	cfg := applyOptions(opts)
 	r := newResult("Prewarm", "predictive prewarm trigger vs cold boots on recurring visits")
 	trace := prewarmTrace(11000, visits)
-	off := runPrewarm(false, 11100, trace)
-	on := runPrewarm(true, 11100, trace)
+	off := runPrewarm(false, cfg.trace, 11100, trace)
+	on := runPrewarm(true, cfg.trace, 11100, trace)
 
 	tab := metrics.NewTable("",
 		"policy", "n-ok", "p50", "p95", "steady-p50", "steady-p95", "coldstarts", "predictions", "hits", "misses")
 	for _, o := range []*prewarmOutcome{off, on} {
-		tab.AddRow(o.all.Name, o.all.Len(), o.all.Percentile(0.5), o.all.Percentile(0.95),
-			o.steady.Percentile(0.5), o.steady.Percentile(0.95),
+		all, steady := o.all.Summarize(), o.steady.Summarize()
+		tab.AddRow(o.all.Name, all.Len(), all.P50(), all.P95(),
+			steady.P50(), steady.P95(),
 			o.cold, o.predictions, o.hits, o.misses)
 		r.Series[o.all.Name] = o.all
 		r.Series[o.steady.Name] = o.steady
+		r.addTrace(o.all.Name, o.trace)
 	}
 	r.Output = tab.String()
 	r.addNote("both runs share one jittered periodic visit schedule; the visit period (10s) exceeds the idle timeout (6s), so without the trigger every visit pays a fresh cold boot")

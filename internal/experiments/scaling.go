@@ -174,8 +174,9 @@ func Scaling(boardCounts []int, horizon sim.Duration) *Result {
 		fleet := runScalingFleet(n, 7100+int64(n), trace)
 		clus := runScalingCluster(n, 7100+int64(n), trace)
 		for _, o := range []*scalingOutcome{fleet, clus} {
-			tab.AddRow(n, o.lat.Name, o.lat.Len(), o.lat.Percentile(0.5),
-				o.lat.Percentile(0.95), fmt.Sprintf("%.1f", o.refusedPct()), o.coldStarts)
+			d := o.lat.Summarize()
+			tab.AddRow(n, o.lat.Name, d.Len(), d.P50(),
+				d.P95(), fmt.Sprintf("%.1f", o.refusedPct()), o.coldStarts)
 			r.Series[o.lat.Name] = o.lat
 		}
 	}

@@ -38,8 +38,15 @@ func (s *Series) sorted() []time.Duration {
 }
 
 // Percentile returns the q-th (0..1) percentile by linear interpolation.
+// Each call sorts a copy of the samples; when reading several quantiles
+// of the same series together, build a Summarize() digest instead.
 func (s *Series) Percentile(q float64) time.Duration {
-	c := s.sorted()
+	return percentile(s.sorted(), q)
+}
+
+// percentile interpolates the q-th quantile from an already-sorted
+// sample set.
+func percentile(c []time.Duration, q float64) time.Duration {
 	if len(c) == 0 {
 		return 0
 	}
@@ -56,6 +63,50 @@ func (s *Series) Percentile(q float64) time.Duration {
 		return c[len(c)-1]
 	}
 	return c[lo] + time.Duration(float64(c[lo+1]-c[lo])*frac)
+}
+
+// Summary is a sorted-once distribution digest: building one costs a
+// single sort, after which every quantile read is an index. Use it
+// wherever several quantiles of one series are read together (result
+// tables, CDF plots) — Series.Percentile re-sorts on every call.
+type Summary struct {
+	Name   string
+	sorted []time.Duration
+}
+
+// Summarize sorts the series once and returns the digest. Samples added
+// to the series afterwards are not reflected.
+func (s *Series) Summarize() *Summary {
+	return &Summary{Name: s.Name, sorted: s.sorted()}
+}
+
+// Len returns the number of observations in the digest.
+func (d *Summary) Len() int { return len(d.sorted) }
+
+// Percentile returns the q-th (0..1) percentile without re-sorting.
+func (d *Summary) Percentile(q float64) time.Duration { return percentile(d.sorted, q) }
+
+// Min returns the smallest observation (0 when empty).
+func (d *Summary) Min() time.Duration { return percentile(d.sorted, 0) }
+
+// Max returns the largest observation (0 when empty).
+func (d *Summary) Max() time.Duration { return percentile(d.sorted, 1) }
+
+// P50, P95 and P99 are the quantiles every results table reads.
+func (d *Summary) P50() time.Duration { return percentile(d.sorted, 0.5) }
+func (d *Summary) P95() time.Duration { return percentile(d.sorted, 0.95) }
+func (d *Summary) P99() time.Duration { return percentile(d.sorted, 0.99) }
+
+// Mean returns the arithmetic mean.
+func (d *Summary) Mean() time.Duration {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range d.sorted {
+		sum += v
+	}
+	return sum / time.Duration(len(d.sorted))
 }
 
 // Mean returns the arithmetic mean.
@@ -132,9 +183,10 @@ func (s *Series) FracBelow(v time.Duration) float64 {
 
 // Summary is a one-line distribution description used in experiment logs.
 func (s *Series) Summary() string {
+	d := s.Summarize()
 	return fmt.Sprintf("%s: n=%d min=%s p50=%s p90=%s p99=%s max=%s mean=%s",
-		s.Name, s.Len(), fmtDur(s.Min()), fmtDur(s.Percentile(0.5)),
-		fmtDur(s.Percentile(0.9)), fmtDur(s.Percentile(0.99)), fmtDur(s.Max()), fmtDur(s.Mean()))
+		s.Name, d.Len(), fmtDur(d.Min()), fmtDur(d.Percentile(0.5)),
+		fmtDur(d.Percentile(0.9)), fmtDur(d.Percentile(0.99)), fmtDur(d.Max()), fmtDur(d.Mean()))
 }
 
 func fmtDur(d time.Duration) string {
@@ -232,10 +284,14 @@ func ASCIICDF(title string, series ...*Series) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s (CDF) ==\n", title)
 	tab := NewTable("", append([]string{"pct"}, names(series)...)...)
+	digests := make([]*Summary, len(series))
+	for i, s := range series {
+		digests[i] = s.Summarize()
+	}
 	for _, q := range []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0} {
 		row := []any{fmt.Sprintf("p%02.0f", q*100)}
-		for _, s := range series {
-			row = append(row, s.Percentile(q))
+		for _, d := range digests {
+			row = append(row, d.Percentile(q))
 		}
 		tab.AddRow(row...)
 	}

@@ -203,3 +203,30 @@ func TestCDFConsistencyProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSummarizeMatchesPercentile pins the digest against the per-call
+// path: same interpolation, one sort.
+func TestSummarizeMatchesPercentile(t *testing.T) {
+	s := &Series{Name: "digest"}
+	for i := 97; i > 0; i -= 3 {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	d := s.Summarize()
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.95, 0.99, 1} {
+		if got, want := d.Percentile(q), s.Percentile(q); got != want {
+			t.Errorf("Summarize().Percentile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if d.P50() != s.Percentile(0.5) || d.P95() != s.Percentile(0.95) || d.P99() != s.Percentile(0.99) {
+		t.Error("P50/P95/P99 diverge from Percentile")
+	}
+	if d.Min() != s.Min() || d.Max() != s.Max() || d.Mean() != s.Mean() || d.Len() != s.Len() {
+		t.Error("Min/Max/Mean/Len diverge from Series")
+	}
+	// Samples added after the digest do not shift it.
+	before := d.Max()
+	s.Add(time.Hour)
+	if d.Max() != before {
+		t.Error("digest reflects samples added after Summarize")
+	}
+}

@@ -1,0 +1,236 @@
+// Package obs is the deterministic observability plane: a fixed-slot
+// counter/gauge/histogram registry and a virtual-time span tracer whose
+// ring buffer records structured events stamped exclusively from sim
+// virtual time, so traces are bit-identical across seeded runs.
+//
+// The package is simulation-native: nothing here reads wall clocks,
+// iterates maps during export, or allocates on the hot path. Counters
+// are plain incremented words; histograms bucket by power-of-two
+// microseconds into a fixed array; the tracer overwrites its oldest
+// events once full and accounts for every drop. Registries snapshot to
+// one plain struct (name-sorted) that api.StatsResponse carries whole.
+//
+// Naming convention: metric names are dot-paths,
+// "<subsystem>.<thing>[_<unit>]" — e.g. "dns.cache_hits",
+// "sim.pending", "activation.boot". Trace categories mirror the
+// subsystem ("activation", "gossip", "migrate", "fed", "dns").
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"time"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready
+// to use; Inc/Add are single-word updates with no allocation.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// histBuckets is the fixed slot count of a Histogram: bucket i counts
+// observations whose microsecond value needs i bits, i.e. upper bound
+// 2^i - 1 µs. 40 buckets reach past 12 days of latency — more virtual
+// time than any experiment spans.
+const histBuckets = 40
+
+// Histogram is a fixed-slot latency histogram with power-of-two
+// microsecond buckets. Observe is alloc-free: one bits.Len64 and three
+// word updates.
+type Histogram struct {
+	counts [histBuckets]uint64
+	n      uint64
+	sum    time.Duration
+	max    time.Duration
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := bits.Len64(uint64(d / time.Microsecond))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.counts[i]++
+	h.n++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count reports how many samples have been observed.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// namedGauge is a read-at-snapshot mirror of state owned elsewhere
+// (queue depths, epochs). The closure runs only when Snapshot does, so
+// mirrored subsystems pay nothing on their hot paths.
+type namedGauge struct {
+	name string
+	fn   func() int64
+}
+
+type namedCounter struct {
+	name string
+	c    *Counter
+	fn   func() uint64 // mirror of an externally owned counter
+}
+
+type namedHist struct {
+	name string
+	h    *Histogram
+}
+
+// Registry is one subsystem scope's metric set — instantiated per
+// board or per cluster, snapshot-able as one struct. Registration
+// happens at build time; the hot path only touches the returned
+// Counter/Histogram pointers.
+type Registry struct {
+	Name     string
+	counters []namedCounter
+	gauges   []namedGauge
+	hists    []namedHist
+}
+
+// NewRegistry returns an empty registry labelled name.
+func NewRegistry(name string) *Registry { return &Registry{Name: name} }
+
+// Counter registers (or returns the existing) owned counter under name.
+func (r *Registry) Counter(name string) *Counter {
+	for _, nc := range r.counters {
+		if nc.name == name && nc.c != nil {
+			return nc.c
+		}
+	}
+	c := &Counter{}
+	r.counters = append(r.counters, namedCounter{name: name, c: c})
+	return c
+}
+
+// CounterFunc registers a mirror of a counter owned by another
+// subsystem; fn is read only at snapshot time.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	r.counters = append(r.counters, namedCounter{name: name, fn: fn})
+}
+
+// GaugeFunc registers a point-in-time gauge read at snapshot time.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.gauges = append(r.gauges, namedGauge{name: name, fn: fn})
+}
+
+// Histogram registers (or returns the existing) histogram under name.
+func (r *Registry) Histogram(name string) *Histogram {
+	for _, nh := range r.hists {
+		if nh.name == name {
+			return nh.h
+		}
+	}
+	h := &Histogram{}
+	r.hists = append(r.hists, namedHist{name: name, h: h})
+	return h
+}
+
+// CounterSnap is one counter row of a Snapshot.
+type CounterSnap struct {
+	Name  string
+	Value uint64
+}
+
+// GaugeSnap is one gauge row of a Snapshot.
+type GaugeSnap struct {
+	Name  string
+	Value int64
+}
+
+// HistSnap is one histogram row of a Snapshot. Buckets[i] counts
+// samples whose microsecond value fits in i bits (upper bound 2^i-1µs);
+// trailing empty buckets are trimmed.
+type HistSnap struct {
+	Name    string
+	Count   uint64
+	Sum     time.Duration
+	Max     time.Duration
+	Buckets []uint64
+}
+
+// Quantile estimates the q-th (0..1) quantile from the power-of-two
+// buckets: it returns the upper bound of the bucket holding the q-th
+// sample, clamped to the observed max. Coarse by construction — spans
+// carry the exact latencies; this serves live dashboards.
+func (h *HistSnap) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.Count-1))
+	var cum uint64
+	for i, c := range h.Buckets {
+		cum += c
+		if cum > rank {
+			ub := time.Duration((uint64(1)<<uint(i))-1) * time.Microsecond
+			if ub > h.Max {
+				ub = h.Max
+			}
+			return ub
+		}
+	}
+	return h.Max
+}
+
+// Snapshot is a registry frozen as one plain struct: rows name-sorted
+// so two snapshots of identical state are identical values.
+type Snapshot struct {
+	Name     string
+	Counters []CounterSnap
+	Gauges   []GaugeSnap
+	Hists    []HistSnap
+}
+
+// Snapshot freezes the registry. Mirrors (CounterFunc/GaugeFunc) are
+// read here, never on their owners' hot paths.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Name: r.Name}
+	for _, nc := range r.counters {
+		v := uint64(0)
+		if nc.c != nil {
+			v = nc.c.Value()
+		} else if nc.fn != nil {
+			v = nc.fn()
+		}
+		s.Counters = append(s.Counters, CounterSnap{Name: nc.name, Value: v})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	for _, ng := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: ng.name, Value: ng.fn()})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	for _, nh := range r.hists {
+		hs := HistSnap{Name: nh.name, Count: nh.h.n, Sum: nh.h.sum, Max: nh.h.max}
+		last := -1
+		for i, c := range nh.h.counts {
+			if c != 0 {
+				last = i
+			}
+		}
+		if last >= 0 {
+			hs.Buckets = append([]uint64(nil), nh.h.counts[:last+1]...)
+		}
+		s.Hists = append(s.Hists, hs)
+	}
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
+	return s
+}

@@ -1,0 +1,192 @@
+package obs
+
+import "time"
+
+// Event kinds, mapped 1:1 onto Chrome trace-event phases: async span
+// begin/end (overlapping activations share a lane without breaking
+// nesting) and thread-scoped instants.
+const (
+	KindBegin   uint8 = iota // span start ("b")
+	KindEnd                  // span end ("e")
+	KindInstant              // point event ("i")
+)
+
+// maxAttrs is the fixed attribute slot count per event. Fixed so Event
+// is one flat struct in the ring: recording never allocates.
+const maxAttrs = 4
+
+// Attr is one key/value attribute on an event: either a string or a
+// signed number (bytes, MiB, ids).
+type Attr struct {
+	Key   string
+	Str   string
+	Num   int64
+	IsNum bool
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, Str: v} }
+
+// Num builds a numeric attribute.
+func Num(k string, v int64) Attr { return Attr{Key: k, Num: v, IsNum: true} }
+
+// Event is one ring slot: a span edge or instant stamped with virtual
+// time. Flat struct, fixed attr slots — the ring is allocated once.
+type Event struct {
+	At    time.Duration // virtual time
+	Kind  uint8
+	NAttr uint8
+	TID   int // lane: board id, cluster base + board, 0 for roots
+	Span  uint64
+	Cat   string
+	Name  string
+	Attrs [maxAttrs]Attr
+}
+
+// Span is the handle Begin returns and End consumes. It carries the
+// identity the end edge must repeat (async trace events match on
+// id+cat+name), so spans may close from any callback. The zero Span is
+// inert.
+type Span struct {
+	ID   uint64
+	TID  int
+	Cat  string
+	Name string
+}
+
+// Tracer is a bounded flight recorder of Events. The ring is allocated
+// once at construction; when full, the oldest event is overwritten and
+// Dropped is bumped, so truncation is always accounted for. All
+// timestamps come from the bound virtual clock — a Tracer shared by
+// every subsystem of a seeded run yields a bit-identical export.
+//
+// A nil *Tracer is safe to call: every method is a no-op. Hot paths
+// still guard with `if tr != nil` before building attributes.
+type Tracer struct {
+	ring     []Event
+	head     int // next write slot
+	n        int // live events (<= len(ring))
+	dropped  uint64
+	nextSpan uint64
+	clock    func() time.Duration
+}
+
+// NewTracer returns a tracer with a ring of capacity events. The
+// virtual clock is bound later (BindClock) by whichever engine owner
+// builds on it; capacity < 1 is raised to 1.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Event, capacity)}
+}
+
+// BindClock points the tracer at the virtual-time source. Engines that
+// share a tracer share a clock, so rebinding to the same engine is
+// harmless; the first bind wins otherwise.
+func (t *Tracer) BindClock(clock func() time.Duration) {
+	if t == nil || t.clock != nil {
+		return
+	}
+	t.clock = clock
+}
+
+func (t *Tracer) now() time.Duration {
+	if t.clock == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+func (t *Tracer) write(ev Event) {
+	if t.n == len(t.ring) {
+		t.dropped++
+	} else {
+		t.n++
+	}
+	t.ring[t.head] = ev
+	t.head++
+	if t.head == len(t.ring) {
+		t.head = 0
+	}
+}
+
+func fill(ev *Event, attrs []Attr) {
+	k := len(attrs)
+	if k > maxAttrs {
+		k = maxAttrs
+	}
+	ev.NAttr = uint8(k)
+	copy(ev.Attrs[:k], attrs)
+}
+
+// Begin opens a span on lane tid and returns its handle.
+func (t *Tracer) Begin(tid int, cat, name string, attrs ...Attr) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.nextSpan++
+	sp := Span{ID: t.nextSpan, TID: tid, Cat: cat, Name: name}
+	ev := Event{At: t.now(), Kind: KindBegin, TID: tid, Span: sp.ID, Cat: cat, Name: name}
+	fill(&ev, attrs)
+	t.write(ev)
+	return sp
+}
+
+// End closes a span. Ending the zero Span is a no-op, so callers need
+// not track whether tracing was on when the span opened.
+func (t *Tracer) End(sp Span, attrs ...Attr) {
+	if t == nil || sp.ID == 0 {
+		return
+	}
+	ev := Event{At: t.now(), Kind: KindEnd, TID: sp.TID, Span: sp.ID, Cat: sp.Cat, Name: sp.Name}
+	fill(&ev, attrs)
+	t.write(ev)
+}
+
+// Instant records a point event on lane tid.
+func (t *Tracer) Instant(tid int, cat, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	ev := Event{At: t.now(), Kind: KindInstant, TID: tid, Cat: cat, Name: name}
+	fill(&ev, attrs)
+	t.write(ev)
+}
+
+// Len reports how many events the ring currently holds.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Dropped reports how many events were overwritten after the ring
+// filled — the truncation accounting exports carry.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events appends the live events, oldest first, to dst and returns it.
+// The ring itself is never handed out.
+func (t *Tracer) Events(dst []Event) []Event {
+	if t == nil || t.n == 0 {
+		return dst
+	}
+	start := t.head - t.n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < t.n; i++ {
+		j := start + i
+		if j >= len(t.ring) {
+			j -= len(t.ring)
+		}
+		dst = append(dst, t.ring[j])
+	}
+	return dst
+}

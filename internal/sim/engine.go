@@ -63,14 +63,15 @@ func (ev Event) Cancelled() bool {
 // Engine is the discrete-event scheduler. The zero value is not usable;
 // construct with New.
 type Engine struct {
-	now     Duration
-	heap    []*event // 4-ary min-heap on (at, seq); no per-node index
-	free    []*event // recycled nodes
-	ncancel int      // cancelled nodes still sitting in the heap
-	seq     uint64
-	rng     *rand.Rand
-	stopped bool
-	fired   uint64
+	now        Duration
+	heap       []*event // 4-ary min-heap on (at, seq); no per-node index
+	free       []*event // recycled nodes
+	ncancel    int      // cancelled nodes still sitting in the heap
+	seq        uint64
+	rng        *rand.Rand
+	stopped    bool
+	fired      uint64
+	maxPending int
 }
 
 // New returns an Engine at virtual time zero whose random source is
@@ -91,6 +92,11 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events still scheduled.
 func (e *Engine) Pending() int { return len(e.heap) - e.ncancel }
 
+// MaxPending returns the queue-depth high-water mark — the largest
+// Pending() ever reached. Observability gauges read it to spot event
+// storms that drained before a snapshot looked.
+func (e *Engine) MaxPending() int { return e.maxPending }
+
 // At schedules fn to run at the absolute virtual instant t.
 // Scheduling in the past panics: that is always a logic error in a
 // discrete-event model.
@@ -109,6 +115,9 @@ func (e *Engine) At(t Duration, fn func()) Event {
 	n.at, n.seq, n.fn, n.state = t, e.seq, fn, statePending
 	e.seq++
 	e.push(n)
+	if p := len(e.heap) - e.ncancel; p > e.maxPending {
+		e.maxPending = p
+	}
 	return Event{n: n, gen: n.gen, at: t}
 }
 
