@@ -15,9 +15,9 @@ SHELL := /bin/bash
 
 GO ?= go
 # The perf record this branch writes; bump per PR to grow the trajectory.
-BENCH_OUT ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr7.json
 # The committed baseline the bench gate compares against.
-BENCH_BASE ?= BENCH_pr5.json
+BENCH_BASE ?= BENCH_pr6.json
 # Allowed fractional ns/op regression before the gate fails.
 BENCH_TOLERANCE ?= 0.25
 FUZZTIME ?= 10s
@@ -25,7 +25,7 @@ FUZZTIME ?= 10s
 STATICCHECK_VERSION ?= 2025.1.1
 ACTIONLINT_VERSION ?= v1.7.7
 
-.PHONY: all build test vet race fmt-check deprecations staticcheck actionlint fuzz fuzz-summary bench bench-gate determinism ci
+.PHONY: all build test vet race fmt-check deprecations staticcheck actionlint fuzz fuzz-summary fuzz-impaired bench bench-gate determinism ci
 
 all: vet build test
 
@@ -79,10 +79,17 @@ actionlint:
 fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzDNSCodec -fuzztime=$(FUZZTIME) ./internal/dns
 	$(MAKE) fuzz-summary
+	$(MAKE) fuzz-impaired
 
 # fuzz-summary smokes the federation root's summary codec.
 fuzz-summary:
 	$(GO) test -run '^$$' -fuzz=FuzzSummaryTable -fuzztime=$(FUZZTIME) ./internal/cluster
+
+# fuzz-impaired round-trips fuzzer-proposed DNS questions through a
+# lossy, duplicating link with the retrying client: the exchange must
+# complete exactly once, whatever the fault model does to the wire.
+fuzz-impaired:
+	$(GO) test -run '^$$' -fuzz=FuzzImpairedCodec -fuzztime=$(FUZZTIME) ./internal/dns
 
 # bench runs the full evaluation + hot-path microbenches with -benchmem
 # and records the numbers as JSON. The experiment benches double as the
@@ -101,9 +108,10 @@ $(BENCH_OUT):
 	$(MAKE) bench BENCH_OUT=$(BENCH_OUT)
 
 # determinism runs every experiment twice with the same seeds (churn,
-# gossip membership, migrations and the federation's summarized
-# delegation included) and diffs the per-series fingerprints: any
-# divergence is a reproducibility bug.
+# gossip membership, migrations, the federation's summarized delegation
+# and the hostile-network family — whose packet capture fingerprints
+# frame-for-frame — included) and diffs the per-series fingerprints:
+# any divergence is a reproducibility bug.
 determinism:
 	$(GO) run ./cmd/jitsu-bench -run all -quick -fingerprint > .fingerprints-a
 	$(GO) run ./cmd/jitsu-bench -run all -quick -fingerprint > .fingerprints-b

@@ -168,6 +168,22 @@ func BenchmarkFederationSkew(b *testing.B) {
 	}
 }
 
+// BenchmarkHostileFlash runs the hostile-network experiment family and
+// reports the flash crowd's client-perceived p95 over a perfect link,
+// over the 5%-lossy edge with the hardened DNS retry policy, and under
+// the single-datagram ablation (whose tail is censored at the 10s
+// client timeout).
+func BenchmarkHostileFlash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Hostile(60, 60*time.Second)
+		if i == 0 {
+			b.ReportMetric(float64(r.Series["flash perfect link"].Percentile(0.95))/1e6, "perfect-p95-ms")
+			b.ReportMetric(float64(r.Series["flash lossy+retry"].Percentile(0.95))/1e6, "retry-p95-ms")
+			b.ReportMetric(float64(r.Series["flash lossy no-retry"].Percentile(0.95))/1e6, "ablation-p95-ms")
+		}
+	}
+}
+
 // BenchmarkPrewarmTrigger runs the predictive-trigger experiment and
 // reports both policies' steady-state p95 time-to-first-response: the
 // learned prewarm path vs the cold boot every recurring visit pays

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	jitsu-bench [-run all|fig3|fig4|fig8|fig9a|fig9b|table1|table2|throughput|headline|scaling|churn|prewarm|federation|ablations] [-quick] [-boards 1,2,4,8] [-fingerprint]
+//	jitsu-bench [-run all|fig3|fig4|fig8|fig9a|fig9b|table1|table2|throughput|headline|scaling|churn|prewarm|federation|hostile|ablations] [-quick] [-boards 1,2,4,8] [-fingerprint]
 package main
 
 import (
@@ -40,12 +40,16 @@ func main() {
 	churnHorizon := 75 * time.Second
 	federationHorizon := 60 * time.Second
 	prewarmVisits := 40
+	hostileFlash := 60
+	hostileSwim := 60 * time.Second
 	if *quick {
 		trials = 30
 		fig3N = []int{1, 10, 25, 50}
 		churnHorizon = 45 * time.Second
 		federationHorizon = 45 * time.Second
 		prewarmVisits = 24
+		hostileFlash = 30
+		hostileSwim = 30 * time.Second
 	}
 	boardsSet := *boards != ""
 	if !boardsSet {
@@ -106,6 +110,8 @@ func main() {
 		results = append(results, experiments.Prewarm(prewarmVisits, withTrace))
 	case "federation":
 		results = append(results, experiments.Federation(federationHorizon))
+	case "hostile":
+		results = append(results, experiments.Hostile(hostileFlash, hostileSwim))
 	case "ablations":
 		results = append(results,
 			experiments.AblationMergeStrategies(30),
@@ -204,6 +210,15 @@ func printFingerprints(results []*experiments.Result) {
 		for _, name := range tnames {
 			tr := r.Traces[name]
 			fmt.Printf("%s\ttrace:%s\t%d\t%016x\n", r.ID, name, tr.Len(), tr.Fingerprint())
+		}
+		cnames := make([]string, 0, len(r.Captures))
+		for name := range r.Captures {
+			cnames = append(cnames, name)
+		}
+		sort.Strings(cnames)
+		for _, name := range cnames {
+			c := r.Captures[name]
+			fmt.Printf("%s\tcapture:%s\t%d\t%016x\n", r.ID, name, len(c.Records), c.Fingerprint())
 		}
 	}
 }

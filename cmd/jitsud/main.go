@@ -12,6 +12,12 @@
 // shorthand for a default join/leave schedule with the gossip failure
 // detector probing actively.
 //
+// Cluster runs can replay the trace over a hostile edge: -loss and
+// -jitter impair the client's uplink netem-style (seeded, deterministic),
+// -partition cuts the whole edge link at T (healing at T2 when given
+// "T,T2"), and -no-dns-retry turns off the client's DNS retry/backoff —
+// the single-datagram ablation the hostile experiments measure.
+//
 // With -clusters M (M > 1) it runs a federation: M clusters of -boards
 // boards each behind a summarized root directory. Queries resolve at
 // the root (which delegates to the owning cluster), services home on
@@ -24,6 +30,7 @@
 //	jitsud [-services 4] [-requests 24] [-idle 30s] [-no-synjitsu] [-seed 1]
 //	       [-boards 1] [-policy least-loaded] [-min-warm 0]
 //	       [-churn] [-join 20s] [-leave 30s]
+//	       [-loss 0.1] [-jitter 1ms] [-partition 20s,30s] [-no-dns-retry]
 //	       [-clusters 1]
 //	       [-trace run.trace.json] [-stats-every 10s]
 //
@@ -37,12 +44,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"jitsu/internal/api"
 	"jitsu/internal/cluster"
 	"jitsu/internal/core"
+	"jitsu/internal/dns"
 	"jitsu/internal/metrics"
+	"jitsu/internal/netsim"
 	"jitsu/internal/netstack"
 	"jitsu/internal/obs"
 	"jitsu/internal/sim"
@@ -64,9 +74,23 @@ func main() {
 	joinAt := flag.Duration("join", 0, "cluster mode: a new board joins at this virtual time (0 = never)")
 	leaveAt := flag.Duration("leave", 0, "cluster mode: the highest board leaves gracefully at this virtual time (0 = never)")
 	clusters := flag.Int("clusters", 1, "clusters in the deployment (>1 runs the federation tier over -boards boards each)")
+	loss := flag.Float64("loss", 0, "cluster mode: random loss rate (0..1) on the client's edge uplink")
+	jitter := flag.Duration("jitter", 0, "cluster mode: latency jitter on the client's edge uplink")
+	partition := flag.String("partition", "", "cluster mode: cut the client's edge link at T (e.g. 20s), healing at T2 when given as T,T2 (e.g. 20s,30s)")
+	noRetry := flag.Bool("no-dns-retry", false, "disable the client's DNS retry/backoff — the single-datagram ablation")
 	traceOut := flag.String("trace", "", "write the run's flight recorder to this file (Chrome trace-event JSON)")
 	statsEvery := flag.Duration("stats-every", 0, "stream a stats snapshot line every this much virtual time (0 = off)")
 	flag.Parse()
+
+	hostile := hostileFlags{loss: *loss, jitter: *jitter, partition: *partition, noRetry: *noRetry}
+	if hostile.active() && (*boards < 2 || *clusters > 1) {
+		fmt.Fprintln(os.Stderr, "jitsud: -loss/-jitter/-partition/-no-dns-retry need cluster mode (-boards > 1, -clusters 1)")
+		os.Exit(2)
+	}
+	if _, _, err := hostile.parsePartition(); err != nil {
+		fmt.Fprintf(os.Stderr, "jitsud: bad -partition: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *services < 1 {
 		*services = 1
@@ -110,7 +134,7 @@ func main() {
 		if idleSet {
 			fmt.Fprintln(os.Stderr, "jitsud: -idle is ignored in cluster mode (the warm-pool manager owns replica lifecycle)")
 		}
-		runCluster(*boards, *services, *requests, *seed, *policy, *minWarm, !*noSyn, *joinAt, *leaveAt, *traceOut, *statsEvery)
+		runCluster(*boards, *services, *requests, *seed, *policy, *minWarm, !*noSyn, *joinAt, *leaveAt, hostile, *traceOut, *statsEvery)
 		return
 	}
 	if *joinAt > 0 || *leaveAt > 0 {
@@ -203,6 +227,73 @@ func main() {
 	fmt.Println()
 }
 
+// hostileFlags groups the edge-impairment knobs: -loss/-jitter degrade
+// the client's uplink from t=0 (a netem-style seeded impairment below
+// the bridge), -partition cuts the whole edge link at T (healing at T2
+// when given "T,T2"), and -no-dns-retry is the single-datagram
+// ablation — the client keeps its hardened retry/backoff policy
+// otherwise, so lost queries recover instead of burning the full fetch
+// timeout.
+type hostileFlags struct {
+	loss      float64
+	jitter    time.Duration
+	partition string
+	noRetry   bool
+}
+
+func (h hostileFlags) active() bool {
+	return h.loss > 0 || h.jitter > 0 || h.partition != "" || h.noRetry
+}
+
+// parsePartition decodes -partition's "T" or "T,T2" (heal 0 = never).
+func (h hostileFlags) parsePartition() (cut, heal time.Duration, err error) {
+	if h.partition == "" {
+		return 0, 0, nil
+	}
+	parts := strings.SplitN(h.partition, ",", 2)
+	if cut, err = time.ParseDuration(strings.TrimSpace(parts[0])); err != nil {
+		return 0, 0, err
+	}
+	if cut <= 0 {
+		return 0, 0, fmt.Errorf("cut time %v is not positive", cut)
+	}
+	if len(parts) == 2 {
+		if heal, err = time.ParseDuration(strings.TrimSpace(parts[1])); err != nil {
+			return 0, 0, err
+		}
+		if heal <= cut {
+			return 0, 0, fmt.Errorf("heal time %v is not after cut time %v", heal, cut)
+		}
+	}
+	return cut, heal, nil
+}
+
+// apply scripts the flags against the client's edge link. Loss and
+// jitter hit the uplink only (the client NIC sits at the link's A end):
+// requests die on the way out, answers arrive clean — the classic
+// congested-edge asymmetry, and exactly the leg the DNS retry policy
+// covers. A partition cuts both directions.
+func (h hostileFlags) apply(eng *sim.Engine, link *netsim.Link, seed int64) {
+	if h.loss > 0 || h.jitter > 0 {
+		link.ImpairAtoB(netsim.Impairment{Loss: h.loss, Jitter: h.jitter}, seed)
+		fmt.Printf("%-12v ** edge uplink impaired: loss=%.0f%% jitter=%v\n",
+			eng.Now(), h.loss*100, h.jitter)
+	}
+	cut, heal, _ := h.parsePartition()
+	if cut > 0 {
+		eng.At(cut, func() {
+			link.Partition()
+			fmt.Printf("%-12v ** edge link partitioned\n", eng.Now().Round(time.Millisecond))
+		})
+	}
+	if heal > 0 {
+		eng.At(heal, func() {
+			link.Heal()
+			fmt.Printf("%-12v ** edge link healed\n", eng.Now().Round(time.Millisecond))
+		})
+	}
+}
+
 // newTracer builds the flight recorder when -trace is set (nil — which
 // every tracing call tolerates — otherwise).
 func newTracer(path string) *obs.Tracer {
@@ -269,7 +360,7 @@ func streamStats(ctl api.ControlPlane, every time.Duration, now func() sim.Durat
 
 // runCluster is the multi-board mode: the same request trace, but
 // placed by the control plane instead of answered by one board.
-func runCluster(boards, services, requests int, seed int64, policyName string, minWarm int, synjitsu bool, joinAt, leaveAt time.Duration, traceOut string, statsEvery time.Duration) {
+func runCluster(boards, services, requests int, seed int64, policyName string, minWarm int, synjitsu bool, joinAt, leaveAt time.Duration, hostile hostileFlags, traceOut string, statsEvery time.Duration) {
 	pol := cluster.PolicyByName(policyName)
 	if pol == nil {
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", policyName)
@@ -342,10 +433,14 @@ func runCluster(boards, services, requests int, seed int64, policyName string, m
 		}
 	}
 	cl := c.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
+	if hostile.active() && !hostile.noRetry {
+		cl.Retry = dns.DefaultRetry()
+	}
 
 	fmt.Printf("jitsud cluster: %d boards, policy %s, synjitsu=%v, %d services, min-warm %d\n\n",
 		boards, pol.Name(), synjitsu, services, minWarm)
 	fmt.Printf("%-12s %-22s %-8s %-7s %-12s %s\n", "time", "request", "status", "board", "latency", "note")
+	hostile.apply(c.Eng(), cl.Host(0).NIC.Link(), seed)
 
 	lat := &metrics.Series{Name: "request latency"}
 	var issue func(i int)
@@ -384,6 +479,11 @@ func runCluster(boards, services, requests int, seed int64, policyName string, m
 	fmt.Printf("\n%s\n", lat.Summary())
 	fmt.Printf("placed: %d, warm hits: %d, refused: %d, preempts: %d, prewarms: %d, reclaims: %d\n",
 		c.Placed, c.WarmHits, c.ServFails, c.Preempts, c.Pools.Prewarms, c.Pools.Reclaims)
+	if hostile.active() {
+		stats := cl.Host(0).NIC.Link().Stats
+		fmt.Printf("edge link: %d frames delivered, %d dropped; dns retries: %d\n",
+			stats.Delivered, stats.Dropped, cl.DNSRetries)
+	}
 	if c.Joins+c.Leaves+c.Confirms > 0 {
 		fmt.Printf("membership: %d joined, %d left, %d confirmed dead; %d migrations, %d replicas lost\n",
 			c.Joins, c.Leaves, c.Confirms, c.Migrations, c.Lost)

@@ -143,7 +143,7 @@ func (p *clusterPlane) Migrate(req api.MigrateRequest) api.MigrateResponse {
 			return api.MigrateResponse{Err: api.Errf("migrate", api.CodeConflict, "destination slot on board %d busy", to)}
 		}
 	}
-	p.c.migrateTo(e, src, to, false, done)
+	p.c.migrateTo(e, src, to, false, 1, done)
 	return api.MigrateResponse{Started: true}
 }
 

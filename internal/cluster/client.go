@@ -26,8 +26,14 @@ type Client struct {
 	name  string
 	ip    netstack.IP
 	hosts []*netstack.Host // indexed by board id; nil until attached
-	// ServFails counts cluster-wide refusals observed by this client.
-	ServFails uint64
+	// Retry, when non-zero, makes every resolution retransmit lost
+	// queries with backoff (dns.DefaultRetry() is the hardened setting);
+	// the zero value resolves with a single datagram — the ablation.
+	Retry dns.RetryPolicy
+	// ServFails counts cluster-wide refusals observed by this client;
+	// DNSRetries the query retransmits its resolver paid.
+	ServFails  uint64
+	DNSRetries uint64
 }
 
 // NewClient attaches a client to every current board's network.
@@ -62,8 +68,9 @@ func (cl *Client) Host(i int) *netstack.Host {
 func (cl *Client) Fetch(name, path string, timeout sim.Duration, done func(board int, resp *netstack.HTTPResponse, elapsed sim.Duration, err error)) {
 	eng := cl.c.eng
 	start := eng.Now()
-	resolver := &dns.Client{Host: cl.hosts[0]}
+	resolver := &dns.Client{Host: cl.hosts[0], Retry: cl.Retry}
 	resolver.Query(core.NSAddr, name, dns.TypeA, timeout, func(m *dns.Message, _ sim.Duration, err error) {
+		cl.DNSRetries += resolver.Retries
 		if err != nil {
 			done(-1, nil, eng.Now()-start, err)
 			return

@@ -67,6 +67,12 @@ type Config struct {
 	// SuspectTimeout is how long a suspicion may stand unrefuted before
 	// the member is confirmed dead.
 	SuspectTimeout sim.Duration
+	// IndirectProbes is the SWIM ping-req fan-out: when a direct probe
+	// times out, this many other members are asked to probe the target
+	// before it turns suspect. 0 disables indirection — a single lossy
+	// link then produces false suspicions (and, unrefuted, false
+	// confirms).
+	IndirectProbes int
 	// MigrateOnLeave moves warm replicas off a gracefully leaving board
 	// (checkpoint + restore) instead of stopping them (the
 	// preempt-and-reboot baseline the Churn experiment compares against).
@@ -74,6 +80,21 @@ type Config struct {
 	// MigrateBitsPerSec is the checkpoint-copy rate across the
 	// management link (default 1 Gb/s).
 	MigrateBitsPerSec float64
+	// MigrateChunkMiB sizes the pre-copy chunks; each chunk is one
+	// acknowledged datagram exchange on the management network
+	// (default 8 MiB).
+	MigrateChunkMiB int
+	// MigrateChunkRTO is the per-chunk retransmit timeout, doubled per
+	// retry (default 50ms); MigrateChunkRetries bounds retransmissions
+	// of one chunk before the whole transfer is abandoned (default 5).
+	MigrateChunkRTO     sim.Duration
+	MigrateChunkRetries int
+	// MigrateRetryDelay and MigrateMaxAttempts govern the mandatory-
+	// evacuation reschedule: a transfer that died (management-link
+	// partition mid-copy) is retried after the delay, up to the attempt
+	// bound, before the replica is finally written off (defaults 1s, 3).
+	MigrateRetryDelay  sim.Duration
+	MigrateMaxAttempts int
 	// MgmtBitsPerSec is the management network's link rate, used by the
 	// gossip substrate (default 1 Gb/s).
 	MgmtBitsPerSec float64
@@ -102,9 +123,16 @@ func DefaultConfig() Config {
 		BootEstimate:      350 * time.Millisecond,
 		ProbeTimeout:      200 * time.Millisecond,
 		SuspectTimeout:    2 * time.Second,
+		IndirectProbes:    2,
 		MigrateOnLeave:    true,
 		MigrateBitsPerSec: 1e9,
 		MgmtBitsPerSec:    1e9,
+
+		MigrateChunkMiB:     8,
+		MigrateChunkRTO:     50 * time.Millisecond,
+		MigrateChunkRetries: 5,
+		MigrateRetryDelay:   1 * time.Second,
+		MigrateMaxAttempts:  3,
 	}
 }
 
@@ -141,6 +169,9 @@ type Cluster struct {
 	// movedTo records services this cluster handed to another cluster
 	// (federation spill or skew shed): resolution redirects there.
 	movedTo map[string]int
+	// xferSenders tracks in-flight checkpoint transfers by id (xfer.go).
+	xferSenders map[uint32]*xferSend
+	nextXferID  uint32
 
 	// WarmHits counts queries answered by an already-ready replica.
 	WarmHits uint64
@@ -154,6 +185,12 @@ type Cluster struct {
 	Migrations uint64
 	// Lost counts live replicas destroyed by departures (not migrated).
 	Lost uint64
+	// Chunks counts checkpoint chunk datagrams sent (including
+	// retransmits); ChunkRetx counts just the retransmits; XferAborts
+	// counts transfers abandoned after a chunk exhausted its retries.
+	Chunks     uint64
+	ChunkRetx  uint64
+	XferAborts uint64
 	// Joins counts boards the directory admitted after construction;
 	// Leaves counts graceful departures; Confirms counts members the
 	// failure detector confirmed dead.
@@ -171,6 +208,11 @@ type Cluster struct {
 	Probes   uint64
 	Suspects uint64
 	Refutes  uint64
+	// PingReqs counts indirect probe requests fanned out after a direct
+	// probe timeout; IndirectAcks counts suspicions averted because a
+	// relay's probe got through when the direct path did not.
+	PingReqs     uint64
+	IndirectAcks uint64
 }
 
 // tracer returns the cluster's shared flight recorder (nil when off).
@@ -220,15 +262,34 @@ func buildOn(eng *sim.Engine, cfg Config) *Cluster {
 	if cfg.SuspectTimeout <= 0 {
 		cfg.SuspectTimeout = 2 * time.Second
 	}
+	if cfg.IndirectProbes < 0 {
+		cfg.IndirectProbes = 0
+	}
 	if cfg.MigrateBitsPerSec <= 0 {
 		cfg.MigrateBitsPerSec = 1e9
+	}
+	if cfg.MigrateChunkMiB <= 0 {
+		cfg.MigrateChunkMiB = 8
+	}
+	if cfg.MigrateChunkRTO <= 0 {
+		cfg.MigrateChunkRTO = 50 * time.Millisecond
+	}
+	if cfg.MigrateChunkRetries <= 0 {
+		cfg.MigrateChunkRetries = 5
+	}
+	if cfg.MigrateRetryDelay <= 0 {
+		cfg.MigrateRetryDelay = 1 * time.Second
+	}
+	if cfg.MigrateMaxAttempts <= 0 {
+		cfg.MigrateMaxAttempts = 3
 	}
 	if cfg.MgmtBitsPerSec <= 0 {
 		cfg.MgmtBitsPerSec = 1e9
 	}
 	cfg.Board.DelayDNSUntilReady = false
 
-	c := &Cluster{Cfg: cfg, dir: newDirectory(), movedTo: make(map[string]int)}
+	c := &Cluster{Cfg: cfg, dir: newDirectory(), movedTo: make(map[string]int),
+		xferSenders: make(map[uint32]*xferSend)}
 	c.eng = eng
 	c.mgmt = netsim.NewBridge(c.eng, "mgmt", 10*time.Microsecond)
 	for i := 0; i < cfg.Boards; i++ {
@@ -256,12 +317,17 @@ func buildOn(eng *sim.Engine, cfg Config) *Cluster {
 	c.Reg.CounterFunc("sched.preempts", func() uint64 { return c.Preempts })
 	c.Reg.CounterFunc("migrate.migrations", func() uint64 { return c.Migrations })
 	c.Reg.CounterFunc("migrate.lost", func() uint64 { return c.Lost })
+	c.Reg.CounterFunc("migrate.chunks", func() uint64 { return c.Chunks })
+	c.Reg.CounterFunc("migrate.chunk_retx", func() uint64 { return c.ChunkRetx })
+	c.Reg.CounterFunc("migrate.xfer_aborts", func() uint64 { return c.XferAborts })
 	c.Reg.CounterFunc("gossip.joins", func() uint64 { return c.Joins })
 	c.Reg.CounterFunc("gossip.leaves", func() uint64 { return c.Leaves })
 	c.Reg.CounterFunc("gossip.confirms", func() uint64 { return c.Confirms })
 	c.Reg.CounterFunc("gossip.probes", func() uint64 { return c.Probes })
 	c.Reg.CounterFunc("gossip.suspects", func() uint64 { return c.Suspects })
 	c.Reg.CounterFunc("gossip.refutes", func() uint64 { return c.Refutes })
+	c.Reg.CounterFunc("gossip.pingreqs", func() uint64 { return c.PingReqs })
+	c.Reg.CounterFunc("gossip.indirect_acks", func() uint64 { return c.IndirectAcks })
 	c.Reg.GaugeFunc("members.alive", func() int64 {
 		var n int64
 		for _, m := range c.members {

@@ -26,10 +26,15 @@ type FedClient struct {
 	front *netstack.Host
 	sub   []*Client // per-cluster attachments, indexed by cluster id
 
+	// Retry, when non-zero, hardens the root resolution against a lossy
+	// front network (zero value = single datagram, the ablation).
+	Retry dns.RetryPolicy
 	// ServFails counts federation-wide refusals observed by this
-	// client; NXDomains counts lookups of names no cluster owns.
-	ServFails uint64
-	NXDomains uint64
+	// client; NXDomains counts lookups of names no cluster owns;
+	// DNSRetries the root-query retransmits paid.
+	ServFails  uint64
+	NXDomains  uint64
+	DNSRetries uint64
 }
 
 // NewClient attaches a client to the federation's front network.
@@ -60,8 +65,9 @@ func (fc *FedClient) cluster(cid int) *Client {
 func (fc *FedClient) Fetch(name, path string, timeout sim.Duration, done func(cluster, board int, resp *netstack.HTTPResponse, elapsed sim.Duration, err error)) {
 	eng := fc.f.eng
 	start := eng.Now()
-	resolver := &dns.Client{Host: fc.front}
+	resolver := &dns.Client{Host: fc.front, Retry: fc.Retry}
 	resolver.Query(FedRootAddr, name, dns.TypeA, timeout, func(m *dns.Message, _ sim.Duration, err error) {
+		fc.DNSRetries += resolver.Retries
 		if err != nil {
 			done(-1, -1, nil, eng.Now()-start, err)
 			return

@@ -59,6 +59,14 @@ type FedConfig struct {
 	// SpillOnRefuse re-homes a service to the least-loaded cluster when
 	// its own cluster's admission refuses a delegated query.
 	SpillOnRefuse bool
+	// DelegateTimeout is the root's per-try wait for a delegated
+	// resolve (or spill) reply before retransmitting; <= 0 takes the
+	// default. The timeout doubles per retry.
+	DelegateTimeout sim.Duration
+	// DelegateRetries is how many retransmits the root pays before a
+	// delegation is written off as SERVFAIL. 0 disables retransmission
+	// (one try, then SERVFAIL) — the ablation baseline.
+	DelegateRetries int
 	// FedLinkLatency / FedBitsPerSec characterise the root<->cluster
 	// management links.
 	FedLinkLatency sim.Duration
@@ -84,6 +92,8 @@ func DefaultFedConfig() FedConfig {
 		SkewRounds:         3,
 		ShedBatch:          2,
 		SpillOnRefuse:      true,
+		DelegateTimeout:    5 * time.Millisecond,
+		DelegateRetries:    3,
 		FedLinkLatency:     200 * time.Microsecond,
 		FedBitsPerSec:      1e9,
 		TransferBitsPerSec: 1e9,
@@ -128,6 +138,16 @@ func WithSkewPolicy(minRate, ratio float64, rounds, batch int) FedOption {
 // WithSpillOnRefuse toggles the admission-refusal spill path.
 func WithSpillOnRefuse(on bool) FedOption {
 	return func(c *FedConfig) { c.SpillOnRefuse = on }
+}
+
+// WithDelegateRetry tunes the root's delegation retransmit: per-try
+// timeout (doubling per retry) and retry budget. retries = 0 is the
+// no-retransmit ablation.
+func WithDelegateRetry(timeout sim.Duration, retries int) FedOption {
+	return func(c *FedConfig) {
+		c.DelegateTimeout = timeout
+		c.DelegateRetries = retries
+	}
 }
 
 // WithFedTracer attaches the observability flight recorder to the whole
@@ -226,6 +246,12 @@ func NewFederation(opts ...FedOption) *Federation {
 	if cfg.ShedBatch <= 0 {
 		cfg.ShedBatch = 1
 	}
+	if cfg.DelegateTimeout <= 0 {
+		cfg.DelegateTimeout = 5 * time.Millisecond
+	}
+	if cfg.DelegateRetries < 0 {
+		cfg.DelegateRetries = 0
+	}
 	f := &Federation{Cfg: cfg}
 	f.eng = sim.New(cfg.Cluster.Board.Seed)
 	cfg.Tracer.BindClock(f.eng.Now)
@@ -244,6 +270,8 @@ func NewFederation(opts ...FedOption) *Federation {
 	f.Reg.CounterFunc("root.neg_hits", func() uint64 { return f.root.NegHits })
 	f.Reg.CounterFunc("root.nxdomains", func() uint64 { return f.root.NXDomains })
 	f.Reg.CounterFunc("root.servfails", func() uint64 { return f.root.ServFails })
+	f.Reg.CounterFunc("root.deleg_retx", func() uint64 { return f.root.DelegRetx })
+	f.Reg.CounterFunc("root.deleg_timeouts", func() uint64 { return f.root.DelegTimeouts })
 	for i := 0; i < cfg.Clusters; i++ {
 		f.addMember()
 	}
@@ -787,6 +815,12 @@ type pendingResolve struct {
 	// asked is the cluster the outstanding datagram went to, so a
 	// member removal can fail (or re-route) the queries waiting on it.
 	asked int
+	// wire is the outstanding datagram verbatim, so a timeout can
+	// retransmit exactly what was lost; timer is the armed retransmit
+	// and tries the transmissions of it so far.
+	wire  []byte
+	timer sim.Event
+	tries int
 }
 
 // fedRoot is the federation's root directory: the client-facing DNS
@@ -823,6 +857,11 @@ type fedRoot struct {
 	NegHits     uint64
 	NXDomains   uint64
 	ServFails   uint64
+	// DelegRetx counts retransmitted delegation datagrams; DelegTimeouts
+	// the delegations written off after the retry budget (answered
+	// SERVFAIL, never cached negative — the name may well exist).
+	DelegRetx     uint64
+	DelegTimeouts uint64
 }
 
 func newFedRoot(f *Federation) *fedRoot {
@@ -877,20 +916,23 @@ func (f *Federation) Root() *FedRootStats {
 		Lookups: r.Lookups, Scans: r.Scans, Delegations: r.Delegations,
 		DelegHits: r.DelegHits, NegHits: r.NegHits,
 		NXDomains: r.NXDomains, ServFails: r.ServFails,
+		DelegRetx: r.DelegRetx, DelegTimeouts: r.DelegTimeouts,
 	}
 }
 
 // FedRootStats is a snapshot of the root directory's counters.
 type FedRootStats struct {
-	StateSize   int
-	Epoch       uint64
-	Lookups     uint64
-	Scans       uint64
-	Delegations uint64
-	DelegHits   uint64
-	NegHits     uint64
-	NXDomains   uint64
-	ServFails   uint64
+	StateSize     int
+	Epoch         uint64
+	Lookups       uint64
+	Scans         uint64
+	Delegations   uint64
+	DelegHits     uint64
+	NegHits       uint64
+	NXDomains     uint64
+	ServFails     uint64
+	DelegRetx     uint64
+	DelegTimeouts uint64
 }
 
 // sortedSummaryIDs lists the summary rows' cluster ids in order, so
@@ -1020,7 +1062,56 @@ func (r *fedRoot) delegate(p *pendingResolve) {
 	putU32(q[:], qid)
 	buf = append(buf, q[:]...)
 	buf = append(buf, p.name...)
-	r.mgmt.SendUDP(agentMgmtIP(p.asked), fedPort, fedPort, buf)
+	r.send(qid, p, buf)
+}
+
+// send puts one delegation datagram for p on the wire and arms its
+// retransmit. Retransmits resend the identical datagram under the same
+// qid — the agent side is idempotent (a duplicate resolve re-answers
+// from the directory like any repeated client query; a duplicate reply
+// finds no pending row and is dropped).
+func (r *fedRoot) send(qid uint32, p *pendingResolve, wire []byte) {
+	r.f.eng.Cancel(p.timer)
+	p.wire = wire
+	p.tries = 1
+	r.mgmt.SendUDP(agentMgmtIP(p.asked), fedPort, fedPort, wire)
+	r.armRetransmit(qid, p)
+}
+
+// armRetransmit schedules p's next timeout, doubling per prior try.
+// When the budget is gone the query answers SERVFAIL — and pointedly
+// does NOT cache a negative: an unreachable cluster says nothing about
+// whether the name exists, and a poisoned negative cache would keep
+// refusing the name for a whole epoch after the partition heals.
+func (r *fedRoot) armRetransmit(qid uint32, p *pendingResolve) {
+	rto := r.f.Cfg.DelegateTimeout
+	for i := 1; i < p.tries; i++ {
+		rto *= 2
+	}
+	p.timer = r.f.eng.After(rto, func() {
+		if r.pending[qid] != p {
+			return // answered (or failed over) while the timer was in flight
+		}
+		if p.tries > r.f.Cfg.DelegateRetries {
+			delete(r.pending, qid)
+			r.DelegTimeouts++
+			r.ServFails++
+			if tr := r.f.Cfg.Tracer; tr != nil {
+				tr.Instant(0, "fed", "deleg-timeout",
+					obs.Str("name", p.name), obs.Num("cluster", int64(p.asked)))
+			}
+			p.respond(r.servfail(p.query))
+			return
+		}
+		p.tries++
+		r.DelegRetx++
+		if tr := r.f.Cfg.Tracer; tr != nil {
+			tr.Instant(0, "fed", "deleg-retx",
+				obs.Str("name", p.name), obs.Num("cluster", int64(p.asked)), obs.Num("try", int64(p.tries)))
+		}
+		r.mgmt.SendUDP(agentMgmtIP(p.asked), fedPort, fedPort, p.wire)
+		r.armRetransmit(qid, p)
+	})
 }
 
 // failPendingFor sweeps the parked queries waiting on a removed member:
@@ -1038,6 +1129,7 @@ func (r *fedRoot) failPendingFor(cid int) {
 	for _, qid := range qids {
 		p := r.pending[uint32(qid)]
 		delete(r.pending, uint32(qid))
+		r.f.eng.Cancel(p.timer)
 		if p.spillTo >= 0 {
 			// The refusing cluster vanished mid-spill; the service's
 			// fate is unknown, so refuse rather than guess.
@@ -1125,6 +1217,7 @@ func (r *fedRoot) recv(src netstack.IP, _ uint16, payload []byte) {
 			return
 		}
 		delete(r.pending, qid)
+		r.f.eng.Cancel(p.timer)
 		status := payload[5]
 		ip := netstack.IP{payload[6], payload[7], payload[8], payload[9]}
 		extra := uint16(payload[10])<<8 | uint16(payload[11])
@@ -1140,6 +1233,7 @@ func (r *fedRoot) recv(src netstack.IP, _ uint16, payload []byte) {
 			return
 		}
 		delete(r.pending, qid)
+		r.f.eng.Cancel(p.timer)
 		if payload[5] == 1 && p.spillTo >= 0 {
 			// The service moved; re-delegate the waiting query to its
 			// new home.
@@ -1210,9 +1304,14 @@ func (r *fedRoot) resolved(p *pendingResolve, status byte, ip netstack.IP, extra
 }
 
 // spill asks the refusing cluster to hand the service to p.spillTo.
+// The command rides the same retransmit machinery as a resolve: the
+// spill is idempotent at the agent (a duplicate finds the name already
+// moved and reports failure, which the root answers SERVFAIL — safe,
+// never wrong).
 func (r *fedRoot) spill(p *pendingResolve, from int) {
 	qid := r.nextQID
 	r.nextQID++
+	p.asked = from
 	r.pending[qid] = p
 	buf := make([]byte, 0, 8+len(p.name))
 	buf = append(buf, fedOpSpill)
@@ -1221,7 +1320,7 @@ func (r *fedRoot) spill(p *pendingResolve, from int) {
 	buf = append(buf, q[:]...)
 	buf = append(buf, byte(p.spillTo>>8), byte(p.spillTo))
 	buf = append(buf, p.name...)
-	r.mgmt.SendUDP(agentMgmtIP(from), fedPort, fedPort, buf)
+	r.send(qid, p, buf)
 }
 
 // applySummary merges one pushed row into the summary table. An epoch

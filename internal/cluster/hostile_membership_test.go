@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"jitsu/internal/netsim"
+)
+
+// ---- membership under hostile management networks ----
+
+// probedConfig is the common failure-detector tuning for these tests.
+func probedConfig(boards int) Config {
+	cfg := DefaultConfig()
+	cfg.Boards = boards
+	cfg.ProbeEvery = 500 * time.Millisecond
+	cfg.ProbeTimeout = 200 * time.Millisecond
+	cfg.SuspectTimeout = 3 * time.Second
+	return cfg
+}
+
+func TestAsymmetricFailureDeafBoardConfirmed(t *testing.T) {
+	// One-way failure, deaf side: board 1 can still transmit but hears
+	// nothing (its bridge->NIC direction is cut). It cannot ack probes —
+	// direct or relayed — and it never hears the suspicion rumor, so it
+	// cannot refute. The detector must confirm it dead: a member that
+	// cannot receive is genuinely unusable, indirection or not.
+	c := build(probedConfig(3))
+	m := c.members[1]
+
+	c.RunUntil(1 * time.Second)
+	c.MgmtLink(1).PartitionBtoA()
+	c.RunUntil(15 * time.Second)
+	if m.State != MemberDead {
+		t.Fatalf("deaf board state = %v, want dead", m.State)
+	}
+	if c.Confirms != 1 {
+		t.Fatalf("confirms = %d, want 1", c.Confirms)
+	}
+	c.StopMembership()
+	c.RunAll()
+}
+
+func TestAsymmetricFailureMuteBoardConfirmed(t *testing.T) {
+	// One-way failure, mute side: board 1 hears everything but its
+	// transmissions are lost (NIC->bridge cut). Probes reach it, acks
+	// vanish; it hears the suspicion and refutes — but the refutation
+	// cannot leave the board. Suspect must stand and confirm.
+	c := build(probedConfig(3))
+	m := c.members[1]
+
+	c.RunUntil(1 * time.Second)
+	c.MgmtLink(1).PartitionAtoB()
+	c.RunUntil(15 * time.Second)
+	if m.State != MemberDead {
+		t.Fatalf("mute board state = %v, want dead", m.State)
+	}
+	// The board did try to refute (it heard the rumor) — the refutation
+	// just never escaped its cut uplink.
+	if c.Refutes == 0 {
+		t.Fatal("mute board never heard the suspicion it should refute")
+	}
+	if c.Confirms != 1 {
+		t.Fatalf("confirms = %d, want 1", c.Confirms)
+	}
+	c.StopMembership()
+	c.RunAll()
+}
+
+func TestIndirectProbesAvertFalseConfirms(t *testing.T) {
+	// A lossy (not dead) probe path: board 0's uplink drops half of
+	// everything. Direct probes from board 0 often lose the ping or the
+	// ack and would turn peers suspect; the ping-req round gives each
+	// detection another independent path through a relay. The ablation
+	// (IndirectProbes=0) must show strictly more suspicion flaps, and
+	// the hardened run must avert at least some of them via indirect
+	// acks. Both runs are fully seeded and deterministic.
+	run := func(indirect int) *Cluster {
+		cfg := probedConfig(4)
+		cfg.IndirectProbes = indirect
+		c := build(cfg)
+		c.RunUntil(500 * time.Millisecond) // settle before the weather turns
+		c.MgmtLink(0).Impair(netsim.Impairment{Loss: 0.5}, 77)
+		c.RunUntil(60 * time.Second)
+		c.StopMembership()
+		c.RunAll()
+		return c
+	}
+	hardened := run(2)
+	ablation := run(0)
+
+	if hardened.PingReqs == 0 || hardened.IndirectAcks == 0 {
+		t.Fatalf("indirection never engaged: pingreqs=%d indirect_acks=%d",
+			hardened.PingReqs, hardened.IndirectAcks)
+	}
+	if ablation.PingReqs != 0 {
+		t.Fatalf("ablation sent %d ping-reqs", ablation.PingReqs)
+	}
+	if hardened.Suspects >= ablation.Suspects {
+		t.Fatalf("suspects: hardened %d >= ablation %d — ping-req did not help",
+			hardened.Suspects, ablation.Suspects)
+	}
+	if hardened.Confirms > ablation.Confirms {
+		t.Fatalf("confirms: hardened %d > ablation %d", hardened.Confirms, ablation.Confirms)
+	}
+}

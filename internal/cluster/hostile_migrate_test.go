@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"jitsu/internal/core"
+	"jitsu/internal/netsim"
+)
+
+// ---- migration under hostile management networks ----
+
+// hostileLeaveCluster is leaveCluster with fast transfer-retry knobs so
+// the partition scenarios run in simulated seconds, not minutes.
+func hostileLeaveCluster(t *testing.T) *Cluster {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Boards = 3
+	cfg.MigrateOnLeave = true
+	cfg.MigrateChunkMiB = 4
+	cfg.MigrateChunkRTO = 20 * time.Millisecond
+	cfg.MigrateChunkRetries = 3
+	cfg.MigrateRetryDelay = 500 * time.Millisecond
+	cfg.MigrateMaxAttempts = 3
+	c := build(cfg)
+	c.RegisterService(testService("alice", 20), WithMinWarm(2))
+	c.RunAll()
+	e := c.Directory().Lookup("alice.family.name")
+	if replicaOn(e, 1) == nil || e.Replicas[1].Svc.State != core.StateReady {
+		t.Fatal("test setup: no warm replica on board 1")
+	}
+	return c
+}
+
+func TestMigrationChunksAcknowledged(t *testing.T) {
+	// Clean network: the pre-copy is a chunked exchange now — every
+	// chunk datagram acked, none retransmitted.
+	c := hostileLeaveCluster(t)
+	left := false
+	if err := c.Leave(1, func() { left = true }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+	if !left || c.Migrations != 1 {
+		t.Fatalf("left=%v migrations=%d", left, c.Migrations)
+	}
+	e := c.Directory().Lookup("alice.family.name")
+	state := e.Base.Image.MemMiB // StateMiB == image memory
+	wantChunks := uint64((state + 3) / 4)
+	if c.Chunks != wantChunks {
+		t.Fatalf("chunks = %d, want %d for a %d MiB checkpoint in 4 MiB chunks",
+			c.Chunks, wantChunks, state)
+	}
+	if c.ChunkRetx != 0 || c.XferAborts != 0 {
+		t.Fatalf("clean link saw retx=%d aborts=%d", c.ChunkRetx, c.XferAborts)
+	}
+}
+
+func TestMigrationRetransmitsThroughLoss(t *testing.T) {
+	// A lossy management uplink on the leaving board: chunks and acks
+	// drop, the per-chunk retransmit recovers each one, and the replica
+	// still arrives warm.
+	c := hostileLeaveCluster(t)
+	c.MgmtLink(1).Impair(netsim.Impairment{Loss: 0.2}, 31)
+
+	left := false
+	if err := c.Leave(1, func() { left = true }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+	if !left || c.Migrations != 1 || c.Lost != 0 {
+		t.Fatalf("left=%v migrations=%d lost=%d, want true/1/0", left, c.Migrations, c.Lost)
+	}
+	if c.ChunkRetx == 0 {
+		t.Fatal("20% loss produced no chunk retransmits")
+	}
+	e := c.Directory().Lookup("alice.family.name")
+	if replicaOn(e, 2) == nil || e.Replicas[2].Svc.State != core.StateReady {
+		t.Fatal("replica did not arrive warm on board 2")
+	}
+}
+
+func TestMigrationAbortsAndReschedulesOnPartition(t *testing.T) {
+	// The mgmt link partitions mid-transfer: the chunk exchange starves,
+	// the transfer aborts, and the mandatory evacuation reschedules.
+	// After the heal the retry completes and the replica still arrives
+	// warm — one abort, one migration, nothing lost.
+	c := hostileLeaveCluster(t)
+	link := c.MgmtLink(1)
+
+	left := false
+	if err := c.Leave(1, func() { left = true }); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the link while the first chunks are in flight, heal after the
+	// abort (retries exhaust in ~20+40+80+160 = 300ms) but before the
+	// rescheduled attempt fires.
+	c.eng.After(20*time.Millisecond, func() { link.Partition() })
+	c.eng.After(700*time.Millisecond, func() { link.Heal() })
+	c.RunAll()
+
+	if c.XferAborts != 1 {
+		t.Fatalf("xfer aborts = %d, want 1", c.XferAborts)
+	}
+	if !left || c.Migrations != 1 || c.Lost != 0 {
+		t.Fatalf("left=%v migrations=%d lost=%d, want true/1/0", left, c.Migrations, c.Lost)
+	}
+	e := c.Directory().Lookup("alice.family.name")
+	if replicaOn(e, 2) == nil || e.Replicas[2].Svc.State != core.StateReady {
+		t.Fatal("replica did not arrive warm after the rescheduled attempt")
+	}
+	if e.Replicas[2].Svc.Restores != 1 {
+		t.Fatalf("restores = %d, want 1", e.Replicas[2].Svc.Restores)
+	}
+}
+
+func TestMigrationGivesUpAfterAttemptBudget(t *testing.T) {
+	// Permanent partition: every attempt aborts; after the budget the
+	// replica is written off (the preempt baseline) and the departure
+	// still completes — a dead management path must not wedge Leave.
+	c := hostileLeaveCluster(t)
+	c.MgmtLink(1).Partition()
+
+	left := false
+	if err := c.Leave(1, func() { left = true }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+	if !left {
+		t.Fatal("leave wedged on a partitioned management link")
+	}
+	if c.XferAborts != 3 {
+		t.Fatalf("xfer aborts = %d, want MigrateMaxAttempts=3", c.XferAborts)
+	}
+	if c.Migrations != 0 || c.Lost != 1 {
+		t.Fatalf("migrations=%d lost=%d, want 0/1", c.Migrations, c.Lost)
+	}
+	if m := c.members[1]; m.State != MemberLeft {
+		t.Fatalf("member state = %v, want left", m.State)
+	}
+}

@@ -87,6 +87,12 @@ const (
 	msgJoin      = 3 // new member announcing itself to the seed (board 0)
 	msgJoinReply = 4 // seed's full view back to the joiner
 	msgGossip    = 5 // pure update carrier (leave blasts, refutations)
+	// The SWIM indirection pair: a ping-req asks a relay to probe the
+	// target on the origin's behalf (target id appended after the
+	// updates block); the relay answers the origin with a ping-req-ack
+	// carrying the origin's seq when its own probe is acked.
+	msgPingReq    = 6
+	msgPingReqAck = 7
 
 	// maxPiggyback bounds updates per message; retransmits is each
 	// rumor's dissemination budget (≈λ·log n for edge-sized clusters).
@@ -123,11 +129,21 @@ type agent struct {
 	// out is the rumor outbox: updates still owed piggyback retransmits.
 	out []outboundUpdate
 	// inc is the agent's own incarnation, bumped to refute suspicion.
-	inc     uint32
-	seq     uint32
-	await   map[uint32]int // outstanding ping seq -> probed member
+	inc   uint32
+	seq   uint32
+	await map[uint32]int // outstanding ping seq -> probed member
+	// relayed maps this agent's own ping seq (sent on behalf of another
+	// member) to the ping-req origin it must answer.
+	relayed map[uint32]relayRef
 	probeEv sim.Event
 	stopped bool
+}
+
+// relayRef remembers who asked for an indirect probe and under which of
+// the origin's sequence numbers.
+type relayRef struct {
+	origin int
+	seq    uint32
 }
 
 type outboundUpdate struct {
@@ -140,15 +156,19 @@ type outboundUpdate struct {
 func newAgent(c *Cluster, m *Member) *agent {
 	a := &agent{
 		c: c, self: m.ID,
-		view:  make(map[int]memberInfo),
-		await: make(map[uint32]int),
-		inc:   1,
+		view:    make(map[int]memberInfo),
+		await:   make(map[uint32]int),
+		relayed: make(map[uint32]relayRef),
+		inc:     1,
 	}
 	a.nic = netsim.NewNIC(c.eng, fmt.Sprintf("mgmt%d", m.ID), netsim.MACFor(0xA000+m.ID))
 	c.mgmt.ConnectNIC(a.nic, 50*time.Microsecond, c.Cfg.MgmtBitsPerSec)
 	a.host = netstack.NewHost(c.eng, fmt.Sprintf("mgmt%d", m.ID), a.nic, mgmtIP(m.ID), netstack.Dom0Profile())
 	if err := a.host.BindUDP(gossipPort, a.recv); err != nil {
 		panic(fmt.Sprintf("cluster: gossip bind: %v", err))
+	}
+	if err := a.host.BindUDP(xferPort, a.recvXfer); err != nil {
+		panic(fmt.Sprintf("cluster: xfer bind: %v", err))
 	}
 	return a
 }
@@ -214,11 +234,62 @@ func (a *agent) tick() {
 		if a.stopped {
 			return
 		}
+		id, ok := a.await[seq]
+		if !ok {
+			return
+		}
+		if a.indirectProbe(id, seq) {
+			return
+		}
+		delete(a.await, seq)
+		a.suspect(id)
+	})
+}
+
+// indirectProbe runs the SWIM ping-req round: up to Cfg.IndirectProbes
+// other members are asked to probe target on this agent's behalf; only
+// if none of them answers within another ProbeTimeout does the target
+// turn suspect. It reports false when indirection is disabled or no
+// relay exists, in which case the caller suspects immediately.
+func (a *agent) indirectProbe(target int, seq uint32) bool {
+	k := a.c.Cfg.IndirectProbes
+	if k <= 0 {
+		return false
+	}
+	var relays []int
+	for _, id := range a.probeCandidates() {
+		if id != target {
+			relays = append(relays, id)
+		}
+	}
+	if len(relays) == 0 {
+		return false
+	}
+	// Deterministic fan-out: shuffle with the engine RNG, take k.
+	rng := a.c.eng.Rand()
+	rng.Shuffle(len(relays), func(i, j int) { relays[i], relays[j] = relays[j], relays[i] })
+	if len(relays) > k {
+		relays = relays[:k]
+	}
+	tail := []byte{byte(target >> 8), byte(target)}
+	for _, r := range relays {
+		a.c.PingReqs++
+		a.sendTail(r, msgPingReq, seq, nil, tail)
+	}
+	if tr := a.c.tracer(); tr != nil {
+		tr.Instant(a.c.tidFor(a.self), "gossip", "ping-req",
+			obs.Num("target", int64(target)), obs.Num("relays", int64(len(relays))))
+	}
+	a.c.eng.After(a.c.Cfg.ProbeTimeout, func() {
+		if a.stopped {
+			return
+		}
 		if id, ok := a.await[seq]; ok {
 			delete(a.await, seq)
 			a.suspect(id)
 		}
 	})
+	return true
 }
 
 // probeCandidates returns the sorted ids this agent may probe: everyone
@@ -354,14 +425,21 @@ func (a *agent) drain(extra []gossipUpdate) []gossipUpdate {
 
 // send encodes and transmits one gossip message to member id.
 func (a *agent) send(id int, typ byte, seq uint32, extra []gossipUpdate) {
+	a.sendTail(id, typ, seq, extra, nil)
+}
+
+// sendTail is send with trailing message-specific bytes after the
+// updates block (the ping-req target id).
+func (a *agent) sendTail(id int, typ byte, seq uint32, extra []gossipUpdate, tail []byte) {
 	ups := a.drain(extra)
-	buf := make([]byte, 0, 8+7*len(ups))
+	buf := make([]byte, 0, 8+7*len(ups)+len(tail))
 	buf = append(buf, typ, byte(a.self>>8), byte(a.self),
 		byte(seq>>24), byte(seq>>16), byte(seq>>8), byte(seq), byte(len(ups)))
 	for _, u := range ups {
 		buf = append(buf, byte(u.ID>>8), byte(u.ID), byte(u.State),
 			byte(u.Inc>>24), byte(u.Inc>>16), byte(u.Inc>>8), byte(u.Inc))
 	}
+	buf = append(buf, tail...)
 	a.host.SendUDP(mgmtIP(id), gossipPort, gossipPort, buf)
 }
 
@@ -408,6 +486,37 @@ func (a *agent) recv(_ netstack.IP, _ uint16, payload []byte) {
 	case msgAck:
 		if id, ok := a.await[seq]; ok && id == from {
 			delete(a.await, seq)
+		}
+		// An ack for a probe we relayed: forward it to the origin under
+		// the origin's sequence number.
+		if ref, ok := a.relayed[seq]; ok {
+			delete(a.relayed, seq)
+			a.send(ref.origin, msgPingReqAck, ref.seq, nil)
+		}
+	case msgPingReq:
+		off := 8 + 7*n
+		if len(payload) < off+2 {
+			return
+		}
+		target := int(payload[off])<<8 | int(payload[off+1])
+		if target == a.self {
+			// Degenerate: we are the target; answer directly.
+			a.send(from, msgPingReqAck, seq, nil)
+			return
+		}
+		rseq := a.seq
+		a.seq++
+		a.relayed[rseq] = relayRef{origin: from, seq: seq}
+		a.send(target, msgPing, rseq, nil)
+		// Expire the relay slot so probes of dead members don't leak it.
+		a.c.eng.After(a.c.Cfg.ProbeTimeout, func() { delete(a.relayed, rseq) })
+	case msgPingReqAck:
+		if _, ok := a.await[seq]; ok {
+			delete(a.await, seq)
+			a.c.IndirectAcks++
+			if tr := a.c.tracer(); tr != nil {
+				tr.Instant(a.c.tidFor(a.self), "gossip", "indirect-ack", obs.Num("relay", int64(from)))
+			}
 		}
 	case msgJoin:
 		a.send(from, msgJoinReply, 0, a.fullView())
@@ -485,6 +594,15 @@ func (c *Cluster) deregisterBoard(id int) {
 
 // Members reports the directory's membership view, ordered by board id.
 func (c *Cluster) Members() []*Member { return c.members }
+
+// MgmtLink returns board id's uplink to the management bridge — the
+// interposition point hostile-network scenarios impair or partition.
+// The board's NIC sits at the link's A end, so ImpairAtoB/PartitionAtoB
+// affect what the board transmits (gossip acks, checkpoint chunks) and
+// the BtoA direction what it hears.
+func (c *Cluster) MgmtLink(id int) *netsim.Link {
+	return c.members[id].agent.nic.Link()
+}
 
 // StopMembership quiesces every gossip agent (probe timers cancelled) so
 // Engine.Run can drain — used at the end of churn runs and by jitsud

@@ -2,7 +2,6 @@ package cluster
 
 import (
 	"errors"
-	"time"
 
 	"jitsu/internal/api"
 	"jitsu/internal/core"
@@ -110,12 +109,6 @@ func (c *Cluster) evacuateOne(e *Entry, p *Placement, done func()) {
 	c.migrate(e, p, func(bool) { done() })
 }
 
-// migrateDelay models the checkpoint copy across the management link.
-func (c *Cluster) migrateDelay(cp *core.Checkpoint) sim.Duration {
-	bits := float64(cp.StateMiB) * 8 * 1024 * 1024
-	return 500*time.Microsecond + sim.Duration(bits/c.Cfg.MigrateBitsPerSec*float64(time.Second))
-}
-
 // pickDest asks e's policy for a migration destination: any placeable
 // board other than p's whose replica slot is stopped. Policies may be
 // stateful (RoundRobin), so callers must use the returned index rather
@@ -138,20 +131,28 @@ func (c *Cluster) loseReplica(p *Placement) {
 // move fails, the replica is stopped and its warm state lost — exactly
 // the baseline. done reports whether the replica arrived warm.
 func (c *Cluster) migrate(e *Entry, p *Placement, done func(ok bool)) {
+	c.migrateAttempt(e, p, 1, done)
+}
+
+// migrateAttempt is one try of a mandatory evacuation; a transfer that
+// dies on the wire reschedules here (bounded by MigrateMaxAttempts)
+// with a fresh destination pick — the first choice may be the very
+// board the partition cut off.
+func (c *Cluster) migrateAttempt(e *Entry, p *Placement, attempt int, done func(ok bool)) {
 	idx := c.pickDest(e, p)
 	if idx < 0 {
 		c.loseReplica(p)
 		done(false)
 		return
 	}
-	c.migrateTo(e, p, idx, true, done)
+	c.migrateTo(e, p, idx, true, attempt, done)
 }
 
 // migrateTo runs the live migration to the already-picked destination.
 // mandatory distinguishes an evacuation (source board is going away —
 // a failed move stops the source) from an optional rebalance (a failed
 // move leaves the healthy source exactly where it was).
-func (c *Cluster) migrateTo(e *Entry, p *Placement, idx int, mandatory bool, done func(ok bool)) {
+func (c *Cluster) migrateTo(e *Entry, p *Placement, idx int, mandatory bool, attempt int, done func(ok bool)) {
 	dst := e.Replicas[idx]
 	abort := func() {
 		p.migrating = false
@@ -182,7 +183,34 @@ func (c *Cluster) migrateTo(e *Entry, p *Placement, idx int, mandatory bool, don
 	// is in flight, or the restore would find the slot occupied and a
 	// mandatory abort would sacrifice a healthy source.
 	dst.reserved = true
-	c.eng.After(c.migrateDelay(cp), func() {
+	c.copyCheckpoint(p.Board, idx, cp.StateMiB, func(copied bool) {
+		if !copied {
+			// The management path died mid-copy (chunk retries
+			// exhausted). Release the claim; a mandatory evacuation gets
+			// rescheduled — crash-safe: the source is still serving, the
+			// destination reserved nothing durable — until the attempt
+			// budget runs out and the replica is written off.
+			c.tracer().End(precopy, obs.Str("status", "copy-failed"))
+			p.migrating = false
+			dst.reserved = false
+			if !mandatory {
+				done(false)
+				return
+			}
+			if attempt < c.Cfg.MigrateMaxAttempts {
+				c.eng.After(c.Cfg.MigrateRetryDelay, func() {
+					if p.gone || p.Svc.State != core.StateReady {
+						done(false)
+						return
+					}
+					c.migrateAttempt(e, p, attempt+1, done)
+				})
+				return
+			}
+			c.loseReplica(p)
+			done(false)
+			return
+		}
 		if p.gone || p.Svc.State != core.StateReady {
 			// The source died mid-copy; nothing to switch over.
 			c.tracer().End(precopy, obs.Str("status", "source-lost"))
@@ -263,7 +291,7 @@ func (c *Cluster) Rebalance() int {
 			if gain <= 2*e.Base.Image.MemMiB {
 				continue
 			}
-			c.migrateTo(e, p, idx, false, func(bool) {})
+			c.migrateTo(e, p, idx, false, 1, func(bool) {})
 			moved++
 		}
 	}

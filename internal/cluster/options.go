@@ -93,6 +93,12 @@ func WithProbing(every, timeout, suspect sim.Duration) Option {
 	}
 }
 
+// WithIndirectProbes sets the SWIM ping-req fan-out (0 disables the
+// indirection — the false-suspicion ablation on lossy links).
+func WithIndirectProbes(k int) Option {
+	return func(c *Config) { c.IndirectProbes = k }
+}
+
 // WithMigrateOnLeave selects the graceful-departure policy: live
 // migration (true) or the preempt-and-reboot baseline (false).
 func WithMigrateOnLeave(on bool) Option {

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"time"
+
+	"jitsu/internal/netstack"
+	"jitsu/internal/obs"
+	"jitsu/internal/sim"
+)
+
+// Checkpoint transfer: the migration pre-copy is a real stop-and-wait
+// datagram exchange on the management network (port 7947), not a single
+// timed sleep. The checkpoint is cut into chunks; each chunk datagram
+// carries only a header (the bulk payload is modeled as serialization
+// delay at the sender, so a multi-MiB copy does not explode into
+// thousands of simulated frames) and must be acknowledged before the
+// next chunk goes out. Lost chunks or acks retransmit with exponential
+// backoff; a management-link partition exhausts the retries and fails
+// the transfer, which the migration layer answers with abort — and, for
+// mandatory evacuations, a bounded reschedule.
+const (
+	xferPort = 7947
+
+	xferOpChunk = 1 // [op, id:4, idx:4, total:4] — sender -> receiver
+	xferOpAck   = 2 // [op, id:4, idx:4]          — receiver -> sender
+)
+
+// xferSend is the sender side of one checkpoint copy.
+type xferSend struct {
+	c        *Cluster
+	id       uint32
+	src, dst int
+	next     int // chunk awaiting ack
+	total    int
+	lastMiB  int // size of the final (possibly partial) chunk
+	tries    int // transmissions of the current chunk so far
+	timer    sim.Event
+	done     func(ok bool)
+	finished bool
+}
+
+// copyCheckpoint streams cp from board src to board dst over the
+// management network and reports success. The 500µs lead-in models
+// checkpoint serialisation on the source before the first byte moves.
+func (c *Cluster) copyCheckpoint(src, dst int, stateMiB int, done func(ok bool)) {
+	chunk := c.Cfg.MigrateChunkMiB
+	total := (stateMiB + chunk - 1) / chunk
+	if total < 1 {
+		total = 1
+	}
+	last := stateMiB - (total-1)*chunk
+	if last <= 0 {
+		last = chunk
+	}
+	c.nextXferID++
+	s := &xferSend{c: c, id: c.nextXferID, src: src, dst: dst,
+		total: total, lastMiB: last, done: done}
+	c.xferSenders[s.id] = s
+	c.eng.After(500*time.Microsecond, s.sendChunk)
+}
+
+// chunkMiB is the size of chunk idx.
+func (s *xferSend) chunkMiB(idx int) int {
+	if idx == s.total-1 {
+		return s.lastMiB
+	}
+	return s.c.Cfg.MigrateChunkMiB
+}
+
+// sendChunk pays the current chunk's serialisation time, then puts its
+// header datagram on the wire.
+func (s *xferSend) sendChunk() {
+	bits := float64(s.chunkMiB(s.next)) * 8 * 1024 * 1024
+	ser := sim.Duration(bits / s.c.Cfg.MigrateBitsPerSec * float64(time.Second))
+	s.c.eng.After(ser, s.transmit)
+}
+
+// transmit sends the current chunk's datagram and arms the retransmit
+// timer. Retransmits skip the serialisation delay model — the bytes
+// were already "sent" once; what is being recovered is the exchange.
+func (s *xferSend) transmit() {
+	if s.finished {
+		return
+	}
+	buf := []byte{xferOpChunk,
+		byte(s.id >> 24), byte(s.id >> 16), byte(s.id >> 8), byte(s.id),
+		byte(s.next >> 24), byte(s.next >> 16), byte(s.next >> 8), byte(s.next),
+		byte(s.total >> 24), byte(s.total >> 16), byte(s.total >> 8), byte(s.total)}
+	s.c.Chunks++
+	s.tries++
+	s.c.agentHost(s.src).SendUDP(mgmtIP(s.dst), xferPort, xferPort, buf)
+	rto := s.c.Cfg.MigrateChunkRTO
+	for i := 1; i < s.tries; i++ {
+		rto *= 2
+	}
+	s.timer = s.c.eng.After(rto, func() {
+		if s.finished {
+			return
+		}
+		if s.tries > s.c.Cfg.MigrateChunkRetries {
+			s.fail()
+			return
+		}
+		s.c.ChunkRetx++
+		if tr := s.c.tracer(); tr != nil {
+			tr.Instant(s.c.tidFor(s.src), "migrate", "chunk-retx",
+				obs.Num("xfer", int64(s.id)), obs.Num("chunk", int64(s.next)))
+		}
+		s.transmit()
+	})
+}
+
+// onAck advances the window: the awaited chunk was received.
+func (s *xferSend) onAck(idx int) {
+	if s.finished || idx != s.next {
+		return // duplicate or stale ack
+	}
+	s.c.eng.Cancel(s.timer)
+	s.next++
+	s.tries = 0
+	if s.next == s.total {
+		s.finished = true
+		delete(s.c.xferSenders, s.id)
+		s.done(true)
+		return
+	}
+	s.sendChunk()
+}
+
+// fail abandons the transfer after the current chunk exhausted its
+// retries (the management path is gone).
+func (s *xferSend) fail() {
+	s.finished = true
+	delete(s.c.xferSenders, s.id)
+	s.c.XferAborts++
+	if tr := s.c.tracer(); tr != nil {
+		tr.Instant(s.c.tidFor(s.src), "migrate", "xfer-abort",
+			obs.Num("xfer", int64(s.id)), obs.Num("chunk", int64(s.next)))
+	}
+	s.done(false)
+}
+
+// agentHost is board id's management-network endpoint.
+func (c *Cluster) agentHost(id int) *netstack.Host { return c.members[id].agent.host }
+
+// recvXfer handles transfer datagrams on one agent. The receiver keeps
+// no per-transfer state: stop-and-wait means every chunk datagram is
+// simply acknowledged (duplicates re-acknowledged — the previous ack
+// may be the frame that was lost), and the sender decides completion.
+func (a *agent) recvXfer(src netstack.IP, _ uint16, payload []byte) {
+	if len(payload) < 9 {
+		return
+	}
+	id := uint32(payload[1])<<24 | uint32(payload[2])<<16 | uint32(payload[3])<<8 | uint32(payload[4])
+	idx := int(payload[5])<<24 | int(payload[6])<<16 | int(payload[7])<<8 | int(payload[8])
+	switch payload[0] {
+	case xferOpChunk:
+		ack := []byte{xferOpAck,
+			byte(id >> 24), byte(id >> 16), byte(id >> 8), byte(id),
+			byte(idx >> 24), byte(idx >> 16), byte(idx >> 8), byte(idx)}
+		a.host.SendUDP(src, xferPort, xferPort, ack)
+	case xferOpAck:
+		if s, ok := a.c.xferSenders[id]; ok && s.src == a.self {
+			s.onAck(idx)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package dns
 import (
 	"sort"
 	"strings"
+	"time"
 
 	"jitsu/internal/netstack"
 	"jitsu/internal/obs"
@@ -551,8 +552,34 @@ func (s *Server) referral(name string, resp *Message) bool {
 
 // Client is a minimal resolver for tests and examples.
 type Client struct {
-	Host   *netstack.Host
-	nextID uint16
+	Host *netstack.Host
+	// Retry bounds retransmission of unanswered queries. The zero value
+	// disables retries: one datagram, one timeout — the pre-hardening
+	// behaviour, kept for ablation runs.
+	Retry RetryPolicy
+	// Retries counts retransmitted datagrams (not first transmissions).
+	Retries uint64
+	nextID  uint16
+}
+
+// RetryPolicy is the resolver's retransmit schedule: up to Retries
+// extra copies of the same datagram (same ID, same source port), the
+// k-th sent Initial·Factor^k after the previous, each interval
+// stretched by a uniform [0, Jitter) fraction drawn from the engine RNG
+// so synchronized clients decorrelate deterministically. The overall
+// Query timeout still bounds the whole exchange.
+type RetryPolicy struct {
+	Retries int
+	Initial sim.Duration
+	Factor  float64
+	Jitter  float64
+}
+
+// DefaultRetry is the hardened profile: 3 retransmits starting at
+// 200ms, doubling, with 50% jitter — tuned so one lost datagram on a
+// lossy edge link costs ~200-300ms instead of the full client timeout.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{Retries: 3, Initial: 200 * time.Millisecond, Factor: 2, Jitter: 0.5}
 }
 
 // clientPortLo is the bottom of the resolver's source-port range; retry
@@ -584,7 +611,7 @@ func (c *Client) Query(server netstack.IP, name string, typ Type, timeout sim.Du
 	}
 	start := c.Host.Eng.Now()
 	finished := false
-	var timer sim.Event
+	var timer, retransmit sim.Event
 	// Pick a free source port: concurrent queries from one host must
 	// not collide.
 	srcPort := uint16(clientPortLo + id%50000)
@@ -598,6 +625,7 @@ func (c *Client) Query(server netstack.IP, name string, typ Type, timeout sim.Du
 		}
 		finished = true
 		c.Host.Eng.Cancel(timer)
+		c.Host.Eng.Cancel(retransmit)
 		c.Host.UnbindUDP(srcPort)
 		done(m, c.Host.Eng.Now()-start, nil)
 	}
@@ -611,9 +639,42 @@ func (c *Client) Query(server netstack.IP, name string, typ Type, timeout sim.Du
 	timer = c.Host.Eng.After(timeout, func() {
 		if !finished {
 			finished = true
+			c.Host.Eng.Cancel(retransmit)
 			c.Host.UnbindUDP(srcPort)
 			done(nil, 0, netstack.ErrTimeout)
 		}
 	})
+	// Retransmit schedule: identical wire from the identical source port
+	// (a late answer to any copy still matches), backing off under the
+	// overall deadline.
+	attempt := 0
+	var arm func()
+	arm = func() {
+		p := c.Retry
+		if p.Retries <= 0 || attempt >= p.Retries {
+			return
+		}
+		factor := p.Factor
+		if factor <= 0 {
+			factor = 2
+		}
+		ivl := float64(p.Initial)
+		for i := 0; i < attempt; i++ {
+			ivl *= factor
+		}
+		if p.Jitter > 0 {
+			ivl += c.Host.Eng.Rand().Float64() * p.Jitter * ivl
+		}
+		retransmit = c.Host.Eng.After(sim.Duration(ivl), func() {
+			if finished {
+				return
+			}
+			attempt++
+			c.Retries++
+			c.Host.SendUDP(server, srcPort, 53, wire)
+			arm()
+		})
+	}
+	arm()
 	c.Host.SendUDP(server, srcPort, 53, wire)
 }

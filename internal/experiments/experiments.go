@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"jitsu/internal/metrics"
+	"jitsu/internal/netsim"
 	"jitsu/internal/obs"
 )
 
@@ -28,13 +29,19 @@ type Result struct {
 	// Traces holds per-run flight recorders for experiments that attach
 	// one (cmd/jitsu-bench -trace-dir exports them as Chrome traces).
 	Traces map[string]*obs.Tracer
+	// Captures holds per-link packet captures for the hostile-network
+	// experiments: the post-loss delivery stream at virtual-time
+	// precision, folded into the determinism fingerprint so two runs
+	// must agree frame for frame, not just on the latency table.
+	Captures map[string]*netsim.Capture
 	// Notes records paper-vs-measured commentary for EXPERIMENTS.md.
 	Notes []string
 }
 
 func newResult(id, title string) *Result {
 	return &Result{ID: id, Title: title,
-		Series: map[string]*metrics.Series{}, Traces: map[string]*obs.Tracer{}}
+		Series: map[string]*metrics.Series{}, Traces: map[string]*obs.Tracer{},
+		Captures: map[string]*netsim.Capture{}}
 }
 
 // Option configures an experiment run.
@@ -137,6 +144,22 @@ func (r *Result) Fingerprint() uint64 {
 		}
 		h.Write(buf[:])
 	}
+	// Packet captures too: the wire itself is part of the contract — a
+	// run that lands every sample but delivers (or drops) different
+	// frames at different instants must not fingerprint clean.
+	cnames := make([]string, 0, len(r.Captures))
+	for name := range r.Captures {
+		cnames = append(cnames, name)
+	}
+	sort.Strings(cnames)
+	for _, name := range cnames {
+		h.Write([]byte(name))
+		n := r.Captures[name].Fingerprint()
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(n >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
 	return h.Sum64()
 }
 
@@ -151,6 +174,8 @@ func All(quick bool, opts ...Option) []*Result {
 	churnHorizon := 75 * time.Second
 	federationHorizon := 60 * time.Second
 	prewarmVisits := 40
+	hostileFlash := 60
+	hostileSwim := 60 * time.Second
 	if quick {
 		trials = 30
 		fig3N = []int{1, 10, 25, 50}
@@ -158,6 +183,8 @@ func All(quick bool, opts ...Option) []*Result {
 		churnHorizon = 45 * time.Second
 		federationHorizon = 45 * time.Second
 		prewarmVisits = 24
+		hostileFlash = 30
+		hostileSwim = 30 * time.Second
 	}
 	return []*Result{
 		Fig3(fig3N),
@@ -173,5 +200,6 @@ func All(quick bool, opts ...Option) []*Result {
 		Churn(churnHorizon, opts...),
 		Prewarm(prewarmVisits, opts...),
 		Federation(federationHorizon),
+		Hostile(hostileFlash, hostileSwim),
 	}
 }

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHostileFlashRetryEnvelope is the acceptance assert: over the
+// lossy edge the hardened client's p95 stays within 2x of the
+// perfect-link baseline, while the single-datagram ablation's tail runs
+// away to the full client timeout.
+func TestHostileFlashRetryEnvelope(t *testing.T) {
+	r := Hostile(60, 30*time.Second)
+	perfect := r.Series["flash perfect link"]
+	hardened := r.Series["flash lossy+retry"]
+	ablated := r.Series["flash lossy no-retry"]
+	if perfect == nil || hardened == nil || ablated == nil {
+		t.Fatalf("flash series missing: %v", r.Series)
+	}
+	pp, hp := perfect.Percentile(0.95), hardened.Percentile(0.95)
+	if hp > 2*pp {
+		t.Errorf("hardened p95 = %v, want within 2x of perfect-link p95 %v", hp, pp)
+	}
+	// The ablation's worst fetch burns the entire client timeout — the
+	// degradation is bounded only by how long the client is willing to
+	// wait, not by anything the system does.
+	if max := ablated.Percentile(1.0); max < hostileFetchTimeout {
+		t.Errorf("ablation max = %v, want a censored %v timeout in the tail", max, hostileFetchTimeout)
+	}
+	if hmax := hardened.Percentile(1.0); hmax >= hostileFetchTimeout {
+		t.Errorf("hardened max = %v: retry failed to keep every fetch under the timeout", hmax)
+	}
+}
+
+// TestHostileDeterminism runs the family twice with identical seeds:
+// every series, the rendered tables and the packet capture must be
+// bit-identical — the capture is the strongest form of the contract,
+// since it pins every delivered frame to a virtual-time instant.
+func TestHostileDeterminism(t *testing.T) {
+	a := Hostile(30, 30*time.Second)
+	b := Hostile(30, 30*time.Second)
+	if fa, fb := a.Fingerprint(), b.Fingerprint(); fa != fb {
+		t.Fatalf("fingerprints differ across identical runs: %x vs %x", fa, fb)
+	}
+	for name, sa := range a.Series {
+		sb := b.Series[name]
+		if sb == nil {
+			t.Fatalf("series %q missing from second run", name)
+		}
+		if FingerprintSeries(sa) != FingerprintSeries(sb) {
+			t.Errorf("series %q not bit-identical across runs", name)
+		}
+	}
+	if a.Output != b.Output {
+		t.Error("rendered output differs across identical runs")
+	}
+	ca, cb := a.Captures["flash lossy edge"], b.Captures["flash lossy edge"]
+	if ca == nil || cb == nil {
+		t.Fatal("flash capture missing")
+	}
+	if len(ca.Records) == 0 {
+		t.Fatal("flash capture recorded no frames")
+	}
+	if ca.Fingerprint() != cb.Fingerprint() {
+		t.Errorf("capture not bit-identical across runs (%d vs %d frames)",
+			len(ca.Records), len(cb.Records))
+	}
+}

@@ -6,6 +6,17 @@
 // Frames are opaque byte slices; internal/netstack gives them meaning.
 // Per the gopacket-inspired guidance, the fabric never copies frames on
 // the fast path — receivers must treat frames as read-only.
+//
+// Hostile-network behaviour lives here too, strictly below the bridge:
+// impairments (impair.go — seeded loss, extra latency and jitter,
+// reordering, duplication, throttling, partitions) and packet capture
+// (capture.go) decorate the Link between two ports, never the NICs or
+// the protocol endpoints above them. Endpoints observe only the
+// consequences — missing, delayed or duplicated frames — so the
+// retry/backoff machinery upstream (ARP and TCP in netstack, the DNS
+// client, gossip's indirect probes, migration's chunk retransmits) is
+// exercised by exactly the fault model the experiments script, and a
+// seeded hostile run stays as bit-reproducible as a perfect one.
 package netsim
 
 import (
@@ -68,6 +79,11 @@ type NIC struct {
 	RxCount uint64
 	TxBytes uint64
 	RxBytes uint64
+	// Drops counts frames this NIC discarded instead of delivering:
+	// transmits while Down or unplugged, receives while Down or with no
+	// handler installed. Tx/Rx counters only ever reflect frames that
+	// actually moved.
+	Drops uint64
 	// Down drops all traffic (guest not booted / unplugged).
 	Down bool
 }
@@ -83,6 +99,7 @@ func (n *NIC) SetHandler(h Handler) { n.handler = h }
 // Deliver implements Port: frames arriving from the fabric.
 func (n *NIC) Deliver(frame []byte) {
 	if n.Down || n.handler == nil {
+		n.Drops++
 		return
 	}
 	n.RxCount++
@@ -97,7 +114,8 @@ func (n *NIC) Send(frame []byte) error {
 		return ErrFrameTooBig
 	}
 	if n.Down || n.peer == nil {
-		return nil // cable unplugged: silently dropped, like real life
+		n.Drops++
+		return nil // cable unplugged: dropped, like real life — but counted
 	}
 	n.TxCount++
 	n.TxBytes += uint64(len(frame))
@@ -107,12 +125,17 @@ func (n *NIC) Send(frame []byte) error {
 }
 
 // Link is a full-duplex point-to-point cable with propagation latency
-// and serialisation bandwidth. It connects two Ports.
+// and serialisation bandwidth. It connects two Ports. Hostile-network
+// behaviour (loss, jitter, reorder, duplication, partition — see
+// impair.go) and packet capture (capture.go) both live here, in the
+// link between the NICs, never in the endpoints.
 type Link struct {
 	eng     *sim.Engine
 	Latency sim.Duration // one-way propagation
 	// BitsPerSec is the serialisation rate; 0 means infinite.
 	BitsPerSec float64
+	// Stats accumulates what the fault model did (zero on clean links).
+	Stats LinkStats
 
 	aEnd, bEnd *linkEnd
 }
@@ -121,6 +144,11 @@ type linkEnd struct {
 	link *Link
 	dst  Port
 	busy sim.Duration // virtual instant the wire in this direction frees up
+	// fault, when non-nil, is this direction's impairment state.
+	fault *impairState
+	// cap, when non-nil, records frames this direction delivers.
+	cap    *Capture
+	capDir string
 }
 
 // Deliver implements Port: a frame entering this end of the cable.
@@ -136,8 +164,27 @@ func (e *linkEnd) Deliver(frame []byte) {
 		e.busy += ser
 		delay += e.busy - now
 	}
+	if e.fault != nil {
+		extra, ok := e.deliverImpaired(frame, delay)
+		if !ok {
+			return
+		}
+		delay += extra
+	}
+	e.scheduleDelivery(frame, delay)
+}
+
+// scheduleDelivery books the frame's arrival at the far port, running
+// it through the capture tap (if any) at the delivery instant.
+func (e *linkEnd) scheduleDelivery(frame []byte, delay sim.Duration) {
+	e.link.Stats.Delivered++
 	dst := e.dst
-	l.eng.After(delay, func() { dst.Deliver(frame) })
+	if e.cap != nil {
+		tap, dir := e.cap, e.capDir
+		e.link.eng.After(delay, func() { tap.record(dir, frame); dst.Deliver(frame) })
+		return
+	}
+	e.link.eng.After(delay, func() { dst.Deliver(frame) })
 }
 
 // NewLink wires a and b together with the given characteristics.
@@ -163,4 +210,15 @@ func Attach(eng *sim.Engine, nic *NIC, dst Port, latency sim.Duration, bitsPerSe
 	l := NewLink(eng, nic, dst, latency, bitsPerSec)
 	nic.peer = l.AEnd()
 	return l
+}
+
+// Link returns the cable this NIC transmits into (nil when unplugged).
+// For NICs wired by Attach or Bridge.ConnectNIC the NIC sits at the A
+// end: ImpairAtoB/PartitionAtoB affect its transmit direction,
+// ImpairBtoA/PartitionBtoA its receive direction.
+func (n *NIC) Link() *Link {
+	if e, ok := n.peer.(*linkEnd); ok {
+		return e.link
+	}
+	return nil
 }

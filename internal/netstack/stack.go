@@ -86,6 +86,9 @@ type Host struct {
 	// Diagnostics.
 	RxPackets, TxPackets uint64
 	RxDropped            uint64
+	// ARPRetries counts retransmitted ARP requests (lost broadcasts on
+	// hostile links).
+	ARPRetries uint64
 	// TraceTCP, when set, observes every TCP segment the stack sends or
 	// receives ("tx"/"rx") — a tcpdump for the simulation.
 	TraceTCP func(dir string, seg *TCPSegment)
@@ -236,9 +239,16 @@ func (h *Host) ProxyARPFor(ip IP) { h.proxyARP[ip] = true }
 // RemoveProxyARP stops answering for ip.
 func (h *Host) RemoveProxyARP(ip IP) { delete(h.proxyARP, ip) }
 
-// arpResolveTimeout drops queued packets if no reply arrives; the
-// retransmission logic of TCP (or the application) recovers.
-const arpResolveTimeout = 3 * time.Second
+// arpRequestRTO spaces ARP request retransmissions; arpRequestTries
+// bounds them (Linux-like: ~1s apart, three requests total). Only after
+// the last unanswered request are the queued packets dropped — without
+// the retries a single lost ARP broadcast on a lossy link blackholes
+// every packet to that address for the full resolve window, which no
+// amount of transport-level retry can recover from.
+const (
+	arpRequestRTO   = 1 * time.Second
+	arpRequestTries = 3
+)
 
 // sendIPv4 routes a transport payload to dst, resolving via ARP.
 func (h *Host) sendIPv4(dst IP, proto byte, payload []byte) {
@@ -267,14 +277,31 @@ func (h *Host) sendIPv4From(src, dst IP, proto byte, payload []byte) {
 	first := len(h.arpPending[dst]) == 0
 	h.arpPending[dst] = append(h.arpPending[dst], pendingPacket{proto: proto, payload: pkt})
 	if first {
-		req := ARPPacket{Op: ARPRequest, SenderMAC: h.NIC.Addr, SenderIP: h.IP, TargetIP: dst}
-		h.sendEthernet(netsim.Broadcast, EtherTypeARP, req.Encode())
-		h.Eng.After(arpResolveTimeout, func() {
-			if _, ok := h.arpCache[dst]; !ok {
-				delete(h.arpPending, dst)
-			}
-		})
+		h.sendARPRequest(dst, 1)
 	}
+}
+
+// sendARPRequest broadcasts a who-has for dst and arms the retransmit:
+// if no reply lands within arpRequestRTO and packets are still queued,
+// the request goes out again, up to arpRequestTries total. Exhausting
+// the tries drops the queue (transport retransmission recovers).
+func (h *Host) sendARPRequest(dst IP, attempt int) {
+	req := ARPPacket{Op: ARPRequest, SenderMAC: h.NIC.Addr, SenderIP: h.IP, TargetIP: dst}
+	h.sendEthernet(netsim.Broadcast, EtherTypeARP, req.Encode())
+	h.Eng.After(arpRequestRTO, func() {
+		if _, ok := h.arpCache[dst]; ok {
+			return
+		}
+		if len(h.arpPending[dst]) == 0 {
+			return
+		}
+		if attempt >= arpRequestTries {
+			delete(h.arpPending, dst)
+			return
+		}
+		h.ARPRetries++
+		h.sendARPRequest(dst, attempt+1)
+	})
 }
 
 func (h *Host) sendEthernet(dst netsim.MAC, etherType uint16, payload []byte) {

@@ -130,10 +130,18 @@ func (e *Engine) After(d Duration, fn func()) Event {
 	return e.At(e.now+d, fn)
 }
 
+// compactThreshold is the minimum number of cancelled nodes before a
+// compaction is considered; below it the lazy scheme is strictly
+// cheaper.
+const compactThreshold = 64
+
 // Cancel removes a scheduled event. Cancelling the zero Event, an
 // already-fired or already-cancelled event is a no-op, so callers need
-// not track state. The node is collected lazily when it reaches the
-// heap's root.
+// not track state. The node is normally collected lazily when it
+// reaches the heap's root; when cancelled nodes come to dominate the
+// heap — the retry-timer pattern, where every completed exchange
+// abandons a far-future timeout that lazy collection would carry until
+// its deadline — the heap is compacted in one O(n) pass instead.
 func (e *Engine) Cancel(ev Event) {
 	if ev.n == nil || ev.n.gen != ev.gen || ev.n.state != statePending {
 		return
@@ -141,6 +149,58 @@ func (e *Engine) Cancel(ev Event) {
 	ev.n.state = stateCancelled
 	ev.n.fn = nil
 	e.ncancel++
+	if e.ncancel > compactThreshold && e.ncancel > len(e.heap)/2 {
+		e.compact()
+	}
+}
+
+// compact filters every cancelled node out of the heap and re-heapifies
+// the survivors in place (Floyd's bottom-up build). Pop order is
+// unaffected: (at, seq) is a total order, so any valid heap of the same
+// live set drains identically.
+func (e *Engine) compact() {
+	h := e.heap
+	live := h[:0]
+	for _, n := range h {
+		if n.state == stateCancelled {
+			e.recycle(n)
+			continue
+		}
+		live = append(live, n)
+	}
+	for i := len(live); i < len(h); i++ {
+		h[i] = nil
+	}
+	e.heap = live
+	e.ncancel = 0
+	for i := (len(live) - 2) >> 2; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
+// siftDown restores the heap property below index i.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := h[i]
+	size := len(h)
+	for {
+		c := i<<2 + 1
+		if c >= size {
+			break
+		}
+		m := c
+		for k := c + 1; k < c+4 && k < size; k++ {
+			if eventLess(h[k], h[m]) {
+				m = k
+			}
+		}
+		if !eventLess(h[m], n) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = n
 }
 
 // recycle returns a node to the free list. Bumping gen invalidates every

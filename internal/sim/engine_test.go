@@ -114,6 +114,80 @@ func TestEnginePendingWithLazyCancel(t *testing.T) {
 	}
 }
 
+func TestEngineCancelCompactsHeap(t *testing.T) {
+	// The retry-timer pattern: many far-future timeouts scheduled and
+	// then cancelled as their exchanges complete. Lazy collection alone
+	// would carry every dead node until its deadline; compaction must
+	// reclaim them as soon as they dominate the heap.
+	e := New(1)
+	var timers []Event
+	for i := 0; i < 1000; i++ {
+		timers = append(timers, e.At(Duration(i+1)*time.Second, func() {}))
+	}
+	fired := 0
+	e.At(500*time.Millisecond, func() { fired++ })
+	for _, ev := range timers {
+		e.Cancel(ev)
+	}
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+	// White-box: after compaction the dead nodes must be gone from the
+	// heap itself, not just uncounted.
+	if len(e.heap) > compactThreshold+1 {
+		t.Fatalf("heap still holds %d nodes after cancelling 1000", len(e.heap))
+	}
+	for _, ev := range timers {
+		if !ev.Cancelled() {
+			t.Fatal("handle to compacted node not reported cancelled")
+		}
+		e.Cancel(ev) // must be a no-op on recycled nodes
+	}
+	e.Run()
+	if fired != 1 || e.Fired() != 1 {
+		t.Fatalf("fired=%d engine.Fired=%d, want 1/1", fired, e.Fired())
+	}
+}
+
+func TestEngineCompactionPreservesOrder(t *testing.T) {
+	// Cross the compaction threshold mid-stream and check the survivors
+	// still drain in exact (at, seq) order.
+	e := New(7)
+	var got []int
+	var evs []Event
+	const n = 600
+	for i := 0; i < n; i++ {
+		i := i
+		at := Duration((i*37)%n) * time.Millisecond
+		evs = append(evs, e.At(at, func() { got = append(got, i) }))
+	}
+	var want []int
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			e.Cancel(evs[i])
+			continue
+		}
+		want = append(want, i)
+	}
+	sort.Slice(want, func(a, b int) bool {
+		wa, wb := want[a], want[b]
+		aa, ab := Duration((wa*37)%n), Duration((wb*37)%n)
+		if aa != ab {
+			return aa < ab
+		}
+		return wa < wb
+	})
+	e.Run()
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("order diverged at %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
 func TestEngineRunUntilSkipsCancelledHead(t *testing.T) {
 	// A cancelled event at the head of the queue must not let RunUntil
 	// fire a later event beyond its horizon.
