@@ -15,9 +15,9 @@ SHELL := /bin/bash
 
 GO ?= go
 # The perf record this branch writes; bump per PR to grow the trajectory.
-BENCH_OUT ?= BENCH_pr7.json
+BENCH_OUT ?= BENCH_pr8.json
 # The committed baseline the bench gate compares against.
-BENCH_BASE ?= BENCH_pr6.json
+BENCH_BASE ?= BENCH_pr7.json
 # Allowed fractional ns/op regression before the gate fails.
 BENCH_TOLERANCE ?= 0.25
 FUZZTIME ?= 10s
@@ -45,10 +45,11 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # deprecations fails when new code calls the shimmed positional
-# constructors (core.NewBoard / core.NewBoardOnEngine / cluster.New) or
-# assigns the single-func Activation().Trace hook; use the
-# functional-options constructors (core.New, core.NewOnEngine,
-# cluster.NewCluster) and the Subscribe fan-out instead. The
+# constructors (core.NewBoard / core.NewBoardOnEngine / cluster.New),
+# assigns the single-func Activation().Trace hook, or reclaims via the
+# two-tier-era Jitsu.Stop/StopWith verbs; use the functional-options
+# constructors (core.New, core.NewOnEngine, cluster.NewCluster), the
+# Subscribe fan-out, and the tiered Demote/Evict verbs instead. The
 # deprecated_test.go files pin the shims and are the only sanctioned
 # callers.
 deprecations:
@@ -61,6 +62,10 @@ deprecations:
 		--include='*.go' --exclude='deprecated_test.go' \
 		cmd examples internal *.go || true); \
 	if [ -n "$$out" ]; then echo "deprecated Activation().Trace assignments (use Activation().Subscribe):"; echo "$$out"; exit 1; fi
+	@out=$$(grep -rnE '\bJitsu\.Stop(With)?\(|\.Jitsu\.Stop(With)?\(' \
+		--include='*.go' --exclude='deprecated_test.go' \
+		cmd examples internal *.go || true); \
+	if [ -n "$$out" ]; then echo "deprecated Jitsu.Stop/StopWith reclaim calls (use Demote with an Evict fallback, or Evict):"; echo "$$out"; exit 1; fi
 
 # staticcheck runs the pinned honnef.co analyzer over every package;
 # `go run` resolves the exact version, so CI (module-cached) and local

@@ -140,6 +140,21 @@ func BenchmarkScalingClusterVsFleet(b *testing.B) {
 	}
 }
 
+// BenchmarkDensityRestore runs the disk-checkpoint-tier density
+// experiment and reports the three activation legs' p95 — the
+// disk-restore leg must price between the warm restore and the cold
+// boot — plus the density gain over the warm-only baseline.
+func BenchmarkDensityRestore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Density(48, 128, 20)
+		if i == 0 {
+			b.ReportMetric(float64(r.Series["density.warm_restore"].Percentile(0.95))/1e6, "warm-p95-ms")
+			b.ReportMetric(float64(r.Series["density.disk_restore"].Percentile(0.95))/1e6, "disk-p95-ms")
+			b.ReportMetric(float64(r.Series["density.boot"].Percentile(0.95))/1e6, "boot-p95-ms")
+		}
+	}
+}
+
 // BenchmarkChurnMigration runs the dynamic-membership churn experiment
 // and reports both departure policies' post-leave p95
 // time-to-first-response: live migration vs preempt-and-reboot.

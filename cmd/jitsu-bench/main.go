@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	jitsu-bench [-run all|fig3|fig4|fig8|fig9a|fig9b|table1|table2|throughput|headline|scaling|churn|prewarm|federation|hostile|ablations] [-quick] [-boards 1,2,4,8] [-fingerprint]
+//	jitsu-bench [-run all|fig3|fig4|fig8|fig9a|fig9b|table1|table2|throughput|headline|scaling|churn|prewarm|federation|hostile|density|ablations] [-quick] [-boards 1,2,4,8] [-fingerprint]
 package main
 
 import (
@@ -42,6 +42,7 @@ func main() {
 	prewarmVisits := 40
 	hostileFlash := 60
 	hostileSwim := 60 * time.Second
+	densityServices, densityMemMiB, densitySamples := 128, 256, 40
 	if *quick {
 		trials = 30
 		fig3N = []int{1, 10, 25, 50}
@@ -50,6 +51,7 @@ func main() {
 		prewarmVisits = 24
 		hostileFlash = 30
 		hostileSwim = 30 * time.Second
+		densityServices, densityMemMiB, densitySamples = 48, 128, 20
 	}
 	boardsSet := *boards != ""
 	if !boardsSet {
@@ -112,6 +114,8 @@ func main() {
 		results = append(results, experiments.Federation(federationHorizon))
 	case "hostile":
 		results = append(results, experiments.Hostile(hostileFlash, hostileSwim))
+	case "density":
+		results = append(results, experiments.Density(densityServices, densityMemMiB, densitySamples))
 	case "ablations":
 		results = append(results,
 			experiments.AblationMergeStrategies(30),

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"jitsu/internal/api"
+	"jitsu/internal/blockdev"
 	"jitsu/internal/cluster"
 	"jitsu/internal/core"
 	"jitsu/internal/dns"
@@ -70,6 +71,7 @@ func main() {
 	boards := flag.Int("boards", 1, "boards in the deployment (>1 runs the cluster control plane)")
 	policy := flag.String("policy", "least-loaded", "placement policy: first-fit|round-robin|least-loaded|power-aware")
 	minWarm := flag.Int("min-warm", 0, "warm-pool floor per service (cluster mode)")
+	disk := flag.Bool("disk", false, "enable the per-board disk checkpoint tier: idle services demote to disk and page back in on demand")
 	churn := flag.Bool("churn", false, "cluster mode: run a default join/leave schedule under active gossip probing")
 	joinAt := flag.Duration("join", 0, "cluster mode: a new board joins at this virtual time (0 = never)")
 	leaveAt := flag.Duration("leave", 0, "cluster mode: the highest board leaves gracefully at this virtual time (0 = never)")
@@ -134,7 +136,7 @@ func main() {
 		if idleSet {
 			fmt.Fprintln(os.Stderr, "jitsud: -idle is ignored in cluster mode (the warm-pool manager owns replica lifecycle)")
 		}
-		runCluster(*boards, *services, *requests, *seed, *policy, *minWarm, !*noSyn, *joinAt, *leaveAt, hostile, *traceOut, *statsEvery)
+		runCluster(*boards, *services, *requests, *seed, *policy, *minWarm, !*noSyn, *disk, *joinAt, *leaveAt, hostile, *traceOut, *statsEvery)
 		return
 	}
 	if *joinAt > 0 || *leaveAt > 0 {
@@ -143,7 +145,11 @@ func main() {
 	}
 
 	tracer := newTracer(*traceOut)
-	b := core.New(core.WithSeed(*seed), core.WithSynjitsu(!*noSyn), core.WithTracer(tracer, 0))
+	opts := []core.Option{core.WithSeed(*seed), core.WithSynjitsu(!*noSyn), core.WithTracer(tracer, 0)}
+	if *disk {
+		opts = append(opts, core.WithDisk(blockdev.DefaultConfig()))
+	}
+	b := core.New(opts...)
 	ctl := api.ForBoard(b)
 	stopStats := streamStats(ctl, *statsEvery, b.Eng.Now)
 
@@ -169,7 +175,7 @@ func main() {
 	fmt.Printf("%-12s %-22s %-8s %-12s %s\n", "time", "request", "status", "latency", "note")
 
 	lat := &metrics.Series{Name: "request latency"}
-	cold, warm := 0, 0
+	cold, warm, diskRestores := 0, 0, 0
 	var issue func(i int)
 	issue = func(i int) {
 		if i >= *requests {
@@ -178,14 +184,27 @@ func main() {
 		}
 		name := names[i%*services] + "." + b.Cfg.Zone
 		svc, _ := b.Jitsu.Service(name)
-		wasStopped := svc.State == core.StateStopped
+		prior := svc.State
+		if *disk && prior == core.StateColdDisk && i%8 == 7 {
+			// Page the service in via the explicit Promote verb before
+			// fetching: the activation then joins the in-flight disk
+			// restore instead of starting its own.
+			if resp := ctl.Promote(api.PromoteRequest{Name: name}); resp.Err == nil {
+				fmt.Printf("%-12v %-22s %-8s %-12s %s\n",
+					b.Eng.Now().Round(time.Millisecond), name, "-", "-", "promote: paging in from disk")
+			}
+		}
 		b.FetchViaDNS(client, name, "/", 30*time.Second,
 			func(resp *netstack.HTTPResponse, d sim.Duration, err error) {
 				note := "warm"
-				if wasStopped {
+				switch {
+				case prior == core.StateColdDisk:
+					note = "DISK RESTORE"
+					diskRestores++
+				case prior.NeedsLaunch():
 					note = "COLD START"
 					cold++
-				} else {
+				default:
 					warm++
 				}
 				status := "ERR"
@@ -199,6 +218,16 @@ func main() {
 				gap := 2 * time.Second
 				if i%4 == 3 && *idle > 0 {
 					gap = *idle + 5*time.Second
+					if *disk {
+						// Park the just-served service on disk via the
+						// explicit Demote verb instead of letting the
+						// idle reaper evict it: the next visit pages it
+						// back in at disk-restore cost, not a full boot.
+						if resp := ctl.Demote(api.DemoteRequest{Name: name}); resp.Err == nil {
+							fmt.Printf("%-12v %-22s %-8s %-12s %s\n",
+								b.Eng.Now().Round(time.Millisecond), name, "-", "-", "demote: checkpointing to disk")
+						}
+					}
 				}
 				b.Eng.After(gap, func() { issue(i + 1) })
 			})
@@ -208,7 +237,7 @@ func main() {
 	dumpTrace(*traceOut, tracer)
 
 	fmt.Printf("\n%s\n", lat.Summary())
-	fmt.Printf("cold starts: %d, warm hits: %d\n", cold, warm)
+	fmt.Printf("cold starts: %d, warm hits: %d, disk restores: %d\n", cold, warm, diskRestores)
 	fmt.Printf("domains now: %d (incl. dom0), free memory: %d MiB\n", b.Hyp.Domains(), b.Hyp.FreeMemMiB())
 	if b.Syn != nil {
 		fmt.Printf("synjitsu: %d connections proxied, %d handed off, %d SYN-triggered launches\n",
@@ -360,17 +389,23 @@ func streamStats(ctl api.ControlPlane, every time.Duration, now func() sim.Durat
 
 // runCluster is the multi-board mode: the same request trace, but
 // placed by the control plane instead of answered by one board.
-func runCluster(boards, services, requests int, seed int64, policyName string, minWarm int, synjitsu bool, joinAt, leaveAt time.Duration, hostile hostileFlags, traceOut string, statsEvery time.Duration) {
+func runCluster(boards, services, requests int, seed int64, policyName string, minWarm int, synjitsu, disk bool, joinAt, leaveAt time.Duration, hostile hostileFlags, traceOut string, statsEvery time.Duration) {
 	pol := cluster.PolicyByName(policyName)
 	if pol == nil {
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", policyName)
 		os.Exit(2)
 	}
 	tracer := newTracer(traceOut)
+	boardOpts := []core.Option{core.WithSynjitsu(synjitsu)}
+	if disk {
+		// With a disk tier, the pool manager and preemptor demote cold
+		// replicas to disk instead of destroying them.
+		boardOpts = append(boardOpts, core.WithDisk(blockdev.DefaultConfig()))
+	}
 	copts := []cluster.Option{
 		cluster.WithBoards(boards),
 		cluster.WithSeed(seed),
-		cluster.WithBoardOptions(core.WithSynjitsu(synjitsu)),
+		cluster.WithBoardOptions(boardOpts...),
 		cluster.WithPolicy(pol),
 		cluster.WithTracer(tracer, 0),
 	}
@@ -477,8 +512,8 @@ func runCluster(boards, services, requests int, seed int64, policyName string, m
 	dumpTrace(traceOut, tracer)
 
 	fmt.Printf("\n%s\n", lat.Summary())
-	fmt.Printf("placed: %d, warm hits: %d, refused: %d, preempts: %d, prewarms: %d, reclaims: %d\n",
-		c.Placed, c.WarmHits, c.ServFails, c.Preempts, c.Pools.Prewarms, c.Pools.Reclaims)
+	fmt.Printf("placed: %d, warm hits: %d, refused: %d, preempts: %d, prewarms: %d, reclaims: %d, demotions: %d\n",
+		c.Placed, c.WarmHits, c.ServFails, c.Preempts, c.Pools.Prewarms, c.Pools.Reclaims, c.Demotions+c.Pools.Demotions)
 	if hostile.active() {
 		stats := cl.Host(0).NIC.Link().Stats
 		fmt.Printf("edge link: %d frames delivered, %d dropped; dns retries: %d\n",

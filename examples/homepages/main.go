@@ -93,7 +93,7 @@ func main() {
 func resident(b *core.Board) int {
 	n := 0
 	for _, svc := range b.Jitsu.Services() {
-		if svc.State == core.StateReady {
+		if svc.State.Booted() {
 			n++
 		}
 	}

@@ -1,6 +1,7 @@
 // Package api is the typed control-plane surface over the Jitsu
 // directory: Register / Activate / Checkpoint / Restore / Migrate /
-// Stop / Stats requests with structured error codes. cmd/jitsud and the
+// Demote / Promote / Stop / Stats requests with structured error codes.
+// cmd/jitsud and the
 // cluster's management paths speak these types instead of ad-hoc method
 // calls, so a single-board deployment and a whole cluster present the
 // same verbs — a cluster is just a ControlPlane whose Migrate does
@@ -135,7 +136,7 @@ type ActivateRequest struct {
 type ActivateResponse struct {
 	IP    netstack.IP
 	Board int
-	State string
+	State core.ServiceState
 	Err   *Error
 }
 
@@ -162,7 +163,12 @@ type RestoreRequest struct {
 	// Board selects the restore target with OnBoard(id); a cluster
 	// refuses AnyBoard (the receiving half of a migration must name its
 	// destination), a single board ignores the field.
-	Board   BoardSel
+	Board BoardSel
+	// ToDisk parks the checkpoint on the target board's block device
+	// (cold-on-disk) instead of booting it — the handoff path that moves
+	// a demoted replica without paging it in. Requires the target to
+	// have a disk.
+	ToDisk  bool
 	OnReady func(error)
 }
 
@@ -205,8 +211,11 @@ type TransferRequest struct {
 	// Checkpoint is the warm state to restore; nil adopts cold (the
 	// service boots on demand at its new home).
 	Checkpoint *core.Checkpoint
+	// ToDisk parks the checkpoint on the receiver's disk tier instead of
+	// booting it; receivers without a disk fall back to a warm restore.
+	ToDisk bool
 	// OnReady (may be nil) fires when the restored replica serves (or
-	// immediately, for a cold adoption).
+	// immediately, for a cold or to-disk adoption).
 	OnReady func(error)
 }
 
@@ -217,31 +226,72 @@ type TransferResponse struct {
 	Err   *Error
 }
 
-// StopRequest tears a ready service's VM down (every ready replica, on
-// a cluster).
+// StopRequest evicts a service: every booted replica's VM is destroyed
+// and every disk-resident checkpoint is dropped (all replicas, on a
+// cluster). Prefer Demote when the state should survive on disk.
 type StopRequest struct {
 	Name string
 }
 
-// StopResponse reports how many VMs were stopped.
+// StopResponse reports how many replicas were evicted.
 type StopResponse struct {
 	Stopped int
 	Err     *Error
 }
 
+// DemoteRequest parks a booted replica's state on its board's block
+// device and destroys the VM: warm-in-memory → cold-on-disk. The freed
+// memory raises the board's density ceiling; a later activation
+// restores from disk at a fraction of the full boot cost.
+type DemoteRequest struct {
+	Name string
+	// Board restricts the demotion to one board's replica (AnyBoard =
+	// every booted replica; ignored by single-board backends).
+	Board BoardSel
+}
+
+// DemoteResponse reports how many replicas were demoted.
+type DemoteResponse struct {
+	Demoted int
+	Err     *Error
+}
+
+// PromoteRequest pages a disk-resident replica back into memory:
+// cold-on-disk → warm-in-memory. CodeConflict when the replica is not
+// on disk, CodeNoMemory when the image no longer fits in RAM.
+type PromoteRequest struct {
+	Name string
+	// Board restricts the promotion to one board's replica (AnyBoard =
+	// the first disk-resident replica in board order).
+	Board BoardSel
+	// OnReady (may be nil) fires when the restored unikernel serves.
+	OnReady func(error)
+}
+
+// PromoteResponse reports where the promotion started; readiness
+// arrives via OnReady.
+type PromoteResponse struct {
+	Board int
+	Err   *Error
+}
+
 // StatsRequest snapshots the deployment's counters.
 type StatsRequest struct{}
 
-// ServiceStats is one service's aggregated lifecycle counters.
+// ServiceStats is one service's aggregated lifecycle counters. State is
+// the typed lifecycle tier (for a cluster: the most-alive tier any
+// replica occupies).
 type ServiceStats struct {
-	Name       string
-	State      string
-	Launches   uint64
-	ColdStarts uint64
-	Handoffs   uint64
-	ServFails  uint64
-	Reaps      uint64
-	Restores   uint64
+	Name         string
+	State        core.ServiceState
+	Launches     uint64
+	ColdStarts   uint64
+	Handoffs     uint64
+	ServFails    uint64
+	Reaps        uint64
+	Restores     uint64
+	DiskRestores uint64
+	Demotions    uint64
 }
 
 // TriggerStats counts firings per activation frontend.
@@ -314,6 +364,8 @@ type ControlPlane interface {
 	Restore(RestoreRequest) RestoreResponse
 	Migrate(MigrateRequest) MigrateResponse
 	Transfer(TransferRequest) TransferResponse
+	Demote(DemoteRequest) DemoteResponse
+	Promote(PromoteRequest) PromoteResponse
 	Stop(StopRequest) StopResponse
 	Stats(StatsRequest) StatsResponse
 	// WatchStats streams periodic Stats snapshots on the deployment's

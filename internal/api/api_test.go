@@ -93,7 +93,7 @@ func TestBoardActivateCheckpointRestoreStopStats(t *testing.T) {
 		t.Fatalf("stats services = %d", len(stats.Services))
 	}
 	s := stats.Services[0]
-	if s.Name != "alice.family.name" || s.State != "ready" || s.Launches != 2 || s.Restores != 1 {
+	if s.Name != "alice.family.name" || s.State != core.StateWarmMemory || s.Launches != 2 || s.Restores != 1 {
 		t.Fatalf("stats = %+v", s)
 	}
 	// The control-plane firings show up under the control trigger.
@@ -137,8 +137,8 @@ func TestBoardSpeculativeActivateSkipsColdStartAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if svc.State != core.StateReady || svc.Launches != 1 || svc.ColdStarts != 0 {
-		t.Fatalf("state=%v launches=%d coldstarts=%d, want ready/1/0", svc.State, svc.Launches, svc.ColdStarts)
+	if svc.State != core.StateWarmMemory || svc.Launches != 1 || svc.ColdStarts != 0 {
+		t.Fatalf("state=%v launches=%d coldstarts=%d, want warm-memory/1/0", svc.State, svc.Launches, svc.ColdStarts)
 	}
 }
 

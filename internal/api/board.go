@@ -38,7 +38,7 @@ func (p *boardPlane) Activate(req ActivateRequest) ActivateResponse {
 	if err := p.b.Jitsu.Activate(svc, !req.Speculative, req.OnReady); err != nil {
 		return ActivateResponse{Err: activateError(err, req.Name)}
 	}
-	return ActivateResponse{IP: svc.Cfg.IP, State: svc.State.String()}
+	return ActivateResponse{IP: svc.Cfg.IP, State: svc.State}
 }
 
 func activateError(err error, name string) *Error {
@@ -59,7 +59,7 @@ func (p *boardPlane) Checkpoint(req CheckpointRequest) CheckpointResponse {
 	}
 	cp, ok := p.b.Jitsu.Checkpoint(svc)
 	if !ok {
-		return CheckpointResponse{Err: Errf("checkpoint", CodeConflict, "%s is not ready", req.Name)}
+		return CheckpointResponse{Err: Errf("checkpoint", CodeConflict, "%s has no state to capture (state %v)", req.Name, svc.State)}
 	}
 	return CheckpointResponse{Checkpoint: cp}
 }
@@ -71,6 +71,23 @@ func (p *boardPlane) Restore(req RestoreRequest) RestoreResponse {
 	svc, err := p.b.Jitsu.Service(req.Name)
 	if err != nil {
 		return RestoreResponse{Err: Errf("restore", CodeNotFound, "%s", req.Name)}
+	}
+	if req.ToDisk {
+		switch err := p.b.Jitsu.AdoptCheckpoint(svc, req.Checkpoint); {
+		case err == nil:
+			if req.OnReady != nil {
+				req.OnReady(nil)
+			}
+			return RestoreResponse{}
+		case errors.Is(err, core.ErrNoDisk):
+			return RestoreResponse{Err: Errf("restore", CodeUnavailable, "%s: board has no disk", req.Name)}
+		case errors.Is(err, core.ErrDiskFull):
+			return RestoreResponse{Err: Errf("restore", CodeNoMemory, "%s: checkpoint store full", req.Name)}
+		case errors.Is(err, core.ErrNoSuchService):
+			return RestoreResponse{Err: Errf("restore", CodeNotFound, "%s retired", req.Name)}
+		default:
+			return RestoreResponse{Err: Errf("restore", CodeConflict, "%s: %v", req.Name, err)}
+		}
 	}
 	switch err := p.b.Jitsu.Restore(svc, req.Checkpoint, req.OnReady); {
 	case err == nil:
@@ -104,6 +121,16 @@ func (p *boardPlane) Transfer(req TransferRequest) TransferResponse {
 		}
 		return TransferResponse{Board: -1}
 	}
+	if req.ToDisk {
+		// Land the checkpoint on the disk tier without paging it in; a
+		// diskless or full receiver falls through to the warm restore.
+		if err := p.b.Jitsu.AdoptCheckpoint(svc, req.Checkpoint); err == nil {
+			if req.OnReady != nil {
+				req.OnReady(nil)
+			}
+			return TransferResponse{Board: 0}
+		}
+	}
 	if err := p.b.Jitsu.Restore(svc, req.Checkpoint, req.OnReady); err != nil {
 		p.b.Jitsu.Deregister(svc)
 		if errors.Is(err, core.ErrNoMemory) {
@@ -114,12 +141,48 @@ func (p *boardPlane) Transfer(req TransferRequest) TransferResponse {
 	return TransferResponse{Board: 0}
 }
 
+func (p *boardPlane) Demote(req DemoteRequest) DemoteResponse {
+	svc, err := p.b.Jitsu.Service(req.Name)
+	if err != nil {
+		return DemoteResponse{Err: Errf("demote", CodeNotFound, "%s", req.Name)}
+	}
+	switch err := p.b.Jitsu.Demote(svc); {
+	case err == nil:
+		return DemoteResponse{Demoted: 1}
+	case errors.Is(err, core.ErrNoDisk):
+		return DemoteResponse{Err: Errf("demote", CodeUnavailable, "%s: board has no disk", req.Name)}
+	case errors.Is(err, core.ErrDiskFull):
+		return DemoteResponse{Err: Errf("demote", CodeNoMemory, "%s: checkpoint store full", req.Name)}
+	case errors.Is(err, core.ErrNoSuchService):
+		return DemoteResponse{Err: Errf("demote", CodeNotFound, "%s retired", req.Name)}
+	default:
+		return DemoteResponse{Err: Errf("demote", CodeConflict, "%s: %v", req.Name, err)}
+	}
+}
+
+func (p *boardPlane) Promote(req PromoteRequest) PromoteResponse {
+	svc, err := p.b.Jitsu.Service(req.Name)
+	if err != nil {
+		return PromoteResponse{Board: -1, Err: Errf("promote", CodeNotFound, "%s", req.Name)}
+	}
+	switch err := p.b.Jitsu.Promote(svc, req.OnReady); {
+	case err == nil:
+		return PromoteResponse{Board: 0}
+	case errors.Is(err, core.ErrNoMemory):
+		return PromoteResponse{Board: -1, Err: Errf("promote", CodeNoMemory, "%s: image does not fit", req.Name)}
+	case errors.Is(err, core.ErrNoSuchService):
+		return PromoteResponse{Board: -1, Err: Errf("promote", CodeNotFound, "%s retired", req.Name)}
+	default:
+		return PromoteResponse{Board: -1, Err: Errf("promote", CodeConflict, "%s: %v", req.Name, err)}
+	}
+}
+
 func (p *boardPlane) Stop(req StopRequest) StopResponse {
 	svc, err := p.b.Jitsu.Service(req.Name)
 	if err != nil {
 		return StopResponse{Err: Errf("stop", CodeNotFound, "%s", req.Name)}
 	}
-	if p.b.Jitsu.Stop(svc) {
+	if p.b.Jitsu.Evict(svc) {
 		return StopResponse{Stopped: 1}
 	}
 	return StopResponse{}
@@ -136,10 +199,11 @@ func (p *boardPlane) Stats(StatsRequest) StatsResponse {
 	for _, name := range names {
 		svc := svcs[name]
 		resp.Services = append(resp.Services, ServiceStats{
-			Name: name, State: svc.State.String(),
+			Name: name, State: svc.State,
 			Launches: svc.Launches, ColdStarts: svc.ColdStarts,
 			Handoffs: svc.Handoffs, ServFails: svc.ServFails,
 			Reaps: svc.Reaps, Restores: svc.Restores,
+			DiskRestores: svc.DiskRestores, Demotions: svc.Demotions,
 		})
 	}
 	resp.Triggers = TriggerStatsFromFired(p.b.Jitsu.Activation().Fired())

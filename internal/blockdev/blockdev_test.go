@@ -1,0 +1,99 @@
+package blockdev
+
+import (
+	"testing"
+	"time"
+
+	"jitsu/internal/sim"
+)
+
+func testDev(t *testing.T, slots int) (*sim.Engine, *Device) {
+	t.Helper()
+	eng := sim.New(1)
+	d := New(eng, Config{SlotMiB: 4, Slots: slots, SeekTime: 5 * time.Millisecond, BytesPerSec: 40e6})
+	if d == nil {
+		t.Fatal("New returned nil for a valid config")
+	}
+	return eng, d
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	_, d := testDev(t, 8)
+	slots, ok := d.Alloc(10) // 10 MiB -> 3 slots of 4 MiB
+	if !ok || len(slots) != 3 {
+		t.Fatalf("Alloc(10) = %v, %v; want 3 slots", slots, ok)
+	}
+	if d.SlotsUsed() != 3 {
+		t.Fatalf("SlotsUsed = %d, want 3", d.SlotsUsed())
+	}
+	d.Free(slots)
+	if d.SlotsUsed() != 0 {
+		t.Fatalf("SlotsUsed after Free = %d, want 0", d.SlotsUsed())
+	}
+}
+
+func TestAllocFailsWhenFullAndClaimsNothing(t *testing.T) {
+	_, d := testDev(t, 2)
+	if _, ok := d.Alloc(8); !ok {
+		t.Fatal("first Alloc(8) should fill the device")
+	}
+	if _, ok := d.Alloc(1); ok {
+		t.Fatal("Alloc on a full device must fail")
+	}
+	if d.SlotsUsed() != 2 {
+		t.Fatalf("failed Alloc leaked slots: used=%d", d.SlotsUsed())
+	}
+}
+
+func TestTransferLatencyModel(t *testing.T) {
+	eng, d := testDev(t, 8)
+	// 4 MiB at 40 MB/s = 4*2^20/40e6 s ≈ 104.9ms, plus 5ms seek.
+	var doneAt sim.Duration
+	d.Write(4, func() { doneAt = eng.Now() })
+	eng.Run()
+	want := 5*time.Millisecond + sim.Duration(float64(4<<20)/40e6*float64(time.Second))
+	if doneAt != want {
+		t.Fatalf("write completed at %v, want %v", doneAt, want)
+	}
+	if d.Writes != 1 || d.BytesWritten != 4<<20 {
+		t.Fatalf("write accounting: %d writes, %d bytes", d.Writes, d.BytesWritten)
+	}
+}
+
+// TestFIFOSerialization pins the consistency model: a read issued while
+// a write is still streaming completes strictly after it, so a promote
+// racing its own demotion's write can never observe a torn checkpoint.
+func TestFIFOSerialization(t *testing.T) {
+	eng, d := testDev(t, 8)
+	var order []string
+	d.Write(4, func() { order = append(order, "write") })
+	d.Read(4, func() { order = append(order, "read") })
+	eng.Run()
+	if len(order) != 2 || order[0] != "write" || order[1] != "read" {
+		t.Fatalf("order = %v, want [write read]", order)
+	}
+	if d.QueueHighWater <= 0 {
+		t.Fatal("queued read recorded no wait")
+	}
+}
+
+func TestNilForZeroConfig(t *testing.T) {
+	if d := New(sim.New(1), Config{}); d != nil {
+		t.Fatal("zero config must build no device")
+	}
+}
+
+func TestDeterministicSlotOrder(t *testing.T) {
+	_, a := testDev(t, 8)
+	_, b := testDev(t, 8)
+	sa, _ := a.Alloc(8)
+	sb, _ := b.Alloc(8)
+	if len(sa) != len(sb) {
+		t.Fatalf("alloc sizes diverge: %v vs %v", sa, sb)
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("slot order diverges: %v vs %v", sa, sb)
+		}
+	}
+}

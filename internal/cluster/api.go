@@ -56,7 +56,8 @@ func (p *clusterPlane) Activate(req api.ActivateRequest) api.ActivateResponse {
 		// A prewarm: boot a stopped replica where the policy likes,
 		// without client-driven accounting.
 		idx := e.Policy.Pick(p.c.views(e, func(i int) bool {
-			return e.Replicas[i].Svc.State != core.StateStopped
+			st := e.Replicas[i].Svc.State
+			return st.Booted() || st == core.StateLaunching
 		}))
 		if idx < 0 {
 			if ready := e.ready(); len(ready) > 0 {
@@ -66,7 +67,7 @@ func (p *clusterPlane) Activate(req api.ActivateRequest) api.ActivateResponse {
 				if req.OnReady != nil {
 					req.OnReady(nil)
 				}
-				return api.ActivateResponse{IP: pl.Svc.Cfg.IP, Board: pl.Board, State: pl.Svc.State.String()}
+				return api.ActivateResponse{IP: pl.Svc.Cfg.IP, Board: pl.Board, State: pl.Svc.State}
 			}
 			return api.ActivateResponse{Err: api.Errf("activate", api.CodeNoMemory, "%s: no board can prewarm", req.Name)}
 		}
@@ -75,7 +76,7 @@ func (p *clusterPlane) Activate(req api.ActivateRequest) api.ActivateResponse {
 			core.Summon{Via: core.TriggerControl, OnReady: req.OnReady}).Served() {
 			return api.ActivateResponse{Err: api.Errf("activate", api.CodeNoMemory, "%s: prewarm refused", req.Name)}
 		}
-		return api.ActivateResponse{IP: pl.Svc.Cfg.IP, Board: idx, State: pl.Svc.State.String()}
+		return api.ActivateResponse{IP: pl.Svc.Cfg.IP, Board: idx, State: pl.Svc.State}
 	}
 	// Client-driven: exactly the scheduler path a DNS arrival takes,
 	// minus the wire — the arrival feeds the rate estimator and the
@@ -84,7 +85,7 @@ func (p *clusterPlane) Activate(req api.ActivateRequest) api.ActivateResponse {
 	if pl == nil {
 		return api.ActivateResponse{Err: api.Errf("activate", api.CodeNoMemory, "%s: no board can take it", req.Name)}
 	}
-	return api.ActivateResponse{IP: pl.Svc.Cfg.IP, Board: pl.Board, State: pl.Svc.State.String()}
+	return api.ActivateResponse{IP: pl.Svc.Cfg.IP, Board: pl.Board, State: pl.Svc.State}
 }
 
 func (p *clusterPlane) Checkpoint(req api.CheckpointRequest) api.CheckpointResponse {
@@ -92,9 +93,14 @@ func (p *clusterPlane) Checkpoint(req api.CheckpointRequest) api.CheckpointRespo
 	if e == nil {
 		return api.CheckpointResponse{Err: api.Errf("checkpoint", api.CodeNotFound, "%s", req.Name)}
 	}
+	// A booted replica captures live state; failing that, a disk-resident
+	// one hands back its stored checkpoint without paging in.
 	pl := p.c.readyReplica(e, req.Board)
 	if pl == nil {
-		return api.CheckpointResponse{Err: api.Errf("checkpoint", api.CodeConflict, "%s has no ready replica", req.Name)}
+		pl = p.c.diskReplica(e, req.Board)
+	}
+	if pl == nil {
+		return api.CheckpointResponse{Err: api.Errf("checkpoint", api.CodeConflict, "%s has no replica with state", req.Name)}
 	}
 	resp := p.c.boardAPI(pl.Board).Checkpoint(api.CheckpointRequest{Name: req.Name})
 	resp.Board = pl.Board
@@ -139,7 +145,7 @@ func (p *clusterPlane) Migrate(req api.MigrateRequest) api.MigrateResponse {
 			return api.MigrateResponse{Err: api.Errf("migrate", api.CodeBadRequest, "destination board %d unusable", to)}
 		}
 		dst := replicaOn(e, to)
-		if dst == nil || dst.reserved || dst.Svc.State != core.StateStopped {
+		if dst == nil || dst.reserved || dst.Svc.State != core.StateCold {
 			return api.MigrateResponse{Err: api.Errf("migrate", api.CodeConflict, "destination slot on board %d busy", to)}
 		}
 	}
@@ -189,8 +195,16 @@ func (p *clusterPlane) Transfer(req api.TransferRequest) api.TransferResponse {
 		return api.TransferResponse{Board: -1, Err: api.Errf("transfer", api.CodeNoMemory, "%s: no board can restore it", req.Config.Name)}
 	}
 	resp := p.c.boardAPI(idx).Restore(api.RestoreRequest{
-		Name: e.Name, Checkpoint: req.Checkpoint, Board: api.OnBoard(idx), OnReady: req.OnReady,
+		Name: e.Name, Checkpoint: req.Checkpoint, Board: api.OnBoard(idx),
+		ToDisk: req.ToDisk, OnReady: req.OnReady,
 	})
+	if resp.Err != nil && req.ToDisk {
+		// The picked board can't park it on disk (diskless, or its store
+		// is full); adopt it warm instead of bouncing the transfer.
+		resp = p.c.boardAPI(idx).Restore(api.RestoreRequest{
+			Name: e.Name, Checkpoint: req.Checkpoint, Board: api.OnBoard(idx), OnReady: req.OnReady,
+		})
+	}
 	if resp.Err != nil {
 		p.c.Unregister(e.Name)
 		return api.TransferResponse{Board: -1, Err: resp.Err}
@@ -204,26 +218,86 @@ func (p *clusterPlane) Stop(req api.StopRequest) api.StopResponse {
 		return api.StopResponse{Err: api.Errf("stop", api.CodeNotFound, "%s", req.Name)}
 	}
 	stopped := 0
-	for _, pl := range e.ready() {
-		if p.c.Boards[pl.Board].Jitsu.Stop(pl.Svc) {
+	for _, pl := range append(e.ready(), e.onDisk()...) {
+		if p.c.Boards[pl.Board].Jitsu.Evict(pl.Svc) {
 			stopped++
 		}
 	}
 	return api.StopResponse{Stopped: stopped}
 }
 
+// Demote parks booted replicas of a service on their boards' disk tier:
+// every booted replica under AnyBoard, just one under a board selector.
+func (p *clusterPlane) Demote(req api.DemoteRequest) api.DemoteResponse {
+	e := p.c.dir.Lookup(req.Name)
+	if e == nil {
+		return api.DemoteResponse{Err: api.Errf("demote", api.CodeNotFound, "%s", req.Name)}
+	}
+	if board, ok := req.Board.ID(); ok {
+		if pl := p.c.readyReplica(e, req.Board); pl == nil || pl.migrating {
+			return api.DemoteResponse{Err: api.Errf("demote", api.CodeConflict, "%s has no booted replica on board %d", req.Name, board)}
+		}
+		return p.c.boardAPI(board).Demote(api.DemoteRequest{Name: req.Name})
+	}
+	demoted := 0
+	var firstErr *api.Error
+	for _, pl := range e.ready() {
+		if pl.migrating || pl.reserved {
+			continue
+		}
+		resp := p.c.boardAPI(pl.Board).Demote(api.DemoteRequest{Name: req.Name})
+		if resp.Err == nil {
+			demoted += resp.Demoted
+		} else if firstErr == nil {
+			firstErr = resp.Err
+		}
+	}
+	if demoted == 0 {
+		if firstErr != nil {
+			return api.DemoteResponse{Err: firstErr}
+		}
+		return api.DemoteResponse{Err: api.Errf("demote", api.CodeConflict, "%s has no booted replica", req.Name)}
+	}
+	return api.DemoteResponse{Demoted: demoted}
+}
+
+// Promote pages a disk-resident replica back into memory (warm, not
+// running — the next client activation flips it). AnyBoard takes the
+// first disk-resident replica in board order.
+func (p *clusterPlane) Promote(req api.PromoteRequest) api.PromoteResponse {
+	e := p.c.dir.Lookup(req.Name)
+	if e == nil {
+		return api.PromoteResponse{Board: -1, Err: api.Errf("promote", api.CodeNotFound, "%s", req.Name)}
+	}
+	pl := p.c.diskReplica(e, req.Board)
+	if pl == nil {
+		return api.PromoteResponse{Board: -1, Err: api.Errf("promote", api.CodeConflict, "%s has no disk-resident replica", req.Name)}
+	}
+	resp := p.c.boardAPI(pl.Board).Promote(api.PromoteRequest{Name: req.Name, OnReady: req.OnReady})
+	if resp.Err != nil {
+		return resp
+	}
+	resp.Board = pl.Board
+	return resp
+}
+
 func (p *clusterPlane) Stats(api.StatsRequest) api.StatsResponse {
 	var resp api.StatsResponse
 	for _, t := range p.c.ServiceTotals() {
-		state := core.StateStopped.String()
-		if t.Ready > 0 {
-			state = core.StateReady.String()
+		// The aggregate row reports the hottest tier any replica occupies.
+		state := core.StateCold
+		switch {
+		case t.Ready > 0:
+			state = core.StateRunning
+		case t.OnDisk > 0:
+			state = core.StateColdDisk
 		}
 		resp.Services = append(resp.Services, api.ServiceStats{
 			Name: t.Name, State: state,
 			Launches: t.Launches, ColdStarts: t.ColdStarts,
 			Handoffs: t.Handoffs, ServFails: t.ServFails,
 			Reaps: t.Reaps, Restores: t.Restores,
+			DiskRestores: t.DiskRestores, Demotions: t.Demotions,
 		})
 	}
 	fired := map[string]uint64{}
@@ -245,12 +319,12 @@ func (p *clusterPlane) WatchStats(req api.WatchStatsRequest) api.WatchStatsRespo
 	return api.StreamStats(p.c.eng, req, p.Stats)
 }
 
-// readyReplica finds e's ready replica per the selector (AnyBoard = the
-// first ready one in board order).
+// readyReplica finds e's booted replica per the selector (AnyBoard = the
+// first booted one in board order).
 func (c *Cluster) readyReplica(e *Entry, sel api.BoardSel) *Placement {
 	if board, ok := sel.ID(); ok {
 		pl := replicaOn(e, board)
-		if pl == nil || pl.draining || pl.Svc.State != core.StateReady {
+		if pl == nil || pl.draining || !pl.Svc.State.Booted() {
 			return nil
 		}
 		return pl
@@ -260,4 +334,20 @@ func (c *Cluster) readyReplica(e *Entry, sel api.BoardSel) *Placement {
 		return nil
 	}
 	return ready[0]
+}
+
+// diskReplica finds e's disk-resident replica per the selector (AnyBoard
+// = the first one in board order).
+func (c *Cluster) diskReplica(e *Entry, sel api.BoardSel) *Placement {
+	if board, ok := sel.ID(); ok {
+		pl := replicaOn(e, board)
+		if pl == nil || pl.draining || pl.Svc.State != core.StateColdDisk {
+			return nil
+		}
+		return pl
+	}
+	if disk := e.onDisk(); len(disk) > 0 {
+		return disk[0]
+	}
+	return nil
 }

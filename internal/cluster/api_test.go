@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"jitsu/internal/api"
+	"jitsu/internal/blockdev"
 	"jitsu/internal/core"
 )
 
@@ -107,7 +108,75 @@ func TestClusterAPISpeculativeActivatePrewarms(t *testing.T) {
 	if ready[0].Svc.ColdStarts != 0 {
 		t.Fatalf("speculative boot counted a cold start: %d", ready[0].Svc.ColdStarts)
 	}
-	if ready[0].Svc.State != core.StateReady {
+	if !ready[0].Svc.State.Booted() {
 		t.Fatalf("state = %v", ready[0].Svc.State)
+	}
+}
+
+func TestClusterAPIDemotePromoteRoundTrip(t *testing.T) {
+	c := NewCluster(WithBoards(2), WithBoardOptions(core.WithDisk(blockdev.DefaultConfig())))
+	ctl := c.API()
+	ctl.Register(api.RegisterRequest{Config: testService("alice", 20)})
+	ctl.Activate(api.ActivateRequest{Name: "alice.family.name"})
+	c.RunAll()
+	e := c.Directory().Lookup("alice.family.name")
+	board := e.ready()[0].Board
+
+	// Demote parks the replica on its board's disk tier.
+	if resp := ctl.Demote(api.DemoteRequest{Name: "alice.family.name"}); resp.Err != nil || resp.Demoted != 1 {
+		t.Fatalf("demote -> %+v", resp)
+	}
+	c.RunAll()
+	pl := e.Replicas[board]
+	if pl.Svc.State != core.StateColdDisk {
+		t.Fatalf("state after demote = %v, want cold-disk", pl.Svc.State)
+	}
+
+	// A second demote finds nothing booted.
+	if resp := ctl.Demote(api.DemoteRequest{Name: "alice.family.name"}); resp.Err == nil || resp.Err.Code != api.CodeConflict {
+		t.Fatalf("demote with nothing booted -> %+v, want conflict", resp.Err)
+	}
+
+	// Checkpoint on a disk-resident replica returns the stored
+	// checkpoint without paging anything in.
+	if resp := ctl.Checkpoint(api.CheckpointRequest{Name: "alice.family.name"}); resp.Err != nil {
+		t.Fatalf("checkpoint of disk replica -> %+v", resp.Err)
+	} else if resp.Checkpoint.StateMiB != e.Base.StateMiB {
+		t.Fatalf("checkpoint StateMiB = %d, want %d", resp.Checkpoint.StateMiB, e.Base.StateMiB)
+	}
+	if pl.Svc.State != core.StateColdDisk {
+		t.Fatalf("checkpoint paged the replica in: %v", pl.Svc.State)
+	}
+
+	// Promote pages it back to warm memory and names the board.
+	promoted := false
+	resp := ctl.Promote(api.PromoteRequest{Name: "alice.family.name",
+		OnReady: func(err error) {
+			if err != nil {
+				t.Errorf("promote ready: %v", err)
+			}
+			promoted = true
+		}})
+	if resp.Err != nil || resp.Board != board {
+		t.Fatalf("promote -> %+v, want board %d", resp, board)
+	}
+	c.RunAll()
+	if !promoted || pl.Svc.State != core.StateWarmMemory {
+		t.Fatalf("after promote: ready=%v state=%v, want warm-memory", promoted, pl.Svc.State)
+	}
+	if pl.Svc.DiskRestores != 1 {
+		t.Fatalf("disk restores = %d, want 1", pl.Svc.DiskRestores)
+	}
+
+	// Nothing left on disk: a second promote conflicts.
+	if resp := ctl.Promote(api.PromoteRequest{Name: "alice.family.name"}); resp.Err == nil || resp.Err.Code != api.CodeConflict || resp.Board != -1 {
+		t.Fatalf("promote with nothing on disk -> %+v, want conflict/-1", resp)
+	}
+
+	if resp := ctl.Demote(api.DemoteRequest{Name: "ghost.family.name"}); resp.Err == nil || resp.Err.Code != api.CodeNotFound {
+		t.Fatalf("demote unknown -> %+v, want not-found", resp.Err)
+	}
+	if resp := ctl.Promote(api.PromoteRequest{Name: "ghost.family.name"}); resp.Err == nil || resp.Err.Code != api.CodeNotFound {
+		t.Fatalf("promote unknown -> %+v, want not-found", resp.Err)
 	}
 }

@@ -185,6 +185,10 @@ type Cluster struct {
 	Migrations uint64
 	// Lost counts live replicas destroyed by departures (not migrated).
 	Lost uint64
+	// Demotions counts preemption victims parked on their board's disk
+	// tier instead of evicted (warm-pool demotions are counted by the
+	// pool manager).
+	Demotions uint64
 	// Chunks counts checkpoint chunk datagrams sent (including
 	// retransmits); ChunkRetx counts just the retransmits; XferAborts
 	// counts transfers abandoned after a chunk exhausted its retries.
@@ -315,6 +319,7 @@ func buildOn(eng *sim.Engine, cfg Config) *Cluster {
 	c.Reg.CounterFunc("sched.placed", func() uint64 { return c.Placed })
 	c.Reg.CounterFunc("sched.servfails", func() uint64 { return c.ServFails })
 	c.Reg.CounterFunc("sched.preempts", func() uint64 { return c.Preempts })
+	c.Reg.CounterFunc("sched.demotions", func() uint64 { return c.Demotions + c.Pools.Demotions })
 	c.Reg.CounterFunc("migrate.migrations", func() uint64 { return c.Migrations })
 	c.Reg.CounterFunc("migrate.lost", func() uint64 { return c.Lost })
 	c.Reg.CounterFunc("migrate.chunks", func() uint64 { return c.Chunks })
@@ -407,6 +412,9 @@ func (c *Cluster) register(sc core.ServiceConfig, opts ServiceOpts) *Entry {
 	name := dns.CanonicalName(sc.Name)
 	sc.Name = name
 	sc.IdleTimeout = 0
+	// Pin the effective checkpoint size in Base so migration planning and
+	// replica registration agree on it.
+	sc.StateMiB = sc.StateSizeMiB()
 	e := &Entry{
 		Name:    name,
 		Base:    sc,
@@ -562,13 +570,15 @@ func (c *Cluster) observe(e *Entry) {
 }
 
 // place picks the replica that answers this query:
-//  1. a ready replica (round-robin among them — a warm hit),
+//  1. a booted replica (round-robin among them — a warm hit),
 //  2. else a replica already booting (the DNS answer rides the same
 //     §3.3 race stock Jitsu does; Synjitsu absorbs the early SYNs),
-//  3. else a cold placement on the board the policy picks,
-//  4. else, if this service is markedly hotter than some ready replica,
-//     preempt that replica and boot in its place,
-//  5. else nil: the whole cluster is full — one SERVFAIL, no walking.
+//  3. else a disk-resident replica paged back in (a disk restore beats
+//     any full boot),
+//  4. else a cold placement on the board the policy picks,
+//  5. else, if this service is markedly hotter than some booted
+//     replica, preempt that replica and boot in its place,
+//  6. else nil: the whole cluster is full — one SERVFAIL, no walking.
 //
 // onReady (nil on the DNS path, which answers without waiting) is
 // delivered exactly once: immediately for a warm hit, at boot
@@ -577,6 +587,9 @@ func (c *Cluster) place(e *Entry, via string, onReady func(error)) (p *Placement
 	if ready := e.ready(); len(ready) > 0 {
 		e.rr++
 		p := ready[e.rr%len(ready)]
+		// The warm hit never fires the board's machine, so the touch —
+		// LRU recency plus the WarmMemory→Running promotion — is explicit.
+		c.Boards[p.Board].Jitsu.Touch(p.Svc)
 		if onReady != nil {
 			onReady(nil)
 		}
@@ -596,6 +609,18 @@ func (c *Cluster) place(e *Entry, via string, onReady func(error)) (p *Placement
 			}
 		}
 		return p, false
+	}
+	for i, dp := range e.Replicas {
+		if dp == nil || dp.gone || dp.reserved || dp.Svc.State != core.StateColdDisk ||
+			!c.members[i].Placeable() {
+			continue
+		}
+		if c.Boards[i].Hyp.FreeMemMiB() < e.Base.Image.MemMiB {
+			continue
+		}
+		if c.summon(dp, via, onReady) {
+			return dp, false
+		}
 	}
 	idx := e.Policy.Pick(c.views(e, nil))
 	if idx < 0 {
@@ -666,7 +691,7 @@ func (c *Cluster) preempt(e *Entry, via string, onReady func(error)) *Placement 
 		return nil
 	}
 	jit := c.Boards[victim.Board].Jitsu
-	if !jit.StopWith(victim.Svc, func() {
+	freed := func() {
 		rep.pending = false
 		// Deliver readiness to the preempt initiator plus anyone who
 		// joined while the boot was queued — including the failure: a
@@ -688,7 +713,18 @@ func (c *Cluster) preempt(e *Entry, via string, onReady func(error)) *Placement 
 		if !c.summon(rep, via, cb) && cb != nil {
 			cb(core.ErrNoMemory)
 		}
-	}) {
+	}
+	// Tiered reclaim: park the victim's state on its board's disk so a
+	// later activation restores it at disk cost; only a diskless board
+	// (or a full checkpoint store) pays the old full eviction.
+	switch err := jit.DemoteWith(victim.Svc, freed); err {
+	case nil:
+		c.Demotions++
+	case core.ErrNoDisk, core.ErrDiskFull:
+		if !jit.EvictWith(victim.Svc, freed) {
+			return nil
+		}
+	default:
 		return nil
 	}
 	rep.pending = true

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"jitsu/internal/api"
+	"jitsu/internal/blockdev"
 	"jitsu/internal/core"
 	"jitsu/internal/netstack"
 	"jitsu/internal/power"
@@ -202,7 +204,7 @@ func TestMinWarmPrebootsReplicas(t *testing.T) {
 	c.RunAll() // let the prewarm boots complete
 	ready := 0
 	for _, p := range e.Replicas {
-		if p.Svc.State == core.StateReady {
+		if p.Svc.State.Booted() {
 			ready++
 		}
 	}
@@ -259,7 +261,7 @@ func TestEWMATargetFollowsArrivalRate(t *testing.T) {
 	}
 	ready := 0
 	for _, p := range e.Replicas {
-		if p.Svc.State == core.StateReady {
+		if p.Svc.State.Booted() {
 			ready++
 		}
 	}
@@ -285,7 +287,7 @@ func TestQuietServiceIsReclaimed(t *testing.T) {
 	c.RunAll()
 
 	for _, p := range e.Replicas {
-		if p.Svc.State != core.StateStopped {
+		if p.Svc.State != core.StateCold {
 			t.Fatalf("alice replica on board %d still %v after reclaim", p.Board, p.Svc.State)
 		}
 	}
@@ -333,7 +335,7 @@ func TestReclaimSparesJustPlacedReplica(t *testing.T) {
 	if c.Pools.Reclaims != 1 {
 		t.Fatalf("reclaims = %d, want 1 (the spare replica)", c.Pools.Reclaims)
 	}
-	if e.Replicas[servedBy].Svc.State != core.StateReady {
+	if !e.Replicas[servedBy].Svc.State.Booted() {
 		t.Fatalf("serving replica on board %d is %v", servedBy, e.Replicas[servedBy].Svc.State)
 	}
 }
@@ -372,5 +374,59 @@ func TestReplicaIPsIdentifyBoards(t *testing.T) {
 		if !ok || p.Board != i {
 			t.Fatalf("replica IP %v not mapped to board %d", want, i)
 		}
+	}
+}
+
+func TestShrinkDiskFullFallsBackToEviction(t *testing.T) {
+	// One board whose checkpoint store holds exactly one 4 MiB state:
+	// the first reclaim demotes to disk, the second finds the store full
+	// and must fall back to plain eviction rather than leak the replica.
+	c := NewCluster(WithBoards(1), WithBoardOptions(core.WithDisk(blockdev.Config{
+		SlotMiB: 4, Slots: 1,
+		SeekTime: 6 * time.Millisecond, BytesPerSec: 40e6,
+	})))
+	ctl := c.API()
+	ae := c.RegisterService(testService("alice", 20), WithMinWarm(1))
+	c.RegisterService(testService("dave", 21))
+	c.RegisterService(testService("carol", 22))
+	c.RunAll() // alice prewarmed
+
+	// Boot dave and park him on the single disk slot via the API verb.
+	ctl.Activate(api.ActivateRequest{Name: "dave.family.name"})
+	c.RunAll()
+	if resp := ctl.Demote(api.DemoteRequest{Name: "dave.family.name"}); resp.Err != nil || resp.Demoted != 1 {
+		t.Fatalf("demote dave -> %+v", resp)
+	}
+	c.RunAll()
+	de := c.Directory().Lookup("dave.family.name")
+	if de.Replicas[0].Svc.State != core.StateColdDisk {
+		t.Fatalf("dave = %v, want cold-disk", de.Replicas[0].Svc.State)
+	}
+	demotionsBefore := c.Pools.Demotions
+
+	// Drop alice's floor; carol's arrival drives the reconcile that
+	// shrinks alice's pool. With the slot taken, the demotion returns
+	// ErrDiskFull and the reclaim falls back to full eviction.
+	ae.MinWarm = 0
+	cl := c.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
+	c.Eng().At(60*time.Second, func() {
+		cl.Fetch("carol.family.name", "/", 10*time.Second,
+			func(int, *netstack.HTTPResponse, sim.Duration, error) {})
+	})
+	c.RunAll()
+
+	if st := ae.Replicas[0].Svc.State; st != core.StateCold {
+		t.Fatalf("alice = %v, want cold (evicted, not demoted)", st)
+	}
+	if c.Pools.Reclaims != 1 {
+		t.Fatalf("reclaims = %d, want 1", c.Pools.Reclaims)
+	}
+	if c.Pools.Demotions != demotionsBefore {
+		t.Fatalf("demotions moved %d -> %d; the full store must force eviction",
+			demotionsBefore, c.Pools.Demotions)
+	}
+	// Dave's checkpoint survived the pressure untouched.
+	if de.Replicas[0].Svc.State != core.StateColdDisk {
+		t.Fatalf("dave = %v after reclaim, want cold-disk", de.Replicas[0].Svc.State)
 	}
 }

@@ -129,12 +129,25 @@ func (e *Entry) Rate() float64 { return e.rate }
 // Arrivals returns the number of queries observed for this service.
 func (e *Entry) Arrivals() uint64 { return e.arrivals }
 
-// ready returns the replicas currently able to serve. Slots on departed
-// boards and draining migration sources never qualify.
+// ready returns the replicas currently able to serve — booted in either
+// memory tier (Running or WarmMemory). Slots on departed boards,
+// draining migration sources and disk-resident replicas never qualify.
 func (e *Entry) ready() []*Placement {
 	var out []*Placement
 	for _, p := range e.Replicas {
-		if p != nil && !p.gone && !p.draining && p.Svc.State == core.StateReady {
+		if p != nil && !p.gone && !p.draining && p.Svc.State.Booted() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// onDisk returns the disk-resident replicas (cold-on-disk tier), in
+// board order.
+func (e *Entry) onDisk() []*Placement {
+	var out []*Placement
+	for _, p := range e.Replicas {
+		if p != nil && !p.gone && !p.draining && p.Svc.State == core.StateColdDisk {
 			out = append(out, p)
 		}
 	}
@@ -172,16 +185,19 @@ func (e *Entry) effectiveRate(now sim.Duration) float64 {
 // Totals is the cluster-wide sum of one service's per-replica counters —
 // the aggregation the per-board directories cannot provide on their own.
 type Totals struct {
-	Name       string
-	Launches   uint64
-	ColdStarts uint64
-	Handoffs   uint64
-	ServFails  uint64 // per-board refusals (fleet-style) summed over replicas
-	Reaps      uint64
-	Restores   uint64 // launches that replayed a migration checkpoint
-	Refused    uint64 // cluster-wide SERVFAILs issued by the scheduler
-	Ready      int    // replicas currently serving
-	WarmTarget int
+	Name         string
+	Launches     uint64
+	ColdStarts   uint64
+	Handoffs     uint64
+	ServFails    uint64 // per-board refusals (fleet-style) summed over replicas
+	Reaps        uint64
+	Restores     uint64 // launches that replayed a migration checkpoint
+	DiskRestores uint64 // launches that paged a checkpoint in from disk
+	Demotions    uint64 // checkpoint-to-disk evictions of booted replicas
+	Refused      uint64 // cluster-wide SERVFAILs issued by the scheduler
+	Ready        int    // replicas currently serving
+	OnDisk       int    // replicas parked on the disk tier
+	WarmTarget   int
 }
 
 // ServiceTotals aggregates every service's counters across all boards,
@@ -201,8 +217,13 @@ func (c *Cluster) ServiceTotals() []Totals {
 			t.ServFails += p.Svc.ServFails
 			t.Reaps += p.Svc.Reaps
 			t.Restores += p.Svc.Restores
-			if !p.gone && p.Svc.State == core.StateReady {
+			t.DiskRestores += p.Svc.DiskRestores
+			t.Demotions += p.Svc.Demotions
+			if !p.gone && p.Svc.State.Booted() {
 				t.Ready++
+			}
+			if !p.gone && p.Svc.State == core.StateColdDisk {
+				t.OnDisk++
 			}
 		}
 		out = append(out, t)
@@ -214,19 +235,22 @@ func (c *Cluster) ServiceTotals() []Totals {
 // row per service plus a cluster-wide total row.
 func (c *Cluster) CounterTable() *metrics.Table {
 	tab := metrics.NewTable("cluster counters",
-		"service", "launches", "coldstarts", "handoffs", "servfails", "reaps", "restores", "refused", "ready", "warm-target")
+		"service", "launches", "coldstarts", "handoffs", "servfails", "reaps", "restores", "disk-restores", "demotions", "refused", "ready", "on-disk", "warm-target")
 	var sum Totals
 	for _, t := range c.ServiceTotals() {
-		tab.AddRow(t.Name, t.Launches, t.ColdStarts, t.Handoffs, t.ServFails, t.Reaps, t.Restores, t.Refused, t.Ready, t.WarmTarget)
+		tab.AddRow(t.Name, t.Launches, t.ColdStarts, t.Handoffs, t.ServFails, t.Reaps, t.Restores, t.DiskRestores, t.Demotions, t.Refused, t.Ready, t.OnDisk, t.WarmTarget)
 		sum.Launches += t.Launches
 		sum.ColdStarts += t.ColdStarts
 		sum.Handoffs += t.Handoffs
 		sum.ServFails += t.ServFails
 		sum.Reaps += t.Reaps
 		sum.Restores += t.Restores
+		sum.DiskRestores += t.DiskRestores
+		sum.Demotions += t.Demotions
 		sum.Refused += t.Refused
 		sum.Ready += t.Ready
+		sum.OnDisk += t.OnDisk
 	}
-	tab.AddRow("TOTAL", sum.Launches, sum.ColdStarts, sum.Handoffs, sum.ServFails, sum.Reaps, sum.Restores, sum.Refused, sum.Ready, "")
+	tab.AddRow("TOTAL", sum.Launches, sum.ColdStarts, sum.Handoffs, sum.ServFails, sum.Reaps, sum.Restores, sum.DiskRestores, sum.Demotions, sum.Refused, sum.Ready, sum.OnDisk, "")
 	return tab
 }

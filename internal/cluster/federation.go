@@ -699,6 +699,16 @@ func (a *fedAgent) shed(target, batch int) {
 			}
 		}
 		if src == nil {
+			// No booted replica, but a disk-resident one can still move:
+			// its stored checkpoint sheds without paging it in.
+			for _, p := range e.onDisk() {
+				if !p.migrating {
+					src = p
+					break
+				}
+			}
+		}
+		if src == nil {
 			continue
 		}
 		a.transferOut(e, src, dst)
@@ -730,7 +740,8 @@ func (a *fedAgent) transferOut(e *Entry, p *Placement, dst *FedMember) {
 		a.f.Cfg.Tracer.End(transfer, obs.Str("status", "aborted"))
 	}
 	a.f.eng.After(a.f.transferDelay(cp), func() {
-		if a.m.Left || e.moved || p.gone || p.Svc.State != core.StateReady {
+		if a.m.Left || e.moved || p.gone ||
+			!(p.Svc.State.Booted() || p.Svc.State == core.StateColdDisk) {
 			abort()
 			return
 		}
@@ -743,6 +754,9 @@ func (a *fedAgent) transferOut(e *Entry, p *Placement, dst *FedMember) {
 		resp := dst.Cluster.API().Transfer(api.TransferRequest{
 			Config: a.f.namespaced(e.Base, dst.ID), MinWarm: e.MinWarm,
 			Policy: e.Policy.Name(), Checkpoint: cp,
+			// A disk-resident source sheds its checkpoint straight onto
+			// the destination's disk tier — no paging in on either side.
+			ToDisk: p.Svc.State == core.StateColdDisk,
 			OnReady: func(err error) {
 				if err != nil {
 					// The destination lost its headroom during the

@@ -4,7 +4,6 @@ import (
 	"testing"
 	"time"
 
-	"jitsu/internal/core"
 	"jitsu/internal/netsim"
 )
 
@@ -26,7 +25,7 @@ func hostileLeaveCluster(t *testing.T) *Cluster {
 	c.RegisterService(testService("alice", 20), WithMinWarm(2))
 	c.RunAll()
 	e := c.Directory().Lookup("alice.family.name")
-	if replicaOn(e, 1) == nil || e.Replicas[1].Svc.State != core.StateReady {
+	if replicaOn(e, 1) == nil || !e.Replicas[1].Svc.State.Booted() {
 		t.Fatal("test setup: no warm replica on board 1")
 	}
 	return c
@@ -45,7 +44,7 @@ func TestMigrationChunksAcknowledged(t *testing.T) {
 		t.Fatalf("left=%v migrations=%d", left, c.Migrations)
 	}
 	e := c.Directory().Lookup("alice.family.name")
-	state := e.Base.Image.MemMiB // StateMiB == image memory
+	state := e.Base.StateMiB // checkpoint size, not full image memory
 	wantChunks := uint64((state + 3) / 4)
 	if c.Chunks != wantChunks {
 		t.Fatalf("chunks = %d, want %d for a %d MiB checkpoint in 4 MiB chunks",
@@ -75,7 +74,7 @@ func TestMigrationRetransmitsThroughLoss(t *testing.T) {
 		t.Fatal("20% loss produced no chunk retransmits")
 	}
 	e := c.Directory().Lookup("alice.family.name")
-	if replicaOn(e, 2) == nil || e.Replicas[2].Svc.State != core.StateReady {
+	if replicaOn(e, 2) == nil || !e.Replicas[2].Svc.State.Booted() {
 		t.Fatal("replica did not arrive warm on board 2")
 	}
 }
@@ -106,7 +105,7 @@ func TestMigrationAbortsAndReschedulesOnPartition(t *testing.T) {
 		t.Fatalf("left=%v migrations=%d lost=%d, want true/1/0", left, c.Migrations, c.Lost)
 	}
 	e := c.Directory().Lookup("alice.family.name")
-	if replicaOn(e, 2) == nil || e.Replicas[2].Svc.State != core.StateReady {
+	if replicaOn(e, 2) == nil || !e.Replicas[2].Svc.State.Booted() {
 		t.Fatal("replica did not arrive warm after the rescheduled attempt")
 	}
 	if e.Replicas[2].Svc.Restores != 1 {

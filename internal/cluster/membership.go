@@ -581,7 +581,7 @@ func (c *Cluster) deregisterBoard(id int) {
 		if p == nil || p.gone {
 			continue
 		}
-		if p.Svc.State != core.StateStopped {
+		if p.Svc.State.Resident() {
 			c.Lost++
 		}
 		m.Board.Jitsu.Deregister(p.Svc)

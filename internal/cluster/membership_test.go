@@ -101,7 +101,7 @@ func leaveCluster(t *testing.T, migrate bool) *Cluster {
 	c.RegisterService(testService("alice", 20), WithMinWarm(2))
 	c.RunAll()
 	e := c.Directory().Lookup("alice.family.name")
-	if replicaOn(e, 1) == nil || e.Replicas[1].Svc.State != core.StateReady {
+	if replicaOn(e, 1) == nil || !e.Replicas[1].Svc.State.Booted() {
 		t.Fatal("test setup: no warm replica on board 1")
 	}
 	return c
@@ -125,7 +125,7 @@ func TestLeaveMigratesWarmReplicas(t *testing.T) {
 		t.Fatalf("migrations=%d lost=%d, want 1/0", c.Migrations, c.Lost)
 	}
 	// The warm replica moved: board 2 is ready, board 1 is retired.
-	if replicaOn(e, 2) == nil || e.Replicas[2].Svc.State != core.StateReady {
+	if replicaOn(e, 2) == nil || !e.Replicas[2].Svc.State.Booted() {
 		t.Fatal("no ready replica on board 2 after migration")
 	}
 	if e.Replicas[2].Svc.Restores != 1 {
@@ -182,7 +182,7 @@ func TestLeavePreemptBaselineGoesCold(t *testing.T) {
 	// not moved.
 	e := c.Directory().Lookup("alice.family.name")
 	p := replicaOn(e, 2)
-	if p == nil || p.Svc.State != core.StateReady {
+	if p == nil || !p.Svc.State.Booted() {
 		t.Fatal("no replacement replica on board 2")
 	}
 	if p.Svc.Restores != 0 {
@@ -205,7 +205,7 @@ func TestConcurrentLeavesReserveDistinctDestinations(t *testing.T) {
 	c.RunAll() // replicas ready on boards 0, 1, 2
 	e := c.Directory().Lookup("alice.family.name")
 	for _, id := range []int{1, 2} {
-		if replicaOn(e, id) == nil || e.Replicas[id].Svc.State != core.StateReady {
+		if replicaOn(e, id) == nil || !e.Replicas[id].Svc.State.Booted() {
 			t.Fatalf("test setup: no warm replica on board %d", id)
 		}
 	}
@@ -221,7 +221,7 @@ func TestConcurrentLeavesReserveDistinctDestinations(t *testing.T) {
 	}
 	for _, id := range []int{3, 4} {
 		p := replicaOn(e, id)
-		if p == nil || p.Svc.State != core.StateReady {
+		if p == nil || !p.Svc.State.Booted() {
 			t.Fatalf("no ready replica on board %d after concurrent migrations", id)
 		}
 		if p.Svc.Restores != 1 {
@@ -274,7 +274,7 @@ func TestSuspectRefuteConfirmFlapping(t *testing.T) {
 	}
 	// Its warm replica survived the flap.
 	e := c.Directory().Lookup("alice.family.name")
-	if replicaOn(e, 1) == nil || e.Replicas[1].Svc.State != core.StateReady {
+	if replicaOn(e, 1) == nil || !e.Replicas[1].Svc.State.Booted() {
 		t.Fatal("flapping destroyed the warm replica on board 1")
 	}
 

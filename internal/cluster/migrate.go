@@ -75,9 +75,12 @@ func (c *Cluster) evacuate(m *Member, done func()) {
 			// Already on its way out (an overlapping Rebalance move):
 			// that migration's switchover/drain completes the
 			// evacuation; starting a second copy would race it.
-		case p.Svc.State == core.StateReady:
+		case p.Svc.State.Booted():
 			outstanding++
 			c.evacuateOne(e, p, finish)
+		case p.Svc.State == core.StateColdDisk:
+			outstanding++
+			c.evacuateDisk(e, p, finish)
 		case p.Svc.State == core.StateLaunching || p.pending:
 			// A boot is in flight here (a client was already answered
 			// with this IP). Let it finish, then move it.
@@ -110,20 +113,74 @@ func (c *Cluster) evacuateOne(e *Entry, p *Placement, done func()) {
 }
 
 // pickDest asks e's policy for a migration destination: any placeable
-// board other than p's whose replica slot is stopped. Policies may be
+// board other than p's whose replica slot is fully cold (a slot already
+// holding a disk checkpoint cannot adopt a second one). Policies may be
 // stateful (RoundRobin), so callers must use the returned index rather
 // than picking twice.
 func (c *Cluster) pickDest(e *Entry, p *Placement) int {
 	return e.Policy.Pick(c.views(e, func(i int) bool {
-		return i == p.Board || e.Replicas[i].Svc.State != core.StateStopped
+		return i == p.Board || e.Replicas[i].Svc.State != core.StateCold
 	}))
 }
 
-// loseReplica destroys a replica whose warm state could not be moved.
+// loseReplica evicts a replica whose state could not be moved.
 func (c *Cluster) loseReplica(p *Placement) {
-	if c.Boards[p.Board].Jitsu.Stop(p.Svc) {
+	if c.Boards[p.Board].Jitsu.Evict(p.Svc) {
 		c.Lost++
 	}
+}
+
+// evacuateDisk hands a disk-resident replica to another board without
+// paging it in: the stored checkpoint is copied across the management
+// link and adopted straight onto the destination's disk tier, falling
+// back to a warm restore when the destination has no disk. Only when no
+// destination fits is the checkpoint lost.
+func (c *Cluster) evacuateDisk(e *Entry, p *Placement, done func()) {
+	lose := func() {
+		c.loseReplica(p)
+		done()
+	}
+	if !c.Cfg.MigrateOnLeave {
+		lose()
+		return
+	}
+	cpResp := c.boardAPI(p.Board).Checkpoint(api.CheckpointRequest{Name: e.Name})
+	if cpResp.Err != nil {
+		lose()
+		return
+	}
+	cp := cpResp.Checkpoint
+	idx := c.pickDest(e, p)
+	if idx < 0 {
+		lose()
+		return
+	}
+	dst := e.Replicas[idx]
+	dst.reserved = true
+	p.migrating = true
+	c.copyCheckpoint(p.Board, idx, cp.StateMiB, func(copied bool) {
+		p.migrating = false
+		dst.reserved = false
+		if !copied || dst.gone {
+			lose()
+			return
+		}
+		resp := c.boardAPI(idx).Restore(api.RestoreRequest{
+			Name: e.Name, Checkpoint: cp, Board: api.OnBoard(idx), ToDisk: true})
+		if resp.Err != nil {
+			// Destination diskless (or its store is full): page the
+			// checkpoint in warm instead of losing it.
+			resp = c.boardAPI(idx).Restore(api.RestoreRequest{
+				Name: e.Name, Checkpoint: cp, Board: api.OnBoard(idx)})
+		}
+		if resp.Err != nil {
+			lose()
+			return
+		}
+		c.Boards[p.Board].Jitsu.Evict(p.Svc)
+		c.Migrations++
+		done()
+	})
 }
 
 // migrate moves one ready replica of e off p's board for a mandatory
@@ -199,7 +256,7 @@ func (c *Cluster) migrateTo(e *Entry, p *Placement, idx int, mandatory bool, att
 			}
 			if attempt < c.Cfg.MigrateMaxAttempts {
 				c.eng.After(c.Cfg.MigrateRetryDelay, func() {
-					if p.gone || p.Svc.State != core.StateReady {
+					if p.gone || !p.Svc.State.Booted() {
 						done(false)
 						return
 					}
@@ -211,7 +268,7 @@ func (c *Cluster) migrateTo(e *Entry, p *Placement, idx int, mandatory bool, att
 			done(false)
 			return
 		}
-		if p.gone || p.Svc.State != core.StateReady {
+		if p.gone || !p.Svc.State.Booted() {
 			// The source died mid-copy; nothing to switch over.
 			c.tracer().End(precopy, obs.Str("status", "source-lost"))
 			p.migrating = false
@@ -253,7 +310,7 @@ func (c *Cluster) migrateTo(e *Entry, p *Placement, idx int, mandatory bool, att
 			}
 			c.eng.After(grace, func() {
 				p.migrating = false
-				c.Boards[p.Board].Jitsu.StopWith(p.Svc, nil)
+				c.Boards[p.Board].Jitsu.EvictWith(p.Svc, nil)
 				done(true)
 			})
 		}})

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math"
+	"sort"
 
 	"jitsu/internal/core"
 )
@@ -19,8 +20,12 @@ type PoolManager struct {
 	c *Cluster
 	// Prewarms counts speculative boots (not client-driven).
 	Prewarms uint64
-	// Reclaims counts replicas stopped because the pool shrank.
+	// Reclaims counts replicas taken out of the warm pool because it
+	// shrank — demotions and evictions both.
 	Reclaims uint64
+	// Demotions counts the reclaims that parked their state on disk
+	// instead of discarding it (boards with a disk tier).
+	Demotions uint64
 }
 
 func newPoolManager(c *Cluster) *PoolManager { return &PoolManager{c: c} }
@@ -85,13 +90,18 @@ func (pm *PoolManager) reconcile(e *Entry, pinned *Placement) {
 		// reserved until the switchover, the source drains afterwards,
 		// and counting either extra would make the pool look
 		// over-provisioned and reclaim a bystander.
-		if p != nil && !p.gone && !p.draining && !p.reserved && p.Svc.State != core.StateStopped {
+		// Disk-resident replicas are not alive — they cannot serve until
+		// promoted — so they neither satisfy the pool nor block a prewarm
+		// (a prewarm onto one pages it back in at disk-restore cost).
+		if p != nil && !p.gone && !p.draining && !p.reserved &&
+			(p.Svc.State.Booted() || p.Svc.State == core.StateLaunching) {
 			alive++
 		}
 	}
 	for alive < e.WarmTarget {
 		idx := e.Policy.Pick(pm.c.views(e, func(i int) bool {
-			return e.Replicas[i].Svc.State != core.StateStopped
+			st := e.Replicas[i].Svc.State
+			return st.Booted() || st == core.StateLaunching
 		}))
 		if idx < 0 {
 			return // no capacity anywhere; try again on the next arrival
@@ -104,14 +114,48 @@ func (pm *PoolManager) reconcile(e *Entry, pinned *Placement) {
 		alive++
 	}
 	if alive > e.WarmTarget {
-		for i := len(e.Replicas) - 1; i >= 0 && alive > e.WarmTarget; i-- {
-			p := e.Replicas[i]
-			if p == nil || p.gone || p.migrating || p.reserved || p == pinned || p.Svc.State != core.StateReady {
-				continue
-			}
-			if pm.c.Boards[i].Jitsu.Stop(p.Svc) {
+		pm.shrink(e, pinned, &alive)
+	}
+}
+
+// shrink takes the pool back down to target, least-recently-used
+// replica first (ties broken toward the higher board index, so board 0
+// — which also fields the DNS traffic — stays warm longest). Each
+// victim is demoted to its board's disk tier when it has one; a
+// diskless board or a full checkpoint store falls back to eviction.
+func (pm *PoolManager) shrink(e *Entry, pinned *Placement, alive *int) {
+	type victim struct {
+		board int
+		p     *Placement
+	}
+	var cands []victim
+	for i, p := range e.Replicas {
+		if p == nil || p.gone || p.migrating || p.reserved || p == pinned || !p.Svc.State.Booted() {
+			continue
+		}
+		cands = append(cands, victim{board: i, p: p})
+	}
+	sort.Slice(cands, func(i, k int) bool {
+		ai, ak := cands[i].p.Svc.LastActivity(), cands[k].p.Svc.LastActivity()
+		if ai != ak {
+			return ai < ak
+		}
+		return cands[i].board > cands[k].board
+	})
+	for _, v := range cands {
+		if *alive <= e.WarmTarget {
+			return
+		}
+		jit := pm.c.Boards[v.board].Jitsu
+		switch err := jit.Demote(v.p.Svc); err {
+		case nil:
+			pm.Reclaims++
+			pm.Demotions++
+			*alive--
+		case core.ErrNoDisk, core.ErrDiskFull:
+			if jit.Evict(v.p.Svc) {
 				pm.Reclaims++
-				alive--
+				*alive--
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sort"
 
 	"jitsu/internal/netstack"
 	"jitsu/internal/obs"
@@ -173,9 +174,23 @@ func (a *Activation) fire(svc *Service, s Summon) Decision {
 	}
 	a.fired[via]++
 	a.touch(svc)
+	if s.ColdStart && svc.State == StateWarmMemory {
+		// The warm hit: a speculatively booted replica takes its first
+		// client-driven traffic and becomes Running at zero launch cost.
+		a.setState(svc, StateRunning)
+	}
 	launching := false
-	if svc.State == StateStopped {
+	if svc.State.NeedsLaunch() {
+		wasCold := svc.State == StateCold
 		if !s.Force && a.j.board.Hyp.FreeMemMiB() < svc.Cfg.Image.MemMiB {
+			if a.demoteForRoom(svc, s) {
+				// Memory is being reclaimed by demoting LRU victims; the
+				// launch leg runs once their domains are destroyed.
+				if s.ColdStart && wasCold {
+					svc.ColdStarts++
+				}
+				return DecisionColdStart
+			}
 			// "resource exhaustion can thus be returned in the DNS
 			// response as a SERVFAIL to indicate the client should go
 			// elsewhere".
@@ -190,16 +205,29 @@ func (a *Activation) fire(svc *Service, s Summon) Decision {
 			}
 			return DecisionNoMemory
 		}
-		if s.ColdStart {
+		if s.ColdStart && wasCold {
 			svc.ColdStarts++
 		}
 		launching = true
+	} else if svc.State == StateLaunching && s.ColdStart && svc.launchTarget == StateWarmMemory {
+		// A client joined an in-flight speculative launch: it now
+		// completes straight into Running.
+		svc.launchTarget = StateRunning
 	}
-	a.ensureRunning(svc, s.OnReady)
+	a.ensureRunning(svc, launchTargetFor(s), s.OnReady)
 	if launching {
 		return DecisionColdStart
 	}
 	return DecisionServe
+}
+
+// launchTargetFor maps a firing to the tier its launch completes into:
+// Running for a client-driven firing, WarmMemory for a speculative one.
+func launchTargetFor(s Summon) ServiceState {
+	if s.ColdStart {
+		return StateRunning
+	}
+	return StateWarmMemory
 }
 
 // AwaitReady registers fn to run when svc's in-flight launch completes
@@ -215,15 +243,15 @@ func (a *Activation) restore(svc *Service, cp *Checkpoint, onReady func(error)) 
 	if svc.retired {
 		return ErrNoSuchService
 	}
-	if svc.State != StateStopped {
-		return errors.New("core: restore target not stopped")
+	if svc.State != StateCold {
+		return errors.New("core: restore target not cold")
 	}
 	if a.j.board.Hyp.FreeMemMiB() < cp.Image.MemMiB {
 		return ErrNoMemory
 	}
 	a.touch(svc)
 	svc.Restores++
-	a.launchVia(svc, "restore", a.j.board.Launcher.Restore, onReady)
+	a.launchVia(svc, "restore", StateWarmMemory, a.j.board.Launcher.Restore, onReady)
 	return nil
 }
 
@@ -278,16 +306,18 @@ func (a *Activation) setState(svc *Service, to ServiceState) {
 	}
 }
 
-// ensureRunning launches the service's unikernel if needed. onReady (may
-// be nil) fires once the unikernel serves.
-func (a *Activation) ensureRunning(svc *Service, onReady func(error)) {
-	switch svc.State {
-	case StateReady:
+// ensureRunning gets the service to a booted tier if it is not there
+// already: join an in-flight launch, page a disk checkpoint back in, or
+// cold-boot. target is the tier a launch this call starts completes
+// into; onReady (may be nil) fires once the unikernel serves.
+func (a *Activation) ensureRunning(svc *Service, target ServiceState, onReady func(error)) {
+	switch {
+	case svc.State.Booted():
 		if onReady != nil {
 			onReady(nil)
 		}
 		return
-	case StateLaunching:
+	case svc.State == StateLaunching:
 		if onReady != nil {
 			prev := svc.waiters
 			svc.waiters = append(prev, func(ok bool) {
@@ -299,16 +329,21 @@ func (a *Activation) ensureRunning(svc *Service, onReady func(error)) {
 			})
 		}
 		return
+	case svc.State == StateColdDisk:
+		a.promoteVia(svc, target, onReady)
+		return
 	}
-	a.launchVia(svc, "boot", a.j.board.Launcher.Launch, onReady)
+	a.launchVia(svc, "boot", target, a.j.board.Launcher.Launch, onReady)
 }
 
 // launchVia runs the launch state machine through the given boot path —
 // Launcher.Launch for a cold start ("boot"), Launcher.Restore for a
-// migrated-in checkpoint ("restore"). The caller guarantees svc is
-// Stopped. The whole path is one span on the board's tracer, and the
-// latency lands in the matching registry histogram.
-func (a *Activation) launchVia(svc *Service, kind string, launch launchFunc, onReady func(error)) {
+// migrated-in checkpoint ("restore") or a disk promote ("disk-restore").
+// The caller guarantees svc needs a launch. The whole path is one span
+// on the board's tracer, and the latency lands in the matching registry
+// histogram.
+func (a *Activation) launchVia(svc *Service, kind string, target ServiceState, launch launchFunc, onReady func(error)) {
+	svc.launchTarget = target
 	a.setState(svc, StateLaunching)
 	svc.Launches++
 	svc.launchStart = a.j.board.Eng.Now()
@@ -318,7 +353,7 @@ func (a *Activation) launchVia(svc *Service, kind string, launch launchFunc, onR
 	}
 	launch(svc.Cfg.Image, svc.Cfg.IP, func(g *unikernel.Guest, err error) {
 		if err != nil {
-			a.setState(svc, StateStopped)
+			a.setState(svc, a.revertState(svc))
 			a.endBootSpan(svc, "error")
 			a.flushWaiters(svc, false)
 			if onReady != nil {
@@ -330,7 +365,7 @@ func (a *Activation) launchVia(svc *Service, kind string, launch launchFunc, onR
 			// The directory dropped this service mid-boot (its board
 			// departed): destroy the guest instead of resurrecting a
 			// retired registration and leaking its domain.
-			a.setState(svc, StateStopped)
+			a.setState(svc, StateCold)
 			a.endBootSpan(svc, "retired")
 			a.j.board.Launcher.Destroy(g, nil)
 			a.flushWaiters(svc, false)
@@ -344,7 +379,9 @@ func (a *Activation) launchVia(svc *Service, kind string, launch launchFunc, onR
 		// event, before any network event can interleave, so exactly
 		// one of Synjitsu or the unikernel ever answers a given packet.
 		a.releaseIdleIP(svc)
-		a.setState(svc, StateReady)
+		// A completed disk restore supersedes the parked checkpoint.
+		a.dropDiskCheckpoint(svc)
+		a.setState(svc, svc.launchTarget)
 		a.j.board.histFor(kind).Observe(a.j.board.Eng.Now() - svc.launchStart)
 		a.endBootSpan(svc, "ready")
 		a.touch(svc)
@@ -356,6 +393,15 @@ func (a *Activation) launchVia(svc *Service, kind string, launch launchFunc, onR
 	})
 }
 
+// revertState is where a failed launch leaves the replica: back on disk
+// if its checkpoint is still parked there, fully cold otherwise.
+func (a *Activation) revertState(svc *Service) ServiceState {
+	if svc.disk != nil {
+		return StateColdDisk
+	}
+	return StateCold
+}
+
 // endBootSpan closes the service's in-flight boot/restore span, if any.
 func (a *Activation) endBootSpan(svc *Service, status string) {
 	if svc.bootSpan.ID == 0 {
@@ -365,18 +411,233 @@ func (a *Activation) endBootSpan(svc *Service, status string) {
 	svc.bootSpan = obs.Span{}
 }
 
-// stopNow tears a ready service down: shared by Stop and the idle reaper.
+// stopNow tears a booted service down to fully cold: shared by Evict
+// and the idle reaper.
 func (a *Activation) stopNow(svc *Service, done func()) {
 	svc.Reaps++
 	g := svc.Guest
 	svc.Guest = nil
-	a.setState(svc, StateStopped)
+	a.setState(svc, StateCold)
 	a.claimIdleIP(svc)
 	a.j.board.Launcher.Destroy(g, func(error) {
 		if done != nil {
 			done()
 		}
 	})
+}
+
+// demote parks a booted replica's state on the block device and
+// destroys its VM: warm-in-memory → cold-on-disk. done (may be nil)
+// fires at Destroy completion — the memory is back in the free pool —
+// while the checkpoint bytes stream out asynchronously behind it; a
+// promote racing the write is serialized by the device's FIFO queue.
+func (a *Activation) demote(svc *Service, done func()) error {
+	if svc.retired {
+		return ErrNoSuchService
+	}
+	if !svc.State.Booted() {
+		return ErrNotBooted
+	}
+	dev := a.j.board.Disk
+	if dev == nil {
+		return ErrNoDisk
+	}
+	cp, ok := a.j.Checkpoint(svc)
+	if !ok {
+		return ErrNotBooted
+	}
+	slots, ok := dev.Alloc(cp.StateMiB)
+	if !ok {
+		return ErrDiskFull
+	}
+	svc.Demotions++
+	d := &diskCheckpoint{cp: *cp, slots: slots}
+	svc.disk = d
+	b := a.j.board
+	start := b.Eng.Now()
+	var span obs.Span
+	if tr, tid := a.tracer(); tr != nil {
+		span = tr.Begin(tid, "activation", "demote",
+			obs.Str("svc", svc.Cfg.Name), obs.Num("state_mib", int64(cp.StateMiB)))
+	}
+	g := svc.Guest
+	svc.Guest = nil
+	a.setState(svc, StateColdDisk)
+	a.claimIdleIP(svc)
+	b.Launcher.Destroy(g, func(error) {
+		if done != nil {
+			done()
+		}
+	})
+	dev.Write(cp.StateMiB, func() {
+		if svc.disk == d {
+			d.durable = true
+		}
+		b.demoteHist.Observe(b.Eng.Now() - start)
+		if span.ID != 0 {
+			b.Tracer.End(span, obs.Str("status", "durable"))
+		}
+	})
+	return nil
+}
+
+// promote is the control-plane entry for cold-on-disk →
+// warm-in-memory: admission, then the disk-restore leg.
+func (a *Activation) promote(svc *Service, target ServiceState, onReady func(error)) error {
+	if svc.retired {
+		return ErrNoSuchService
+	}
+	if svc.State != StateColdDisk {
+		return ErrNotOnDisk
+	}
+	if a.j.board.Hyp.FreeMemMiB() < svc.Cfg.Image.MemMiB {
+		return ErrNoMemory
+	}
+	a.promoteVia(svc, target, onReady)
+	return nil
+}
+
+// promoteVia runs the disk-restore launch leg: read the checkpoint off
+// the device (FIFO-ordered behind any in-flight demotion write), then
+// rebuild the domain restore-style — priced between a warm restore and
+// a full boot. The caller guarantees svc is ColdDisk and admitted.
+func (a *Activation) promoteVia(svc *Service, target ServiceState, onReady func(error)) {
+	svc.DiskRestores++
+	dev := a.j.board.Disk
+	stateMiB := svc.disk.cp.StateMiB
+	restore := a.j.board.Launcher.Restore
+	a.launchVia(svc, "disk-restore", target, func(img unikernel.Image, ip netstack.IP, done func(*unikernel.Guest, error)) {
+		dev.Read(stateMiB, func() {
+			restore(img, ip, done)
+		})
+	}, onReady)
+}
+
+// adoptCheckpoint parks an incoming checkpoint on this board's disk
+// without booting it: cold → cold-on-disk.
+func (a *Activation) adoptCheckpoint(svc *Service, cp *Checkpoint) error {
+	if svc.retired {
+		return ErrNoSuchService
+	}
+	if svc.State != StateCold {
+		return errors.New("core: adopt target not cold")
+	}
+	dev := a.j.board.Disk
+	if dev == nil {
+		return ErrNoDisk
+	}
+	slots, ok := dev.Alloc(cp.StateMiB)
+	if !ok {
+		return ErrDiskFull
+	}
+	d := &diskCheckpoint{cp: *cp, slots: slots}
+	svc.disk = d
+	a.setState(svc, StateColdDisk)
+	dev.Write(cp.StateMiB, func() {
+		if svc.disk == d {
+			d.durable = true
+		}
+	})
+	return nil
+}
+
+// dropDiskCheckpoint frees a replica's parked checkpoint, if any. The
+// lifecycle state is the caller's concern — a completed promote moves
+// to a booted tier, an eviction to Cold.
+func (a *Activation) dropDiskCheckpoint(svc *Service) {
+	if svc.disk == nil {
+		return
+	}
+	a.j.board.Disk.Free(svc.disk.slots)
+	svc.disk = nil
+}
+
+// demoteForRoom is the memory-pressure path: when admission fails on a
+// board with a disk, the least-recently-used booted replicas are
+// demoted until the projected free memory covers the launch, and the
+// launch leg runs once their domains are destroyed. Plan-then-execute:
+// a plan that cannot reach the target (disk full, not enough victims)
+// demotes nobody and the firing refuses as before. Candidate order is
+// LRU by last activity with the name as the deterministic tie-break.
+func (a *Activation) demoteForRoom(svc *Service, s Summon) bool {
+	dev := a.j.board.Disk
+	if dev == nil {
+		return false
+	}
+	need := svc.Cfg.Image.MemMiB
+	var cands []*Service
+	for _, c := range a.j.services {
+		if c != svc && c.State.Booted() {
+			cands = append(cands, c)
+		}
+	}
+	sort.Slice(cands, func(i, k int) bool {
+		if cands[i].lastActivity != cands[k].lastActivity {
+			return cands[i].lastActivity < cands[k].lastActivity
+		}
+		return cands[i].Cfg.Name < cands[k].Cfg.Name
+	})
+	free := a.j.board.Hyp.FreeMemMiB()
+	slotsFree := dev.SlotsTotal() - dev.SlotsUsed()
+	var victims []*Service
+	for _, c := range cands {
+		if free >= need {
+			break
+		}
+		sn := dev.SlotsFor(c.Cfg.StateMiB)
+		if sn > slotsFree {
+			continue
+		}
+		slotsFree -= sn
+		free += c.Cfg.Image.MemMiB
+		victims = append(victims, c)
+	}
+	if free < need {
+		return false
+	}
+	if tr, tid := a.tracer(); tr != nil {
+		tr.Instant(tid, "activation", "pressure.demote",
+			obs.Str("svc", svc.Cfg.Name), obs.Num("victims", int64(len(victims))))
+	}
+	wasDisk := svc.State == StateColdDisk
+	target := launchTargetFor(s)
+	onReady := s.OnReady
+	svc.launchTarget = target
+	a.setState(svc, StateLaunching)
+	pending := len(victims)
+	proceed := func() {
+		pending--
+		if pending > 0 {
+			return
+		}
+		if svc.retired {
+			a.flushWaiters(svc, false)
+			if onReady != nil {
+				onReady(ErrNoSuchService)
+			}
+			return
+		}
+		if a.j.board.Hyp.FreeMemMiB() < need {
+			// Another placement consumed the reclaimed memory first.
+			a.setState(svc, a.revertState(svc))
+			a.flushWaiters(svc, false)
+			if onReady != nil {
+				onReady(ErrNoMemory)
+			}
+			return
+		}
+		if wasDisk {
+			a.promoteVia(svc, target, onReady)
+		} else {
+			a.launchVia(svc, "boot", target, a.j.board.Launcher.Launch, onReady)
+		}
+	}
+	for _, v := range victims {
+		if err := a.demote(v, proceed); err != nil {
+			proceed()
+		}
+	}
+	return true
 }
 
 func (a *Activation) flushWaiters(svc *Service, ok bool) {
@@ -400,7 +661,7 @@ func (a *Activation) scheduleReap(svc *Service) {
 	eng := a.j.board.Eng
 	deadline := svc.lastActivity + idle
 	eng.At(deadline, func() {
-		if svc.State != StateReady {
+		if !svc.State.Booted() {
 			return
 		}
 		if eng.Now()-svc.lastActivity < idle {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"jitsu/internal/blockdev"
 	"jitsu/internal/conduit"
 	"jitsu/internal/dns"
 	"jitsu/internal/netsim"
@@ -43,6 +44,10 @@ type BoardConfig struct {
 	SYNLaunchRate float64
 	// SYNLaunchBurst is the token bucket's depth (minimum 1).
 	SYNLaunchBurst int
+	// Disk sizes the board's checkpoint store — the cold-on-disk tier.
+	// The zero value builds no device (DefaultConfig: a diskless board
+	// keeps the two-tier admission behaviour); WithDisk opts in.
+	Disk blockdev.Config
 	// External link characteristics (client <-> board).
 	ExtLatency    sim.Duration
 	ExtBitsPerSec float64
@@ -90,6 +95,9 @@ type Board struct {
 	Jitsu *Jitsu
 	// Syn is the proxy; nil when disabled.
 	Syn *Synjitsu
+	// Disk is the board's checkpoint store; nil on a diskless board (no
+	// cold-on-disk tier, demotion returns ErrNoDisk).
+	Disk *blockdev.Device
 	// Tracer is the board's flight recorder (nil when tracing is off).
 	Tracer *obs.Tracer
 	// Reg is the board's metric registry: boot/restore latency
@@ -97,8 +105,10 @@ type Board struct {
 	// counters. Always present; mirrors cost nothing until Snapshot.
 	Reg *obs.Registry
 
-	bootHist    *obs.Histogram
-	restoreHist *obs.Histogram
+	bootHist        *obs.Histogram
+	restoreHist     *obs.Histogram
+	diskRestoreHist *obs.Histogram
+	demoteHist      *obs.Histogram
 
 	// triggers are the attached activation frontends (built-ins first;
 	// AddTrigger appends).
@@ -178,6 +188,7 @@ func buildBoard(eng *sim.Engine, cfg BoardConfig) *Board {
 	if cfg.Synjitsu {
 		b.Syn = newSynjitsu(b, SynAddr)
 	}
+	b.Disk = blockdev.New(eng, cfg.Disk)
 	b.Jitsu = newJitsu(b, zone)
 
 	b.Tracer = cfg.Tracer
@@ -187,6 +198,8 @@ func buildBoard(eng *sim.Engine, cfg BoardConfig) *Board {
 	b.Reg = obs.NewRegistry(fmt.Sprintf("board%d", cfg.TraceTID))
 	b.bootHist = b.Reg.Histogram("activation.boot")
 	b.restoreHist = b.Reg.Histogram("activation.restore")
+	b.diskRestoreHist = b.Reg.Histogram("activation.disk_restore")
+	b.demoteHist = b.Reg.Histogram("activation.demote")
 	b.Reg.CounterFunc("dns.queries", func() uint64 { return srv.Queries })
 	b.Reg.CounterFunc("dns.cache_hits", func() uint64 { return srv.CacheHits })
 	b.Reg.CounterFunc("dns.cache_misses", func() uint64 { return srv.CacheMisses })
@@ -200,13 +213,36 @@ func buildBoard(eng *sim.Engine, cfg BoardConfig) *Board {
 	b.Reg.CounterFunc("activation.servfails", func() uint64 { return b.Jitsu.sumCounters(func(s *Service) uint64 { return s.ServFails }) })
 	b.Reg.CounterFunc("activation.reaps", func() uint64 { return b.Jitsu.sumCounters(func(s *Service) uint64 { return s.Reaps }) })
 	b.Reg.GaugeFunc("xen.free_mem_mib", func() int64 { return int64(hyp.FreeMemMiB()) })
+	countTier := func(st ServiceState) int64 {
+		var n int64
+		for _, svc := range b.Jitsu.services {
+			if svc.State == st {
+				n++
+			}
+		}
+		return n
+	}
+	b.Reg.GaugeFunc("tier.running", func() int64 { return countTier(StateRunning) })
+	b.Reg.GaugeFunc("tier.warm_memory", func() int64 { return countTier(StateWarmMemory) })
+	b.Reg.GaugeFunc("tier.cold_disk", func() int64 { return countTier(StateColdDisk) })
+	if b.Disk != nil {
+		b.Reg.CounterFunc("activation.disk_restores", func() uint64 { return b.Jitsu.sumCounters(func(s *Service) uint64 { return s.DiskRestores }) })
+		b.Reg.CounterFunc("activation.demotions", func() uint64 { return b.Jitsu.sumCounters(func(s *Service) uint64 { return s.Demotions }) })
+		b.Reg.GaugeFunc("disk.slots_used", func() int64 { return int64(b.Disk.SlotsUsed()) })
+		b.Reg.GaugeFunc("disk.slots_total", func() int64 { return int64(b.Disk.SlotsTotal()) })
+		b.Reg.CounterFunc("disk.reads", func() uint64 { return b.Disk.Reads })
+		b.Reg.CounterFunc("disk.writes", func() uint64 { return b.Disk.Writes })
+	}
 	return b
 }
 
 // histFor picks the launch-latency histogram for a boot path kind.
 func (b *Board) histFor(kind string) *obs.Histogram {
-	if kind == "restore" {
+	switch kind {
+	case "restore":
 		return b.restoreHist
+	case "disk-restore":
+		return b.diskRestoreHist
 	}
 	return b.bootHist
 }

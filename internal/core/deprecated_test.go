@@ -40,6 +40,43 @@ func TestDeprecatedNewBoardOnEngineSharesEngine(t *testing.T) {
 	}
 }
 
+// TestDeprecatedStopShimsStillEvict pins the two-tier-era reclaim entry
+// points: Stop/StopWith must keep behaving exactly like Evict/EvictWith
+// (VM destroyed, warm state discarded, service back to Cold) while
+// external callers migrate to the tiered Demote/Evict verbs.
+func TestDeprecatedStopShimsStillEvict(t *testing.T) {
+	b := New()
+	svc := b.Jitsu.Register(aliceService())
+	if b.Jitsu.Stop(svc) {
+		t.Fatal("Stop on a cold service reported an eviction")
+	}
+
+	if err := b.Jitsu.Activate(svc, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	b.Eng.Run()
+	if !b.Jitsu.Stop(svc) {
+		t.Fatal("Stop on a booted service refused")
+	}
+	b.Eng.Run()
+	if svc.State != StateCold {
+		t.Fatalf("state after Stop = %v, want cold", svc.State)
+	}
+
+	if err := b.Jitsu.Activate(svc, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	b.Eng.Run()
+	done := false
+	if !b.Jitsu.StopWith(svc, func() { done = true }) {
+		t.Fatal("StopWith on a booted service refused")
+	}
+	b.Eng.Run()
+	if !done || svc.State != StateCold {
+		t.Fatalf("after StopWith: done=%v state=%v, want true/cold", done, svc.State)
+	}
+}
+
 // TestDeprecatedTraceShimStillFires pins the single-func Trace field:
 // it must keep observing transitions, after the Subscribe fan-out, so
 // external assignments migrating gradually stay safe.
@@ -57,7 +94,7 @@ func TestDeprecatedTraceShimStillFires(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.Eng.Run()
-	if len(order) < 4 || order[0] != "sub:stopped->launching" || order[1] != "shim:stopped->launching" {
+	if len(order) < 4 || order[0] != "sub:cold->launching" || order[1] != "shim:cold->launching" {
 		t.Fatalf("shim did not fire after subscribers: %v", order)
 	}
 }

@@ -18,29 +18,94 @@ var ErrNoSuchService = errors.New("core: no such service")
 // the condition §3.3.2 surfaces to clients as a DNS SERVFAIL.
 var ErrNoMemory = errors.New("core: insufficient memory for image")
 
-// ServiceState tracks a service's lifecycle.
+// ErrNoDisk is returned for demotions on a board without a block
+// device.
+var ErrNoDisk = errors.New("core: board has no disk")
+
+// ErrDiskFull is returned when the board's checkpoint store cannot fit
+// another checkpoint — callers fall back to full eviction.
+var ErrDiskFull = errors.New("core: disk checkpoint store full")
+
+// ErrNotBooted is returned for demotions of a service without a live
+// VM.
+var ErrNotBooted = errors.New("core: service not booted")
+
+// ErrNotOnDisk is returned for promotions of a service that has no
+// disk-resident checkpoint.
+var ErrNotOnDisk = errors.New("core: service not checkpointed to disk")
+
+// ServiceState is the typed replica lifecycle: which tier a service
+// occupies. The activation machine is the only writer; every internal
+// call site branches on the enum (via the tier helpers below), never on
+// counters.
 type ServiceState int
 
-// Service states.
+// The service lifecycle. A replica moves
+// running ↔ warm-in-memory → cold-on-disk → cold, with Launching the
+// transient between a launch leg (boot, restore, disk restore) and its
+// completion.
 const (
-	// StateStopped: no VM; traffic triggers a launch.
-	StateStopped ServiceState = iota
-	// StateLaunching: domain building / guest booting.
+	// StateCold: no VM, no checkpoint; traffic triggers a full boot.
+	StateCold ServiceState = iota
+	// StateLaunching: domain building / guest booting or restoring.
 	StateLaunching
-	// StateReady: unikernel serving.
-	StateReady
+	// StateRunning: unikernel booted and serving client-driven traffic.
+	StateRunning
+	// StateWarmMemory: unikernel booted and memory-resident, but the
+	// last launch was speculative (prewarm, warm pool, migration) and no
+	// client has hit it yet. A client-driven firing promotes it to
+	// Running without any launch cost — the warm hit.
+	StateWarmMemory
+	// StateColdDisk: no VM; the replica's state is checkpointed on the
+	// board's block device. Traffic triggers a disk restore — priced
+	// between a warm restore and a full boot.
+	StateColdDisk
+)
+
+// Deprecated lifecycle aliases from the two-tier era. StateStopped
+// predates the disk tier (use StateCold, or NeedsLaunch to include
+// disk-resident replicas); StateReady predates the running/warm split
+// (use Booted, which covers both memory-resident tiers).
+const (
+	// Deprecated: use StateCold (or ServiceState.NeedsLaunch).
+	StateStopped = StateCold
+	// Deprecated: use StateRunning (or ServiceState.Booted).
+	StateReady = StateRunning
 )
 
 func (s ServiceState) String() string {
 	switch s {
-	case StateStopped:
-		return "stopped"
+	case StateCold:
+		return "cold"
 	case StateLaunching:
 		return "launching"
+	case StateRunning:
+		return "running"
+	case StateWarmMemory:
+		return "warm-memory"
+	case StateColdDisk:
+		return "cold-disk"
 	default:
-		return "ready"
+		return "invalid"
 	}
 }
+
+// Booted reports whether the replica has a live VM (Running or
+// WarmMemory) — the "can serve traffic right now" predicate.
+func (s ServiceState) Booted() bool {
+	return s == StateRunning || s == StateWarmMemory
+}
+
+// NeedsLaunch reports whether a firing must start a launch leg to serve
+// (Cold: full boot; ColdDisk: disk restore).
+func (s ServiceState) NeedsLaunch() bool {
+	return s == StateCold || s == StateColdDisk
+}
+
+// Resident reports whether the replica occupies board resources: memory
+// (Booted or Launching) or disk slots (ColdDisk). Only a fully cold
+// service is non-resident.
+func (s ServiceState) Resident() bool { return s != StateCold }
 
 // ServiceConfig maps a DNS name to a unikernel, IP, protocol and port —
 // §3.3.2: "the Jitsu services are statically configured ... to map
@@ -54,6 +119,26 @@ type ServiceConfig struct {
 	TTL uint32
 	// IdleTimeout stops the VM after this much inactivity; 0 = never.
 	IdleTimeout sim.Duration
+	// StateMiB is the live guest state a checkpoint captures — dirty
+	// heap plus device state, NOT the boot image. Checkpoint copies and
+	// disk slots are sized by this; 0 defaults to a quarter of the image
+	// memory (minimum 1 MiB) at registration.
+	StateMiB int
+}
+
+// StateSizeMiB resolves the effective checkpoint size: StateMiB when
+// set, else a quarter of the image memory (minimum 1 MiB). Live state
+// is the dirty working set, not the boot image — a unikernel's heap
+// runs a fraction of its memory reservation.
+func (cfg ServiceConfig) StateSizeMiB() int {
+	if cfg.StateMiB > 0 {
+		return cfg.StateMiB
+	}
+	s := cfg.Image.MemMiB / 4
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // Service is a registered service and its live state.
@@ -80,14 +165,40 @@ type Service struct {
 	// "ok <ip>\n", so handleResolve does not fmt.Sprintf per hit.
 	okLine string
 
+	// launchTarget is the tier an in-flight launch completes into:
+	// Running for a client-driven launch, WarmMemory for a speculative
+	// one. A client-driven firing that joins an in-flight speculative
+	// launch upgrades it.
+	launchTarget ServiceState
+	// disk is the replica's disk-resident checkpoint (ColdDisk tier);
+	// nil otherwise.
+	disk *diskCheckpoint
+
 	// Counters for the evaluation.
-	Launches   uint64
-	ColdStarts uint64 // requests that triggered a launch
-	Handoffs   uint64 // connections handed over from Synjitsu
-	ServFails  uint64
-	Reaps      uint64
-	Restores   uint64 // launches that replayed a migration checkpoint
+	Launches     uint64
+	ColdStarts   uint64 // requests that triggered a full boot
+	Handoffs     uint64 // connections handed over from Synjitsu
+	ServFails    uint64
+	Reaps        uint64
+	Restores     uint64 // launches that replayed a migration checkpoint
+	DiskRestores uint64 // launches that paged a checkpoint in from disk
+	Demotions    uint64 // checkpoint-to-disk evictions of a booted VM
 }
+
+// diskCheckpoint is a checkpoint parked on the board's block device:
+// the captured state plus the slots it occupies.
+type diskCheckpoint struct {
+	cp    Checkpoint
+	slots []int
+	// durable flips when the device write completes; a handoff that
+	// copies the checkpoint off-board needs the bytes, a local promote
+	// is serialized behind the write by the device's FIFO queue.
+	durable bool
+}
+
+// LastActivity is the virtual time of the service's most recent
+// client-driven touch — the recency key LRU demotion orders on.
+func (s *Service) LastActivity() sim.Duration { return s.lastActivity }
 
 // sumCounters totals one per-service counter across the directory —
 // the registry's snapshot-time mirror of activation accounting. Sum
@@ -155,7 +266,8 @@ func (j *Jitsu) Register(cfg ServiceConfig) *Service {
 	if cfg.TTL == 0 {
 		cfg.TTL = 10
 	}
-	svc := &Service{Cfg: cfg, State: StateStopped}
+	cfg.StateMiB = cfg.StateSizeMiB()
+	svc := &Service{Cfg: cfg, State: StateCold}
 	svc.answerRR = dns.RR{
 		Name: cfg.Name, Type: dns.TypeA, Class: dns.ClassIN,
 		TTL: cfg.TTL, A: cfg.IP,
@@ -209,23 +321,41 @@ func (j *Jitsu) Activate(svc *Service, coldStart bool, onReady func(error)) erro
 	return nil
 }
 
-// Checkpoint is the state captured from a ready replica for live
-// migration: the image to rebuild the domain from plus the memory that
-// must be copied to the destination board.
+// Touch records client-driven activity served without firing the board
+// machine — the cluster scheduler's warm-hit fast path answers from the
+// directory alone. It bumps the LRU clock (so demotion sees the
+// replica as hot) and takes WarmMemory to Running, the same promotion a
+// client-driven Fire applies.
+func (j *Jitsu) Touch(svc *Service) {
+	j.act.touch(svc)
+	if svc.State == StateWarmMemory {
+		j.act.setState(svc, StateRunning)
+	}
+}
+
+// Checkpoint is the state captured from a booted replica for live
+// migration or demotion: the image to rebuild the domain from plus the
+// live guest state that must be copied (or written to disk).
 type Checkpoint struct {
 	Image unikernel.Image
-	// StateMiB is the dirty guest memory the migration has to move.
+	// StateMiB is the dirty guest state the transfer has to move —
+	// ServiceConfig.StateMiB, not the boot image size.
 	StateMiB int
 }
 
-// Checkpoint captures a ready service's state for live migration. The
-// source keeps serving (pre-copy style); ok is false unless the service
-// is Ready.
+// Checkpoint captures a service's state for live migration. A booted
+// replica is captured live (the source keeps serving, pre-copy style);
+// a disk-resident replica returns its stored checkpoint without paging
+// anything in. ok is false for every other tier.
 func (j *Jitsu) Checkpoint(svc *Service) (*Checkpoint, bool) {
-	if svc.State != StateReady {
+	if svc.State == StateColdDisk {
+		cp := svc.disk.cp
+		return &cp, true
+	}
+	if !svc.State.Booted() {
 		return nil, false
 	}
-	return &Checkpoint{Image: svc.Cfg.Image, StateMiB: svc.Cfg.Image.MemMiB}, true
+	return &Checkpoint{Image: svc.Cfg.Image, StateMiB: svc.Cfg.StateMiB}, true
 }
 
 // Restore is Activate for a migrated-in replica: the domain is rebuilt
@@ -247,9 +377,10 @@ func (j *Jitsu) Deregister(svc *Service) bool {
 		return false
 	}
 	svc.retired = true
-	if svc.State == StateReady {
+	if svc.State.Booted() {
 		j.act.stopNow(svc, nil) // re-claims the IP; released just below
 	}
+	j.act.dropDiskCheckpoint(svc)
 	j.act.flushWaiters(svc, false)
 	j.act.releaseIdleIP(svc)
 	delete(j.services, name)
@@ -265,19 +396,83 @@ func (j *Jitsu) Deregister(svc *Service) bool {
 	return true
 }
 
-// Stop destroys a ready service's VM and returns its IP to proxy
-// control — the explicit counterpart of the idle reaper, used by the
-// cluster warm-pool manager to reclaim over-provisioned replicas. It
-// reports whether a VM was actually stopped.
-func (j *Jitsu) Stop(svc *Service) bool { return j.StopWith(svc, nil) }
+// Stop destroys a booted service's VM.
+//
+// Deprecated: Stop is the preempt-style reclaim entry point from the
+// two-tier era — it throws the replica's warm state away. Use Demote to
+// park the state on disk (falling back to Evict only when the board has
+// no disk or ErrDiskFull says it cannot take another checkpoint), or
+// Evict directly when the state really must be discarded.
+func (j *Jitsu) Stop(svc *Service) bool { return j.EvictWith(svc, nil) }
 
-// StopWith is Stop with a completion hook: done (may be nil) fires once
-// the domain is destroyed and its memory is back in the free pool —
-// the point at which a preempting scheduler can place a replacement.
-func (j *Jitsu) StopWith(svc *Service, done func()) bool {
-	if svc.State != StateReady {
-		return false
+// StopWith is Stop with a completion hook.
+//
+// Deprecated: use DemoteWith (tiered reclaim) or EvictWith (explicit
+// discard); see Stop.
+func (j *Jitsu) StopWith(svc *Service, done func()) bool { return j.EvictWith(svc, done) }
+
+// Evict is the full eviction: a booted replica's VM is destroyed (its
+// warm state discarded), a disk-resident replica's checkpoint slots are
+// freed. The service returns to Cold either way. It reports whether
+// anything was actually evicted — false for Cold and Launching
+// replicas. The explicit counterpart of the idle reaper; demotion
+// (Demote) is the gentler default and callers fall back here on
+// ErrNoDisk / ErrDiskFull.
+func (j *Jitsu) Evict(svc *Service) bool { return j.EvictWith(svc, nil) }
+
+// EvictWith is Evict with a completion hook: done (may be nil) fires
+// once the domain is destroyed and its memory is back in the free
+// pool — the point at which a preempting scheduler can place a
+// replacement. For a disk-resident replica the slots free synchronously
+// and done fires inline.
+func (j *Jitsu) EvictWith(svc *Service, done func()) bool {
+	switch {
+	case svc.State.Booted():
+		j.act.stopNow(svc, done)
+		return true
+	case svc.State == StateColdDisk:
+		j.act.dropDiskCheckpoint(svc)
+		j.act.setState(svc, StateCold)
+		if done != nil {
+			done()
+		}
+		return true
 	}
-	j.act.stopNow(svc, done)
-	return true
+	return false
+}
+
+// Demote checkpoints a booted replica to the board's block device and
+// destroys its VM: warm-in-memory → cold-on-disk. The freed memory is
+// the point of the exercise — a later activation restores from disk at
+// a fraction of the full boot cost. Returns ErrNotBooted for replicas
+// without a live VM (including one whose launch is still in flight),
+// ErrNoDisk on a diskless board, and ErrDiskFull when the checkpoint
+// store cannot take another replica (callers fall back to Evict).
+func (j *Jitsu) Demote(svc *Service) error { return j.DemoteWith(svc, nil) }
+
+// DemoteWith is Demote with a completion hook: done (may be nil) fires
+// once the domain is destroyed and its memory is back in the free pool.
+// The checkpoint's disk write continues asynchronously after that — a
+// promote issued meanwhile is serialized behind it by the device's FIFO
+// queue.
+func (j *Jitsu) DemoteWith(svc *Service, done func()) error {
+	return j.act.demote(svc, done)
+}
+
+// Promote pages a disk-resident replica back into memory:
+// cold-on-disk → warm-in-memory (disk read, then a restore-priced
+// launch). onReady (may be nil) fires when the unikernel serves.
+// Returns ErrNotOnDisk unless the service is ColdDisk and ErrNoMemory
+// when the image does not fit in RAM.
+func (j *Jitsu) Promote(svc *Service, onReady func(error)) error {
+	return j.act.promote(svc, StateWarmMemory, onReady)
+}
+
+// AdoptCheckpoint parks an incoming checkpoint (a migration or
+// federation handoff) directly on this board's disk without booting it:
+// cold → cold-on-disk. The replica serves later activations via the
+// disk-restore path. Returns ErrNoDisk / ErrDiskFull like Demote, and
+// an error for replicas that are not Cold.
+func (j *Jitsu) AdoptCheckpoint(svc *Service, cp *Checkpoint) error {
+	return j.act.adoptCheckpoint(svc, cp)
 }

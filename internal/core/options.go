@@ -1,6 +1,7 @@
 package core
 
 import (
+	"jitsu/internal/blockdev"
 	"jitsu/internal/obs"
 	"jitsu/internal/sim"
 	"jitsu/internal/xen"
@@ -77,6 +78,15 @@ func WithSYNRateLimit(rate float64, burst int) Option {
 		c.SYNLaunchRate = rate
 		c.SYNLaunchBurst = burst
 	}
+}
+
+// WithDisk attaches a simulated block device — the board's checkpoint
+// store, enabling the cold-on-disk tier (Demote/Promote, pressure
+// demotion instead of refusal). blockdev.DefaultConfig() models the
+// SD-card-class storage an embedded board carries; the zero Config
+// keeps the board diskless (the default).
+func WithDisk(cfg blockdev.Config) Option {
+	return func(c *BoardConfig) { c.Disk = cfg }
 }
 
 // WithExtLink sets the external (client <-> board) link characteristics.

@@ -170,7 +170,7 @@ func (t *PrewarmTrigger) rearm(svc *Service, st *prewarmState, now sim.Duration)
 
 // predict fires the speculative summon for an armed prediction.
 func (t *PrewarmTrigger) predict(svc *Service, st *prewarmState) {
-	if svc.State != StateStopped {
+	if !svc.State.NeedsLaunch() {
 		return // still warm; the reaper never fired
 	}
 	t.Predictions++

@@ -178,7 +178,7 @@ func (t *asyncDNSTrigger) intercept(query *dns.Message, respond func(*dns.Messag
 		answer(false)
 		return true
 	}
-	if svc.State == StateReady {
+	if svc.State.Booted() {
 		answer(true)
 		return true
 	}
@@ -239,7 +239,7 @@ func (t *synTrigger) Detach() {
 // services and in-flight boots are never throttled (the touch keeps
 // the idle reaper honest for legitimate traffic).
 func (t *synTrigger) fire(svc *Service) synOutcome {
-	if t.admit != nil && svc.State == StateStopped && !t.admit.admit(svc, t.b.Eng.Now()) {
+	if t.admit != nil && svc.State.NeedsLaunch() && !t.admit.admit(svc, t.b.Eng.Now()) {
 		return synSuppressed
 	}
 	if t.j.act.Fire(svc, Summon{Via: TriggerSYN, ColdStart: true, Force: true}) == DecisionColdStart {

@@ -89,8 +89,8 @@ func fireDNSAsync(t *testing.T, b *Board, svc *Service) {
 // so it forces a launch attempt that fails (stopped→launching→stopped)
 // where the answerable frontends refuse without touching the machine.
 func TestTriggerMatrix(t *testing.T) {
-	coldTransitions := []string{"stopped->launching", "launching->ready"}
-	forcedFail := []string{"stopped->launching", "launching->stopped"}
+	coldTransitions := []string{"cold->launching", "launching->running"}
+	forcedFail := []string{"cold->launching", "launching->cold"}
 
 	frontends := []triggerMatrixRow{
 		{name: "dns-slow", fire: fireDNSSlow, oomServFail: true, warmFires: true},
@@ -119,13 +119,14 @@ func TestTriggerMatrix(t *testing.T) {
 		t.Run(fe.name+"/warm", func(t *testing.T) {
 			b := New(WithDelayedDNS(fe.delayed))
 			svc := b.Jitsu.Register(aliceService())
-			// Warm the service through the control plane, then watch the
-			// frontend firing leave the machine alone.
-			if err := b.Jitsu.Activate(svc, false, nil); err != nil {
+			// Warm the service through the control plane (client-driven, so
+			// it lands Running, not WarmMemory), then watch the frontend
+			// firing leave the machine alone.
+			if err := b.Jitsu.Activate(svc, true, nil); err != nil {
 				t.Fatal(err)
 			}
 			b.Eng.Run()
-			if svc.State != StateReady {
+			if svc.State != StateRunning {
 				t.Fatalf("precondition: state = %v", svc.State)
 			}
 			rec := &transitionRecorder{}
@@ -160,8 +161,8 @@ func TestTriggerMatrix(t *testing.T) {
 			if svc.ServFails != wantServFails {
 				t.Fatalf("servfails = %d, want %d", svc.ServFails, wantServFails)
 			}
-			if svc.State != StateStopped {
-				t.Fatalf("state = %v, want stopped", svc.State)
+			if svc.State != StateCold {
+				t.Fatalf("state = %v, want cold", svc.State)
 			}
 		})
 	}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// densityGain extracts the "N.Nx" figure from the density-gain note.
+func densityGain(t *testing.T, r *Result) float64 {
+	t.Helper()
+	for _, n := range r.Notes {
+		if !strings.Contains(n, "density gain") {
+			continue
+		}
+		rest := n[strings.Index(n, ": ")+2:]
+		gain, err := strconv.ParseFloat(rest[:strings.Index(rest, "x")], 64)
+		if err != nil {
+			t.Fatalf("unparseable density note %q: %v", n, err)
+		}
+		return gain
+	}
+	t.Fatal("no density-gain note")
+	return 0
+}
+
+// TestDensityShape asserts the tentpole acceptance criteria: at equal
+// memory the three-tier board holds at least 5x the services per GB of
+// the warm-only baseline, and the disk-restore activation leg prices
+// strictly between the warm restore and the full cold boot.
+func TestDensityShape(t *testing.T) {
+	r := Density(48, 128, 20)
+	if !strings.Contains(r.Output, "three-tier") {
+		t.Fatalf("missing density table: %s", r.Output)
+	}
+
+	boot := r.Series["density.boot"]
+	warm := r.Series["density.warm_restore"]
+	disk := r.Series["density.disk_restore"]
+	if boot.Len() == 0 || warm.Len() == 0 || disk.Len() == 0 {
+		t.Fatal("empty pricing series")
+	}
+	bp, wp, dp := boot.Percentile(0.95), warm.Percentile(0.95), disk.Percentile(0.95)
+	if !(wp < dp && dp < bp) {
+		t.Errorf("disk-restore p95 (%v) not strictly between warm restore (%v) and cold boot (%v)", dp, wp, bp)
+	}
+
+	// The sweep itself: the warm-only board refuses once memory fills,
+	// the three-tier board serves every visit and holds every service.
+	if r.Series["density.three_tier"].Len() != 48 {
+		t.Errorf("three-tier board served %d of 48 visits", r.Series["density.three_tier"].Len())
+	}
+	if r.Series["density.warm_only"].Len() == 0 {
+		t.Fatal("warm-only board served nothing")
+	}
+	if gain := densityGain(t, r); gain < 5 {
+		t.Errorf("density gain %.1fx below the 5x floor", gain)
+	}
+}
+
+// TestDensityDeterminism runs the experiment twice with identical
+// parameters: the fingerprints (tables plus every raw series) must be
+// bit-identical — seeded demotion decisions included.
+func TestDensityDeterminism(t *testing.T) {
+	a := Density(48, 128, 20)
+	b := Density(48, 128, 20)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("density fingerprints diverge: %016x vs %016x", a.Fingerprint(), b.Fingerprint())
+	}
+}

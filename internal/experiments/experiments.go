@@ -176,6 +176,7 @@ func All(quick bool, opts ...Option) []*Result {
 	prewarmVisits := 40
 	hostileFlash := 60
 	hostileSwim := 60 * time.Second
+	densityServices, densityMemMiB, densitySamples := 128, 256, 40
 	if quick {
 		trials = 30
 		fig3N = []int{1, 10, 25, 50}
@@ -185,6 +186,7 @@ func All(quick bool, opts ...Option) []*Result {
 		prewarmVisits = 24
 		hostileFlash = 30
 		hostileSwim = 30 * time.Second
+		densityServices, densityMemMiB, densitySamples = 48, 128, 20
 	}
 	return []*Result{
 		Fig3(fig3N),
@@ -201,5 +203,6 @@ func All(quick bool, opts ...Option) []*Result {
 		Prewarm(prewarmVisits, opts...),
 		Federation(federationHorizon),
 		Hostile(hostileFlash, hostileSwim),
+		Density(densityServices, densityMemMiB, densitySamples),
 	}
 }
