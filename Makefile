@@ -15,17 +15,24 @@ SHELL := /bin/bash
 
 GO ?= go
 # The perf record this branch writes; bump per PR to grow the trajectory.
-BENCH_OUT ?= BENCH_pr8.json
+BENCH_OUT ?= BENCH_pr9.json
 # The committed baseline the bench gate compares against.
-BENCH_BASE ?= BENCH_pr7.json
+BENCH_BASE ?= BENCH_pr8.json
 # Allowed fractional ns/op regression before the gate fails.
 BENCH_TOLERANCE ?= 0.25
+# Benchmarks whose workload this PR deliberately made heavier: their
+# ns/op regression is waived (repeatable -accept flags), the committed
+# record re-baselines them, and the zero-alloc contract still applies.
+# This PR: federation Transfers now move checkpoint chunks one by one
+# over the simulated wire (acks, retransmits, congestion control)
+# instead of a single modelled delay — same results, more fidelity.
+BENCH_ACCEPT ?= -accept BenchmarkFederationSkew
 FUZZTIME ?= 10s
 # Pinned static-analysis tool versions — CI and `make ci` must agree.
 STATICCHECK_VERSION ?= 2025.1.1
 ACTIONLINT_VERSION ?= v1.7.7
 
-.PHONY: all build test vet race fmt-check deprecations staticcheck actionlint fuzz fuzz-summary fuzz-impaired bench bench-gate determinism ci
+.PHONY: all build test vet race fmt-check deprecations staticcheck actionlint fuzz fuzz-summary fuzz-impaired fuzz-wire bench bench-gate determinism ci
 
 all: vet build test
 
@@ -85,6 +92,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz=FuzzDNSCodec -fuzztime=$(FUZZTIME) ./internal/dns
 	$(MAKE) fuzz-summary
 	$(MAKE) fuzz-impaired
+	$(MAKE) fuzz-wire
 
 # fuzz-summary smokes the federation root's summary codec.
 fuzz-summary:
@@ -95,6 +103,12 @@ fuzz-summary:
 # complete exactly once, whatever the fault model does to the wire.
 fuzz-impaired:
 	$(GO) test -run '^$$' -fuzz=FuzzImpairedCodec -fuzztime=$(FUZZTIME) ./internal/dns
+
+# fuzz-wire feeds adversarial byte streams to the control plane's frame
+# decoder: every input must round-trip canonically or be rejected with
+# a typed error — never panic, never mis-frame the stream.
+fuzz-wire:
+	$(GO) test -run '^$$' -fuzz=FuzzWireCodec -fuzztime=$(FUZZTIME) ./internal/wire
 
 # bench runs the full evaluation + hot-path microbenches with -benchmem
 # and records the numbers as JSON. The experiment benches double as the
@@ -107,7 +121,7 @@ bench:
 # any tracked benchmark >25% slower on ns/op, or allocating on a path
 # the baseline holds at zero allocs/op, fails the build.
 bench-gate: $(BENCH_OUT)
-	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) -tolerance $(BENCH_TOLERANCE) $(BENCH_OUT)
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) -tolerance $(BENCH_TOLERANCE) $(BENCH_ACCEPT) $(BENCH_OUT)
 
 $(BENCH_OUT):
 	$(MAKE) bench BENCH_OUT=$(BENCH_OUT)
@@ -128,5 +142,5 @@ determinism:
 ci: vet fmt-check deprecations staticcheck actionlint build test race
 	$(MAKE) fuzz FUZZTIME=30s
 	$(MAKE) bench BENCH_OUT=bench-ci.json
-	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) -tolerance $(BENCH_TOLERANCE) bench-ci.json
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASE) -tolerance $(BENCH_TOLERANCE) $(BENCH_ACCEPT) bench-ci.json
 	$(MAKE) determinism

@@ -10,11 +10,15 @@ import (
 	"testing"
 	"time"
 
+	"jitsu/internal/api"
+	"jitsu/internal/core"
 	"jitsu/internal/dns"
 	"jitsu/internal/experiments"
 	"jitsu/internal/netstack"
 	"jitsu/internal/obs"
 	"jitsu/internal/sim"
+	"jitsu/internal/unikernel"
+	"jitsu/internal/wire"
 )
 
 func reportP50(b *testing.B, r interface {
@@ -199,6 +203,21 @@ func BenchmarkHostileFlash(b *testing.B) {
 	}
 }
 
+// BenchmarkStampede runs the mass-rebalance experiment at the quick
+// horizon and reports the federation tier's delegation p95 under the
+// paced shed next to the idle baseline — the "control traffic stays
+// flat" claim as one number pair.
+func BenchmarkStampede(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Stampede(150 * time.Second)
+		if i == 0 {
+			b.ReportMetric(float64(r.Series["fed-idle"].Percentile(0.95))/1e6, "idle-p95-ms")
+			b.ReportMetric(float64(r.Series["fed-paced-shed"].Percentile(0.95))/1e6, "paced-p95-ms")
+			b.ReportMetric(float64(r.Series["fed-unpaced-shed"].Percentile(0.95))/1e6, "unpaced-p95-ms")
+		}
+	}
+}
+
 // BenchmarkPrewarmTrigger runs the predictive-trigger experiment and
 // reports both policies' steady-state p95 time-to-first-response: the
 // learned prewarm path vs the cold boot every recurring visit pays
@@ -306,6 +325,36 @@ func BenchmarkEngineSchedule(b *testing.B) {
 			e.After(time.Duration(j)*time.Microsecond, fn)
 		}
 		for e.Step() {
+		}
+	}
+}
+
+// BenchmarkWireRoundTrip measures one control-plane frame's encode
+// (into a recycled buffer) plus decode for the richest request on the
+// wire — Register, carrying a full service config and image. Every verb
+// a remote operator issues pays this codec twice (client encode, server
+// decode), so its cost bounds the management plane's verb throughput.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	img := unikernel.UnikernelImage("alice", nil)
+	img.MemMiB = 64
+	req := api.RegisterRequest{
+		Config: core.ServiceConfig{
+			Name: "alice.family.name", IP: netstack.IPv4(10, 0, 0, 20), Port: 80,
+			Image: img, StateMiB: 16, IdleTimeout: 30 * time.Second,
+		},
+		MinWarm: 1, Policy: "least-loaded",
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = wire.Append(buf[:0], wire.TRegisterReq, uint32(i), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, _, _, err := wire.Decode(buf); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -12,6 +12,14 @@
 //
 //	go test -bench=. -benchmem -run '^$' . | go run ./cmd/benchjson -compare BENCH_pr2.json -tolerance 0.25
 //	go run ./cmd/benchjson -compare BENCH_pr2.json -tolerance 0.25 bench-ci.json
+//
+// A PR that deliberately makes a benchmark's workload heavier (an
+// experiment gaining fidelity, say) names it with -accept: the ns/op
+// comparison for that benchmark downgrades to a warning for this run
+// only, the PR's committed record re-baselines it, and the zero-alloc
+// contract still applies — a waiver buys slower, never allocating.
+//
+//	go run ./cmd/benchjson -compare BENCH_pr8.json -accept BenchmarkFederationSkew bench-ci.json
 package main
 
 import (
@@ -47,6 +55,8 @@ type Doc struct {
 func main() {
 	compare := flag.String("compare", "", "baseline BENCH json to gate against (exit 1 on regression)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression in -compare mode")
+	accept := make(acceptSet)
+	flag.Var(accept, "accept", "benchmark whose ns/op regression is waived this run (repeatable; workload deliberately changed)")
 	flag.Parse()
 
 	if *compare == "" {
@@ -76,13 +86,30 @@ func main() {
 		fatal(err)
 	}
 
-	report, failures := gate(baseline, current, *tolerance)
+	report, failures := gate(baseline, current, *tolerance, accept)
 	fmt.Print(report)
 	if failures > 0 {
 		fmt.Printf("benchjson: FAIL — %d benchmark(s) regressed beyond %.0f%%\n", failures, *tolerance*100)
 		os.Exit(1)
 	}
 	fmt.Println("benchjson: bench gate passed")
+}
+
+// acceptSet is the repeatable -accept flag: benchmark names whose
+// ns/op regression is expected because this PR changed their workload.
+type acceptSet map[string]bool
+
+func (a acceptSet) String() string {
+	names := make([]string, 0, len(a))
+	for n := range a {
+		names = append(names, n)
+	}
+	return strings.Join(names, ",")
+}
+
+func (a acceptSet) Set(v string) error {
+	a[v] = true
+	return nil
 }
 
 func fatal(err error) {
@@ -131,12 +158,14 @@ func parseDoc(r io.Reader) (Doc, error) {
 // gate compares current against baseline: benchmarks present in both
 // are checked for ns/op regressions beyond tolerance and for
 // allocations appearing on paths the baseline holds at zero allocs/op.
+// A name in accept waives the ns/op check only — its regression prints
+// as "waived" and does not fail the run.
 // New benchmarks (no baseline entry) pass — the trajectory grows — but
 // a baseline benchmark missing from the current run fails: a deleted or
 // renamed benchmark silently stops enforcing its contract otherwise,
 // and an empty run (a truncated record from a failed bench pipeline)
 // must never pass vacuously.
-func gate(baseline, current Doc, tolerance float64) (report string, failures int) {
+func gate(baseline, current Doc, tolerance float64, accept acceptSet) (report string, failures int) {
 	base := make(map[string]Bench, len(baseline.Benches))
 	for _, b := range baseline.Benches {
 		base[b.Name] = b
@@ -147,14 +176,18 @@ func gate(baseline, current Doc, tolerance float64) (report string, failures int
 		seen[b.Name] = true
 		old, ok := base[b.Name]
 		if !ok {
-			fmt.Fprintf(&sb, "  new   %-40s ns/op=%.0f (no baseline)\n", b.Name, b.Metrics["ns/op"])
+			fmt.Fprintf(&sb, "  new    %-40s ns/op=%.0f (no baseline)\n", b.Name, b.Metrics["ns/op"])
 			continue
 		}
 		oldNs, newNs := old.Metrics["ns/op"], b.Metrics["ns/op"]
 		status := "ok"
 		if oldNs > 0 && newNs > oldNs*(1+tolerance) {
-			status = "REGRESSED"
-			failures++
+			if accept[b.Name] {
+				status = "waived"
+			} else {
+				status = "REGRESSED"
+				failures++
+			}
 		}
 		oldAllocs, hasOld := old.Metrics["allocs/op"]
 		newAllocs, hasNew := b.Metrics["allocs/op"]
@@ -164,12 +197,12 @@ func gate(baseline, current Doc, tolerance float64) (report string, failures int
 			status = "ALLOCS"
 			failures++
 		}
-		fmt.Fprintf(&sb, "  %-5s %-40s ns/op %.0f -> %.0f (%+.1f%%), allocs/op %g -> %g\n",
+		fmt.Fprintf(&sb, "  %-6s %-40s ns/op %.0f -> %.0f (%+.1f%%), allocs/op %g -> %g\n",
 			status, b.Name, oldNs, newNs, pctDelta(oldNs, newNs), oldAllocs, newAllocs)
 	}
 	for _, b := range baseline.Benches {
 		if !seen[b.Name] {
-			fmt.Fprintf(&sb, "  GONE  %-40s tracked by the baseline but absent from this run\n", b.Name)
+			fmt.Fprintf(&sb, "  GONE   %-40s tracked by the baseline but absent from this run\n", b.Name)
 			failures++
 		}
 	}

@@ -62,7 +62,7 @@ func TestParseDocReadsBenchText(t *testing.T) {
 func TestGatePassesWithinTolerance(t *testing.T) {
 	baseline := Doc{Benches: []Bench{bench("BenchmarkA", 100, 3)}}
 	current := Doc{Benches: []Bench{bench("BenchmarkA", 120, 3)}}
-	if _, failures := gate(baseline, current, 0.25); failures != 0 {
+	if _, failures := gate(baseline, current, 0.25, nil); failures != 0 {
 		t.Fatalf("failures = %d, want 0 for +20%% under 25%% tolerance", failures)
 	}
 }
@@ -70,7 +70,7 @@ func TestGatePassesWithinTolerance(t *testing.T) {
 func TestGateFailsOnNsRegression(t *testing.T) {
 	baseline := Doc{Benches: []Bench{bench("BenchmarkA", 100, 3)}}
 	current := Doc{Benches: []Bench{bench("BenchmarkA", 130, 3)}}
-	report, failures := gate(baseline, current, 0.25)
+	report, failures := gate(baseline, current, 0.25, nil)
 	if failures != 1 {
 		t.Fatalf("failures = %d, want 1 for +30%%:\n%s", failures, report)
 	}
@@ -83,9 +83,34 @@ func TestGateFailsWhenZeroAllocPathAllocates(t *testing.T) {
 	// Faster but allocating: the zero-alloc contract is absolute.
 	baseline := Doc{Benches: []Bench{bench("BenchmarkDNSServe", 100, 0)}}
 	current := Doc{Benches: []Bench{bench("BenchmarkDNSServe", 50, 1)}}
-	report, failures := gate(baseline, current, 0.25)
+	report, failures := gate(baseline, current, 0.25, nil)
 	if failures != 1 {
 		t.Fatalf("failures = %d, want 1:\n%s", failures, report)
+	}
+	if !strings.Contains(report, "ALLOCS") {
+		t.Fatalf("report missing ALLOCS:\n%s", report)
+	}
+}
+
+func TestGateWaivesAcceptedRegression(t *testing.T) {
+	baseline := Doc{Benches: []Bench{bench("BenchmarkA", 100, 3), bench("BenchmarkB", 100, 3)}}
+	current := Doc{Benches: []Bench{bench("BenchmarkA", 200, 3), bench("BenchmarkB", 130, 3)}}
+	report, failures := gate(baseline, current, 0.25, acceptSet{"BenchmarkA": true})
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 (only the unwaived bench):\n%s", failures, report)
+	}
+	if !strings.Contains(report, "waived") {
+		t.Fatalf("report missing waived line:\n%s", report)
+	}
+}
+
+func TestGateAcceptDoesNotWaiveAllocs(t *testing.T) {
+	// The waiver buys a slower run, never a zero-alloc path allocating.
+	baseline := Doc{Benches: []Bench{bench("BenchmarkA", 100, 0)}}
+	current := Doc{Benches: []Bench{bench("BenchmarkA", 200, 1)}}
+	report, failures := gate(baseline, current, 0.25, acceptSet{"BenchmarkA": true})
+	if failures != 1 {
+		t.Fatalf("failures = %d, want 1 for the alloc contract:\n%s", failures, report)
 	}
 	if !strings.Contains(report, "ALLOCS") {
 		t.Fatalf("report missing ALLOCS:\n%s", report)
@@ -95,7 +120,7 @@ func TestGateFailsWhenZeroAllocPathAllocates(t *testing.T) {
 func TestGateIgnoresNewBenchmarks(t *testing.T) {
 	baseline := Doc{Benches: []Bench{bench("BenchmarkA", 100, 0)}}
 	current := Doc{Benches: []Bench{bench("BenchmarkA", 90, 0), bench("BenchmarkNew", 1e9, 50)}}
-	report, failures := gate(baseline, current, 0.25)
+	report, failures := gate(baseline, current, 0.25, nil)
 	if failures != 0 {
 		t.Fatalf("failures = %d, want 0 — new benches seed the next baseline:\n%s", failures, report)
 	}
@@ -109,14 +134,14 @@ func TestGateFailsWhenTrackedBenchmarkVanishes(t *testing.T) {
 	// bench pipeline — must not pass the gate vacuously.
 	baseline := Doc{Benches: []Bench{bench("BenchmarkA", 100, 0), bench("BenchmarkB", 50, 2)}}
 	current := Doc{Benches: []Bench{bench("BenchmarkA", 100, 0)}}
-	report, failures := gate(baseline, current, 0.25)
+	report, failures := gate(baseline, current, 0.25, nil)
 	if failures != 1 {
 		t.Fatalf("failures = %d, want 1 for the vanished benchmark:\n%s", failures, report)
 	}
 	if !strings.Contains(report, "GONE") {
 		t.Fatalf("report missing GONE:\n%s", report)
 	}
-	if _, failures := gate(baseline, Doc{}, 0.25); failures != 2 {
+	if _, failures := gate(baseline, Doc{}, 0.25, nil); failures != 2 {
 		t.Fatalf("empty run: failures = %d, want 2", failures)
 	}
 }

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	jitsu-bench [-run all|fig3|fig4|fig8|fig9a|fig9b|table1|table2|throughput|headline|scaling|churn|prewarm|federation|hostile|density|ablations] [-quick] [-boards 1,2,4,8] [-fingerprint]
+//	jitsu-bench [-run all|fig3|fig4|fig8|fig9a|fig9b|table1|table2|throughput|headline|scaling|churn|prewarm|federation|hostile|density|stampede|ablations] [-quick] [-boards 1,2,4,8] [-fingerprint]
 package main
 
 import (
@@ -39,6 +39,7 @@ func main() {
 	scalingHorizon := 90 * time.Second
 	churnHorizon := 75 * time.Second
 	federationHorizon := 60 * time.Second
+	stampedeFedHorizon := 300 * time.Second
 	prewarmVisits := 40
 	hostileFlash := 60
 	hostileSwim := 60 * time.Second
@@ -48,6 +49,7 @@ func main() {
 		fig3N = []int{1, 10, 25, 50}
 		churnHorizon = 45 * time.Second
 		federationHorizon = 45 * time.Second
+		stampedeFedHorizon = 150 * time.Second
 		prewarmVisits = 24
 		hostileFlash = 30
 		hostileSwim = 30 * time.Second
@@ -116,6 +118,8 @@ func main() {
 		results = append(results, experiments.Hostile(hostileFlash, hostileSwim))
 	case "density":
 		results = append(results, experiments.Density(densityServices, densityMemMiB, densitySamples))
+	case "stampede":
+		results = append(results, experiments.Stampede(stampedeFedHorizon))
 	case "ablations":
 		results = append(results,
 			experiments.AblationMergeStrategies(30),

@@ -25,13 +25,23 @@
 // sustained load skew sheds warm replicas between clusters — all
 // automatic.
 //
+// With -connect the cluster is driven *remotely*: board 0 serves the
+// control plane as a wire.Server on its management endpoint, and an
+// operator console host dialled in over the simulated network issues
+// every verb — register, activate, stats, demote, promote, migrate,
+// stop — as versioned length-prefixed frames. The console link is
+// captured and its fingerprint printed, so two same-seed runs can be
+// diffed down to the last frame. -wan shapes management paths to a WAN
+// preset (wan20ms|wan50ms|wan100ms): the federation's inter-cluster
+// links in -clusters mode, the operator console link in -connect mode.
+//
 // Usage:
 //
 //	jitsud [-services 4] [-requests 24] [-idle 30s] [-no-synjitsu] [-seed 1]
 //	       [-boards 1] [-policy least-loaded] [-min-warm 0]
 //	       [-churn] [-join 20s] [-leave 30s]
 //	       [-loss 0.1] [-jitter 1ms] [-partition 20s,30s] [-no-dns-retry]
-//	       [-clusters 1]
+//	       [-clusters 1] [-connect] [-wan wan20ms]
 //	       [-trace run.trace.json] [-stats-every 10s]
 //
 // -trace dumps the run's flight recorder (virtual-time spans for every
@@ -58,6 +68,8 @@ import (
 	"jitsu/internal/obs"
 	"jitsu/internal/sim"
 	"jitsu/internal/unikernel"
+	"jitsu/internal/wire"
+	"jitsu/internal/xen"
 )
 
 var serviceNames = []string{"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"}
@@ -82,7 +94,23 @@ func main() {
 	noRetry := flag.Bool("no-dns-retry", false, "disable the client's DNS retry/backoff — the single-datagram ablation")
 	traceOut := flag.String("trace", "", "write the run's flight recorder to this file (Chrome trace-event JSON)")
 	statsEvery := flag.Duration("stats-every", 0, "stream a stats snapshot line every this much virtual time (0 = off)")
+	connect := flag.Bool("connect", false, "cluster mode: drive the deployment as a remote operator — a wire client dialled into board 0's management endpoint issues every control-plane verb as versioned frames over the simulated network")
+	wan := flag.String("wan", "", "shape management links to a WAN preset (wan20ms|wan50ms|wan100ms): federation links in -clusters mode, the operator console link in -connect mode")
 	flag.Parse()
+
+	var wanProf *netsim.WANProfile
+	if *wan != "" {
+		p, ok := netsim.WANByName(*wan)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "jitsud: unknown -wan profile %q; presets:", *wan)
+			for _, q := range netsim.WANProfiles() {
+				fmt.Fprintf(os.Stderr, " %s", q.Name)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(2)
+		}
+		wanProf = &p
+	}
 
 	hostile := hostileFlags{loss: *loss, jitter: *jitter, partition: *partition, noRetry: *noRetry}
 	if hostile.active() && (*boards < 2 || *clusters > 1) {
@@ -110,6 +138,22 @@ func main() {
 			*joinAt = traceSpan / 2
 		}
 	}
+	if *connect {
+		if *boards < 2 || *clusters > 1 {
+			fmt.Fprintln(os.Stderr, "jitsud: -connect needs cluster mode (-boards > 1, -clusters 1)")
+			os.Exit(2)
+		}
+		if *churn || *joinAt > 0 || *leaveAt > 0 || hostile.active() {
+			fmt.Fprintln(os.Stderr, "jitsud: -connect runs a scripted operator session; -churn/-join/-leave and the edge-impairment flags do not apply")
+			os.Exit(2)
+		}
+		runConnect(*boards, *services, *seed, *policy, wanProf, *statsEvery)
+		return
+	}
+	if wanProf != nil && *clusters < 2 {
+		fmt.Fprintln(os.Stderr, "jitsud: -wan shapes management links in federation mode (-clusters > 1) or -connect mode")
+		os.Exit(2)
+	}
 	if *clusters > 1 {
 		if *churn || *joinAt > 0 || *leaveAt > 0 {
 			fmt.Fprintln(os.Stderr, "jitsud: -churn/-join/-leave apply to cluster mode, not federation mode")
@@ -123,7 +167,7 @@ func main() {
 		if *statsEvery > 0 {
 			fmt.Fprintln(os.Stderr, "jitsud: -stats-every applies to board/cluster mode, not federation mode")
 		}
-		runFederation(*clusters, *boards, *services, *requests, *seed, *policy, *minWarm, !*noSyn, *traceOut)
+		runFederation(*clusters, *boards, *services, *requests, *seed, *policy, *minWarm, !*noSyn, wanProf, *traceOut)
 		return
 	}
 	if *boards > 1 {
@@ -534,17 +578,147 @@ func runCluster(boards, services, requests int, seed int64, policyName string, m
 	}
 }
 
+// runConnect is the remote-operator mode: the cluster's control plane
+// is served by a wire.Server on board 0's management endpoint, and the
+// whole session — register, activate, stats, demote, promote, migrate,
+// stop — is driven by a wire.Client dialled in from an operator console
+// attached to the same management bridge. Every verb, response, ready
+// event and stats snapshot crosses the simulated network as versioned
+// length-prefixed frames; the console link is captured and its
+// fingerprint printed, so two same-seed runs can be checked for
+// bit-identical wire traffic.
+func runConnect(boards, services int, seed int64, policyName string, wanProf *netsim.WANProfile, statsEvery time.Duration) {
+	pol := cluster.PolicyByName(policyName)
+	if pol == nil {
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", policyName)
+		os.Exit(2)
+	}
+	c := cluster.NewCluster(
+		cluster.WithBoards(boards),
+		cluster.WithSeed(seed),
+		cluster.WithPolicy(pol),
+		// The disk tier gives the Demote/Promote verbs something real to
+		// do: demoted services park their checkpoint on disk and page
+		// back in on promote.
+		cluster.WithBoardOptions(core.WithDisk(blockdev.DefaultConfig())),
+	)
+	srv, err := wire.Serve(c.MgmtHost(0), 7900, c.API(),
+		func(name string, _ xen.GuestKind) unikernel.App { return unikernel.NewStaticSiteApp(name) })
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jitsud: %v\n", err)
+		os.Exit(1)
+	}
+	console := c.AttachMgmtHost("console", 200)
+	if wanProf != nil {
+		wanProf.Apply(console.NIC.Link(), seed)
+		fmt.Printf("console link shaped to %s: rtt %v, loss %.2f%%, %.0f Mb/s\n",
+			wanProf.Name, wanProf.RTT, wanProf.Loss*100, wanProf.BitsPerSec/1e6)
+	}
+	tap := netsim.NewCapture(c.Eng(), 1<<16)
+	console.NIC.Link().Tap(tap)
+	cl, err := wire.Dial(c.Eng(), console, netstack.IPv4(10, 255, 0, 10), 7900)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jitsud: dial: %v\n", err)
+		os.Exit(1)
+	}
+	now := func() time.Duration { return c.Eng().Now().Round(time.Millisecond) }
+	fmt.Printf("jitsud connect: %d boards, policy %s; operator console dialled into board 0 (wire protocol v%d)\n\n",
+		boards, pol.Name(), cl.Version())
+	stopStats := streamStats(cl, statsEvery, c.Eng().Now)
+
+	zone := c.Cfg.Board.Zone
+	names := make([]string, services)
+	for i := 0; i < services; i++ {
+		names[i] = serviceNames[i] + "." + zone
+		resp := cl.Register(api.RegisterRequest{Config: core.ServiceConfig{
+			Name:  names[i],
+			IP:    netstack.IPv4(10, 0, 0, byte(20+i)),
+			Port:  80,
+			Image: unikernel.UnikernelImage(serviceNames[i], nil),
+		}})
+		if resp.Err != nil {
+			fmt.Fprintf(os.Stderr, "jitsud: register: %v\n", resp.Err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12v -> register %-22s ok\n", now(), names[i])
+	}
+	board0 := -1
+	for i := 0; i < services; i++ {
+		i := i
+		resp := cl.Activate(api.ActivateRequest{Name: names[i], OnReady: func(err error) {
+			if err != nil {
+				fmt.Printf("%-12v <- ready    %-22s ERR %v\n", now(), names[i], err)
+				return
+			}
+			fmt.Printf("%-12v <- ready    %-22s (event frame from board 0)\n", now(), names[i])
+		}})
+		if resp.Err != nil {
+			fmt.Fprintf(os.Stderr, "jitsud: activate: %v\n", resp.Err)
+			os.Exit(1)
+		}
+		if i == 0 {
+			board0 = resp.Board
+		}
+		fmt.Printf("%-12v -> activate %-22s placed on board %d\n", now(), names[i], resp.Board)
+	}
+	c.Eng().RunFor(5 * time.Second)
+
+	stats := cl.Stats(api.StatsRequest{})
+	launches := uint64(0)
+	for _, s := range stats.Services {
+		launches += s.Launches
+	}
+	fmt.Printf("%-12v -> stats    %d services, %d launches, %d registries\n",
+		now(), len(stats.Services), launches, len(stats.Registries))
+
+	if dem := cl.Demote(api.DemoteRequest{Name: names[0]}); dem.Err == nil {
+		fmt.Printf("%-12v -> demote   %-22s %d replica(s) checkpointing to disk\n", now(), names[0], dem.Demoted)
+	}
+	c.Eng().RunFor(2 * time.Second)
+	pro := cl.Promote(api.PromoteRequest{Name: names[0], OnReady: func(err error) {
+		if err == nil {
+			fmt.Printf("%-12v <- ready    %-22s paged back in from disk\n", now(), names[0])
+		}
+	}})
+	if pro.Err == nil {
+		fmt.Printf("%-12v -> promote  %-22s restoring on board %d\n", now(), names[0], pro.Board)
+	}
+	c.Eng().RunFor(5 * time.Second)
+
+	mig := cl.Migrate(api.MigrateRequest{Name: names[0], From: api.OnBoard(board0), OnDone: func(ok bool) {
+		fmt.Printf("%-12v <- done     %-22s migration ok=%v (%d chunks paced over the mgmt link)\n",
+			now(), names[0], ok, c.Chunks)
+	}})
+	if mig.Err != nil {
+		fmt.Fprintf(os.Stderr, "jitsud: migrate: %v\n", mig.Err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-12v -> migrate  %-22s off board %d\n", now(), names[0], board0)
+	c.Eng().RunFor(20 * time.Second)
+
+	if stop := cl.Stop(api.StopRequest{Name: names[0]}); stop.Err == nil {
+		fmt.Printf("%-12v -> stop     %-22s %d replica(s) stopped\n", now(), names[0], stop.Stopped)
+	}
+	stopStats()
+	cl.Close()
+	c.Eng().RunFor(time.Second)
+
+	fmt.Printf("\nwire session: client rx %d frames (%d events), server rx %d frames, %d conns, %d protocol errors\n",
+		cl.Frames, cl.Events, srv.Frames, srv.Conns, srv.ProtoErrs)
+	fmt.Printf("console link capture fingerprint: %016x — same seed, same bytes, same instants\n", tap.Fingerprint())
+}
+
 // runFederation is the cluster-of-clusters mode: the same request
 // trace resolved at the summarized root directory, which delegates each
 // query to the owning cluster's board-0 directory.
-func runFederation(clusters, boardsPer, services, requests int, seed int64, policyName string, minWarm int, synjitsu bool, traceOut string) {
+func runFederation(clusters, boardsPer, services, requests int, seed int64, policyName string, minWarm int, synjitsu bool, wanProf *netsim.WANProfile, traceOut string) {
 	pol := cluster.PolicyByName(policyName)
 	if pol == nil {
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", policyName)
 		os.Exit(2)
 	}
 	tracer := newTracer(traceOut)
-	f := cluster.NewFederation(
+	fopts := []cluster.FedOption{
 		cluster.WithClusters(clusters),
 		cluster.WithMemberOptions(
 			cluster.WithBoards(boardsPer),
@@ -552,9 +726,28 @@ func runFederation(clusters, boardsPer, services, requests int, seed int64, poli
 			cluster.WithBoardOptions(core.WithSynjitsu(synjitsu)),
 			cluster.WithPolicy(pol),
 		),
-		cluster.WithSummaryEvery(500*time.Millisecond),
+		cluster.WithSummaryEvery(500 * time.Millisecond),
 		cluster.WithFedTracer(tracer),
-	)
+	}
+	if wanProf != nil {
+		// WAN-shaped federation links: the delegation retransmit budget
+		// must clear the path RTT, and 1 MiB transfer chunks keep the
+		// delegation replies from queueing behind whole checkpoints.
+		delegRTO := 100 * time.Millisecond
+		if d := 3 * wanProf.RTT; d > delegRTO {
+			delegRTO = d
+		}
+		fopts = append(fopts,
+			cluster.WithWAN(*wanProf),
+			cluster.WithDelegateRetry(delegRTO, 3),
+			cluster.WithTransferChunk(1),
+		)
+	}
+	f := cluster.NewFederation(fopts...)
+	if wanProf != nil {
+		fmt.Printf("federation management links shaped to %s: rtt %v, loss %.2f%%, %.0f Mb/s\n",
+			wanProf.Name, wanProf.RTT, wanProf.Loss*100, wanProf.BitsPerSec/1e6)
+	}
 	zone := f.Cfg.Cluster.Board.Zone
 	var sopts []cluster.ServiceOption
 	if minWarm > 0 {

@@ -54,6 +54,28 @@
 // Restore, make-before-break) — rebalance is a detector, not an
 // operator call.
 //
+// # Wire and congestion-control layering
+//
+// The control plane has a wire form. internal/wire sits ABOVE
+// internal/api: it serializes every api.ControlPlane verb as versioned,
+// length-prefixed binary frames with request ids and typed error codes
+// — wire.Serve exposes any api backend on a simulated management
+// endpoint, wire.Client implements api.ControlPlane over a dialled
+// netstack connection, and the async verbs (Activate/Promote ready,
+// Migrate done, WatchStats snapshots) come back as server-pushed event
+// frames. Anything that speaks api — a board, a cluster, a test fake —
+// is remotable without change, and `jitsud -connect` drives a whole
+// cluster that way.
+//
+// internal/cc sits BELOW the bulk movers: it is a pure window/RTO state
+// machine (AIMD with delay-based backoff, no wire knowledge) that the
+// cluster's migration pre-copy and the federation's Transfer leg
+// consult per management uplink before each checkpoint chunk. Pacing
+// bounds how much bulk may queue ahead of a control datagram on the
+// shared FIFO links — the Stampede experiment measures exactly that —
+// while netsim.WANProfile presets (wan20ms/wan50ms/wan100ms) shape the
+// links those transfers share with gossip and delegation traffic.
+//
 // # Observability layering
 //
 // internal/obs is the deterministic observability plane, and it sits

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"jitsu/internal/api"
+	"jitsu/internal/cc"
 	"jitsu/internal/core"
 	"jitsu/internal/dns"
 	"jitsu/internal/netsim"
@@ -98,6 +99,11 @@ type Config struct {
 	// MgmtBitsPerSec is the management network's link rate, used by the
 	// gossip substrate (default 1 Gb/s).
 	MgmtBitsPerSec float64
+	// UnpacedTransfers disables the per-uplink congestion controller:
+	// checkpoint copies blast every chunk immediately with the fixed
+	// doubling MigrateChunkRTO, the pre-controller behaviour kept as the
+	// Stampede experiment's ablation arm.
+	UnpacedTransfers bool
 
 	// Tracer, when set, is shared by every board and control loop of the
 	// cluster: gossip, migration and scheduling events land in it next
@@ -172,6 +178,10 @@ type Cluster struct {
 	// xferSenders tracks in-flight checkpoint transfers by id (xfer.go).
 	xferSenders map[uint32]*xferSend
 	nextXferID  uint32
+	// ccs holds each board's management-uplink congestion controller,
+	// indexed by board id, built on first transfer (nil entries until
+	// then; unused entirely when Cfg.UnpacedTransfers).
+	ccs []*cc.Controller
 
 	// WarmHits counts queries answered by an already-ready replica.
 	WarmHits uint64
@@ -195,6 +205,9 @@ type Cluster struct {
 	Chunks     uint64
 	ChunkRetx  uint64
 	XferAborts uint64
+	// Parks counts checkpoints rescued from a dead migration onto a
+	// surviving board's disk tier instead of dying with the replica.
+	Parks uint64
 	// Joins counts boards the directory admitted after construction;
 	// Leaves counts graceful departures; Confirms counts members the
 	// failure detector confirmed dead.
@@ -325,6 +338,7 @@ func buildOn(eng *sim.Engine, cfg Config) *Cluster {
 	c.Reg.CounterFunc("migrate.chunks", func() uint64 { return c.Chunks })
 	c.Reg.CounterFunc("migrate.chunk_retx", func() uint64 { return c.ChunkRetx })
 	c.Reg.CounterFunc("migrate.xfer_aborts", func() uint64 { return c.XferAborts })
+	c.Reg.CounterFunc("migrate.parks", func() uint64 { return c.Parks })
 	c.Reg.CounterFunc("gossip.joins", func() uint64 { return c.Joins })
 	c.Reg.CounterFunc("gossip.leaves", func() uint64 { return c.Leaves })
 	c.Reg.CounterFunc("gossip.confirms", func() uint64 { return c.Confirms })

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"jitsu/internal/api"
+	"jitsu/internal/cc"
 	"jitsu/internal/core"
 	"jitsu/internal/dns"
 	"jitsu/internal/netsim"
@@ -71,8 +72,28 @@ type FedConfig struct {
 	// management links.
 	FedLinkLatency sim.Duration
 	FedBitsPerSec  float64
-	// TransferBitsPerSec is the checkpoint-copy rate between clusters.
+	// TransferBitsPerSec is the nominal checkpoint-copy rate between
+	// clusters, used to size the chunk exchange's retransmit allowance
+	// (the links themselves set the real rate; on WAN-shaped paths set
+	// this near the WANProfile's BitsPerSec).
 	TransferBitsPerSec float64
+	// TransferChunkMiB sizes the cross-cluster pre-copy chunks; each
+	// chunk is one acknowledged datagram exchange on the federation
+	// management network (default 4 MiB). TransferChunkRTO is the
+	// per-chunk retransmit floor (default 50ms), TransferChunkRetries
+	// the per-chunk retransmit budget before a transfer aborts
+	// (default 5).
+	TransferChunkMiB     int
+	TransferChunkRTO     sim.Duration
+	TransferChunkRetries int
+	// UnpacedTransfers disables the per-agent congestion controller on
+	// cross-cluster copies: every chunk blasts immediately with the
+	// fixed doubling TransferChunkRTO — the Stampede ablation arm.
+	UnpacedTransfers bool
+	// WAN, when set, shapes every member agent's federation management
+	// link to the profile (RTT, loss, throughput) instead of the flat
+	// FedLinkLatency/FedBitsPerSec LAN path.
+	WAN *netsim.WANProfile
 	// Tracer, when set, is shared by the root and every member cluster:
 	// the root's delegation/spill/shed events render on lane 0 and
 	// member cluster k's boards on lanes (k+1)*100 and up. Nil disables
@@ -97,6 +118,10 @@ func DefaultFedConfig() FedConfig {
 		FedLinkLatency:     200 * time.Microsecond,
 		FedBitsPerSec:      1e9,
 		TransferBitsPerSec: 1e9,
+
+		TransferChunkMiB:     4,
+		TransferChunkRTO:     50 * time.Millisecond,
+		TransferChunkRetries: 5,
 	}
 }
 
@@ -150,6 +175,32 @@ func WithDelegateRetry(timeout sim.Duration, retries int) FedOption {
 	}
 }
 
+// WithWAN shapes every member agent's federation management link to the
+// profile: RTT/2 extra latency each way, the profile's loss rate, and
+// its throughput cap — plus TransferBitsPerSec pinned to the profile's
+// rate so the chunk exchange's retransmit allowance matches the path.
+func WithWAN(p netsim.WANProfile) FedOption {
+	return func(c *FedConfig) {
+		prof := p
+		c.WAN = &prof
+		c.TransferBitsPerSec = p.BitsPerSec
+	}
+}
+
+// WithUnpacedFedTransfers disables cross-cluster copy congestion
+// control — the Stampede ablation arm at the federation tier.
+func WithUnpacedFedTransfers(on bool) FedOption {
+	return func(c *FedConfig) { c.UnpacedTransfers = on }
+}
+
+// WithTransferChunk sizes the cross-cluster pre-copy chunks. WAN-shaped
+// deployments want smaller chunks than the LAN default: one chunk's
+// serialisation time is the floor on how long a delegation reply can
+// queue behind the bulk exchange on a shared management link.
+func WithTransferChunk(mib int) FedOption {
+	return func(c *FedConfig) { c.TransferChunkMiB = mib }
+}
+
 // WithFedTracer attaches the observability flight recorder to the whole
 // federation: root events on lane 0, member cluster k's boards on lanes
 // (k+1)*100 and up. (The name avoids colliding with the cluster-level
@@ -168,6 +219,10 @@ type Federation struct {
 	members []*FedMember
 	root    *fedRoot
 	clients []*FedClient
+	// fedXfers tracks in-flight cross-cluster chunk exchanges by id
+	// (fedxfer.go).
+	fedXfers    map[uint32]*fedXferSend
+	nextFedXfer uint32
 
 	// Spills counts services re-homed because admission refused.
 	Spills uint64
@@ -178,6 +233,13 @@ type Federation struct {
 	// CrossAborts counts cross-cluster transfers that failed (the
 	// source kept serving; nothing was lost).
 	CrossAborts uint64
+	// FedChunks counts cross-cluster chunk datagrams sent (retransmits
+	// included); FedChunkRetx counts just the retransmits;
+	// FedXferAborts counts chunk exchanges abandoned after a chunk
+	// exhausted its retries.
+	FedChunks     uint64
+	FedChunkRetx  uint64
+	FedXferAborts uint64
 
 	// Reg mirrors the federation tier's counters (fed.* and root.*
 	// names) for snapshot export; always present.
@@ -191,6 +253,14 @@ type FedMember struct {
 	// Left marks a cluster removed from the federation.
 	Left  bool
 	agent *fedAgent
+}
+
+// MgmtLink returns this member agent's federation management link — the
+// path its summary pushes, delegation replies and checkpoint chunks
+// share. Experiments tap it to capture (and fingerprint) exactly what
+// the shared uplink carried.
+func (m *FedMember) MgmtLink() *netsim.Link {
+	return m.agent.nic.Link()
 }
 
 // ErrNoSuchCluster is returned for operations on unknown/departed
@@ -208,6 +278,8 @@ const (
 	fedOpShed         = 4 // root -> agent: [op, target:2, batch:1]
 	fedOpSpill        = 5 // root -> agent: [op, qid:4, target:2, name]
 	fedOpSpillReply   = 6 // agent -> root: [op, qid:4, ok]
+	fedOpXferChunk    = 7 // agent -> agent: [op, id:4, idx:4, total:4]
+	fedOpXferAck      = 8 // agent -> agent: [op, id:4, idx:4]
 
 	fedStatusOK       = 0
 	fedStatusNXDomain = 1
@@ -243,6 +315,15 @@ func NewFederation(opts ...FedOption) *Federation {
 	if cfg.TransferBitsPerSec <= 0 {
 		cfg.TransferBitsPerSec = 1e9
 	}
+	if cfg.TransferChunkMiB <= 0 {
+		cfg.TransferChunkMiB = 4
+	}
+	if cfg.TransferChunkRTO <= 0 {
+		cfg.TransferChunkRTO = 50 * time.Millisecond
+	}
+	if cfg.TransferChunkRetries <= 0 {
+		cfg.TransferChunkRetries = 5
+	}
 	if cfg.ShedBatch <= 0 {
 		cfg.ShedBatch = 1
 	}
@@ -252,7 +333,7 @@ func NewFederation(opts ...FedOption) *Federation {
 	if cfg.DelegateRetries < 0 {
 		cfg.DelegateRetries = 0
 	}
-	f := &Federation{Cfg: cfg}
+	f := &Federation{Cfg: cfg, fedXfers: make(map[uint32]*fedXferSend)}
 	f.eng = sim.New(cfg.Cluster.Board.Seed)
 	cfg.Tracer.BindClock(f.eng.Now)
 	f.fedNet = netsim.NewBridge(f.eng, "fed-mgmt", 10*time.Microsecond)
@@ -263,6 +344,9 @@ func NewFederation(opts ...FedOption) *Federation {
 	f.Reg.CounterFunc("fed.sheds", func() uint64 { return f.Sheds })
 	f.Reg.CounterFunc("fed.cross_migrations", func() uint64 { return f.CrossMigrations })
 	f.Reg.CounterFunc("fed.cross_aborts", func() uint64 { return f.CrossAborts })
+	f.Reg.CounterFunc("fed.chunks", func() uint64 { return f.FedChunks })
+	f.Reg.CounterFunc("fed.chunk_retx", func() uint64 { return f.FedChunkRetx })
+	f.Reg.CounterFunc("fed.xfer_aborts", func() uint64 { return f.FedXferAborts })
 	f.Reg.CounterFunc("root.lookups", func() uint64 { return f.root.Lookups })
 	f.Reg.CounterFunc("root.scans", func() uint64 { return f.root.Scans })
 	f.Reg.CounterFunc("root.delegations", func() uint64 { return f.root.Delegations })
@@ -384,10 +468,26 @@ func (f *Federation) placeHome() *FedMember {
 	return best
 }
 
+// AddCluster grows the federation at runtime: a new member cluster is
+// built on the shared engine, its subzone delegated at the root, and
+// its (empty) summary row bootstrapped — from the next summary round on
+// it is a spill/shed target like any construction-time member. The new
+// member reuses the federation's cluster config (tracer lanes continue
+// the (id+1)*100 block convention) and starts its periodic summary push
+// immediately when SummaryEvery is armed.
+func (f *Federation) AddCluster() *FedMember {
+	m := f.addMember()
+	f.root.bumpEpoch()
+	return m
+}
+
 // RemoveCluster takes a member out of the federation: its summary row
 // drops (bumping the root epoch, so no cached delegation survives),
 // in-flight transfers toward it abort harmlessly, and the services
-// still homed there are re-homed cold onto the least-loaded survivors.
+// still homed there are re-homed onto the least-loaded survivors —
+// warm when a replica's state can be checkpointed (it lands on the
+// destination's disk tier, so the next activation resumes instead of
+// cold-booting), cold only when no replica exists to capture.
 func (f *Federation) RemoveCluster(id int) error {
 	m := f.member(id)
 	if m == nil || m.Left {
@@ -407,9 +507,26 @@ func (f *Federation) RemoveCluster(id int) error {
 		if dst == nil {
 			continue // nowhere left; the registration dies with the cluster
 		}
-		if resp := dst.Cluster.API().Transfer(api.TransferRequest{
+		req := api.TransferRequest{
 			Config: f.namespaced(e.Base, dst.ID), MinWarm: e.MinWarm, Policy: e.Policy.Name(),
-		}); resp.Err == nil {
+		}
+		// Departure is administrative, not a crash: surviving replicas
+		// can still be checkpointed, so their warm state leaves with
+		// them instead of dying with the cluster.
+		var src *Placement
+		for _, p := range append(e.ready(), e.onDisk()...) {
+			if !p.gone {
+				src = p
+				break
+			}
+		}
+		if src != nil {
+			if cpResp := m.Cluster.boardAPI(src.Board).Checkpoint(api.CheckpointRequest{Name: e.Name}); cpResp.Err == nil {
+				req.Checkpoint = cpResp.Checkpoint
+				req.ToDisk = true
+			}
+		}
+		if resp := dst.Cluster.API().Transfer(req); resp.Err == nil {
 			e.moved = true
 			m.Cluster.movedTo[e.Name] = dst.ID
 		}
@@ -421,10 +538,30 @@ func (f *Federation) RemoveCluster(id int) error {
 	return nil
 }
 
-// transferDelay models one checkpoint copy across the federation link.
-func (f *Federation) transferDelay(cp *core.Checkpoint) sim.Duration {
-	bits := float64(cp.StateMiB) * 8 * 1024 * 1024
-	return f.Cfg.FedLinkLatency + sim.Duration(bits/f.Cfg.TransferBitsPerSec*float64(time.Second))
+// Shed issues one shed command by hand: the root orders cluster from's
+// agent to move up to batch of its hottest warm services to cluster to
+// over the congestion-controlled Checkpoint -> Transfer leg. This is
+// exactly the datagram the sustained-skew detector emits — same wire
+// op, same agent-side sweep — minus the detection, so operator-driven
+// rebalances (and the Stampede experiment's mass move) can trigger the
+// transfer machinery at a chosen instant.
+func (f *Federation) Shed(from, to, batch int) error {
+	src, dst := f.member(from), f.member(to)
+	if src == nil || src.Left || dst == nil || dst.Left {
+		return ErrNoSuchCluster
+	}
+	if from == to || batch <= 0 || batch > 255 {
+		return fmt.Errorf("cluster: bad shed %d -> %d batch %d", from, to, batch)
+	}
+	f.Sheds++
+	if tr := f.Cfg.Tracer; tr != nil {
+		tr.Instant(0, "fed", "shed",
+			obs.Num("hot", int64(from)), obs.Num("cold", int64(to)),
+			obs.Num("batch", int64(batch)))
+	}
+	buf := []byte{fedOpShed, byte(to >> 8), byte(to), byte(batch)}
+	f.root.mgmt.SendUDP(agentMgmtIP(from), fedPort, fedPort, buf)
+	return nil
 }
 
 // ---- federation agent (one per member cluster) ----
@@ -453,12 +590,19 @@ type fedAgent struct {
 	// pushPending coalesces change-driven pushes within one link delay.
 	pushPending bool
 	stopped     bool
+	// ctrl paces this agent's federation uplink for chunk exchanges
+	// (fedxfer.go); nil until the first transfer, or always when the
+	// unpaced ablation is configured.
+	ctrl *cc.Controller
 }
 
 func newFedAgent(f *Federation, m *FedMember) *fedAgent {
 	a := &fedAgent{f: f, m: m}
 	a.nic = netsim.NewNIC(f.eng, fmt.Sprintf("fed%d", m.ID), netsim.MACFor(0xB000+m.ID))
 	f.fedNet.ConnectNIC(a.nic, f.Cfg.FedLinkLatency, f.Cfg.FedBitsPerSec)
+	if f.Cfg.WAN != nil {
+		f.Cfg.WAN.Apply(a.nic.Link(), int64(0xFED0+m.ID))
+	}
 	a.host = netstack.NewHost(f.eng, fmt.Sprintf("fed%d", m.ID), a.nic, agentMgmtIP(m.ID), netstack.Dom0Profile())
 	m.Cluster.onDirChange = a.dirChanged
 	return a
@@ -528,12 +672,15 @@ func (a *fedAgent) push(periodic bool) {
 	a.host.SendUDP(rootMgmtIP, fedPort, fedPort, buf)
 }
 
-// recv handles one management datagram from the root.
-func (a *fedAgent) recv(_ netstack.IP, _ uint16, payload []byte) {
+// recv handles one management datagram from the root (or, for the
+// chunk-exchange ops, a sibling agent).
+func (a *fedAgent) recv(src netstack.IP, _ uint16, payload []byte) {
 	if a.stopped || a.m.Left || len(payload) < 1 {
 		return
 	}
 	switch payload[0] {
+	case fedOpXferChunk, fedOpXferAck:
+		a.recvFedXfer(src, payload)
 	case fedOpResolve:
 		if len(payload) < 6 {
 			return
@@ -739,7 +886,14 @@ func (a *fedAgent) transferOut(e *Entry, p *Placement, dst *FedMember) {
 		a.f.CrossAborts++
 		a.f.Cfg.Tracer.End(transfer, obs.Str("status", "aborted"))
 	}
-	a.f.eng.After(a.f.transferDelay(cp), func() {
+	a.fedCopy(dst.ID, cp.StateMiB, func(ok bool) {
+		if !ok {
+			// The chunk exchange died (federation path partitioned, or
+			// the destination agent went silent); the source keeps
+			// serving untouched.
+			abort()
+			return
+		}
 		if a.m.Left || e.moved || p.gone ||
 			!(p.Svc.State.Booted() || p.Svc.State == core.StateColdDisk) {
 			abort()

@@ -343,3 +343,121 @@ func TestFederationDelegationOffFastPath(t *testing.T) {
 		t.Fatalf("member-board fast path allocates %.1f per query under the federation", allocs)
 	}
 }
+
+// TestFederationAddClusterRuntime grows the federation after
+// construction: the new member must be delegated at the root, count as
+// a placement target, and serve delegated queries like any
+// construction-time cluster.
+func TestFederationAddClusterRuntime(t *testing.T) {
+	f := testFederation(1, 2)
+	fc := f.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
+	home, _ := f.RegisterService(testService("alice", 20))
+	if home.ID != 0 {
+		t.Fatalf("alice homed on %d, want 0", home.ID)
+	}
+	m := f.AddCluster()
+	if m.ID != 1 || len(f.Members()) != 2 {
+		t.Fatalf("AddCluster: id=%d members=%d, want 1 and 2", m.ID, len(f.Members()))
+	}
+	// The next registration must home on the new, empty member.
+	home2, _ := f.RegisterService(testService("bob", 21))
+	if home2.ID != 1 {
+		t.Fatalf("bob homed on %d, want the new cluster 1", home2.ID)
+	}
+	a := fedFetch(f, fc, 1*time.Second, "alice.family.name")
+	b := fedFetch(f, fc, 2*time.Second, "bob.family.name")
+	f.RunAll()
+	if !a.done || a.err != nil || a.cluster != 0 {
+		t.Fatalf("alice fetch: done=%v err=%v cluster=%d, want cluster 0", a.done, a.err, a.cluster)
+	}
+	if !b.done || b.err != nil || b.cluster != 1 {
+		t.Fatalf("bob fetch: done=%v err=%v cluster=%d, want the added cluster 1", b.done, b.err, b.cluster)
+	}
+}
+
+// TestFederationRemoveClusterWarmRehome removes a member whose service
+// has live state: the re-homing must carry a checkpoint so the
+// survivor's activation resumes it (a restore — onto its disk tier
+// when it has one, warm in memory when diskless) instead of
+// cold-booting.
+func TestFederationRemoveClusterWarmRehome(t *testing.T) {
+	f := testFederation(2, 2)
+	fc := f.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
+	home, _ := f.RegisterService(testService("alice", 20))
+	if home.ID != 0 {
+		t.Fatalf("alice homed on %d, want 0", home.ID)
+	}
+	warm := fedFetch(f, fc, 1*time.Second, "alice.family.name")
+	f.Eng().At(10*time.Second, func() {
+		if err := f.RemoveCluster(0); err != nil {
+			t.Errorf("RemoveCluster: %v", err)
+		}
+		if f.members[1].Cluster.Directory().Lookup("alice.family.name") == nil {
+			t.Error("survivor does not hold the re-homed service")
+		}
+	})
+	after := fedFetch(f, fc, 12*time.Second, "alice.family.name")
+	f.RunAll()
+	if !warm.done || warm.err != nil {
+		t.Fatalf("pre-removal fetch: done=%v err=%v", warm.done, warm.err)
+	}
+	if !after.done || after.err != nil {
+		t.Fatalf("post-removal fetch: done=%v err=%v", after.done, after.err)
+	}
+	if after.cluster != 1 {
+		t.Fatalf("post-removal fetch served by cluster %d, want the survivor 1", after.cluster)
+	}
+	found := false
+	for _, tot := range f.members[1].Cluster.ServiceTotals() {
+		if tot.Name != "alice.family.name" {
+			continue
+		}
+		found = true
+		if tot.Restores+tot.DiskRestores == 0 {
+			t.Errorf("survivor activation paid no restore: warm state did not move")
+		}
+		if tot.ColdStarts != 0 {
+			t.Errorf("survivor cold-booted %d times, want 0 (warm re-homing)", tot.ColdStarts)
+		}
+	}
+	if !found {
+		t.Error("survivor has no totals row for the re-homed service")
+	}
+}
+
+// TestFederationPacedTransferChunks: a skew shed's checkpoint copy is a
+// real acknowledged chunk exchange on the federation management
+// network, paced by the sending agent's congestion controller.
+func TestFederationPacedTransferChunks(t *testing.T) {
+	f := testFederation(2, 2)
+	fc := f.NewClient("laptop", netstack.IPv4(10, 0, 0, 9))
+	_, e := f.RegisterService(testService("alice", 20))
+	warm := fedFetch(f, fc, 1*time.Second, "alice.family.name")
+	f.Eng().At(10*time.Second, func() {
+		src := e.ready()
+		if len(src) == 0 {
+			t.Error("no ready replica to transfer")
+			return
+		}
+		f.members[0].agent.transferOut(e, src[0], f.members[1])
+	})
+	f.RunAll()
+	if !warm.done || warm.err != nil {
+		t.Fatalf("warm fetch: done=%v err=%v", warm.done, warm.err)
+	}
+	if f.CrossMigrations != 1 {
+		t.Fatalf("CrossMigrations = %d, want 1", f.CrossMigrations)
+	}
+	if f.FedChunks == 0 {
+		t.Fatal("transfer sent no chunk datagrams: the copy bypassed the federation network")
+	}
+	if f.FedChunkRetx != 0 || f.FedXferAborts != 0 {
+		t.Fatalf("clean-path transfer paid retx=%d aborts=%d, want 0/0", f.FedChunkRetx, f.FedXferAborts)
+	}
+	if f.members[0].agent.ctrl == nil {
+		t.Fatal("sending agent never built its congestion controller")
+	}
+	if f.members[0].agent.ctrl.Acks == 0 {
+		t.Fatal("controller saw no acks: chunks were not window-accounted")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"testing"
 	"time"
 
+	"jitsu/internal/blockdev"
+	"jitsu/internal/core"
 	"jitsu/internal/netsim"
 )
 
@@ -136,5 +138,64 @@ func TestMigrationGivesUpAfterAttemptBudget(t *testing.T) {
 	}
 	if m := c.members[1]; m.State != MemberLeft {
 		t.Fatalf("member state = %v, want left", m.State)
+	}
+}
+
+func TestMigrationParksCheckpointAfterAttemptBudget(t *testing.T) {
+	// Same permanent partition as above, but the boards have disk tiers:
+	// once the attempt budget is spent, the already-captured checkpoint
+	// must be parked on a surviving board (the board API is in-process —
+	// a wrecked management network cannot stop the hand-off) so the next
+	// activation resumes it instead of cold-booting.
+	cfg := DefaultConfig()
+	cfg.Boards = 3
+	cfg.Board = core.DefaultConfig()
+	cfg.Board.Disk = blockdev.DefaultConfig()
+	cfg.MigrateOnLeave = true
+	cfg.MigrateChunkMiB = 4
+	cfg.MigrateChunkRTO = 20 * time.Millisecond
+	cfg.MigrateChunkRetries = 3
+	cfg.MigrateRetryDelay = 500 * time.Millisecond
+	cfg.MigrateMaxAttempts = 3
+	c := build(cfg)
+	c.RegisterService(testService("alice", 20), WithMinWarm(2))
+	c.RunAll()
+	e := c.Directory().Lookup("alice.family.name")
+	if replicaOn(e, 1) == nil || !e.Replicas[1].Svc.State.Booted() {
+		t.Fatal("test setup: no warm replica on board 1")
+	}
+	c.MgmtLink(1).Partition()
+
+	left := false
+	if err := c.Leave(1, func() { left = true }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+	if !left {
+		t.Fatal("leave wedged on a partitioned management link")
+	}
+	if c.XferAborts != 3 {
+		t.Fatalf("xfer aborts = %d, want MigrateMaxAttempts=3", c.XferAborts)
+	}
+	if c.Parks != 1 || c.Lost != 0 {
+		t.Fatalf("parks=%d lost=%d, want 1/0 (checkpoint rescued)", c.Parks, c.Lost)
+	}
+	// The rescued state landed on a survivor and resumed from disk: the
+	// warm-pool manager pages the parked checkpoint back in (one disk
+	// restore), never a cold boot.
+	resumed := false
+	for i, p := range e.Replicas {
+		if p == nil || i == 1 {
+			continue
+		}
+		if p.Svc.ColdStarts != 0 {
+			t.Fatalf("board %d cold-booted %d times, want 0", i, p.Svc.ColdStarts)
+		}
+		if p.Svc.DiskRestores == 1 || p.Svc.State == core.StateColdDisk {
+			resumed = true
+		}
+	}
+	if !resumed {
+		t.Fatal("no survivor resumed from the parked checkpoint")
 	}
 }

@@ -604,6 +604,25 @@ func (c *Cluster) MgmtLink(id int) *netsim.Link {
 	return c.members[id].agent.nic.Link()
 }
 
+// MgmtHost returns board id's management-plane endpoint — the host the
+// gossip agent and checkpoint mover already share. A wire.Server bound
+// here exposes the cluster control plane at mgmtIP(id) subject to the
+// same link budget (and the same impairments) as every other
+// management flow.
+func (c *Cluster) MgmtHost(id int) *netstack.Host {
+	return c.members[id].agent.host
+}
+
+// AttachMgmtHost connects a fresh operator endpoint to the management
+// bridge at 10.255.0.lastOctet — the "remote console" a wire.Client
+// dials the control plane from. Pick a lastOctet outside the board
+// range (boards own 10+id).
+func (c *Cluster) AttachMgmtHost(name string, lastOctet byte) *netstack.Host {
+	nic := netsim.NewNIC(c.eng, name, netsim.MACFor(0xC000+int(lastOctet)))
+	c.mgmt.ConnectNIC(nic, 50*time.Microsecond, c.Cfg.MgmtBitsPerSec)
+	return netstack.NewHost(c.eng, name, nic, netstack.IPv4(10, 255, 0, lastOctet), netstack.Dom0Profile())
+}
+
 // StopMembership quiesces every gossip agent (probe timers cancelled) so
 // Engine.Run can drain — used at the end of churn runs and by jitsud
 // once its trace completes.

@@ -211,23 +211,33 @@ func (c *Cluster) migrateAttempt(e *Entry, p *Placement, attempt int, done func(
 // move leaves the healthy source exactly where it was).
 func (c *Cluster) migrateTo(e *Entry, p *Placement, idx int, mandatory bool, attempt int, done func(ok bool)) {
 	dst := e.Replicas[idx]
-	abort := func() {
+	// The transfer speaks the typed control-plane surface: checkpoint on
+	// the source board, restore on the destination, stop on switchover —
+	// the same verbs an external operator would use.
+	cpResp := c.boardAPI(p.Board).Checkpoint(api.CheckpointRequest{Name: e.Name})
+	if cpResp.Err != nil {
 		p.migrating = false
 		dst.reserved = false
 		if mandatory {
 			c.loseReplica(p)
 		}
 		done(false)
-	}
-	// The transfer speaks the typed control-plane surface: checkpoint on
-	// the source board, restore on the destination, stop on switchover —
-	// the same verbs an external operator would use.
-	cpResp := c.boardAPI(p.Board).Checkpoint(api.CheckpointRequest{Name: e.Name})
-	if cpResp.Err != nil {
-		abort()
 		return
 	}
 	cp := cpResp.Checkpoint
+	abort := func() {
+		p.migrating = false
+		dst.reserved = false
+		if mandatory {
+			// The destination (or the path to it) is gone but the
+			// checkpoint is already captured: park it instead of
+			// discarding the state with the replica.
+			if !c.parkCheckpoint(e, p, cp) {
+				c.loseReplica(p)
+			}
+		}
+		done(false)
+	}
 	p.migrating = true
 	var precopy obs.Span
 	if tr := c.tracer(); tr != nil {
@@ -264,7 +274,11 @@ func (c *Cluster) migrateTo(e *Entry, p *Placement, idx int, mandatory bool, att
 				})
 				return
 			}
-			c.loseReplica(p)
+			// Attempt budget spent: the checkpoint exists even though no
+			// copy ever landed — park it before writing the replica off.
+			if !c.parkCheckpoint(e, p, cp) {
+				c.loseReplica(p)
+			}
 			done(false)
 			return
 		}
@@ -324,6 +338,43 @@ func (c *Cluster) migrateTo(e *Entry, p *Placement, idx int, mandatory bool, att
 		// read as ONE replica to the pool manager, or make-before-break
 		// looks over-provisioned and reclaim tears down a bystander.
 	})
+}
+
+// parkCheckpoint is the crash-interrupted-migration fallback: a
+// mandatory evacuation died after the source's state was captured (the
+// destination crashed, or the management path to it partitioned), and
+// the source board is leaving. Instead of discarding the checkpoint
+// with the replica, adopt it onto a surviving board's disk tier — the
+// board API is in-process, so a wrecked management network cannot stop
+// the hand-off — and the service's next activation resumes from
+// StateColdDisk instead of cold-booting. Returns false (caller loses
+// the replica, the old behaviour) when no surviving board has a cold
+// slot and a disk to take it. The failed destination is NOT excluded:
+// a crashed board is already unplaceable, while one that is merely
+// unreachable over the management network (or out of guest memory) can
+// still adopt onto its disk through the in-process board API.
+func (c *Cluster) parkCheckpoint(e *Entry, p *Placement, cp *core.Checkpoint) bool {
+	idx := e.Policy.Pick(c.views(e, func(i int) bool {
+		return i == p.Board || e.Replicas[i].Svc.State != core.StateCold
+	}))
+	if idx < 0 {
+		return false
+	}
+	resp := c.boardAPI(idx).Restore(api.RestoreRequest{
+		Name: e.Name, Checkpoint: cp, Board: api.OnBoard(idx), ToDisk: true})
+	if resp.Err != nil {
+		return false
+	}
+	c.Parks++
+	if tr := c.tracer(); tr != nil {
+		tr.Instant(c.tidFor(idx), "migrate", "park",
+			obs.Str("svc", e.Name), obs.Num("src", int64(p.Board)),
+			obs.Num("state_mib", int64(cp.StateMiB)))
+	}
+	// The source still leaves — but its state lives on, so this is not a
+	// Lost replica.
+	c.Boards[p.Board].Jitsu.Evict(p.Svc)
+	return true
 }
 
 // Rebalance lets each service's policy second-guess where its warm

@@ -105,6 +105,13 @@ func WithMigrateOnLeave(on bool) Option {
 	return func(c *Config) { c.MigrateOnLeave = on }
 }
 
+// WithUnpacedTransfers disables checkpoint-copy congestion control:
+// every chunk blasts onto the management link immediately with the
+// fixed doubling RTO — the Stampede ablation arm.
+func WithUnpacedTransfers(on bool) Option {
+	return func(c *Config) { c.UnpacedTransfers = on }
+}
+
 // NewCluster builds the cluster from DefaultConfig plus options.
 func NewCluster(opts ...Option) *Cluster {
 	cfg := DefaultConfig()

@@ -3,20 +3,28 @@ package cluster
 import (
 	"time"
 
+	"jitsu/internal/cc"
 	"jitsu/internal/netstack"
 	"jitsu/internal/obs"
 	"jitsu/internal/sim"
 )
 
-// Checkpoint transfer: the migration pre-copy is a real stop-and-wait
-// datagram exchange on the management network (port 7947), not a single
-// timed sleep. The checkpoint is cut into chunks; each chunk datagram
-// carries only a header (the bulk payload is modeled as serialization
-// delay at the sender, so a multi-MiB copy does not explode into
-// thousands of simulated frames) and must be acknowledged before the
-// next chunk goes out. Lost chunks or acks retransmit with exponential
-// backoff; a management-link partition exhausts the retries and fails
-// the transfer, which the migration layer answers with abort — and, for
+// Checkpoint transfer: the migration pre-copy is a real windowed
+// datagram exchange on the management network (port 7947). The
+// checkpoint is cut into chunks; each chunk datagram carries only a
+// header but occupies the shared management link for the chunk's full
+// byte count (netstack.SendUDPBulk), so gossip probes and anything else
+// on the same uplink queue behind the copy exactly as they would behind
+// the real burst. How many chunks may be in flight at once is decided
+// by the per-uplink congestion controller (internal/cc): every chunk
+// acquires window before it transmits and returns it on ack, loss or
+// timeout, so the copy paces itself to the link instead of blasting —
+// the unpaced ablation (Config.UnpacedTransfers) puts every chunk on
+// the wire immediately with the old fixed doubling RTO, which is
+// exactly the bufferbloat that falsely suspects gossip peers on a
+// throttled link. Lost chunks retransmit (bounded per chunk); a
+// management-link partition exhausts the retries and fails the
+// transfer, which the migration layer answers with abort — and, for
 // mandatory evacuations, a bounded reschedule.
 const (
 	xferPort = 7947
@@ -25,18 +33,60 @@ const (
 	xferOpAck   = 2 // [op, id:4, idx:4]          — receiver -> sender
 )
 
+// xferChunk is one chunk's sender-side state.
+type xferChunk struct {
+	mib    int
+	tries  int
+	sentAt sim.Duration
+	sent   bool
+	acked  bool
+	timer  sim.Event
+}
+
 // xferSend is the sender side of one checkpoint copy.
 type xferSend struct {
 	c        *Cluster
 	id       uint32
 	src, dst int
-	next     int // chunk awaiting ack
-	total    int
-	lastMiB  int // size of the final (possibly partial) chunk
-	tries    int // transmissions of the current chunk so far
-	timer    sim.Event
+	chunks   []xferChunk
+	acked    int
+	inflight int // unacked transmitted bytes (RTO serialisation allowance)
+	ctrl     *cc.Controller
 	done     func(ok bool)
 	finished bool
+}
+
+// ccFor returns (building on first use) the congestion controller
+// pacing board id's management uplink, or nil when the unpaced
+// ablation is configured. Its live window/RTT state registers under
+// cc.b<id>.* in the cluster registry.
+func (c *Cluster) ccFor(id int) *cc.Controller {
+	if c.Cfg.UnpacedTransfers {
+		return nil
+	}
+	for len(c.ccs) <= id {
+		c.ccs = append(c.ccs, nil)
+	}
+	if c.ccs[id] == nil {
+		ctrl := cc.New(c.eng, cc.Config{
+			MSS:     c.Cfg.MigrateChunkMiB << 20,
+			RTOMin:  c.Cfg.MigrateChunkRTO,
+			InitRTO: c.Cfg.MigrateChunkRTO,
+			RTOMax:  64 * c.Cfg.MigrateChunkRTO,
+		})
+		ctrl.Register(c.Reg, fmt_ccPrefix(id))
+		c.ccs[id] = ctrl
+	}
+	return c.ccs[id]
+}
+
+func fmt_ccPrefix(id int) string {
+	// Small ids only; avoids fmt on a path built once per board.
+	const digits = "0123456789"
+	if id < 10 {
+		return "cc.b" + digits[id:id+1]
+	}
+	return "cc.b" + digits[id/10:id/10+1] + digits[id%10:id%10+1]
 }
 
 // copyCheckpoint streams cp from board src to board dst over the
@@ -54,88 +104,152 @@ func (c *Cluster) copyCheckpoint(src, dst int, stateMiB int, done func(ok bool))
 	}
 	c.nextXferID++
 	s := &xferSend{c: c, id: c.nextXferID, src: src, dst: dst,
-		total: total, lastMiB: last, done: done}
-	c.xferSenders[s.id] = s
-	c.eng.After(500*time.Microsecond, s.sendChunk)
-}
-
-// chunkMiB is the size of chunk idx.
-func (s *xferSend) chunkMiB(idx int) int {
-	if idx == s.total-1 {
-		return s.lastMiB
+		chunks: make([]xferChunk, total), ctrl: c.ccFor(src), done: done}
+	for i := range s.chunks {
+		s.chunks[i].mib = chunk
 	}
-	return s.c.Cfg.MigrateChunkMiB
+	s.chunks[total-1].mib = last
+	c.xferSenders[s.id] = s
+	c.eng.After(500*time.Microsecond, s.start)
 }
 
-// sendChunk pays the current chunk's serialisation time, then puts its
-// header datagram on the wire.
-func (s *xferSend) sendChunk() {
-	bits := float64(s.chunkMiB(s.next)) * 8 * 1024 * 1024
-	ser := sim.Duration(bits / s.c.Cfg.MigrateBitsPerSec * float64(time.Second))
-	s.c.eng.After(ser, s.transmit)
+// start puts the copy in motion: unpaced, every chunk transmits
+// immediately; paced, each chunk queues on the uplink controller and
+// transmits when the window grants it.
+func (s *xferSend) start() {
+	for i := range s.chunks {
+		i := i
+		if s.ctrl == nil {
+			s.transmit(i)
+			continue
+		}
+		bytes := s.chunks[i].mib << 20
+		s.ctrl.Acquire(bytes, func() {
+			if s.finished {
+				s.ctrl.Release(bytes)
+				return
+			}
+			s.transmit(i)
+		})
+	}
 }
 
-// transmit sends the current chunk's datagram and arms the retransmit
-// timer. Retransmits skip the serialisation delay model — the bytes
-// were already "sent" once; what is being recovered is the exchange.
-func (s *xferSend) transmit() {
+// transmit sends chunk idx's header datagram — charged on the wire for
+// the chunk's full byte count — and arms its retransmit timer.
+func (s *xferSend) transmit(idx int) {
 	if s.finished {
 		return
 	}
+	cs := &s.chunks[idx]
 	buf := []byte{xferOpChunk,
 		byte(s.id >> 24), byte(s.id >> 16), byte(s.id >> 8), byte(s.id),
-		byte(s.next >> 24), byte(s.next >> 16), byte(s.next >> 8), byte(s.next),
-		byte(s.total >> 24), byte(s.total >> 16), byte(s.total >> 8), byte(s.total)}
+		byte(idx >> 24), byte(idx >> 16), byte(idx >> 8), byte(idx),
+		byte(len(s.chunks) >> 24), byte(len(s.chunks) >> 16), byte(len(s.chunks) >> 8), byte(len(s.chunks))}
 	s.c.Chunks++
-	s.tries++
-	s.c.agentHost(s.src).SendUDP(mgmtIP(s.dst), xferPort, xferPort, buf)
+	cs.tries++
+	if !cs.sent {
+		cs.sent = true
+		cs.sentAt = s.c.eng.Now()
+		s.inflight += cs.mib << 20
+	}
+	s.c.agentHost(s.src).SendUDPBulk(mgmtIP(s.dst), xferPort, xferPort, buf, cs.mib<<20)
+	s.armTimer(idx)
+}
+
+// armTimer schedules chunk idx's retransmit: the controller's live RTO
+// (or the fixed configured one, unpaced), doubled per retry of this
+// chunk, plus a serialisation allowance for everything in flight ahead
+// of it — the bytes occupy the shared link before the ack can exist.
+func (s *xferSend) armTimer(idx int) {
+	cs := &s.chunks[idx]
 	rto := s.c.Cfg.MigrateChunkRTO
-	for i := 1; i < s.tries; i++ {
+	if s.ctrl != nil {
+		rto = s.ctrl.RTO()
+	}
+	for i := 1; i < cs.tries; i++ {
 		rto *= 2
 	}
-	s.timer = s.c.eng.After(rto, func() {
-		if s.finished {
+	rto += sim.Duration(float64(s.inflight*8) / s.c.Cfg.MigrateBitsPerSec * float64(time.Second))
+	cs.timer = s.c.eng.After(rto, func() {
+		if s.finished || cs.acked {
 			return
 		}
-		if s.tries > s.c.Cfg.MigrateChunkRetries {
+		if cs.tries > s.c.Cfg.MigrateChunkRetries {
 			s.fail()
 			return
 		}
 		s.c.ChunkRetx++
 		if tr := s.c.tracer(); tr != nil {
 			tr.Instant(s.c.tidFor(s.src), "migrate", "chunk-retx",
-				obs.Num("xfer", int64(s.id)), obs.Num("chunk", int64(s.next)))
+				obs.Num("xfer", int64(s.id)), obs.Num("chunk", int64(idx)))
 		}
-		s.transmit()
+		if s.ctrl != nil {
+			// The timeout collapses the window; the retransmit re-queues
+			// for its share of whatever is left.
+			bytes := cs.mib << 20
+			s.ctrl.OnTimeout(bytes)
+			s.ctrl.Acquire(bytes, func() {
+				if s.finished {
+					s.ctrl.Release(bytes)
+					return
+				}
+				s.transmit(idx)
+			})
+			return
+		}
+		s.transmit(idx)
 	})
 }
 
-// onAck advances the window: the awaited chunk was received.
+// onAck retires one chunk: its window returns to the controller (with
+// an RTT sample when the chunk was never retransmitted — Karn's rule).
 func (s *xferSend) onAck(idx int) {
-	if s.finished || idx != s.next {
+	if s.finished || idx >= len(s.chunks) {
+		return
+	}
+	cs := &s.chunks[idx]
+	if !cs.sent || cs.acked {
 		return // duplicate or stale ack
 	}
-	s.c.eng.Cancel(s.timer)
-	s.next++
-	s.tries = 0
-	if s.next == s.total {
+	cs.acked = true
+	s.c.eng.Cancel(cs.timer)
+	bytes := cs.mib << 20
+	s.inflight -= bytes
+	if s.ctrl != nil {
+		var rtt sim.Duration
+		if cs.tries == 1 {
+			rtt = s.c.eng.Now() - cs.sentAt
+		}
+		s.ctrl.OnAck(bytes, rtt)
+	}
+	s.acked++
+	if s.acked == len(s.chunks) {
 		s.finished = true
 		delete(s.c.xferSenders, s.id)
 		s.done(true)
-		return
 	}
-	s.sendChunk()
 }
 
-// fail abandons the transfer after the current chunk exhausted its
-// retries (the management path is gone).
+// fail abandons the transfer after a chunk exhausted its retries (the
+// management path is gone): every outstanding chunk's window returns
+// to the controller so concurrent copies on the same uplink keep
+// moving.
 func (s *xferSend) fail() {
 	s.finished = true
 	delete(s.c.xferSenders, s.id)
+	for i := range s.chunks {
+		cs := &s.chunks[i]
+		if cs.timer != (sim.Event{}) {
+			s.c.eng.Cancel(cs.timer)
+		}
+		if cs.sent && !cs.acked && s.ctrl != nil {
+			s.ctrl.Release(cs.mib << 20)
+		}
+	}
 	s.c.XferAborts++
 	if tr := s.c.tracer(); tr != nil {
 		tr.Instant(s.c.tidFor(s.src), "migrate", "xfer-abort",
-			obs.Num("xfer", int64(s.id)), obs.Num("chunk", int64(s.next)))
+			obs.Num("xfer", int64(s.id)), obs.Num("chunk", int64(s.acked)))
 	}
 	s.done(false)
 }
@@ -144,9 +258,9 @@ func (s *xferSend) fail() {
 func (c *Cluster) agentHost(id int) *netstack.Host { return c.members[id].agent.host }
 
 // recvXfer handles transfer datagrams on one agent. The receiver keeps
-// no per-transfer state: stop-and-wait means every chunk datagram is
-// simply acknowledged (duplicates re-acknowledged — the previous ack
-// may be the frame that was lost), and the sender decides completion.
+// no per-transfer state: every chunk datagram is simply acknowledged
+// (duplicates re-acknowledged — the previous ack may be the frame that
+// was lost), and the sender decides completion.
 func (a *agent) recvXfer(src netstack.IP, _ uint16, payload []byte) {
 	if len(payload) < 9 {
 		return

@@ -173,6 +173,7 @@ func All(quick bool, opts ...Option) []*Result {
 	scalingHorizon := 90 * time.Second
 	churnHorizon := 75 * time.Second
 	federationHorizon := 60 * time.Second
+	stampedeFedHorizon := 300 * time.Second
 	prewarmVisits := 40
 	hostileFlash := 60
 	hostileSwim := 60 * time.Second
@@ -183,6 +184,7 @@ func All(quick bool, opts ...Option) []*Result {
 		scalingN = []int{1, 4}
 		churnHorizon = 45 * time.Second
 		federationHorizon = 45 * time.Second
+		stampedeFedHorizon = 150 * time.Second
 		prewarmVisits = 24
 		hostileFlash = 30
 		hostileSwim = 30 * time.Second
@@ -203,6 +205,7 @@ func All(quick bool, opts ...Option) []*Result {
 		Prewarm(prewarmVisits, opts...),
 		Federation(federationHorizon),
 		Hostile(hostileFlash, hostileSwim),
+		Stampede(stampedeFedHorizon),
 		Density(densityServices, densityMemMiB, densitySamples),
 	}
 }

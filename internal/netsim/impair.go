@@ -133,8 +133,10 @@ func (l *Link) Partitioned() bool {
 // deliverImpaired runs one frame through the direction's fault model
 // and returns the extra delay to add on top of the link's own
 // latency/serialisation, or ok=false when the frame is dropped.
-// Duplication is handled by scheduling the copy directly.
-func (e *linkEnd) deliverImpaired(frame []byte, baseDelay sim.Duration) (extra sim.Duration, ok bool) {
+// wireBytes is the on-wire size the throttle charges (len(frame)
+// except for bulk stand-in frames). Duplication is handled by
+// scheduling the copy directly.
+func (e *linkEnd) deliverImpaired(frame []byte, wireBytes int, baseDelay sim.Duration) (extra sim.Duration, ok bool) {
 	s := e.fault
 	l := e.link
 	if s.partitioned {
@@ -151,7 +153,7 @@ func (e *linkEnd) deliverImpaired(frame []byte, baseDelay sim.Duration) (extra s
 		extra += sim.Duration(s.rng.Int63n(int64(im.Jitter)))
 	}
 	if im.BitsPerSec > 0 {
-		ser := sim.Duration(float64(len(frame)*8) / im.BitsPerSec * float64(time.Second))
+		ser := sim.Duration(float64(wireBytes*8) / im.BitsPerSec * float64(time.Second))
 		now := l.eng.Now()
 		if s.busy < now {
 			s.busy = now

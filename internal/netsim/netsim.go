@@ -110,16 +110,37 @@ func (n *NIC) Deliver(frame []byte) {
 // Send transmits a frame toward the attached link. Frames are copied
 // once at the sender so in-flight frames are immutable.
 func (n *NIC) Send(frame []byte) error {
+	return n.SendBulk(frame, len(frame))
+}
+
+// SendBulk transmits a frame that stands in for wireBytes bytes on the
+// wire: the frame itself (a chunk header, typically) is what the far
+// end receives, but the link charges its serialisation — and any
+// throttle in the fault model — for the full wireBytes. This is how
+// the bulk movers put multi-MiB checkpoint copies onto the management
+// fabric without exploding a copy into thousands of MTU-sized events:
+// one header datagram per chunk occupies the shared link for exactly
+// as long as the chunk's bytes would, so gossip probes and delegated
+// resolutions queue behind it just as they would behind the real
+// burst. wireBytes below the frame length is clamped up.
+func (n *NIC) SendBulk(frame []byte, wireBytes int) error {
 	if len(frame) > MaxFrame {
 		return ErrFrameTooBig
+	}
+	if wireBytes < len(frame) {
+		wireBytes = len(frame)
 	}
 	if n.Down || n.peer == nil {
 		n.Drops++
 		return nil // cable unplugged: dropped, like real life — but counted
 	}
 	n.TxCount++
-	n.TxBytes += uint64(len(frame))
+	n.TxBytes += uint64(wireBytes)
 	buf := append([]byte(nil), frame...)
+	if end, ok := n.peer.(*linkEnd); ok {
+		end.deliver(buf, wireBytes)
+		return nil
+	}
 	n.peer.Deliver(buf)
 	return nil
 }
@@ -152,11 +173,17 @@ type linkEnd struct {
 }
 
 // Deliver implements Port: a frame entering this end of the cable.
-func (e *linkEnd) Deliver(frame []byte) {
+func (e *linkEnd) Deliver(frame []byte) { e.deliver(frame, len(frame)) }
+
+// deliver runs one frame through serialisation, the fault model and
+// delivery scheduling. wireBytes is the on-wire size the direction is
+// charged for — len(frame) on the normal path, larger for bulk stand-in
+// frames (NIC.SendBulk).
+func (e *linkEnd) deliver(frame []byte, wireBytes int) {
 	l := e.link
 	delay := l.Latency
 	if l.BitsPerSec > 0 {
-		ser := sim.Duration(float64(len(frame)*8) / l.BitsPerSec * float64(time.Second))
+		ser := sim.Duration(float64(wireBytes*8) / l.BitsPerSec * float64(time.Second))
 		now := l.eng.Now()
 		if e.busy < now {
 			e.busy = now
@@ -165,7 +192,7 @@ func (e *linkEnd) Deliver(frame []byte) {
 		delay += e.busy - now
 	}
 	if e.fault != nil {
-		extra, ok := e.deliverImpaired(frame, delay)
+		extra, ok := e.deliverImpaired(frame, wireBytes, delay)
 		if !ok {
 			return
 		}

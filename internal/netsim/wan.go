@@ -1,0 +1,70 @@
+package netsim
+
+import (
+	"time"
+
+	"jitsu/internal/sim"
+)
+
+// WAN path presets: federation management links in the paper's
+// deployment stories cross real wide-area paths, not the flat
+// micro-latency LAN the default bridges model. A WANProfile bundles the
+// RTT/loss/throughput triple of one such path and installs it on a link
+// as a symmetric impairment, so the retry, congestion-control and
+// skew-rebalance machinery above is exercised against WAN-shaped
+// physics while staying exactly as seeded-deterministic as a clean run.
+
+// WANProfile characterises one wide-area path.
+type WANProfile struct {
+	// Name identifies the preset ("wan50ms", ...).
+	Name string
+	// RTT is the round-trip propagation time; each direction gets half
+	// as extra one-way latency.
+	RTT sim.Duration
+	// Loss is the per-frame, per-direction drop probability.
+	Loss float64
+	// BitsPerSec throttles each direction's throughput.
+	BitsPerSec float64
+}
+
+// WAN20ms is a regional path: 20ms RTT, 50 Mb/s, light loss.
+func WAN20ms() WANProfile {
+	return WANProfile{Name: "wan20ms", RTT: 20 * time.Millisecond, Loss: 0.0005, BitsPerSec: 50e6}
+}
+
+// WAN50ms is a continental path: 50ms RTT, 20 Mb/s, 0.1% loss.
+func WAN50ms() WANProfile {
+	return WANProfile{Name: "wan50ms", RTT: 50 * time.Millisecond, Loss: 0.001, BitsPerSec: 20e6}
+}
+
+// WAN100ms is an intercontinental path: 100ms RTT, 10 Mb/s, 0.2% loss.
+func WAN100ms() WANProfile {
+	return WANProfile{Name: "wan100ms", RTT: 100 * time.Millisecond, Loss: 0.002, BitsPerSec: 10e6}
+}
+
+// WANProfiles lists every preset, name-sorted.
+func WANProfiles() []WANProfile {
+	return []WANProfile{WAN100ms(), WAN20ms(), WAN50ms()}
+}
+
+// WANByName resolves a preset by its Name (ok=false when unknown).
+func WANByName(name string) (WANProfile, bool) {
+	for _, p := range WANProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return WANProfile{}, false
+}
+
+// Apply installs the profile on both directions of l as an impairment
+// (replacing any previous one): RTT/2 extra latency, the loss rate, and
+// the throughput cap per direction, each direction's RNG seeded from
+// seed so two same-seed runs draw identical loss streams.
+func (p WANProfile) Apply(l *Link, seed int64) {
+	l.Impair(Impairment{
+		Latency:    p.RTT / 2,
+		Loss:       p.Loss,
+		BitsPerSec: p.BitsPerSec,
+	}, seed)
+}

@@ -104,6 +104,9 @@ type Host struct {
 type pendingPacket struct {
 	proto   byte
 	payload []byte
+	// wireBytes is the on-wire size the frame is charged for once ARP
+	// resolves (0 = the frame's own length; larger for bulk stand-ins).
+	wireBytes int
 }
 
 type pendingPing struct {
@@ -198,7 +201,11 @@ func (h *Host) flushPending(ip IP) {
 	delete(h.arpPending, ip)
 	mac := h.arpCache[ip]
 	for _, p := range pend {
-		h.sendEthernet(mac, EtherTypeIPv4, p.payload)
+		if p.wireBytes > 0 {
+			h.sendEthernetBulk(mac, EtherTypeIPv4, p.payload, p.wireBytes)
+		} else {
+			h.sendEthernet(mac, EtherTypeIPv4, p.payload)
+		}
 	}
 }
 
@@ -281,6 +288,34 @@ func (h *Host) sendIPv4From(src, dst IP, proto byte, payload []byte) {
 	}
 }
 
+// SendUDPBulk sends a UDP datagram that stands in for wireBytes bytes
+// on the wire: the payload (a chunk header, typically) is what the
+// receiver sees, but the first-hop link charges serialisation — and any
+// throttle — for the full wireBytes (netsim.NIC.SendBulk). The bulk
+// movers use it so checkpoint chunks occupy the shared management link
+// for as long as their bytes would without one event per MTU frame.
+func (h *Host) SendUDPBulk(dst IP, srcPort, dstPort uint16, payload []byte, wireBytes int) {
+	u := UDPHeader{SrcPort: srcPort, DstPort: dstPort}
+	udp := u.Encode(h.IP, dst, payload)
+	if h.HasIP(dst) {
+		h.sendIPv4(dst, ProtoUDP, udp)
+		return
+	}
+	hdr := IPv4Header{Protocol: ProtoUDP, Src: h.IP, Dst: dst}
+	pkt := hdr.Encode(udp)
+	h.TxPackets++
+	if mac, ok := h.arpCache[dst]; ok {
+		h.sendEthernetBulk(mac, EtherTypeIPv4, pkt, wireBytes)
+		return
+	}
+	first := len(h.arpPending[dst]) == 0
+	h.arpPending[dst] = append(h.arpPending[dst],
+		pendingPacket{proto: ProtoUDP, payload: pkt, wireBytes: wireBytes})
+	if first {
+		h.sendARPRequest(dst, 1)
+	}
+}
+
 // sendARPRequest broadcasts a who-has for dst and arms the retransmit:
 // if no reply lands within arpRequestRTO and packets are still queued,
 // the request goes out again, up to arpRequestTries total. Exhausting
@@ -307,6 +342,13 @@ func (h *Host) sendARPRequest(dst IP, attempt int) {
 func (h *Host) sendEthernet(dst netsim.MAC, etherType uint16, payload []byte) {
 	eth := Ethernet{Dst: dst, Src: h.NIC.Addr, EtherType: etherType}
 	_ = h.NIC.Send(eth.Encode(payload))
+}
+
+// sendEthernetBulk frames payload like sendEthernet but charges the
+// first hop for wireBytes on the wire (bulk stand-in frames).
+func (h *Host) sendEthernetBulk(dst netsim.MAC, etherType uint16, payload []byte, wireBytes int) {
+	eth := Ethernet{Dst: dst, Src: h.NIC.Addr, EtherType: etherType}
+	_ = h.NIC.SendBulk(eth.Encode(payload), wireBytes)
 }
 
 // ---- IPv4 demux ----

@@ -1,0 +1,382 @@
+package wire
+
+import (
+	"jitsu/internal/api"
+	"jitsu/internal/netstack"
+	"jitsu/internal/sim"
+)
+
+// Client speaks the wire protocol over one TCP connection and presents
+// the remote deployment as a local api.ControlPlane. Verbs are
+// synchronous from the caller's perspective: each one sends a request
+// frame and then pumps the simulation engine until the response frame
+// arrives — so a Client must be driven from OUTSIDE engine callbacks
+// (an operator loop, a test, a command main), never from inside an
+// event handler, where pumping would recurse into dispatch.
+//
+// Remote OnReady/OnDone callbacks and WatchStats snapshots arrive as
+// event frames whenever the engine runs — including during other
+// verbs' pumping — and fire the locally-registered closures.
+type Client struct {
+	eng     *sim.Engine
+	conn    *netstack.TCPConn
+	rx      []byte
+	nextID  uint32
+	version uint16
+
+	resps   map[uint32]any
+	readys  map[uint32]func(error)
+	dones   map[uint32]func(bool)
+	watches map[uint32]func(api.StatsResponse) bool
+
+	closed   bool
+	closeErr error
+
+	// Frames counts decoded inbound frames; Events the subset that were
+	// ready/done/stats events.
+	Frames, Events uint64
+}
+
+// Dial connects host to the wire server at dst:port, completes the TCP
+// handshake and the Hello/HelloAck version negotiation, and returns a
+// ready Client. It pumps eng until the handshake settles, so call it
+// from outside engine callbacks.
+func Dial(eng *sim.Engine, host *netstack.Host, dst netstack.IP, port uint16) (*Client, error) {
+	c := &Client{
+		eng:     eng,
+		resps:   make(map[uint32]any),
+		readys:  make(map[uint32]func(error)),
+		dones:   make(map[uint32]func(bool)),
+		watches: make(map[uint32]func(api.StatsResponse) bool),
+	}
+	var dialErr error
+	connected := false
+	host.DialTCP(dst, port, func(conn *netstack.TCPConn, err error) {
+		connected = true
+		dialErr = err
+		c.conn = conn
+	})
+	if err := c.pump(eng, func() bool { return connected }); err != nil {
+		return nil, err
+	}
+	if dialErr != nil {
+		return nil, dialErr
+	}
+	c.conn.OnData(c.onData)
+	c.conn.OnClose(func(err error) {
+		c.closed = true
+		if err != nil {
+			c.closeErr = err
+		}
+	})
+
+	id := c.id()
+	if err := c.sendFrame(THello, id, Hello{Min: 1, Max: Version}); err != nil {
+		return nil, err
+	}
+	if err := c.pump(eng, func() bool { _, ok := c.resps[id]; return ok }); err != nil {
+		return nil, err
+	}
+	ack, ok := c.resps[id].(HelloAck)
+	delete(c.resps, id)
+	if !ok || ack.Version == 0 {
+		c.conn.Close()
+		return nil, ErrNoVersion
+	}
+	c.version = ack.Version
+	return c, nil
+}
+
+// Close shuts the connection down.
+func (c *Client) Close() {
+	if c.conn != nil {
+		c.conn.Close()
+	}
+}
+
+// Version is the negotiated protocol version.
+func (c *Client) Version() uint16 { return c.version }
+
+func (c *Client) id() uint32 {
+	c.nextID++
+	return c.nextID
+}
+
+// pump steps the engine until done() or the connection/engine dies.
+func (c *Client) pump(eng *sim.Engine, done func() bool) error {
+	for !done() {
+		if c.closed {
+			if c.closeErr != nil {
+				return c.closeErr
+			}
+			return ErrClosed
+		}
+		if !eng.Step() {
+			return ErrClosed // event queue drained with no answer coming
+		}
+	}
+	return nil
+}
+
+func (c *Client) sendFrame(typ byte, id uint32, msg any) error {
+	buf, err := Append(nil, typ, id, msg)
+	if err != nil {
+		return err
+	}
+	return c.conn.Send(buf)
+}
+
+// onData reassembles frames and routes them: responses park in resps
+// for a pumping verb to collect, events fire their registered closures
+// immediately.
+func (c *Client) onData(b []byte) {
+	c.rx = append(c.rx, b...)
+	for {
+		typ, id, msg, n, err := Decode(c.rx)
+		if err == ErrShort {
+			return
+		}
+		if err != nil {
+			c.closed = true
+			c.closeErr = err
+			c.conn.Abort()
+			return
+		}
+		c.rx = c.rx[n:]
+		c.Frames++
+		switch typ {
+		case TReadyEvent:
+			c.Events++
+			if fn, ok := c.readys[id]; ok {
+				delete(c.readys, id)
+				ev := msg.(ReadyEvent)
+				if ev.Err != nil {
+					fn(ev.Err)
+				} else {
+					fn(nil)
+				}
+			}
+		case TDoneEvent:
+			c.Events++
+			if fn, ok := c.dones[id]; ok {
+				delete(c.dones, id)
+				fn(msg.(DoneEvent).OK)
+			}
+		case TStatsEvent:
+			c.Events++
+			if fn, ok := c.watches[id]; ok {
+				if !fn(msg.(api.StatsResponse)) {
+					delete(c.watches, id)
+					c.sendFrame(TWatchCancel, id, nil)
+				}
+			}
+		default:
+			c.resps[id] = msg
+		}
+	}
+}
+
+// roundTrip sends one request and pumps until its response arrives.
+func (c *Client) roundTrip(typ byte, id uint32, msg any) (any, *api.Error) {
+	op := opName(typ)
+	if c.closed {
+		return nil, api.Errf(op, api.CodeUnavailable, "wire: %v", c.closeState())
+	}
+	if err := c.sendFrame(typ, id, msg); err != nil {
+		return nil, api.Errf(op, api.CodeUnavailable, "wire: %v", err)
+	}
+	if err := c.pump(c.eng, func() bool { _, ok := c.resps[id]; return ok }); err != nil {
+		return nil, api.Errf(op, api.CodeUnavailable, "wire: %v", err)
+	}
+	resp := c.resps[id]
+	delete(c.resps, id)
+	return resp, nil
+}
+
+func (c *Client) closeState() error {
+	if c.closeErr != nil {
+		return c.closeErr
+	}
+	return ErrClosed
+}
+
+func opName(typ byte) string {
+	switch typ {
+	case TRegisterReq:
+		return "register"
+	case TActivateReq:
+		return "activate"
+	case TCheckpointReq:
+		return "checkpoint"
+	case TRestoreReq:
+		return "restore"
+	case TMigrateReq:
+		return "migrate"
+	case TTransferReq:
+		return "transfer"
+	case TDemoteReq:
+		return "demote"
+	case TPromoteReq:
+		return "promote"
+	case TStopReq:
+		return "stop"
+	case TStatsReq:
+		return "stats"
+	case TWatchReq:
+		return "watch-stats"
+	}
+	return "wire"
+}
+
+// ---- api.ControlPlane ----
+
+// Register implements api.ControlPlane.
+func (c *Client) Register(req api.RegisterRequest) api.RegisterResponse {
+	resp, err := c.roundTrip(TRegisterReq, c.id(), req)
+	if err != nil {
+		return api.RegisterResponse{Err: err}
+	}
+	return resp.(api.RegisterResponse)
+}
+
+// Activate implements api.ControlPlane.
+func (c *Client) Activate(req api.ActivateRequest) api.ActivateResponse {
+	id := c.id()
+	if req.OnReady != nil {
+		c.readys[id] = req.OnReady
+	}
+	resp, err := c.roundTrip(TActivateReq, id,
+		ActivateReq{Name: req.Name, Speculative: req.Speculative, WantReady: req.OnReady != nil})
+	if err != nil {
+		delete(c.readys, id)
+		return api.ActivateResponse{Err: err}
+	}
+	return resp.(api.ActivateResponse)
+}
+
+// Checkpoint implements api.ControlPlane.
+func (c *Client) Checkpoint(req api.CheckpointRequest) api.CheckpointResponse {
+	resp, err := c.roundTrip(TCheckpointReq, c.id(), req)
+	if err != nil {
+		return api.CheckpointResponse{Err: err}
+	}
+	return resp.(api.CheckpointResponse)
+}
+
+// Restore implements api.ControlPlane.
+func (c *Client) Restore(req api.RestoreRequest) api.RestoreResponse {
+	id := c.id()
+	if req.OnReady != nil {
+		c.readys[id] = req.OnReady
+	}
+	resp, err := c.roundTrip(TRestoreReq, id, RestoreReq{Name: req.Name,
+		Checkpoint: req.Checkpoint, Board: req.Board, ToDisk: req.ToDisk,
+		WantReady: req.OnReady != nil})
+	if err != nil {
+		delete(c.readys, id)
+		return api.RestoreResponse{Err: err}
+	}
+	return resp.(api.RestoreResponse)
+}
+
+// Migrate implements api.ControlPlane.
+func (c *Client) Migrate(req api.MigrateRequest) api.MigrateResponse {
+	id := c.id()
+	if req.OnDone != nil {
+		c.dones[id] = req.OnDone
+	}
+	resp, err := c.roundTrip(TMigrateReq, id, MigrateReq{Name: req.Name,
+		From: req.From, To: req.To, WantDone: req.OnDone != nil})
+	if err != nil {
+		delete(c.dones, id)
+		return api.MigrateResponse{Err: err}
+	}
+	return resp.(api.MigrateResponse)
+}
+
+// Transfer implements api.ControlPlane.
+func (c *Client) Transfer(req api.TransferRequest) api.TransferResponse {
+	id := c.id()
+	if req.OnReady != nil {
+		c.readys[id] = req.OnReady
+	}
+	resp, err := c.roundTrip(TTransferReq, id, TransferReq{Config: req.Config,
+		MinWarm: req.MinWarm, Policy: req.Policy, Checkpoint: req.Checkpoint,
+		ToDisk: req.ToDisk, WantReady: req.OnReady != nil})
+	if err != nil {
+		delete(c.readys, id)
+		return api.TransferResponse{Err: err}
+	}
+	return resp.(api.TransferResponse)
+}
+
+// Demote implements api.ControlPlane.
+func (c *Client) Demote(req api.DemoteRequest) api.DemoteResponse {
+	resp, err := c.roundTrip(TDemoteReq, c.id(), req)
+	if err != nil {
+		return api.DemoteResponse{Err: err}
+	}
+	return resp.(api.DemoteResponse)
+}
+
+// Promote implements api.ControlPlane.
+func (c *Client) Promote(req api.PromoteRequest) api.PromoteResponse {
+	id := c.id()
+	if req.OnReady != nil {
+		c.readys[id] = req.OnReady
+	}
+	resp, err := c.roundTrip(TPromoteReq, id,
+		PromoteReq{Name: req.Name, Board: req.Board, WantReady: req.OnReady != nil})
+	if err != nil {
+		delete(c.readys, id)
+		return api.PromoteResponse{Err: err}
+	}
+	return resp.(api.PromoteResponse)
+}
+
+// Stop implements api.ControlPlane.
+func (c *Client) Stop(req api.StopRequest) api.StopResponse {
+	resp, err := c.roundTrip(TStopReq, c.id(), req)
+	if err != nil {
+		return api.StopResponse{Err: err}
+	}
+	return resp.(api.StopResponse)
+}
+
+// Stats implements api.ControlPlane.
+func (c *Client) Stats(api.StatsRequest) api.StatsResponse {
+	resp, err := c.roundTrip(TStatsReq, c.id(), nil)
+	if err != nil {
+		return api.StatsResponse{Err: err}
+	}
+	return resp.(api.StatsResponse)
+}
+
+// WatchStats implements api.ControlPlane: snapshots stream in as
+// StatsEvent frames and fire OnStats; the returned Stop sends a cancel
+// frame upstream.
+func (c *Client) WatchStats(req api.WatchStatsRequest) api.WatchStatsResponse {
+	if req.OnStats == nil {
+		return api.WatchStatsResponse{Err: api.Errf("watch-stats", api.CodeBadRequest, "nil OnStats")}
+	}
+	id := c.id()
+	c.watches[id] = req.OnStats
+	resp, err := c.roundTrip(TWatchReq, id, WatchReq{Every: req.Every})
+	if err != nil {
+		delete(c.watches, id)
+		return api.WatchStatsResponse{Err: err}
+	}
+	wr := resp.(WatchResp)
+	if wr.Err != nil {
+		delete(c.watches, id)
+		return api.WatchStatsResponse{Err: wr.Err}
+	}
+	return api.WatchStatsResponse{Stop: func() {
+		if _, ok := c.watches[id]; ok {
+			delete(c.watches, id)
+			c.sendFrame(TWatchCancel, id, nil)
+		}
+	}}
+}
+
+var _ api.ControlPlane = (*Client)(nil)

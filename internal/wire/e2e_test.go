@@ -1,0 +1,260 @@
+package wire_test
+
+import (
+	"testing"
+	"time"
+
+	"jitsu/internal/api"
+	"jitsu/internal/blockdev"
+	"jitsu/internal/cluster"
+	"jitsu/internal/core"
+	"jitsu/internal/netsim"
+	"jitsu/internal/netstack"
+	"jitsu/internal/unikernel"
+	"jitsu/internal/wire"
+	"jitsu/internal/xen"
+)
+
+const wirePort = 7900
+
+// dialedCluster builds a disk-tiered cluster with a wire server on
+// board 0's management host and a Client dialled in from an operator
+// console attached to the same bridge. The optional tap captures every
+// frame the console exchanges with the cluster.
+func dialedCluster(t *testing.T, seed int64, tap *netsim.Capture) (*cluster.Cluster, *wire.Client, *wire.Server) {
+	t.Helper()
+	c := cluster.NewCluster(
+		cluster.WithBoards(3),
+		cluster.WithSeed(seed),
+		cluster.WithBoardOptions(core.WithDisk(blockdev.DefaultConfig())),
+	)
+	srv, err := wire.Serve(c.MgmtHost(0), wirePort, c.API(),
+		func(name string, _ xen.GuestKind) unikernel.App { return unikernel.NewStaticSiteApp(name) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	console := c.AttachMgmtHost("console", 200)
+	if tap != nil {
+		console.NIC.Link().Tap(tap)
+	}
+	cl, err := wire.Dial(c.Eng(), console, netstack.IPv4(10, 255, 0, 10), wirePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, cl, srv
+}
+
+// TestRemoteSessionDrivesCluster walks a full operator session over
+// the wire: register, activate (remote OnReady), stats, demote,
+// promote, migrate (remote OnDone), stop — every response carried as
+// frames across the simulated management network.
+func TestRemoteSessionDrivesCluster(t *testing.T) {
+	c, cl, srv := dialedCluster(t, 1, nil)
+	if cl.Version() != wire.Version {
+		t.Fatalf("negotiated version %d, want %d", cl.Version(), wire.Version)
+	}
+	zone := c.Cfg.Board.Zone
+	name := "alice." + zone
+
+	reg := cl.Register(api.RegisterRequest{Config: core.ServiceConfig{
+		Name: name, IP: netstack.IPv4(10, 0, 0, 20), Port: 80,
+		Image: unikernel.UnikernelImage("alice", nil),
+	}})
+	if reg.Err != nil || reg.Name != name {
+		t.Fatalf("register: %v %q", reg.Err, reg.Name)
+	}
+
+	// Registering the same name again must carry the typed conflict
+	// back across the wire.
+	if dup := cl.Register(api.RegisterRequest{Config: core.ServiceConfig{
+		Name: name, IP: netstack.IPv4(10, 0, 0, 20), Port: 80,
+		Image: unikernel.UnikernelImage("alice", nil),
+	}}); dup.Err == nil || dup.Err.Code != api.CodeConflict {
+		t.Fatalf("duplicate register: %v, want CodeConflict", dup.Err)
+	}
+	if miss := cl.Activate(api.ActivateRequest{Name: "ghost." + zone}); miss.Err == nil || miss.Err.Code != api.CodeNotFound {
+		t.Fatalf("activate unknown: %v, want CodeNotFound", miss.Err)
+	}
+
+	readyErr := error(api.Errf("x", api.CodeUnavailable, "never fired"))
+	readyFired := false
+	act := cl.Activate(api.ActivateRequest{Name: name, OnReady: func(err error) {
+		readyFired, readyErr = true, err
+	}})
+	if act.Err != nil {
+		t.Fatalf("activate: %v", act.Err)
+	}
+	c.Eng().RunFor(5 * time.Second)
+	if !readyFired || readyErr != nil {
+		t.Fatalf("remote OnReady: fired=%v err=%v", readyFired, readyErr)
+	}
+
+	stats := cl.Stats(api.StatsRequest{})
+	if stats.Err != nil || len(stats.Services) != 1 || stats.Services[0].Name != name {
+		t.Fatalf("stats: %v %+v", stats.Err, stats.Services)
+	}
+	if stats.Services[0].Launches != 1 || len(stats.Registries) == 0 {
+		t.Fatalf("stats content: launches=%d registries=%d",
+			stats.Services[0].Launches, len(stats.Registries))
+	}
+
+	dem := cl.Demote(api.DemoteRequest{Name: name, Board: api.OnBoard(act.Board)})
+	if dem.Err != nil || dem.Demoted != 1 {
+		t.Fatalf("demote: %v demoted=%d", dem.Err, dem.Demoted)
+	}
+	c.Eng().RunFor(2 * time.Second)
+
+	promoted := false
+	pro := cl.Promote(api.PromoteRequest{Name: name, OnReady: func(err error) {
+		if err == nil {
+			promoted = true
+		}
+	}})
+	if pro.Err != nil || pro.Board != act.Board {
+		t.Fatalf("promote: %v board=%d want %d", pro.Err, pro.Board, act.Board)
+	}
+	c.Eng().RunFor(5 * time.Second)
+	if !promoted {
+		t.Fatal("remote promote OnReady never fired")
+	}
+
+	migrated, migrateOK := false, false
+	mig := cl.Migrate(api.MigrateRequest{Name: name, From: api.OnBoard(act.Board),
+		OnDone: func(ok bool) { migrated, migrateOK = true, ok }})
+	if mig.Err != nil || !mig.Started {
+		t.Fatalf("migrate: %v started=%v", mig.Err, mig.Started)
+	}
+	c.Eng().RunFor(20 * time.Second)
+	if !migrated || !migrateOK {
+		t.Fatalf("remote OnDone: fired=%v ok=%v", migrated, migrateOK)
+	}
+	if c.Migrations != 1 || c.Chunks == 0 {
+		t.Fatalf("migrations=%d chunks=%d — the CC-paced mover should have run", c.Migrations, c.Chunks)
+	}
+
+	stop := cl.Stop(api.StopRequest{Name: name})
+	if stop.Err != nil || stop.Stopped == 0 {
+		t.Fatalf("stop: %v stopped=%d", stop.Err, stop.Stopped)
+	}
+	if srv.Conns != 1 || srv.ProtoErrs != 0 {
+		t.Fatalf("server saw conns=%d protoerrs=%d", srv.Conns, srv.ProtoErrs)
+	}
+}
+
+// TestRemoteWatchStatsStream subscribes over the wire, collects three
+// snapshots at the deployment's virtual-time cadence, then ends the
+// stream from the OnStats return value — the client must cancel
+// upstream and no further snapshots may arrive.
+func TestRemoteWatchStatsStream(t *testing.T) {
+	c, cl, _ := dialedCluster(t, 1, nil)
+
+	if bad := cl.WatchStats(api.WatchStatsRequest{Every: -time.Second,
+		OnStats: func(api.StatsResponse) bool { return true }}); bad.Err == nil ||
+		bad.Err.Code != api.CodeBadRequest {
+		t.Fatalf("negative period: %v, want CodeBadRequest", bad.Err)
+	}
+
+	snaps := 0
+	resp := cl.WatchStats(api.WatchStatsRequest{Every: time.Second,
+		OnStats: func(s api.StatsResponse) bool {
+			if s.Err != nil {
+				t.Fatalf("stream snapshot error: %v", s.Err)
+			}
+			snaps++
+			return snaps < 3
+		}})
+	if resp.Err != nil {
+		t.Fatalf("watch-stats: %v", resp.Err)
+	}
+	c.Eng().RunFor(10 * time.Second)
+	if snaps != 3 {
+		t.Fatalf("snapshots = %d, want exactly 3 (stream must stop)", snaps)
+	}
+}
+
+// TestRemoteSessionDeterministic runs the same scripted session twice
+// under the same seed and demands bit-identical console traffic: the
+// capture fingerprint covers every frame byte and delivery instant.
+func TestRemoteSessionDeterministic(t *testing.T) {
+	run := func() uint64 {
+		c := cluster.NewCluster(
+			cluster.WithBoards(3),
+			cluster.WithSeed(7),
+			cluster.WithBoardOptions(core.WithDisk(blockdev.DefaultConfig())),
+		)
+		if _, err := wire.Serve(c.MgmtHost(0), wirePort, c.API(),
+			func(name string, _ xen.GuestKind) unikernel.App { return unikernel.NewStaticSiteApp(name) }); err != nil {
+			t.Fatal(err)
+		}
+		console := c.AttachMgmtHost("console", 200)
+		tap := netsim.NewCapture(c.Eng(), 1<<14)
+		console.NIC.Link().Tap(tap)
+		cl, err := wire.Dial(c.Eng(), console, netstack.IPv4(10, 255, 0, 10), wirePort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := "alice." + c.Cfg.Board.Zone
+		cl.Register(api.RegisterRequest{Config: core.ServiceConfig{
+			Name: name, IP: netstack.IPv4(10, 0, 0, 20), Port: 80,
+			Image: unikernel.UnikernelImage("alice", nil),
+		}})
+		cl.Activate(api.ActivateRequest{Name: name})
+		c.Eng().RunFor(5 * time.Second)
+		cl.Demote(api.DemoteRequest{Name: name})
+		c.Eng().RunFor(2 * time.Second)
+		cl.Promote(api.PromoteRequest{Name: name})
+		c.Eng().RunFor(5 * time.Second)
+		cl.Stats(api.StatsRequest{})
+		cl.Close()
+		c.Eng().RunFor(5 * time.Second)
+		return tap.Fingerprint()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("console capture fingerprints differ: %016x vs %016x", a, b)
+	}
+	if a == 0 {
+		t.Fatal("empty capture — the tap saw no frames")
+	}
+}
+
+// TestVersionNegotiationRejectsStranger: a client offering only a
+// future protocol range is turned away with HelloAck{0}.
+func TestVersionNegotiationRejectsStranger(t *testing.T) {
+	c := cluster.NewCluster(cluster.WithBoards(2), cluster.WithSeed(3))
+	if _, err := wire.Serve(c.MgmtHost(0), wirePort, c.API(), nil); err != nil {
+		t.Fatal(err)
+	}
+	console := c.AttachMgmtHost("console", 201)
+
+	var conn *netstack.TCPConn
+	console.DialTCP(netstack.IPv4(10, 255, 0, 10), wirePort, func(tc *netstack.TCPConn, err error) {
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		conn = tc
+	})
+	c.Eng().RunFor(time.Second)
+	if conn == nil {
+		t.Fatal("no connection")
+	}
+	// A v1-framed Hello offering only versions 5..9.
+	buf, err := wire.Append(nil, wire.THello, 1, wire.Hello{Min: 5, Max: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *wire.HelloAck
+	rx := []byte{}
+	conn.OnData(func(b []byte) {
+		rx = append(rx, b...)
+		if typ, _, msg, _, err := wire.Decode(rx); err == nil && typ == wire.THelloAck {
+			ack := msg.(wire.HelloAck)
+			got = &ack
+		}
+	})
+	conn.Send(buf)
+	c.Eng().RunFor(time.Second)
+	if got == nil || got.Version != 0 {
+		t.Fatalf("hello-ack = %+v, want version 0 refusal", got)
+	}
+}

@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"jitsu/internal/api"
+)
+
+// FuzzWireCodec feeds arbitrary bytes to the frame decoder: it must
+// never panic, and whatever it accepts must survive a canonical
+// re-encode / re-decode round trip — the re-encoded frame is a fixed
+// point (encode∘decode on it is byte-identity). The comparison is on
+// bytes, not decoded structs: inputs may be non-canonical (a bool byte
+// of 2) and may carry NaN floats, which compare unequal to themselves
+// while still round-tripping bit-exactly.
+func FuzzWireCodec(f *testing.F) {
+	for _, m := range allMessages() {
+		buf, err := Append(nil, m.typ, 77, m.msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	bad, _ := Append(nil, TStopReq, 9, api.StopRequest{Name: "alice"})
+	f.Add(bad[:len(bad)-2])
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, id, msg, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n < headerLen || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		reenc, err := Append(nil, typ, id, msg)
+		if err != nil {
+			t.Fatalf("decoded frame type 0x%02x failed to re-encode: %v", typ, err)
+		}
+		typ2, id2, msg2, _, err := Decode(reenc)
+		if err != nil {
+			t.Fatalf("canonical re-encode failed to decode: %v", err)
+		}
+		if typ2 != typ || id2 != id {
+			t.Fatalf("round trip moved the header: 0x%02x/%d vs 0x%02x/%d", typ, id, typ2, id2)
+		}
+		reenc2, err := Append(nil, typ2, id2, msg2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(reenc, reenc2) {
+			t.Fatalf("canonical form is not a fixed point for type 0x%02x:\n%x\nvs\n%x", typ, reenc, reenc2)
+		}
+	})
+}

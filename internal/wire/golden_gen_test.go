@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"jitsu/internal/api"
+	"jitsu/internal/core"
+	"jitsu/internal/netstack"
+	"jitsu/internal/unikernel"
+)
+
+// goldenVectors is the pinned frame set: known messages whose exact
+// byte layout must never drift within protocol version 1. Regenerate
+// (after a deliberate, version-bumping layout change) with
+//
+//	WIRE_GOLDEN_DUMP=1 go test ./internal/wire -run TestGoldenVectors -v
+func goldenVectors() []struct {
+	name string
+	typ  byte
+	id   uint32
+	msg  any
+} {
+	return []struct {
+		name string
+		typ  byte
+		id   uint32
+		msg  any
+	}{
+		{"hello", THello, 1, Hello{Min: 1, Max: 1}},
+		{"hello-ack", THelloAck, 1, HelloAck{Version: 1}},
+		{"register-req", TRegisterReq, 2, api.RegisterRequest{
+			Config: core.ServiceConfig{
+				Name:  "alice.family.name",
+				IP:    netstack.IPv4(10, 0, 0, 20),
+				Port:  80,
+				Image: unikernel.Image{Name: "alice", MemMiB: 16, BinaryMiB: 1},
+				TTL:   30,
+			},
+			MinWarm: 2,
+			Policy:  "least-loaded",
+		}},
+		{"activate-req", TActivateReq, 3, ActivateReq{Name: "alice.family.name", WantReady: true}},
+		{"activate-resp", TActivateResp, 3, api.ActivateResponse{
+			IP: netstack.IPv4(10, 0, 0, 20), Board: 1, State: core.StateRunning}},
+		{"migrate-req", TMigrateReq, 4, MigrateReq{
+			Name: "alice.family.name", From: api.OnBoard(1), To: api.AnyBoard, WantDone: true}},
+		{"error-resp", TRegisterResp, 5, api.RegisterResponse{
+			Err: api.Errf("register", api.CodeConflict, "name taken")}},
+		{"watch-req", TWatchReq, 6, WatchReq{Every: 10 * time.Second}},
+		{"done-event", TDoneEvent, 4, DoneEvent{OK: true}},
+	}
+}
+
+// TestGoldenVectors pins the v1 frame layout bit-for-bit.
+func TestGoldenVectors(t *testing.T) {
+	want := map[string]string{
+		"hello":         "0000000a01010000000100010001",
+		"hello-ack":     "000000080102000000010001",
+		"register-req":  "000000550110000000020011616c6963652e66616d696c792e6e616d650a00001400500005616c69636500000000103ff00000000000000000001e00000000000000000000000000000002000c6c656173742d6c6f61646564",
+		"activate-req":  "0000001b0111000000030011616c6963652e66616d696c792e6e616d650001",
+		"activate-resp": "000000100131000000030a000014000000010200",
+		"migrate-req":   "000000220114000000040011616c6963652e66616d696c792e6e616d65000000020000000001",
+		"error-resp":    "000000200130000000050000010008726567697374657204000a6e616d652074616b656e",
+		"watch-req":     "0000000e011a0000000600000002540be400",
+		"done-event":    "0000000701410000000401",
+	}
+	for _, v := range goldenVectors() {
+		buf, err := Append(nil, v.typ, v.id, v.msg)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		got := hex.EncodeToString(buf)
+		if os.Getenv("WIRE_GOLDEN_DUMP") != "" {
+			fmt.Printf("%q: %q,\n", v.name, got)
+			continue
+		}
+		if got != want[v.name] {
+			t.Errorf("%s frame drifted:\n got  %s\n want %s", v.name, got, want[v.name])
+		}
+	}
+}

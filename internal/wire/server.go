@@ -1,0 +1,240 @@
+package wire
+
+import (
+	"jitsu/internal/api"
+	"jitsu/internal/netstack"
+	"jitsu/internal/unikernel"
+	"jitsu/internal/xen"
+)
+
+// AppResolver rebuilds the application factory an Image lost in
+// transit (App is an interface and never crosses the wire). A nil
+// resolver leaves adopted images without an app — registrations still
+// succeed, but activations would fail to boot.
+type AppResolver func(name string, kind xen.GuestKind) unikernel.App
+
+// Server binds a ControlPlane backend to a TCP port on a management
+// host: each connection negotiates a protocol version, then request
+// frames are decoded, dispatched to the backend, and answered with
+// response frames; callbacks fire back as event frames on the same
+// connection.
+type Server struct {
+	backend api.ControlPlane
+	apps    AppResolver
+	ln      *netstack.TCPListener
+
+	// Conns counts accepted connections, Frames decoded request frames,
+	// ProtoErrs connections dropped for protocol violations.
+	Conns, Frames, ProtoErrs uint64
+}
+
+// Serve starts a wire server for backend on host:port. The resolver
+// re-attaches App factories to images arriving in Register, Restore
+// and Transfer requests (nil = leave them app-less).
+func Serve(host *netstack.Host, port uint16, backend api.ControlPlane, apps AppResolver) (*Server, error) {
+	s := &Server{backend: backend, apps: apps}
+	ln, err := host.ListenTCP(port, func(conn *netstack.TCPConn) {
+		s.Conns++
+		sc := &srvConn{s: s, conn: conn, watches: make(map[uint32]func())}
+		conn.OnData(sc.onData)
+		conn.OnClose(sc.onClose)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	return s, nil
+}
+
+// Close stops accepting new connections.
+func (s *Server) Close() { s.ln.Close() }
+
+// resolve fills in the App for an image that crossed the wire.
+func (s *Server) resolve(img *unikernel.Image) {
+	if s.apps != nil && img.App == nil {
+		img.App = s.apps(img.Name, img.Kind)
+	}
+}
+
+// srvConn is one accepted connection's state: the rx reassembly
+// buffer, whether Hello/HelloAck completed, and the live WatchStats
+// subscriptions keyed by their request id.
+type srvConn struct {
+	s       *Server
+	conn    *netstack.TCPConn
+	rx      []byte
+	hello   bool
+	closed  bool
+	watches map[uint32]func()
+}
+
+func (sc *srvConn) onClose(error) {
+	sc.closed = true
+	for id, stop := range sc.watches {
+		stop()
+		delete(sc.watches, id)
+	}
+}
+
+// drop abandons the connection on a protocol violation.
+func (sc *srvConn) drop() {
+	sc.s.ProtoErrs++
+	sc.onClose(nil)
+	sc.conn.Abort()
+}
+
+func (sc *srvConn) send(typ byte, id uint32, msg any) {
+	if sc.closed {
+		return
+	}
+	buf, err := Append(nil, typ, id, msg)
+	if err != nil {
+		sc.drop()
+		return
+	}
+	if sc.conn.Send(buf) != nil {
+		sc.onClose(nil)
+	}
+}
+
+func (sc *srvConn) onData(b []byte) {
+	sc.rx = append(sc.rx, b...)
+	for !sc.closed {
+		typ, id, msg, n, err := Decode(sc.rx)
+		if err == ErrShort {
+			return
+		}
+		if err != nil {
+			sc.drop()
+			return
+		}
+		sc.rx = sc.rx[n:]
+		sc.dispatch(typ, id, msg)
+	}
+}
+
+func (sc *srvConn) dispatch(typ byte, id uint32, msg any) {
+	// The handshake gates everything: first frame must be Hello, and
+	// exactly once.
+	if !sc.hello {
+		h, ok := msg.(Hello)
+		if typ != THello || !ok {
+			sc.drop()
+			return
+		}
+		if h.Min > Version || h.Max < Version {
+			sc.send(THelloAck, id, HelloAck{Version: 0})
+			sc.conn.Close()
+			sc.closed = true
+			return
+		}
+		sc.hello = true
+		sc.send(THelloAck, id, HelloAck{Version: Version})
+		return
+	}
+	sc.s.Frames++
+
+	switch typ {
+	case THello:
+		sc.drop() // a second Hello is a protocol violation
+
+	case TRegisterReq:
+		req := msg.(api.RegisterRequest)
+		sc.s.resolve(&req.Config.Image)
+		sc.send(respOf(typ), id, sc.s.backend.Register(req))
+	case TActivateReq:
+		m := msg.(ActivateReq)
+		req := api.ActivateRequest{Name: m.Name, Speculative: m.Speculative}
+		if m.WantReady {
+			req.OnReady = sc.readyEvent(id)
+		}
+		sc.send(respOf(typ), id, sc.s.backend.Activate(req))
+	case TCheckpointReq:
+		sc.send(respOf(typ), id, sc.s.backend.Checkpoint(msg.(api.CheckpointRequest)))
+	case TRestoreReq:
+		m := msg.(RestoreReq)
+		if m.Checkpoint != nil {
+			sc.s.resolve(&m.Checkpoint.Image)
+		}
+		req := api.RestoreRequest{Name: m.Name, Checkpoint: m.Checkpoint,
+			Board: m.Board, ToDisk: m.ToDisk}
+		if m.WantReady {
+			req.OnReady = sc.readyEvent(id)
+		}
+		sc.send(respOf(typ), id, sc.s.backend.Restore(req))
+	case TMigrateReq:
+		m := msg.(MigrateReq)
+		req := api.MigrateRequest{Name: m.Name, From: m.From, To: m.To}
+		if m.WantDone {
+			req.OnDone = func(ok bool) { sc.send(TDoneEvent, id, DoneEvent{OK: ok}) }
+		}
+		sc.send(respOf(typ), id, sc.s.backend.Migrate(req))
+	case TTransferReq:
+		m := msg.(TransferReq)
+		sc.s.resolve(&m.Config.Image)
+		if m.Checkpoint != nil {
+			sc.s.resolve(&m.Checkpoint.Image)
+		}
+		req := api.TransferRequest{Config: m.Config, MinWarm: m.MinWarm,
+			Policy: m.Policy, Checkpoint: m.Checkpoint, ToDisk: m.ToDisk}
+		if m.WantReady {
+			req.OnReady = sc.readyEvent(id)
+		}
+		sc.send(respOf(typ), id, sc.s.backend.Transfer(req))
+	case TDemoteReq:
+		sc.send(respOf(typ), id, sc.s.backend.Demote(msg.(api.DemoteRequest)))
+	case TPromoteReq:
+		m := msg.(PromoteReq)
+		req := api.PromoteRequest{Name: m.Name, Board: m.Board}
+		if m.WantReady {
+			req.OnReady = sc.readyEvent(id)
+		}
+		sc.send(respOf(typ), id, sc.s.backend.Promote(req))
+	case TStopReq:
+		sc.send(respOf(typ), id, sc.s.backend.Stop(msg.(api.StopRequest)))
+	case TStatsReq:
+		sc.send(respOf(typ), id, sc.s.backend.Stats(api.StatsRequest{}))
+	case TWatchReq:
+		m := msg.(WatchReq)
+		resp := sc.s.backend.WatchStats(api.WatchStatsRequest{
+			Every: m.Every,
+			OnStats: func(s api.StatsResponse) bool {
+				if sc.closed {
+					return false
+				}
+				sc.send(TStatsEvent, id, s)
+				return !sc.closed
+			},
+		})
+		if resp.Err == nil && resp.Stop != nil {
+			sc.watches[id] = resp.Stop
+		}
+		sc.send(respOf(typ), id, WatchResp{Err: resp.Err})
+	case TWatchCancel:
+		if stop, ok := sc.watches[id]; ok {
+			stop()
+			delete(sc.watches, id)
+		}
+
+	default:
+		// Response/event frames from a client (or future request types)
+		// are violations at the server.
+		sc.drop()
+	}
+}
+
+// readyEvent builds an OnReady callback that ships the outcome back as
+// a ReadyEvent frame tagged with the request id.
+func (sc *srvConn) readyEvent(id uint32) func(error) {
+	return func(err error) {
+		ev := ReadyEvent{}
+		if err != nil {
+			if ae, ok := err.(*api.Error); ok {
+				ev.Err = ae
+			} else {
+				ev.Err = api.Errf("ready", api.CodeUnavailable, "%v", err)
+			}
+		}
+		sc.send(TReadyEvent, id, ev)
+	}
+}

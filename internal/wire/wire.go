@@ -1,0 +1,99 @@
+// Package wire is the control plane on the wire: a versioned,
+// length-prefixed binary codec for every api.ControlPlane verb, plus a
+// Server that binds the protocol to a netstack TCP endpoint and a
+// Client that implements api.ControlPlane over a connection. Together
+// they let a remote operator process drive a board or a whole cluster
+// across the simulated management network — the same verbs, the same
+// typed error codes, but now subject to the link's latency, loss and
+// partitions like any other traffic.
+//
+// Layering: wire sits ABOVE api (it serializes api's request/response
+// types and delegates to an api.ControlPlane backend) and above
+// netstack (frames ride ordinary TCP connections). It knows nothing of
+// cluster internals; internal/cc paces the bulk movers below this
+// protocol and never appears on it.
+//
+// Frame layout (all integers big-endian):
+//
+//	offset  size  field
+//	0       4     length of the remainder (ver..body), <= MaxFrame
+//	4       1     protocol version (currently 1)
+//	5       1     frame type
+//	6       4     request id (echoed on responses and events)
+//	10      n     body (frame-type specific)
+//
+// A connection opens with Hello/HelloAck version negotiation: the
+// client offers its [Min,Max] supported range, the server answers with
+// the highest version both sides speak (0 = no overlap; the connection
+// is then closed). Every later frame carries the negotiated version.
+//
+// Request/response types pair by offset: request type t gets response
+// type t+0x20. Three extra frame kinds carry asynchrony: ReadyEvent
+// (an OnReady callback firing remotely), DoneEvent (a Migrate OnDone),
+// and StatsEvent (one WatchStats snapshot, tagged with the watch's
+// request id).
+package wire
+
+import "errors"
+
+// Version is the protocol version this package speaks.
+const Version = 1
+
+// MaxFrame caps the length prefix: larger announcements are a protocol
+// error, not a reason to buffer unboundedly.
+const MaxFrame = 1 << 20
+
+// headerLen is the fixed frame header: length + version + type + id.
+const headerLen = 10
+
+// Frame types. Requests and responses pair by offset: respOf(t) for a
+// request type t is t + 0x20.
+const (
+	THello    = 0x01
+	THelloAck = 0x02
+
+	TRegisterReq   = 0x10
+	TActivateReq   = 0x11
+	TCheckpointReq = 0x12
+	TRestoreReq    = 0x13
+	TMigrateReq    = 0x14
+	TTransferReq   = 0x15
+	TDemoteReq     = 0x16
+	TPromoteReq    = 0x17
+	TStopReq       = 0x18
+	TStatsReq      = 0x19
+	TWatchReq      = 0x1A
+	TWatchCancel   = 0x1B
+
+	TRegisterResp   = 0x30
+	TActivateResp   = 0x31
+	TCheckpointResp = 0x32
+	TRestoreResp    = 0x33
+	TMigrateResp    = 0x34
+	TTransferResp   = 0x35
+	TDemoteResp     = 0x36
+	TPromoteResp    = 0x37
+	TStopResp       = 0x38
+	TStatsResp      = 0x39
+	TWatchResp      = 0x3A
+
+	TReadyEvent = 0x40
+	TDoneEvent  = 0x41
+	TStatsEvent = 0x42
+)
+
+// respOf maps a request frame type to its response type.
+func respOf(t byte) byte { return t + 0x20 }
+
+// Codec errors. ErrShort is the resumable one — the buffer holds a
+// frame prefix and the caller should wait for more bytes; everything
+// else is a hard protocol violation that closes the connection.
+var (
+	ErrShort       = errors.New("wire: incomplete frame")
+	ErrFrameTooBig = errors.New("wire: frame exceeds MaxFrame")
+	ErrBadVersion  = errors.New("wire: unsupported protocol version")
+	ErrUnknownType = errors.New("wire: unknown frame type")
+	ErrBadFrame    = errors.New("wire: malformed frame body")
+	ErrNoVersion   = errors.New("wire: no common protocol version")
+	ErrClosed      = errors.New("wire: connection closed")
+)
