@@ -22,13 +22,16 @@ import (
 // (the source keeps serving). FedConfig.UnpacedTransfers keeps the
 // blast-everything ablation arm.
 
-// fedXferChunk is one chunk's sender-side state.
+// fedXferChunk is one chunk's sender-side state. held mirrors
+// xferChunk.held: whether the chunk currently owns granted controller
+// window, so exactly one of OnAck/OnTimeout/Release settles each grant.
 type fedXferChunk struct {
 	mib    int
 	tries  int
 	sentAt sim.Duration
 	sent   bool
 	acked  bool
+	held   bool
 	timer  sim.Event
 }
 
@@ -69,7 +72,7 @@ func itoa(n int) string {
 	if n == 0 {
 		return "0"
 	}
-	var buf [8]byte
+	var buf [20]byte
 	i := len(buf)
 	for n > 0 && i > 0 {
 		i--
@@ -115,6 +118,7 @@ func (s *fedXferSend) start() {
 				s.ctrl.Release(bytes)
 				return
 			}
+			s.chunks[i].held = true
 			s.transmit(i)
 		})
 	}
@@ -163,13 +167,18 @@ func (s *fedXferSend) armTimer(idx int) {
 		}
 		s.a.f.FedChunkRetx++
 		if s.ctrl != nil {
+			// As in xfer.go: the timed-out chunk holds no window while
+			// its re-Acquire queues; an ack or failure landing first
+			// leaves the grant closure to return its own bytes.
 			bytes := cs.mib << 20
+			cs.held = false
 			s.ctrl.OnTimeout(bytes)
 			s.ctrl.Acquire(bytes, func() {
-				if s.finished {
+				if s.finished || cs.acked {
 					s.ctrl.Release(bytes)
 					return
 				}
+				cs.held = true
 				s.transmit(idx)
 			})
 			return
@@ -190,7 +199,8 @@ func (s *fedXferSend) onAck(idx int) {
 	s.a.f.eng.Cancel(cs.timer)
 	bytes := cs.mib << 20
 	s.inflight -= bytes
-	if s.ctrl != nil {
+	if s.ctrl != nil && cs.held {
+		cs.held = false
 		var rtt sim.Duration
 		if cs.tries == 1 {
 			rtt = s.a.f.eng.Now() - cs.sentAt
@@ -213,7 +223,8 @@ func (s *fedXferSend) fail() {
 		if cs.timer != (sim.Event{}) {
 			s.a.f.eng.Cancel(cs.timer)
 		}
-		if cs.sent && !cs.acked && s.ctrl != nil {
+		if cs.held && s.ctrl != nil {
+			cs.held = false
 			s.ctrl.Release(cs.mib << 20)
 		}
 	}

@@ -81,6 +81,65 @@ func TestMigrationRetransmitsThroughLoss(t *testing.T) {
 	}
 }
 
+func TestMigrationLateAckAfterTimeoutSettlesWindowOnce(t *testing.T) {
+	// Regression: link RTT far above the chunk RTO, no loss. Every
+	// chunk's timer fires before its ack arrives, so the timeout path
+	// returns the chunk's window (OnTimeout) and queues a re-Acquire —
+	// and then the late ack lands while that re-Acquire is still
+	// waiting. Exactly one of OnAck / the queued grant's Release may
+	// settle the window: the old code let the ack call OnAck (a second
+	// release) and the later grant retransmit the already-acked chunk,
+	// leaking the granted bytes into the controller's in-flight account
+	// forever and wedging every subsequent transfer on the uplink. The
+	// 18 MiB state makes the last chunk 2 MiB, so the double release
+	// clamps at zero instead of cancelling the leak arithmetically —
+	// the leak survives to the end where the test can see it.
+	cfg := DefaultConfig()
+	cfg.Boards = 3
+	cfg.MigrateOnLeave = true
+	cfg.MigrateChunkMiB = 4
+	cfg.MigrateChunkRTO = 20 * time.Millisecond
+	cfg.MigrateChunkRetries = 6
+	cfg.MigrateRetryDelay = 500 * time.Millisecond
+	cfg.MigrateMaxAttempts = 3
+	c := build(cfg)
+	svc := testService("alice", 20)
+	svc.StateMiB = 18
+	c.RegisterService(svc, WithMinWarm(2))
+	c.RunAll()
+	if e := c.Directory().Lookup("alice.family.name"); replicaOn(e, 1) == nil || !e.Replicas[1].Svc.State.Booted() {
+		t.Fatal("test setup: no warm replica on board 1")
+	}
+	c.MgmtLink(1).Impair(netsim.Impairment{Latency: 30 * time.Millisecond}, 17)
+
+	left := false
+	if err := c.Leave(1, func() { left = true }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+	if !left || c.Migrations != 1 || c.Lost != 0 || c.XferAborts != 0 {
+		t.Fatalf("left=%v migrations=%d lost=%d aborts=%d, want true/1/0/0",
+			left, c.Migrations, c.Lost, c.XferAborts)
+	}
+	if c.ChunkRetx == 0 {
+		t.Fatal("RTT above RTO produced no chunk timeouts — scenario not exercised")
+	}
+	// The transfer is long done: all granted window must be back and no
+	// stale re-Acquire may still be queued on the source's controller.
+	ctrl := c.ccs[1]
+	if ctrl == nil {
+		t.Fatal("no congestion controller built for board 1")
+	}
+	if ctrl.InFlight() != 0 || ctrl.QueueLen() != 0 {
+		t.Fatalf("controller leaked: inflight=%d queued=%d, want 0/0",
+			ctrl.InFlight(), ctrl.QueueLen())
+	}
+	e := c.Directory().Lookup("alice.family.name")
+	if replicaOn(e, 2) == nil || !e.Replicas[2].Svc.State.Booted() {
+		t.Fatal("replica did not arrive warm on board 2")
+	}
+}
+
 func TestMigrationAbortsAndReschedulesOnPartition(t *testing.T) {
 	// The mgmt link partitions mid-transfer: the chunk exchange starves,
 	// the transfer aborts, and the mandatory evacuation reschedules.

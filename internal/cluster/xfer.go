@@ -33,13 +33,19 @@ const (
 	xferOpAck   = 2 // [op, id:4, idx:4]          — receiver -> sender
 )
 
-// xferChunk is one chunk's sender-side state.
+// xferChunk is one chunk's sender-side state. held tracks whether the
+// chunk currently owns granted controller window: the controller's
+// contract is that every grant is settled by exactly one of
+// OnAck/OnTimeout/Release, and a chunk whose timer fired has already
+// settled via OnTimeout while its re-Acquire waits in the queue — a
+// late ack or a transfer failure in that gap must not settle again.
 type xferChunk struct {
 	mib    int
 	tries  int
 	sentAt sim.Duration
 	sent   bool
 	acked  bool
+	held   bool
 	timer  sim.Event
 }
 
@@ -81,12 +87,7 @@ func (c *Cluster) ccFor(id int) *cc.Controller {
 }
 
 func fmt_ccPrefix(id int) string {
-	// Small ids only; avoids fmt on a path built once per board.
-	const digits = "0123456789"
-	if id < 10 {
-		return "cc.b" + digits[id:id+1]
-	}
-	return "cc.b" + digits[id/10:id/10+1] + digits[id%10:id%10+1]
+	return "cc.b" + itoa(id)
 }
 
 // copyCheckpoint streams cp from board src to board dst over the
@@ -129,6 +130,7 @@ func (s *xferSend) start() {
 				s.ctrl.Release(bytes)
 				return
 			}
+			s.chunks[i].held = true
 			s.transmit(i)
 		})
 	}
@@ -185,14 +187,19 @@ func (s *xferSend) armTimer(idx int) {
 		}
 		if s.ctrl != nil {
 			// The timeout collapses the window; the retransmit re-queues
-			// for its share of whatever is left.
+			// for its share of whatever is left. The chunk no longer
+			// holds window until the re-grant fires — and if the ack
+			// (or the whole transfer's fate) lands first, the grant
+			// closure hands its bytes straight back.
 			bytes := cs.mib << 20
+			cs.held = false
 			s.ctrl.OnTimeout(bytes)
 			s.ctrl.Acquire(bytes, func() {
-				if s.finished {
+				if s.finished || cs.acked {
 					s.ctrl.Release(bytes)
 					return
 				}
+				cs.held = true
 				s.transmit(idx)
 			})
 			return
@@ -215,7 +222,10 @@ func (s *xferSend) onAck(idx int) {
 	s.c.eng.Cancel(cs.timer)
 	bytes := cs.mib << 20
 	s.inflight -= bytes
-	if s.ctrl != nil {
+	if s.ctrl != nil && cs.held {
+		// A chunk awaiting its post-timeout re-grant holds no window —
+		// its queued grant settles itself when it fires.
+		cs.held = false
 		var rtt sim.Duration
 		if cs.tries == 1 {
 			rtt = s.c.eng.Now() - cs.sentAt
@@ -242,7 +252,11 @@ func (s *xferSend) fail() {
 		if cs.timer != (sim.Event{}) {
 			s.c.eng.Cancel(cs.timer)
 		}
-		if cs.sent && !cs.acked && s.ctrl != nil {
+		if cs.held && s.ctrl != nil {
+			// Only chunks currently holding window return it here;
+			// queued grants (initial or post-timeout) see finished and
+			// release their own bytes when they fire.
+			cs.held = false
 			s.ctrl.Release(cs.mib << 20)
 		}
 	}

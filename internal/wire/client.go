@@ -97,6 +97,13 @@ func (c *Client) Close() {
 // Version is the negotiated protocol version.
 func (c *Client) Version() uint16 { return c.version }
 
+// Pending is the number of callback registrations still waiting for a
+// Ready/Done event or streaming stats. Verbs that fail — on the
+// transport or with an application error — drop their registration,
+// since the matching event will never arrive; a Pending count that
+// only grows is a leak.
+func (c *Client) Pending() int { return len(c.readys) + len(c.dones) + len(c.watches) }
+
 func (c *Client) id() uint32 {
 	c.nextID++
 	return c.nextID
@@ -251,7 +258,12 @@ func (c *Client) Activate(req api.ActivateRequest) api.ActivateResponse {
 		delete(c.readys, id)
 		return api.ActivateResponse{Err: err}
 	}
-	return resp.(api.ActivateResponse)
+	out := resp.(api.ActivateResponse)
+	if out.Err != nil {
+		// The verb failed server-side: no Ready event will ever arrive.
+		delete(c.readys, id)
+	}
+	return out
 }
 
 // Checkpoint implements api.ControlPlane.
@@ -276,7 +288,11 @@ func (c *Client) Restore(req api.RestoreRequest) api.RestoreResponse {
 		delete(c.readys, id)
 		return api.RestoreResponse{Err: err}
 	}
-	return resp.(api.RestoreResponse)
+	out := resp.(api.RestoreResponse)
+	if out.Err != nil {
+		delete(c.readys, id)
+	}
+	return out
 }
 
 // Migrate implements api.ControlPlane.
@@ -291,7 +307,12 @@ func (c *Client) Migrate(req api.MigrateRequest) api.MigrateResponse {
 		delete(c.dones, id)
 		return api.MigrateResponse{Err: err}
 	}
-	return resp.(api.MigrateResponse)
+	out := resp.(api.MigrateResponse)
+	if out.Err != nil {
+		// The migration was rejected outright: no Done event follows.
+		delete(c.dones, id)
+	}
+	return out
 }
 
 // Transfer implements api.ControlPlane.
@@ -307,7 +328,11 @@ func (c *Client) Transfer(req api.TransferRequest) api.TransferResponse {
 		delete(c.readys, id)
 		return api.TransferResponse{Err: err}
 	}
-	return resp.(api.TransferResponse)
+	out := resp.(api.TransferResponse)
+	if out.Err != nil {
+		delete(c.readys, id)
+	}
+	return out
 }
 
 // Demote implements api.ControlPlane.
@@ -331,7 +356,11 @@ func (c *Client) Promote(req api.PromoteRequest) api.PromoteResponse {
 		delete(c.readys, id)
 		return api.PromoteResponse{Err: err}
 	}
-	return resp.(api.PromoteResponse)
+	out := resp.(api.PromoteResponse)
+	if out.Err != nil {
+		delete(c.readys, id)
+	}
+	return out
 }
 
 // Stop implements api.ControlPlane.

@@ -172,6 +172,37 @@ func TestRemoteWatchStatsStream(t *testing.T) {
 	}
 }
 
+// TestFailedVerbsDropCallbackRegistrations: a verb that comes back
+// with an application error will never be followed by its Ready/Done
+// event, so the client must drop the registration instead of holding
+// it for the connection's lifetime.
+func TestFailedVerbsDropCallbackRegistrations(t *testing.T) {
+	c, cl, _ := dialedCluster(t, 1, nil)
+	zone := c.Cfg.Board.Zone
+	ghost := "ghost." + zone
+
+	fired := false
+	if resp := cl.Activate(api.ActivateRequest{Name: ghost,
+		OnReady: func(error) { fired = true }}); resp.Err == nil {
+		t.Fatal("activate unknown succeeded")
+	}
+	if resp := cl.Promote(api.PromoteRequest{Name: ghost,
+		OnReady: func(error) { fired = true }}); resp.Err == nil {
+		t.Fatal("promote unknown succeeded")
+	}
+	if resp := cl.Migrate(api.MigrateRequest{Name: ghost,
+		OnDone: func(bool) { fired = true }}); resp.Err == nil {
+		t.Fatal("migrate unknown succeeded")
+	}
+	c.Eng().RunFor(2 * time.Second)
+	if fired {
+		t.Fatal("a failed verb fired its callback")
+	}
+	if n := cl.Pending(); n != 0 {
+		t.Fatalf("pending callback registrations = %d, want 0", n)
+	}
+}
+
 // TestRemoteSessionDeterministic runs the same scripted session twice
 // under the same seed and demands bit-identical console traffic: the
 // capture fingerprint covers every frame byte and delivery instant.
