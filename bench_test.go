@@ -349,11 +349,11 @@ func BenchmarkWireRoundTrip(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
-		buf, err = wire.Append(buf[:0], wire.TRegisterReq, uint32(i), req)
+		buf, err = wire.Append(buf[:0], wire.V2, wire.TRegisterReq, uint32(i), req)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, _, _, _, err := wire.Decode(buf); err != nil {
+		if _, _, _, _, _, err := wire.Decode(buf); err != nil {
 			b.Fatal(err)
 		}
 	}

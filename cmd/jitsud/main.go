@@ -579,13 +579,16 @@ func runCluster(boards, services, requests int, seed int64, policyName string, m
 }
 
 // runConnect is the remote-operator mode: the cluster's control plane
-// is served by a wire.Server on board 0's management endpoint, and the
-// whole session — register, activate, stats, demote, promote, migrate,
-// stop — is driven by a wire.Client dialled in from an operator console
-// attached to the same management bridge. Every verb, response, ready
-// event and stats snapshot crosses the simulated network as versioned
-// length-prefixed frames; the console link is captured and its
-// fingerprint printed, so two same-seed runs can be checked for
+// is served by a wire.Server on board 0's management endpoint, and
+// three concurrent operator sessions — an admin, an operator and a
+// read-only viewer, each holding its own capability token — drive it
+// from separate consoles on the same management bridge. The admin
+// registers and migrates, the operator runs the demote/promote
+// lifecycle, the viewer streams stats and demonstrates a scoped
+// refusal that leaves its session healthy. Every verb, response,
+// ready event and stats snapshot crosses the simulated network as
+// versioned length-prefixed frames; each console link is captured and
+// its fingerprint printed, so two same-seed runs can be checked for
 // bit-identical wire traffic.
 func runConnect(boards, services int, seed int64, policyName string, wanProf *netsim.WANProfile, statsEvery time.Duration) {
 	pol := cluster.PolicyByName(policyName)
@@ -602,35 +605,61 @@ func runConnect(boards, services int, seed int64, policyName string, wanProf *ne
 		// back in on promote.
 		cluster.WithBoardOptions(core.WithDisk(blockdev.DefaultConfig())),
 	)
-	srv, err := wire.Serve(c.MgmtHost(0), 7900, c.API(),
-		func(name string, _ xen.GuestKind) unikernel.App { return unikernel.NewStaticSiteApp(name) })
+	srv, err := c.ServeWire(cluster.WireConfig{
+		Apps: func(name string, _ xen.GuestKind) unikernel.App { return unikernel.NewStaticSiteApp(name) },
+		Keyring: map[string]api.Scope{
+			"jitsu-admin": api.ScopeAdmin,
+			"jitsu-ops":   api.ScopeOperator,
+			"jitsu-ro":    api.ScopeReadOnly,
+		},
+		Anonymous: api.ScopeNone,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jitsud: %v\n", err)
 		os.Exit(1)
 	}
-	console := c.AttachMgmtHost("console", 200)
+
+	type operator struct {
+		role  string
+		token string
+		cl    *wire.Client
+		tap   *netsim.Capture
+	}
+	sessions := []*operator{
+		{role: "admin", token: "jitsu-admin"},
+		{role: "operator", token: "jitsu-ops"},
+		{role: "viewer", token: "jitsu-ro"},
+	}
+	for i, op := range sessions {
+		console := c.AttachMgmtHost(op.role, byte(200+i))
+		if wanProf != nil {
+			wanProf.Apply(console.NIC.Link(), seed+int64(i))
+		}
+		op.tap = netsim.NewCapture(c.Eng(), 1<<16)
+		console.NIC.Link().Tap(op.tap)
+		cl, err := wire.DialSession(c.Eng(), console, netstack.IPv4(10, 255, 0, 10),
+			wire.DefaultPort, wire.SessionConfig{Token: op.token})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jitsud: dial %s: %v\n", op.role, err)
+			os.Exit(1)
+		}
+		op.cl = cl
+	}
+	admin, ops, viewer := sessions[0].cl, sessions[1].cl, sessions[2].cl
 	if wanProf != nil {
-		wanProf.Apply(console.NIC.Link(), seed)
-		fmt.Printf("console link shaped to %s: rtt %v, loss %.2f%%, %.0f Mb/s\n",
+		fmt.Printf("console links shaped to %s: rtt %v, loss %.2f%%, %.0f Mb/s\n",
 			wanProf.Name, wanProf.RTT, wanProf.Loss*100, wanProf.BitsPerSec/1e6)
 	}
-	tap := netsim.NewCapture(c.Eng(), 1<<16)
-	console.NIC.Link().Tap(tap)
-	cl, err := wire.Dial(c.Eng(), console, netstack.IPv4(10, 255, 0, 10), 7900)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "jitsud: dial: %v\n", err)
-		os.Exit(1)
-	}
 	now := func() time.Duration { return c.Eng().Now().Round(time.Millisecond) }
-	fmt.Printf("jitsud connect: %d boards, policy %s; operator console dialled into board 0 (wire protocol v%d)\n\n",
-		boards, pol.Name(), cl.Version())
-	stopStats := streamStats(cl, statsEvery, c.Eng().Now)
+	fmt.Printf("jitsud connect: %d boards, policy %s; 3 operator sessions on board 0 (wire protocol v%d, scopes %s/%s/%s)\n\n",
+		boards, pol.Name(), admin.Version(), admin.Scope(), ops.Scope(), viewer.Scope())
+	stopStats := streamStats(viewer, statsEvery, c.Eng().Now)
 
 	zone := c.Cfg.Board.Zone
 	names := make([]string, services)
 	for i := 0; i < services; i++ {
 		names[i] = serviceNames[i] + "." + zone
-		resp := cl.Register(api.RegisterRequest{Config: core.ServiceConfig{
+		resp := admin.Register(api.RegisterRequest{Config: core.ServiceConfig{
 			Name:  names[i],
 			IP:    netstack.IPv4(10, 0, 0, byte(20+i)),
 			Port:  80,
@@ -640,17 +669,17 @@ func runConnect(boards, services int, seed int64, policyName string, wanProf *ne
 			fmt.Fprintf(os.Stderr, "jitsud: register: %v\n", resp.Err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-12v -> register %-22s ok\n", now(), names[i])
+		fmt.Printf("%-12v admin    -> register %-22s ok\n", now(), names[i])
 	}
 	board0 := -1
 	for i := 0; i < services; i++ {
 		i := i
-		resp := cl.Activate(api.ActivateRequest{Name: names[i], OnReady: func(err error) {
+		resp := admin.Activate(api.ActivateRequest{Name: names[i], OnReady: func(err error) {
 			if err != nil {
-				fmt.Printf("%-12v <- ready    %-22s ERR %v\n", now(), names[i], err)
+				fmt.Printf("%-12v admin    <- ready    %-22s ERR %v\n", now(), names[i], err)
 				return
 			}
-			fmt.Printf("%-12v <- ready    %-22s (event frame from board 0)\n", now(), names[i])
+			fmt.Printf("%-12v admin    <- ready    %-22s (event frame from board 0)\n", now(), names[i])
 		}})
 		if resp.Err != nil {
 			fmt.Fprintf(os.Stderr, "jitsud: activate: %v\n", resp.Err)
@@ -659,53 +688,70 @@ func runConnect(boards, services int, seed int64, policyName string, wanProf *ne
 		if i == 0 {
 			board0 = resp.Board
 		}
-		fmt.Printf("%-12v -> activate %-22s placed on board %d\n", now(), names[i], resp.Board)
+		fmt.Printf("%-12v admin    -> activate %-22s placed on board %d\n", now(), names[i], resp.Board)
 	}
 	c.Eng().RunFor(5 * time.Second)
 
-	stats := cl.Stats(api.StatsRequest{})
+	stats := viewer.Stats(api.StatsRequest{})
 	launches := uint64(0)
 	for _, s := range stats.Services {
 		launches += s.Launches
 	}
-	fmt.Printf("%-12v -> stats    %d services, %d launches, %d registries\n",
+	fmt.Printf("%-12v viewer   -> stats    %d services, %d launches, %d registries\n",
 		now(), len(stats.Services), launches, len(stats.Registries))
 
-	if dem := cl.Demote(api.DemoteRequest{Name: names[0]}); dem.Err == nil {
-		fmt.Printf("%-12v -> demote   %-22s %d replica(s) checkpointing to disk\n", now(), names[0], dem.Demoted)
+	// The viewer oversteps its read-only scope: the verb is refused
+	// with CodeUnauthorized, the session itself stays up.
+	if mig := viewer.Migrate(api.MigrateRequest{Name: names[0]}); mig.Err != nil {
+		fmt.Printf("%-12v viewer   -> migrate  %-22s refused: %s (%s) — session stays up\n",
+			now(), names[0], mig.Err.Code, mig.Err.Detail)
+	}
+
+	if dem := ops.Demote(api.DemoteRequest{Name: names[0]}); dem.Err == nil {
+		fmt.Printf("%-12v operator -> demote   %-22s %d replica(s) checkpointing to disk\n", now(), names[0], dem.Demoted)
 	}
 	c.Eng().RunFor(2 * time.Second)
-	pro := cl.Promote(api.PromoteRequest{Name: names[0], OnReady: func(err error) {
+	pro := ops.Promote(api.PromoteRequest{Name: names[0], OnReady: func(err error) {
 		if err == nil {
-			fmt.Printf("%-12v <- ready    %-22s paged back in from disk\n", now(), names[0])
+			fmt.Printf("%-12v operator <- ready    %-22s paged back in from disk\n", now(), names[0])
 		}
 	}})
 	if pro.Err == nil {
-		fmt.Printf("%-12v -> promote  %-22s restoring on board %d\n", now(), names[0], pro.Board)
+		fmt.Printf("%-12v operator -> promote  %-22s restoring on board %d\n", now(), names[0], pro.Board)
 	}
 	c.Eng().RunFor(5 * time.Second)
 
-	mig := cl.Migrate(api.MigrateRequest{Name: names[0], From: api.OnBoard(board0), OnDone: func(ok bool) {
-		fmt.Printf("%-12v <- done     %-22s migration ok=%v (%d chunks paced over the mgmt link)\n",
+	mig := admin.Migrate(api.MigrateRequest{Name: names[0], From: api.OnBoard(board0), OnDone: func(ok bool) {
+		fmt.Printf("%-12v admin    <- done     %-22s migration ok=%v (%d chunks paced over the mgmt link)\n",
 			now(), names[0], ok, c.Chunks)
 	}})
 	if mig.Err != nil {
 		fmt.Fprintf(os.Stderr, "jitsud: migrate: %v\n", mig.Err)
 		os.Exit(1)
 	}
-	fmt.Printf("%-12v -> migrate  %-22s off board %d\n", now(), names[0], board0)
+	fmt.Printf("%-12v admin    -> migrate  %-22s off board %d\n", now(), names[0], board0)
 	c.Eng().RunFor(20 * time.Second)
 
-	if stop := cl.Stop(api.StopRequest{Name: names[0]}); stop.Err == nil {
-		fmt.Printf("%-12v -> stop     %-22s %d replica(s) stopped\n", now(), names[0], stop.Stopped)
+	if stop := ops.Stop(api.StopRequest{Name: names[0]}); stop.Err == nil {
+		fmt.Printf("%-12v operator -> stop     %-22s %d replica(s) stopped\n", now(), names[0], stop.Stopped)
 	}
 	stopStats()
-	cl.Close()
+	for _, op := range sessions {
+		op.cl.Close()
+	}
 	c.Eng().RunFor(time.Second)
 
-	fmt.Printf("\nwire session: client rx %d frames (%d events), server rx %d frames, %d conns, %d protocol errors\n",
-		cl.Frames, cl.Events, srv.Frames, srv.Conns, srv.ProtoErrs)
-	fmt.Printf("console link capture fingerprint: %016x — same seed, same bytes, same instants\n", tap.Fingerprint())
+	rxFrames, rxEvents := uint64(0), uint64(0)
+	for _, op := range sessions {
+		rxFrames += op.cl.Frames
+		rxEvents += op.cl.Events
+	}
+	fmt.Printf("\nwire sessions: clients rx %d frames (%d events), server rx %d frames, %d conns, %d unauthorized, %d protocol errors\n",
+		rxFrames, rxEvents, srv.Frames, srv.Conns, srv.Unauthorized, srv.ProtoErrs)
+	for _, op := range sessions {
+		fmt.Printf("%-8s console capture fingerprint: %016x — same seed, same bytes, same instants\n",
+			op.role, op.tap.Fingerprint())
+	}
 }
 
 // runFederation is the cluster-of-clusters mode: the same request

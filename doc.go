@@ -59,13 +59,20 @@
 // The control plane has a wire form. internal/wire sits ABOVE
 // internal/api: it serializes every api.ControlPlane verb as versioned,
 // length-prefixed binary frames with request ids and typed error codes
-// — wire.Serve exposes any api backend on a simulated management
-// endpoint, wire.Client implements api.ControlPlane over a dialled
-// netstack connection, and the async verbs (Activate/Promote ready,
-// Migrate done, WatchStats snapshots) come back as server-pushed event
-// frames. Anything that speaks api — a board, a cluster, a test fake —
-// is remotable without change, and `jitsud -connect` drives a whole
-// cluster that way.
+// — wire.ServeWith exposes any api backend on a simulated management
+// endpoint behind a capability keyring (protocol v2 sessions present a
+// token and are granted a verb scope: read-only, operator or admin;
+// out-of-scope verbs answer api.CodeUnauthorized without killing the
+// session; v1 peers negotiate down and fall under the server's
+// anonymous-session policy), wire.DialSession implements
+// api.ControlPlane over a dialled netstack connection, and the async
+// verbs (Activate/Promote ready, Migrate done, WatchStats snapshots)
+// come back as server-pushed event frames. A server carries any number
+// of concurrent operator sessions, each with its own request-id space
+// and watch registry. Anything that speaks api — a board, a cluster, a
+// test fake — is remotable without change, and `jitsud -connect`
+// drives a whole cluster through three concurrently connected scoped
+// consoles.
 //
 // internal/cc sits BELOW the bulk movers: it is a pure window/RTO state
 // machine (AIMD with delay-based backoff, no wire knowledge) that the

@@ -46,6 +46,11 @@ const (
 	// spill or skew shed); the detail names the new home and callers
 	// should re-resolve at the federation root.
 	CodeMoved
+	// CodeUnauthorized: the session's capability scope does not cover
+	// the verb (or the session presented no acceptable credential at
+	// all). The session itself stays healthy — only the verb is
+	// refused.
+	CodeUnauthorized
 )
 
 func (c Code) String() string {
@@ -62,9 +67,18 @@ func (c Code) String() string {
 		return "unavailable"
 	case CodeMoved:
 		return "moved"
+	case CodeUnauthorized:
+		return "unauthorized"
 	default:
 		return fmt.Sprintf("code(%d)", int(c))
 	}
+}
+
+// Codes lists every error code, in wire order — the table the
+// verb-by-code round-trip tests sweep.
+func Codes() []Code {
+	return []Code{CodeBadRequest, CodeNotFound, CodeNoMemory, CodeConflict,
+		CodeUnavailable, CodeMoved, CodeUnauthorized}
 }
 
 // Error is a typed control-plane failure: the operation, the code a
@@ -334,10 +348,10 @@ type WatchStatsResponse struct {
 // behaves identically on one board and on a cluster.
 func StreamStats(eng *sim.Engine, req WatchStatsRequest, snap func(StatsRequest) StatsResponse) WatchStatsResponse {
 	if req.Every <= 0 {
-		return WatchStatsResponse{Err: Errf("watch-stats", CodeBadRequest, "non-positive period %v", req.Every)}
+		return WatchStatsResponse{Err: Errf(VerbWatchStats, CodeBadRequest, "non-positive period %v", req.Every)}
 	}
 	if req.OnStats == nil {
-		return WatchStatsResponse{Err: Errf("watch-stats", CodeBadRequest, "nil OnStats")}
+		return WatchStatsResponse{Err: Errf(VerbWatchStats, CodeBadRequest, "nil OnStats")}
 	}
 	stopped := false
 	var tick func()

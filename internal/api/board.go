@@ -21,10 +21,10 @@ func ForBoard(b *core.Board) ControlPlane { return &boardPlane{b: b} }
 
 func (p *boardPlane) Register(req RegisterRequest) RegisterResponse {
 	if req.Config.Name == "" {
-		return RegisterResponse{Err: Errf("register", CodeBadRequest, "empty service name")}
+		return RegisterResponse{Err: Errf(VerbRegister, CodeBadRequest, "empty service name")}
 	}
 	if _, err := p.b.Jitsu.Service(req.Config.Name); err == nil {
-		return RegisterResponse{Err: Errf("register", CodeConflict, "%s already registered", req.Config.Name)}
+		return RegisterResponse{Err: Errf(VerbRegister, CodeConflict, "%s already registered", req.Config.Name)}
 	}
 	svc := p.b.Jitsu.Register(req.Config)
 	return RegisterResponse{Name: svc.Cfg.Name}
@@ -33,7 +33,7 @@ func (p *boardPlane) Register(req RegisterRequest) RegisterResponse {
 func (p *boardPlane) Activate(req ActivateRequest) ActivateResponse {
 	svc, err := p.b.Jitsu.Service(req.Name)
 	if err != nil {
-		return ActivateResponse{Err: Errf("activate", CodeNotFound, "%s", req.Name)}
+		return ActivateResponse{Err: Errf(VerbActivate, CodeNotFound, "%s", req.Name)}
 	}
 	if err := p.b.Jitsu.Activate(svc, !req.Speculative, req.OnReady); err != nil {
 		return ActivateResponse{Err: activateError(err, req.Name)}
@@ -44,33 +44,33 @@ func (p *boardPlane) Activate(req ActivateRequest) ActivateResponse {
 func activateError(err error, name string) *Error {
 	switch {
 	case errors.Is(err, core.ErrNoMemory):
-		return Errf("activate", CodeNoMemory, "%s: image does not fit", name)
+		return Errf(VerbActivate, CodeNoMemory, "%s: image does not fit", name)
 	case errors.Is(err, core.ErrNoSuchService):
-		return Errf("activate", CodeNotFound, "%s", name)
+		return Errf(VerbActivate, CodeNotFound, "%s", name)
 	default:
-		return Errf("activate", CodeConflict, "%s: %v", name, err)
+		return Errf(VerbActivate, CodeConflict, "%s: %v", name, err)
 	}
 }
 
 func (p *boardPlane) Checkpoint(req CheckpointRequest) CheckpointResponse {
 	svc, err := p.b.Jitsu.Service(req.Name)
 	if err != nil {
-		return CheckpointResponse{Err: Errf("checkpoint", CodeNotFound, "%s", req.Name)}
+		return CheckpointResponse{Err: Errf(VerbCheckpoint, CodeNotFound, "%s", req.Name)}
 	}
 	cp, ok := p.b.Jitsu.Checkpoint(svc)
 	if !ok {
-		return CheckpointResponse{Err: Errf("checkpoint", CodeConflict, "%s has no state to capture (state %v)", req.Name, svc.State)}
+		return CheckpointResponse{Err: Errf(VerbCheckpoint, CodeConflict, "%s has no state to capture (state %v)", req.Name, svc.State)}
 	}
 	return CheckpointResponse{Checkpoint: cp}
 }
 
 func (p *boardPlane) Restore(req RestoreRequest) RestoreResponse {
 	if req.Checkpoint == nil {
-		return RestoreResponse{Err: Errf("restore", CodeBadRequest, "nil checkpoint")}
+		return RestoreResponse{Err: Errf(VerbRestore, CodeBadRequest, "nil checkpoint")}
 	}
 	svc, err := p.b.Jitsu.Service(req.Name)
 	if err != nil {
-		return RestoreResponse{Err: Errf("restore", CodeNotFound, "%s", req.Name)}
+		return RestoreResponse{Err: Errf(VerbRestore, CodeNotFound, "%s", req.Name)}
 	}
 	if req.ToDisk {
 		switch err := p.b.Jitsu.AdoptCheckpoint(svc, req.Checkpoint); {
@@ -80,39 +80,39 @@ func (p *boardPlane) Restore(req RestoreRequest) RestoreResponse {
 			}
 			return RestoreResponse{}
 		case errors.Is(err, core.ErrNoDisk):
-			return RestoreResponse{Err: Errf("restore", CodeUnavailable, "%s: board has no disk", req.Name)}
+			return RestoreResponse{Err: Errf(VerbRestore, CodeUnavailable, "%s: board has no disk", req.Name)}
 		case errors.Is(err, core.ErrDiskFull):
-			return RestoreResponse{Err: Errf("restore", CodeNoMemory, "%s: checkpoint store full", req.Name)}
+			return RestoreResponse{Err: Errf(VerbRestore, CodeNoMemory, "%s: checkpoint store full", req.Name)}
 		case errors.Is(err, core.ErrNoSuchService):
-			return RestoreResponse{Err: Errf("restore", CodeNotFound, "%s retired", req.Name)}
+			return RestoreResponse{Err: Errf(VerbRestore, CodeNotFound, "%s retired", req.Name)}
 		default:
-			return RestoreResponse{Err: Errf("restore", CodeConflict, "%s: %v", req.Name, err)}
+			return RestoreResponse{Err: Errf(VerbRestore, CodeConflict, "%s: %v", req.Name, err)}
 		}
 	}
 	switch err := p.b.Jitsu.Restore(svc, req.Checkpoint, req.OnReady); {
 	case err == nil:
 		return RestoreResponse{}
 	case errors.Is(err, core.ErrNoMemory):
-		return RestoreResponse{Err: Errf("restore", CodeNoMemory, "%s: checkpoint does not fit", req.Name)}
+		return RestoreResponse{Err: Errf(VerbRestore, CodeNoMemory, "%s: checkpoint does not fit", req.Name)}
 	case errors.Is(err, core.ErrNoSuchService):
-		return RestoreResponse{Err: Errf("restore", CodeNotFound, "%s retired", req.Name)}
+		return RestoreResponse{Err: Errf(VerbRestore, CodeNotFound, "%s retired", req.Name)}
 	default:
-		return RestoreResponse{Err: Errf("restore", CodeConflict, "%s: %v", req.Name, err)}
+		return RestoreResponse{Err: Errf(VerbRestore, CodeConflict, "%s: %v", req.Name, err)}
 	}
 }
 
 func (p *boardPlane) Migrate(req MigrateRequest) MigrateResponse {
-	return MigrateResponse{Err: Errf("migrate", CodeUnavailable, "single board: nowhere to move %s", req.Name)}
+	return MigrateResponse{Err: Errf(VerbMigrate, CodeUnavailable, "single board: nowhere to move %s", req.Name)}
 }
 
 // Transfer adopts a service arriving from elsewhere: register it here
 // and, if warm state rides along, restore it on this board.
 func (p *boardPlane) Transfer(req TransferRequest) TransferResponse {
 	if req.Config.Name == "" {
-		return TransferResponse{Board: -1, Err: Errf("transfer", CodeBadRequest, "empty service name")}
+		return TransferResponse{Board: -1, Err: Errf(VerbTransfer, CodeBadRequest, "empty service name")}
 	}
 	if _, err := p.b.Jitsu.Service(req.Config.Name); err == nil {
-		return TransferResponse{Board: -1, Err: Errf("transfer", CodeConflict, "%s already registered", req.Config.Name)}
+		return TransferResponse{Board: -1, Err: Errf(VerbTransfer, CodeConflict, "%s already registered", req.Config.Name)}
 	}
 	svc := p.b.Jitsu.Register(req.Config)
 	if req.Checkpoint == nil {
@@ -134,9 +134,9 @@ func (p *boardPlane) Transfer(req TransferRequest) TransferResponse {
 	if err := p.b.Jitsu.Restore(svc, req.Checkpoint, req.OnReady); err != nil {
 		p.b.Jitsu.Deregister(svc)
 		if errors.Is(err, core.ErrNoMemory) {
-			return TransferResponse{Board: -1, Err: Errf("transfer", CodeNoMemory, "%s: checkpoint does not fit", req.Config.Name)}
+			return TransferResponse{Board: -1, Err: Errf(VerbTransfer, CodeNoMemory, "%s: checkpoint does not fit", req.Config.Name)}
 		}
-		return TransferResponse{Board: -1, Err: Errf("transfer", CodeConflict, "%s: %v", req.Config.Name, err)}
+		return TransferResponse{Board: -1, Err: Errf(VerbTransfer, CodeConflict, "%s: %v", req.Config.Name, err)}
 	}
 	return TransferResponse{Board: 0}
 }
@@ -144,43 +144,43 @@ func (p *boardPlane) Transfer(req TransferRequest) TransferResponse {
 func (p *boardPlane) Demote(req DemoteRequest) DemoteResponse {
 	svc, err := p.b.Jitsu.Service(req.Name)
 	if err != nil {
-		return DemoteResponse{Err: Errf("demote", CodeNotFound, "%s", req.Name)}
+		return DemoteResponse{Err: Errf(VerbDemote, CodeNotFound, "%s", req.Name)}
 	}
 	switch err := p.b.Jitsu.Demote(svc); {
 	case err == nil:
 		return DemoteResponse{Demoted: 1}
 	case errors.Is(err, core.ErrNoDisk):
-		return DemoteResponse{Err: Errf("demote", CodeUnavailable, "%s: board has no disk", req.Name)}
+		return DemoteResponse{Err: Errf(VerbDemote, CodeUnavailable, "%s: board has no disk", req.Name)}
 	case errors.Is(err, core.ErrDiskFull):
-		return DemoteResponse{Err: Errf("demote", CodeNoMemory, "%s: checkpoint store full", req.Name)}
+		return DemoteResponse{Err: Errf(VerbDemote, CodeNoMemory, "%s: checkpoint store full", req.Name)}
 	case errors.Is(err, core.ErrNoSuchService):
-		return DemoteResponse{Err: Errf("demote", CodeNotFound, "%s retired", req.Name)}
+		return DemoteResponse{Err: Errf(VerbDemote, CodeNotFound, "%s retired", req.Name)}
 	default:
-		return DemoteResponse{Err: Errf("demote", CodeConflict, "%s: %v", req.Name, err)}
+		return DemoteResponse{Err: Errf(VerbDemote, CodeConflict, "%s: %v", req.Name, err)}
 	}
 }
 
 func (p *boardPlane) Promote(req PromoteRequest) PromoteResponse {
 	svc, err := p.b.Jitsu.Service(req.Name)
 	if err != nil {
-		return PromoteResponse{Board: -1, Err: Errf("promote", CodeNotFound, "%s", req.Name)}
+		return PromoteResponse{Board: -1, Err: Errf(VerbPromote, CodeNotFound, "%s", req.Name)}
 	}
 	switch err := p.b.Jitsu.Promote(svc, req.OnReady); {
 	case err == nil:
 		return PromoteResponse{Board: 0}
 	case errors.Is(err, core.ErrNoMemory):
-		return PromoteResponse{Board: -1, Err: Errf("promote", CodeNoMemory, "%s: image does not fit", req.Name)}
+		return PromoteResponse{Board: -1, Err: Errf(VerbPromote, CodeNoMemory, "%s: image does not fit", req.Name)}
 	case errors.Is(err, core.ErrNoSuchService):
-		return PromoteResponse{Board: -1, Err: Errf("promote", CodeNotFound, "%s retired", req.Name)}
+		return PromoteResponse{Board: -1, Err: Errf(VerbPromote, CodeNotFound, "%s retired", req.Name)}
 	default:
-		return PromoteResponse{Board: -1, Err: Errf("promote", CodeConflict, "%s: %v", req.Name, err)}
+		return PromoteResponse{Board: -1, Err: Errf(VerbPromote, CodeConflict, "%s: %v", req.Name, err)}
 	}
 }
 
 func (p *boardPlane) Stop(req StopRequest) StopResponse {
 	svc, err := p.b.Jitsu.Service(req.Name)
 	if err != nil {
-		return StopResponse{Err: Errf("stop", CodeNotFound, "%s", req.Name)}
+		return StopResponse{Err: Errf(VerbStop, CodeNotFound, "%s", req.Name)}
 	}
 	if p.b.Jitsu.Evict(svc) {
 		return StopResponse{Stopped: 1}

@@ -1,0 +1,89 @@
+package api
+
+import "fmt"
+
+// Scope is a session's capability level on the control plane — the
+// least-authority ladder a management-plane credential maps to. Scopes
+// nest: each level may issue everything the levels below it may.
+//
+//	ScopeReadOnly  observe:  Stats, WatchStats
+//	ScopeOperator  operate:  + Activate, Demote, Promote, Stop
+//	ScopeAdmin     reshape:  + Register, Checkpoint, Restore, Migrate,
+//	                           Transfer
+//
+// The zero value, ScopeNone, authorizes nothing; a server policy that
+// grants ScopeNone to anonymous sessions is refusing them.
+type Scope uint8
+
+// Capability scopes, in nesting order.
+const (
+	// ScopeNone authorizes no verb at all (refused sessions).
+	ScopeNone Scope = iota
+	// ScopeReadOnly may observe the deployment but not change it.
+	ScopeReadOnly
+	// ScopeOperator may drive the service lifecycle on its current
+	// homes (activate, demote, promote, stop) but not reshape the
+	// deployment.
+	ScopeOperator
+	// ScopeAdmin may issue every verb, including the ones that add
+	// services or move state between boards and clusters.
+	ScopeAdmin
+)
+
+func (s Scope) String() string {
+	switch s {
+	case ScopeNone:
+		return "none"
+	case ScopeReadOnly:
+		return "read-only"
+	case ScopeOperator:
+		return "operator"
+	case ScopeAdmin:
+		return "admin"
+	default:
+		return fmt.Sprintf("scope(%d)", uint8(s))
+	}
+}
+
+// Allows reports whether a session holding s may issue a verb that
+// requires at least need.
+func (s Scope) Allows(need Scope) bool { return need != ScopeNone && s >= need }
+
+// Canonical verb names — the Op field every Errf carries and the keys
+// of the verb-scope table. One constant per ControlPlane method.
+const (
+	VerbRegister   = "register"
+	VerbActivate   = "activate"
+	VerbCheckpoint = "checkpoint"
+	VerbRestore    = "restore"
+	VerbMigrate    = "migrate"
+	VerbTransfer   = "transfer"
+	VerbDemote     = "demote"
+	VerbPromote    = "promote"
+	VerbStop       = "stop"
+	VerbStats      = "stats"
+	VerbWatchStats = "watch-stats"
+)
+
+// Verbs lists every ControlPlane verb name, in interface order.
+func Verbs() []string {
+	return []string{VerbRegister, VerbActivate, VerbCheckpoint, VerbRestore,
+		VerbMigrate, VerbTransfer, VerbDemote, VerbPromote, VerbStop,
+		VerbStats, VerbWatchStats}
+}
+
+// RequiredScope is the verb-scope table: the minimum capability a
+// session needs to issue the named verb. Unknown names require
+// ScopeAdmin, so a future verb that misses the table fails closed.
+func RequiredScope(verb string) Scope {
+	switch verb {
+	case VerbStats, VerbWatchStats:
+		return ScopeReadOnly
+	case VerbActivate, VerbDemote, VerbPromote, VerbStop:
+		return ScopeOperator
+	case VerbRegister, VerbCheckpoint, VerbRestore, VerbMigrate, VerbTransfer:
+		return ScopeAdmin
+	default:
+		return ScopeAdmin
+	}
+}

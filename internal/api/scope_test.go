@@ -1,0 +1,48 @@
+package api
+
+import "testing"
+
+// TestScopeLadder pins the capability nesting: each scope allows
+// everything below it, nothing above it, and ScopeNone allows nothing
+// — not even itself.
+func TestScopeLadder(t *testing.T) {
+	ladder := []Scope{ScopeNone, ScopeReadOnly, ScopeOperator, ScopeAdmin}
+	for _, have := range ladder {
+		for _, need := range ladder {
+			want := need != ScopeNone && have >= need
+			if got := have.Allows(need); got != want {
+				t.Errorf("%s.Allows(%s) = %v, want %v", have, need, got, want)
+			}
+		}
+	}
+}
+
+// TestRequiredScopeTable sweeps the verb table: every declared verb
+// has a non-None requirement, observation sits at read-only, the
+// lifecycle at operator, reshaping at admin — and unknown verbs fail
+// closed to admin.
+func TestRequiredScopeTable(t *testing.T) {
+	want := map[string]Scope{
+		VerbStats: ScopeReadOnly, VerbWatchStats: ScopeReadOnly,
+		VerbActivate: ScopeOperator, VerbDemote: ScopeOperator,
+		VerbPromote: ScopeOperator, VerbStop: ScopeOperator,
+		VerbRegister: ScopeAdmin, VerbCheckpoint: ScopeAdmin,
+		VerbRestore: ScopeAdmin, VerbMigrate: ScopeAdmin,
+		VerbTransfer: ScopeAdmin,
+	}
+	verbs := Verbs()
+	if len(verbs) != len(want) {
+		t.Fatalf("Verbs() lists %d verbs, table expects %d", len(verbs), len(want))
+	}
+	for _, verb := range verbs {
+		if got := RequiredScope(verb); got != want[verb] {
+			t.Errorf("RequiredScope(%s) = %s, want %s", verb, got, want[verb])
+		}
+	}
+	if got := RequiredScope("future-verb"); got != ScopeAdmin {
+		t.Errorf("unknown verb must fail closed to admin, got %s", got)
+	}
+	if n := len(Codes()); n != 7 {
+		t.Errorf("Codes() lists %d codes, want 7", n)
+	}
+}

@@ -24,13 +24,13 @@ func (c *Cluster) boardAPI(id int) api.ControlPlane { return c.apis[id] }
 
 func (p *clusterPlane) Register(req api.RegisterRequest) api.RegisterResponse {
 	if req.Config.Name == "" {
-		return api.RegisterResponse{Err: api.Errf("register", api.CodeBadRequest, "empty service name")}
+		return api.RegisterResponse{Err: api.Errf(api.VerbRegister, api.CodeBadRequest, "empty service name")}
 	}
 	var opts []ServiceOption
 	if req.Policy != "" {
 		pol := PolicyByName(req.Policy)
 		if pol == nil {
-			return api.RegisterResponse{Err: api.Errf("register", api.CodeBadRequest, "unknown policy %q", req.Policy)}
+			return api.RegisterResponse{Err: api.Errf(api.VerbRegister, api.CodeBadRequest, "unknown policy %q", req.Policy)}
 		}
 		opts = append(opts, WithServicePolicy(pol))
 	}
@@ -38,7 +38,7 @@ func (p *clusterPlane) Register(req api.RegisterRequest) api.RegisterResponse {
 		opts = append(opts, WithMinWarm(req.MinWarm))
 	}
 	if p.c.dir.Lookup(req.Config.Name) != nil {
-		return api.RegisterResponse{Err: api.Errf("register", api.CodeConflict, "%s already registered", req.Config.Name)}
+		return api.RegisterResponse{Err: api.Errf(api.VerbRegister, api.CodeConflict, "%s already registered", req.Config.Name)}
 	}
 	e := p.c.RegisterService(req.Config, opts...)
 	return api.RegisterResponse{Name: e.Name}
@@ -48,9 +48,9 @@ func (p *clusterPlane) Activate(req api.ActivateRequest) api.ActivateResponse {
 	e := p.c.dir.Lookup(req.Name)
 	if e == nil || e.moved {
 		if cid, ok := p.c.movedTo[dns.CanonicalName(req.Name)]; ok {
-			return api.ActivateResponse{Err: api.Errf("activate", api.CodeMoved, "%s moved to cluster %d", req.Name, cid)}
+			return api.ActivateResponse{Err: api.Errf(api.VerbActivate, api.CodeMoved, "%s moved to cluster %d", req.Name, cid)}
 		}
-		return api.ActivateResponse{Err: api.Errf("activate", api.CodeNotFound, "%s", req.Name)}
+		return api.ActivateResponse{Err: api.Errf(api.VerbActivate, api.CodeNotFound, "%s", req.Name)}
 	}
 	if req.Speculative {
 		// A prewarm: boot a stopped replica where the policy likes,
@@ -69,12 +69,12 @@ func (p *clusterPlane) Activate(req api.ActivateRequest) api.ActivateResponse {
 				}
 				return api.ActivateResponse{IP: pl.Svc.Cfg.IP, Board: pl.Board, State: pl.Svc.State}
 			}
-			return api.ActivateResponse{Err: api.Errf("activate", api.CodeNoMemory, "%s: no board can prewarm", req.Name)}
+			return api.ActivateResponse{Err: api.Errf(api.VerbActivate, api.CodeNoMemory, "%s: no board can prewarm", req.Name)}
 		}
 		pl := e.Replicas[idx]
 		if !p.c.Boards[idx].Jitsu.Summon(pl.Svc,
 			core.Summon{Via: core.TriggerControl, OnReady: req.OnReady}).Served() {
-			return api.ActivateResponse{Err: api.Errf("activate", api.CodeNoMemory, "%s: prewarm refused", req.Name)}
+			return api.ActivateResponse{Err: api.Errf(api.VerbActivate, api.CodeNoMemory, "%s: prewarm refused", req.Name)}
 		}
 		return api.ActivateResponse{IP: pl.Svc.Cfg.IP, Board: idx, State: pl.Svc.State}
 	}
@@ -83,7 +83,7 @@ func (p *clusterPlane) Activate(req api.ActivateRequest) api.ActivateResponse {
 	// chosen replica is pinned against the next pool reconcile.
 	pl, _ := p.c.schedule(e, TriggerCluster, req.OnReady)
 	if pl == nil {
-		return api.ActivateResponse{Err: api.Errf("activate", api.CodeNoMemory, "%s: no board can take it", req.Name)}
+		return api.ActivateResponse{Err: api.Errf(api.VerbActivate, api.CodeNoMemory, "%s: no board can take it", req.Name)}
 	}
 	return api.ActivateResponse{IP: pl.Svc.Cfg.IP, Board: pl.Board, State: pl.Svc.State}
 }
@@ -91,7 +91,7 @@ func (p *clusterPlane) Activate(req api.ActivateRequest) api.ActivateResponse {
 func (p *clusterPlane) Checkpoint(req api.CheckpointRequest) api.CheckpointResponse {
 	e := p.c.dir.Lookup(req.Name)
 	if e == nil {
-		return api.CheckpointResponse{Err: api.Errf("checkpoint", api.CodeNotFound, "%s", req.Name)}
+		return api.CheckpointResponse{Err: api.Errf(api.VerbCheckpoint, api.CodeNotFound, "%s", req.Name)}
 	}
 	// A booted replica captures live state; failing that, a disk-resident
 	// one hands back its stored checkpoint without paging in.
@@ -100,7 +100,7 @@ func (p *clusterPlane) Checkpoint(req api.CheckpointRequest) api.CheckpointRespo
 		pl = p.c.diskReplica(e, req.Board)
 	}
 	if pl == nil {
-		return api.CheckpointResponse{Err: api.Errf("checkpoint", api.CodeConflict, "%s has no replica with state", req.Name)}
+		return api.CheckpointResponse{Err: api.Errf(api.VerbCheckpoint, api.CodeConflict, "%s has no replica with state", req.Name)}
 	}
 	resp := p.c.boardAPI(pl.Board).Checkpoint(api.CheckpointRequest{Name: req.Name})
 	resp.Board = pl.Board
@@ -110,13 +110,13 @@ func (p *clusterPlane) Checkpoint(req api.CheckpointRequest) api.CheckpointRespo
 func (p *clusterPlane) Restore(req api.RestoreRequest) api.RestoreResponse {
 	board, ok := req.Board.ID()
 	if !ok {
-		return api.RestoreResponse{Err: api.Errf("restore", api.CodeBadRequest, "restore needs a target board (api.OnBoard)")}
+		return api.RestoreResponse{Err: api.Errf(api.VerbRestore, api.CodeBadRequest, "restore needs a target board (api.OnBoard)")}
 	}
 	if board < 0 || board >= len(p.c.members) {
-		return api.RestoreResponse{Err: api.Errf("restore", api.CodeBadRequest, "board %d out of range", board)}
+		return api.RestoreResponse{Err: api.Errf(api.VerbRestore, api.CodeBadRequest, "board %d out of range", board)}
 	}
 	if !p.c.members[board].Placeable() {
-		return api.RestoreResponse{Err: api.Errf("restore", api.CodeUnavailable, "board %d not placeable", board)}
+		return api.RestoreResponse{Err: api.Errf(api.VerbRestore, api.CodeUnavailable, "board %d not placeable", board)}
 	}
 	return p.c.boardAPI(board).Restore(req)
 }
@@ -124,11 +124,11 @@ func (p *clusterPlane) Restore(req api.RestoreRequest) api.RestoreResponse {
 func (p *clusterPlane) Migrate(req api.MigrateRequest) api.MigrateResponse {
 	e := p.c.dir.Lookup(req.Name)
 	if e == nil {
-		return api.MigrateResponse{Err: api.Errf("migrate", api.CodeNotFound, "%s", req.Name)}
+		return api.MigrateResponse{Err: api.Errf(api.VerbMigrate, api.CodeNotFound, "%s", req.Name)}
 	}
 	src := p.c.readyReplica(e, req.From)
 	if src == nil || src.migrating {
-		return api.MigrateResponse{Err: api.Errf("migrate", api.CodeConflict, "%s has no movable replica", req.Name)}
+		return api.MigrateResponse{Err: api.Errf(api.VerbMigrate, api.CodeConflict, "%s has no movable replica", req.Name)}
 	}
 	done := req.OnDone
 	if done == nil {
@@ -138,15 +138,15 @@ func (p *clusterPlane) Migrate(req api.MigrateRequest) api.MigrateResponse {
 	if !pinned {
 		to = p.c.pickDest(e, src)
 		if to < 0 {
-			return api.MigrateResponse{Err: api.Errf("migrate", api.CodeNoMemory, "%s: no destination fits", req.Name)}
+			return api.MigrateResponse{Err: api.Errf(api.VerbMigrate, api.CodeNoMemory, "%s: no destination fits", req.Name)}
 		}
 	} else {
 		if to < 0 || to >= len(p.c.members) || !p.c.members[to].Placeable() {
-			return api.MigrateResponse{Err: api.Errf("migrate", api.CodeBadRequest, "destination board %d unusable", to)}
+			return api.MigrateResponse{Err: api.Errf(api.VerbMigrate, api.CodeBadRequest, "destination board %d unusable", to)}
 		}
 		dst := replicaOn(e, to)
 		if dst == nil || dst.reserved || dst.Svc.State != core.StateCold {
-			return api.MigrateResponse{Err: api.Errf("migrate", api.CodeConflict, "destination slot on board %d busy", to)}
+			return api.MigrateResponse{Err: api.Errf(api.VerbMigrate, api.CodeConflict, "destination slot on board %d busy", to)}
 		}
 	}
 	p.c.migrateTo(e, src, to, false, 1, done)
@@ -160,11 +160,11 @@ func (p *clusterPlane) Migrate(req api.MigrateRequest) api.MigrateResponse {
 // leaves a second (cold) home competing with the still-serving source.
 func (p *clusterPlane) Transfer(req api.TransferRequest) api.TransferResponse {
 	if req.Config.Name == "" {
-		return api.TransferResponse{Board: -1, Err: api.Errf("transfer", api.CodeBadRequest, "empty service name")}
+		return api.TransferResponse{Board: -1, Err: api.Errf(api.VerbTransfer, api.CodeBadRequest, "empty service name")}
 	}
 	if e := p.c.dir.Lookup(req.Config.Name); e != nil {
 		if !e.moved {
-			return api.TransferResponse{Board: -1, Err: api.Errf("transfer", api.CodeConflict, "%s already registered", req.Config.Name)}
+			return api.TransferResponse{Board: -1, Err: api.Errf(api.VerbTransfer, api.CodeConflict, "%s already registered", req.Config.Name)}
 		}
 		// The service was shed away from here and its old replica is
 		// still draining; a transfer back re-adopts it — cut the drain
@@ -175,7 +175,7 @@ func (p *clusterPlane) Transfer(req api.TransferRequest) api.TransferResponse {
 	if req.Policy != "" {
 		pol := PolicyByName(req.Policy)
 		if pol == nil {
-			return api.TransferResponse{Board: -1, Err: api.Errf("transfer", api.CodeBadRequest, "unknown policy %q", req.Policy)}
+			return api.TransferResponse{Board: -1, Err: api.Errf(api.VerbTransfer, api.CodeBadRequest, "unknown policy %q", req.Policy)}
 		}
 		opts = append(opts, WithServicePolicy(pol))
 	}
@@ -192,7 +192,7 @@ func (p *clusterPlane) Transfer(req api.TransferRequest) api.TransferResponse {
 	idx := e.Policy.Pick(p.c.views(e, nil))
 	if idx < 0 {
 		p.c.Unregister(e.Name)
-		return api.TransferResponse{Board: -1, Err: api.Errf("transfer", api.CodeNoMemory, "%s: no board can restore it", req.Config.Name)}
+		return api.TransferResponse{Board: -1, Err: api.Errf(api.VerbTransfer, api.CodeNoMemory, "%s: no board can restore it", req.Config.Name)}
 	}
 	resp := p.c.boardAPI(idx).Restore(api.RestoreRequest{
 		Name: e.Name, Checkpoint: req.Checkpoint, Board: api.OnBoard(idx),
@@ -215,7 +215,7 @@ func (p *clusterPlane) Transfer(req api.TransferRequest) api.TransferResponse {
 func (p *clusterPlane) Stop(req api.StopRequest) api.StopResponse {
 	e := p.c.dir.Lookup(req.Name)
 	if e == nil {
-		return api.StopResponse{Err: api.Errf("stop", api.CodeNotFound, "%s", req.Name)}
+		return api.StopResponse{Err: api.Errf(api.VerbStop, api.CodeNotFound, "%s", req.Name)}
 	}
 	stopped := 0
 	for _, pl := range append(e.ready(), e.onDisk()...) {
@@ -231,11 +231,11 @@ func (p *clusterPlane) Stop(req api.StopRequest) api.StopResponse {
 func (p *clusterPlane) Demote(req api.DemoteRequest) api.DemoteResponse {
 	e := p.c.dir.Lookup(req.Name)
 	if e == nil {
-		return api.DemoteResponse{Err: api.Errf("demote", api.CodeNotFound, "%s", req.Name)}
+		return api.DemoteResponse{Err: api.Errf(api.VerbDemote, api.CodeNotFound, "%s", req.Name)}
 	}
 	if board, ok := req.Board.ID(); ok {
 		if pl := p.c.readyReplica(e, req.Board); pl == nil || pl.migrating {
-			return api.DemoteResponse{Err: api.Errf("demote", api.CodeConflict, "%s has no booted replica on board %d", req.Name, board)}
+			return api.DemoteResponse{Err: api.Errf(api.VerbDemote, api.CodeConflict, "%s has no booted replica on board %d", req.Name, board)}
 		}
 		return p.c.boardAPI(board).Demote(api.DemoteRequest{Name: req.Name})
 	}
@@ -256,7 +256,7 @@ func (p *clusterPlane) Demote(req api.DemoteRequest) api.DemoteResponse {
 		if firstErr != nil {
 			return api.DemoteResponse{Err: firstErr}
 		}
-		return api.DemoteResponse{Err: api.Errf("demote", api.CodeConflict, "%s has no booted replica", req.Name)}
+		return api.DemoteResponse{Err: api.Errf(api.VerbDemote, api.CodeConflict, "%s has no booted replica", req.Name)}
 	}
 	return api.DemoteResponse{Demoted: demoted}
 }
@@ -267,11 +267,11 @@ func (p *clusterPlane) Demote(req api.DemoteRequest) api.DemoteResponse {
 func (p *clusterPlane) Promote(req api.PromoteRequest) api.PromoteResponse {
 	e := p.c.dir.Lookup(req.Name)
 	if e == nil {
-		return api.PromoteResponse{Board: -1, Err: api.Errf("promote", api.CodeNotFound, "%s", req.Name)}
+		return api.PromoteResponse{Board: -1, Err: api.Errf(api.VerbPromote, api.CodeNotFound, "%s", req.Name)}
 	}
 	pl := p.c.diskReplica(e, req.Board)
 	if pl == nil {
-		return api.PromoteResponse{Board: -1, Err: api.Errf("promote", api.CodeConflict, "%s has no disk-resident replica", req.Name)}
+		return api.PromoteResponse{Board: -1, Err: api.Errf(api.VerbPromote, api.CodeConflict, "%s has no disk-resident replica", req.Name)}
 	}
 	resp := p.c.boardAPI(pl.Board).Promote(api.PromoteRequest{Name: req.Name, OnReady: req.OnReady})
 	if resp.Err != nil {

@@ -238,12 +238,6 @@ func (c *Cluster) tracer() *obs.Tracer { return c.Cfg.Tracer }
 // tidFor is the tracer lane for one board's events.
 func (c *Cluster) tidFor(board int) int { return c.Cfg.TraceTIDBase + board }
 
-// New builds the cluster from a hand-assembled Config.
-//
-// Deprecated: use NewCluster with functional options
-// (cluster.NewCluster(cluster.WithBoards(4), cluster.WithPolicy(...))).
-func New(cfg Config) *Cluster { return build(cfg) }
-
 // build wires the cluster on its own engine.
 func build(cfg Config) *Cluster {
 	return buildOn(sim.New(cfg.Board.Seed), cfg)
@@ -406,16 +400,6 @@ type ServiceOpts struct {
 	Policy Policy
 	// MinWarm keeps at least this many replicas booted at all times.
 	MinWarm int
-}
-
-// Register adds a service to the cluster directory and registers one
-// replica slot on every current (non-departed) board.
-//
-// Deprecated: use RegisterService with ServiceOption values
-// (cluster.WithMinWarm, cluster.WithServicePolicy); this positional
-// form remains as a thin shim.
-func (c *Cluster) Register(sc core.ServiceConfig, opts ServiceOpts) *Entry {
-	return c.register(sc, opts)
 }
 
 // register wires one service into the directory. Each replica gets

@@ -101,12 +101,6 @@ type Activation struct {
 	// the multi-subscriber fan-out behind Subscribe. The board's
 	// tracer rides here next to any test or tooling subscribers.
 	subs []func(svc *Service, from, to ServiceState)
-	// Trace, when set, observes every service state transition after
-	// the subscribers.
-	//
-	// Deprecated: use Subscribe; the single-func field cannot compose
-	// (a second assignment silently displaces the first).
-	Trace func(svc *Service, from, to ServiceState)
 }
 
 func newActivation(j *Jitsu) *Activation {
@@ -130,8 +124,8 @@ func (a *Activation) Observe(fn func(svc *Service, s Summon, d Decision)) {
 }
 
 // Subscribe registers fn to observe every service state transition.
-// Subscribers run in subscription order, before the deprecated Trace
-// shim; they must not re-enter the activation machine synchronously.
+// Subscribers run in subscription order; they must not re-enter the
+// activation machine synchronously.
 func (a *Activation) Subscribe(fn func(svc *Service, from, to ServiceState)) {
 	a.subs = append(a.subs, fn)
 }
@@ -291,7 +285,7 @@ func (a *Activation) touch(svc *Service) {
 }
 
 // setState moves a service between lifecycle states, fanning the
-// transition out to every subscriber (and the deprecated Trace shim).
+// transition out to every subscriber.
 func (a *Activation) setState(svc *Service, to ServiceState) {
 	from := svc.State
 	svc.State = to
@@ -300,9 +294,6 @@ func (a *Activation) setState(svc *Service, to ServiceState) {
 	}
 	for _, fn := range a.subs {
 		fn(svc, from, to)
-	}
-	if a.Trace != nil {
-		a.Trace(svc, from, to)
 	}
 }
 

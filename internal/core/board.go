@@ -139,22 +139,6 @@ var (
 	SynAddr = netstack.IPv4(10, 0, 0, 2)
 )
 
-// NewBoard builds and wires a board on its own simulation engine.
-//
-// Deprecated: use New with functional options (core.New(core.WithSeed(7),
-// core.WithSynjitsu(false), ...)); WithConfig(cfg) covers hand-built
-// configurations during migration.
-func NewBoard(cfg BoardConfig) *Board {
-	return buildBoard(sim.New(cfg.Seed), cfg)
-}
-
-// NewBoardOnEngine builds a board on a shared engine.
-//
-// Deprecated: use NewOnEngine with functional options.
-func NewBoardOnEngine(eng *sim.Engine, cfg BoardConfig) *Board {
-	return buildBoard(eng, cfg)
-}
-
 // buildBoard wires a board from a resolved config: hypervisor, store,
 // toolstack, bridge, launcher, DNS, directory, proxy and the built-in
 // trigger frontends, all on the given engine.

@@ -396,21 +396,6 @@ func (j *Jitsu) Deregister(svc *Service) bool {
 	return true
 }
 
-// Stop destroys a booted service's VM.
-//
-// Deprecated: Stop is the preempt-style reclaim entry point from the
-// two-tier era — it throws the replica's warm state away. Use Demote to
-// park the state on disk (falling back to Evict only when the board has
-// no disk or ErrDiskFull says it cannot take another checkpoint), or
-// Evict directly when the state really must be discarded.
-func (j *Jitsu) Stop(svc *Service) bool { return j.EvictWith(svc, nil) }
-
-// StopWith is Stop with a completion hook.
-//
-// Deprecated: use DemoteWith (tiered reclaim) or EvictWith (explicit
-// discard); see Stop.
-func (j *Jitsu) StopWith(svc *Service, done func()) bool { return j.EvictWith(svc, done) }
-
 // Evict is the full eviction: a booted replica's VM is destroyed (its
 // warm state discarded), a disk-resident replica's checkpoint slots are
 // freed. The service returns to Cold either way. It reports whether

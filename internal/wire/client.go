@@ -23,6 +23,7 @@ type Client struct {
 	rx      []byte
 	nextID  uint32
 	version uint16
+	scope   api.Scope
 
 	resps   map[uint32]any
 	readys  map[uint32]func(error)
@@ -37,11 +38,30 @@ type Client struct {
 	Frames, Events uint64
 }
 
-// Dial connects host to the wire server at dst:port, completes the TCP
-// handshake and the Hello/HelloAck version negotiation, and returns a
-// ready Client. It pumps eng until the handshake settles, so call it
-// from outside engine callbacks.
-func Dial(eng *sim.Engine, host *netstack.Host, dst netstack.IP, port uint16) (*Client, error) {
+// SessionConfig shapes one operator session.
+type SessionConfig struct {
+	// Token is the capability credential presented in the V2 Hello;
+	// empty dials anonymously. On a downgrade to V1 the token is
+	// elided — whether the anonymous session is accepted is server
+	// policy.
+	Token string
+	// Min and Max clamp the offered protocol range; zero values
+	// default to the package's full MinVersion..MaxVersion range.
+	Min, Max uint16
+}
+
+// DialSession connects host to the wire server at dst:port, completes
+// the TCP handshake and the Hello/HelloAck negotiation (version and,
+// on V2, credential), and returns a ready Client. It pumps eng until
+// the handshake settles, so call it from outside engine callbacks. A
+// refused credential surfaces as an *api.Error with CodeUnauthorized.
+func DialSession(eng *sim.Engine, host *netstack.Host, dst netstack.IP, port uint16, cfg SessionConfig) (*Client, error) {
+	if cfg.Min == 0 {
+		cfg.Min = MinVersion
+	}
+	if cfg.Max == 0 {
+		cfg.Max = MaxVersion
+	}
 	c := &Client{
 		eng:     eng,
 		resps:   make(map[uint32]any),
@@ -70,8 +90,12 @@ func Dial(eng *sim.Engine, host *netstack.Host, dst netstack.IP, port uint16) (*
 		}
 	})
 
+	// The Hello is framed at the highest version we offer, so a V2
+	// Hello carries the token; a V1 peer still negotiates the range
+	// from the body and answers with a V1-framed ack.
+	c.version = cfg.Max
 	id := c.id()
-	if err := c.sendFrame(THello, id, Hello{Min: 1, Max: Version}); err != nil {
+	if err := c.sendFrame(THello, id, Hello{Min: cfg.Min, Max: cfg.Max, Token: cfg.Token}); err != nil {
 		return nil, err
 	}
 	if err := c.pump(eng, func() bool { _, ok := c.resps[id]; return ok }); err != nil {
@@ -81,21 +105,63 @@ func Dial(eng *sim.Engine, host *netstack.Host, dst netstack.IP, port uint16) (*
 	delete(c.resps, id)
 	if !ok || ack.Version == 0 {
 		c.conn.Close()
+		c.closed = true
+		if ok && ack.Err != nil {
+			return nil, ack.Err
+		}
 		return nil, ErrNoVersion
 	}
 	c.version = ack.Version
+	c.scope = ack.Scope
 	return c, nil
 }
 
-// Close shuts the connection down.
+// Dial connects an anonymous session.
+//
+// Deprecated: use DialSession, which presents a capability token and
+// controls the offered protocol range.
+func Dial(eng *sim.Engine, host *netstack.Host, dst netstack.IP, port uint16) (*Client, error) {
+	return DialSession(eng, host, dst, port, SessionConfig{})
+}
+
+// Close ends the session: outstanding watches are cancelled
+// server-side via TWatchCancel frames (flushed before the FIN), every
+// callback registration is dropped — Pending reads 0 afterwards — and
+// the connection is shut down.
 func (c *Client) Close() {
-	if c.conn != nil {
+	if c.conn != nil && !c.closed {
+		for id := range c.watches {
+			delete(c.watches, id)
+			c.sendFrame(TWatchCancel, id, nil)
+		}
 		c.conn.Close()
 	}
+	c.closed = true
+	clear(c.readys)
+	clear(c.dones)
+	clear(c.watches)
+}
+
+// Abort kills the transport abruptly — no watch cancels, no FIN — the
+// operator console that vanishes mid-stream. Server-side reclamation
+// rides the connection-teardown path instead of TWatchCancel frames.
+func (c *Client) Abort() {
+	if c.conn != nil && !c.closed {
+		c.conn.Abort()
+	}
+	c.closed = true
+	clear(c.readys)
+	clear(c.dones)
+	clear(c.watches)
 }
 
 // Version is the negotiated protocol version.
 func (c *Client) Version() uint16 { return c.version }
+
+// Scope is the capability scope the server granted this session.
+// Only V2 acks carry it — on a V1 session it reads ScopeNone even
+// though the server accepted the session under its anonymous policy.
+func (c *Client) Scope() api.Scope { return c.scope }
 
 // Pending is the number of callback registrations still waiting for a
 // Ready/Done event or streaming stats. Verbs that fail — on the
@@ -126,7 +192,7 @@ func (c *Client) pump(eng *sim.Engine, done func() bool) error {
 }
 
 func (c *Client) sendFrame(typ byte, id uint32, msg any) error {
-	buf, err := Append(nil, typ, id, msg)
+	buf, err := Append(nil, byte(c.version), typ, id, msg)
 	if err != nil {
 		return err
 	}
@@ -139,9 +205,15 @@ func (c *Client) sendFrame(typ byte, id uint32, msg any) error {
 func (c *Client) onData(b []byte) {
 	c.rx = append(c.rx, b...)
 	for {
-		typ, id, msg, n, err := Decode(c.rx)
+		ver, typ, id, msg, n, err := Decode(c.rx)
 		if err == ErrShort {
 			return
+		}
+		// Post-handshake frames must carry the negotiated version; the
+		// HelloAck itself is exempt because it IS the downgrade signal
+		// (the server frames it at the version it chose).
+		if err == nil && typ != THelloAck && ver != byte(c.version) {
+			err = ErrBadVersion
 		}
 		if err != nil {
 			c.closed = true
@@ -210,27 +282,27 @@ func (c *Client) closeState() error {
 func opName(typ byte) string {
 	switch typ {
 	case TRegisterReq:
-		return "register"
+		return api.VerbRegister
 	case TActivateReq:
-		return "activate"
+		return api.VerbActivate
 	case TCheckpointReq:
-		return "checkpoint"
+		return api.VerbCheckpoint
 	case TRestoreReq:
-		return "restore"
+		return api.VerbRestore
 	case TMigrateReq:
-		return "migrate"
+		return api.VerbMigrate
 	case TTransferReq:
-		return "transfer"
+		return api.VerbTransfer
 	case TDemoteReq:
-		return "demote"
+		return api.VerbDemote
 	case TPromoteReq:
-		return "promote"
+		return api.VerbPromote
 	case TStopReq:
-		return "stop"
+		return api.VerbStop
 	case TStatsReq:
-		return "stats"
+		return api.VerbStats
 	case TWatchReq:
-		return "watch-stats"
+		return api.VerbWatchStats
 	}
 	return "wire"
 }
@@ -386,7 +458,7 @@ func (c *Client) Stats(api.StatsRequest) api.StatsResponse {
 // frame upstream.
 func (c *Client) WatchStats(req api.WatchStatsRequest) api.WatchStatsResponse {
 	if req.OnStats == nil {
-		return api.WatchStatsResponse{Err: api.Errf("watch-stats", api.CodeBadRequest, "nil OnStats")}
+		return api.WatchStatsResponse{Err: api.Errf(api.VerbWatchStats, api.CodeBadRequest, "nil OnStats")}
 	}
 	id := c.id()
 	c.watches[id] = req.OnStats

@@ -21,15 +21,30 @@ import (
 // unikernel.Image.App — an interface — is dropped on encode and
 // re-attached by the Server's app resolver.
 
-// Hello opens a connection: the client's supported version range.
+// Hello opens a connection: the client's supported version range and,
+// when the frame itself is V2-framed, a capability token. A V1-framed
+// Hello never carries the token — it is elided on encode and zero on
+// decode, which is exactly the downgrade semantics: a session that
+// settles on V1 is anonymous.
 type Hello struct {
 	Min, Max uint16
+	// Token is the capability credential (V2 framing only; empty =
+	// anonymous).
+	Token string
 }
 
 // HelloAck answers Hello: the highest version both sides speak, or 0
-// when the ranges do not overlap (the server closes after sending).
+// when the ranges do not overlap or the credential was refused (the
+// server closes after sending). In V2 framing it also carries the
+// scope the session was granted and, on refusal, a typed error.
 type HelloAck struct {
 	Version uint16
+	// Scope is the capability level granted to the session (V2 framing
+	// only).
+	Scope api.Scope
+	// Err explains a refusal — CodeUnauthorized for a bad or missing
+	// credential (V2 framing only; nil on acceptance).
+	Err *api.Error
 }
 
 // ActivateReq is api.ActivateRequest with OnReady flattened to a flag.
@@ -388,17 +403,22 @@ func getStats(r *rbuf) api.StatsResponse {
 
 // ---- frame encode ----
 
-// Append serializes one frame (header + body) onto dst. The msg's Go
-// type must match typ: the api request/response struct for plain verbs,
-// or the wire-level shapes above for verbs with callbacks, events and
-// negotiation frames. Empty-body frames (TStatsReq, TWatchCancel) take
-// a nil msg.
-func Append(dst []byte, typ byte, id uint32, msg any) ([]byte, error) {
+// Append serializes one frame (header + body) onto dst, framed at
+// protocol version ver (V1 or V2). The two versions differ only in
+// the Hello/HelloAck bodies; every other frame encodes identically.
+// The msg's Go type must match typ: the api request/response struct
+// for plain verbs, or the wire-level shapes above for verbs with
+// callbacks, events and negotiation frames. Empty-body frames
+// (TStatsReq, TWatchCancel) take a nil msg.
+func Append(dst []byte, ver byte, typ byte, id uint32, msg any) ([]byte, error) {
+	if ver < MinVersion || ver > MaxVersion {
+		return dst, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+	}
 	w := &wbuf{b: dst}
 	// Reserve the header; the length back-fills below.
 	start := len(w.b)
 	w.u32(0)
-	w.u8(Version)
+	w.u8(ver)
 	w.u8(typ)
 	w.u32(id)
 
@@ -407,8 +427,16 @@ func Append(dst []byte, typ byte, id uint32, msg any) ([]byte, error) {
 		m := msg.(Hello)
 		w.u16(m.Min)
 		w.u16(m.Max)
+		if ver >= V2 {
+			w.str(m.Token)
+		}
 	case THelloAck:
-		w.u16(msg.(HelloAck).Version)
+		m := msg.(HelloAck)
+		w.u16(m.Version)
+		if ver >= V2 {
+			w.u8(byte(m.Scope))
+			putErr(w, m.Err)
+		}
 
 	case TRegisterReq:
 		m := msg.(api.RegisterRequest)
@@ -525,41 +553,53 @@ func Append(dst []byte, typ byte, id uint32, msg any) ([]byte, error) {
 // ---- frame decode ----
 
 // Decode parses one frame from the front of buf, returning the frame
-// type, request id, decoded message and the bytes consumed. ErrShort
-// means buf holds only a prefix — accumulate more and retry; any other
+// version, type, request id, decoded message and the bytes consumed.
+// Both protocol versions are accepted — sessions enforce that frames
+// carry their negotiated version, the codec does not. ErrShort means
+// buf holds only a prefix — accumulate more and retry; any other
 // error is a protocol violation.
-func Decode(buf []byte) (typ byte, id uint32, msg any, n int, err error) {
+func Decode(buf []byte) (ver byte, typ byte, id uint32, msg any, n int, err error) {
 	if len(buf) < 4 {
-		return 0, 0, nil, 0, ErrShort
+		return 0, 0, 0, nil, 0, ErrShort
 	}
 	length := int(binary.BigEndian.Uint32(buf))
 	if length > MaxFrame {
-		return 0, 0, nil, 0, ErrFrameTooBig
+		return 0, 0, 0, nil, 0, ErrFrameTooBig
 	}
 	if length < headerLen-4 {
-		return 0, 0, nil, 0, fmt.Errorf("%w: length %d below header", ErrBadFrame, length)
+		return 0, 0, 0, nil, 0, fmt.Errorf("%w: length %d below header", ErrBadFrame, length)
 	}
 	if len(buf) < 4+length {
-		return 0, 0, nil, 0, ErrShort
+		return 0, 0, 0, nil, 0, ErrShort
 	}
 	n = 4 + length
-	if buf[4] != Version {
-		return 0, 0, nil, n, fmt.Errorf("%w: %d", ErrBadVersion, buf[4])
+	ver = buf[4]
+	if ver < MinVersion || ver > MaxVersion {
+		return ver, 0, 0, nil, n, fmt.Errorf("%w: %d", ErrBadVersion, ver)
 	}
 	typ = buf[5]
 	id = binary.BigEndian.Uint32(buf[6:])
-	msg, err = decodeBody(typ, buf[headerLen:n])
-	return typ, id, msg, n, err
+	msg, err = decodeBody(ver, typ, buf[headerLen:n])
+	return ver, typ, id, msg, n, err
 }
 
-func decodeBody(typ byte, body []byte) (any, error) {
+func decodeBody(ver byte, typ byte, body []byte) (any, error) {
 	r := &rbuf{b: body}
 	var msg any
 	switch typ {
 	case THello:
-		msg = Hello{Min: r.u16(), Max: r.u16()}
+		m := Hello{Min: r.u16(), Max: r.u16()}
+		if ver >= V2 {
+			m.Token = r.str()
+		}
+		msg = m
 	case THelloAck:
-		msg = HelloAck{Version: r.u16()}
+		m := HelloAck{Version: r.u16()}
+		if ver >= V2 {
+			m.Scope = api.Scope(r.u8())
+			m.Err = getErr(r)
+		}
+		msg = m
 
 	case TRegisterReq:
 		var m api.RegisterRequest

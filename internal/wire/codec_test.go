@@ -54,6 +54,8 @@ func allMessages() []struct {
 		typ byte
 		msg any
 	}{
+		// Version-neutral handshake bodies: the V2-only fields are left
+		// zero so the same message round-trips under either framing.
 		{THello, Hello{Min: 1, Max: 3}},
 		{THelloAck, HelloAck{Version: 1}},
 		{TRegisterReq, api.RegisterRequest{Config: cfg, MinWarm: 2, Policy: "round-robin"}},
@@ -85,56 +87,153 @@ func allMessages() []struct {
 		{TStatsResp, stats},
 		{TWatchResp, WatchResp{}},
 
-		{TReadyEvent, ReadyEvent{Err: api.Errf("activate", api.CodeNoMemory, "image does not fit")}},
+		{TReadyEvent, ReadyEvent{Err: api.Errf(api.VerbActivate, api.CodeNoMemory, "image does not fit")}},
 		{TDoneEvent, DoneEvent{OK: false}},
 		{TStatsEvent, stats},
 	}
 }
 
 // TestRoundTripAllVerbs encodes and re-decodes one fully-populated
-// message per frame type.
+// message per frame type, under both protocol framings.
 func TestRoundTripAllVerbs(t *testing.T) {
-	for _, m := range allMessages() {
-		buf, err := Append(nil, m.typ, 42, m.msg)
-		if err != nil {
-			t.Fatalf("type 0x%02x: encode: %v", m.typ, err)
-		}
-		typ, id, got, n, err := Decode(buf)
-		if err != nil {
-			t.Fatalf("type 0x%02x: decode: %v", m.typ, err)
-		}
-		if typ != m.typ || id != 42 || n != len(buf) {
-			t.Fatalf("type 0x%02x: got typ=0x%02x id=%d n=%d (len %d)", m.typ, typ, id, n, len(buf))
-		}
-		want := m.msg
-		if m.typ == TStatsReq {
-			want = api.StatsRequest{}
-		}
-		if !reflect.DeepEqual(got, want) {
-			t.Errorf("type 0x%02x round trip:\n got  %#v\n want %#v", m.typ, got, want)
+	for _, ver := range []byte{V1, V2} {
+		for _, m := range allMessages() {
+			buf, err := Append(nil, ver, m.typ, 42, m.msg)
+			if err != nil {
+				t.Fatalf("v%d type 0x%02x: encode: %v", ver, m.typ, err)
+			}
+			gotVer, typ, id, got, n, err := Decode(buf)
+			if err != nil {
+				t.Fatalf("v%d type 0x%02x: decode: %v", ver, m.typ, err)
+			}
+			if gotVer != ver || typ != m.typ || id != 42 || n != len(buf) {
+				t.Fatalf("v%d type 0x%02x: got ver=%d typ=0x%02x id=%d n=%d (len %d)",
+					ver, m.typ, gotVer, typ, id, n, len(buf))
+			}
+			want := m.msg
+			if m.typ == TStatsReq {
+				want = api.StatsRequest{}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("v%d type 0x%02x round trip:\n got  %#v\n want %#v", ver, m.typ, got, want)
+			}
 		}
 	}
 }
 
-// TestRoundTripErrorCodes runs every typed error code through a
-// response frame.
-func TestRoundTripErrorCodes(t *testing.T) {
-	codes := []api.Code{api.CodeBadRequest, api.CodeNotFound, api.CodeNoMemory,
-		api.CodeConflict, api.CodeUnavailable, api.CodeMoved}
-	for _, code := range codes {
-		in := api.RegisterResponse{Err: api.Errf("register", code, "detail for %s", code)}
-		buf, err := Append(nil, TRegisterResp, 7, in)
+// TestRoundTripV2Handshake covers the fields only V2 framing carries:
+// the Hello token and the HelloAck scope/refusal — and pins the V1
+// downgrade semantics: a V1-framed Hello elides the token entirely.
+func TestRoundTripV2Handshake(t *testing.T) {
+	cases := []struct {
+		typ byte
+		msg any
+	}{
+		{THello, Hello{Min: 1, Max: 2, Token: "jitsu-ops"}},
+		{THelloAck, HelloAck{Version: 2, Scope: api.ScopeOperator}},
+		{THelloAck, HelloAck{Version: 0, Scope: api.ScopeNone,
+			Err: api.Errf("hello", api.CodeUnauthorized, "unknown capability token")}},
+	}
+	for _, m := range cases {
+		buf, err := Append(nil, V2, m.typ, 1, m.msg)
 		if err != nil {
-			t.Fatalf("%s: %v", code, err)
+			t.Fatalf("type 0x%02x: %v", m.typ, err)
 		}
-		_, _, got, _, err := Decode(buf)
+		_, _, _, got, _, err := Decode(buf)
 		if err != nil {
-			t.Fatalf("%s: %v", code, err)
+			t.Fatalf("type 0x%02x: %v", m.typ, err)
 		}
-		out := got.(api.RegisterResponse)
-		if out.Err == nil || out.Err.Code != code || out.Err.Op != "register" ||
-			out.Err.Detail != in.Err.Detail {
-			t.Errorf("%s did not survive: %#v", code, out.Err)
+		if !reflect.DeepEqual(got, m.msg) {
+			t.Errorf("type 0x%02x v2 round trip:\n got  %#v\n want %#v", m.typ, got, m.msg)
+		}
+	}
+
+	// Downgrade: the same Hello framed at V1 drops the token on the
+	// floor — the wire never carries it.
+	buf, err := Append(nil, V1, THello, 1, Hello{Min: 1, Max: 2, Token: "jitsu-ops"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, got, _, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := got.(Hello); h.Token != "" || h.Min != 1 || h.Max != 2 {
+		t.Errorf("v1-framed hello carried a token: %#v", h)
+	}
+}
+
+// TestRoundTripVerbByCode is the full verb × code matrix: every
+// ControlPlane verb's response frame carries every typed error code
+// (including CodeUnauthorized) across the wire intact, under both
+// framings.
+func TestRoundTripVerbByCode(t *testing.T) {
+	// Each verb's response carrier: how to wrap an error into the
+	// verb's own response struct and how to unwrap it after decode.
+	carriers := map[string]struct {
+		typ  byte
+		wrap func(*api.Error) any
+		err  func(any) *api.Error
+	}{
+		api.VerbRegister: {TRegisterResp,
+			func(e *api.Error) any { return api.RegisterResponse{Err: e} },
+			func(m any) *api.Error { return m.(api.RegisterResponse).Err }},
+		api.VerbActivate: {TActivateResp,
+			func(e *api.Error) any { return api.ActivateResponse{Err: e} },
+			func(m any) *api.Error { return m.(api.ActivateResponse).Err }},
+		api.VerbCheckpoint: {TCheckpointResp,
+			func(e *api.Error) any { return api.CheckpointResponse{Err: e} },
+			func(m any) *api.Error { return m.(api.CheckpointResponse).Err }},
+		api.VerbRestore: {TRestoreResp,
+			func(e *api.Error) any { return api.RestoreResponse{Err: e} },
+			func(m any) *api.Error { return m.(api.RestoreResponse).Err }},
+		api.VerbMigrate: {TMigrateResp,
+			func(e *api.Error) any { return api.MigrateResponse{Err: e} },
+			func(m any) *api.Error { return m.(api.MigrateResponse).Err }},
+		api.VerbTransfer: {TTransferResp,
+			func(e *api.Error) any { return api.TransferResponse{Err: e} },
+			func(m any) *api.Error { return m.(api.TransferResponse).Err }},
+		api.VerbDemote: {TDemoteResp,
+			func(e *api.Error) any { return api.DemoteResponse{Err: e} },
+			func(m any) *api.Error { return m.(api.DemoteResponse).Err }},
+		api.VerbPromote: {TPromoteResp,
+			func(e *api.Error) any { return api.PromoteResponse{Err: e} },
+			func(m any) *api.Error { return m.(api.PromoteResponse).Err }},
+		api.VerbStop: {TStopResp,
+			func(e *api.Error) any { return api.StopResponse{Err: e} },
+			func(m any) *api.Error { return m.(api.StopResponse).Err }},
+		api.VerbStats: {TStatsResp,
+			func(e *api.Error) any { return api.StatsResponse{Err: e} },
+			func(m any) *api.Error { return m.(api.StatsResponse).Err }},
+		api.VerbWatchStats: {TWatchResp,
+			func(e *api.Error) any { return WatchResp{Err: e} },
+			func(m any) *api.Error { return m.(WatchResp).Err }},
+	}
+	if len(carriers) != len(api.Verbs()) {
+		t.Fatalf("carrier table covers %d verbs, api declares %d", len(carriers), len(api.Verbs()))
+	}
+	for _, verb := range api.Verbs() {
+		car, ok := carriers[verb]
+		if !ok {
+			t.Fatalf("no response carrier for verb %q", verb)
+		}
+		for _, code := range api.Codes() {
+			for _, ver := range []byte{V1, V2} {
+				in := api.Errf(verb, code, "detail for %s", code)
+				buf, err := Append(nil, ver, car.typ, 7, car.wrap(in))
+				if err != nil {
+					t.Fatalf("%s/%s v%d: %v", verb, code, ver, err)
+				}
+				_, _, _, got, _, err := Decode(buf)
+				if err != nil {
+					t.Fatalf("%s/%s v%d: %v", verb, code, ver, err)
+				}
+				out := car.err(got)
+				if out == nil || out.Code != code || out.Op != verb ||
+					out.Detail != in.Detail {
+					t.Errorf("%s/%s v%d did not survive: %#v", verb, code, ver, out)
+				}
+			}
 		}
 	}
 }
@@ -143,78 +242,93 @@ func TestRoundTripErrorCodes(t *testing.T) {
 // right sentinel, and truncation at any byte is resumable (ErrShort),
 // never a misparse.
 func TestDecodeRejections(t *testing.T) {
-	valid, err := Append(nil, TStopReq, 9, api.StopRequest{Name: "alice.family.name"})
+	valid, err := Append(nil, V1, TStopReq, 9, api.StopRequest{Name: "alice.family.name"})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	for cut := 0; cut < len(valid); cut++ {
-		if _, _, _, _, err := Decode(valid[:cut]); !errors.Is(err, ErrShort) {
+		if _, _, _, _, _, err := Decode(valid[:cut]); !errors.Is(err, ErrShort) {
 			t.Fatalf("truncation at %d/%d: got %v, want ErrShort", cut, len(valid), err)
 		}
 	}
 
 	oversize := append([]byte(nil), valid...)
 	oversize[0], oversize[1], oversize[2], oversize[3] = 0xff, 0xff, 0xff, 0xff
-	if _, _, _, _, err := Decode(oversize); !errors.Is(err, ErrFrameTooBig) {
+	if _, _, _, _, _, err := Decode(oversize); !errors.Is(err, ErrFrameTooBig) {
 		t.Fatalf("oversize length: got %v, want ErrFrameTooBig", err)
 	}
 
 	shortHdr := append([]byte(nil), valid...)
 	shortHdr[3] = 2 // length 2 cannot even hold ver+typ+id
-	if _, _, _, _, err := Decode(shortHdr); !errors.Is(err, ErrBadFrame) {
+	if _, _, _, _, _, err := Decode(shortHdr); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("sub-header length: got %v, want ErrBadFrame", err)
 	}
 
 	badVer := append([]byte(nil), valid...)
 	badVer[4] = 99
-	if _, _, _, _, err := Decode(badVer); !errors.Is(err, ErrBadVersion) {
+	if _, _, _, _, _, err := Decode(badVer); !errors.Is(err, ErrBadVersion) {
 		t.Fatalf("unknown version: got %v, want ErrBadVersion", err)
 	}
 
 	badType := append([]byte(nil), valid...)
 	badType[5] = 0xEE
-	if _, _, _, _, err := Decode(badType); !errors.Is(err, ErrUnknownType) {
+	if _, _, _, _, _, err := Decode(badType); !errors.Is(err, ErrUnknownType) {
 		t.Fatalf("unknown type: got %v, want ErrUnknownType", err)
 	}
 
 	// Body one byte short of its announced string length.
 	clipped := append([]byte(nil), valid[:len(valid)-1]...)
 	clipped[3] -= 1
-	if _, _, _, _, err := Decode(clipped); !errors.Is(err, ErrBadFrame) {
+	if _, _, _, _, _, err := Decode(clipped); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("clipped body: got %v, want ErrBadFrame", err)
 	}
 
 	// Trailing garbage inside the announced frame length.
-	padded, err := Append(nil, TStopReq, 9, api.StopRequest{Name: "alice"})
+	padded, err := Append(nil, V1, TStopReq, 9, api.StopRequest{Name: "alice"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	padded = append(padded, 0x00)
 	padded[3] += 1
-	if _, _, _, _, err := Decode(padded); !errors.Is(err, ErrBadFrame) {
+	if _, _, _, _, _, err := Decode(padded); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("padded body: got %v, want ErrBadFrame", err)
 	}
 
-	// Unknown-version rejection must win even for a Hello — the only
-	// frame a pre-negotiation peer may send.
-	hello, err := Append(nil, THello, 1, Hello{Min: 1, Max: 1})
+	// A V1 Hello rebadged as V2 announces a token its body doesn't
+	// carry — strict decode refuses it rather than inventing one.
+	hello, err := Append(nil, V1, THello, 1, Hello{Min: 1, Max: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	hello[4] = 2
-	if _, _, _, _, err := Decode(hello); !errors.Is(err, ErrBadVersion) {
-		t.Fatalf("hello with v2 header: got %v, want ErrBadVersion", err)
+	hello[4] = V2
+	if _, _, _, _, _, err := Decode(hello); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("v1 hello rebadged v2: got %v, want ErrBadFrame", err)
+	}
+
+	// And a V2 Hello rebadged as V1 leaves the token bytes trailing.
+	hello2, err := Append(nil, V2, THello, 1, Hello{Min: 1, Max: 2, Token: "jitsu-ops"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello2[4] = V1
+	if _, _, _, _, _, err := Decode(hello2); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("v2 hello rebadged v1: got %v, want ErrBadFrame", err)
 	}
 }
 
 // TestEncodeRejections: unencodable messages fail loudly.
 func TestEncodeRejections(t *testing.T) {
-	if _, err := Append(nil, 0xEE, 1, nil); !errors.Is(err, ErrUnknownType) {
+	if _, err := Append(nil, V1, 0xEE, 1, nil); !errors.Is(err, ErrUnknownType) {
 		t.Fatalf("unknown type: got %v, want ErrUnknownType", err)
 	}
 	long := make([]byte, 1<<17)
-	if _, err := Append(nil, TStopReq, 1, api.StopRequest{Name: string(long)}); !errors.Is(err, ErrBadFrame) {
+	if _, err := Append(nil, V1, TStopReq, 1, api.StopRequest{Name: string(long)}); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("overlong string: got %v, want ErrBadFrame", err)
+	}
+	for _, ver := range []byte{0, MaxVersion + 1, 99} {
+		if _, err := Append(nil, ver, TStopReq, 1, api.StopRequest{Name: "a"}); !errors.Is(err, ErrBadVersion) {
+			t.Fatalf("frame version %d: got %v, want ErrBadVersion", ver, err)
+		}
 	}
 }

@@ -1,0 +1,44 @@
+package wire_test
+
+import (
+	"testing"
+	"time"
+
+	"jitsu/internal/api"
+	"jitsu/internal/cluster"
+	"jitsu/internal/wire"
+)
+
+// TestDeprecatedAnonymousEntryPoints pins the wire.Serve / wire.Dial
+// shims until their callers migrate: Serve accepts every anonymous
+// session with full admin authority (the pre-keyring behaviour), and
+// Dial opens a tokenless session offering the full version range.
+// This file is the only sanctioned caller — `make deprecations` greps
+// everything else.
+func TestDeprecatedAnonymousEntryPoints(t *testing.T) {
+	c := cluster.NewCluster(cluster.WithBoards(2), cluster.WithSeed(11))
+	srv, err := wire.Serve(c.MgmtHost(0), wirePort, c.API(), staticApps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	console := c.AttachMgmtHost("console", 230)
+	cl, err := wire.Dial(c.Eng(), console, serverIP, wirePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Version() != wire.Version {
+		t.Fatalf("negotiated %d, want the preferred version %d", cl.Version(), wire.Version)
+	}
+	// The shim's defining property: anonymous, yet unrestricted.
+	if cl.Scope() != api.ScopeAdmin {
+		t.Fatalf("anonymous shim scope = %s, want admin", cl.Scope())
+	}
+	if s := cl.Stats(api.StatsRequest{}); s.Err != nil {
+		t.Fatalf("stats over shim session: %v", s.Err)
+	}
+	cl.Close()
+	c.Eng().RunFor(time.Second)
+	if srv.Conns != 1 || srv.ProtoErrs != 0 {
+		t.Fatalf("server saw conns=%d protoerrs=%d", srv.Conns, srv.ProtoErrs)
+	}
+}

@@ -1,6 +1,7 @@
 package wire_test
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -15,43 +16,72 @@ import (
 	"jitsu/internal/xen"
 )
 
-const wirePort = 7900
+const (
+	wirePort = wire.DefaultPort
 
-// dialedCluster builds a disk-tiered cluster with a wire server on
-// board 0's management host and a Client dialled in from an operator
-// console attached to the same bridge. The optional tap captures every
-// frame the console exchanges with the cluster.
-func dialedCluster(t *testing.T, seed int64, tap *netsim.Capture) (*cluster.Cluster, *wire.Client, *wire.Server) {
+	tokAdmin = "jitsu-admin"
+	tokOps   = "jitsu-ops"
+	tokRO    = "jitsu-ro"
+)
+
+var serverIP = netstack.IPv4(10, 255, 0, 10)
+
+func testKeyring() map[string]api.Scope {
+	return map[string]api.Scope{
+		tokAdmin: api.ScopeAdmin,
+		tokOps:   api.ScopeOperator,
+		tokRO:    api.ScopeReadOnly,
+	}
+}
+
+func staticApps(name string, _ xen.GuestKind) unikernel.App {
+	return unikernel.NewStaticSiteApp(name)
+}
+
+// wiredCluster builds a disk-tiered cluster serving its control plane
+// over the wire with the test keyring; anonymous sessions are refused.
+func wiredCluster(t *testing.T, seed int64) (*cluster.Cluster, *wire.Server) {
 	t.Helper()
 	c := cluster.NewCluster(
 		cluster.WithBoards(3),
 		cluster.WithSeed(seed),
 		cluster.WithBoardOptions(core.WithDisk(blockdev.DefaultConfig())),
 	)
-	srv, err := wire.Serve(c.MgmtHost(0), wirePort, c.API(),
-		func(name string, _ xen.GuestKind) unikernel.App { return unikernel.NewStaticSiteApp(name) })
+	srv, err := c.ServeWire(cluster.WireConfig{
+		Apps:    staticApps,
+		Keyring: testKeyring(),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	console := c.AttachMgmtHost("console", 200)
-	if tap != nil {
-		console.NIC.Link().Tap(tap)
-	}
-	cl, err := wire.Dial(c.Eng(), console, netstack.IPv4(10, 255, 0, 10), wirePort)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return c, cl, srv
+	return c, srv
 }
 
-// TestRemoteSessionDrivesCluster walks a full operator session over
-// the wire: register, activate (remote OnReady), stats, demote,
-// promote, migrate (remote OnDone), stop — every response carried as
-// frames across the simulated management network.
+// dialOp attaches a fresh operator console to the management bridge
+// and opens a session with the given token.
+func dialOp(t *testing.T, c *cluster.Cluster, name string, octet byte, token string) *wire.Client {
+	t.Helper()
+	console := c.AttachMgmtHost(name, octet)
+	cl, err := wire.DialSession(c.Eng(), console, serverIP, wirePort,
+		wire.SessionConfig{Token: token})
+	if err != nil {
+		t.Fatalf("dial %s: %v", name, err)
+	}
+	return cl
+}
+
+// TestRemoteSessionDrivesCluster walks a full admin session over the
+// wire: register, activate (remote OnReady), stats, demote, promote,
+// migrate (remote OnDone), stop — every response carried as frames
+// across the simulated management network.
 func TestRemoteSessionDrivesCluster(t *testing.T) {
-	c, cl, srv := dialedCluster(t, 1, nil)
-	if cl.Version() != wire.Version {
-		t.Fatalf("negotiated version %d, want %d", cl.Version(), wire.Version)
+	c, srv := wiredCluster(t, 1)
+	cl := dialOp(t, c, "console", 200, tokAdmin)
+	if cl.Version() != wire.V2 {
+		t.Fatalf("negotiated version %d, want %d", cl.Version(), wire.V2)
+	}
+	if cl.Scope() != api.ScopeAdmin {
+		t.Fatalf("granted scope %s, want admin", cl.Scope())
 	}
 	zone := c.Cfg.Board.Zone
 	name := "alice." + zone
@@ -136,8 +166,9 @@ func TestRemoteSessionDrivesCluster(t *testing.T) {
 	if stop.Err != nil || stop.Stopped == 0 {
 		t.Fatalf("stop: %v stopped=%d", stop.Err, stop.Stopped)
 	}
-	if srv.Conns != 1 || srv.ProtoErrs != 0 {
-		t.Fatalf("server saw conns=%d protoerrs=%d", srv.Conns, srv.ProtoErrs)
+	if srv.Conns != 1 || srv.ProtoErrs != 0 || srv.Unauthorized != 0 {
+		t.Fatalf("server saw conns=%d protoerrs=%d unauthorized=%d",
+			srv.Conns, srv.ProtoErrs, srv.Unauthorized)
 	}
 }
 
@@ -146,7 +177,8 @@ func TestRemoteSessionDrivesCluster(t *testing.T) {
 // stream from the OnStats return value — the client must cancel
 // upstream and no further snapshots may arrive.
 func TestRemoteWatchStatsStream(t *testing.T) {
-	c, cl, _ := dialedCluster(t, 1, nil)
+	c, _ := wiredCluster(t, 1)
+	cl := dialOp(t, c, "console", 200, tokRO)
 
 	if bad := cl.WatchStats(api.WatchStatsRequest{Every: -time.Second,
 		OnStats: func(api.StatsResponse) bool { return true }}); bad.Err == nil ||
@@ -177,7 +209,8 @@ func TestRemoteWatchStatsStream(t *testing.T) {
 // event, so the client must drop the registration instead of holding
 // it for the connection's lifetime.
 func TestFailedVerbsDropCallbackRegistrations(t *testing.T) {
-	c, cl, _ := dialedCluster(t, 1, nil)
+	c, _ := wiredCluster(t, 1)
+	cl := dialOp(t, c, "console", 200, tokAdmin)
 	zone := c.Cfg.Board.Zone
 	ghost := "ghost." + zone
 
@@ -203,9 +236,261 @@ func TestFailedVerbsDropCallbackRegistrations(t *testing.T) {
 	}
 }
 
-// TestRemoteSessionDeterministic runs the same scripted session twice
-// under the same seed and demands bit-identical console traffic: the
-// capture fingerprint covers every frame byte and delivery instant.
+// TestScopedVerbRefusals: a session's out-of-scope verbs come back
+// CodeUnauthorized through the verb's own response — and the session
+// keeps working afterwards. The ladder is checked at every rung.
+func TestScopedVerbRefusals(t *testing.T) {
+	c, srv := wiredCluster(t, 1)
+	zone := c.Cfg.Board.Zone
+	name := "alice." + zone
+
+	admin := dialOp(t, c, "admin", 200, tokAdmin)
+	ops := dialOp(t, c, "ops", 201, tokOps)
+	ro := dialOp(t, c, "viewer", 202, tokRO)
+	if ops.Scope() != api.ScopeOperator || ro.Scope() != api.ScopeReadOnly {
+		t.Fatalf("granted scopes: ops=%s ro=%s", ops.Scope(), ro.Scope())
+	}
+
+	if reg := admin.Register(api.RegisterRequest{Config: core.ServiceConfig{
+		Name: name, IP: netstack.IPv4(10, 0, 0, 20), Port: 80,
+		Image: unikernel.UnikernelImage("alice", nil),
+	}}); reg.Err != nil {
+		t.Fatalf("admin register: %v", reg.Err)
+	}
+
+	// read-only: observation allowed, lifecycle and reshaping refused.
+	if s := ro.Stats(api.StatsRequest{}); s.Err != nil {
+		t.Fatalf("ro stats: %v", s.Err)
+	}
+	if a := ro.Activate(api.ActivateRequest{Name: name}); a.Err == nil ||
+		a.Err.Code != api.CodeUnauthorized {
+		t.Fatalf("ro activate: %v, want CodeUnauthorized", a.Err)
+	}
+	if r := ro.Register(api.RegisterRequest{}); r.Err == nil ||
+		r.Err.Code != api.CodeUnauthorized {
+		t.Fatalf("ro register: %v, want CodeUnauthorized", r.Err)
+	}
+
+	// operator: lifecycle allowed, reshaping refused.
+	if a := ops.Activate(api.ActivateRequest{Name: name}); a.Err != nil {
+		t.Fatalf("ops activate: %v", a.Err)
+	}
+	c.Eng().RunFor(5 * time.Second)
+	if m := ops.Migrate(api.MigrateRequest{Name: name}); m.Err == nil ||
+		m.Err.Code != api.CodeUnauthorized {
+		t.Fatalf("ops migrate: %v, want CodeUnauthorized", m.Err)
+	}
+	if tr := ops.Transfer(api.TransferRequest{}); tr.Err == nil ||
+		tr.Err.Code != api.CodeUnauthorized {
+		t.Fatalf("ops transfer: %v, want CodeUnauthorized", tr.Err)
+	}
+
+	// Refusals must not have killed either session.
+	if s := ro.Stats(api.StatsRequest{}); s.Err != nil {
+		t.Fatalf("ro session died after refusal: %v", s.Err)
+	}
+	if st := ops.Stop(api.StopRequest{Name: name}); st.Err != nil {
+		t.Fatalf("ops session died after refusal: %v", st.Err)
+	}
+	if srv.Unauthorized != 4 {
+		t.Fatalf("server unauthorized count = %d, want 4", srv.Unauthorized)
+	}
+	if srv.ProtoErrs != 0 || srv.ActiveConns() != 3 {
+		t.Fatalf("refusals disturbed sessions: protoerrs=%d conns=%d",
+			srv.ProtoErrs, srv.ActiveConns())
+	}
+}
+
+// TestConcurrentWatchersSurviveSiblingDrop: two operators stream stats
+// while a third connection dies mid-stream — the survivors' watches
+// keep delivering, and only the dead session's subscriptions are
+// reclaimed.
+func TestConcurrentWatchersSurviveSiblingDrop(t *testing.T) {
+	c, srv := wiredCluster(t, 2)
+	zone := c.Cfg.Board.Zone
+	name := "alice." + zone
+
+	admin := dialOp(t, c, "admin", 200, tokAdmin)
+	w1 := dialOp(t, c, "watcher1", 201, tokRO)
+	w2 := dialOp(t, c, "watcher2", 202, tokRO)
+	if srv.ActiveConns() != 3 {
+		t.Fatalf("active conns = %d, want 3", srv.ActiveConns())
+	}
+
+	if reg := admin.Register(api.RegisterRequest{Config: core.ServiceConfig{
+		Name: name, IP: netstack.IPv4(10, 0, 0, 20), Port: 80,
+		Image: unikernel.UnikernelImage("alice", nil),
+	}}); reg.Err != nil {
+		t.Fatalf("register: %v", reg.Err)
+	}
+
+	snaps1, snaps2, doomed := 0, 0, 0
+	for _, w := range []struct {
+		cl *wire.Client
+		n  *int
+	}{{w1, &snaps1}, {w2, &snaps2}, {admin, &doomed}} {
+		n := w.n
+		if resp := w.cl.WatchStats(api.WatchStatsRequest{Every: time.Second,
+			OnStats: func(api.StatsResponse) bool { *n++; return true }}); resp.Err != nil {
+			t.Fatalf("watch: %v", resp.Err)
+		}
+	}
+	if srv.ActiveWatches() != 3 {
+		t.Fatalf("active watches = %d, want 3", srv.ActiveWatches())
+	}
+
+	c.Eng().RunFor(3 * time.Second)
+	if snaps1 == 0 || snaps2 == 0 || doomed == 0 {
+		t.Fatalf("streams idle: %d %d %d", snaps1, snaps2, doomed)
+	}
+
+	// The admin console vanishes mid-stream (RST, no courtesy cancel).
+	admin.Abort()
+	doomedAt := doomed
+	c.Eng().RunFor(5 * time.Second)
+
+	if srv.ActiveConns() != 2 || srv.ActiveWatches() != 2 {
+		t.Fatalf("after drop: conns=%d watches=%d, want 2/2",
+			srv.ActiveConns(), srv.ActiveWatches())
+	}
+	if doomed != doomedAt {
+		t.Fatalf("dead session kept receiving: %d -> %d", doomedAt, doomed)
+	}
+	// Siblings kept streaming at the 1s cadence through the teardown.
+	if snaps1 < 5 || snaps2 < 5 {
+		t.Fatalf("sibling watches stalled: %d %d", snaps1, snaps2)
+	}
+	if w1.Pending() != 1 || w2.Pending() != 1 {
+		t.Fatalf("survivor registrations: %d %d", w1.Pending(), w2.Pending())
+	}
+}
+
+// TestClientCloseCancelsWatches: an explicit Close sends TWatchCancel
+// for every outstanding watch — the server reclaims them through the
+// cancel path, not the connection-teardown path — and Pending reads 0.
+func TestClientCloseCancelsWatches(t *testing.T) {
+	c, srv := wiredCluster(t, 1)
+	cl := dialOp(t, c, "console", 200, tokRO)
+
+	for i := 0; i < 2; i++ {
+		if resp := cl.WatchStats(api.WatchStatsRequest{Every: time.Second,
+			OnStats: func(api.StatsResponse) bool { return true }}); resp.Err != nil {
+			t.Fatalf("watch %d: %v", i, resp.Err)
+		}
+	}
+	c.Eng().RunFor(2 * time.Second)
+	if srv.ActiveWatches() != 2 || cl.Pending() != 2 {
+		t.Fatalf("watches: server=%d client=%d, want 2/2", srv.ActiveWatches(), cl.Pending())
+	}
+
+	cl.Close()
+	if cl.Pending() != 0 {
+		t.Fatalf("pending after close = %d, want 0", cl.Pending())
+	}
+	c.Eng().RunFor(2 * time.Second)
+	if srv.ActiveWatches() != 0 {
+		t.Fatalf("server watches after close = %d, want 0", srv.ActiveWatches())
+	}
+	if srv.WatchCancels != 2 {
+		t.Fatalf("cancels = %d, want 2 (reclaim must ride TWatchCancel)", srv.WatchCancels)
+	}
+	if srv.ProtoErrs != 0 {
+		t.Fatalf("close tripped protocol errors: %d", srv.ProtoErrs)
+	}
+}
+
+// TestInteropMatrix pins every cell of the version/credential matrix:
+// v2↔v2 with a good, bad and missing token; v2 client against a
+// v1-only server (downgrade, token elided, anonymous policy applies);
+// v1 client against a v2 server (policy-controlled accept/refuse).
+func TestInteropMatrix(t *testing.T) {
+	type cell struct {
+		name      string
+		srvMax    uint16    // 0 = full range
+		anonymous api.Scope // server anonymous policy
+		session   wire.SessionConfig
+		wantVer   uint16 // 0 = dial must fail
+		wantCode  api.Code
+		wantScope api.Scope
+	}
+	cells := []cell{
+		{name: "v2-v2-token", session: wire.SessionConfig{Token: tokOps},
+			wantVer: 2, wantScope: api.ScopeOperator},
+		{name: "v2-v2-bad-token", session: wire.SessionConfig{Token: "stolen"},
+			wantCode: api.CodeUnauthorized},
+		{name: "v2-v2-anonymous-refused", session: wire.SessionConfig{},
+			wantCode: api.CodeUnauthorized},
+		{name: "v2-v2-anonymous-policy", anonymous: api.ScopeReadOnly,
+			session: wire.SessionConfig{}, wantVer: 2, wantScope: api.ScopeReadOnly},
+		{name: "v2-client-v1-server", srvMax: 1, anonymous: api.ScopeOperator,
+			session: wire.SessionConfig{Token: tokAdmin}, wantVer: 1},
+		{name: "v2-client-v1-server-refused", srvMax: 1,
+			session: wire.SessionConfig{Token: tokAdmin}},
+		{name: "v1-client-v2-server", anonymous: api.ScopeReadOnly,
+			session: wire.SessionConfig{Max: 1}, wantVer: 1},
+		{name: "v1-client-v2-server-refused",
+			session: wire.SessionConfig{Max: 1}},
+	}
+	for i, cc := range cells {
+		t.Run(cc.name, func(t *testing.T) {
+			c := cluster.NewCluster(cluster.WithBoards(2), cluster.WithSeed(int64(5)))
+			if _, err := c.ServeWire(cluster.WireConfig{
+				Apps: staticApps, Keyring: testKeyring(),
+				Anonymous: cc.anonymous, MaxVersion: cc.srvMax,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			console := c.AttachMgmtHost("console", byte(210+i))
+			cl, err := wire.DialSession(c.Eng(), console, serverIP, wirePort, cc.session)
+
+			if cc.wantVer == 0 {
+				if err == nil {
+					t.Fatalf("dial succeeded at version %d, want refusal", cl.Version())
+				}
+				if cc.wantCode != 0 {
+					var ae *api.Error
+					if !errors.As(err, &ae) || ae.Code != cc.wantCode {
+						t.Fatalf("refusal = %v, want %s", err, cc.wantCode)
+					}
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			if cl.Version() != cc.wantVer {
+				t.Fatalf("negotiated %d, want %d", cl.Version(), cc.wantVer)
+			}
+			if cl.Version() >= wire.V2 && cl.Scope() != cc.wantScope {
+				t.Fatalf("scope %s, want %s", cl.Scope(), cc.wantScope)
+			}
+			// Every accepted session can observe...
+			if s := cl.Stats(api.StatsRequest{}); s.Err != nil {
+				t.Fatalf("stats: %v", s.Err)
+			}
+			// ...and the downgraded/anonymous read-only ones cannot act.
+			effective := cc.wantScope
+			if cl.Version() < wire.V2 {
+				effective = cc.anonymous
+			}
+			act := cl.Activate(api.ActivateRequest{Name: "nobody.example"})
+			if effective.Allows(api.ScopeOperator) {
+				if act.Err == nil || act.Err.Code != api.CodeNotFound {
+					t.Fatalf("activate: %v, want CodeNotFound", act.Err)
+				}
+			} else {
+				if act.Err == nil || act.Err.Code != api.CodeUnauthorized {
+					t.Fatalf("activate: %v, want CodeUnauthorized", act.Err)
+				}
+			}
+		})
+	}
+}
+
+// TestRemoteSessionDeterministic runs the same scripted multi-session
+// exchange twice under the same seed and demands bit-identical console
+// traffic: the capture fingerprint covers every frame byte and
+// delivery instant.
 func TestRemoteSessionDeterministic(t *testing.T) {
 	run := func() uint64 {
 		c := cluster.NewCluster(
@@ -213,17 +498,23 @@ func TestRemoteSessionDeterministic(t *testing.T) {
 			cluster.WithSeed(7),
 			cluster.WithBoardOptions(core.WithDisk(blockdev.DefaultConfig())),
 		)
-		if _, err := wire.Serve(c.MgmtHost(0), wirePort, c.API(),
-			func(name string, _ xen.GuestKind) unikernel.App { return unikernel.NewStaticSiteApp(name) }); err != nil {
+		if _, err := c.ServeWire(cluster.WireConfig{
+			Apps: staticApps, Keyring: testKeyring(),
+		}); err != nil {
 			t.Fatal(err)
 		}
 		console := c.AttachMgmtHost("console", 200)
 		tap := netsim.NewCapture(c.Eng(), 1<<14)
 		console.NIC.Link().Tap(tap)
-		cl, err := wire.Dial(c.Eng(), console, netstack.IPv4(10, 255, 0, 10), wirePort)
+		cl, err := wire.DialSession(c.Eng(), console, serverIP, wirePort,
+			wire.SessionConfig{Token: tokAdmin})
 		if err != nil {
 			t.Fatal(err)
 		}
+		viewer := dialOp(t, c, "viewer", 201, tokRO)
+		viewer.WatchStats(api.WatchStatsRequest{Every: time.Second,
+			OnStats: func(api.StatsResponse) bool { return true }})
+
 		name := "alice." + c.Cfg.Board.Zone
 		cl.Register(api.RegisterRequest{Config: core.ServiceConfig{
 			Name: name, IP: netstack.IPv4(10, 0, 0, 20), Port: 80,
@@ -237,6 +528,7 @@ func TestRemoteSessionDeterministic(t *testing.T) {
 		c.Eng().RunFor(5 * time.Second)
 		cl.Stats(api.StatsRequest{})
 		cl.Close()
+		viewer.Close()
 		c.Eng().RunFor(5 * time.Second)
 		return tap.Fingerprint()
 	}
@@ -253,13 +545,13 @@ func TestRemoteSessionDeterministic(t *testing.T) {
 // future protocol range is turned away with HelloAck{0}.
 func TestVersionNegotiationRejectsStranger(t *testing.T) {
 	c := cluster.NewCluster(cluster.WithBoards(2), cluster.WithSeed(3))
-	if _, err := wire.Serve(c.MgmtHost(0), wirePort, c.API(), nil); err != nil {
+	if _, err := c.ServeWire(cluster.WireConfig{Anonymous: api.ScopeAdmin}); err != nil {
 		t.Fatal(err)
 	}
 	console := c.AttachMgmtHost("console", 201)
 
 	var conn *netstack.TCPConn
-	console.DialTCP(netstack.IPv4(10, 255, 0, 10), wirePort, func(tc *netstack.TCPConn, err error) {
+	console.DialTCP(serverIP, wirePort, func(tc *netstack.TCPConn, err error) {
 		if err != nil {
 			t.Fatalf("dial: %v", err)
 		}
@@ -270,7 +562,7 @@ func TestVersionNegotiationRejectsStranger(t *testing.T) {
 		t.Fatal("no connection")
 	}
 	// A v1-framed Hello offering only versions 5..9.
-	buf, err := wire.Append(nil, wire.THello, 1, wire.Hello{Min: 5, Max: 9})
+	buf, err := wire.Append(nil, wire.V1, wire.THello, 1, wire.Hello{Min: 5, Max: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +570,7 @@ func TestVersionNegotiationRejectsStranger(t *testing.T) {
 	rx := []byte{}
 	conn.OnData(func(b []byte) {
 		rx = append(rx, b...)
-		if typ, _, msg, _, err := wire.Decode(rx); err == nil && typ == wire.THelloAck {
+		if _, typ, _, msg, _, err := wire.Decode(rx); err == nil && typ == wire.THelloAck {
 			ack := msg.(wire.HelloAck)
 			got = &ack
 		}

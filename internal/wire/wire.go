@@ -2,7 +2,7 @@
 // length-prefixed binary codec for every api.ControlPlane verb, plus a
 // Server that binds the protocol to a netstack TCP endpoint and a
 // Client that implements api.ControlPlane over a connection. Together
-// they let a remote operator process drive a board or a whole cluster
+// they let remote operator processes drive a board or a whole cluster
 // across the simulated management network — the same verbs, the same
 // typed error codes, but now subject to the link's latency, loss and
 // partitions like any other traffic.
@@ -17,27 +17,66 @@
 //
 //	offset  size  field
 //	0       4     length of the remainder (ver..body), <= MaxFrame
-//	4       1     protocol version (currently 1)
+//	4       1     protocol version (V1 or V2)
 //	5       1     frame type
 //	6       4     request id (echoed on responses and events)
 //	10      n     body (frame-type specific)
 //
-// A connection opens with Hello/HelloAck version negotiation: the
-// client offers its [Min,Max] supported range, the server answers with
-// the highest version both sides speak (0 = no overlap; the connection
-// is then closed). Every later frame carries the negotiated version.
+// Two protocol versions exist and differ ONLY in the handshake bodies;
+// every post-handshake frame has an identical layout in both:
+//
+//	V1  Hello carries the client's supported [Min,Max] range and
+//	    nothing else; HelloAck carries the chosen version. Sessions
+//	    are anonymous — whether one is accepted, and with what
+//	    capability scope, is server policy.
+//	V2  Hello additionally carries a capability token the server
+//	    validates against its keyring, mapping the session to an
+//	    api.Scope; HelloAck additionally carries the granted scope
+//	    and, on refusal, a typed api.Error (CodeUnauthorized for a
+//	    bad credential).
+//
+// A connection opens with Hello/HelloAck negotiation: the client
+// offers its [Min,Max] supported range, framing the Hello at its Max
+// (so a v2 Hello carries its token from the first byte), and the
+// server answers with the highest version both sides speak — 0 = no
+// overlap or refused credential; the connection is then closed. On a
+// downgrade to V1 the token is elided: the server ignores any token
+// the v2-framed Hello carried and applies its anonymous-session
+// policy instead. Every later frame must carry the negotiated
+// version; a mismatch is a protocol violation that drops the
+// connection.
 //
 // Request/response types pair by offset: request type t gets response
-// type t+0x20. Three extra frame kinds carry asynchrony: ReadyEvent
-// (an OnReady callback firing remotely), DoneEvent (a Migrate OnDone),
-// and StatsEvent (one WatchStats snapshot, tagged with the watch's
-// request id).
+// type t+0x20. A verb outside the session's scope is answered with
+// its ordinary response frame carrying api.CodeUnauthorized — the
+// session itself stays up. Three extra frame kinds carry asynchrony:
+// ReadyEvent (an OnReady callback firing remotely), DoneEvent (a
+// Migrate OnDone), and StatsEvent (one WatchStats snapshot, tagged
+// with the watch's request id); each connection has its own request-id
+// space and its own subscription registry, so N operator sessions
+// stream independently from one server and one session's teardown
+// never disturbs its siblings.
 package wire
 
 import "errors"
 
-// Version is the protocol version this package speaks.
-const Version = 1
+// Protocol versions. V1 is frozen — its byte layout must never drift;
+// V2 adds the capability token and scoped HelloAck.
+const (
+	V1 = 1
+	V2 = 2
+
+	// MinVersion..MaxVersion is the range this package can speak.
+	MinVersion = V1
+	MaxVersion = V2
+)
+
+// Version is the highest (preferred) protocol version this package
+// speaks.
+const Version = MaxVersion
+
+// DefaultPort is the conventional management port wire servers bind.
+const DefaultPort = 7900
 
 // MaxFrame caps the length prefix: larger announcements are a protocol
 // error, not a reason to buffer unboundedly.
